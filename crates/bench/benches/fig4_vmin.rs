@@ -1,0 +1,27 @@
+//! Criterion timing of the Fig. 4 undervolting campaign components.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardband_core::vmin::characterize_chip;
+use power_model::units::Megahertz;
+use workload_sim::spec::SPEC_SUITE;
+use xgene_sim::sigma::{ChipProfile, SigmaBin};
+
+fn bench_fig4(c: &mut Criterion) {
+    let suite: Vec<_> = SPEC_SUITE.iter().take(3).map(|b| b.profile()).collect();
+    c.bench_function("fig4/vmin_campaign_3bench_ttt", |b| {
+        b.iter(|| characterize_chip(SigmaBin::Ttt, &suite, 7))
+    });
+    let chip = ChipProfile::corner(SigmaBin::Ttt);
+    let core = chip.most_robust_core();
+    let profile = SPEC_SUITE[0].profile();
+    c.bench_function("fig4/single_vmin_eval", |b| {
+        b.iter(|| chip.vmin(core, &profile, Megahertz::XGENE2_NOMINAL))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion timing of the Fig. 5 ladder derivation and trade-off model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guardband_core::energy::{derive_ladder, ladder_tradeoff};
+use power_model::tradeoff::TradeoffCurve;
+use workload_sim::spec::fig5_mix;
+use xgene_sim::sigma::{ChipProfile, SigmaBin};
+
+fn bench_fig5(c: &mut Criterion) {
+    let chip = ChipProfile::corner(SigmaBin::Ttt);
+    let mix: Vec<_> = fig5_mix().iter().map(|b| b.profile()).collect();
+    c.bench_function("fig5/derive_ladder", |b| b.iter(|| derive_ladder(&chip, &mix)));
+    let ladder = derive_ladder(&chip, &mix);
+    c.bench_function("fig5/ladder_tradeoff", |b| b.iter(|| ladder_tradeoff(&ladder)));
+    c.bench_function("fig5/published_curve", |b| {
+        b.iter(|| TradeoffCurve::xgene2_fig5().points())
+    });
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

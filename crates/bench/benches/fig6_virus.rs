@@ -1,0 +1,34 @@
+//! Criterion timing of the GA virus evolution (Figs. 6/7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stress_gen::ga::{evolve, fitness, GaConfig};
+use stress_gen::isa::{InstrClass, VirusGenome};
+use xgene_sim::em::EmProbe;
+use xgene_sim::pdn::PdnModel;
+
+fn bench_virus(c: &mut Criterion) {
+    let pdn = PdnModel::xgene2();
+    c.bench_function("fig6/ga_evolution_small", |b| {
+        b.iter(|| {
+            let mut probe = EmProbe::new(pdn, 1);
+            let config = GaConfig {
+                population: 16,
+                generations: 12,
+                ..GaConfig::dsn18()
+            };
+            evolve(&config, &mut probe)
+        })
+    });
+    let genome = VirusGenome::new(vec![InstrClass::SimdFma, InstrClass::Nop].repeat(24));
+    c.bench_function("fig6/fitness_eval", |b| {
+        let mut probe = EmProbe::new(pdn, 1);
+        b.iter(|| fitness(&genome, &mut probe))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_virus
+}
+criterion_main!(benches);

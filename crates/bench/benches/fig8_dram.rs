@@ -1,0 +1,35 @@
+//! Criterion timing of the Fig. 8 workload-over-DRAM pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram_sim::array::DramArray;
+use dram_sim::retention::{PopulationSpec, RetentionModel, WeakCellPopulation};
+use power_model::units::{Celsius, Milliseconds};
+use workload_sim::rodinia::{suite, KernelConfig};
+
+fn relaxed_dram(seed: u64) -> DramArray {
+    let pop = WeakCellPopulation::generate(
+        &RetentionModel::xgene2_micron(),
+        PopulationSpec::dsn18(),
+        seed,
+    );
+    DramArray::new(pop, Milliseconds::DSN18_RELAXED_TREFP, Celsius::new(60.0))
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = KernelConfig { scale: 32, iterations: 3, seed: 5, runtime_ms: 3000.0 };
+    for kernel in suite() {
+        c.bench_function(&format!("fig8/{}", kernel.name()), |b| {
+            b.iter(|| {
+                let mut dram = relaxed_dram(5);
+                kernel.characterize_dyn(&mut dram, &cfg)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_fig8
+}
+criterion_main!(benches);

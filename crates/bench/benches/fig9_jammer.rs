@@ -1,0 +1,21 @@
+//! Criterion timing of the Fig. 9 jammer detector and server power model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use power_model::server::{OperatingPoint, ServerLoad, ServerPowerModel};
+use workload_sim::jammer::{run_instance, JammerConfig};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut cfg = JammerConfig::dsn18();
+    cfg.blocks = 80;
+    c.bench_function("fig9/jammer_instance_80blocks", |b| {
+        b.iter(|| run_instance(&cfg, 0))
+    });
+    let server = ServerPowerModel::xgene2();
+    let load = ServerLoad::jammer_detector();
+    c.bench_function("fig9/server_power_eval", |b| {
+        b.iter(|| server.power(&OperatingPoint::dsn18_safe_point(), &load))
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

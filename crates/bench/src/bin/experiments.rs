@@ -1,0 +1,57 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|all] [seed]`
+
+use guardband_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2018);
+    println!("DSN'18 guardband reproduction — experiment '{which}', seed {seed}\n");
+
+    let run_fig4 = || println!("{}", bench::fig4::render(&bench::fig4::run(seed)));
+    let run_fig5 = || println!("{}", bench::fig5::render(&bench::fig5::run()));
+    let run_fig67 = || println!("{}", bench::fig6_7::render(&bench::fig6_7::run(seed)));
+    let run_table1 = || println!("{}", bench::table1::render(&bench::table1::run(seed)));
+    let run_fig8 = || println!("{}", bench::fig8::render(&bench::fig8::run(seed)));
+    let run_fig9 = || println!("{}", bench::fig9::render(&bench::fig9::run(seed)));
+    let run_stencil =
+        || println!("{}", bench::extras::render_stencil(&bench::extras::run_stencil(seed)));
+    let run_predictor =
+        || println!("{}", bench::extras::render_predictor(&bench::extras::run_predictor()));
+    let run_ablations = || println!("{}", bench::ablation::render(seed));
+    let run_sweep = || println!("{}", bench::sweep::render(&bench::sweep::run()));
+
+    match which {
+        "fig4" => run_fig4(),
+        "fig5" => run_fig5(),
+        "fig6" | "fig7" | "fig6_7" => run_fig67(),
+        "table1" => run_table1(),
+        "fig8" | "fig8a" | "fig8b" => run_fig8(),
+        "fig9" => run_fig9(),
+        "stencil" => run_stencil(),
+        "predictor" => run_predictor(),
+        "ablations" => run_ablations(),
+        "sweep" => run_sweep(),
+        "all" => {
+            run_fig4();
+            run_fig5();
+            run_fig67();
+            run_table1();
+            run_fig8();
+            run_fig9();
+            run_stencil();
+            run_predictor();
+            run_ablations();
+            run_sweep();
+        }
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of \
+                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

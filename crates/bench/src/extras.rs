@@ -1,0 +1,142 @@
+//! Experiments beyond the numbered figures: the §IV.C stencil access-
+//! pattern scheduling study and the §IV.D Vmin predictor.
+
+use guardband_core::predictor::VminPredictor;
+use power_model::units::{Celsius, Megahertz, Milliseconds, Millivolts};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use workload_sim::nas::NAS_SUITE;
+use workload_sim::spec::SPEC_SUITE;
+use workload_sim::stencil::{JacobiStencil, StencilReport, SweepSchedule};
+use xgene_sim::server::XGene2Server;
+use xgene_sim::sigma::{ChipProfile, SigmaBin};
+
+/// The stencil-scheduling dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StencilStudy {
+    /// The unscheduled (bursty) run.
+    pub bursty: StencilReport,
+    /// The paced (access-scheduled) run.
+    pub paced: StencilReport,
+    /// The refresh period both ran under, ms.
+    pub trefp_ms: f64,
+}
+
+/// Runs the stencil scheduling comparison at 60 °C / 2.283 s.
+pub fn run_stencil(seed: u64) -> StencilStudy {
+    let stencil = JacobiStencil::new(320, 6, 9000.0);
+    let make_server = || {
+        let mut s = XGene2Server::new(SigmaBin::Ttt, seed);
+        s.set_dram_temperature(Celsius::new(60.0));
+        s.set_trefp(Milliseconds::DSN18_RELAXED_TREFP).expect("valid TREFP");
+        s
+    };
+    let mut s1 = make_server();
+    let bursty = stencil.run(s1.dram_mut(), SweepSchedule::Bursty { duty: 0.2 });
+    let mut s2 = make_server();
+    let paced = stencil.run(s2.dram_mut(), SweepSchedule::Paced);
+    StencilStudy {
+        bursty,
+        paced,
+        trefp_ms: Milliseconds::DSN18_RELAXED_TREFP.as_f64(),
+    }
+}
+
+/// Renders the stencil study.
+pub fn render_stencil(study: &StencilStudy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "§IV.C — stencil access-pattern scheduling (TREFP {} ms)", study.trefp_ms);
+    for (label, r) in [("bursty", &study.bursty), ("paced", &study.paced)] {
+        let _ = writeln!(
+            out,
+            "{label:<8} max row interval {:>8.0} ms, unique failing cells {:>4}, CEs {:>4}",
+            r.max_row_interval_ms, r.unique_error_locations, r.corrected_errors
+        );
+    }
+    let _ = writeln!(
+        out,
+        "paced intervals {} the refresh period — accesses inherently refresh the grid",
+        if study.paced.max_row_interval_ms < study.trefp_ms { "fit within" } else { "EXCEED" }
+    );
+    out
+}
+
+/// The predictor study: train on SPEC, evaluate on NAS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorStudy {
+    /// RMSE on the SPEC training set, mV.
+    pub train_rmse_mv: f64,
+    /// `(kernel, predicted, actual)` on the NAS hold-out set.
+    pub nas_eval: Vec<(String, Millivolts, Millivolts)>,
+    /// Worst absolute NAS prediction error, mV.
+    pub worst_nas_error_mv: i64,
+}
+
+/// Trains and evaluates the Vmin predictor on the TTT chip model.
+pub fn run_predictor() -> PredictorStudy {
+    let chip = ChipProfile::corner(SigmaBin::Ttt);
+    let core = chip.most_robust_core();
+    let data: Vec<_> = SPEC_SUITE
+        .iter()
+        .map(|b| {
+            let p = b.profile();
+            let v = chip.vmin(core, &p, Megahertz::XGENE2_NOMINAL);
+            (p, v)
+        })
+        .collect();
+    let model = VminPredictor::train(&data).expect("SPEC training set is well-posed");
+    let train_rmse_mv = model.training_rmse_mv(&data);
+    let nas_eval: Vec<_> = NAS_SUITE
+        .iter()
+        .map(|k| {
+            let p = k.profile();
+            let actual = chip.vmin(core, &p, Megahertz::XGENE2_NOMINAL);
+            (k.name.to_owned(), model.predict(&p), actual)
+        })
+        .collect();
+    let worst_nas_error_mv = nas_eval
+        .iter()
+        .map(|(_, p, a)| (i64::from(p.as_u32()) - i64::from(a.as_u32())).abs())
+        .max()
+        .unwrap_or(0);
+    PredictorStudy { train_rmse_mv, nas_eval, worst_nas_error_mv }
+}
+
+/// Renders the predictor study.
+pub fn render_predictor(study: &PredictorStudy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "§IV.D — performance-counter Vmin predictor (train SPEC, test NAS)");
+    let _ = writeln!(out, "training RMSE: {:.2} mV", study.train_rmse_mv);
+    for (name, predicted, actual) in &study.nas_eval {
+        let _ = writeln!(
+            out,
+            "{name:<6} predicted {:>4} mV, measured {:>4} mV",
+            predicted.as_u32(),
+            actual.as_u32()
+        );
+    }
+    let _ = writeln!(out, "worst hold-out error: {} mV", study.worst_nas_error_mv);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_scheduling_bounds_intervals() {
+        let study = run_stencil(501);
+        assert!(study.paced.max_row_interval_ms < study.trefp_ms);
+        assert!(study.bursty.max_row_interval_ms > study.paced.max_row_interval_ms);
+        assert!(
+            study.bursty.unique_error_locations >= study.paced.unique_error_locations
+        );
+    }
+
+    #[test]
+    fn predictor_generalizes() {
+        let study = run_predictor();
+        assert!(study.train_rmse_mv < 2.0);
+        assert!(study.worst_nas_error_mv <= 5);
+    }
+}

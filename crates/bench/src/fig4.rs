@@ -1,0 +1,100 @@
+//! Fig. 4: Vmin at 2.4 GHz for 10 SPEC2006 programs on the TTT/TFF/TSS
+//! chips (most robust core per chip).
+
+use guardband_core::vmin::{characterize_chip, ChipVminSeries};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use workload_sim::spec::SPEC_SUITE;
+use xgene_sim::sigma::SigmaBin;
+
+/// The full Fig. 4 dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// One Vmin series per chip corner.
+    pub series: Vec<ChipVminSeries>,
+}
+
+/// Published most-robust-core Vmin ranges per corner (min, max), in mV.
+pub const PAPER_RANGES: [(SigmaBin, u32, u32); 3] = [
+    (SigmaBin::Ttt, 860, 885),
+    (SigmaBin::Tff, 870, 885),
+    (SigmaBin::Tss, 870, 900),
+];
+
+/// Runs the Fig. 4 campaign on all three corners.
+pub fn run(seed: u64) -> Fig4 {
+    let suite: Vec<_> = SPEC_SUITE.iter().map(|b| b.profile()).collect();
+    let series = SigmaBin::ALL
+        .iter()
+        .map(|&bin| characterize_chip(bin, &suite, seed))
+        .collect();
+    Fig4 { series }
+}
+
+/// Renders the figure as the paper's data table plus the published ranges.
+pub fn render(fig: &Fig4) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 4 — Vmin @2.4 GHz, 10 SPEC2006 programs, most robust core");
+    let _ = write!(out, "{:<12}", "benchmark");
+    for s in &fig.series {
+        let _ = write!(out, "{:>8}", s.chip.to_string());
+    }
+    let _ = writeln!(out);
+    for (i, (name, _)) in fig.series[0].vmins.iter().enumerate() {
+        let _ = write!(out, "{name:<12}");
+        for s in &fig.series {
+            let _ = write!(out, "{:>8}", s.vmins[i].1.as_u32());
+        }
+        let _ = writeln!(out);
+    }
+    for s in &fig.series {
+        if let Some((min, max)) = s.range() {
+            let paper = PAPER_RANGES.iter().find(|(b, _, _)| *b == s.chip).unwrap();
+            let _ = writeln!(
+                out,
+                "{}: measured {}..{} mV (paper {}..{} mV); guaranteed power guardband {:.1}%",
+                s.chip,
+                min.as_u32(),
+                max.as_u32(),
+                paper.1,
+                paper.2,
+                s.guardbands().guaranteed().map(|g| g.power_fraction() * 100.0).unwrap_or(0.0),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_ranges_match_paper_within_5mv() {
+        let fig = run(101);
+        for s in &fig.series {
+            let (min, max) = s.range().unwrap();
+            let (_, lo, hi) = *PAPER_RANGES.iter().find(|(b, _, _)| *b == s.chip).unwrap();
+            assert!(
+                (i64::from(min.as_u32()) - i64::from(lo)).abs() <= 5,
+                "{}: min {min} vs {lo}",
+                s.chip
+            );
+            assert!(
+                (i64::from(max.as_u32()) - i64::from(hi)).abs() <= 5,
+                "{}: max {max} vs {hi}",
+                s.chip
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_chips_and_benchmarks() {
+        let fig = run(102);
+        let text = render(&fig);
+        for chip in ["TTT", "TFF", "TSS"] {
+            assert!(text.contains(chip));
+        }
+        assert!(text.contains("mcf") && text.contains("milc"));
+    }
+}

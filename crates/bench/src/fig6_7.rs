@@ -1,0 +1,119 @@
+//! Fig. 6: EM-virus Vmin vs the NAS suite; Fig. 7: inter-chip process
+//! variation exposed by the virus.
+
+use guardband_core::vmin::{characterize_chip, virus_margins};
+use power_model::units::Millivolts;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use stress_gen::ga::{evolve, GaConfig};
+use workload_sim::nas::NAS_SUITE;
+use xgene_sim::em::EmProbe;
+use xgene_sim::pdn::PdnModel;
+use xgene_sim::sigma::SigmaBin;
+use xgene_sim::workload::WorkloadProfile;
+
+/// The combined Fig. 6/7 dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig67 {
+    /// The GA-evolved virus profile.
+    pub virus: WorkloadProfile,
+    /// Fitness trajectory of the evolution (best EM amplitude per
+    /// generation).
+    pub fitness_trajectory: Vec<f64>,
+    /// NAS Vmins on the TTT chip `(name, vmin)`.
+    pub nas_vmins: Vec<(String, Millivolts)>,
+    /// Virus Vmin per corner `(corner, vmin, margin to nominal in mV)`.
+    pub virus_margins: Vec<(SigmaBin, Millivolts, i64)>,
+}
+
+/// Published Fig. 7 margins in mV.
+pub const PAPER_MARGINS: [(SigmaBin, i64); 3] =
+    [(SigmaBin::Ttt, 60), (SigmaBin::Tff, 20), (SigmaBin::Tss, 10)];
+
+/// Evolves the virus and measures Figs. 6 and 7.
+pub fn run(seed: u64) -> Fig67 {
+    let pdn = PdnModel::xgene2();
+    let mut probe = EmProbe::new(pdn, seed);
+    let mut config = GaConfig::dsn18();
+    config.seed = seed;
+    let evolution = evolve(&config, &mut probe);
+    let virus = evolution.champion_profile(&pdn);
+
+    let nas_profiles: Vec<_> = NAS_SUITE.iter().map(|k| k.profile()).collect();
+    let nas_series = characterize_chip(SigmaBin::Ttt, &nas_profiles, seed);
+    Fig67 {
+        virus: virus.clone(),
+        fitness_trajectory: evolution.best_per_generation,
+        nas_vmins: nas_series.vmins,
+        virus_margins: virus_margins(&virus, seed),
+    }
+}
+
+/// Renders both figures.
+pub fn render(fig: &Fig67) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 6 — Vmin of EM virus vs NAS benchmarks (TTT)");
+    let virus_ttt = fig
+        .virus_margins
+        .iter()
+        .find(|(b, _, _)| *b == SigmaBin::Ttt)
+        .map(|(_, v, _)| *v)
+        .unwrap_or(Millivolts::new(0));
+    let _ = writeln!(out, "{:<12}{:>8}", "em-virus", virus_ttt.as_u32());
+    for (name, v) in &fig.nas_vmins {
+        let _ = writeln!(out, "{name:<12}{:>8}", v.as_u32());
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Fig. 7 — inter-chip variation under the EM virus");
+    for (bin, vmin, margin) in &fig.virus_margins {
+        let paper = PAPER_MARGINS.iter().find(|(b, _)| b == bin).unwrap().1;
+        let _ = writeln!(
+            out,
+            "{bin}: virus Vmin {} mV, margin {margin} mV (paper ~{paper} mV)",
+            vmin.as_u32()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "GA: EM amplitude improved {:.2} -> {:.2} over {} generations",
+        fig.fitness_trajectory.first().copied().unwrap_or(0.0),
+        fig.fitness_trajectory.last().copied().unwrap_or(0.0),
+        fig.fitness_trajectory.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virus_dominates_every_nas_kernel() {
+        let fig = run(7);
+        let virus_ttt = fig
+            .virus_margins
+            .iter()
+            .find(|(b, _, _)| *b == SigmaBin::Ttt)
+            .unwrap()
+            .1;
+        for (name, v) in &fig.nas_vmins {
+            assert!(virus_ttt > *v, "{name}: {v} vs virus {virus_ttt}");
+        }
+    }
+
+    #[test]
+    fn margins_match_fig7() {
+        let fig = run(7);
+        for (bin, paper) in PAPER_MARGINS {
+            let got = fig.virus_margins.iter().find(|(b, _, _)| *b == bin).unwrap().2;
+            assert!((got - paper).abs() <= 12, "{bin}: {got} vs {paper}");
+        }
+    }
+
+    #[test]
+    fn tss_has_essentially_no_margin() {
+        let fig = run(8);
+        let tss = fig.virus_margins.iter().find(|(b, _, _)| *b == SigmaBin::Tss).unwrap();
+        assert!(tss.2 <= 15, "TSS margin {}", tss.2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Fig. 8a: BER of DPBenches and Rodinia applications under relaxed
+//! refresh; Fig. 8b: DRAM power savings from the 35× relaxation.
+
+use char_fw::dramchar::{refresh_savings, rodinia_bers};
+use power_model::units::{Celsius, Milliseconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use workload_sim::dpbench::pattern_bers;
+use workload_sim::rodinia::{self, KernelConfig};
+use xgene_sim::server::XGene2Server;
+use xgene_sim::sigma::SigmaBin;
+
+/// The combined Fig. 8 dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// `(pattern, BER)` of the four DPBenches (Fig. 8a left).
+    pub dpbench_bers: Vec<(String, f64)>,
+    /// `(app, BER, correct)` of the Rodinia applications (Fig. 8a right).
+    pub rodinia_bers: Vec<(String, f64, bool)>,
+    /// `(app, saving)` refresh-relaxation power savings (Fig. 8b).
+    pub savings: Vec<(String, f64)>,
+}
+
+/// Published Fig. 8b extremes.
+pub const PAPER_NW_SAVING: f64 = 0.273;
+/// Published minimum saving (kmeans).
+pub const PAPER_KMEANS_SAVING: f64 = 0.094;
+
+/// Runs the Fig. 8 measurements at 60 °C under the 35× relaxation.
+pub fn run(seed: u64) -> Fig8 {
+    let mut server = XGene2Server::new(SigmaBin::Ttt, seed);
+    server.set_dram_temperature(Celsius::new(60.0));
+    server
+        .set_trefp(Milliseconds::DSN18_RELAXED_TREFP)
+        .expect("relaxed TREFP is valid");
+
+    let dpbench_bers = pattern_bers(server.dram_mut(), seed)
+        .into_iter()
+        .map(|(p, b)| (p.to_string(), b))
+        .collect();
+
+    // Each application runs at its natural footprint and pacing: kmeans
+    // rescans its points many times per refresh period; backprop and srad
+    // revisit per epoch / diffusion step; nw fills once and idles. These
+    // access cadences are what produce the per-application BER spread.
+    let kernels = rodinia::suite();
+    let mut rodinia = Vec::new();
+    for kernel in &kernels {
+        let cfg = match kernel.name() {
+            "kmeans" => KernelConfig { scale: 512, iterations: 10, seed, runtime_ms: 7000.0 },
+            "backprop" => KernelConfig { scale: 224, iterations: 5, seed, runtime_ms: 7000.0 },
+            "srad" => KernelConfig { scale: 288, iterations: 5, seed, runtime_ms: 7000.0 },
+            _ /* nw */ => KernelConfig { scale: 448, iterations: 1, seed, runtime_ms: 7000.0 },
+        };
+        rodinia.extend(rodinia_bers(
+            &mut server,
+            std::slice::from_ref(kernel),
+            &cfg,
+        ));
+    }
+    let savings =
+        refresh_savings(&kernels, Milliseconds::DSN18_RELAXED_TREFP, Watts::new(9.0));
+    Fig8 { dpbench_bers, rodinia_bers: rodinia, savings }
+}
+
+/// Renders both panels.
+pub fn render(fig: &Fig8) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 8a — BER under TREFP 2.283 s @60 °C");
+    for (name, ber) in &fig.dpbench_bers {
+        let _ = writeln!(out, "{name:<18}{ber:>12.3e}  (DPBench)");
+    }
+    for (name, ber, correct) in &fig.rodinia_bers {
+        let _ = writeln!(
+            out,
+            "{name:<18}{ber:>12.3e}  (Rodinia, output {})",
+            if *correct { "correct" } else { "CORRUPTED" }
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Fig. 8b — DRAM power saving from 35x refresh relaxation");
+    for (name, s) in &fig.savings {
+        let paper = match name.as_str() {
+            "nw" => " (paper 27.3%)",
+            "kmeans" => " (paper 9.4%)",
+            _ => "",
+        };
+        let _ = writeln!(out, "{name:<18}{:>7.1}%{paper}", s * 100.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dpbench_dominates_and_apps_stay_correct() {
+        let fig = run(301);
+        let random = fig
+            .dpbench_bers
+            .iter()
+            .find(|(n, _)| n.starts_with("random"))
+            .unwrap()
+            .1;
+        for (name, ber) in &fig.dpbench_bers {
+            assert!(random >= *ber, "{name}");
+        }
+        for (name, ber, correct) in &fig.rodinia_bers {
+            assert!(*correct, "{name} corrupted");
+            assert!(*ber < random, "{name}: {ber} vs random {random}");
+        }
+    }
+
+    #[test]
+    fn fig8b_extremes_match_paper() {
+        let fig = run(302);
+        let get = |n: &str| fig.savings.iter().find(|(k, _)| k == n).unwrap().1;
+        assert!((get("nw") - PAPER_NW_SAVING).abs() < 0.02);
+        assert!((get("kmeans") - PAPER_KMEANS_SAVING).abs() < 0.02);
+    }
+
+    #[test]
+    fn rodinia_ber_spread_is_significant() {
+        // The paper observes up to 2.5× BER variation across the apps.
+        let fig = run(303);
+        let bers: Vec<f64> = fig
+            .rodinia_bers
+            .iter()
+            .map(|(_, b, _)| *b)
+            .filter(|b| *b > 0.0)
+            .collect();
+        if bers.len() >= 2 {
+            let max = bers.iter().cloned().fold(f64::MIN, f64::max);
+            let min = bers.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(max / min > 1.3, "spread {max}/{min}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Fig. 9: per-domain server power at nominal vs the characterized safe
+//! operating point, under the jammer-detector workload.
+
+use guardband_core::safepoint::SafePointPolicy;
+use power_model::server::{OperatingPoint, PowerBreakdown, ServerLoad};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use workload_sim::jammer::{self, JammerConfig, JammerReport};
+use xgene_sim::server::XGene2Server;
+use xgene_sim::sigma::SigmaBin;
+use xgene_sim::topology::CoreId;
+
+/// The Fig. 9 dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9 {
+    /// The derived safe operating point.
+    pub safe_point: OperatingPoint,
+    /// Breakdown at nominal.
+    pub nominal: PowerBreakdown,
+    /// Breakdown at the safe point.
+    pub safe: PowerBreakdown,
+    /// Jammer QoS verification at the safe point.
+    pub jammer: JammerReport,
+    /// Run outcomes at the safe point (all must be usable).
+    pub all_runs_usable: bool,
+}
+
+/// Published headline numbers.
+pub const PAPER_NOMINAL_W: f64 = 31.1;
+/// Published safe-point power.
+pub const PAPER_SAFE_W: f64 = 24.8;
+/// Published total saving.
+pub const PAPER_SAVING: f64 = 0.202;
+
+/// Runs the exploitation experiment end to end.
+pub fn run(seed: u64) -> Fig9 {
+    let mut server = XGene2Server::new(SigmaBin::Ttt, seed);
+    let chip = server.chip().clone();
+    let cores: Vec<CoreId> = CoreId::all().collect();
+    let workloads = vec![jammer::profile(); 8];
+    let safe_point = SafePointPolicy::dsn18().derive(&chip, &workloads, &cores);
+
+    let load = ServerLoad::jammer_detector();
+    let nominal = server.read_power(&load);
+
+    // Apply the safe point through SLIMpro and run the real detector.
+    server.set_pmd_voltage(safe_point.pmd_voltage).expect("safe point is in range");
+    server.set_soc_voltage(safe_point.soc_voltage).expect("safe point is in range");
+    server.set_trefp(safe_point.trefp).expect("safe TREFP is positive");
+    let safe = server.read_power(&load);
+
+    let profile = jammer::profile();
+    let assignments: Vec<_> = cores.iter().map(|c| (*c, &profile)).collect();
+    let results = server.run_many(&assignments);
+    let all_runs_usable = results.iter().all(|r| r.outcome.is_usable());
+    let jammer = jammer::run(&JammerConfig::dsn18());
+
+    Fig9 { safe_point, nominal, safe, jammer, all_runs_usable }
+}
+
+/// Renders the per-domain comparison.
+pub fn render(fig: &Fig9) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 9 — server power: nominal vs safe point ({})", fig.safe_point);
+    let _ = writeln!(
+        out,
+        "{:<10}{:>12}{:>12}{:>10}",
+        "domain", "nominal W", "safe W", "saving"
+    );
+    use power_model::domain::DomainKind;
+    for kind in DomainKind::ALL {
+        let n = fig.nominal.domain(kind);
+        let s = fig.safe.domain(kind);
+        let _ = writeln!(
+            out,
+            "{:<10}{:>12.2}{:>12.2}{:>9.1}%",
+            kind.to_string(),
+            n.as_f64(),
+            s.as_f64(),
+            n.savings_to(s) * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total: {:.1} W -> {:.1} W ({:.1}% savings; paper 31.1 -> 24.8 W, 20.2%)",
+        fig.nominal.total().as_f64(),
+        fig.safe.total().as_f64(),
+        fig.nominal.total().savings_to(fig.safe.total()) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "jammer QoS at safe point: {} (detection rate {:.1}%), runs usable: {}",
+        if fig.jammer.qos_met() { "met" } else { "VIOLATED" },
+        fig.jammer.detection_rate() * 100.0,
+        fig.all_runs_usable
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_model::units::Millivolts;
+
+    #[test]
+    fn reproduces_headline_numbers() {
+        let fig = run(404);
+        assert_eq!(fig.safe_point.pmd_voltage, Millivolts::new(930));
+        assert_eq!(fig.safe_point.soc_voltage, Millivolts::new(920));
+        let total_n = fig.nominal.total().as_f64();
+        let total_s = fig.safe.total().as_f64();
+        assert!((total_n - PAPER_NOMINAL_W).abs() < 0.2, "nominal {total_n}");
+        assert!((total_s - PAPER_SAFE_W).abs() < 0.3, "safe {total_s}");
+        let saving = fig.nominal.total().savings_to(fig.safe.total());
+        assert!((saving - PAPER_SAVING).abs() < 0.012, "saving {saving}");
+    }
+
+    #[test]
+    fn qos_and_correctness_hold_at_safe_point() {
+        let fig = run(405);
+        assert!(fig.jammer.qos_met());
+        assert!(fig.all_runs_usable);
+    }
+
+    #[test]
+    fn per_domain_savings_match_paper() {
+        use power_model::domain::DomainKind;
+        let fig = run(406);
+        let saving = |k| fig.nominal.domain(k).savings_to(fig.safe.domain(k));
+        assert!((saving(DomainKind::Pmd) - 0.203).abs() < 0.012);
+        assert!((saving(DomainKind::Soc) - 0.069).abs() < 0.012);
+        assert!((saving(DomainKind::Dram) - 0.333).abs() < 0.012);
+    }
+}

@@ -1,0 +1,33 @@
+//! Benchmark harness regenerating every table and figure of the DSN'18
+//! guardband paper.
+//!
+//! One module per experiment, each exposing `run(..)` (returning the
+//! dataset) and `render(..)` (the paper-vs-measured text table):
+//!
+//! | Module     | Paper artefact |
+//! |------------|----------------|
+//! | [`fig4`]   | Fig. 4 — SPEC2006 Vmin on TTT/TFF/TSS |
+//! | [`fig5`]   | Fig. 5 — power/performance trade-off |
+//! | [`fig6_7`] | Fig. 6/7 — EM virus vs NAS, inter-chip margins |
+//! | [`table1`] | Table I — unique error locations per bank |
+//! | [`fig8`]   | Fig. 8a/8b — BER and refresh power savings |
+//! | [`fig9`]   | Fig. 9 — jammer-detector exploitation |
+//! | [`extras`] | §IV.C stencil scheduling, §IV.D predictor |
+//! | [`ablation`] | ECC / virus-search / retention-model / governor ablations |
+//! | [`sweep`]  | extension: safe refresh envelope vs temperature |
+//!
+//! The `experiments` binary drives all of them; the `benches/` directory
+//! holds criterion timings of the same entry points.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod extras;
+pub mod sweep;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6_7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

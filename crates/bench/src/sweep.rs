@@ -1,0 +1,106 @@
+//! Extension sweep: how far can refresh be relaxed as DIMM temperature
+//! varies? The paper characterizes two points (50 °C, 60 °C); the model
+//! generalizes them into the full safe-operating envelope a deployment
+//! would consult.
+
+use guardband_core::refresh_relax::{choose_relaxation, expected_failing, RelaxationPolicy};
+use dram_sim::retention::RetentionModel;
+use power_model::domain::DramDomain;
+use power_model::units::{Celsius, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// DIMM temperature.
+    pub temperature_c: f64,
+    /// Largest safe relaxation factor under the policy.
+    pub safe_factor: f64,
+    /// Expected correctable weak cells at that point.
+    pub expected_failing_cells: f64,
+    /// DRAM-rail power saving at the jammer's utilization.
+    pub power_saving: f64,
+}
+
+/// Sweeps 45–70 °C in 5 K steps.
+pub fn run() -> Vec<SweepPoint> {
+    let model = RetentionModel::xgene2_micron();
+    let policy = RelaxationPolicy::dsn18();
+    let dram = DramDomain::xgene2(Watts::new(9.0));
+    (0..=5)
+        .map(|i| {
+            let t = Celsius::new(45.0 + 5.0 * f64::from(i));
+            let choice = choose_relaxation(&model, t, &policy);
+            SweepPoint {
+                temperature_c: t.as_f64(),
+                safe_factor: choice.factor,
+                expected_failing_cells: expected_failing(&model, t, choice.trefp),
+                power_saving: dram.refresh_relaxation_savings(choice.trefp, 0.107),
+            }
+        })
+        .collect()
+}
+
+/// Renders the envelope.
+pub fn render(points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Extension — safe refresh-relaxation envelope vs DIMM temperature");
+    let _ = writeln!(
+        out,
+        "{:>6}{:>14}{:>18}{:>16}",
+        "°C", "safe factor", "expected CEs", "DRAM saving"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>6.0}{:>13.1}x{:>18.0}{:>15.1}%",
+            p.temperature_c,
+            p.safe_factor,
+            p.expected_failing_cells,
+            p.power_saving * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(the paper's 35x point at 60 °C sits on this envelope; hotter DIMMs force tighter refresh)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_tightens_with_temperature() {
+        let points = run();
+        assert_eq!(points.len(), 6);
+        for w in points.windows(2) {
+            assert!(
+                w[1].safe_factor <= w[0].safe_factor,
+                "{} °C {}x vs {} °C {}x",
+                w[0].temperature_c,
+                w[0].safe_factor,
+                w[1].temperature_c,
+                w[1].safe_factor
+            );
+        }
+    }
+
+    #[test]
+    fn paper_point_sits_on_the_envelope() {
+        let points = run();
+        let at60 = points.iter().find(|p| (p.temperature_c - 60.0).abs() < 0.1).unwrap();
+        assert!((at60.safe_factor - 35.67).abs() < 1e-9, "{}", at60.safe_factor);
+        assert!((at60.power_saving - 0.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn hotter_than_characterized_forces_tighter_refresh() {
+        let points = run();
+        let at70 = points.iter().find(|p| (p.temperature_c - 70.0).abs() < 0.1).unwrap();
+        assert!(at70.safe_factor < 35.0, "70 °C allows {}x", at70.safe_factor);
+        assert!(at70.safe_factor >= 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Table I: variation of unique error locations across DRAM banks at
+//! 50 °C and 60 °C under the 35× relaxed refresh period.
+
+use char_fw::dramchar::{run_dram_campaign, DramCampaignConfig, DramCampaignReport};
+use dram_sim::retention::{TABLE1_50C, TABLE1_60C};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use thermal_sim::testbed::ThermalTestbed;
+use power_model::units::Celsius;
+use xgene_sim::server::XGene2Server;
+use xgene_sim::sigma::SigmaBin;
+
+/// Measured Table I reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// The 50 °C campaign.
+    pub at_50c: DramCampaignReport,
+    /// The 60 °C campaign.
+    pub at_60c: DramCampaignReport,
+}
+
+/// Runs both temperature campaigns on fresh (identically seeded) servers.
+pub fn run(seed: u64) -> Table1 {
+    let mut server50 = XGene2Server::new(SigmaBin::Ttt, seed);
+    let mut bed50 = ThermalTestbed::new(Celsius::new(25.0), seed);
+    let at_50c = run_dram_campaign(&mut server50, &mut bed50, &DramCampaignConfig::dsn18_50c());
+    let mut server60 = XGene2Server::new(SigmaBin::Ttt, seed);
+    let mut bed60 = ThermalTestbed::new(Celsius::new(25.0), seed);
+    let at_60c = run_dram_campaign(&mut server60, &mut bed60, &DramCampaignConfig::dsn18_60c());
+    Table1 { at_50c, at_60c }
+}
+
+/// Renders measured vs published rows.
+pub fn render(table: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table I — unique error locations per bank, TREFP 2.283 s (paper values in parentheses)"
+    );
+    let _ = write!(out, "{:<10}", "bank");
+    for b in 1..=8 {
+        let _ = write!(out, "{b:>14}");
+    }
+    let _ = writeln!(out);
+    for (label, report, paper) in [
+        ("50 °C", &table.at_50c, &TABLE1_50C),
+        ("60 °C", &table.at_60c, &TABLE1_60C),
+    ] {
+        let _ = write!(out, "{label:<10}");
+        for (got, expect) in report.unique_per_bank.iter().zip(paper) {
+            let _ = write!(out, "{:>14}", format!("{got} ({expect})"));
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "bank-to-bank spread: {:.0}% @50 °C (paper 41%), {:.0}% @60 °C (paper 16%)",
+        table.at_50c.bank_spread() * 100.0,
+        table.at_60c.bank_spread() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "ECC: {} CEs / {} UEs @50 °C, {} CEs / {} UEs @60 °C (paper: all errors corrected)",
+        table.at_50c.ce_total,
+        table.at_50c.ue_total,
+        table.at_60c.ce_total,
+        table.at_60c.ue_total
+    );
+    let _ = writeln!(
+        out,
+        "thermal regulation deviation: {:.2} °C / {:.2} °C (paper < 1 °C)",
+        table.at_50c.regulation_deviation, table.at_60c.regulation_deviation
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_and_spreads_reproduce() {
+        let t = run(202);
+        let total50: u64 = t.at_50c.unique_per_bank.iter().sum();
+        let total60: u64 = t.at_60c.unique_per_bank.iter().sum();
+        let paper50: f64 = TABLE1_50C.iter().sum();
+        let paper60: f64 = TABLE1_60C.iter().sum();
+        assert!((total50 as f64 - paper50).abs() / paper50 < 0.2, "{total50} vs {paper50}");
+        assert!((total60 as f64 - paper60).abs() / paper60 < 0.1, "{total60} vs {paper60}");
+        assert!(t.at_50c.bank_spread() > t.at_60c.bank_spread());
+        assert_eq!(t.at_50c.ue_total + t.at_60c.ue_total, 0);
+    }
+
+    #[test]
+    fn render_contains_both_rows() {
+        let t = run(203);
+        let text = render(&t);
+        assert!(text.contains("50 °C") && text.contains("60 °C"));
+        assert!(text.contains("(3358)"));
+    }
+}

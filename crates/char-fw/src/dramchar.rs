@@ -1,0 +1,215 @@
+//! DRAM characterization campaigns: thermal testbed + DPBenches + HPC
+//! workloads under relaxed refresh (paper §III.B/IV.C).
+//!
+//! A DRAM campaign regulates the DIMMs to a temperature set point with the
+//! PID testbed, relaxes the refresh period through SLIMpro, then runs
+//! data-pattern benchmarks and the Rodinia applications while collecting
+//! CE/UE reports and unique error locations.
+
+use dram_sim::geometry::BANKS_PER_CHIP;
+use power_model::units::{Celsius, Milliseconds, Watts};
+use serde::{Deserialize, Serialize};
+use thermal_sim::testbed::ThermalTestbed;
+use workload_sim::dpbench;
+use workload_sim::rodinia::{DynKernel, KernelConfig};
+use xgene_sim::server::XGene2Server;
+
+/// Configuration of one DRAM characterization campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramCampaignConfig {
+    /// Regulated DIMM temperature.
+    pub temperature: Celsius,
+    /// Relaxed refresh period.
+    pub trefp: Milliseconds,
+    /// Random-pattern rounds (unique-location coverage).
+    pub random_rounds: u64,
+    /// Wait factor (in refresh periods) between fill and scrub.
+    pub wait_factor: f64,
+}
+
+impl DramCampaignConfig {
+    /// The paper's 60 °C / 2.283 s configuration.
+    pub fn dsn18_60c() -> Self {
+        DramCampaignConfig {
+            temperature: Celsius::new(60.0),
+            trefp: Milliseconds::DSN18_RELAXED_TREFP,
+            random_rounds: 6,
+            wait_factor: 1.5,
+        }
+    }
+
+    /// The paper's 50 °C configuration.
+    pub fn dsn18_50c() -> Self {
+        DramCampaignConfig { temperature: Celsius::new(50.0), ..Self::dsn18_60c() }
+    }
+}
+
+/// Result of one DRAM campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramCampaignReport {
+    /// The regulated temperature actually reached (true plant value).
+    pub settled_temperature: Celsius,
+    /// Worst regulation deviation during the campaign window, °C.
+    pub regulation_deviation: f64,
+    /// Unique error locations per bank (the Table I row).
+    pub unique_per_bank: [u64; BANKS_PER_CHIP],
+    /// Total corrected errors.
+    pub ce_total: u64,
+    /// Total uncorrectable errors.
+    pub ue_total: u64,
+    /// Per-pattern BER of the final verification round.
+    pub pattern_bers: Vec<(String, f64)>,
+}
+
+impl DramCampaignReport {
+    /// Bank-to-bank spread `(max − min) / min` of unique error locations.
+    pub fn bank_spread(&self) -> f64 {
+        let max = *self.unique_per_bank.iter().max().unwrap_or(&0) as f64;
+        let min = *self.unique_per_bank.iter().min().unwrap_or(&0) as f64;
+        if min == 0.0 {
+            0.0
+        } else {
+            (max - min) / min
+        }
+    }
+}
+
+/// Runs a full DRAM characterization campaign: thermal settling, refresh
+/// relaxation, DPBench rounds, error accounting.
+pub fn run_dram_campaign(
+    server: &mut XGene2Server,
+    testbed: &mut ThermalTestbed,
+    config: &DramCampaignConfig,
+) -> DramCampaignReport {
+    // Regulate all DIMMs to the set point and verify the 1 °C claim.
+    testbed.set_all_targets(config.temperature);
+    testbed.run(3600.0);
+    let regulation_deviation = testbed.max_deviation_over(600.0);
+    let settled = testbed.temperature(thermal_sim::testbed::ChannelId::new(0, 0));
+    server.set_dram_temperature(settled);
+    server
+        .set_trefp(config.trefp)
+        .expect("campaign refresh periods are positive");
+
+    let campaign =
+        dpbench::run_campaign(server.dram_mut(), config.random_rounds, config.wait_factor);
+    let pattern_bers = dpbench::pattern_bers(server.dram_mut(), 0xBEEF)
+        .into_iter()
+        .map(|(p, ber)| (p.to_string(), ber))
+        .collect();
+
+    DramCampaignReport {
+        settled_temperature: settled,
+        regulation_deviation,
+        unique_per_bank: campaign.unique_per_bank,
+        ce_total: campaign.ce_total,
+        ue_total: campaign.ue_total,
+        pattern_bers,
+    }
+}
+
+/// BER and correctness of the four Rodinia applications under the
+/// campaign's conditions (Fig. 8a), as `(name, ber, correct)`.
+pub fn rodinia_bers(
+    server: &mut XGene2Server,
+    kernels: &[Box<dyn DynKernel>],
+    cfg: &KernelConfig,
+) -> Vec<(String, f64, bool)> {
+    kernels
+        .iter()
+        .map(|k| {
+            let report = k.characterize_dyn(server.dram_mut(), cfg);
+            (report.name.clone(), report.ber(), report.is_correct())
+        })
+        .collect()
+}
+
+/// DRAM-rail power savings from refresh relaxation for a set of workloads
+/// (Fig. 8b), as `(name, fractional saving)`.
+pub fn refresh_savings(
+    kernels: &[Box<dyn DynKernel>],
+    trefp: Milliseconds,
+    reference_power: Watts,
+) -> Vec<(String, f64)> {
+    let dram = power_model::domain::DramDomain::xgene2(reference_power);
+    kernels
+        .iter()
+        .map(|k| {
+            let s = dram.refresh_relaxation_savings(trefp, k.bandwidth_utilization());
+            (k.name().to_owned(), s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::retention::{TABLE1_50C, TABLE1_60C};
+    use workload_sim::rodinia;
+    use xgene_sim::sigma::SigmaBin;
+
+    #[test]
+    fn campaign_at_60c_reproduces_table1_row() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 23);
+        let mut testbed = ThermalTestbed::new(Celsius::new(25.0), 23);
+        let report =
+            run_dram_campaign(&mut server, &mut testbed, &DramCampaignConfig::dsn18_60c());
+        assert!(report.regulation_deviation < 1.0, "{}", report.regulation_deviation);
+        assert_eq!(report.ue_total, 0);
+        let total: u64 = report.unique_per_bank.iter().sum();
+        let expect: f64 = TABLE1_60C.iter().sum();
+        assert!(
+            (total as f64 - expect).abs() / expect < 0.10,
+            "total {total} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn bank_spread_compresses_from_50c_to_60c() {
+        let mut s50 = XGene2Server::new(SigmaBin::Ttt, 24);
+        let mut t50 = ThermalTestbed::new(Celsius::new(25.0), 24);
+        let r50 = run_dram_campaign(&mut s50, &mut t50, &DramCampaignConfig::dsn18_50c());
+        let mut s60 = XGene2Server::new(SigmaBin::Ttt, 24);
+        let mut t60 = ThermalTestbed::new(Celsius::new(25.0), 24);
+        let r60 = run_dram_campaign(&mut s60, &mut t60, &DramCampaignConfig::dsn18_60c());
+        assert!(r50.bank_spread() > r60.bank_spread(), "{} vs {}", r50.bank_spread(), r60.bank_spread());
+        let total50: u64 = r50.unique_per_bank.iter().sum();
+        let expect50: f64 = TABLE1_50C.iter().sum();
+        assert!((total50 as f64 - expect50).abs() / expect50 < 0.25);
+    }
+
+    #[test]
+    fn rodinia_ber_below_random_dpbench() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 25);
+        server.set_dram_temperature(Celsius::new(60.0));
+        server.set_trefp(Milliseconds::DSN18_RELAXED_TREFP).unwrap();
+        let random_ber = dpbench::pattern_bers(server.dram_mut(), 5)
+            .into_iter()
+            .find(|(p, _)| matches!(p, dram_sim::patterns::DataPattern::Random { .. }))
+            .unwrap()
+            .1;
+        let kernels = rodinia::suite();
+        let cfg = KernelConfig { scale: 96, iterations: 6, seed: 9, runtime_ms: 5000.0 };
+        let results = rodinia_bers(&mut server, &kernels, &cfg);
+        for (name, ber, correct) in results {
+            assert!(correct, "{name} corrupted");
+            assert!(ber < random_ber, "{name}: {ber} vs random {random_ber}");
+        }
+    }
+
+    #[test]
+    fn fig8b_savings_ordering_and_extremes() {
+        let kernels = rodinia::suite();
+        let savings = refresh_savings(
+            &kernels,
+            Milliseconds::DSN18_RELAXED_TREFP,
+            Watts::new(9.0),
+        );
+        let get = |n: &str| savings.iter().find(|(k, _)| k == n).unwrap().1;
+        assert!((get("nw") - 0.273).abs() < 0.02, "nw {}", get("nw"));
+        assert!((get("kmeans") - 0.094).abs() < 0.02, "kmeans {}", get("kmeans"));
+        assert!(get("nw") > get("srad"));
+        assert!(get("srad") > get("backprop"));
+        assert!(get("backprop") > get("kmeans"));
+    }
+}

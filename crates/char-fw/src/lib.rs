@@ -1,0 +1,56 @@
+//! The automated characterization framework of the DSN'18 guardband study.
+//!
+//! Paper Fig. 2 describes a three-phase framework — initialization,
+//! execution, parsing — that finds each component's limits under scaled
+//! voltage/frequency/refresh conditions and classifies every run's effect:
+//!
+//! * [`setup`] — characterization setups, voltage schedules, safe-outcome
+//!   policies (initialization phase);
+//! * [`runner`] — the execution loop with watchdog recovery and per-run
+//!   records, including the Vmin search (execution phase);
+//! * [`report`] — classification tables and the final CSVs (parsing
+//!   phase);
+//! * [`dramchar`] — DRAM campaigns combining the PID thermal testbed,
+//!   refresh relaxation and DPBench/Rodinia workloads;
+//! * [`frequency`] — Fmax campaigns (the DVFS dual of the Vmin search);
+//! * [`multiprocess`] — rail-Vmin campaigns for simultaneous instances
+//!   (the single-process → Fig. 5 mix bridge);
+//! * [`soak`] — long-duration safe-point qualification ("without any
+//!   disruption").
+//!
+//! # Examples
+//!
+//! Characterize one benchmark's Vmin on the most robust core:
+//!
+//! ```no_run
+//! use char_fw::runner::CampaignRunner;
+//! use char_fw::setup::VminCampaign;
+//! use workload_sim::spec::by_name;
+//! use xgene_sim::server::XGene2Server;
+//! use xgene_sim::sigma::SigmaBin;
+//!
+//! let mut server = XGene2Server::new(SigmaBin::Ttt, 1);
+//! let core = server.chip().most_robust_core();
+//! let campaign = VminCampaign::dsn18(vec![by_name("mcf").unwrap().profile()], vec![core]);
+//! let result = CampaignRunner::new(&mut server).run(&campaign);
+//! println!("mcf Vmin: {:?}", result.vmin("mcf", core));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dramchar;
+pub mod frequency;
+pub mod multiprocess;
+pub mod report;
+pub mod runner;
+pub mod setup;
+pub mod soak;
+
+pub use dramchar::{run_dram_campaign, DramCampaignConfig, DramCampaignReport};
+pub use frequency::{run_fmax_campaign, FmaxCampaign, FmaxResult};
+pub use multiprocess::{run_multiprocess_campaign, MultiProcessCampaign, RailVminResult};
+pub use report::{classify, records_to_csv, vmins_to_csv, OutcomeCounts};
+pub use runner::{CampaignResult, CampaignRunner, RunRecord, VminResult};
+pub use soak::{soak, SoakConfig, SoakReport};
+pub use setup::{SafePolicy, Setup, VminCampaign};

@@ -1,0 +1,148 @@
+//! Multi-process characterization (§III: "single-process and
+//! multi-process setups").
+//!
+//! Running N program instances simultaneously raises the shared rail's
+//! Vmin — both because more cores switch at once and because the weakest
+//! loaded core sets the requirement. This campaign measures the rail Vmin
+//! as a function of instance count, which is what connects the
+//! single-program Fig. 4 numbers to the Fig. 5 mix voltage (915 mV for
+//! 8 instances on TTT).
+
+use crate::setup::SafePolicy;
+use power_model::units::{Megahertz, Millivolts};
+use serde::{Deserialize, Serialize};
+use xgene_sim::server::XGene2Server;
+use xgene_sim::topology::CoreId;
+use xgene_sim::workload::WorkloadProfile;
+
+/// A multi-process rail-Vmin campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiProcessCampaign {
+    /// One workload per instance, pinned to cores 0..N in order.
+    pub workloads: Vec<WorkloadProfile>,
+    /// Starting voltage.
+    pub start: Millivolts,
+    /// Search floor.
+    pub floor: Millivolts,
+    /// Step in mV.
+    pub step_mv: u32,
+    /// Repetitions per setup.
+    pub repetitions: u32,
+    /// Safe-outcome policy.
+    pub policy: SafePolicy,
+}
+
+impl MultiProcessCampaign {
+    /// The standard shape: 5 mV steps from nominal, 10 repetitions.
+    pub fn dsn18(workloads: Vec<WorkloadProfile>) -> Self {
+        MultiProcessCampaign {
+            workloads,
+            start: Millivolts::XGENE2_NOMINAL,
+            floor: Millivolts::new(700),
+            step_mv: 5,
+            repetitions: 10,
+            policy: SafePolicy::AllowCorrected,
+        }
+    }
+}
+
+/// Result: the lowest rail voltage at which all instances stayed safe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RailVminResult {
+    /// Number of simultaneous instances.
+    pub instances: usize,
+    /// The measured rail Vmin, if any setup was safe.
+    pub rail_vmin: Option<Millivolts>,
+}
+
+/// Runs the campaign: walks the rail down until any instance fails.
+///
+/// # Panics
+///
+/// Panics if the campaign has no workloads or more than 8.
+pub fn run_multiprocess_campaign(
+    server: &mut XGene2Server,
+    campaign: &MultiProcessCampaign,
+) -> RailVminResult {
+    let n = campaign.workloads.len();
+    assert!((1..=8).contains(&n), "1..=8 instances");
+    let cores: Vec<CoreId> = (0..n as u8).map(CoreId::new).collect();
+    let mut last_safe = None;
+    let mut v = campaign.start;
+    while v >= campaign.floor {
+        let mut all_safe = true;
+        'reps: for _ in 0..campaign.repetitions {
+            server.set_pmd_voltage(v).expect("schedule stays in range");
+            for (core, _) in cores.iter().zip(&campaign.workloads) {
+                server
+                    .set_pmd_frequency(core.pmd(), Megahertz::XGENE2_NOMINAL)
+                    .expect("nominal frequency is a DVFS step");
+            }
+            let assignments: Vec<(CoreId, &WorkloadProfile)> =
+                cores.iter().copied().zip(campaign.workloads.iter()).collect();
+            let results = server.run_many(&assignments);
+            if results.iter().any(|r| !campaign.policy.accepts(r.outcome)) {
+                all_safe = false;
+                break 'reps;
+            }
+        }
+        if all_safe {
+            last_safe = Some(v);
+        } else {
+            break;
+        }
+        v = v.step_down(campaign.step_mv);
+    }
+    RailVminResult { instances: n, rail_vmin: last_safe }
+}
+
+/// The rail-Vmin scaling curve: instance counts 1..=8 of the same
+/// workload replicated.
+pub fn rail_scaling(
+    server_seed: u64,
+    corner: xgene_sim::sigma::SigmaBin,
+    workload: &WorkloadProfile,
+) -> Vec<RailVminResult> {
+    (1..=8)
+        .map(|n| {
+            let mut server = XGene2Server::new(corner, server_seed);
+            let campaign = MultiProcessCampaign::dsn18(vec![workload.clone(); n]);
+            run_multiprocess_campaign(&mut server, &campaign)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload_sim::spec::{fig5_mix, by_name};
+    use xgene_sim::sigma::SigmaBin;
+
+    #[test]
+    fn rail_vmin_rises_with_instance_count() {
+        let w = by_name("milc").unwrap().profile();
+        let curve = rail_scaling(91, SigmaBin::Ttt, &w);
+        assert_eq!(curve.len(), 8);
+        let vmins: Vec<u32> =
+            curve.iter().map(|r| r.rail_vmin.expect("safe point exists").as_u32()).collect();
+        for w in vmins.windows(2) {
+            assert!(w[1] >= w[0], "{vmins:?}");
+        }
+        assert!(vmins[7] > vmins[0], "{vmins:?}");
+    }
+
+    #[test]
+    fn eight_instance_mix_needs_about_915mv_on_ttt() {
+        // The Fig. 5 first rung, measured through the framework this time.
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 92);
+        let mix: Vec<WorkloadProfile> = fig5_mix().iter().map(|b| b.profile()).collect();
+        // Worst-case placement: heaviest instance on the weakest core —
+        // replicate the paper by pinning in droop order onto cores 0..8.
+        let mut ordered = mix.clone();
+        ordered.sort_by(|a, b| b.droop_score().total_cmp(&a.droop_score()));
+        let campaign = MultiProcessCampaign::dsn18(ordered);
+        let result = run_multiprocess_campaign(&mut server, &campaign);
+        let v = result.rail_vmin.expect("the mix has a safe point").as_u32();
+        assert!((910..=925).contains(&v), "rail Vmin {v}");
+    }
+}

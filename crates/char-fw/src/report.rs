@@ -1,0 +1,154 @@
+//! The parsing phase: raw run records → fine-grained classification and
+//! the final CSV the framework emits.
+
+use crate::runner::{CampaignResult, RunRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use xgene_sim::fault::RunOutcome;
+
+/// Aggregate outcome counts of one group of runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Correct completions.
+    pub correct: u64,
+    /// Runs with corrected errors.
+    pub ce: u64,
+    /// Runs with uncorrectable errors.
+    pub ue: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Crashes / hangs.
+    pub crash: u64,
+}
+
+impl OutcomeCounts {
+    /// Adds one outcome.
+    pub fn record(&mut self, outcome: RunOutcome) {
+        match outcome {
+            RunOutcome::Correct => self.correct += 1,
+            RunOutcome::CorrectableError => self.ce += 1,
+            RunOutcome::UncorrectableError => self.ue += 1,
+            RunOutcome::SilentDataCorruption => self.sdc += 1,
+            RunOutcome::Crash => self.crash += 1,
+        }
+    }
+
+    /// Total runs.
+    pub fn total(&self) -> u64 {
+        self.correct + self.ce + self.ue + self.sdc + self.crash
+    }
+}
+
+/// Per-(benchmark, voltage) classification table.
+pub fn classify(records: &[RunRecord]) -> BTreeMap<(String, u32), OutcomeCounts> {
+    let mut table: BTreeMap<(String, u32), OutcomeCounts> = BTreeMap::new();
+    for r in records {
+        table
+            .entry((r.benchmark.clone(), r.setup.voltage.as_u32()))
+            .or_default()
+            .record(r.outcome);
+    }
+    table
+}
+
+/// Renders the raw records as the framework's final CSV.
+pub fn records_to_csv(records: &[RunRecord]) -> String {
+    let mut csv = String::from("benchmark,core,voltage_mv,frequency_mhz,repetition,outcome,watchdog_reset\n");
+    for r in records {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{}",
+            r.benchmark,
+            r.setup.core.index(),
+            r.setup.voltage.as_u32(),
+            r.setup.frequency.as_u32(),
+            r.repetition,
+            r.outcome,
+            r.watchdog_reset
+        );
+    }
+    csv
+}
+
+/// Renders the per-(benchmark, core) Vmin summary as CSV.
+pub fn vmins_to_csv(result: &CampaignResult) -> String {
+    let mut csv = String::from("benchmark,core,vmin_mv,first_failure_mv\n");
+    for v in &result.vmins {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{}",
+            v.benchmark,
+            v.core.index(),
+            v.vmin.map(|m| m.as_u32().to_string()).unwrap_or_else(|| "-".into()),
+            v.first_failure
+                .map(|m| m.as_u32().to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::Setup;
+    use power_model::units::{Megahertz, Millivolts};
+    use xgene_sim::topology::CoreId;
+
+    fn record(bench: &str, mv: u32, outcome: RunOutcome) -> RunRecord {
+        RunRecord {
+            benchmark: bench.into(),
+            setup: Setup {
+                voltage: Millivolts::new(mv),
+                frequency: Megahertz::XGENE2_NOMINAL,
+                core: CoreId::new(0),
+            },
+            repetition: 0,
+            outcome,
+            watchdog_reset: outcome.needs_reset(),
+        }
+    }
+
+    #[test]
+    fn classification_groups_by_benchmark_and_voltage() {
+        let records = vec![
+            record("mcf", 900, RunOutcome::Correct),
+            record("mcf", 900, RunOutcome::CorrectableError),
+            record("mcf", 895, RunOutcome::Crash),
+            record("milc", 900, RunOutcome::Correct),
+        ];
+        let table = classify(&records);
+        let mcf_900 = table.get(&("mcf".into(), 900)).unwrap();
+        assert_eq!(mcf_900.correct, 1);
+        assert_eq!(mcf_900.ce, 1);
+        assert_eq!(mcf_900.total(), 2);
+        assert_eq!(table.get(&("mcf".into(), 895)).unwrap().crash, 1);
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let records = vec![record("mcf", 900, RunOutcome::Correct)];
+        let csv = records_to_csv(&records);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("benchmark,core,voltage_mv"));
+        assert_eq!(lines.next().unwrap(), "mcf,0,900,2400,0,correct,false");
+    }
+
+    #[test]
+    fn vmin_csv_handles_missing_values() {
+        let result = CampaignResult {
+            records: vec![],
+            vmins: vec![crate::runner::VminResult {
+                benchmark: "mcf".into(),
+                core: CoreId::new(3),
+                vmin: Some(Millivolts::new(860)),
+                first_failure: None,
+            }],
+            watchdog_resets: 0,
+        };
+        let csv = vmins_to_csv(&result);
+        assert!(csv.contains("mcf,3,860,-"));
+    }
+}

@@ -1,0 +1,275 @@
+//! The execution phase: run campaigns against the server with watchdog
+//! recovery, producing raw run records.
+//!
+//! The framework's execution loop (paper Fig. 2) drives each setup,
+//! monitors for hangs/crashes through a watchdog, power-cycles the board
+//! when needed, restores the characterization setup after reboot (the
+//! firmware boots at nominal V/F), and logs everything for the parsing
+//! phase.
+
+use crate::setup::{SafePolicy, Setup, VminCampaign};
+use power_model::units::Millivolts;
+use serde::{Deserialize, Serialize};
+use xgene_sim::fault::RunOutcome;
+use xgene_sim::server::XGene2Server;
+use xgene_sim::topology::CoreId;
+use xgene_sim::workload::WorkloadProfile;
+
+/// One raw run record, as written to the framework's logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The setup of this run.
+    pub setup: Setup,
+    /// Repetition index within the setup.
+    pub repetition: u32,
+    /// Classified outcome.
+    pub outcome: RunOutcome,
+    /// Whether the watchdog had to power-cycle the board.
+    pub watchdog_reset: bool,
+}
+
+/// Vmin search result for one (benchmark, core).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VminResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Core under test.
+    pub core: CoreId,
+    /// Lowest voltage at which every repetition was safe, if any setup
+    /// was safe at all.
+    pub vmin: Option<Millivolts>,
+    /// First (highest) voltage at which a repetition failed.
+    pub first_failure: Option<Millivolts>,
+}
+
+/// Result of a whole campaign.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Every raw record in execution order.
+    pub records: Vec<RunRecord>,
+    /// Per-(benchmark, core) Vmin results.
+    pub vmins: Vec<VminResult>,
+    /// Total watchdog resets during the campaign.
+    pub watchdog_resets: u64,
+}
+
+impl CampaignResult {
+    /// Looks up the Vmin for a benchmark on a core.
+    pub fn vmin(&self, benchmark: &str, core: CoreId) -> Option<Millivolts> {
+        self.vmins
+            .iter()
+            .find(|r| r.benchmark == benchmark && r.core == core)
+            .and_then(|r| r.vmin)
+    }
+
+    /// The most robust core for a benchmark (lowest Vmin).
+    pub fn most_robust_core(&self, benchmark: &str) -> Option<(CoreId, Millivolts)> {
+        self.vmins
+            .iter()
+            .filter(|r| r.benchmark == benchmark)
+            .filter_map(|r| r.vmin.map(|v| (r.core, v)))
+            .min_by_key(|(_, v)| *v)
+    }
+}
+
+/// Runs campaigns against a server, owning watchdog bookkeeping.
+#[derive(Debug)]
+pub struct CampaignRunner<'a> {
+    server: &'a mut XGene2Server,
+}
+
+impl<'a> CampaignRunner<'a> {
+    /// Creates a runner over a booted server.
+    pub fn new(server: &'a mut XGene2Server) -> Self {
+        CampaignRunner { server }
+    }
+
+    /// Executes the campaign: for every (benchmark, core), walk the
+    /// voltage schedule downward, run `repetitions` runs per setup, and
+    /// stop the walk at the first unsafe setup (the runs below it would
+    /// only crash the board repeatedly).
+    pub fn run(&mut self, campaign: &VminCampaign) -> CampaignResult {
+        let mut result = CampaignResult::default();
+        let resets_before = self.server.reset_count();
+        for benchmark in &campaign.benchmarks {
+            for &core in &campaign.cores {
+                let vmin = self.search_vmin(campaign, benchmark, core, &mut result);
+                result.vmins.push(vmin);
+            }
+        }
+        result.watchdog_resets = self.server.reset_count() - resets_before;
+        result
+    }
+
+    fn search_vmin(
+        &mut self,
+        campaign: &VminCampaign,
+        benchmark: &WorkloadProfile,
+        core: CoreId,
+        result: &mut CampaignResult,
+    ) -> VminResult {
+        let mut last_safe: Option<Millivolts> = None;
+        let mut first_failure: Option<Millivolts> = None;
+        'schedule: for voltage in campaign.voltage_schedule() {
+            let setup = Setup { voltage, frequency: campaign.frequency, core };
+            let mut all_safe = true;
+            for repetition in 0..campaign.repetitions {
+                let outcome = self.run_once(&setup, benchmark);
+                let watchdog_reset = outcome.needs_reset();
+                result.records.push(RunRecord {
+                    benchmark: benchmark.name().to_owned(),
+                    setup,
+                    repetition,
+                    outcome,
+                    watchdog_reset,
+                });
+                if !campaign.policy.accepts(outcome) {
+                    all_safe = false;
+                    // No point repeating a setup that already failed.
+                    break;
+                }
+            }
+            if all_safe {
+                last_safe = Some(voltage);
+            } else {
+                first_failure = Some(voltage);
+                break 'schedule;
+            }
+        }
+        VminResult {
+            benchmark: benchmark.name().to_owned(),
+            core,
+            vmin: last_safe,
+            first_failure,
+        }
+    }
+
+    /// Applies a setup and runs the benchmark once. Restores the setup if
+    /// the watchdog had to power-cycle the board mid-run.
+    fn run_once(&mut self, setup: &Setup, benchmark: &WorkloadProfile) -> RunOutcome {
+        // (Re-)apply the characterization setup; the board may have
+        // rebooted at nominal after a previous crash.
+        self.server
+            .set_pmd_voltage(setup.voltage)
+            .expect("campaign schedules stay within regulator range");
+        self.server
+            .set_pmd_frequency(setup.core.pmd(), setup.frequency)
+            .expect("campaign frequencies are valid DVFS steps");
+        self.server.run_on_core(setup.core, benchmark).outcome
+    }
+}
+
+/// Policy helper: the classification the parsing phase attaches to a whole
+/// setup from its repetition outcomes.
+pub fn classify_setup(outcomes: &[RunOutcome], policy: SafePolicy) -> RunOutcome {
+    let mut worst = RunOutcome::Correct;
+    for &o in outcomes {
+        let severity = |x: RunOutcome| match x {
+            RunOutcome::Correct => 0,
+            RunOutcome::CorrectableError => 1,
+            RunOutcome::UncorrectableError => 2,
+            RunOutcome::SilentDataCorruption => 3,
+            RunOutcome::Crash => 4,
+        };
+        if severity(o) > severity(worst) {
+            worst = o;
+        }
+    }
+    let _ = policy;
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_model::units::Megahertz;
+    use workload_sim::spec::SPEC_SUITE;
+    use xgene_sim::sigma::SigmaBin;
+
+    fn campaign_for(names: &[&str], cores: Vec<CoreId>) -> VminCampaign {
+        let benchmarks = SPEC_SUITE
+            .iter()
+            .filter(|b| names.contains(&b.name))
+            .map(|b| b.profile())
+            .collect();
+        VminCampaign::dsn18(benchmarks, cores)
+    }
+
+    #[test]
+    fn vmin_search_finds_model_vmin() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 17);
+        let chip = server.chip().clone();
+        let core = chip.most_robust_core();
+        let campaign = campaign_for(&["mcf"], vec![core]);
+        let mut runner = CampaignRunner::new(&mut server);
+        let result = runner.run(&campaign);
+        let found = result.vmin("mcf", core).expect("campaign found a Vmin");
+        let model = chip.vmin(
+            core,
+            &SPEC_SUITE.iter().find(|b| b.name == "mcf").unwrap().profile(),
+            Megahertz::XGENE2_NOMINAL,
+        );
+        // The campaign's safe Vmin sits within one marginal band (the CE
+        // zone is probabilistic) above the model Vmin.
+        let delta = i64::from(found.as_u32()) - i64::from(model.as_u32());
+        assert!((0..=10).contains(&delta), "found {found}, model {model}");
+    }
+
+    #[test]
+    fn campaign_records_cover_the_walk() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 18);
+        let core = server.chip().most_robust_core();
+        let campaign = campaign_for(&["milc"], vec![core]);
+        let mut runner = CampaignRunner::new(&mut server);
+        let result = runner.run(&campaign);
+        assert!(!result.records.is_empty());
+        // Records walk downward in voltage.
+        let voltages: Vec<u32> =
+            result.records.iter().map(|r| r.setup.voltage.as_u32()).collect();
+        assert!(voltages.windows(2).all(|w| w[1] <= w[0]));
+        // The walk stopped at a failure.
+        let last = result.records.last().unwrap();
+        assert!(!campaign.policy.accepts(last.outcome));
+    }
+
+    #[test]
+    fn watchdog_recovers_from_crashes() {
+        let mut server = XGene2Server::new(SigmaBin::Tss, 19);
+        let core = server.chip().weakest_core();
+        // Coarse 150 mV steps jump straight from safe territory deep into
+        // the crash zone, so the first failure is a guaranteed lockup.
+        let mut campaign = campaign_for(&["milc", "mcf"], vec![core]);
+        campaign.step_mv = 150;
+        let mut runner = CampaignRunner::new(&mut server);
+        let result = runner.run(&campaign);
+        // Walking to the floor guarantees crashes; the campaign still
+        // completes both benchmarks.
+        assert!(result.watchdog_resets >= 1);
+        assert_eq!(result.vmins.len(), 2);
+        assert!(result.vmins.iter().all(|v| v.vmin.is_some()));
+    }
+
+    #[test]
+    fn most_robust_core_matches_chip_profile() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 20);
+        let chip = server.chip().clone();
+        let cores: Vec<CoreId> = CoreId::all().collect();
+        let campaign = campaign_for(&["namd"], cores);
+        let mut runner = CampaignRunner::new(&mut server);
+        let result = runner.run(&campaign);
+        let (best_core, _) = result.most_robust_core("namd").unwrap();
+        assert_eq!(best_core, chip.most_robust_core());
+    }
+
+    #[test]
+    fn classify_setup_takes_worst() {
+        use RunOutcome::*;
+        assert_eq!(
+            classify_setup(&[Correct, CorrectableError, Crash], SafePolicy::AllowCorrected),
+            Crash
+        );
+        assert_eq!(classify_setup(&[Correct], SafePolicy::StrictCorrect), Correct);
+    }
+}

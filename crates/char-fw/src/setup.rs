@@ -1,0 +1,123 @@
+//! Characterization setups and campaign definitions.
+//!
+//! A *setup* is one (voltage, frequency, cores) configuration; a
+//! *campaign* is the set of runs of one benchmark across setups (paper
+//! §III). The initialization phase of the framework turns a benchmark
+//! list plus a voltage schedule into campaigns.
+
+use power_model::units::{Megahertz, Millivolts};
+use serde::{Deserialize, Serialize};
+use xgene_sim::topology::CoreId;
+use xgene_sim::workload::WorkloadProfile;
+
+/// One characterization setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Setup {
+    /// PMD-rail voltage of this run.
+    pub voltage: Millivolts,
+    /// Core frequency.
+    pub frequency: Megahertz,
+    /// Core under test.
+    pub core: CoreId,
+}
+
+/// Policy deciding which run outcomes count as "safe" when searching for
+/// Vmin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SafePolicy {
+    /// Only fully correct runs are safe (conservative).
+    StrictCorrect,
+    /// Corrected errors are tolerated — the hardware masked them and the
+    /// output was correct (the paper's operational definition: "without
+    /// any disruption").
+    #[default]
+    AllowCorrected,
+}
+
+impl SafePolicy {
+    /// Whether `outcome` is acceptable under this policy.
+    pub fn accepts(self, outcome: xgene_sim::fault::RunOutcome) -> bool {
+        use xgene_sim::fault::RunOutcome;
+        match self {
+            SafePolicy::StrictCorrect => outcome == RunOutcome::Correct,
+            SafePolicy::AllowCorrected => outcome.is_usable(),
+        }
+    }
+}
+
+/// An undervolting campaign for a list of benchmarks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VminCampaign {
+    /// Benchmarks to characterize.
+    pub benchmarks: Vec<WorkloadProfile>,
+    /// Cores to characterize individually.
+    pub cores: Vec<CoreId>,
+    /// Frequency of the runs.
+    pub frequency: Megahertz,
+    /// Starting (highest) voltage.
+    pub start: Millivolts,
+    /// Search floor — the campaign never goes below this.
+    pub floor: Millivolts,
+    /// Voltage decrement per step, in mV.
+    pub step_mv: u32,
+    /// Repeated runs per setup (the paper repeats each experiment 10×).
+    pub repetitions: u32,
+    /// What counts as safe.
+    pub policy: SafePolicy,
+}
+
+impl VminCampaign {
+    /// The paper's campaign shape: from nominal down in 5 mV steps with 10
+    /// repetitions per setup at 2.4 GHz.
+    pub fn dsn18(benchmarks: Vec<WorkloadProfile>, cores: Vec<CoreId>) -> Self {
+        VminCampaign {
+            benchmarks,
+            cores,
+            frequency: Megahertz::XGENE2_NOMINAL,
+            start: Millivolts::XGENE2_NOMINAL,
+            floor: Millivolts::new(700),
+            step_mv: 5,
+            repetitions: 10,
+            policy: SafePolicy::AllowCorrected,
+        }
+    }
+
+    /// The descending voltage schedule of this campaign.
+    pub fn voltage_schedule(&self) -> Vec<Millivolts> {
+        let mut schedule = Vec::new();
+        let mut v = self.start;
+        while v >= self.floor && v.as_u32() > 0 {
+            schedule.push(v);
+            v = v.step_down(self.step_mv);
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xgene_sim::fault::RunOutcome;
+
+    #[test]
+    fn voltage_schedule_descends_to_floor() {
+        let campaign = VminCampaign::dsn18(vec![], vec![]);
+        let schedule = campaign.voltage_schedule();
+        assert_eq!(schedule.first().copied(), Some(Millivolts::new(980)));
+        assert_eq!(schedule.last().copied(), Some(Millivolts::new(700)));
+        for w in schedule.windows(2) {
+            assert_eq!(w[0].as_u32() - w[1].as_u32(), 5);
+        }
+    }
+
+    #[test]
+    fn policies_differ_on_corrected_errors() {
+        assert!(SafePolicy::AllowCorrected.accepts(RunOutcome::CorrectableError));
+        assert!(!SafePolicy::StrictCorrect.accepts(RunOutcome::CorrectableError));
+        for policy in [SafePolicy::StrictCorrect, SafePolicy::AllowCorrected] {
+            assert!(policy.accepts(RunOutcome::Correct));
+            assert!(!policy.accepts(RunOutcome::SilentDataCorruption));
+            assert!(!policy.accepts(RunOutcome::Crash));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Safe-point soak testing: the pre-deployment validation that an
+//! operating point chosen from characterization really runs "without any
+//! disruption" (§IV.D) over long, mixed-workload operation.
+//!
+//! A soak drives the server at the candidate point through many epochs of
+//! a workload schedule — CPU runs plus DRAM scrubs — and renders a
+//! verdict: accepted only if zero disruptions occurred, every output
+//! matched its golden reference, and no uncorrectable memory error was
+//! reported.
+
+use power_model::server::OperatingPoint;
+use power_model::units::Milliseconds;
+use serde::{Deserialize, Serialize};
+use xgene_sim::fault::RunOutcome;
+use xgene_sim::server::XGene2Server;
+use xgene_sim::topology::CoreId;
+use xgene_sim::workload::WorkloadProfile;
+
+/// Soak-test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoakConfig {
+    /// Multi-core epochs to run.
+    pub epochs: u32,
+    /// Simulated milliseconds of DRAM residency per epoch.
+    pub epoch_ms: u32,
+    /// DRAM scrub every this many epochs.
+    pub scrub_interval: u32,
+}
+
+impl SoakConfig {
+    /// A deployment-qualification soak: 200 epochs of ~1 s each with a
+    /// memory scrub every 4 epochs.
+    pub fn qualification() -> Self {
+        SoakConfig { epochs: 200, epoch_ms: 1000, scrub_interval: 4 }
+    }
+}
+
+/// Soak verdict and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoakReport {
+    /// Epochs completed.
+    pub epochs: u32,
+    /// Correctable errors observed (CPU-side CE runs + DRAM CEs).
+    pub correctable: u64,
+    /// Disruptions: SDC, UE or crash anywhere.
+    pub disruptions: u64,
+    /// Watchdog resets.
+    pub watchdog_resets: u64,
+}
+
+impl SoakReport {
+    /// Whether the point qualifies for deployment.
+    pub fn accepted(&self) -> bool {
+        self.disruptions == 0 && self.watchdog_resets == 0
+    }
+}
+
+/// Soaks `point` under a rotating multi-core schedule.
+///
+/// # Panics
+///
+/// Panics if the schedule is empty or larger than 8 workloads.
+pub fn soak(
+    server: &mut XGene2Server,
+    point: &OperatingPoint,
+    schedule: &[WorkloadProfile],
+    config: &SoakConfig,
+) -> SoakReport {
+    assert!(
+        (1..=8).contains(&schedule.len()),
+        "schedule must hold 1..=8 simultaneous workloads"
+    );
+    let resets_before = server.reset_count();
+    let mut report =
+        SoakReport { epochs: 0, correctable: 0, disruptions: 0, watchdog_resets: 0 };
+
+    for epoch in 0..config.epochs {
+        // (Re-)apply the point — a watchdog reset would have cleared it.
+        server.set_pmd_voltage(point.pmd_voltage).expect("point is in range");
+        server.set_soc_voltage(point.soc_voltage).expect("point is in range");
+        server.set_trefp(point.trefp).expect("point TREFP is positive");
+
+        // Rotate the schedule across the cores each epoch.
+        let n = schedule.len();
+        let assignments: Vec<(CoreId, &WorkloadProfile)> = (0..n)
+            .map(|i| {
+                let w = &schedule[(i + epoch as usize) % n];
+                (CoreId::new(i as u8), w)
+            })
+            .collect();
+        for result in server.run_many(&assignments) {
+            match result.outcome {
+                RunOutcome::Correct => {}
+                RunOutcome::CorrectableError => report.correctable += 1,
+                _ => report.disruptions += 1,
+            }
+        }
+        server.dram_mut().advance(f64::from(config.epoch_ms));
+        if config.scrub_interval > 0 && epoch % config.scrub_interval == 0 {
+            let scrub = server.dram_mut().scrub();
+            report.correctable += scrub.ce_events;
+            report.disruptions += scrub.ue_events;
+        }
+        report.epochs += 1;
+    }
+    report.watchdog_resets = server.reset_count() - resets_before;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_model::tradeoff::FrequencyPlan;
+    use power_model::units::Millivolts;
+    use workload_sim::jammer;
+    use xgene_sim::sigma::SigmaBin;
+
+    fn jammer_schedule() -> Vec<WorkloadProfile> {
+        vec![jammer::profile(); 8]
+    }
+
+    #[test]
+    fn papers_safe_point_passes_qualification() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 131);
+        let report = soak(
+            &mut server,
+            &OperatingPoint::dsn18_safe_point(),
+            &jammer_schedule(),
+            &SoakConfig::qualification(),
+        );
+        assert!(report.accepted(), "{report:?}");
+        assert_eq!(report.epochs, 200);
+    }
+
+    #[test]
+    fn an_over_aggressive_point_is_rejected() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 132);
+        let reckless = OperatingPoint {
+            pmd_voltage: Millivolts::new(880), // below the 8-core jammer rail Vmin
+            soc_voltage: Millivolts::new(920),
+            plan: FrequencyPlan::all_nominal(),
+            trefp: Milliseconds::DSN18_RELAXED_TREFP,
+        };
+        let report = soak(
+            &mut server,
+            &reckless,
+            &jammer_schedule(),
+            &SoakConfig { epochs: 50, epoch_ms: 500, scrub_interval: 0 },
+        );
+        assert!(!report.accepted(), "{report:?}");
+        assert!(report.disruptions > 0);
+    }
+
+    #[test]
+    fn relaxed_refresh_soak_logs_correctable_memory_errors_only() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 133);
+        server.set_dram_temperature(power_model::units::Celsius::new(60.0));
+        let config = SoakConfig { epochs: 20, epoch_ms: 2500, scrub_interval: 2 };
+        let report = soak(
+            &mut server,
+            &OperatingPoint::dsn18_safe_point(),
+            &jammer_schedule(),
+            &config,
+        );
+        assert!(report.accepted(), "{report:?}");
+        assert!(report.correctable > 0, "hot relaxed DRAM must show CEs");
+    }
+}

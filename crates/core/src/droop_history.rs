@@ -1,0 +1,220 @@
+//! Droop-history-based failure-probability prediction (§IV.D outlook).
+//!
+//! The paper sketches its future online mechanism: "based on a chip's
+//! intrinsic Vmin (this can be determined with idle Vmin test) and the
+//! history of droops, we can predict the probability of the operating
+//! voltage crossing the intrinsic Vmin". We implement that mechanism: a
+//! rolling record of observed droop magnitudes, a Gaussian tail model, and
+//! a voltage chooser for a target failure probability.
+
+use dram_sim::math::{normal_cdf, normal_quantile};
+use power_model::units::Millivolts;
+use serde::{Deserialize, Serialize};
+
+/// A rolling history of observed voltage droops (in mV below the rail).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DroopHistory {
+    samples: Vec<f64>,
+    capacity: usize,
+    next: usize,
+    filled: bool,
+}
+
+impl DroopHistory {
+    /// Creates a history ring of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        DroopHistory { samples: Vec::with_capacity(capacity), capacity, next: 0, filled: false }
+    }
+
+    /// Records one droop observation in mV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is negative or not finite.
+    pub fn record(&mut self, droop_mv: f64) {
+        assert!(droop_mv.is_finite() && droop_mv >= 0.0, "droop must be non-negative");
+        if self.samples.len() < self.capacity {
+            self.samples.push(droop_mv);
+        } else {
+            self.samples[self.next] = droop_mv;
+            self.filled = true;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample mean in mV (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Records the droop of an executed current waveform, measured through
+    /// the PDN model — the online path that connects the pipeline's
+    /// execution traces to the failure predictor.
+    pub fn record_trace(
+        &mut self,
+        pdn: &xgene_sim::pdn::PdnModel,
+        samples: &[f64],
+        period_s: f64,
+    ) {
+        if samples.is_empty() || period_s <= 0.0 {
+            return;
+        }
+        self.record(pdn.droop_mv_from_trace(samples, period_s));
+    }
+
+    /// Sample standard deviation in mV (0 with fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// The failure-probability predictor combining an intrinsic Vmin with a
+/// droop history.
+///
+/// # Examples
+///
+/// ```
+/// use guardband_core::droop_history::{DroopHistory, FailurePredictor};
+/// use power_model::units::Millivolts;
+///
+/// let mut history = DroopHistory::new(256);
+/// for i in 0..200 {
+///     history.record(20.0 + (i % 10) as f64); // droops 20..30 mV
+/// }
+/// let predictor = FailurePredictor::new(Millivolts::new(860), history);
+/// // At nominal there is effectively no risk:
+/// assert!(predictor.failure_probability(Millivolts::new(980)) < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailurePredictor {
+    /// Idle (intrinsic) Vmin of the chip.
+    intrinsic_vmin: Millivolts,
+    history: DroopHistory,
+}
+
+impl FailurePredictor {
+    /// Creates a predictor from an idle-Vmin measurement and a history.
+    pub fn new(intrinsic_vmin: Millivolts, history: DroopHistory) -> Self {
+        FailurePredictor { intrinsic_vmin, history }
+    }
+
+    /// The intrinsic Vmin the predictor anchors on.
+    pub fn intrinsic_vmin(&self) -> Millivolts {
+        self.intrinsic_vmin
+    }
+
+    /// Probability that a droop pushes the effective voltage below the
+    /// intrinsic Vmin when operating at `voltage` (per droop event).
+    pub fn failure_probability(&self, voltage: Millivolts) -> f64 {
+        let margin = f64::from(voltage.as_u32()) - f64::from(self.intrinsic_vmin.as_u32());
+        if self.history.is_empty() {
+            return if margin > 0.0 { 0.0 } else { 1.0 };
+        }
+        let mu = self.history.mean();
+        let sigma = self.history.stddev().max(0.5);
+        // P(droop > margin) under the Gaussian tail model.
+        1.0 - normal_cdf((margin - mu) / sigma)
+    }
+
+    /// The lowest 5 mV-grid voltage whose per-event failure probability
+    /// stays at or below `target` (clamped to nominal).
+    pub fn voltage_for(&self, target: f64) -> Millivolts {
+        let target = target.clamp(1e-12, 0.5);
+        let mu = self.history.mean();
+        let sigma = self.history.stddev().max(0.5);
+        let margin = mu + sigma * normal_quantile(1.0 - target);
+        let mv = (f64::from(self.intrinsic_vmin.as_u32()) + margin).ceil() as u32;
+        let gridded = mv.div_ceil(5) * 5;
+        Millivolts::new(gridded.min(Millivolts::XGENE2_NOMINAL.as_u32()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_with(mean: f64, spread: f64, n: usize) -> DroopHistory {
+        let mut h = DroopHistory::new(n);
+        for i in 0..n {
+            let offset = (i as f64 / (n - 1) as f64 - 0.5) * 2.0 * spread;
+            h.record((mean + offset).max(0.0));
+        }
+        h
+    }
+
+    #[test]
+    fn probability_decreases_with_voltage() {
+        let p = FailurePredictor::new(Millivolts::new(860), history_with(25.0, 10.0, 100));
+        let low = p.failure_probability(Millivolts::new(880));
+        let high = p.failure_probability(Millivolts::new(920));
+        assert!(low > high);
+        assert!(p.failure_probability(Millivolts::new(980)) < 1e-9);
+    }
+
+    #[test]
+    fn voltage_for_meets_target() {
+        let p = FailurePredictor::new(Millivolts::new(860), history_with(25.0, 10.0, 200));
+        for target in [1e-3, 1e-5, 1e-7] {
+            let v = p.voltage_for(target);
+            assert!(
+                p.failure_probability(v) <= target * 1.05,
+                "target {target}: v {v}, p {}",
+                p.failure_probability(v)
+            );
+            assert_eq!(v.as_u32() % 5, 0);
+        }
+    }
+
+    #[test]
+    fn tighter_targets_need_higher_voltage() {
+        let p = FailurePredictor::new(Millivolts::new(860), history_with(25.0, 10.0, 200));
+        assert!(p.voltage_for(1e-7) >= p.voltage_for(1e-3));
+    }
+
+    #[test]
+    fn ring_buffer_wraps() {
+        let mut h = DroopHistory::new(4);
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 4);
+        assert!((h.mean() - (100.0 + 2.0 + 3.0 + 4.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history_is_binary() {
+        let p = FailurePredictor::new(Millivolts::new(860), DroopHistory::new(8));
+        assert_eq!(p.failure_probability(Millivolts::new(900)), 0.0);
+        assert_eq!(p.failure_probability(Millivolts::new(850)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "droop must be non-negative")]
+    fn rejects_negative_droop() {
+        DroopHistory::new(4).record(-1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Guardband accounting: turning measured Vmin values into the voltage and
+//! power margins the paper reports.
+//!
+//! The paper quotes guardbands two ways: as millivolts of headroom below
+//! the 980 mV nominal, and as the *power-equivalent* reduction — "at least
+//! 18.4 % for the TTT and TFF chip, and 15.7 % for the TSS chip" — which is
+//! the quadratic `1 − (Vmin/Vnom)²` of the worst (highest-Vmin) program.
+
+use power_model::units::Millivolts;
+use serde::{Deserialize, Serialize};
+use xgene_sim::sigma::SigmaBin;
+
+/// Guardband of one (benchmark, chip, core) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Guardband {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Chip corner.
+    pub chip: SigmaBin,
+    /// Measured minimum safe voltage.
+    pub vmin: Millivolts,
+    /// Nominal voltage the margin is measured against.
+    pub nominal: Millivolts,
+}
+
+impl Guardband {
+    /// Creates a guardband record.
+    pub fn new(
+        benchmark: impl Into<String>,
+        chip: SigmaBin,
+        vmin: Millivolts,
+        nominal: Millivolts,
+    ) -> Self {
+        Guardband { benchmark: benchmark.into(), chip, vmin, nominal }
+    }
+
+    /// Voltage headroom in millivolts (zero when Vmin ≥ nominal).
+    pub fn margin_mv(&self) -> u32 {
+        self.nominal.as_u32().saturating_sub(self.vmin.as_u32())
+    }
+
+    /// Relative voltage reduction `(Vnom − Vmin)/Vnom`.
+    pub fn voltage_fraction(&self) -> f64 {
+        self.nominal.guardband_fraction(self.vmin)
+    }
+
+    /// Power-equivalent reduction `1 − (Vmin/Vnom)²` — the number the
+    /// paper's "18.4 %" refers to.
+    pub fn power_fraction(&self) -> f64 {
+        let r = self.vmin.ratio_to(self.nominal).min(1.0);
+        1.0 - r * r
+    }
+}
+
+/// Guardband summary of a whole campaign on one chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardbandSummary {
+    /// Chip corner.
+    pub chip: SigmaBin,
+    /// Per-benchmark guardbands (most robust core).
+    pub entries: Vec<Guardband>,
+}
+
+impl GuardbandSummary {
+    /// The guaranteed (worst-case over benchmarks) guardband: set by the
+    /// *highest* Vmin.
+    pub fn guaranteed(&self) -> Option<&Guardband> {
+        self.entries.iter().max_by_key(|g| g.vmin)
+    }
+
+    /// The largest observed per-benchmark guardband (lowest Vmin).
+    pub fn best_case(&self) -> Option<&Guardband> {
+        self.entries.iter().min_by_key(|g| g.vmin)
+    }
+
+    /// Range of Vmin across benchmarks, in mV.
+    pub fn workload_variation_mv(&self) -> u32 {
+        match (self.best_case(), self.guaranteed()) {
+            (Some(lo), Some(hi)) => hi.vmin.as_u32() - lo.vmin.as_u32(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(chip: SigmaBin, vmins: &[(&str, u32)]) -> GuardbandSummary {
+        GuardbandSummary {
+            chip,
+            entries: vmins
+                .iter()
+                .map(|(n, v)| {
+                    Guardband::new(*n, chip, Millivolts::new(*v), Millivolts::XGENE2_NOMINAL)
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ttt_guaranteed_guardband_is_18_4_percent() {
+        // Worst TTT SPEC Vmin is 885 mV: 1 − (885/980)² = 18.44 %.
+        let s = summary(SigmaBin::Ttt, &[("mcf", 860), ("milc", 885)]);
+        let g = s.guaranteed().unwrap();
+        assert_eq!(g.benchmark, "milc");
+        assert!((g.power_fraction() - 0.184).abs() < 2e-3, "{}", g.power_fraction());
+    }
+
+    #[test]
+    fn tss_guaranteed_guardband_is_15_7_percent() {
+        let s = summary(SigmaBin::Tss, &[("mcf", 870), ("milc", 900)]);
+        let g = s.guaranteed().unwrap();
+        assert!((g.power_fraction() - 0.157).abs() < 2e-3, "{}", g.power_fraction());
+    }
+
+    #[test]
+    fn margin_and_variation() {
+        let s = summary(SigmaBin::Ttt, &[("a", 860), ("b", 885), ("c", 871)]);
+        assert_eq!(s.workload_variation_mv(), 25);
+        assert_eq!(s.best_case().unwrap().margin_mv(), 120);
+        assert_eq!(s.guaranteed().unwrap().margin_mv(), 95);
+    }
+
+    #[test]
+    fn vmin_above_nominal_clamps_to_zero_margin() {
+        let g = Guardband::new("virus", SigmaBin::Tss, Millivolts::new(990), Millivolts::new(980));
+        assert_eq!(g.margin_mv(), 0);
+        assert_eq!(g.power_fraction(), 0.0);
+        assert_eq!(g.voltage_fraction(), 0.0);
+    }
+}

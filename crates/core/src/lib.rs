@@ -1,0 +1,70 @@
+//! The DSN'18 guardband methodology as a reusable library.
+//!
+//! This crate is the paper's primary contribution: the end-to-end flow
+//! from characterization to exploitation of the voltage and refresh
+//! guardbands of a server platform. It composes the substrates in the
+//! sibling crates (the X-Gene2 model, the DRAM array, the thermal testbed,
+//! the stress generators and the characterization framework) into the
+//! study's analyses:
+//!
+//! * [`vmin`] — suite characterization across chips and cores (Fig. 4),
+//!   virus comparisons and inter-chip margins (Figs. 6, 7);
+//! * [`guardband`] — voltage- and power-equivalent margin accounting
+//!   (the "18.4 % / 15.7 %" numbers);
+//! * [`energy`] — the multi-programmed power/performance ladder (Fig. 5)
+//!   with predictor-assisted scheduling;
+//! * [`safepoint`] — deriving deployable safe operating points (§IV.D,
+//!   the 930 mV / 920 mV / 35× point);
+//! * [`refresh_relax`] — choosing and valuing DRAM refresh relaxations
+//!   (Fig. 8b);
+//! * [`predictor`] — the performance-counter Vmin predictor (MICRO'17
+//!   style, §IV.D);
+//! * [`droop_history`] — the droop-history failure-probability predictor
+//!   sketched as future work in §IV.D;
+//! * [`governor`] — the online voltage-adoption governor §IV.D aims for,
+//!   combining feed-forward prediction, the droop floor and reactive
+//!   error feedback.
+//!
+//! # Examples
+//!
+//! Derive the deployable safe point for the jammer detector on a typical
+//! chip and quantify the total server saving:
+//!
+//! ```
+//! use guardband_core::safepoint::SafePointPolicy;
+//! use power_model::server::{OperatingPoint, ServerLoad, ServerPowerModel};
+//! use workload_sim::jammer;
+//! use xgene_sim::sigma::{ChipProfile, SigmaBin};
+//! use xgene_sim::topology::CoreId;
+//!
+//! let chip = ChipProfile::corner(SigmaBin::Ttt);
+//! let cores: Vec<CoreId> = CoreId::all().collect();
+//! let workloads = vec![jammer::profile(); 8];
+//! let point = SafePointPolicy::dsn18().derive(&chip, &workloads, &cores);
+//!
+//! let server = ServerPowerModel::xgene2();
+//! let load = ServerLoad::jammer_detector();
+//! let savings = server.total_savings(&point, &load);
+//! assert!((savings - 0.202).abs() < 0.015);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod droop_history;
+pub mod energy;
+pub mod governor;
+pub mod guardband;
+pub mod predictor;
+pub mod refresh_relax;
+pub mod safepoint;
+pub mod vmin;
+
+pub use droop_history::{DroopHistory, FailurePredictor};
+pub use governor::{GovernorConfig, GovernorStats, OnlineGovernor};
+pub use energy::{derive_ladder, ladder_tradeoff, LadderRung};
+pub use guardband::{Guardband, GuardbandSummary};
+pub use predictor::VminPredictor;
+pub use refresh_relax::{choose_relaxation, RelaxationChoice, RelaxationPolicy};
+pub use safepoint::SafePointPolicy;
+pub use vmin::{characterize_chip, virus_margins, ChipVminSeries};

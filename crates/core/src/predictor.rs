@@ -1,0 +1,234 @@
+//! Workload-dependent Vmin prediction from performance-counter features.
+//!
+//! §IV.D: "we can train a workload dependent prediction model considering
+//! also performance counters as we recently proposed in [11]" (MICRO'17).
+//! The model here is ordinary least squares over per-workload features the
+//! platform can observe online — IPC, memory intensity and the activity /
+//! swing statistics the counters proxy — trained on characterization
+//! campaign results, then used to suggest a safe voltage for an unseen
+//! workload without rerunning the undervolting campaign.
+
+use power_model::units::Millivolts;
+use serde::{Deserialize, Serialize};
+use xgene_sim::workload::WorkloadProfile;
+
+/// Number of model features (including the intercept).
+const FEATURES: usize = 5;
+
+fn features(w: &WorkloadProfile) -> [f64; FEATURES] {
+    [1.0, w.activity(), w.swing(), w.memory_intensity(), w.ipc()]
+}
+
+/// A trained linear Vmin model.
+///
+/// # Examples
+///
+/// ```
+/// use guardband_core::predictor::VminPredictor;
+/// use power_model::units::Millivolts;
+/// use workload_sim::spec::SPEC_SUITE;
+/// use xgene_sim::sigma::{ChipProfile, SigmaBin};
+/// use power_model::units::Megahertz;
+///
+/// let chip = ChipProfile::corner(SigmaBin::Ttt);
+/// let core = chip.most_robust_core();
+/// let data: Vec<_> = SPEC_SUITE.iter().map(|b| {
+///     let p = b.profile();
+///     let v = chip.vmin(core, &p, Megahertz::XGENE2_NOMINAL);
+///     (p, v)
+/// }).collect();
+/// let model = VminPredictor::train(&data).expect("training data is well-posed");
+/// let err = model.training_rmse_mv(&data);
+/// assert!(err < 3.0, "rmse {err}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VminPredictor {
+    coefficients: [f64; FEATURES],
+}
+
+/// Error returned when the training system is singular or under-determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainError;
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("training system is singular or has too few samples")
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl VminPredictor {
+    /// Trains by ordinary least squares on `(profile, measured Vmin)`
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] with fewer samples than features or a
+    /// singular normal system.
+    pub fn train(data: &[(WorkloadProfile, Millivolts)]) -> Result<Self, TrainError> {
+        if data.len() < FEATURES {
+            return Err(TrainError);
+        }
+        // Normal equations XᵀX β = Xᵀy with a tiny ridge for stability.
+        let mut xtx = [[0.0f64; FEATURES]; FEATURES];
+        let mut xty = [0.0f64; FEATURES];
+        for (w, v) in data {
+            let x = features(w);
+            let y = f64::from(v.as_u32());
+            for i in 0..FEATURES {
+                xty[i] += x[i] * y;
+                for j in 0..FEATURES {
+                    xtx[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += 1e-9;
+        }
+        let coefficients = solve(xtx, xty).ok_or(TrainError)?;
+        Ok(VminPredictor { coefficients })
+    }
+
+    /// Predicted Vmin for a workload.
+    pub fn predict(&self, workload: &WorkloadProfile) -> Millivolts {
+        let x = features(workload);
+        let v: f64 = x.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum();
+        Millivolts::new(v.round().clamp(0.0, 2000.0) as u32)
+    }
+
+    /// Predicted safe voltage: prediction plus a margin, snapped up to the
+    /// regulator grid.
+    pub fn suggest_safe_voltage(&self, workload: &WorkloadProfile, margin_mv: u32) -> Millivolts {
+        let v = self.predict(workload).as_u32() + margin_mv;
+        Millivolts::new(v.div_ceil(5) * 5)
+    }
+
+    /// Root-mean-square training error in mV.
+    pub fn training_rmse_mv(&self, data: &[(WorkloadProfile, Millivolts)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let sq: f64 = data
+            .iter()
+            .map(|(w, v)| {
+                let e = f64::from(self.predict(w).as_u32()) - f64::from(v.as_u32());
+                e * e
+            })
+            .sum();
+        (sq / data.len() as f64).sqrt()
+    }
+
+    /// The fitted coefficients `[intercept, activity, swing, mem, ipc]`.
+    pub fn coefficients(&self) -> &[f64; FEATURES] {
+        &self.coefficients
+    }
+}
+
+/// Solves a dense FEATURES×FEATURES system by Gaussian elimination with
+/// partial pivoting.
+fn solve(mut a: [[f64; FEATURES]; FEATURES], mut b: [f64; FEATURES]) -> Option<[f64; FEATURES]> {
+    for col in 0..FEATURES {
+        // Pivot.
+        let pivot = (col..FEATURES).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..FEATURES {
+            let f = a[row][col] / a[col][col];
+            for k in col..FEATURES {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = [0.0f64; FEATURES];
+    for col in (0..FEATURES).rev() {
+        let mut sum = b[col];
+        for k in col + 1..FEATURES {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = sum / a[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_model::units::Megahertz;
+    use workload_sim::nas::NAS_SUITE;
+    use workload_sim::spec::SPEC_SUITE;
+    use xgene_sim::sigma::{ChipProfile, SigmaBin};
+
+    fn training_data(bin: SigmaBin) -> Vec<(WorkloadProfile, Millivolts)> {
+        let chip = ChipProfile::corner(bin);
+        let core = chip.most_robust_core();
+        SPEC_SUITE
+            .iter()
+            .map(|b| {
+                let p = b.profile();
+                let v = chip.vmin(core, &p, Megahertz::XGENE2_NOMINAL);
+                (p, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_spec_training_set_tightly() {
+        for bin in [SigmaBin::Ttt, SigmaBin::Tff, SigmaBin::Tss] {
+            let data = training_data(bin);
+            let model = VminPredictor::train(&data).unwrap();
+            assert!(model.training_rmse_mv(&data) < 2.0, "{bin:?}");
+        }
+    }
+
+    #[test]
+    fn generalizes_to_nas_kernels() {
+        let data = training_data(SigmaBin::Ttt);
+        let model = VminPredictor::train(&data).unwrap();
+        let chip = ChipProfile::corner(SigmaBin::Ttt);
+        let core = chip.most_robust_core();
+        for kernel in &NAS_SUITE {
+            let p = kernel.profile();
+            let truth = chip.vmin(core, &p, Megahertz::XGENE2_NOMINAL);
+            let pred = model.predict(&p);
+            let err = (i64::from(pred.as_u32()) - i64::from(truth.as_u32())).abs();
+            assert!(err <= 5, "{}: predicted {pred}, true {truth}", kernel.name);
+        }
+    }
+
+    #[test]
+    fn suggested_voltage_is_safe_and_gridded() {
+        let data = training_data(SigmaBin::Ttt);
+        let model = VminPredictor::train(&data).unwrap();
+        let chip = ChipProfile::corner(SigmaBin::Ttt);
+        let core = chip.most_robust_core();
+        for b in &SPEC_SUITE {
+            let p = b.profile();
+            let suggested = model.suggest_safe_voltage(&p, 10);
+            let truth = chip.vmin(core, &p, Megahertz::XGENE2_NOMINAL);
+            assert!(suggested >= truth, "{}", b.name);
+            assert_eq!(suggested.as_u32() % 5, 0);
+        }
+    }
+
+    #[test]
+    fn too_few_samples_fail_training() {
+        let data = training_data(SigmaBin::Ttt);
+        assert_eq!(VminPredictor::train(&data[..3]).unwrap_err(), TrainError);
+    }
+
+    #[test]
+    fn activity_coefficient_dominates() {
+        // The chip model builds Vmin mainly from activity; the regression
+        // should recover a large positive activity weight.
+        let data = training_data(SigmaBin::Ttt);
+        let model = VminPredictor::train(&data).unwrap();
+        assert!(model.coefficients()[1] > 10.0, "{:?}", model.coefficients());
+    }
+}

@@ -1,0 +1,139 @@
+//! DRAM refresh-guardband exploitation.
+//!
+//! The DDR3 64 ms refresh period is a worst-case guardband; the paper runs
+//! at 2.283 s (35×) and shows SECDED absorbs every manifested error up to
+//! 60 °C. This module picks the largest *safe* relaxation for a given
+//! temperature from the retention model — safe meaning the expected number
+//! of failing cells stays within the per-word single-error budget the ECC
+//! can always correct — and quantifies the power gain.
+
+use dram_sim::geometry::BankId;
+use dram_sim::retention::RetentionModel;
+use power_model::domain::DramDomain;
+use power_model::units::{Celsius, Milliseconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Policy bounding how far refresh may be relaxed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelaxationPolicy {
+    /// Maximum tolerated expected failing cells across the array (all of
+    /// them SECDED-correctable by construction of the repair model; the
+    /// budget bounds the scrubbing/reporting load).
+    pub max_expected_failing_cells: f64,
+    /// Candidate relaxation factors to consider, ascending.
+    pub candidate_factors: Vec<f64>,
+}
+
+impl RelaxationPolicy {
+    /// The paper's envelope: factors up to 64×, tolerating the ≈28 k
+    /// correctable weak cells observed at 60 °C.
+    pub fn dsn18() -> Self {
+        RelaxationPolicy {
+            max_expected_failing_cells: 30_000.0,
+            candidate_factors: vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 35.67, 48.0, 64.0],
+        }
+    }
+}
+
+/// Outcome of the relaxation search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelaxationChoice {
+    /// Chosen refresh period.
+    pub trefp: Milliseconds,
+    /// Relaxation factor vs. the 64 ms nominal.
+    pub factor: f64,
+    /// Expected failing (CE-correctable) cells at this point.
+    pub expected_failing_cells: f64,
+}
+
+/// Finds the largest candidate relaxation whose expected failing-cell
+/// count stays within the policy budget at `temperature`.
+pub fn choose_relaxation(
+    model: &RetentionModel,
+    temperature: Celsius,
+    policy: &RelaxationPolicy,
+) -> RelaxationChoice {
+    let mut best = RelaxationChoice {
+        trefp: Milliseconds::DDR3_NOMINAL_TREFP,
+        factor: 1.0,
+        expected_failing_cells: expected_failing(model, temperature, Milliseconds::DDR3_NOMINAL_TREFP),
+    };
+    for &factor in &policy.candidate_factors {
+        let trefp = Milliseconds::DDR3_NOMINAL_TREFP.relaxed(factor);
+        let expected = expected_failing(model, temperature, trefp);
+        if expected <= policy.max_expected_failing_cells && factor >= best.factor {
+            best = RelaxationChoice { trefp, factor, expected_failing_cells: expected };
+        }
+    }
+    best
+}
+
+/// Expected failing cells across the whole array at `(temperature, trefp)`.
+pub fn expected_failing(model: &RetentionModel, temperature: Celsius, trefp: Milliseconds) -> f64 {
+    BankId::all().map(|b| model.expected_failing(b, temperature, trefp)).sum()
+}
+
+/// DRAM-rail power saving of a relaxation for a workload at the given
+/// bandwidth utilization (Fig. 8b / Fig. 9 DRAM domain).
+pub fn power_saving(
+    trefp: Milliseconds,
+    bandwidth_utilization: f64,
+    reference_power: Watts,
+) -> f64 {
+    DramDomain::xgene2(reference_power).refresh_relaxation_savings(trefp, bandwidth_utilization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_60c_the_35x_relaxation_is_chosen() {
+        let model = RetentionModel::xgene2_micron();
+        let choice = choose_relaxation(&model, Celsius::new(60.0), &RelaxationPolicy::dsn18());
+        assert!((choice.factor - 35.67).abs() < 1e-9, "factor {}", choice.factor);
+        assert!(choice.expected_failing_cells < 30_000.0);
+        assert!(choice.expected_failing_cells > 20_000.0);
+    }
+
+    #[test]
+    fn cooler_dimms_allow_deeper_relaxation() {
+        let model = RetentionModel::xgene2_micron();
+        let policy = RelaxationPolicy::dsn18();
+        let hot = choose_relaxation(&model, Celsius::new(60.0), &policy);
+        let cool = choose_relaxation(&model, Celsius::new(45.0), &policy);
+        assert!(cool.factor >= hot.factor);
+    }
+
+    #[test]
+    fn a_tight_budget_keeps_refresh_near_nominal() {
+        let model = RetentionModel::xgene2_micron();
+        let policy = RelaxationPolicy {
+            max_expected_failing_cells: 0.5,
+            candidate_factors: RelaxationPolicy::dsn18().candidate_factors,
+        };
+        let choice = choose_relaxation(&model, Celsius::new(60.0), &policy);
+        assert!(choice.factor <= 4.0, "factor {}", choice.factor);
+    }
+
+    #[test]
+    fn expected_failing_matches_table1_total_at_60c() {
+        let model = RetentionModel::xgene2_micron();
+        let total = expected_failing(
+            &model,
+            Celsius::new(60.0),
+            Milliseconds::DSN18_RELAXED_TREFP,
+        );
+        let paper: f64 = dram_sim::retention::TABLE1_60C.iter().sum();
+        assert!((total - paper).abs() / paper < 0.02, "{total} vs {paper}");
+    }
+
+    #[test]
+    fn nw_and_kmeans_savings_match_fig8b() {
+        let trefp = Milliseconds::DSN18_RELAXED_TREFP;
+        let nw = power_saving(trefp, 0.175, Watts::new(9.0));
+        let kmeans = power_saving(trefp, 0.896, Watts::new(9.0));
+        assert!((nw - 0.273).abs() < 0.02, "nw {nw}");
+        assert!((kmeans - 0.094).abs() < 0.02, "kmeans {kmeans}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Safe-operating-point selection (§IV.D).
+//!
+//! The aim of the whole characterization is "to reveal the 'safe'
+//! operating points in cores and DRAMs within each server and exploit them
+//! during system operation". This module turns characterization outputs —
+//! rail Vmin of the deployed workload set, the virus-exposed droop margin,
+//! and the DRAM campaign — into a concrete [`OperatingPoint`], adding a
+//! configurable engineering margin and snapping to the regulator grid.
+
+use power_model::server::OperatingPoint;
+use power_model::tradeoff::FrequencyPlan;
+use power_model::units::{Megahertz, Millivolts, Milliseconds};
+use serde::{Deserialize, Serialize};
+use xgene_sim::sigma::ChipProfile;
+use xgene_sim::topology::CoreId;
+use xgene_sim::workload::WorkloadProfile;
+
+/// Policy for deriving a safe point from characterization results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafePointPolicy {
+    /// Extra PMD-rail margin added above the observed workload rail Vmin.
+    pub pmd_margin_mv: u32,
+    /// SoC-rail undervolt below nominal (the SoC domain has no per-
+    /// workload Vmin model; the paper settles on 920 mV ⇒ 60 mV below).
+    pub soc_undervolt_mv: u32,
+    /// Regulator step the chosen voltage snaps *up* to.
+    pub grid_mv: u32,
+    /// DRAM refresh period (validated safe by the DRAM campaign).
+    pub trefp: Milliseconds,
+}
+
+impl SafePointPolicy {
+    /// The paper's deployment policy: 25 mV PMD margin, SoC at 920 mV,
+    /// 35× relaxed refresh, 5 mV regulator grid.
+    pub fn dsn18() -> Self {
+        SafePointPolicy {
+            pmd_margin_mv: 25,
+            soc_undervolt_mv: 60,
+            grid_mv: 5,
+            trefp: Milliseconds::DSN18_RELAXED_TREFP,
+        }
+    }
+
+    /// Derives the safe operating point for running `workloads` pinned to
+    /// `cores` at nominal frequency on `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` and `cores` have different lengths or are
+    /// empty.
+    pub fn derive(
+        &self,
+        chip: &ChipProfile,
+        workloads: &[WorkloadProfile],
+        cores: &[CoreId],
+    ) -> OperatingPoint {
+        assert_eq!(workloads.len(), cores.len(), "one core per workload");
+        assert!(!workloads.is_empty(), "at least one workload");
+        let assignments: Vec<(CoreId, &WorkloadProfile, Megahertz)> = cores
+            .iter()
+            .zip(workloads)
+            .map(|(c, w)| (*c, w, Megahertz::XGENE2_NOMINAL))
+            .collect();
+        let rail = chip
+            .rail_vmin(&assignments)
+            .expect("non-empty assignments yield a rail Vmin");
+        let pmd = snap_up(rail.as_u32() + self.pmd_margin_mv, self.grid_mv);
+        let soc = Millivolts::XGENE2_NOMINAL.as_u32() - self.soc_undervolt_mv;
+        OperatingPoint {
+            pmd_voltage: Millivolts::new(pmd.min(Millivolts::XGENE2_NOMINAL.as_u32())),
+            soc_voltage: Millivolts::new(soc),
+            plan: FrequencyPlan::all_nominal(),
+            trefp: self.trefp,
+        }
+    }
+}
+
+fn snap_up(mv: u32, grid: u32) -> u32 {
+    if grid == 0 {
+        return mv;
+    }
+    mv.div_ceil(grid) * grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload_sim::jammer;
+    use xgene_sim::sigma::SigmaBin;
+    use xgene_sim::topology::CoreId;
+
+    #[test]
+    fn jammer_deployment_yields_the_papers_930_920_point() {
+        let chip = ChipProfile::corner(SigmaBin::Ttt);
+        let policy = SafePointPolicy::dsn18();
+        // 4 parallel jammer instances on 8 threads (2 per instance).
+        let profile = jammer::profile();
+        let workloads = vec![profile; 8];
+        let cores: Vec<CoreId> = CoreId::all().collect();
+        let point = policy.derive(&chip, &workloads, &cores);
+        assert_eq!(point.pmd_voltage, Millivolts::new(930), "{point}");
+        assert_eq!(point.soc_voltage, Millivolts::new(920));
+        assert_eq!(point.trefp, Milliseconds::DSN18_RELAXED_TREFP);
+    }
+
+    #[test]
+    fn safe_point_clears_the_rail_vmin() {
+        let chip = ChipProfile::corner(SigmaBin::Tss);
+        let policy = SafePointPolicy::dsn18();
+        let profile = jammer::profile();
+        let workloads = vec![profile; 8];
+        let cores: Vec<CoreId> = CoreId::all().collect();
+        let point = policy.derive(&chip, &workloads, &cores);
+        let assignments: Vec<_> = cores
+            .iter()
+            .zip(&workloads)
+            .map(|(c, w)| (*c, w, Megahertz::XGENE2_NOMINAL))
+            .collect();
+        let rail = chip.rail_vmin(&assignments).unwrap();
+        assert!(point.pmd_voltage.as_u32() >= rail.as_u32() + 20);
+    }
+
+    #[test]
+    fn never_exceeds_nominal() {
+        let chip = ChipProfile::corner(SigmaBin::Tss);
+        let policy = SafePointPolicy { pmd_margin_mv: 200, ..SafePointPolicy::dsn18() };
+        let workloads = vec![jammer::profile(); 2];
+        let cores = vec![CoreId::new(0), CoreId::new(1)];
+        let point = policy.derive(&chip, &workloads, &cores);
+        assert!(point.pmd_voltage <= Millivolts::XGENE2_NOMINAL);
+    }
+
+    #[test]
+    fn snap_up_rounds_to_grid() {
+        assert_eq!(snap_up(929, 5), 930);
+        assert_eq!(snap_up(930, 5), 930);
+        assert_eq!(snap_up(931, 5), 935);
+        assert_eq!(snap_up(7, 0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "one core per workload")]
+    fn rejects_mismatched_lengths() {
+        let chip = ChipProfile::corner(SigmaBin::Ttt);
+        let _ = SafePointPolicy::dsn18().derive(&chip, &[jammer::profile()], &[]);
+    }
+}

@@ -1,0 +1,143 @@
+//! High-level Vmin characterization flows built on the framework.
+//!
+//! Ties the characterization framework to the methodology: characterize a
+//! suite across chips and cores (the Fig. 4 study), compare a virus's Vmin
+//! against a suite (Fig. 6), and expose inter-chip variation (Fig. 7).
+
+use char_fw::runner::CampaignRunner;
+use char_fw::setup::VminCampaign;
+use power_model::units::Millivolts;
+use serde::{Deserialize, Serialize};
+use xgene_sim::server::XGene2Server;
+use xgene_sim::sigma::SigmaBin;
+use xgene_sim::topology::CoreId;
+use xgene_sim::workload::WorkloadProfile;
+
+use crate::guardband::{Guardband, GuardbandSummary};
+
+/// Per-benchmark Vmin of one chip's most robust core — one Fig. 4 series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipVminSeries {
+    /// Chip corner.
+    pub chip: SigmaBin,
+    /// Core the series was measured on.
+    pub core: CoreId,
+    /// `(benchmark, vmin)` pairs in campaign order.
+    pub vmins: Vec<(String, Millivolts)>,
+}
+
+impl ChipVminSeries {
+    /// Converts the series into guardband records against nominal.
+    pub fn guardbands(&self) -> GuardbandSummary {
+        GuardbandSummary {
+            chip: self.chip,
+            entries: self
+                .vmins
+                .iter()
+                .map(|(name, v)| {
+                    Guardband::new(name.clone(), self.chip, *v, Millivolts::XGENE2_NOMINAL)
+                })
+                .collect(),
+        }
+    }
+
+    /// Range `(min, max)` of the series.
+    pub fn range(&self) -> Option<(Millivolts, Millivolts)> {
+        let min = self.vmins.iter().map(|(_, v)| *v).min()?;
+        let max = self.vmins.iter().map(|(_, v)| *v).max()?;
+        Some((min, max))
+    }
+}
+
+/// Runs the undervolting campaign for `suite` on `chip`'s most robust
+/// core, deterministic in `seed` (the Fig. 4 measurement for one chip).
+pub fn characterize_chip(
+    chip: SigmaBin,
+    suite: &[WorkloadProfile],
+    seed: u64,
+) -> ChipVminSeries {
+    let mut server = XGene2Server::new(chip, seed);
+    let core = server.chip().most_robust_core();
+    let campaign = VminCampaign::dsn18(suite.to_vec(), vec![core]);
+    let result = CampaignRunner::new(&mut server).run(&campaign);
+    let vmins = suite
+        .iter()
+        .map(|w| {
+            let v = result
+                .vmin(w.name(), core)
+                .expect("campaign schedules reach below every real workload's Vmin");
+            (w.name().to_owned(), v)
+        })
+        .collect();
+    ChipVminSeries { chip, core, vmins }
+}
+
+/// The Fig. 6/7 measurement: the virus's Vmin on each corner, with the
+/// margin to nominal. Returns `(chip, virus vmin, margin_mv)`.
+pub fn virus_margins(
+    virus: &WorkloadProfile,
+    seed: u64,
+) -> Vec<(SigmaBin, Millivolts, i64)> {
+    SigmaBin::ALL
+        .iter()
+        .map(|&bin| {
+            let series = characterize_chip(bin, std::slice::from_ref(virus), seed);
+            let (_, vmin) = series.vmins[0].clone();
+            let margin =
+                i64::from(Millivolts::XGENE2_NOMINAL.as_u32()) - i64::from(vmin.as_u32());
+            (bin, vmin, margin)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload_sim::spec::SPEC_SUITE;
+
+    fn suite() -> Vec<WorkloadProfile> {
+        // A 3-benchmark subset keeps the campaign fast while spanning the
+        // score range.
+        ["mcf", "leslie3d", "milc"]
+            .iter()
+            .map(|n| SPEC_SUITE.iter().find(|b| b.name == *n).unwrap().profile())
+            .collect()
+    }
+
+    #[test]
+    fn fig4_series_lands_in_published_ranges() {
+        let expected = [
+            (SigmaBin::Ttt, 855u32, 895u32),
+            (SigmaBin::Tff, 865, 895),
+            (SigmaBin::Tss, 865, 910),
+        ];
+        for (bin, lo, hi) in expected {
+            let series = characterize_chip(bin, &suite(), 77);
+            let (min, max) = series.range().unwrap();
+            assert!(min.as_u32() >= lo, "{bin}: min {min}");
+            assert!(max.as_u32() <= hi, "{bin}: max {max}");
+        }
+    }
+
+    #[test]
+    fn guardband_summary_reports_workload_variation() {
+        let series = characterize_chip(SigmaBin::Ttt, &suite(), 78);
+        let summary = series.guardbands();
+        assert!(summary.workload_variation_mv() >= 15);
+        assert!(summary.guaranteed().unwrap().power_fraction() > 0.15);
+    }
+
+    #[test]
+    fn virus_margins_reproduce_fig7() {
+        let virus = WorkloadProfile::builder("em-virus")
+            .activity(0.5)
+            .swing(1.0)
+            .resonance_alignment(1.0)
+            .build();
+        let margins = virus_margins(&virus, 79);
+        let get = |bin| margins.iter().find(|(b, _, _)| *b == bin).unwrap().2;
+        assert!((get(SigmaBin::Ttt) - 60).abs() <= 10, "TTT {}", get(SigmaBin::Ttt));
+        assert!((get(SigmaBin::Tff) - 20).abs() <= 10, "TFF {}", get(SigmaBin::Tff));
+        assert!(get(SigmaBin::Tss) <= 15, "TSS {}", get(SigmaBin::Tss));
+    }
+}

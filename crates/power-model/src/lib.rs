@@ -1,0 +1,44 @@
+//! Power models for the DSN'18 ARMv8 guardband study.
+//!
+//! This crate provides the analytic power models the study's exploitation
+//! results rest on:
+//!
+//! * [`units`] — millivolt / megahertz / watt / °C / ms newtypes used across
+//!   the whole workspace;
+//! * [`scaling`] — dynamic (`V²f`) and leakage (`V^γ`, temperature-
+//!   exponential) scaling rules;
+//! * [`domain`] — per-rail models of the X-Gene2 PMD, SoC and DRAM supply
+//!   domains;
+//! * [`tradeoff`] — the Fig. 5 power/performance trade-off curve;
+//! * [`server`] — the calibrated whole-board model behind Fig. 9.
+//!
+//! # Examples
+//!
+//! Reproduce the paper's headline exploitation number (20.2 % total server
+//! power saving at the characterized safe point):
+//!
+//! ```
+//! use power_model::server::{OperatingPoint, ServerLoad, ServerPowerModel};
+//!
+//! let server = ServerPowerModel::xgene2();
+//! let load = ServerLoad::jammer_detector();
+//! let nominal = server.power(&OperatingPoint::nominal(), &load).total();
+//! let safe = server.power(&OperatingPoint::dsn18_safe_point(), &load).total();
+//! println!("{nominal} -> {safe}");
+//! assert!((nominal.savings_to(safe) - 0.202).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod domain;
+pub mod scaling;
+pub mod server;
+pub mod tradeoff;
+pub mod units;
+
+pub use domain::{ComputeDomain, DomainKind, DramDomain};
+pub use scaling::{CornerLeakage, DynamicScaling, LeakageScaling};
+pub use server::{OperatingPoint, PowerBreakdown, ServerLoad, ServerPowerModel};
+pub use tradeoff::{FrequencyPlan, TradeoffCurve, TradeoffPoint};
+pub use units::{Celsius, Megahertz, Millivolts, Milliseconds, Watts};

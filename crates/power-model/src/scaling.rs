@@ -1,0 +1,253 @@
+//! Voltage/frequency power-scaling primitives.
+//!
+//! The paper's Fig. 5 trade-off arithmetic is exactly
+//! `P_rel = (Σfᵢ / Σf_nom) · (V / V_nom)²` — dynamic CMOS power with all
+//! cores sharing one voltage rail and per-PMD frequency plans. Leakage is
+//! modelled separately with a super-linear voltage exponent, which the Fig. 9
+//! per-domain savings require (a pure `V²` model under-predicts the PMD
+//! domain's measured 20.3 % saving at 930 mV).
+
+use crate::units::{Celsius, Megahertz, Millivolts};
+use serde::{Deserialize, Serialize};
+
+/// Dynamic (switching) power scaling: `α · (V/V₀)² · (f/f₀)`.
+///
+/// # Examples
+///
+/// ```
+/// use power_model::scaling::DynamicScaling;
+/// use power_model::units::{Megahertz, Millivolts};
+///
+/// let s = DynamicScaling::new(Millivolts::new(980), Megahertz::new(2400));
+/// let factor = s.factor(Millivolts::new(915), Megahertz::new(2400));
+/// assert!((factor - 0.872).abs() < 5e-4); // Fig. 5 first point
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicScaling {
+    nominal_voltage: Millivolts,
+    nominal_frequency: Megahertz,
+}
+
+impl DynamicScaling {
+    /// Creates a scaling rule anchored at the given nominal operating point.
+    pub fn new(nominal_voltage: Millivolts, nominal_frequency: Megahertz) -> Self {
+        DynamicScaling { nominal_voltage, nominal_frequency }
+    }
+
+    /// The X-Gene2 nominal anchor (980 mV, 2.4 GHz).
+    pub fn xgene2() -> Self {
+        DynamicScaling::new(Millivolts::XGENE2_NOMINAL, Megahertz::XGENE2_NOMINAL)
+    }
+
+    /// Nominal voltage anchor.
+    pub fn nominal_voltage(&self) -> Millivolts {
+        self.nominal_voltage
+    }
+
+    /// Nominal frequency anchor.
+    pub fn nominal_frequency(&self) -> Megahertz {
+        self.nominal_frequency
+    }
+
+    /// Dimensionless dynamic-power factor at `(voltage, frequency)`.
+    pub fn factor(&self, voltage: Millivolts, frequency: Megahertz) -> f64 {
+        let v = voltage.ratio_to(self.nominal_voltage);
+        let f = frequency.ratio_to(self.nominal_frequency);
+        v * v * f
+    }
+
+    /// Dynamic-power factor for a *set* of frequency plans sharing one rail,
+    /// e.g. the four X-Gene2 PMDs: `(Σfᵢ/Σf_nom) · (V/V₀)²`.
+    pub fn factor_multi(&self, voltage: Millivolts, frequencies: &[Megahertz]) -> f64 {
+        if frequencies.is_empty() {
+            return 0.0;
+        }
+        let v = voltage.ratio_to(self.nominal_voltage);
+        let fsum: f64 = frequencies.iter().map(|f| f.ratio_to(self.nominal_frequency)).sum();
+        v * v * fsum / frequencies.len() as f64
+    }
+}
+
+/// Leakage (static) power scaling: `(V/V₀)^γ · exp(k·(T−T₀))`.
+///
+/// `γ` captures the combined effect of the `V·I_leak(V)` product with
+/// DIBL-driven sub-threshold leakage; on the X-Gene2's 28 nm process the
+/// Fig. 9 PMD-domain savings calibrate to `γ ≈ 6`. Leakage roughly doubles
+/// every `ln(2)/k` kelvin.
+///
+/// # Examples
+///
+/// ```
+/// use power_model::scaling::LeakageScaling;
+/// use power_model::units::{Celsius, Millivolts};
+///
+/// let l = LeakageScaling::xgene2();
+/// let f = l.factor(Millivolts::new(930), Celsius::new(45.0));
+/// assert!(f < 0.75); // strong super-linear reduction at 930 mV
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakageScaling {
+    nominal_voltage: Millivolts,
+    nominal_temperature: Celsius,
+    /// Voltage exponent γ.
+    gamma: f64,
+    /// Exponential temperature coefficient per kelvin.
+    temp_coeff: f64,
+}
+
+impl LeakageScaling {
+    /// Creates a leakage rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` or `temp_coeff` is negative or not finite.
+    pub fn new(
+        nominal_voltage: Millivolts,
+        nominal_temperature: Celsius,
+        gamma: f64,
+        temp_coeff: f64,
+    ) -> Self {
+        assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be non-negative");
+        assert!(temp_coeff.is_finite() && temp_coeff >= 0.0, "temp_coeff must be non-negative");
+        LeakageScaling { nominal_voltage, nominal_temperature, gamma, temp_coeff }
+    }
+
+    /// Calibrated X-Gene2 leakage rule (γ = 6.0, leakage doubles per ~23 K,
+    /// anchored at 980 mV / 45 °C).
+    pub fn xgene2() -> Self {
+        LeakageScaling::new(Millivolts::XGENE2_NOMINAL, Celsius::new(45.0), 6.0, 0.03)
+    }
+
+    /// Voltage exponent γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Dimensionless leakage factor at `(voltage, temperature)`.
+    pub fn factor(&self, voltage: Millivolts, temperature: Celsius) -> f64 {
+        let v = voltage.ratio_to(self.nominal_voltage);
+        let dt = temperature.delta(self.nominal_temperature);
+        v.powf(self.gamma) * (self.temp_coeff * dt).exp()
+    }
+}
+
+/// A process-corner leakage multiplier.
+///
+/// Sigma chips are selected "from both ends": TFF parts have high leakage
+/// (beyond the nominal threshold) and TSS parts low leakage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CornerLeakage(f64);
+
+impl CornerLeakage {
+    /// Typical (TTT) leakage.
+    pub const TYPICAL: CornerLeakage = CornerLeakage(1.0);
+    /// Fast corner (TFF): high leakage.
+    pub const FAST: CornerLeakage = CornerLeakage(1.65);
+    /// Slow corner (TSS): low leakage.
+    pub const SLOW: CornerLeakage = CornerLeakage(0.62);
+
+    /// Creates a custom corner multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the multiplier is not strictly positive and finite.
+    pub fn new(multiplier: f64) -> Self {
+        assert!(multiplier.is_finite() && multiplier > 0.0, "multiplier must be positive");
+        CornerLeakage(multiplier)
+    }
+
+    /// The leakage multiplier relative to a typical part.
+    pub const fn multiplier(self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(v: u32) -> Millivolts {
+        Millivolts::new(v)
+    }
+
+    fn mhz(f: u32) -> Megahertz {
+        Megahertz::new(f)
+    }
+
+    #[test]
+    fn fig5_points_follow_from_dynamic_scaling() {
+        // The six published Fig. 5 points are exactly (Σf/Σf_nom)·(V/980)².
+        let s = DynamicScaling::xgene2();
+        let full = [mhz(2400); 4];
+        let one_slow = [mhz(1200), mhz(2400), mhz(2400), mhz(2400)];
+        let two_slow = [mhz(1200), mhz(1200), mhz(2400), mhz(2400)];
+        let three_slow = [mhz(1200), mhz(1200), mhz(1200), mhz(2400)];
+        let all_slow = [mhz(1200); 4];
+        let cases: [(&[Megahertz], u32, f64); 6] = [
+            (&full, 980, 1.000),
+            (&full, 915, 0.872),
+            (&one_slow, 900, 0.738),
+            (&two_slow, 885, 0.612),
+            (&three_slow, 875, 0.498),
+            (&all_slow, 850, 0.376),
+        ];
+        for (freqs, v, expect) in cases {
+            let got = s.factor_multi(mv(v), freqs);
+            assert!(
+                (got - expect).abs() < 1.5e-3,
+                "V={v}mV: got {got:.4}, paper {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_factor_is_one_at_nominal() {
+        let s = DynamicScaling::xgene2();
+        let f = s.factor(Millivolts::XGENE2_NOMINAL, Megahertz::XGENE2_NOMINAL);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_multi_empty_is_zero() {
+        assert_eq!(DynamicScaling::xgene2().factor_multi(mv(980), &[]), 0.0);
+    }
+
+    #[test]
+    fn leakage_factor_at_nominal_is_one() {
+        let l = LeakageScaling::xgene2();
+        let f = l.factor(Millivolts::XGENE2_NOMINAL, Celsius::new(45.0));
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_is_superlinear_in_voltage() {
+        let l = LeakageScaling::xgene2();
+        let t = Celsius::new(45.0);
+        let at_930 = l.factor(mv(930), t);
+        let quadratic = {
+            let r = mv(930).ratio_to(mv(980));
+            r * r
+        };
+        assert!(at_930 < quadratic, "γ=6 leakage must fall faster than V²");
+    }
+
+    #[test]
+    fn leakage_rises_with_temperature() {
+        let l = LeakageScaling::xgene2();
+        let cold = l.factor(mv(980), Celsius::new(45.0));
+        let hot = l.factor(mv(980), Celsius::new(68.0));
+        assert!(hot / cold > 1.9 && hot / cold < 2.1, "doubles per ~23 K");
+    }
+
+    #[test]
+    fn corner_ordering() {
+        assert!(CornerLeakage::FAST.multiplier() > CornerLeakage::TYPICAL.multiplier());
+        assert!(CornerLeakage::SLOW.multiplier() < CornerLeakage::TYPICAL.multiplier());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be positive")]
+    fn corner_rejects_zero() {
+        let _ = CornerLeakage::new(0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Whole-server power model (Fig. 9).
+//!
+//! Aggregates the three measurable X-Gene2 supply domains plus a fixed
+//! remainder into the board-level power reported by SLIMpro. Calibrated so
+//! the jammer-detector exploitation experiment reproduces the published
+//! 31.1 W → 24.8 W (20.2 %) result with per-domain savings of 20.3 % (PMD),
+//! 6.9 % (SoC) and 33.3 % (DRAM).
+
+use crate::domain::{ComputeDomain, DomainKind, DramDomain};
+use crate::tradeoff::FrequencyPlan;
+use crate::units::{Celsius, Megahertz, Millivolts, Milliseconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete server operating point: the three knobs the paper turns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// PMD-domain (core) rail voltage.
+    pub pmd_voltage: Millivolts,
+    /// SoC-domain rail voltage.
+    pub soc_voltage: Millivolts,
+    /// Per-PMD frequency plan.
+    pub plan: FrequencyPlan,
+    /// DRAM refresh period.
+    pub trefp: Milliseconds,
+}
+
+impl OperatingPoint {
+    /// Manufacturer-nominal operating point: 980 mV rails, 2.4 GHz, 64 ms.
+    pub fn nominal() -> Self {
+        OperatingPoint {
+            pmd_voltage: Millivolts::XGENE2_NOMINAL,
+            soc_voltage: Millivolts::XGENE2_NOMINAL,
+            plan: FrequencyPlan::all_nominal(),
+            trefp: Milliseconds::DDR3_NOMINAL_TREFP,
+        }
+    }
+
+    /// The paper's characterized safe point for the TTT chip: PMD domain at
+    /// 930 mV, SoC domain at 920 mV, DRAM refresh relaxed 35× (§IV.D).
+    pub fn dsn18_safe_point() -> Self {
+        OperatingPoint {
+            pmd_voltage: Millivolts::new(930),
+            soc_voltage: Millivolts::new(920),
+            plan: FrequencyPlan::all_nominal(),
+            trefp: Milliseconds::DSN18_RELAXED_TREFP,
+        }
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PMD {} / SoC {} / {} / TREFP {}",
+            self.pmd_voltage, self.soc_voltage, self.plan, self.trefp
+        )
+    }
+}
+
+/// The workload-dependent inputs to the server power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerLoad {
+    /// DRAM bandwidth utilization in `[0, 1]`.
+    pub dram_bandwidth_utilization: f64,
+    /// Die/board temperature.
+    pub temperature: Celsius,
+}
+
+impl ServerLoad {
+    /// The 4-instance jammer detector load: ~10.7 % DRAM bandwidth at 45 °C.
+    pub fn jammer_detector() -> Self {
+        ServerLoad { dram_bandwidth_utilization: 0.107, temperature: Celsius::new(45.0) }
+    }
+}
+
+/// Per-domain power readings, as SLIMpro would report them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// PMD (core) domain power.
+    pub pmd: Watts,
+    /// SoC domain power.
+    pub soc: Watts,
+    /// DRAM rail power.
+    pub dram: Watts,
+    /// Voltage-independent remainder.
+    pub fixed: Watts,
+}
+
+impl PowerBreakdown {
+    /// Total board power.
+    pub fn total(&self) -> Watts {
+        self.pmd + self.soc + self.dram + self.fixed
+    }
+
+    /// Power of one domain.
+    pub fn domain(&self, kind: DomainKind) -> Watts {
+        match kind {
+            DomainKind::Pmd => self.pmd,
+            DomainKind::Soc => self.soc,
+            DomainKind::Dram => self.dram,
+            DomainKind::Fixed => self.fixed,
+        }
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PMD {} + SoC {} + DRAM {} + fixed {} = {}",
+            self.pmd,
+            self.soc,
+            self.dram,
+            self.fixed,
+            self.total()
+        )
+    }
+}
+
+/// The calibrated whole-server model.
+///
+/// # Examples
+///
+/// ```
+/// use power_model::server::{OperatingPoint, ServerLoad, ServerPowerModel};
+///
+/// let server = ServerPowerModel::xgene2();
+/// let load = ServerLoad::jammer_detector();
+/// let nominal = server.power(&OperatingPoint::nominal(), &load);
+/// let safe = server.power(&OperatingPoint::dsn18_safe_point(), &load);
+/// let savings = nominal.total().savings_to(safe.total());
+/// assert!((nominal.total().as_f64() - 31.1).abs() < 0.15);
+/// assert!((savings - 0.202).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerPowerModel {
+    pmd: ComputeDomain,
+    soc: ComputeDomain,
+    dram: DramDomain,
+    fixed: Watts,
+}
+
+impl ServerPowerModel {
+    /// Creates a server model from its domain models.
+    pub fn new(pmd: ComputeDomain, soc: ComputeDomain, dram: DramDomain, fixed: Watts) -> Self {
+        ServerPowerModel { pmd, soc, dram, fixed }
+    }
+
+    /// The calibrated X-Gene2 board: PMD 14.7 W, SoC 5.0 W, DRAM ≈ 8.9 W
+    /// (at the jammer reference load), fixed 2.5 W — 31.1 W total under the
+    /// jammer detector at the nominal point.
+    pub fn xgene2() -> Self {
+        ServerPowerModel::new(
+            ComputeDomain::xgene2_pmd(Watts::new(14.7)),
+            ComputeDomain::xgene2_soc(Watts::new(5.0)),
+            DramDomain::xgene2(Watts::new(9.0)),
+            Watts::new(2.5),
+        )
+    }
+
+    /// Per-domain power at an operating point under a load.
+    pub fn power(&self, point: &OperatingPoint, load: &ServerLoad) -> PowerBreakdown {
+        let pmd =
+            self.pmd.power(point.pmd_voltage, point.plan.frequencies(), load.temperature);
+        let soc = self.soc.power(
+            point.soc_voltage,
+            &[Megahertz::XGENE2_NOMINAL],
+            load.temperature,
+        );
+        let dram = self.dram.power(point.trefp, load.dram_bandwidth_utilization);
+        PowerBreakdown { pmd, soc, dram, fixed: self.fixed }
+    }
+
+    /// Fractional total-power saving of `point` relative to nominal under
+    /// the same load.
+    pub fn total_savings(&self, point: &OperatingPoint, load: &ServerLoad) -> f64 {
+        let nominal = self.power(&OperatingPoint::nominal(), load);
+        let at_point = self.power(point, load);
+        nominal.total().savings_to(at_point.total())
+    }
+
+    /// Per-domain fractional savings of `point` relative to nominal.
+    pub fn domain_savings(&self, point: &OperatingPoint, load: &ServerLoad) -> Vec<(DomainKind, f64)> {
+        let nominal = self.power(&OperatingPoint::nominal(), load);
+        let at_point = self.power(point, load);
+        DomainKind::ALL
+            .iter()
+            .map(|kind| {
+                (*kind, nominal.domain(*kind).savings_to(at_point.domain(*kind)))
+            })
+            .collect()
+    }
+}
+
+impl Default for ServerPowerModel {
+    fn default() -> Self {
+        ServerPowerModel::xgene2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_total_power_and_savings() {
+        let server = ServerPowerModel::xgene2();
+        let load = ServerLoad::jammer_detector();
+        let nominal = server.power(&OperatingPoint::nominal(), &load);
+        let safe = server.power(&OperatingPoint::dsn18_safe_point(), &load);
+        assert!(
+            (nominal.total().as_f64() - 31.1).abs() < 0.15,
+            "nominal {}",
+            nominal.total()
+        );
+        assert!((safe.total().as_f64() - 24.8).abs() < 0.25, "safe {}", safe.total());
+        let savings = nominal.total().savings_to(safe.total());
+        assert!((savings - 0.202).abs() < 0.01, "savings {savings}");
+    }
+
+    #[test]
+    fn fig9_per_domain_savings() {
+        let server = ServerPowerModel::xgene2();
+        let load = ServerLoad::jammer_detector();
+        let savings = server.domain_savings(&OperatingPoint::dsn18_safe_point(), &load);
+        let get = |kind: DomainKind| {
+            savings.iter().find(|(k, _)| *k == kind).map(|(_, s)| *s).unwrap()
+        };
+        assert!((get(DomainKind::Pmd) - 0.203).abs() < 0.01, "PMD {}", get(DomainKind::Pmd));
+        assert!((get(DomainKind::Soc) - 0.069).abs() < 0.01, "SoC {}", get(DomainKind::Soc));
+        assert!((get(DomainKind::Dram) - 0.333).abs() < 0.01, "DRAM {}", get(DomainKind::Dram));
+        assert_eq!(get(DomainKind::Fixed), 0.0);
+    }
+
+    #[test]
+    fn savings_are_zero_at_nominal() {
+        let server = ServerPowerModel::xgene2();
+        let load = ServerLoad::jammer_detector();
+        let s = server.total_savings(&OperatingPoint::nominal(), &load);
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_total_sums_domains() {
+        let server = ServerPowerModel::xgene2();
+        let load = ServerLoad::jammer_detector();
+        let b = server.power(&OperatingPoint::nominal(), &load);
+        let sum = DomainKind::ALL.iter().map(|k| b.domain(*k)).sum::<Watts>();
+        assert!((b.total().as_f64() - sum.as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operating_point_display_mentions_all_knobs() {
+        let s = OperatingPoint::dsn18_safe_point().to_string();
+        assert!(s.contains("930mV") && s.contains("920mV") && s.contains("2.283s"));
+    }
+}

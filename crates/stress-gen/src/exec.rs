@@ -1,0 +1,157 @@
+//! Executing viruses on the core model: instead of annotating a virus's
+//! electrical profile by hand, lower its instruction loop to micro-ops,
+//! run it on the in-order pipeline against the cache hierarchy, and derive
+//! the profile from the *measured* waveform and counters.
+
+use crate::isa::{InstrClass, VirusGenome};
+use crate::micro::MicroVirus;
+use xgene_sim::hierarchy::CacheHierarchy;
+use xgene_sim::pdn::PdnModel;
+use xgene_sim::pipeline::{ExecUnit, ExecutionReport, InOrderCore, MicroOp};
+use xgene_sim::topology::CoreId;
+use xgene_sim::workload::WorkloadProfile;
+
+/// Lowers one instruction class to a micro-op (memory ops walk `addr`).
+fn lower(instr: InstrClass, next_addr: &mut u64) -> MicroOp {
+    let unit = match instr {
+        InstrClass::Nop => ExecUnit::None,
+        InstrClass::IntAdd | InstrClass::IntMul => ExecUnit::IntAlu,
+        InstrClass::FpMadd | InstrClass::SimdFma => ExecUnit::FpSimd,
+        InstrClass::L1Load | InstrClass::L2Load => ExecUnit::LoadStore,
+        InstrClass::Branch => ExecUnit::Branch,
+    };
+    match instr {
+        InstrClass::L1Load => {
+            // Walk a 16 KiB window — stays L1-resident.
+            let addr = *next_addr % (16 * 1024);
+            *next_addr = next_addr.wrapping_add(64);
+            MicroOp::load(addr, instr.current_amps())
+        }
+        InstrClass::L2Load => {
+            // Walk a 192 KiB window — fits L2, overflows L1.
+            let addr = *next_addr % (192 * 1024);
+            *next_addr = next_addr.wrapping_add(64);
+            MicroOp::load(addr, instr.current_amps())
+        }
+        _ => MicroOp::compute(unit, instr.cycles(), instr.current_amps()),
+    }
+}
+
+/// Lowers a genome to its micro-op loop body.
+pub fn lower_genome(genome: &VirusGenome) -> Vec<MicroOp> {
+    let mut next_addr = 0u64;
+    genome.slots().iter().map(|i| lower(*i, &mut next_addr)).collect()
+}
+
+/// Executes a genome on `core` and returns the execution report.
+pub fn execute_genome(
+    genome: &VirusGenome,
+    hierarchy: &mut CacheHierarchy,
+    core: CoreId,
+    iterations: u32,
+) -> ExecutionReport {
+    let body = lower_genome(genome);
+    InOrderCore::new(core).execute(hierarchy, &body, iterations)
+}
+
+/// A virus profile derived from *measured* execution: activity/swing from
+/// the waveform, memory intensity from the counters, and resonance
+/// alignment from the measured loop period against the PDN.
+pub fn measured_profile(
+    name: &str,
+    genome: &VirusGenome,
+    hierarchy: &mut CacheHierarchy,
+    pdn: &PdnModel,
+) -> WorkloadProfile {
+    let report = execute_genome(genome, hierarchy, CoreId::new(0), 64);
+    let base = report.profile(
+        name,
+        InstrClass::Nop.current_amps(),
+        InstrClass::SimdFma.current_amps(),
+    );
+    // Recover the resonance alignment from the executed waveform.
+    let period_s =
+        report.current_trace.len() as f64 / crate::isa::CORE_CLOCK_HZ;
+    if report.current_trace.is_empty() || period_s <= 0.0 {
+        return base;
+    }
+    let spec = xgene_sim::pdn::spectrum(&report.current_trace, period_s, 8);
+    let f0 = pdn.resonant_frequency_hz();
+    let bw = f0 / 3.0;
+    let total: f64 = spec.iter().map(|(_, a)| a).sum();
+    let in_band: f64 =
+        spec.iter().filter(|(f, _)| (f - f0).abs() < bw).map(|(_, a)| a).sum();
+    let alignment =
+        if total <= 1e-12 { 0.0 } else { ((in_band / total) / 0.55).clamp(0.0, 1.0) };
+    WorkloadProfile::builder(name)
+        .activity(base.activity())
+        .swing(base.swing())
+        .resonance_alignment(alignment)
+        .memory_intensity(base.memory_intensity())
+        .ipc(base.ipc())
+        .target(base.target())
+        .build()
+}
+
+impl MicroVirus {
+    /// Executes this micro-virus on the pipeline and reports its measured
+    /// IPC and DRAM ratio (ALU viruses never touch memory; cache viruses
+    /// stay inside their target level, so neither reaches DRAM).
+    pub fn execute(&self, hierarchy: &mut CacheHierarchy, iterations: u32) -> ExecutionReport {
+        execute_genome(&self.genome, hierarchy, CoreId::new(0), iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::{evolve, GaConfig};
+    use xgene_sim::em::EmProbe;
+
+    #[test]
+    fn evolved_virus_measures_resonant_on_the_pipeline() {
+        let pdn = PdnModel::xgene2();
+        let mut probe = EmProbe::new(pdn, 5);
+        let config = GaConfig { population: 24, generations: 30, ..GaConfig::dsn18() };
+        let result = evolve(&config, &mut probe);
+        let mut h = CacheHierarchy::xgene2();
+        let profile = measured_profile("em-virus", &result.champion, &mut h, &pdn);
+        assert!(profile.swing() > 0.6, "{profile:?}");
+        assert!(profile.resonance_alignment() > 0.4, "{profile:?}");
+    }
+
+    #[test]
+    fn alu_viruses_never_reach_dram() {
+        let mut h = CacheHierarchy::xgene2();
+        let report = MicroVirus::fp_alu().execute(&mut h, 16);
+        assert_eq!(report.dram_ratio, 0.0);
+        assert!((report.ipc() - 0.25).abs() < 0.01, "SIMD FMA is 4 cycles");
+    }
+
+    #[test]
+    fn cache_viruses_settle_into_their_level() {
+        let mut h = CacheHierarchy::xgene2();
+        let virus = MicroVirus::cache(xgene_sim::topology::CacheLevel::L1D);
+        let report = virus.execute(&mut h, 512);
+        assert!(report.dram_ratio < 0.01, "dram ratio {}", report.dram_ratio);
+    }
+
+    #[test]
+    fn simd_loop_draws_more_than_nop_loop() {
+        let mut h = CacheHierarchy::xgene2();
+        let hot = execute_genome(
+            &VirusGenome::new(vec![InstrClass::SimdFma; 16]),
+            &mut h,
+            CoreId::new(0),
+            8,
+        );
+        let cold = execute_genome(
+            &VirusGenome::new(vec![InstrClass::Nop; 16]),
+            &mut h,
+            CoreId::new(1),
+            8,
+        );
+        assert!(hot.mean_current > 3.0);
+        assert!(cold.mean_current < 1.0);
+    }
+}

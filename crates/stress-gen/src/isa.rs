@@ -1,0 +1,218 @@
+//! Instruction classes and virus-loop genomes.
+//!
+//! dI/dt viruses are instruction loops; what matters electrically is each
+//! instruction's current draw and duration. We model the ARMv8 classes the
+//! GA composes loops from — from idle NOPs up to 128-bit SIMD FMA bursts —
+//! and synthesize the loop's periodic current waveform, which the PDN/EM
+//! models consume.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Core clock used for trace synthesis (2.4 GHz).
+pub const CORE_CLOCK_HZ: f64 = 2.4e9;
+
+/// An instruction class with its electrical character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// `nop` — pipeline idles.
+    Nop,
+    /// Dependent integer add chain — low draw.
+    IntAdd,
+    /// Integer multiply — moderate draw.
+    IntMul,
+    /// Scalar FP multiply-add.
+    FpMadd,
+    /// 128-bit SIMD fused multiply-add — the highest-draw instruction.
+    SimdFma,
+    /// L1-resident load.
+    L1Load,
+    /// L2-resident load (stalls the pipeline briefly).
+    L2Load,
+    /// Branch with predictable target.
+    Branch,
+}
+
+impl InstrClass {
+    /// Every class the generator may pick.
+    pub const ALL: [InstrClass; 8] = [
+        InstrClass::Nop,
+        InstrClass::IntAdd,
+        InstrClass::IntMul,
+        InstrClass::FpMadd,
+        InstrClass::SimdFma,
+        InstrClass::L1Load,
+        InstrClass::L2Load,
+        InstrClass::Branch,
+    ];
+
+    /// Per-core current draw while this instruction executes, in amps.
+    pub fn current_amps(self) -> f64 {
+        match self {
+            InstrClass::Nop => 0.6,
+            InstrClass::IntAdd => 1.4,
+            InstrClass::IntMul => 1.9,
+            InstrClass::FpMadd => 2.6,
+            InstrClass::SimdFma => 3.4,
+            InstrClass::L1Load => 1.7,
+            InstrClass::L2Load => 1.1,
+            InstrClass::Branch => 1.2,
+        }
+    }
+
+    /// Occupancy in core cycles (issue-to-issue, single-issue model).
+    pub fn cycles(self) -> u32 {
+        match self {
+            InstrClass::Nop => 1,
+            InstrClass::IntAdd => 1,
+            InstrClass::IntMul => 3,
+            InstrClass::FpMadd => 4,
+            InstrClass::SimdFma => 4,
+            InstrClass::L1Load => 2,
+            InstrClass::L2Load => 9,
+            InstrClass::Branch => 1,
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstrClass::Nop => "nop",
+            InstrClass::IntAdd => "add",
+            InstrClass::IntMul => "mul",
+            InstrClass::FpMadd => "fmadd",
+            InstrClass::SimdFma => "simd-fma",
+            InstrClass::L1Load => "ldr-l1",
+            InstrClass::L2Load => "ldr-l2",
+            InstrClass::Branch => "b",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A candidate virus: a loop of instruction slots.
+///
+/// # Examples
+///
+/// ```
+/// use stress_gen::isa::{InstrClass, VirusGenome};
+///
+/// let genome = VirusGenome::new(vec![InstrClass::SimdFma; 8]);
+/// let (trace, period) = genome.current_trace();
+/// assert!(!trace.is_empty());
+/// assert!(period > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VirusGenome {
+    slots: Vec<InstrClass>,
+}
+
+impl VirusGenome {
+    /// Creates a genome from explicit slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty.
+    pub fn new(slots: Vec<InstrClass>) -> Self {
+        assert!(!slots.is_empty(), "genome must have at least one slot");
+        VirusGenome { slots }
+    }
+
+    /// The loop body.
+    pub fn slots(&self) -> &[InstrClass] {
+        &self.slots
+    }
+
+    /// Mutable access for GA operators.
+    pub(crate) fn slots_mut(&mut self) -> &mut Vec<InstrClass> {
+        &mut self.slots
+    }
+
+    /// Loop duration in core cycles.
+    pub fn cycles(&self) -> u32 {
+        self.slots.iter().map(|i| i.cycles()).sum()
+    }
+
+    /// Loop period in seconds at the nominal clock.
+    pub fn period_s(&self) -> f64 {
+        f64::from(self.cycles()) / CORE_CLOCK_HZ
+    }
+
+    /// Synthesizes one period of the loop's current waveform, one sample
+    /// per core cycle: `(samples, period_seconds)`.
+    pub fn current_trace(&self) -> (Vec<f64>, f64) {
+        let mut samples = Vec::with_capacity(self.cycles() as usize);
+        for instr in &self.slots {
+            for _ in 0..instr.cycles() {
+                samples.push(instr.current_amps());
+            }
+        }
+        (samples, self.period_s())
+    }
+
+    /// Mean current over the loop, in amps.
+    pub fn mean_current(&self) -> f64 {
+        let (trace, _) = self.current_trace();
+        trace.iter().sum::<f64>() / trace.len() as f64
+    }
+
+    /// Peak-to-trough current swing over the loop, in amps.
+    pub fn current_swing(&self) -> f64 {
+        let (trace, _) = self.current_trace();
+        let max = trace.iter().cloned().fold(f64::MIN, f64::max);
+        let min = trace.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    }
+}
+
+impl fmt::Display for VirusGenome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop[{} slots, {} cycles]", self.slots.len(), self.cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simd_is_the_hungriest() {
+        for class in InstrClass::ALL {
+            assert!(class.current_amps() <= InstrClass::SimdFma.current_amps());
+        }
+    }
+
+    #[test]
+    fn trace_length_matches_cycles() {
+        let g = VirusGenome::new(vec![InstrClass::IntMul, InstrClass::Nop, InstrClass::SimdFma]);
+        let (trace, period) = g.current_trace();
+        assert_eq!(trace.len(), 8); // 3 + 1 + 4 cycles
+        assert!((period - 8.0 / CORE_CLOCK_HZ).abs() < 1e-18);
+    }
+
+    #[test]
+    fn swing_of_alternating_loop() {
+        let g = VirusGenome::new(vec![InstrClass::SimdFma, InstrClass::Nop]);
+        let expected = InstrClass::SimdFma.current_amps() - InstrClass::Nop.current_amps();
+        assert!((g.current_swing() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_current_is_bounded_by_extremes() {
+        let g = VirusGenome::new(vec![
+            InstrClass::IntAdd,
+            InstrClass::FpMadd,
+            InstrClass::L2Load,
+        ]);
+        let m = g.mean_current();
+        assert!(m > InstrClass::Nop.current_amps());
+        assert!(m < InstrClass::SimdFma.current_amps());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn rejects_empty_genome() {
+        let _ = VirusGenome::new(vec![]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Stress-test generation for the DSN'18 guardband study.
+//!
+//! Two families of diagnostics:
+//!
+//! * [`ga`] — the genetic algorithm that evolves **dI/dt viruses** (loops
+//!   maximizing simulated EM emanations, and therefore resonant voltage
+//!   noise), reproducing the methodology the paper uses because the
+//!   X-Gene2 has no fine-grained on-die voltage probe;
+//! * [`micro`] — hand-crafted **micro-viruses** isolating individual
+//!   components (L1I/L1D/L2/L3 SRAM arrays, integer and FP ALUs) so
+//!   failures can be attributed to cache or pipeline logic;
+//!
+//! with [`isa`] providing the instruction-class and virus-genome
+//! representation both build on, and [`exec`] lowering viruses to
+//! micro-ops and *executing* them on the in-order core model so their
+//! electrical profiles are measured rather than annotated.
+//!
+//! # Examples
+//!
+//! Evolve a dI/dt virus and inspect its electrical profile:
+//!
+//! ```no_run
+//! use stress_gen::ga::{evolve, GaConfig};
+//! use xgene_sim::em::EmProbe;
+//! use xgene_sim::pdn::PdnModel;
+//!
+//! let pdn = PdnModel::xgene2();
+//! let mut probe = EmProbe::new(pdn, 1);
+//! let result = evolve(&GaConfig::dsn18(), &mut probe);
+//! let profile = result.champion_profile(&pdn);
+//! assert!(profile.resonance_alignment() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod exec;
+pub mod ga;
+pub mod isa;
+pub mod micro;
+
+pub use exec::{execute_genome, lower_genome, measured_profile};
+pub use ga::{evolve, EvolutionResult, GaConfig};
+pub use isa::{InstrClass, VirusGenome};
+pub use micro::MicroVirus;

@@ -1,0 +1,195 @@
+//! Hand-crafted micro-viruses targeting individual chip components.
+//!
+//! Because the CPU pipeline and the cache SRAM arrays share one voltage
+//! domain, the paper isolates *where* low-voltage failures originate by
+//! crafting "synthetic programs that specifically target components"
+//! — L1I, L1D, L2, L3, and the integer/FP ALUs — exploiting the
+//! microarchitecture (cache geometries, inclusive hierarchy) to pin each
+//! program's working set into exactly one level.
+
+use crate::isa::{InstrClass, VirusGenome};
+use serde::{Deserialize, Serialize};
+use xgene_sim::cache::Cache;
+use xgene_sim::topology::CacheLevel;
+use xgene_sim::workload::{StressTarget, WorkloadProfile};
+
+/// A targeted micro-virus: an access/instruction pattern plus the
+/// component it isolates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroVirus {
+    /// Virus name.
+    pub name: String,
+    /// The component this virus stresses.
+    pub target: StressTarget,
+    /// Instruction loop driving the pipeline (for ALU viruses this *is*
+    /// the virus; for cache viruses it is the load loop).
+    pub genome: VirusGenome,
+    /// Stride-walked working set in bytes (0 for pure ALU viruses).
+    pub working_set_bytes: usize,
+}
+
+impl MicroVirus {
+    /// The integer-ALU virus: dependent multiply chain, no memory traffic.
+    pub fn int_alu() -> Self {
+        MicroVirus {
+            name: "int-alu-virus".into(),
+            target: StressTarget::IntAlu,
+            genome: VirusGenome::new(vec![InstrClass::IntMul; 16]),
+            working_set_bytes: 0,
+        }
+    }
+
+    /// The FP/SIMD virus: back-to-back fused multiply-adds.
+    pub fn fp_alu() -> Self {
+        MicroVirus {
+            name: "fp-alu-virus".into(),
+            target: StressTarget::FpAlu,
+            genome: VirusGenome::new(vec![InstrClass::SimdFma; 16]),
+            working_set_bytes: 0,
+        }
+    }
+
+    /// A cache virus for `level`: a load loop over a working set sized to
+    /// fill the target level while overflowing every level above it.
+    pub fn cache(level: CacheLevel) -> Self {
+        // Fit the working set into the target level but beyond the level
+        // above: 75 % of the target capacity does both on the X-Gene2
+        // (each level is ≥ 8× larger than its predecessor).
+        let working_set_bytes = level.capacity() * 3 / 4;
+        let load = match level {
+            CacheLevel::L1I | CacheLevel::L1D => InstrClass::L1Load,
+            CacheLevel::L2 | CacheLevel::L3 => InstrClass::L2Load,
+        };
+        MicroVirus {
+            name: format!("{level}-virus").to_lowercase(),
+            target: StressTarget::Cache(level),
+            genome: VirusGenome::new(vec![load; 16]),
+            working_set_bytes,
+        }
+    }
+
+    /// All six targeted viruses of the methodology.
+    pub fn component_suite() -> Vec<MicroVirus> {
+        vec![
+            MicroVirus::cache(CacheLevel::L1I),
+            MicroVirus::cache(CacheLevel::L1D),
+            MicroVirus::cache(CacheLevel::L2),
+            MicroVirus::cache(CacheLevel::L3),
+            MicroVirus::int_alu(),
+            MicroVirus::fp_alu(),
+        ]
+    }
+
+    /// The virus's address stream over one pass of its working set
+    /// (line-strided loads; empty for ALU viruses).
+    pub fn address_stream(&self) -> Vec<u64> {
+        (0..self.working_set_bytes as u64).step_by(64).collect()
+    }
+
+    /// The workload profile this virus presents to the Vmin model.
+    pub fn profile(&self) -> WorkloadProfile {
+        let activity = (self.genome.mean_current() - InstrClass::Nop.current_amps())
+            / (InstrClass::SimdFma.current_amps() - InstrClass::Nop.current_amps());
+        WorkloadProfile::builder(self.name.clone())
+            .activity(activity.clamp(0.0, 1.0))
+            .swing(0.15)
+            .resonance_alignment(0.0)
+            .target(self.target)
+            .build()
+    }
+
+    /// Verifies (against the cache simulator) that the working set indeed
+    /// resides in the target level: returns the steady-state hit ratio in
+    /// the target cache after a warmup pass.
+    pub fn residency_hit_ratio(&self) -> Option<f64> {
+        let level = match self.target {
+            StressTarget::Cache(level) => level,
+            _ => return None,
+        };
+        let mut cache = Cache::for_level(level);
+        let stream = self.address_stream();
+        for addr in &stream {
+            cache.access(*addr);
+        }
+        cache.reset_stats();
+        for _ in 0..3 {
+            for addr in &stream {
+                cache.access(*addr);
+            }
+        }
+        Some(1.0 - cache.stats().miss_ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_viruses_stay_resident_in_their_level() {
+        for level in CacheLevel::ALL {
+            let virus = MicroVirus::cache(level);
+            let hit = virus.residency_hit_ratio().unwrap();
+            assert!(hit > 0.99, "{level}: hit ratio {hit}");
+        }
+    }
+
+    #[test]
+    fn cache_virus_overflows_the_level_above() {
+        // The L2 virus's working set must miss badly in L1.
+        let virus = MicroVirus::cache(CacheLevel::L2);
+        let mut l1 = Cache::for_level(CacheLevel::L1D);
+        let stream = virus.address_stream();
+        for _ in 0..2 {
+            for a in &stream {
+                l1.access(*a);
+            }
+        }
+        l1.reset_stats();
+        for a in &stream {
+            l1.access(*a);
+        }
+        assert!(l1.stats().miss_ratio() > 0.95, "L1 miss {}", l1.stats().miss_ratio());
+    }
+
+    #[test]
+    fn alu_viruses_have_no_memory_footprint() {
+        assert!(MicroVirus::int_alu().address_stream().is_empty());
+        assert!(MicroVirus::fp_alu().residency_hit_ratio().is_none());
+    }
+
+    #[test]
+    fn fp_virus_draws_more_than_int_virus() {
+        let fp = MicroVirus::fp_alu().profile();
+        let int = MicroVirus::int_alu().profile();
+        assert!(fp.activity() > int.activity());
+    }
+
+    #[test]
+    fn suite_covers_all_components() {
+        let suite = MicroVirus::component_suite();
+        assert_eq!(suite.len(), 6);
+        let cache_targets = suite
+            .iter()
+            .filter(|v| matches!(v.target, StressTarget::Cache(_)))
+            .count();
+        assert_eq!(cache_targets, 4);
+    }
+
+    #[test]
+    fn cache_virus_raises_vmin_with_level_ordering() {
+        use power_model::units::Megahertz;
+        use xgene_sim::sigma::{ChipProfile, SigmaBin};
+        // On the shared rail, L1 viruses expose the weakest (smallest)
+        // bitcells: their SRAM-limited Vmin exceeds the L3 virus's.
+        let chip = ChipProfile::corner(SigmaBin::Ttt);
+        let core = chip.most_robust_core();
+        let vmin = |v: &MicroVirus| {
+            chip.vmin(core, &v.profile(), Megahertz::XGENE2_NOMINAL).as_u32()
+        };
+        let l1 = vmin(&MicroVirus::cache(CacheLevel::L1D));
+        let l2 = vmin(&MicroVirus::cache(CacheLevel::L2));
+        let l3 = vmin(&MicroVirus::cache(CacheLevel::L3));
+        assert!(l1 >= l2 && l2 >= l3, "L1 {l1}, L2 {l2}, L3 {l3}");
+    }
+}

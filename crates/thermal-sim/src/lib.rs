@@ -1,0 +1,45 @@
+//! Simulation of the DSN'18 DIMM thermal testbed.
+//!
+//! The paper builds "a first of its kind temperature-controlled testbed for
+//! DRAMs on a server": resistive heating adapters taped to each DIMM, a
+//! thermocouple per adapter, the DIMM's own SPD thermal sensor, solid-state
+//! relays, and PID controllers on a Raspberry Pi 3 board, regulating each
+//! DIMM and rank independently to within 1 °C of the set point.
+//!
+//! This crate reproduces that control loop end to end:
+//!
+//! * [`plant`] — first-order thermal model of a DIMM + heating adapter;
+//! * [`pid`] — discrete PID controller with anti-windup;
+//! * [`sensor`] — thermocouple and SPD sensor models (noise, quantization, lag);
+//! * [`relay`] — solid-state relay with time-proportioning drive;
+//! * [`testbed`] — the assembled eight-channel testbed.
+//!
+//! # Examples
+//!
+//! Regulate all eight DIMM ranks at the paper's 60 °C characterization
+//! set point and verify the 1 °C regulation claim:
+//!
+//! ```
+//! use thermal_sim::testbed::ThermalTestbed;
+//! use power_model::units::Celsius;
+//!
+//! let mut bed = ThermalTestbed::new(Celsius::new(25.0), 1);
+//! bed.set_all_targets(Celsius::new(60.0));
+//! bed.run(3600.0);
+//! assert!(bed.max_deviation_over(600.0) < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod pid;
+pub mod plant;
+pub mod relay;
+pub mod sensor;
+pub mod testbed;
+
+pub use pid::{Pid, PidGains};
+pub use plant::ThermalPlant;
+pub use relay::SolidStateRelay;
+pub use sensor::{SensorKind, TemperatureSensor};
+pub use testbed::{ChannelId, ChannelReading, ThermalTestbed, CHANNEL_COUNT};

@@ -1,0 +1,149 @@
+//! Discrete PID controller with anti-windup, as used on the testbed's
+//! controller board (four closed-loop PID controllers on a Raspberry Pi 3).
+
+use serde::{Deserialize, Serialize};
+
+/// PID gains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidGains {
+    /// Proportional gain (per kelvin of error).
+    pub kp: f64,
+    /// Integral gain (per kelvin-second).
+    pub ki: f64,
+    /// Derivative gain (per kelvin/second).
+    pub kd: f64,
+}
+
+impl PidGains {
+    /// Gains tuned for the DIMM-adapter plant (τ = 480 s, gain 60 K/duty):
+    /// fast approach with no overshoot beyond the ±1 °C regulation band.
+    pub fn dimm_adapter() -> Self {
+        PidGains { kp: 0.25, ki: 0.004, kd: 0.8 }
+    }
+}
+
+/// A discrete PID controller producing a duty-cycle command in `[0, 1]`.
+///
+/// Integral anti-windup: the integrator freezes while the output saturates
+/// in the direction of the error, which the heating-only testbed needs (the
+/// plant cannot be driven below ambient, so cooling errors would otherwise
+/// wind the integrator far negative).
+///
+/// # Examples
+///
+/// ```
+/// use thermal_sim::pid::{Pid, PidGains};
+///
+/// let mut pid = Pid::new(PidGains::dimm_adapter());
+/// let duty = pid.update(50.0, 25.0, 0.1); // target 50 °C, measured 25 °C
+/// assert_eq!(duty, 1.0); // saturated high while far below target
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pid {
+    gains: PidGains,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a controller with the given gains.
+    pub fn new(gains: PidGains) -> Self {
+        Pid { gains, integral: 0.0, last_error: None }
+    }
+
+    /// Computes the duty-cycle command for one control period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn update(&mut self, setpoint: f64, measured: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
+        let error = setpoint - measured;
+        let derivative = match self.last_error {
+            Some(prev) => (error - prev) / dt,
+            None => 0.0,
+        };
+        self.last_error = Some(error);
+
+        let tentative_integral = self.integral + error * dt;
+        let unsat = self.gains.kp * error
+            + self.gains.ki * tentative_integral
+            + self.gains.kd * derivative;
+        let saturated = unsat.clamp(0.0, 1.0);
+        // Anti-windup: only integrate when not pushing further into a limit.
+        let winding_up = (unsat > 1.0 && error > 0.0) || (unsat < 0.0 && error < 0.0);
+        if !winding_up {
+            self.integral = tentative_integral;
+        }
+        saturated
+    }
+
+    /// Resets the controller state (integral and derivative history).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+
+    /// Current integrator value (useful for tests and telemetry).
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plant::ThermalPlant;
+    use power_model::units::{Celsius, Watts};
+
+    #[test]
+    fn saturates_high_when_cold() {
+        let mut pid = Pid::new(PidGains::dimm_adapter());
+        assert_eq!(pid.update(60.0, 25.0, 0.1), 1.0);
+    }
+
+    #[test]
+    fn outputs_zero_when_far_above_setpoint() {
+        let mut pid = Pid::new(PidGains::dimm_adapter());
+        assert_eq!(pid.update(30.0, 80.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn anti_windup_limits_integral_during_saturation() {
+        let mut pid = Pid::new(PidGains::dimm_adapter());
+        for _ in 0..10_000 {
+            pid.update(60.0, 25.0, 0.1); // permanently saturated high
+        }
+        // Without anti-windup the integral would reach 35*1000 = 35 000.
+        assert!(pid.integral().abs() < 300.0, "integral {}", pid.integral());
+    }
+
+    #[test]
+    fn closed_loop_regulates_within_one_degree() {
+        // The paper: "the maximum deviation from the set temperature is
+        // less than 1 °C" in steady state.
+        let mut plant = ThermalPlant::dimm_adapter(Celsius::new(25.0));
+        let mut pid = Pid::new(PidGains::dimm_adapter());
+        let max_power = Watts::new(15.0);
+        let target = 60.0;
+        let dt = 0.5;
+        let mut worst: f64 = 0.0;
+        for step in 0..36_000 {
+            let duty = pid.update(target, plant.temperature().as_f64(), dt);
+            plant.step(max_power.scaled(duty), dt);
+            // allow 1.5 plant time constants of settling before judging
+            if step > 14_400 {
+                worst = worst.max((plant.temperature().as_f64() - target).abs());
+            }
+        }
+        assert!(worst < 1.0, "steady-state deviation {worst} °C");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(PidGains::dimm_adapter());
+        pid.update(60.0, 25.0, 0.1);
+        pid.reset();
+        assert_eq!(pid.integral(), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! First-order thermal plant of a DIMM with a resistive heating adapter.
+//!
+//! The paper's testbed attaches a resistive element to each DIMM through
+//! thermally conductive tape, so the DIMM chips and the element form one
+//! lumped thermal mass coupled to ambient air. A first-order RC model
+//! captures this: `C·dT/dt = P_in − (T − T_amb)/R_th`.
+
+use power_model::units::{Celsius, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Lumped-parameter thermal model of one DIMM + heating adapter.
+///
+/// # Examples
+///
+/// ```
+/// use thermal_sim::plant::ThermalPlant;
+/// use power_model::units::{Celsius, Watts};
+///
+/// let mut plant = ThermalPlant::dimm_adapter(Celsius::new(25.0));
+/// for _ in 0..50_000 {
+///     plant.step(Watts::new(8.75), 0.1);
+/// }
+/// // Steady state: T = T_amb + P · R_th = 25 + 8.75 · 4 = 60 °C.
+/// assert!((plant.temperature().as_f64() - 60.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalPlant {
+    temperature: Celsius,
+    ambient: Celsius,
+    /// Thermal resistance to ambient in K/W.
+    r_th: f64,
+    /// Heat capacity in J/K.
+    capacity: f64,
+    /// Extra self-heating of the DIMM from memory traffic, in watts.
+    self_heating: Watts,
+}
+
+impl ThermalPlant {
+    /// Creates a plant with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_th` or `capacity` is not strictly positive.
+    pub fn new(ambient: Celsius, r_th: f64, capacity: f64) -> Self {
+        assert!(r_th > 0.0 && r_th.is_finite(), "thermal resistance must be positive");
+        assert!(capacity > 0.0 && capacity.is_finite(), "heat capacity must be positive");
+        ThermalPlant {
+            temperature: ambient,
+            ambient,
+            r_th,
+            capacity,
+            self_heating: Watts::ZERO,
+        }
+    }
+
+    /// The calibrated DIMM-adapter plant: 4 K/W to ambient, 120 J/K
+    /// (τ = R·C = 480 s — DIMMs with tape and heater settle in minutes).
+    pub fn dimm_adapter(ambient: Celsius) -> Self {
+        ThermalPlant::new(ambient, 4.0, 120.0)
+    }
+
+    /// Current DIMM temperature.
+    pub fn temperature(&self) -> Celsius {
+        self.temperature
+    }
+
+    /// Ambient temperature.
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// Sets the DIMM's self-heating power (from memory traffic).
+    pub fn set_self_heating(&mut self, power: Watts) {
+        self.self_heating = power;
+    }
+
+    /// Advances the plant by `dt` seconds with `heater_power` applied.
+    ///
+    /// Uses forward Euler, which is stable here for `dt ≪ R·C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn step(&mut self, heater_power: Watts, dt: f64) {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
+        let p_in = heater_power.as_f64() + self.self_heating.as_f64();
+        let t = self.temperature.as_f64();
+        let dtemp = (p_in - (t - self.ambient.as_f64()) / self.r_th) / self.capacity;
+        self.temperature = Celsius::new(t + dtemp * dt);
+    }
+
+    /// The steady-state temperature for a constant heater power.
+    pub fn steady_state(&self, heater_power: Watts) -> Celsius {
+        Celsius::new(
+            self.ambient.as_f64()
+                + (heater_power.as_f64() + self.self_heating.as_f64()) * self.r_th,
+        )
+    }
+
+    /// The heater power needed to hold `target` at steady state (clamped at
+    /// zero: the testbed can only heat, not cool below ambient).
+    pub fn power_for(&self, target: Celsius) -> Watts {
+        let p = (target.as_f64() - self.ambient.as_f64()) / self.r_th
+            - self.self_heating.as_f64();
+        Watts::new(p.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plant_converges_to_steady_state() {
+        let mut plant = ThermalPlant::dimm_adapter(Celsius::new(25.0));
+        let p = Watts::new(6.25); // 25 + 6.25*4 = 50 °C
+        for _ in 0..40_000 {
+            plant.step(p, 0.1);
+        }
+        assert!((plant.temperature().as_f64() - 50.0).abs() < 0.1);
+        assert!((plant.steady_state(p).as_f64() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plant_cools_back_to_ambient() {
+        let mut plant = ThermalPlant::dimm_adapter(Celsius::new(25.0));
+        for _ in 0..10_000 {
+            plant.step(Watts::new(10.0), 0.1);
+        }
+        for _ in 0..60_000 {
+            plant.step(Watts::ZERO, 0.1);
+        }
+        assert!((plant.temperature().as_f64() - 25.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn self_heating_raises_temperature() {
+        let mut a = ThermalPlant::dimm_adapter(Celsius::new(25.0));
+        let mut b = ThermalPlant::dimm_adapter(Celsius::new(25.0));
+        b.set_self_heating(Watts::new(1.0));
+        for _ in 0..20_000 {
+            a.step(Watts::new(5.0), 0.1);
+            b.step(Watts::new(5.0), 0.1);
+        }
+        assert!(b.temperature() > a.temperature());
+        assert!((b.temperature().as_f64() - a.temperature().as_f64() - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn power_for_is_inverse_of_steady_state() {
+        let plant = ThermalPlant::dimm_adapter(Celsius::new(25.0));
+        let p = plant.power_for(Celsius::new(60.0));
+        assert!((plant.steady_state(p).as_f64() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_for_clamps_below_ambient() {
+        let plant = ThermalPlant::dimm_adapter(Celsius::new(25.0));
+        assert_eq!(plant.power_for(Celsius::new(20.0)), Watts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn step_rejects_zero_dt() {
+        let mut plant = ThermalPlant::dimm_adapter(Celsius::new(25.0));
+        plant.step(Watts::ZERO, 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Solid-state relay with time-proportioning (slow PWM) drive.
+//!
+//! The controller board drives each heating element through a solid-state
+//! relay. PID duty-cycle commands are realized by switching the relay over
+//! a fixed time-proportioning window, with a minimum on/off time to respect
+//! zero-crossing switching.
+
+use serde::{Deserialize, Serialize};
+
+/// A solid-state relay converting a duty command into on/off heater state.
+///
+/// # Examples
+///
+/// ```
+/// use thermal_sim::relay::SolidStateRelay;
+///
+/// let mut relay = SolidStateRelay::new(2.0, 0.1);
+/// relay.set_duty(0.5);
+/// let mut on_time = 0.0_f64;
+/// for _ in 0..200 {
+///     if relay.step(0.1) {
+///         on_time += 0.1;
+///     }
+/// }
+/// assert!((on_time / 20.0 - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolidStateRelay {
+    /// Time-proportioning window length in seconds.
+    window: f64,
+    /// Minimum switch interval in seconds (zero-cross granularity).
+    min_interval: f64,
+    duty: f64,
+    /// Position within the current window.
+    phase: f64,
+    switch_count: u64,
+    is_on: bool,
+}
+
+impl SolidStateRelay {
+    /// Creates a relay with a time-proportioning `window` and a minimum
+    /// switching interval, both in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not positive or the minimum interval is
+    /// negative or exceeds the window.
+    pub fn new(window: f64, min_interval: f64) -> Self {
+        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        assert!(
+            (0.0..=window).contains(&min_interval),
+            "min interval must be within [0, window]"
+        );
+        SolidStateRelay { window, min_interval, duty: 0.0, phase: 0.0, switch_count: 0, is_on: false }
+    }
+
+    /// Sets the commanded duty cycle, clamped to `[0, 1]` and quantized to
+    /// the minimum switching interval.
+    pub fn set_duty(&mut self, duty: f64) {
+        let clamped = if duty.is_finite() { duty.clamp(0.0, 1.0) } else { 0.0 };
+        self.duty = if self.min_interval > 0.0 {
+            let q = self.min_interval / self.window;
+            (clamped / q).round() * q
+        } else {
+            clamped
+        };
+    }
+
+    /// Commanded (quantized) duty cycle.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    /// Whether the relay output is currently conducting.
+    pub fn is_on(&self) -> bool {
+        self.is_on
+    }
+
+    /// Total number of output transitions so far (relay wear metric).
+    pub fn switch_count(&self) -> u64 {
+        self.switch_count
+    }
+
+    /// Advances time by `dt` seconds and returns the output state for this
+    /// step (`true` = heater powered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn step(&mut self, dt: f64) -> bool {
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive");
+        self.phase += dt;
+        if self.phase >= self.window {
+            self.phase -= self.window;
+        }
+        let next = self.phase < self.duty * self.window - 1e-12;
+        if next != self.is_on {
+            self.switch_count += 1;
+            self.is_on = next;
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured_duty(relay: &mut SolidStateRelay, duty: f64, steps: usize, dt: f64) -> f64 {
+        relay.set_duty(duty);
+        let mut on = 0usize;
+        for _ in 0..steps {
+            if relay.step(dt) {
+                on += 1;
+            }
+        }
+        on as f64 / steps as f64
+    }
+
+    #[test]
+    fn realized_duty_matches_command() {
+        let mut relay = SolidStateRelay::new(2.0, 0.1);
+        for d in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let got = measured_duty(&mut relay, d, 4000, 0.05);
+            assert!((got - d).abs() < 0.03, "duty {d} realized {got}");
+        }
+    }
+
+    #[test]
+    fn duty_is_quantized_to_min_interval() {
+        let mut relay = SolidStateRelay::new(2.0, 0.5);
+        relay.set_duty(0.3); // 0.5/2.0 = 0.25 quantum → rounds to 0.25
+        assert!((relay.duty() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_clamps_out_of_range() {
+        let mut relay = SolidStateRelay::new(2.0, 0.0);
+        relay.set_duty(1.7);
+        assert_eq!(relay.duty(), 1.0);
+        relay.set_duty(-0.3);
+        assert_eq!(relay.duty(), 0.0);
+        relay.set_duty(f64::NAN);
+        assert_eq!(relay.duty(), 0.0);
+    }
+
+    #[test]
+    fn full_duty_never_switches_off() {
+        let mut relay = SolidStateRelay::new(2.0, 0.1);
+        relay.set_duty(1.0);
+        for _ in 0..1000 {
+            assert!(relay.step(0.05));
+        }
+        assert!(relay.switch_count() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let _ = SolidStateRelay::new(0.0, 0.0);
+    }
+}

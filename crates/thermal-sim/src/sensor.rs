@@ -1,0 +1,171 @@
+//! Temperature sensor models: the adapter thermocouple and the DIMM's SPD
+//! (Serial Presence Detect) thermal sensor.
+//!
+//! The testbed reads both — the thermocouple is fast and fine-grained; the
+//! SPD sensor (a JEDEC TSE2002-class device on the DIMM) is quantized to
+//! 0.25 °C and low-pass filtered by the package. Reading both lets the
+//! controller cross-check its regulation, which the framework logs.
+
+use power_model::units::Celsius;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which physical sensor a reading came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// The thermocouple glued to the heating adapter.
+    Thermocouple,
+    /// The SPD-chip thermal sensor on the DIMM.
+    Spd,
+}
+
+/// A noisy, possibly quantized temperature sensor.
+///
+/// # Examples
+///
+/// ```
+/// use thermal_sim::sensor::TemperatureSensor;
+/// use power_model::units::Celsius;
+///
+/// let mut tc = TemperatureSensor::thermocouple(7);
+/// let reading = tc.read(Celsius::new(50.0));
+/// assert!((reading.as_f64() - 50.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemperatureSensor {
+    kind: SensorKind,
+    /// Gaussian noise standard deviation in kelvin.
+    noise_sigma: f64,
+    /// Quantization step in kelvin (0 = none).
+    quantization: f64,
+    /// Systematic offset in kelvin.
+    offset: f64,
+    /// First-order lag coefficient in `[0,1)`: 0 = instantaneous.
+    lag: f64,
+    filtered: Option<f64>,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+}
+
+fn default_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+impl TemperatureSensor {
+    /// Creates a sensor with explicit characteristics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_sigma` or `quantization` is negative, or `lag` is
+    /// outside `[0, 1)`.
+    pub fn new(kind: SensorKind, noise_sigma: f64, quantization: f64, offset: f64, lag: f64, seed: u64) -> Self {
+        assert!(noise_sigma >= 0.0, "noise sigma must be non-negative");
+        assert!(quantization >= 0.0, "quantization must be non-negative");
+        assert!((0.0..1.0).contains(&lag), "lag must be in [0,1)");
+        TemperatureSensor {
+            kind,
+            noise_sigma,
+            quantization,
+            offset,
+            lag,
+            filtered: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A K-type thermocouple on the adapter: ±0.1 K noise, no quantization,
+    /// no lag.
+    pub fn thermocouple(seed: u64) -> Self {
+        TemperatureSensor::new(SensorKind::Thermocouple, 0.1, 0.0, 0.0, 0.0, seed)
+    }
+
+    /// The DIMM SPD thermal sensor: 0.25 K quantization, slight lag from
+    /// the package, ±0.05 K electrical noise.
+    pub fn spd(seed: u64) -> Self {
+        TemperatureSensor::new(SensorKind::Spd, 0.05, 0.25, 0.0, 0.2, seed)
+    }
+
+    /// Sensor identity.
+    pub fn kind(&self) -> SensorKind {
+        self.kind
+    }
+
+    /// Samples the sensor given the true plant temperature.
+    pub fn read(&mut self, truth: Celsius) -> Celsius {
+        let t = truth.as_f64() + self.offset;
+        let lagged = match self.filtered {
+            Some(prev) => self.lag * prev + (1.0 - self.lag) * t,
+            None => t,
+        };
+        self.filtered = Some(lagged);
+        let noise = self.gaussian() * self.noise_sigma;
+        let mut v = lagged + noise;
+        if self.quantization > 0.0 {
+            v = (v / self.quantization).round() * self.quantization;
+        }
+        Celsius::new(v)
+    }
+
+    /// Standard normal sample via Box–Muller (keeps `rand_distr` out of the
+    /// dependency set).
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermocouple_tracks_truth_closely() {
+        let mut s = TemperatureSensor::thermocouple(42);
+        let mut max_err: f64 = 0.0;
+        for _ in 0..1000 {
+            let r = s.read(Celsius::new(50.0));
+            max_err = max_err.max((r.as_f64() - 50.0).abs());
+        }
+        assert!(max_err < 0.6, "max error {max_err}");
+    }
+
+    #[test]
+    fn spd_is_quantized() {
+        let mut s = TemperatureSensor::spd(42);
+        for _ in 0..100 {
+            let r = s.read(Celsius::new(50.1)).as_f64();
+            let q = (r / 0.25).round() * 0.25;
+            assert!((r - q).abs() < 1e-9, "reading {r} not on 0.25 grid");
+        }
+    }
+
+    #[test]
+    fn spd_lags_behind_step_change() {
+        let mut s = TemperatureSensor::spd(42);
+        for _ in 0..50 {
+            s.read(Celsius::new(25.0));
+        }
+        let first_after_step = s.read(Celsius::new(60.0)).as_f64();
+        assert!(first_after_step < 59.0, "lagged reading {first_after_step}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = TemperatureSensor::thermocouple(7);
+        let mut b = TemperatureSensor::thermocouple(7);
+        for _ in 0..10 {
+            assert_eq!(a.read(Celsius::new(40.0)), b.read(Celsius::new(40.0)));
+        }
+    }
+
+    #[test]
+    fn noise_is_unbiased() {
+        let mut s = TemperatureSensor::thermocouple(123);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| s.read(Celsius::new(50.0)).as_f64() - 50.0).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "bias {mean}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Data-pattern benchmark (DPBench) campaigns over the DRAM array.
+//!
+//! A DPBench round fills the array with a pattern, waits while refresh runs
+//! at the configured TREFP, then reads everything back, counting corrected
+//! and uncorrected errors. Multi-round campaigns (with re-randomized data
+//! each round) accumulate the unique error locations — the Table I
+//! measurement — because both cell polarities and worst-case neighborhoods
+//! get exercised over rounds.
+
+use dram_sim::array::{DramArray, ScrubReport};
+use dram_sim::geometry::{BANKS_PER_CHIP, DATA_BYTES};
+use dram_sim::patterns::DataPattern;
+use serde::{Deserialize, Serialize};
+
+/// Result of one DPBench round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpBenchRound {
+    /// The pattern used.
+    pub pattern: DataPattern,
+    /// The array-wide scrub report.
+    pub report: ScrubReport,
+    /// Bit-error rate relative to the full 32 GiB array.
+    pub ber: f64,
+}
+
+/// Result of a whole campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DpBenchCampaign {
+    /// Every executed round in order.
+    pub rounds: Vec<DpBenchRound>,
+    /// Unique error locations per bank accumulated over the campaign.
+    pub unique_per_bank: [u64; BANKS_PER_CHIP],
+    /// Total unique error locations.
+    pub unique_total: usize,
+    /// Total corrected errors.
+    pub ce_total: u64,
+    /// Total uncorrectable errors.
+    pub ue_total: u64,
+}
+
+/// Runs one DPBench round: fill, wait `wait_factor` refresh periods, scrub.
+pub fn run_round(dram: &mut DramArray, pattern: DataPattern, wait_factor: f64) -> DpBenchRound {
+    dram.fill_pattern(pattern);
+    dram.advance(dram.trefp().as_f64() * wait_factor);
+    let report = dram.scrub();
+    let ber = report.ber(DATA_BYTES * 8);
+    DpBenchRound { pattern, report, ber }
+}
+
+/// Runs a multi-round campaign with the paper's methodology: the four
+/// standard patterns, with the random pattern re-seeded `random_rounds`
+/// times to cover both cell polarities.
+pub fn run_campaign(
+    dram: &mut DramArray,
+    random_rounds: u64,
+    wait_factor: f64,
+) -> DpBenchCampaign {
+    dram.clear_error_log();
+    let mut rounds = Vec::new();
+    for pattern in [
+        DataPattern::AllZeros,
+        DataPattern::AllOnes,
+        DataPattern::Checkerboard { inverted: false },
+        DataPattern::Checkerboard { inverted: true },
+    ] {
+        rounds.push(run_round(dram, pattern, wait_factor));
+    }
+    for seed in 0..random_rounds {
+        rounds.push(run_round(dram, DataPattern::Random { seed }, wait_factor));
+    }
+    let log = dram.error_log();
+    DpBenchCampaign {
+        unique_per_bank: log.unique_per_bank(),
+        unique_total: log.unique_locations(),
+        ce_total: log.ce_count(),
+        ue_total: log.ue_count(),
+        rounds,
+    }
+}
+
+/// BER of each of the four standard patterns in one round each (the
+/// Fig. 8a DPBench bars), returned as `(pattern, ber)`.
+pub fn pattern_bers(dram: &mut DramArray, seed: u64) -> Vec<(DataPattern, f64)> {
+    DataPattern::dpbench_suite(seed)
+        .into_iter()
+        .map(|p| {
+            let round = run_round(dram, p, 1.5);
+            (p, round.ber)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::retention::{PopulationSpec, RetentionModel, WeakCellPopulation};
+    use dram_sim::retention::{TABLE1_50C, TABLE1_60C};
+    use power_model::units::{Celsius, Milliseconds};
+
+    fn dram(temp_c: f64, seed: u64) -> DramArray {
+        let pop = WeakCellPopulation::generate(
+            &RetentionModel::xgene2_micron(),
+            PopulationSpec::dsn18(),
+            seed,
+        );
+        DramArray::new(pop, Milliseconds::DSN18_RELAXED_TREFP, Celsius::new(temp_c))
+    }
+
+    #[test]
+    fn campaign_reproduces_table1_at_60c() {
+        let mut d = dram(60.0, 11);
+        let campaign = run_campaign(&mut d, 6, 1.5);
+        for (b, (got, expect)) in
+            campaign.unique_per_bank.iter().zip(TABLE1_60C).enumerate()
+        {
+            let rel = (*got as f64 - expect).abs() / expect;
+            assert!(rel < 0.12, "bank {b}: {got} vs paper {expect}");
+        }
+        assert_eq!(campaign.ue_total, 0, "SECDED corrects everything at 60 °C");
+    }
+
+    #[test]
+    fn campaign_reproduces_table1_at_50c() {
+        let mut d = dram(50.0, 11);
+        let campaign = run_campaign(&mut d, 6, 1.5);
+        let total: u64 = campaign.unique_per_bank.iter().sum();
+        let expect: f64 = TABLE1_50C.iter().sum();
+        let rel = (total as f64 - expect).abs() / expect;
+        assert!(rel < 0.20, "total {total} vs paper {expect}");
+    }
+
+    #[test]
+    fn random_round_has_highest_ber() {
+        let mut d = dram(60.0, 12);
+        let bers = pattern_bers(&mut d, 5);
+        let random_ber = bers
+            .iter()
+            .find(|(p, _)| matches!(p, DataPattern::Random { .. }))
+            .unwrap()
+            .1;
+        for (p, ber) in &bers {
+            if !matches!(p, DataPattern::Random { .. }) {
+                assert!(random_ber > *ber, "{p}: {ber} vs random {random_ber}");
+            }
+        }
+    }
+
+    #[test]
+    fn nominal_refresh_yields_zero_ber() {
+        let mut d = dram(60.0, 13);
+        d.set_trefp(Milliseconds::DDR3_NOMINAL_TREFP);
+        let bers = pattern_bers(&mut d, 5);
+        for (p, ber) in bers {
+            assert_eq!(ber, 0.0, "{p} at nominal refresh");
+        }
+    }
+
+    #[test]
+    fn more_random_rounds_find_more_unique_locations() {
+        let mut d1 = dram(60.0, 14);
+        let few = run_campaign(&mut d1, 1, 1.5);
+        let mut d2 = dram(60.0, 14);
+        let many = run_campaign(&mut d2, 6, 1.5);
+        assert!(many.unique_total > few.unique_total);
+    }
+}

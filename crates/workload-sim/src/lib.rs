@@ -1,0 +1,53 @@
+//! Workload models for the DSN'18 guardband study.
+//!
+//! Three kinds of workloads drive the characterization:
+//!
+//! * **Descriptors** for suites we cannot redistribute — [`spec`] (SPEC
+//!   CPU2006) and [`nas`] (NAS Parallel Benchmarks) — calibrated activity
+//!   profiles that the chip model turns into the published Vmin behaviour;
+//! * **Real executable kernels** whose interaction with DRAM matters —
+//!   [`rodinia`] (backprop, kmeans, nw, srad), [`stencil`] (the §IV.C
+//!   access-pattern-scheduling study) and [`dpbench`] (data-pattern
+//!   benchmarks), all running against the simulated array through
+//!   [`arena`];
+//! * The end-to-end [`jammer`] detector of §IV.D — a real multi-threaded
+//!   FFT-based spectrum monitor with a QoS bound, supported by [`dsp`].
+//!
+//! # Examples
+//!
+//! Run the paper's four Rodinia applications and check none silently
+//! corrupts under the 35× relaxed refresh:
+//!
+//! ```no_run
+//! use workload_sim::rodinia::{suite, KernelConfig};
+//! use dram_sim::array::DramArray;
+//! use dram_sim::retention::{PopulationSpec, RetentionModel, WeakCellPopulation};
+//! use power_model::units::{Celsius, Milliseconds};
+//!
+//! let pop = WeakCellPopulation::generate(
+//!     &RetentionModel::xgene2_micron(), PopulationSpec::dsn18(), 1);
+//! let mut dram = DramArray::new(pop, Milliseconds::DSN18_RELAXED_TREFP, Celsius::new(60.0));
+//! for kernel in suite() {
+//!     let report = kernel.characterize_dyn(&mut dram, &KernelConfig::characterization());
+//!     assert!(report.is_correct());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arena;
+pub mod dpbench;
+pub mod dsp;
+pub mod jammer;
+pub mod nas;
+pub mod rodinia;
+pub mod spec;
+pub mod stencil;
+
+pub use arena::{ArenaStats, DramArena};
+pub use dpbench::{DpBenchCampaign, DpBenchRound};
+pub use jammer::{JammerConfig, JammerReport};
+pub use rodinia::{KernelConfig, KernelReport, RodiniaKernel};
+pub use spec::{SpecBenchmark, SPEC_SUITE};
+pub use stencil::{JacobiStencil, StencilReport, SweepSchedule};

@@ -1,0 +1,90 @@
+//! NAS Parallel Benchmark activity descriptors.
+//!
+//! Fig. 6 compares the Vmin of the GA-evolved EM virus against the NAS
+//! suite: the virus sits strictly above every NAS kernel. As with SPEC,
+//! each kernel is an activity descriptor calibrated from its known
+//! character (EP is compute-dense, CG/IS are memory/irregular, FT/MG are
+//! bandwidth-heavy transforms).
+
+use crate::spec::profile_for_score;
+use xgene_sim::workload::WorkloadProfile;
+
+/// One NAS kernel descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NasBenchmark {
+    /// Kernel name (NPB 3.x naming).
+    pub name: &'static str,
+    /// Target droop score in `[0, 1]`.
+    pub droop_score: f64,
+    /// DRAM bandwidth utilization in `[0, 1]`.
+    pub memory_intensity: f64,
+    /// Nominal IPC.
+    pub ipc: f64,
+}
+
+impl NasBenchmark {
+    /// Builds the electrical workload profile for this kernel.
+    pub fn profile(&self) -> WorkloadProfile {
+        profile_for_score(self.name, self.droop_score, self.memory_intensity, self.ipc)
+    }
+}
+
+/// The NAS kernels used in the Fig. 6 comparison.
+pub const NAS_SUITE: [NasBenchmark; 8] = [
+    NasBenchmark { name: "is", droop_score: 0.24, memory_intensity: 0.80, ipc: 0.55 },
+    NasBenchmark { name: "cg", droop_score: 0.30, memory_intensity: 0.75, ipc: 0.65 },
+    NasBenchmark { name: "mg", droop_score: 0.42, memory_intensity: 0.70, ipc: 0.95 },
+    NasBenchmark { name: "ft", droop_score: 0.50, memory_intensity: 0.65, ipc: 1.05 },
+    NasBenchmark { name: "sp", droop_score: 0.55, memory_intensity: 0.50, ipc: 1.15 },
+    NasBenchmark { name: "bt", droop_score: 0.60, memory_intensity: 0.45, ipc: 1.25 },
+    NasBenchmark { name: "lu", droop_score: 0.63, memory_intensity: 0.40, ipc: 1.30 },
+    NasBenchmark { name: "ep", droop_score: 0.68, memory_intensity: 0.05, ipc: 1.75 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_model::units::Megahertz;
+    use xgene_sim::sigma::{ChipProfile, SigmaBin};
+    use xgene_sim::workload::WorkloadProfile;
+
+    fn virus() -> WorkloadProfile {
+        WorkloadProfile::builder("em-virus")
+            .activity(0.5)
+            .swing(1.0)
+            .resonance_alignment(1.0)
+            .build()
+    }
+
+    #[test]
+    fn fig6_virus_dominates_every_nas_kernel() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let core = ttt.most_robust_core();
+        let virus_vmin = ttt.vmin(core, &virus(), Megahertz::XGENE2_NOMINAL);
+        for kernel in &NAS_SUITE {
+            let v = ttt.vmin(core, &kernel.profile(), Megahertz::XGENE2_NOMINAL);
+            assert!(
+                virus_vmin > v,
+                "{}: NAS Vmin {v} should be below virus {virus_vmin}",
+                kernel.name
+            );
+        }
+    }
+
+    #[test]
+    fn nas_vmins_span_a_plausible_band() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let core = ttt.most_robust_core();
+        for kernel in &NAS_SUITE {
+            let v = ttt.vmin(core, &kernel.profile(), Megahertz::XGENE2_NOMINAL).as_u32();
+            assert!((855..=890).contains(&v), "{} Vmin {v}", kernel.name);
+        }
+    }
+
+    #[test]
+    fn ep_draws_more_current_than_is() {
+        let ep = NAS_SUITE.iter().find(|k| k.name == "ep").unwrap().profile();
+        let is = NAS_SUITE.iter().find(|k| k.name == "is").unwrap().profile();
+        assert!(ep.droop_score() > is.droop_score());
+    }
+}

@@ -1,0 +1,147 @@
+//! kmeans — Lloyd's algorithm over a DRAM-resident point set.
+//!
+//! The Rodinia kmeans clusters N points of D features. Every Lloyd round
+//! re-reads the whole point array (assignment step), which makes kmeans the
+//! most bandwidth-hungry of the four applications and — crucially for
+//! Fig. 8 — inherently refreshes its footprint faster than cells decay,
+//! keeping its BER low and its relative refresh-power saving small (9.4 %).
+
+use super::{fold, DataRng, KernelConfig, RodiniaKernel, WordMemory};
+use crate::spec::profile_for_score;
+use xgene_sim::workload::WorkloadProfile;
+
+/// Feature dimensions per point.
+const DIMS: usize = 4;
+/// Number of clusters.
+const K: usize = 8;
+
+/// The kmeans kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kmeans;
+
+impl Kmeans {
+    /// Points at a given scale.
+    fn points(cfg: &KernelConfig) -> usize {
+        cfg.scale * 1024
+    }
+}
+
+impl RodiniaKernel for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn footprint_words(&self, cfg: &KernelConfig) -> usize {
+        // Layout: [points: N*DIMS][assignments: N]
+        Self::points(cfg) * (DIMS + 1)
+    }
+
+    fn bandwidth_utilization(&self) -> f64 {
+        0.896
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        profile_for_score("kmeans", 0.52, self.bandwidth_utilization(), 1.05)
+    }
+
+    fn run<M: WordMemory>(&self, mem: &mut M, cfg: &KernelConfig) -> u64 {
+        let n = Self::points(cfg);
+        let assign_base = n * DIMS;
+        let mut rng = DataRng::new(cfg.seed);
+
+        // Initialize points; first K points seed the centroids.
+        for i in 0..n {
+            for d in 0..DIMS {
+                mem.write_f64(i * DIMS + d, rng.next_f64() * 100.0);
+            }
+            mem.write_i64(assign_base + i, -1);
+        }
+        let mut centroids = [[0.0f64; DIMS]; K];
+        for (k, centroid) in centroids.iter_mut().enumerate() {
+            for (d, c) in centroid.iter_mut().enumerate() {
+                *c = mem.read_f64(k * DIMS + d);
+            }
+        }
+
+        let step_ms = cfg.runtime_ms / cfg.iterations as f64;
+        for _round in 0..cfg.iterations {
+            // Assignment: stream the whole point array.
+            let mut sums = [[0.0f64; DIMS]; K];
+            let mut counts = [0usize; K];
+            for i in 0..n {
+                let mut p = [0.0f64; DIMS];
+                for (d, v) in p.iter_mut().enumerate() {
+                    *v = mem.read_f64(i * DIMS + d);
+                }
+                let mut best = 0usize;
+                let mut best_dist = f64::INFINITY;
+                for (k, c) in centroids.iter().enumerate() {
+                    let dist: f64 =
+                        p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = k;
+                    }
+                }
+                mem.write_i64(assign_base + i, best as i64);
+                for d in 0..DIMS {
+                    sums[best][d] += p[d];
+                }
+                counts[best] += 1;
+            }
+            // Update step.
+            for k in 0..K {
+                if counts[k] > 0 {
+                    for d in 0..DIMS {
+                        centroids[k][d] = sums[k][d] / counts[k] as f64;
+                    }
+                }
+            }
+            mem.advance(step_ms);
+        }
+
+        // Checksum: final assignments + quantized centroids.
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = fold(acc, mem.read_i64(assign_base + i) as u64);
+        }
+        for c in &centroids {
+            for v in c {
+                acc = fold(acc, (v * 1e6).round() as i64 as u64);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::relaxed_dram;
+    use super::super::{HostMemory, KernelConfig, RodiniaKernel};
+    use super::*;
+
+    #[test]
+    fn converges_to_stable_assignments() {
+        let cfg = KernelConfig { scale: 2, iterations: 40, seed: 1, runtime_ms: 10.0 };
+        let k = Kmeans;
+        let mut a = HostMemory::new(k.footprint_words(&cfg));
+        let long = k.run(&mut a, &cfg);
+        let cfg2 = KernelConfig { iterations: 41, ..cfg };
+        let mut b = HostMemory::new(k.footprint_words(&cfg2));
+        let longer = k.run(&mut b, &cfg2);
+        assert_eq!(long, longer, "assignments converged before iteration 12");
+    }
+
+    #[test]
+    fn frequent_rescans_protect_against_decay() {
+        // With a multi-second run but per-round rescans, kmeans reads its
+        // rows far more often than the relaxed refresh period, so inherent
+        // refresh keeps corruption minimal even at 60 °C.
+        let cfg = KernelConfig { scale: 256, iterations: 10, seed: 2, runtime_ms: 4000.0 };
+        let mut dram = relaxed_dram(21);
+        let report = Kmeans.characterize(&mut dram, &cfg);
+        assert!(report.is_correct(), "kmeans output diverged");
+        let reads = report.stats.reads as f64;
+        assert!(report.stats.flipped_bits as f64 / reads < 1e-5);
+    }
+}

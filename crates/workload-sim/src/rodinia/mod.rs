@@ -1,0 +1,340 @@
+//! Rodinia HPC mini-kernels (backprop, kmeans, nw, srad).
+//!
+//! The paper runs four memory-intensive Rodinia applications under the
+//! relaxed refresh period and measures per-benchmark BER (Fig. 8a) and
+//! refresh-relaxation power savings (Fig. 8b). We implement each kernel
+//! for real: the algorithm is generic over a [`WordMemory`] so the same
+//! code runs once against plain host memory (the golden reference) and
+//! once against the simulated DRAM (the measured run). Divergence between
+//! the two outputs is exactly the silent-data-corruption signal the
+//! characterization framework checks for.
+
+pub mod backprop;
+pub mod kmeans;
+pub mod nw;
+pub mod srad;
+
+use crate::arena::{ArenaStats, DramArena};
+use dram_sim::array::DramArray;
+use serde::{Deserialize, Serialize};
+use xgene_sim::workload::WorkloadProfile;
+
+/// Word-granular memory a kernel computes against.
+pub trait WordMemory {
+    /// Reads word `i`.
+    fn read(&mut self, i: usize) -> u64;
+    /// Writes word `i`.
+    fn write(&mut self, i: usize, v: u64);
+    /// Advances wall-clock time by `ms` (no-op for host memory).
+    fn advance(&mut self, ms: f64);
+
+    /// Reads an `f64`.
+    fn read_f64(&mut self, i: usize) -> f64 {
+        f64::from_bits(self.read(i))
+    }
+    /// Writes an `f64`.
+    fn write_f64(&mut self, i: usize, v: f64) {
+        self.write(i, v.to_bits());
+    }
+    /// Reads an `i64`.
+    fn read_i64(&mut self, i: usize) -> i64 {
+        self.read(i) as i64
+    }
+    /// Writes an `i64`.
+    fn write_i64(&mut self, i: usize, v: i64) {
+        self.write(i, v as u64);
+    }
+}
+
+/// Plain host memory — the golden-reference backing store.
+#[derive(Debug, Clone)]
+pub struct HostMemory {
+    words: Vec<u64>,
+}
+
+impl HostMemory {
+    /// Allocates `len` zeroed words.
+    pub fn new(len: usize) -> Self {
+        HostMemory { words: vec![0; len] }
+    }
+}
+
+impl WordMemory for HostMemory {
+    fn read(&mut self, i: usize) -> u64 {
+        self.words[i]
+    }
+    fn write(&mut self, i: usize, v: u64) {
+        self.words[i] = v;
+    }
+    fn advance(&mut self, _ms: f64) {}
+}
+
+impl WordMemory for DramArena<'_> {
+    fn read(&mut self, i: usize) -> u64 {
+        DramArena::read(self, i)
+    }
+    fn write(&mut self, i: usize, v: u64) {
+        DramArena::write(self, i, v);
+    }
+    fn advance(&mut self, ms: f64) {
+        self.advance_time(ms);
+    }
+}
+
+/// Sizing and pacing of one kernel run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Problem scale (kernel-specific meaning; larger = bigger footprint).
+    pub scale: usize,
+    /// Outer iterations (epochs / diffusion steps / Lloyd rounds).
+    pub iterations: usize,
+    /// RNG seed for input data.
+    pub seed: u64,
+    /// Total simulated runtime in ms, spread across iterations.
+    pub runtime_ms: f64,
+}
+
+impl KernelConfig {
+    /// The default characterization-scale configuration: a multi-second
+    /// run so rows experience gaps comparable to the relaxed TREFP.
+    pub fn characterization() -> Self {
+        KernelConfig { scale: 256, iterations: 8, seed: 42, runtime_ms: 6000.0 }
+    }
+
+    /// A small smoke-test configuration.
+    pub fn smoke() -> Self {
+        KernelConfig { scale: 32, iterations: 2, seed: 42, runtime_ms: 200.0 }
+    }
+}
+
+/// Outcome of one kernel run against the simulated DRAM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: String,
+    /// Checksum of the DRAM-backed run's output.
+    pub output_checksum: u64,
+    /// Checksum of the host-memory golden run.
+    pub golden_checksum: u64,
+    /// Arena access statistics (errors, BER).
+    pub stats: ArenaStats,
+    /// Simulated runtime in ms.
+    pub runtime_ms: f64,
+    /// Words of DRAM footprint.
+    pub footprint_words: usize,
+}
+
+impl KernelReport {
+    /// Whether the output matches the golden reference (no SDC).
+    pub fn is_correct(&self) -> bool {
+        self.output_checksum == self.golden_checksum
+    }
+
+    /// Bit-error rate observed by this kernel's reads.
+    pub fn ber(&self) -> f64 {
+        self.stats.ber()
+    }
+}
+
+/// A Rodinia kernel: algorithm + calibrated platform descriptor.
+pub trait RodiniaKernel {
+    /// Kernel name (Rodinia naming).
+    fn name(&self) -> &'static str;
+
+    /// Runs the kernel against an arbitrary memory, returning an output
+    /// checksum. `mem` must have at least [`Self::footprint_words`] words.
+    fn run<M: WordMemory>(&self, mem: &mut M, cfg: &KernelConfig) -> u64;
+
+    /// Words of memory the kernel needs at `cfg.scale`.
+    fn footprint_words(&self, cfg: &KernelConfig) -> usize;
+
+    /// DRAM bandwidth utilization measured for this application on the
+    /// real platform (drives the Fig. 8b power model).
+    fn bandwidth_utilization(&self) -> f64;
+
+    /// CPU-side activity profile.
+    fn profile(&self) -> WorkloadProfile;
+
+    /// Runs golden (host) + measured (DRAM) and reports.
+    fn characterize(&self, dram: &mut DramArray, cfg: &KernelConfig) -> KernelReport {
+        let words = self.footprint_words(cfg);
+        let mut host = HostMemory::new(words);
+        let golden_checksum = self.run(&mut host, cfg);
+        let mut arena = DramArena::new(dram, 0, words);
+        let start = arena.dram_mut().now();
+        let output_checksum = self.run(&mut arena, cfg);
+        // Golden-reference comparison pass: the characterization framework
+        // reads the whole footprint back to diff the output against the
+        // golden run, which is also where resident-but-cold data reveals
+        // its decayed cells through ECC reports.
+        for i in 0..words {
+            let _ = DramArena::read(&mut arena, i);
+        }
+        let stats = arena.stats();
+        let runtime_ms = arena.dram_mut().now() - start;
+        KernelReport {
+            name: self.name().to_owned(),
+            output_checksum,
+            golden_checksum,
+            stats,
+            runtime_ms,
+            footprint_words: words,
+        }
+    }
+}
+
+/// Simple deterministic pseudo-random stream for input data.
+#[derive(Debug, Clone)]
+pub(crate) struct DataRng(u64);
+
+impl DataRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        DataRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Checksum folding helper (order-sensitive FNV-style).
+pub(crate) fn fold(acc: u64, v: u64) -> u64 {
+    (acc ^ v).wrapping_mul(0x100_0000_01B3)
+}
+
+/// The four characterized applications, boxed for uniform iteration.
+pub fn suite() -> Vec<Box<dyn DynKernel>> {
+    vec![
+        Box::new(backprop::Backprop),
+        Box::new(kmeans::Kmeans),
+        Box::new(nw::NeedlemanWunsch),
+        Box::new(srad::Srad),
+    ]
+}
+
+/// Object-safe surface of [`RodiniaKernel`] for heterogeneous suites.
+pub trait DynKernel {
+    /// Kernel name.
+    fn name(&self) -> &'static str;
+    /// Runs golden + measured against the DRAM and reports.
+    fn characterize_dyn(&self, dram: &mut DramArray, cfg: &KernelConfig) -> KernelReport;
+    /// Calibrated DRAM bandwidth utilization.
+    fn bandwidth_utilization(&self) -> f64;
+    /// CPU-side activity profile.
+    fn profile(&self) -> WorkloadProfile;
+}
+
+impl<K: RodiniaKernel> DynKernel for K {
+    fn name(&self) -> &'static str {
+        RodiniaKernel::name(self)
+    }
+    fn characterize_dyn(&self, dram: &mut DramArray, cfg: &KernelConfig) -> KernelReport {
+        self.characterize(dram, cfg)
+    }
+    fn bandwidth_utilization(&self) -> f64 {
+        RodiniaKernel::bandwidth_utilization(self)
+    }
+    fn profile(&self) -> WorkloadProfile {
+        RodiniaKernel::profile(self)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use dram_sim::array::DramArray;
+    use dram_sim::retention::{PopulationSpec, RetentionModel, WeakCellPopulation};
+    use power_model::units::{Celsius, Milliseconds};
+
+    pub(crate) fn relaxed_dram(seed: u64) -> DramArray {
+        let pop = WeakCellPopulation::generate(
+            &RetentionModel::xgene2_micron(),
+            PopulationSpec::dsn18(),
+            seed,
+        );
+        let mut d =
+            DramArray::new(pop, Milliseconds::DSN18_RELAXED_TREFP, Celsius::new(60.0));
+        d.set_temperature(Celsius::new(60.0));
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::relaxed_dram;
+    use super::*;
+
+    #[test]
+    fn all_kernels_run_correctly_on_smoke_config() {
+        let cfg = KernelConfig::smoke();
+        for kernel in suite() {
+            let mut dram = relaxed_dram(5);
+            let report = kernel.characterize_dyn(&mut dram, &cfg);
+            assert!(
+                report.is_correct(),
+                "{}: output {:#x} vs golden {:#x}",
+                report.name,
+                report.output_checksum,
+                report.golden_checksum
+            );
+            assert!(report.stats.reads > 0);
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let cfg = KernelConfig::smoke();
+        for kernel in suite() {
+            let mut a = relaxed_dram(6);
+            let mut b = relaxed_dram(6);
+            let ra = kernel.characterize_dyn(&mut a, &cfg);
+            let rb = kernel.characterize_dyn(&mut b, &cfg);
+            assert_eq!(ra.output_checksum, rb.output_checksum, "{}", ra.name);
+        }
+    }
+
+    #[test]
+    fn fig8b_utilization_ordering() {
+        // kmeans is the most bandwidth-hungry, nw the least — which is what
+        // makes nw save the most refresh power relative to its rail draw.
+        let by_name = |n: &str| {
+            suite()
+                .into_iter()
+                .find(|k| k.name() == n)
+                .unwrap()
+                .bandwidth_utilization()
+        };
+        assert!(by_name("kmeans") > by_name("backprop"));
+        assert!(by_name("backprop") > by_name("srad"));
+        assert!(by_name("srad") > by_name("nw"));
+    }
+
+    #[test]
+    fn host_memory_roundtrip() {
+        let mut m = HostMemory::new(4);
+        m.write_f64(0, 2.5);
+        m.write_i64(1, -3);
+        assert_eq!(m.read_f64(0), 2.5);
+        assert_eq!(m.read_i64(1), -3);
+    }
+
+    #[test]
+    fn data_rng_is_deterministic_and_uniform() {
+        let mut a = DataRng::new(9);
+        let mut b = DataRng::new(9);
+        let mean: f64 = (0..10_000).map(|_| a.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let _ = (0..10_000).map(|_| b.next_f64()).count();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

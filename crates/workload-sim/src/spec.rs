@@ -1,0 +1,168 @@
+//! SPEC CPU2006 activity descriptors.
+//!
+//! The paper characterizes Vmin for 10 SPEC CPU2006 programs (Fig. 4) and
+//! builds its Fig. 5 power/performance trade-off from an 8-benchmark mix
+//! (bwaves, cactusADM, dealII, gromacs, leslie3d, mcf, milc, namd). We
+//! cannot run SPEC itself (proprietary); each program is represented by an
+//! activity descriptor — switching activity, current swing, memory
+//! intensity, IPC — calibrated so the Fig. 4 most-robust-core Vmin ranges
+//! emerge from the chip model. Relative ordering follows each program's
+//! published microarchitectural character (memory-bound codes like mcf
+//! draw the least switching current; dense FP codes the most).
+
+use xgene_sim::workload::WorkloadProfile;
+
+/// One SPEC benchmark descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecBenchmark {
+    /// SPEC program name.
+    pub name: &'static str,
+    /// Target droop score in `[0, 1]` (drives Vmin via the chip model).
+    pub droop_score: f64,
+    /// DRAM bandwidth utilization in `[0, 1]`.
+    pub memory_intensity: f64,
+    /// Nominal IPC.
+    pub ipc: f64,
+}
+
+impl SpecBenchmark {
+    /// Builds the electrical workload profile for this benchmark.
+    pub fn profile(&self) -> WorkloadProfile {
+        profile_for_score(self.name, self.droop_score, self.memory_intensity, self.ipc)
+    }
+}
+
+/// Builds a non-resonant (ordinary program) profile with an exact droop
+/// score: swing 0.5 with zero resonance alignment contributes 0.04, the
+/// rest comes from activity. Real programs carry essentially no spectral
+/// energy at the PDN resonance, which is exactly why the dI/dt virus beats
+/// them (Fig. 6).
+pub fn profile_for_score(
+    name: &str,
+    droop_score: f64,
+    memory_intensity: f64,
+    ipc: f64,
+) -> WorkloadProfile {
+    WorkloadProfile::builder(name)
+        .activity(((droop_score - 0.04) / 0.75).clamp(0.0, 1.0))
+        .swing(0.5)
+        .resonance_alignment(0.0)
+        .memory_intensity(memory_intensity)
+        .ipc(ipc)
+        .build()
+}
+
+/// The 10 SPEC CPU2006 programs of the Fig. 4 campaign, with calibrated
+/// droop scores spanning `[0.2, 0.7]` (TTT Vmin 860–885 mV).
+pub const SPEC_SUITE: [SpecBenchmark; 10] = [
+    SpecBenchmark { name: "mcf", droop_score: 0.20, memory_intensity: 0.85, ipc: 0.45 },
+    SpecBenchmark { name: "lbm", droop_score: 0.26, memory_intensity: 0.90, ipc: 0.60 },
+    SpecBenchmark { name: "soplex", droop_score: 0.30, memory_intensity: 0.65, ipc: 0.75 },
+    SpecBenchmark { name: "bwaves", droop_score: 0.34, memory_intensity: 0.70, ipc: 0.90 },
+    SpecBenchmark { name: "leslie3d", droop_score: 0.42, memory_intensity: 0.60, ipc: 1.10 },
+    SpecBenchmark { name: "cactusADM", droop_score: 0.48, memory_intensity: 0.45, ipc: 1.15 },
+    SpecBenchmark { name: "gromacs", droop_score: 0.55, memory_intensity: 0.15, ipc: 1.60 },
+    SpecBenchmark { name: "dealII", droop_score: 0.60, memory_intensity: 0.25, ipc: 1.55 },
+    SpecBenchmark { name: "namd", droop_score: 0.66, memory_intensity: 0.10, ipc: 1.85 },
+    SpecBenchmark { name: "milc", droop_score: 0.70, memory_intensity: 0.55, ipc: 1.20 },
+];
+
+/// The 8-benchmark mix of Fig. 5: bwaves, cactusADM, dealII, gromacs,
+/// leslie3d, mcf, milc, namd.
+pub fn fig5_mix() -> Vec<SpecBenchmark> {
+    const MIX: [&str; 8] = [
+        "bwaves", "cactusADM", "dealII", "gromacs", "leslie3d", "mcf", "milc", "namd",
+    ];
+    SPEC_SUITE
+        .iter()
+        .filter(|b| MIX.contains(&b.name))
+        .cloned()
+        .collect()
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<&'static SpecBenchmark> {
+    SPEC_SUITE.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use power_model::units::Megahertz;
+    use xgene_sim::sigma::{ChipProfile, SigmaBin};
+
+    #[test]
+    fn profiles_reproduce_their_droop_scores() {
+        for b in &SPEC_SUITE {
+            let p = b.profile();
+            assert!(
+                (p.droop_score() - b.droop_score).abs() < 1e-9,
+                "{}: {} vs {}",
+                b.name,
+                p.droop_score(),
+                b.droop_score
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_ttt_vmin_range() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let core = ttt.most_robust_core();
+        let vmins: Vec<u32> = SPEC_SUITE
+            .iter()
+            .map(|b| ttt.vmin(core, &b.profile(), Megahertz::XGENE2_NOMINAL).as_u32())
+            .collect();
+        let min = *vmins.iter().min().unwrap();
+        let max = *vmins.iter().max().unwrap();
+        assert!((858..=862).contains(&min), "min Vmin {min}");
+        assert!((883..=887).contains(&max), "max Vmin {max}");
+    }
+
+    #[test]
+    fn mcf_is_the_most_undervoltable() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let core = ttt.most_robust_core();
+        let mcf = ttt.vmin(core, &by_name("mcf").unwrap().profile(), Megahertz::XGENE2_NOMINAL);
+        for b in &SPEC_SUITE {
+            let v = ttt.vmin(core, &b.profile(), Megahertz::XGENE2_NOMINAL);
+            assert!(v >= mcf, "{} has lower Vmin than mcf", b.name);
+        }
+    }
+
+    #[test]
+    fn fig5_mix_has_eight_members() {
+        let mix = fig5_mix();
+        assert_eq!(mix.len(), 8);
+        assert!(mix.iter().any(|b| b.name == "mcf"));
+        assert!(!mix.iter().any(|b| b.name == "soplex"));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("milc").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn workload_to_workload_trends_hold_across_chips() {
+        // The paper: "workload-to-workload variation follows similar trends
+        // across the 3 chips" — orderings agree.
+        let core_vmins = |bin| {
+            let chip = ChipProfile::corner(bin);
+            let core = chip.most_robust_core();
+            SPEC_SUITE
+                .iter()
+                .map(|b| chip.vmin(core, &b.profile(), Megahertz::XGENE2_NOMINAL).as_u32())
+                .collect::<Vec<_>>()
+        };
+        let ttt = core_vmins(SigmaBin::Ttt);
+        let tff = core_vmins(SigmaBin::Tff);
+        let tss = core_vmins(SigmaBin::Tss);
+        for i in 1..ttt.len() {
+            assert!(ttt[i] >= ttt[i - 1]);
+            assert!(tff[i] >= tff[i - 1]);
+            assert!(tss[i] >= tss[i - 1]);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Set-associative cache simulator with LRU replacement.
+//!
+//! Used by the cache-targeted micro-viruses (which need real
+//! index/way-conflict behaviour to pin their working sets into one level)
+//! and by the performance-counter estimation that feeds the Vmin predictor.
+
+use crate::topology::CacheLevel;
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss statistics of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, write-allocate cache with true-LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use xgene_sim::cache::Cache;
+/// use xgene_sim::topology::CacheLevel;
+///
+/// let mut l1 = Cache::for_level(CacheLevel::L1D);
+/// assert!(!l1.access(0x1000)); // cold miss
+/// assert!(l1.access(0x1000));  // now resident
+/// assert_eq!(l1.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_bytes: usize,
+    /// `tags[set][way]`; `None` = invalid.
+    tags: Vec<Vec<Option<u64>>>,
+    /// Monotone per-access counter values for LRU (`lru[set][way]`).
+    lru: Vec<Vec<u64>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, or `capacity` is not divisible by
+    /// `ways * line_bytes`, or the set count is not a power of two.
+    pub fn new(capacity: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(capacity > 0 && ways > 0 && line_bytes > 0, "parameters must be non-zero");
+        assert!(
+            capacity % (ways * line_bytes) == 0,
+            "capacity must be a whole number of sets"
+        );
+        let sets = capacity / (ways * line_bytes);
+        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        Cache {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![vec![None; ways]; sets],
+            lru: vec![vec![0; ways]; sets],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache with the X-Gene2 geometry of `level`.
+    pub fn for_level(level: CacheLevel) -> Self {
+        Cache::new(level.capacity(), level.ways(), level.line_bytes())
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Accesses a byte address; returns `true` on hit. Misses allocate.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = addr / self.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+
+        if let Some(way) = self.tags[set].iter().position(|t| *t == Some(tag)) {
+            self.lru[set][way] = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Prefer an invalid way, else evict the least recently used.
+        let victim = match self.tags[set].iter().position(Option::is_none) {
+            Some(w) => w,
+            None => {
+                let (w, _) = self.lru[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &t)| t)
+                    .expect("ways are non-empty");
+                w
+            }
+        };
+        self.tags[set][victim] = Some(tag);
+        self.lru[set][victim] = self.tick;
+        false
+    }
+
+    /// Number of currently valid lines.
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().flatten().filter(|t| t.is_some()).count()
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        for set in &mut self.tags {
+            for way in set {
+                *way = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn xgene2_geometries() {
+        let l1 = Cache::for_level(CacheLevel::L1D);
+        assert_eq!(l1.sets(), 64); // 32 KiB / (8 ways · 64 B)
+        let l2 = Cache::for_level(CacheLevel::L2);
+        assert_eq!(l2.sets(), 128);
+        let l3 = Cache::for_level(CacheLevel::L3);
+        assert_eq!(l3.sets(), 4096);
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let mut c = Cache::for_level(CacheLevel::L1D);
+        let lines = 64 * 8; // exactly capacity
+        for pass in 0..3 {
+            for i in 0..lines {
+                let hit = c.access(i as u64 * 64);
+                if pass > 0 {
+                    assert!(hit, "pass {pass}, line {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = Cache::new(1024, 2, 64); // 16 lines
+        // 3 lines mapping to the same set with 2 ways, accessed round-robin
+        // under LRU: every access misses.
+        let set_stride = 8 * 64; // sets = 8
+        c.reset_stats();
+        for _ in 0..10 {
+            for k in 0..3 {
+                c.access(k * set_stride);
+            }
+        }
+        assert_eq!(c.stats().hits, 0, "LRU round-robin over ways+1 lines never hits");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(2 * 64, 2, 64); // 1 set, 2 ways
+        c.access(0); // A
+        c.access(64); // B
+        c.access(0); // touch A
+        c.access(128); // C evicts B
+        assert!(c.access(0), "A stays");
+        assert!(!c.access(64), "B was evicted");
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::for_level(CacheLevel::L1I);
+        c.access(0);
+        assert_eq!(c.resident_lines(), 1);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn miss_ratio_math() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = Cache::new(3 * 64, 1, 64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_resident_lines_never_exceed_capacity(addrs in prop::collection::vec(0u64..1_000_000, 1..500)) {
+            let mut c = Cache::new(4096, 4, 64);
+            for a in addrs {
+                c.access(a);
+            }
+            prop_assert!(c.resident_lines() <= 4096 / 64);
+        }
+
+        #[test]
+        fn prop_repeat_access_hits(addr: u64) {
+            let mut c = Cache::for_level(CacheLevel::L1D);
+            c.access(addr);
+            prop_assert!(c.access(addr));
+        }
+
+        #[test]
+        fn prop_stats_account_every_access(addrs in prop::collection::vec(0u64..100_000, 0..300)) {
+            let mut c = Cache::new(2048, 2, 64);
+            for a in &addrs {
+                c.access(*a);
+            }
+            prop_assert_eq!(c.stats().accesses(), addrs.len() as u64);
+        }
+    }
+}

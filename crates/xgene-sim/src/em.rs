@@ -1,0 +1,125 @@
+//! Electromagnetic-emanation sensing (Hadjilambrou et al., IEEE CAL 2017).
+//!
+//! The X-Gene2 exposes no on-die droop probe, so the paper senses voltage
+//! noise *indirectly*: a near-field probe over the package picks up the
+//! magnetic field of the supply-current loop. The radiated amplitude at the
+//! PDN's resonant frequency tracks the resonant current component — and
+//! therefore the droop — so maximizing EM amplitude maximizes voltage noise.
+//! This module models that probe; the GA in `stress-gen` uses it as its
+//! fitness signal.
+
+use crate::pdn::{spectrum, PdnModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A near-field EM probe tuned to the PDN resonance band.
+///
+/// # Examples
+///
+/// ```
+/// use xgene_sim::em::EmProbe;
+/// use xgene_sim::pdn::PdnModel;
+///
+/// let pdn = PdnModel::xgene2();
+/// let mut probe = EmProbe::new(pdn, 1);
+/// let f0 = pdn.resonant_frequency_hz();
+/// // A square wave at the resonance radiates strongly.
+/// let resonant: Vec<f64> = (0..128).map(|i| if i < 64 { 20.0 } else { 2.0 }).collect();
+/// let quiet = vec![11.0; 128];
+/// assert!(probe.measure(&resonant, 1.0 / f0) > probe.measure(&quiet, 1.0 / f0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmProbe {
+    pdn: PdnModel,
+    /// Probe coupling gain (arbitrary spectrum-analyzer units per amp).
+    coupling: f64,
+    /// Measurement noise standard deviation (same units).
+    noise_sigma: f64,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+}
+
+fn default_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+impl EmProbe {
+    /// Creates a probe over the given PDN with a deterministic noise seed.
+    pub fn new(pdn: PdnModel, seed: u64) -> Self {
+        EmProbe { pdn, coupling: 1.0, noise_sigma: 0.01, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The PDN the probe observes.
+    pub fn pdn(&self) -> &PdnModel {
+        &self.pdn
+    }
+
+    /// Measures radiated amplitude (arbitrary units) for a periodic current
+    /// trace over one loop period, weighting each harmonic by how close it
+    /// falls to the resonance (same selectivity as the PDN impedance peak).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `period_s` is not positive.
+    pub fn measure(&mut self, samples: &[f64], period_s: f64) -> f64 {
+        let spec = spectrum(samples, period_s, 8);
+        let peak = self.pdn.peak_impedance_ohms();
+        let signal: f64 = spec
+            .iter()
+            .map(|(f, a)| a * self.pdn.impedance_ohms(*f) / peak)
+            .sum::<f64>()
+            * self.coupling;
+        let noise = self.noise_sigma * self.gaussian();
+        (signal + noise).max(0.0)
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(period_samples: usize, high: f64, low: f64) -> Vec<f64> {
+        (0..period_samples)
+            .map(|i| if i < period_samples / 2 { high } else { low })
+            .collect()
+    }
+
+    #[test]
+    fn resonant_loop_radiates_most() {
+        let pdn = PdnModel::xgene2();
+        let f0 = pdn.resonant_frequency_hz();
+        let mut probe = EmProbe::new(pdn, 7);
+        let wave = square(128, 20.0, 2.0);
+        let at_res = probe.measure(&wave, 1.0 / f0);
+        let below = probe.measure(&wave, 1.0 / (f0 / 5.0));
+        let above = probe.measure(&wave, 1.0 / (f0 * 5.0));
+        assert!(at_res > below, "{at_res} vs below {below}");
+        assert!(at_res > above, "{at_res} vs above {above}");
+    }
+
+    #[test]
+    fn amplitude_tracks_swing() {
+        let pdn = PdnModel::xgene2();
+        let f0 = pdn.resonant_frequency_hz();
+        let mut probe = EmProbe::new(pdn, 7);
+        let big = probe.measure(&square(128, 25.0, 1.0), 1.0 / f0);
+        let small = probe.measure(&square(128, 14.0, 12.0), 1.0 / f0);
+        assert!(big > 5.0 * small, "big {big} vs small {small}");
+    }
+
+    #[test]
+    fn measurement_is_nonnegative() {
+        let pdn = PdnModel::xgene2();
+        let mut probe = EmProbe::new(pdn, 7);
+        for _ in 0..100 {
+            assert!(probe.measure(&[0.0; 16], 1e-8) >= 0.0);
+        }
+    }
+}

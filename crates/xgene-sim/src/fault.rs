@@ -1,0 +1,285 @@
+//! Run-outcome fault model: what happens when a program executes below,
+//! at, or above its Vmin.
+//!
+//! The characterization framework classifies every run as one of: correct
+//! completion, correctable/uncorrectable error reports (from cache ECC and
+//! parity), silent data corruption (caught only by comparing against a
+//! golden output), or a crash/hang needing the watchdog. The margin between
+//! the operating voltage and the workload's Vmin determines the outcome
+//! distribution: a few millivolts above Vmin runs are clean; inside a
+//! narrow band the first symptoms are CEs and SDCs; below it the machine
+//! locks up.
+
+use crate::sigma::ChipProfile;
+use crate::topology::CoreId;
+use crate::workload::WorkloadProfile;
+use power_model::units::{Megahertz, Millivolts};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of one characterization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// Completed with output matching the golden reference.
+    Correct,
+    /// Completed; hardware reported corrected errors (CE).
+    CorrectableError,
+    /// Completed; hardware reported uncorrectable errors (UE).
+    UncorrectableError,
+    /// Completed with wrong output and no hardware error report.
+    SilentDataCorruption,
+    /// Kernel panic, lockup or reset — watchdog intervention required.
+    Crash,
+}
+
+impl RunOutcome {
+    /// Whether the run finished with usable output.
+    pub fn is_usable(self) -> bool {
+        matches!(self, RunOutcome::Correct | RunOutcome::CorrectableError)
+    }
+
+    /// Whether the system needs a reset after this outcome.
+    pub fn needs_reset(self) -> bool {
+        matches!(self, RunOutcome::Crash)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunOutcome::Correct => "correct",
+            RunOutcome::CorrectableError => "CE",
+            RunOutcome::UncorrectableError => "UE",
+            RunOutcome::SilentDataCorruption => "SDC",
+            RunOutcome::Crash => "crash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The outcome model: margin bands around Vmin.
+///
+/// * margin ≥ `safe_band_mv` — always correct;
+/// * `0 ≤ margin < safe_band_mv` — mostly correct, occasional CEs (cache
+///   ECC catching marginal bitcells);
+/// * `-failure_band_mv < margin < 0` — mixed CEs, SDCs and UEs;
+/// * margin ≤ `-failure_band_mv` — crash.
+///
+/// # Examples
+///
+/// ```
+/// use xgene_sim::fault::{FaultModel, RunOutcome};
+/// use xgene_sim::sigma::{ChipProfile, SigmaBin};
+/// use xgene_sim::workload::WorkloadProfile;
+/// use power_model::units::{Megahertz, Millivolts};
+/// use rand::SeedableRng;
+///
+/// let model = FaultModel::default();
+/// let chip = ChipProfile::corner(SigmaBin::Ttt);
+/// let w = WorkloadProfile::builder("w").activity(0.5).build();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let outcome = model.classify(
+///     &chip, chip.most_robust_core(), &w, Megahertz::XGENE2_NOMINAL,
+///     Millivolts::XGENE2_NOMINAL, &mut rng);
+/// assert_eq!(outcome, RunOutcome::Correct);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Width of the marginal band above Vmin where sporadic CEs appear.
+    safe_band_mv: f64,
+    /// Width of the band below Vmin where errors appear before lockup.
+    failure_band_mv: f64,
+    /// CE probability at margin 0 (decays linearly through the safe band).
+    ce_probability_at_vmin: f64,
+}
+
+impl FaultModel {
+    /// Creates a fault model with explicit band widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any band width is negative or the CE probability is
+    /// outside `[0, 1]`.
+    pub fn new(safe_band_mv: f64, failure_band_mv: f64, ce_probability_at_vmin: f64) -> Self {
+        assert!(safe_band_mv >= 0.0, "safe band must be non-negative");
+        assert!(failure_band_mv > 0.0, "failure band must be positive");
+        assert!((0.0..=1.0).contains(&ce_probability_at_vmin), "probability in [0,1]");
+        FaultModel { safe_band_mv, failure_band_mv, ce_probability_at_vmin }
+    }
+
+    /// Classifies one run at `voltage` for `(chip, core, workload,
+    /// frequency)` with `active_cores` busy cores in total.
+    pub fn classify_with_active_cores<R: Rng + ?Sized>(
+        &self,
+        chip: &ChipProfile,
+        core: CoreId,
+        workload: &WorkloadProfile,
+        frequency: Megahertz,
+        voltage: Millivolts,
+        active_cores: usize,
+        rng: &mut R,
+    ) -> RunOutcome {
+        let vmin = chip.vmin_with_active_cores(core, workload, frequency, active_cores);
+        let margin = f64::from(voltage.as_u32()) - f64::from(vmin.as_u32());
+        if margin >= self.safe_band_mv {
+            return RunOutcome::Correct;
+        }
+        if margin >= 0.0 {
+            // Marginal band: sporadic correctable errors, linearly more
+            // likely as the margin shrinks.
+            let p_ce = self.ce_probability_at_vmin * (1.0 - margin / self.safe_band_mv);
+            return if rng.gen::<f64>() < p_ce {
+                RunOutcome::CorrectableError
+            } else {
+                RunOutcome::Correct
+            };
+        }
+        if margin <= -self.failure_band_mv {
+            return RunOutcome::Crash;
+        }
+        // Inside the failure band: severity grows as voltage drops.
+        let depth = -margin / self.failure_band_mv; // 0 at Vmin, 1 at crash
+        let roll: f64 = rng.gen();
+        // Observed mix near Vmin: CEs first, then SDC/UE, then crashes.
+        let p_crash = depth * depth * 0.8;
+        let p_ue = 0.15 + 0.2 * depth;
+        let p_sdc = 0.25;
+        if roll < p_crash {
+            RunOutcome::Crash
+        } else if roll < p_crash + p_ue {
+            RunOutcome::UncorrectableError
+        } else if roll < p_crash + p_ue + p_sdc {
+            RunOutcome::SilentDataCorruption
+        } else {
+            RunOutcome::CorrectableError
+        }
+    }
+
+    /// Classifies a single-program run (one active core).
+    pub fn classify<R: Rng + ?Sized>(
+        &self,
+        chip: &ChipProfile,
+        core: CoreId,
+        workload: &WorkloadProfile,
+        frequency: Megahertz,
+        voltage: Millivolts,
+        rng: &mut R,
+    ) -> RunOutcome {
+        self.classify_with_active_cores(chip, core, workload, frequency, voltage, 1, rng)
+    }
+}
+
+impl Default for FaultModel {
+    /// The calibrated bands: 5 mV marginal band with 30 % CE incidence at
+    /// Vmin, 12 mV failure band before guaranteed lockup.
+    fn default() -> Self {
+        FaultModel::new(5.0, 12.0, 0.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigma::SigmaBin;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FaultModel, ChipProfile, WorkloadProfile, StdRng) {
+        (
+            FaultModel::default(),
+            ChipProfile::corner(SigmaBin::Ttt),
+            WorkloadProfile::builder("w").activity(0.6).swing(0.4).build(),
+            StdRng::seed_from_u64(99),
+        )
+    }
+
+    #[test]
+    fn far_above_vmin_is_always_correct() {
+        let (model, chip, w, mut rng) = setup();
+        let core = chip.most_robust_core();
+        for _ in 0..200 {
+            let o = model.classify(
+                &chip, core, &w, Megahertz::XGENE2_NOMINAL,
+                Millivolts::XGENE2_NOMINAL, &mut rng,
+            );
+            assert_eq!(o, RunOutcome::Correct);
+        }
+    }
+
+    #[test]
+    fn far_below_vmin_always_crashes() {
+        let (model, chip, w, mut rng) = setup();
+        let core = chip.most_robust_core();
+        let vmin = chip.vmin(core, &w, Megahertz::XGENE2_NOMINAL);
+        let deep = Millivolts::new(vmin.as_u32() - 30);
+        for _ in 0..200 {
+            let o = model.classify(&chip, core, &w, Megahertz::XGENE2_NOMINAL, deep, &mut rng);
+            assert_eq!(o, RunOutcome::Crash);
+        }
+    }
+
+    #[test]
+    fn failure_band_mixes_error_classes() {
+        let (model, chip, w, mut rng) = setup();
+        let core = chip.most_robust_core();
+        let vmin = chip.vmin(core, &w, Megahertz::XGENE2_NOMINAL);
+        let just_below = Millivolts::new(vmin.as_u32() - 5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(model.classify(
+                &chip, core, &w, Megahertz::XGENE2_NOMINAL, just_below, &mut rng,
+            ));
+        }
+        assert!(seen.contains(&RunOutcome::SilentDataCorruption), "{seen:?}");
+        assert!(seen.contains(&RunOutcome::CorrectableError), "{seen:?}");
+        assert!(!seen.contains(&RunOutcome::Correct), "below Vmin is never correct");
+    }
+
+    #[test]
+    fn marginal_band_shows_sporadic_ce() {
+        let (model, chip, w, mut rng) = setup();
+        let core = chip.most_robust_core();
+        let vmin = chip.vmin(core, &w, Megahertz::XGENE2_NOMINAL);
+        let at_vmin = vmin;
+        let mut ces = 0;
+        for _ in 0..1000 {
+            match model.classify(&chip, core, &w, Megahertz::XGENE2_NOMINAL, at_vmin, &mut rng) {
+                RunOutcome::CorrectableError => ces += 1,
+                RunOutcome::Correct => {}
+                other => panic!("unexpected {other} at Vmin"),
+            }
+        }
+        assert!((200..400).contains(&ces), "CE count at Vmin: {ces}");
+    }
+
+    #[test]
+    fn outcome_flags() {
+        assert!(RunOutcome::Correct.is_usable());
+        assert!(RunOutcome::CorrectableError.is_usable());
+        assert!(!RunOutcome::SilentDataCorruption.is_usable());
+        assert!(RunOutcome::Crash.needs_reset());
+        assert!(!RunOutcome::UncorrectableError.needs_reset());
+    }
+
+    #[test]
+    fn more_active_cores_fail_earlier() {
+        let (model, chip, w, mut rng) = setup();
+        let core = chip.weakest_core();
+        let vmin1 = chip.vmin_with_active_cores(core, &w, Megahertz::XGENE2_NOMINAL, 1);
+        // At a voltage safe for 1 core but inside the 8-core failure zone:
+        let v = Millivolts::new(vmin1.as_u32() + 8);
+        let mut eight_core_failures = 0;
+        for _ in 0..200 {
+            let o = model.classify_with_active_cores(
+                &chip, core, &w, Megahertz::XGENE2_NOMINAL, v, 8, &mut rng,
+            );
+            if !o.is_usable() {
+                eight_core_failures += 1;
+            }
+            let solo = model.classify(&chip, core, &w, Megahertz::XGENE2_NOMINAL, v, &mut rng);
+            assert!(solo.is_usable() || solo == RunOutcome::CorrectableError);
+        }
+        assert!(eight_core_failures > 0, "8-core runs should fail at {v}");
+    }
+}

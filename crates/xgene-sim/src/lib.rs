@@ -1,0 +1,64 @@
+//! Behavioral model of the AppliedMicro X-Gene2 Server-on-Chip.
+//!
+//! The DSN'18 guardband study runs on a real X-Gene2 micro-server; since
+//! the study is hardware-gated, this crate rebuilds the parts of the
+//! platform its methodology touches:
+//!
+//! * [`topology`] — 4 PMDs × 2 ARMv8 cores, the L1/L2/L3 hierarchy sizes;
+//! * [`cache`] — a set-associative LRU cache simulator;
+//! * [`hierarchy`] — the assembled L1I/L1D/L2/L3 hierarchy with per-core
+//!   performance counters;
+//! * [`pipeline`] — a single-issue in-order core executing micro-op
+//!   streams against the hierarchy (measured IPC / current waveforms);
+//! * [`pdn`] — the second-order power-delivery network with its ~50 MHz
+//!   first-order resonance;
+//! * [`em`] — the electromagnetic-emanation probe used as the dI/dt-virus
+//!   fitness signal;
+//! * [`sigma`] — the TTT/TFF/TSS chip corners with their calibrated Vmin
+//!   decompositions;
+//! * [`workload`] — activity profiles linking workloads to the electrical
+//!   models;
+//! * [`fault`] — run-outcome classification around Vmin (CE/UE/SDC/crash);
+//! * [`server`] — the assembled server behind the SLIMpro management
+//!   interface.
+//!
+//! # Examples
+//!
+//! ```
+//! use xgene_sim::server::XGene2Server;
+//! use xgene_sim::sigma::SigmaBin;
+//! use xgene_sim::workload::WorkloadProfile;
+//! use power_model::units::Millivolts;
+//!
+//! let mut server = XGene2Server::new(SigmaBin::Ttt, 7);
+//! server.set_pmd_voltage(Millivolts::new(930))?;
+//! let bench = WorkloadProfile::builder("quick").activity(0.4).build();
+//! let run = server.run_on_core(server.chip().most_robust_core(), &bench);
+//! assert!(run.outcome.is_usable());
+//! # Ok::<(), xgene_sim::server::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod em;
+pub mod fault;
+pub mod hierarchy;
+pub mod pdn;
+pub mod pipeline;
+pub mod server;
+pub mod sigma;
+pub mod topology;
+pub mod workload;
+
+pub use cache::{Cache, CacheStats};
+pub use em::EmProbe;
+pub use hierarchy::{CacheHierarchy, CoreCounters, ServedBy};
+pub use pipeline::{ExecUnit, ExecutionReport, InOrderCore, MicroOp};
+pub use fault::{FaultModel, RunOutcome};
+pub use pdn::PdnModel;
+pub use server::{ConfigError, CoreRunResult, XGene2Server};
+pub use sigma::{ChipProfile, SigmaBin};
+pub use topology::{CacheLevel, CoreId, PmdId, CORE_COUNT, PMD_COUNT};
+pub use workload::{StressTarget, WorkloadProfile, WorkloadProfileBuilder};

@@ -1,0 +1,220 @@
+//! Power delivery network (PDN) model.
+//!
+//! The board/package/die power-delivery path behaves as a second-order RLC
+//! system with a pronounced first-order resonance in the tens of MHz. A
+//! load whose current swings at that frequency builds up the worst-case
+//! voltage droop — the mechanism dI/dt viruses exploit (Kim et al. MICRO'12,
+//! Whatmough ISSCC'15). This module provides the impedance profile and the
+//! droop response to periodic current waveforms synthesized from
+//! instruction loops.
+
+use serde::{Deserialize, Serialize};
+
+/// Second-order PDN with impedance `Z(f) = R + j2πfL ∥ 1/(j2πfC)` of the
+/// classic series R–L feeding an on-die decap C (parallel damping folded
+/// into `q`).
+///
+/// # Examples
+///
+/// ```
+/// use xgene_sim::pdn::PdnModel;
+///
+/// let pdn = PdnModel::xgene2();
+/// let f0 = pdn.resonant_frequency_hz();
+/// assert!(f0 > 20e6 && f0 < 120e6);
+/// // Impedance peaks at the resonance:
+/// assert!(pdn.impedance_ohms(f0) > pdn.impedance_ohms(f0 / 4.0));
+/// assert!(pdn.impedance_ohms(f0) > pdn.impedance_ohms(f0 * 4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PdnModel {
+    /// Series (DC) resistance in ohms.
+    r_ohms: f64,
+    /// Loop inductance in henries.
+    l_henries: f64,
+    /// On-die + package decoupling capacitance in farads.
+    c_farads: f64,
+    /// Quality factor of the resonance.
+    q: f64,
+}
+
+impl PdnModel {
+    /// Creates a PDN from electrical parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not strictly positive.
+    pub fn new(r_ohms: f64, l_henries: f64, c_farads: f64, q: f64) -> Self {
+        assert!(r_ohms > 0.0, "resistance must be positive");
+        assert!(l_henries > 0.0, "inductance must be positive");
+        assert!(c_farads > 0.0, "capacitance must be positive");
+        assert!(q > 0.0, "quality factor must be positive");
+        PdnModel { r_ohms, l_henries, c_farads, q }
+    }
+
+    /// The calibrated X-Gene2 PDN: ~50 MHz first-order resonance, 0.6 mΩ DC
+    /// resistance, Q ≈ 3 (28 nm server package).
+    pub fn xgene2() -> Self {
+        // f0 = 1/(2π√(LC)); with L = 10 pH and C = 1.0 µF, f0 ≈ 50.3 MHz.
+        PdnModel::new(0.0006, 10e-12, 1.013e-6, 3.0)
+    }
+
+    /// First-order resonant frequency in Hz.
+    pub fn resonant_frequency_hz(&self) -> f64 {
+        1.0 / (2.0 * std::f64::consts::PI * (self.l_henries * self.c_farads).sqrt())
+    }
+
+    /// Impedance magnitude |Z(f)| in ohms, as a damped resonance peak:
+    /// `|Z| = R·(1 + (Q−1)/(1 + ((f−f0)/(f0/Q))²))` — the standard
+    /// lorentzian approximation of the band-limited peak.
+    pub fn impedance_ohms(&self, f_hz: f64) -> f64 {
+        if f_hz <= 0.0 {
+            return self.r_ohms;
+        }
+        let f0 = self.resonant_frequency_hz();
+        let bw = f0 / self.q;
+        let x = (f_hz - f0) / bw;
+        self.r_ohms * (1.0 + (self.q - 1.0) * self.q / (1.0 + x * x))
+    }
+
+    /// Peak impedance (at resonance).
+    pub fn peak_impedance_ohms(&self) -> f64 {
+        self.impedance_ohms(self.resonant_frequency_hz())
+    }
+
+    /// Worst-case droop in volts for a periodic current waveform described
+    /// by its spectrum: `(frequency Hz, amplitude A)` pairs plus a DC draw.
+    ///
+    /// The droop is the IR drop of the DC component plus the sum of the
+    /// harmonic amplitudes weighted by the impedance at each harmonic (a
+    /// conservative in-phase summation, appropriate for a worst-case
+    /// analysis).
+    pub fn droop_volts(&self, dc_amps: f64, harmonics: &[(f64, f64)]) -> f64 {
+        let dc = dc_amps.max(0.0) * self.r_ohms;
+        let ac: f64 = harmonics
+            .iter()
+            .map(|(f, a)| a.abs() * self.impedance_ohms(*f))
+            .sum();
+        dc + ac
+    }
+
+    /// Droop in millivolts for a sampled periodic current trace.
+    ///
+    /// `samples` holds instantaneous current in amps over exactly one loop
+    /// period; `period_s` is the loop duration in seconds. The trace is
+    /// decomposed into its first eight Fourier harmonics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `period_s` is not positive.
+    pub fn droop_mv_from_trace(&self, samples: &[f64], period_s: f64) -> f64 {
+        let spec = spectrum(samples, period_s, 8);
+        let dc = mean(samples);
+        self.droop_volts(dc, &spec) * 1000.0
+    }
+}
+
+impl Default for PdnModel {
+    fn default() -> Self {
+        PdnModel::xgene2()
+    }
+}
+
+/// Mean of a sample vector.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// First `n` Fourier harmonic `(frequency, amplitude)` pairs of a periodic
+/// trace sampled uniformly over one period.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `period_s` is not positive.
+pub fn spectrum(samples: &[f64], period_s: f64, n: usize) -> Vec<(f64, f64)> {
+    assert!(!samples.is_empty(), "trace must not be empty");
+    assert!(period_s > 0.0 && period_s.is_finite(), "period must be positive");
+    let len = samples.len() as f64;
+    let f1 = 1.0 / period_s;
+    (1..=n)
+        .map(|k| {
+            let kf = k as f64;
+            let (mut re, mut im) = (0.0, 0.0);
+            for (i, s) in samples.iter().enumerate() {
+                let phase = 2.0 * std::f64::consts::PI * kf * i as f64 / len;
+                re += s * phase.cos();
+                im -= s * phase.sin();
+            }
+            let amplitude = 2.0 * (re * re + im * im).sqrt() / len;
+            (kf * f1, amplitude)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resonance_is_near_50mhz() {
+        let f0 = PdnModel::xgene2().resonant_frequency_hz();
+        assert!((f0 - 50e6).abs() < 2e6, "f0 = {f0}");
+    }
+
+    #[test]
+    fn impedance_peaks_at_resonance() {
+        let pdn = PdnModel::xgene2();
+        let f0 = pdn.resonant_frequency_hz();
+        let peak = pdn.impedance_ohms(f0);
+        for f in [f0 / 10.0, f0 / 2.0, f0 * 2.0, f0 * 10.0] {
+            assert!(peak > pdn.impedance_ohms(f), "f = {f}");
+        }
+        assert!(peak / pdn.r_ohms > 2.0, "peak gain {}", peak / pdn.r_ohms);
+    }
+
+    #[test]
+    fn spectrum_of_square_wave_concentrates_on_fundamental() {
+        // 50% duty square wave: fundamental amplitude 4A/π·(1/2)… dominated
+        // by the first harmonic; even harmonics vanish.
+        let samples: Vec<f64> = (0..256).map(|i| if i < 128 { 1.0 } else { -1.0 }).collect();
+        let spec = spectrum(&samples, 1.0 / 50e6, 4);
+        assert!(spec[0].1 > 1.2, "fundamental {}", spec[0].1); // 4/π ≈ 1.27
+        assert!(spec[1].1 < 0.05, "2nd harmonic {}", spec[1].1);
+        assert!((spec[0].0 - 50e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn resonant_square_wave_droops_more_than_dc_equivalent() {
+        let pdn = PdnModel::xgene2();
+        let f0 = pdn.resonant_frequency_hz();
+        // Square wave between 5 A and 25 A at the resonant frequency.
+        let square: Vec<f64> = (0..256).map(|i| if i < 128 { 25.0 } else { 5.0 }).collect();
+        let flat = vec![15.0; 256];
+        let at_res = pdn.droop_mv_from_trace(&square, 1.0 / f0);
+        let steady = pdn.droop_mv_from_trace(&flat, 1.0 / f0);
+        let off_res = pdn.droop_mv_from_trace(&square, 1.0 / (f0 * 7.3));
+        assert!(at_res > 3.0 * steady, "resonant {at_res} vs steady {steady}");
+        assert!(at_res > 1.5 * off_res, "resonant {at_res} vs off-resonance {off_res}");
+    }
+
+    #[test]
+    fn droop_scales_with_swing() {
+        let pdn = PdnModel::xgene2();
+        let f0 = pdn.resonant_frequency_hz();
+        let small: Vec<f64> = (0..128).map(|i| if i < 64 { 16.0 } else { 14.0 }).collect();
+        let large: Vec<f64> = (0..128).map(|i| if i < 64 { 28.0 } else { 2.0 }).collect();
+        assert!(
+            pdn.droop_mv_from_trace(&large, 1.0 / f0)
+                > pdn.droop_mv_from_trace(&small, 1.0 / f0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "trace must not be empty")]
+    fn spectrum_rejects_empty() {
+        let _ = spectrum(&[], 1.0, 4);
+    }
+}

@@ -1,0 +1,248 @@
+//! A single-issue in-order core model executing micro-op streams against
+//! the cache hierarchy.
+//!
+//! This closes the loop between the stress generators and the electrical
+//! models: a virus loop (or any synthetic program) can be *executed* to
+//! obtain its IPC, per-cycle current waveform and counter-derived workload
+//! profile, instead of hand-annotating those properties.
+
+use crate::hierarchy::CacheHierarchy;
+use crate::topology::CoreId;
+use crate::workload::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// Execution unit a micro-op occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecUnit {
+    /// No unit (bubble / nop).
+    None,
+    /// Integer ALU.
+    IntAlu,
+    /// FP / SIMD pipe.
+    FpSimd,
+    /// Load/store unit.
+    LoadStore,
+    /// Branch unit.
+    Branch,
+}
+
+/// One micro-op of a synthetic program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroOp {
+    /// The unit it occupies.
+    pub unit: ExecUnit,
+    /// Execution latency in cycles (excluding memory).
+    pub latency: u32,
+    /// Current drawn while executing, in amps.
+    pub current_amps: f64,
+    /// Data address touched, if it is a memory op.
+    pub address: Option<u64>,
+}
+
+impl MicroOp {
+    /// A non-memory op.
+    pub fn compute(unit: ExecUnit, latency: u32, current_amps: f64) -> Self {
+        MicroOp { unit, latency, current_amps, address: None }
+    }
+
+    /// A load from `address`.
+    pub fn load(address: u64, current_amps: f64) -> Self {
+        MicroOp { unit: ExecUnit::LoadStore, latency: 1, current_amps, address: Some(address) }
+    }
+}
+
+/// Result of executing a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Micro-ops retired.
+    pub instructions: u64,
+    /// Per-cycle current samples of one loop iteration (for PDN analysis).
+    pub current_trace: Vec<f64>,
+    /// DRAM accesses per instruction.
+    pub dram_ratio: f64,
+    /// Mean current in amps.
+    pub mean_current: f64,
+}
+
+impl ExecutionReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Derives a [`WorkloadProfile`] from the measured execution: activity
+    /// from the mean current, swing from the waveform extremes, resonance
+    /// alignment left at 0 (use the PDN spectrum for that — see
+    /// `stress-gen`), memory intensity from the DRAM ratio.
+    pub fn profile(&self, name: &str, idle_amps: f64, max_amps: f64) -> WorkloadProfile {
+        let span = (max_amps - idle_amps).max(1e-9);
+        let activity = ((self.mean_current - idle_amps) / span).clamp(0.0, 1.0);
+        let max = self.current_trace.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.current_trace.iter().cloned().fold(f64::MAX, f64::min);
+        let swing = if self.current_trace.is_empty() {
+            0.0
+        } else {
+            ((max - min) / span).clamp(0.0, 1.0)
+        };
+        WorkloadProfile::builder(name)
+            .activity(activity)
+            .swing(swing)
+            .resonance_alignment(0.0)
+            .memory_intensity(self.dram_ratio.clamp(0.0, 1.0))
+            .ipc(self.ipc())
+            .build()
+    }
+}
+
+/// The in-order core.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InOrderCore {
+    core: CoreId,
+    /// Idle (clock-tree + leakage proxy) current in amps.
+    idle_amps: f64,
+}
+
+impl InOrderCore {
+    /// Creates a core model.
+    pub fn new(core: CoreId) -> Self {
+        InOrderCore { core, idle_amps: 0.6 }
+    }
+
+    /// Executes `iterations` repetitions of a loop body against the
+    /// hierarchy, sampling the current waveform of the final iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the loop body is empty or `iterations` is zero.
+    pub fn execute(
+        &self,
+        hierarchy: &mut CacheHierarchy,
+        body: &[MicroOp],
+        iterations: u32,
+    ) -> ExecutionReport {
+        assert!(!body.is_empty(), "loop body must not be empty");
+        assert!(iterations > 0, "at least one iteration");
+        let mut cycles: u64 = 0;
+        let mut instructions: u64 = 0;
+        let mut current_sum = 0.0;
+        let mut trace = Vec::new();
+        let mut dram_accesses: u64 = 0;
+
+        for iter in 0..iterations {
+            let last = iter + 1 == iterations;
+            if last {
+                trace.clear();
+            }
+            for op in body {
+                let mut op_cycles = u64::from(op.latency.max(1));
+                let mut op_current = op.current_amps;
+                if let Some(addr) = op.address {
+                    let (served, lat) = hierarchy.access_data(self.core, addr);
+                    op_cycles = u64::from(lat);
+                    if served == crate::hierarchy::ServedBy::Dram {
+                        dram_accesses += 1;
+                        // A core stalled on DRAM draws near-idle current.
+                        op_current = self.idle_amps * 1.2;
+                    }
+                }
+                cycles += op_cycles;
+                instructions += 1;
+                current_sum += op_current * op_cycles as f64;
+                if last {
+                    for _ in 0..op_cycles {
+                        trace.push(op_current);
+                    }
+                }
+            }
+        }
+
+        ExecutionReport {
+            cycles,
+            instructions,
+            current_trace: trace,
+            dram_ratio: if instructions == 0 {
+                0.0
+            } else {
+                dram_accesses as f64 / instructions as f64
+            },
+            mean_current: if cycles == 0 { 0.0 } else { current_sum / cycles as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alu(latency: u32, amps: f64) -> MicroOp {
+        MicroOp::compute(ExecUnit::IntAlu, latency, amps)
+    }
+
+    #[test]
+    fn ipc_of_single_cycle_ops_is_one() {
+        let mut h = CacheHierarchy::xgene2();
+        let core = InOrderCore::new(CoreId::new(0));
+        let report = core.execute(&mut h, &[alu(1, 1.5); 16], 10);
+        assert!((report.ipc() - 1.0).abs() < 1e-12);
+        assert_eq!(report.instructions, 160);
+    }
+
+    #[test]
+    fn memory_latency_lowers_ipc() {
+        let mut h = CacheHierarchy::xgene2();
+        let core = InOrderCore::new(CoreId::new(0));
+        // Strided loads over 4 MiB: mostly L3/DRAM.
+        let body: Vec<MicroOp> =
+            (0..64).map(|i| MicroOp::load(i * 64 * 1024, 1.7)).collect();
+        let report = core.execute(&mut h, &body, 4);
+        assert!(report.ipc() < 0.1, "ipc {}", report.ipc());
+        assert!(report.dram_ratio > 0.1, "dram ratio {}", report.dram_ratio);
+    }
+
+    #[test]
+    fn cache_resident_loads_run_fast() {
+        let mut h = CacheHierarchy::xgene2();
+        let core = InOrderCore::new(CoreId::new(0));
+        // 8 KiB working set: L1-resident after the cold first pass.
+        let body: Vec<MicroOp> = (0..128).map(|i| MicroOp::load(i * 64, 1.7)).collect();
+        let report = core.execute(&mut h, &body, 100);
+        assert!(report.ipc() > 0.15, "ipc {}", report.ipc());
+        assert!(report.dram_ratio < 0.02, "dram ratio {}", report.dram_ratio);
+    }
+
+    #[test]
+    fn trace_covers_one_iteration() {
+        let mut h = CacheHierarchy::xgene2();
+        let core = InOrderCore::new(CoreId::new(0));
+        let body = [alu(2, 2.0), alu(1, 1.0)];
+        let report = core.execute(&mut h, &body, 3);
+        assert_eq!(report.current_trace.len(), 3); // 2 + 1 cycles
+        assert_eq!(report.current_trace, vec![2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn derived_profile_tracks_execution() {
+        let mut h = CacheHierarchy::xgene2();
+        let core = InOrderCore::new(CoreId::new(0));
+        let hot = core.execute(&mut h, &[alu(1, 3.2); 32], 5);
+        let hot_profile = hot.profile("hot", 0.6, 3.4);
+        h.reset();
+        let cold = core.execute(&mut h, &[alu(1, 0.8); 32], 5);
+        let cold_profile = cold.profile("cold", 0.6, 3.4);
+        assert!(hot_profile.activity() > cold_profile.activity());
+        assert!(hot_profile.droop_score() > cold_profile.droop_score());
+    }
+
+    #[test]
+    #[should_panic(expected = "loop body")]
+    fn rejects_empty_body() {
+        let mut h = CacheHierarchy::xgene2();
+        InOrderCore::new(CoreId::new(0)).execute(&mut h, &[], 1);
+    }
+}

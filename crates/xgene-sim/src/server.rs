@@ -1,0 +1,427 @@
+//! The assembled X-Gene2 server: chip + DRAM + sensors + SLIMpro.
+//!
+//! SLIMpro (Scalable Lightweight Intelligent Management Processor) is the
+//! management core that boots the system, exposes temperature and power
+//! sensors, reports ECC/parity errors to the kernel, and configures MCU
+//! parameters such as the refresh period. The characterization framework
+//! talks exclusively to this interface — exactly as the real framework
+//! does — so swapping the simulated server for real hardware would only
+//! replace this module.
+
+use crate::fault::{FaultModel, RunOutcome};
+use crate::sigma::{ChipProfile, SigmaBin};
+use crate::topology::{CoreId, PmdId, PMD_COUNT};
+use crate::workload::WorkloadProfile;
+use dram_sim::array::DramArray;
+use dram_sim::retention::{PopulationSpec, RetentionModel, WeakCellPopulation};
+use power_model::server::{OperatingPoint, PowerBreakdown, ServerLoad, ServerPowerModel};
+use power_model::tradeoff::FrequencyPlan;
+use power_model::units::{Celsius, Megahertz, Millivolts, Milliseconds, Watts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Voltage programmable range of the PMD/SoC regulators.
+pub const VOLTAGE_RANGE_MV: std::ops::RangeInclusive<u32> = 700..=1050;
+
+/// Error raised by invalid management-interface requests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// Requested voltage is outside the regulator's range.
+    VoltageOutOfRange {
+        /// The rejected request in millivolts.
+        requested_mv: u32,
+    },
+    /// Requested frequency is not one of the supported DVFS steps.
+    UnsupportedFrequency {
+        /// The rejected request in MHz.
+        requested_mhz: u32,
+    },
+    /// Requested refresh period is non-positive.
+    InvalidRefreshPeriod,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::VoltageOutOfRange { requested_mv } => {
+                write!(f, "voltage {requested_mv} mV outside regulator range")
+            }
+            ConfigError::UnsupportedFrequency { requested_mhz } => {
+                write!(f, "frequency {requested_mhz} MHz is not a DVFS step")
+            }
+            ConfigError::InvalidRefreshPeriod => f.write_str("refresh period must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Supported per-PMD DVFS frequency steps.
+pub const DVFS_STEPS_MHZ: [u32; 5] = [2400, 2000, 1600, 1200, 800];
+
+/// One program run's result as the framework observes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreRunResult {
+    /// Core the program ran on.
+    pub core: CoreId,
+    /// Workload name.
+    pub workload: String,
+    /// Classified outcome.
+    pub outcome: RunOutcome,
+}
+
+/// The simulated server.
+///
+/// # Examples
+///
+/// ```
+/// use xgene_sim::server::XGene2Server;
+/// use xgene_sim::sigma::SigmaBin;
+/// use xgene_sim::workload::WorkloadProfile;
+/// use power_model::units::Millivolts;
+///
+/// let mut server = XGene2Server::new(SigmaBin::Ttt, 42);
+/// server.set_pmd_voltage(Millivolts::new(930))?;
+/// let w = WorkloadProfile::builder("bench").activity(0.5).build();
+/// let result = server.run_on_core(server.chip().most_robust_core(), &w);
+/// assert!(result.outcome.is_usable());
+/// # Ok::<(), xgene_sim::server::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct XGene2Server {
+    chip: ChipProfile,
+    fault_model: FaultModel,
+    power_model: ServerPowerModel,
+    dram: DramArray,
+    pmd_voltage: Millivolts,
+    soc_voltage: Millivolts,
+    pmd_frequencies: [Megahertz; PMD_COUNT],
+    dram_temperature: Celsius,
+    reset_count: u64,
+    rng: StdRng,
+}
+
+impl XGene2Server {
+    /// Boots a server with the given chip corner, deterministic in `seed`.
+    pub fn new(bin: SigmaBin, seed: u64) -> Self {
+        XGene2Server::with_population_spec(bin, seed, PopulationSpec::dsn18())
+    }
+
+    /// Boots a server whose DRAM population covers a custom envelope
+    /// (needed for sweeps beyond 60 °C / 2.283 s).
+    pub fn with_population_spec(bin: SigmaBin, seed: u64, spec: PopulationSpec) -> Self {
+        let population =
+            WeakCellPopulation::generate(&RetentionModel::xgene2_micron(), spec, seed);
+        let dram = DramArray::new(
+            population,
+            Milliseconds::DDR3_NOMINAL_TREFP,
+            Celsius::new(45.0),
+        );
+        XGene2Server {
+            chip: ChipProfile::corner(bin),
+            fault_model: FaultModel::default(),
+            power_model: ServerPowerModel::xgene2(),
+            dram,
+            pmd_voltage: Millivolts::XGENE2_NOMINAL,
+            soc_voltage: Millivolts::XGENE2_NOMINAL,
+            pmd_frequencies: [Megahertz::XGENE2_NOMINAL; PMD_COUNT],
+            dram_temperature: Celsius::new(45.0),
+            reset_count: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0xD5A5_5A5D),
+        }
+    }
+
+    /// The chip installed in the socket.
+    pub fn chip(&self) -> &ChipProfile {
+        &self.chip
+    }
+
+    /// The DRAM subsystem (mutable: workloads read and write it).
+    pub fn dram_mut(&mut self) -> &mut DramArray {
+        &mut self.dram
+    }
+
+    /// The DRAM subsystem.
+    pub fn dram(&self) -> &DramArray {
+        &self.dram
+    }
+
+    /// Current PMD-rail voltage.
+    pub fn pmd_voltage(&self) -> Millivolts {
+        self.pmd_voltage
+    }
+
+    /// Current SoC-rail voltage.
+    pub fn soc_voltage(&self) -> Millivolts {
+        self.soc_voltage
+    }
+
+    /// Current frequency of a PMD.
+    pub fn pmd_frequency(&self, pmd: PmdId) -> Megahertz {
+        self.pmd_frequencies[pmd.index()]
+    }
+
+    /// Number of watchdog resets since boot.
+    pub fn reset_count(&self) -> u64 {
+        self.reset_count
+    }
+
+    /// Sets the PMD-domain voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::VoltageOutOfRange`] outside 700–1050 mV.
+    pub fn set_pmd_voltage(&mut self, voltage: Millivolts) -> Result<(), ConfigError> {
+        validate_voltage(voltage)?;
+        self.pmd_voltage = voltage;
+        Ok(())
+    }
+
+    /// Sets the SoC-domain voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::VoltageOutOfRange`] outside 700–1050 mV.
+    pub fn set_soc_voltage(&mut self, voltage: Millivolts) -> Result<(), ConfigError> {
+        validate_voltage(voltage)?;
+        self.soc_voltage = voltage;
+        Ok(())
+    }
+
+    /// Sets one PMD's frequency to a supported DVFS step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnsupportedFrequency`] for other values.
+    pub fn set_pmd_frequency(&mut self, pmd: PmdId, freq: Megahertz) -> Result<(), ConfigError> {
+        if !DVFS_STEPS_MHZ.contains(&freq.as_u32()) {
+            return Err(ConfigError::UnsupportedFrequency { requested_mhz: freq.as_u32() });
+        }
+        self.pmd_frequencies[pmd.index()] = freq;
+        Ok(())
+    }
+
+    /// Sets one PMD's frequency to an arbitrary PLL value — the socketed
+    /// validation boards allow overriding the DVFS table for frequency
+    /// characterization (Fmax search).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnsupportedFrequency`] outside 200–3200 MHz.
+    pub fn set_pmd_frequency_unlocked(
+        &mut self,
+        pmd: PmdId,
+        freq: Megahertz,
+    ) -> Result<(), ConfigError> {
+        if !(200..=3200).contains(&freq.as_u32()) {
+            return Err(ConfigError::UnsupportedFrequency { requested_mhz: freq.as_u32() });
+        }
+        self.pmd_frequencies[pmd.index()] = freq;
+        Ok(())
+    }
+
+    /// Configures the DRAM refresh period through SLIMpro.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidRefreshPeriod`] for non-positive values.
+    pub fn set_trefp(&mut self, trefp: Milliseconds) -> Result<(), ConfigError> {
+        if trefp.as_f64() <= 0.0 {
+            return Err(ConfigError::InvalidRefreshPeriod);
+        }
+        self.dram.set_trefp(trefp);
+        Ok(())
+    }
+
+    /// Sets the DRAM temperature (driven by the thermal testbed).
+    pub fn set_dram_temperature(&mut self, temp: Celsius) {
+        self.dram_temperature = temp;
+        self.dram.set_temperature(temp);
+    }
+
+    /// Runs one program alone on `core` and classifies the outcome.
+    pub fn run_on_core(&mut self, core: CoreId, workload: &WorkloadProfile) -> CoreRunResult {
+        let freq = self.pmd_frequencies[core.pmd().index()];
+        let outcome = self.fault_model.classify(
+            &self.chip,
+            core,
+            workload,
+            freq,
+            self.pmd_voltage,
+            &mut self.rng,
+        );
+        if outcome.needs_reset() {
+            self.reset();
+        }
+        CoreRunResult { core, workload: workload.name().to_owned(), outcome }
+    }
+
+    /// Runs one program per assignment simultaneously (multi-process
+    /// setup); each run sees the combined rail noise of all active cores.
+    pub fn run_many(
+        &mut self,
+        assignments: &[(CoreId, &WorkloadProfile)],
+    ) -> Vec<CoreRunResult> {
+        let n = assignments.len().max(1);
+        let mut results = Vec::with_capacity(assignments.len());
+        let mut crashed = false;
+        for (core, workload) in assignments {
+            let freq = self.pmd_frequencies[core.pmd().index()];
+            let outcome = self.fault_model.classify_with_active_cores(
+                &self.chip,
+                *core,
+                workload,
+                freq,
+                self.pmd_voltage,
+                n,
+                &mut self.rng,
+            );
+            crashed |= outcome.needs_reset();
+            results.push(CoreRunResult {
+                core: *core,
+                workload: workload.name().to_owned(),
+                outcome,
+            });
+        }
+        if crashed {
+            self.reset();
+        }
+        results
+    }
+
+    /// Board power at the current operating point for a given load, as the
+    /// SLIMpro power sensors report it.
+    pub fn read_power(&self, load: &ServerLoad) -> PowerBreakdown {
+        let point = OperatingPoint {
+            pmd_voltage: self.pmd_voltage,
+            soc_voltage: self.soc_voltage,
+            plan: FrequencyPlan::from_frequencies(self.pmd_frequencies),
+            trefp: self.dram.trefp(),
+        };
+        self.power_model.power(&point, load)
+    }
+
+    /// Total board power under `load` (convenience over [`Self::read_power`]).
+    pub fn read_total_power(&self, load: &ServerLoad) -> Watts {
+        self.read_power(load).total()
+    }
+
+    /// DRAM temperature as the SPD sensors report it.
+    pub fn read_dram_temperature(&self) -> Celsius {
+        self.dram_temperature
+    }
+
+    /// Power-cycles the server: restores nominal V/F (the firmware boots at
+    /// nominal), clears DRAM contents, and counts the reset.
+    pub fn reset(&mut self) {
+        self.reset_count += 1;
+        self.pmd_voltage = Millivolts::XGENE2_NOMINAL;
+        self.soc_voltage = Millivolts::XGENE2_NOMINAL;
+        self.pmd_frequencies = [Megahertz::XGENE2_NOMINAL; PMD_COUNT];
+        self.dram.fill_pattern(dram_sim::patterns::DataPattern::AllZeros);
+    }
+}
+
+fn validate_voltage(voltage: Millivolts) -> Result<(), ConfigError> {
+    if !VOLTAGE_RANGE_MV.contains(&voltage.as_u32()) {
+        return Err(ConfigError::VoltageOutOfRange { requested_mv: voltage.as_u32() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boots_at_nominal() {
+        let server = XGene2Server::new(SigmaBin::Ttt, 1);
+        assert_eq!(server.pmd_voltage(), Millivolts::XGENE2_NOMINAL);
+        assert_eq!(server.pmd_frequency(PmdId::new(0)), Megahertz::XGENE2_NOMINAL);
+        assert_eq!(server.reset_count(), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_voltage() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 1);
+        let err = server.set_pmd_voltage(Millivolts::new(600)).unwrap_err();
+        assert_eq!(err, ConfigError::VoltageOutOfRange { requested_mv: 600 });
+        assert!(server.set_pmd_voltage(Millivolts::new(700)).is_ok());
+    }
+
+    #[test]
+    fn rejects_unsupported_frequency() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 1);
+        assert!(server.set_pmd_frequency(PmdId::new(0), Megahertz::new(1234)).is_err());
+        assert!(server
+            .set_pmd_frequency(PmdId::new(0), Megahertz::XGENE2_HALF)
+            .is_ok());
+        assert_eq!(server.pmd_frequency(PmdId::new(0)), Megahertz::XGENE2_HALF);
+    }
+
+    #[test]
+    fn crash_triggers_watchdog_reset_and_reboot_at_nominal() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 1);
+        server.set_pmd_voltage(Millivolts::new(700)).unwrap();
+        let heavy = WorkloadProfile::builder("heavy").activity(0.9).swing(0.8).build();
+        let result = server.run_on_core(CoreId::new(0), &heavy);
+        assert_eq!(result.outcome, RunOutcome::Crash);
+        assert_eq!(server.reset_count(), 1);
+        assert_eq!(server.pmd_voltage(), Millivolts::XGENE2_NOMINAL);
+    }
+
+    #[test]
+    fn nominal_run_is_clean() {
+        let mut server = XGene2Server::new(SigmaBin::Tss, 2);
+        let w = WorkloadProfile::builder("w").activity(0.7).swing(0.5).build();
+        let r = server.run_on_core(CoreId::new(3), &w);
+        assert_eq!(r.outcome, RunOutcome::Correct);
+    }
+
+    #[test]
+    fn multiprocess_runs_report_per_core() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 3);
+        let a = WorkloadProfile::builder("a").activity(0.4).build();
+        let b = WorkloadProfile::builder("b").activity(0.6).build();
+        let results = server.run_many(&[
+            (CoreId::new(0), &a),
+            (CoreId::new(2), &b),
+        ]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].workload, "a");
+        assert_eq!(results[1].core, CoreId::new(2));
+    }
+
+    #[test]
+    fn power_reading_drops_at_safe_point() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 4);
+        let load = ServerLoad::jammer_detector();
+        let nominal = server.read_total_power(&load);
+        server.set_pmd_voltage(Millivolts::new(930)).unwrap();
+        server.set_soc_voltage(Millivolts::new(920)).unwrap();
+        server.set_trefp(Milliseconds::DSN18_RELAXED_TREFP).unwrap();
+        let safe = server.read_total_power(&load);
+        let savings = nominal.savings_to(safe);
+        assert!((savings - 0.202).abs() < 0.01, "savings {savings}");
+    }
+
+    #[test]
+    fn trefp_validation() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 5);
+        assert_eq!(
+            server.set_trefp(Milliseconds::new(0.0)).unwrap_err(),
+            ConfigError::InvalidRefreshPeriod
+        );
+        assert!(server.set_trefp(Milliseconds::DSN18_RELAXED_TREFP).is_ok());
+        assert_eq!(server.dram().trefp(), Milliseconds::DSN18_RELAXED_TREFP);
+    }
+
+    #[test]
+    fn dram_temperature_propagates() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 6);
+        server.set_dram_temperature(Celsius::new(60.0));
+        assert_eq!(server.read_dram_temperature(), Celsius::new(60.0));
+        assert_eq!(server.dram().temperature(), Celsius::new(60.0));
+    }
+}

@@ -1,0 +1,516 @@
+//! Process-corner chip profiles (sigma chips).
+//!
+//! The paper characterizes three X-Gene2 parts on socketed validation
+//! boards: a typical TTT chip plus two corner ("sigma") parts selected from
+//! both ends of the leakage distribution — TFF (fast, high leakage) and TSS
+//! (slow, low leakage). The corners differ in intrinsic Vmin, sensitivity
+//! to workload activity and to resonant voltage droop, giving each chip a
+//! distinct guardband (Figs. 4, 6, 7).
+
+use crate::topology::{CacheLevel, CoreId, CORE_COUNT};
+use crate::workload::{StressTarget, WorkloadProfile};
+use power_model::scaling::CornerLeakage;
+use power_model::units::{Megahertz, Millivolts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Process corner of a characterized chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SigmaBin {
+    /// Typical part.
+    Ttt,
+    /// Fast corner — high leakage, can clock higher, large droop
+    /// sensitivity.
+    Tff,
+    /// Slow corner — low leakage, weakest at nominal frequency.
+    Tss,
+}
+
+impl SigmaBin {
+    /// All three characterized corners.
+    pub const ALL: [SigmaBin; 3] = [SigmaBin::Ttt, SigmaBin::Tff, SigmaBin::Tss];
+}
+
+impl fmt::Display for SigmaBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SigmaBin::Ttt => "TTT",
+            SigmaBin::Tff => "TFF",
+            SigmaBin::Tss => "TSS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Electrical personality of one physical chip.
+///
+/// The Vmin of a (core, workload, frequency) combination decomposes as
+///
+/// ```text
+/// Vmin = intrinsic
+///      + activity_coeff · droop_score(workload)
+///      + droop_coeff    · resonant_energy(workload)
+///      + core_offset[core]
+///      + multicore_penalty · (active_cores − 1)
+///      − freq_slope · (f_nom − f)
+/// ```
+///
+/// calibrated per corner so the published Fig. 4 SPEC ranges and the
+/// Fig. 6/7 virus margins emerge.
+///
+/// # Examples
+///
+/// ```
+/// use xgene_sim::sigma::{ChipProfile, SigmaBin};
+/// use xgene_sim::workload::WorkloadProfile;
+/// use power_model::units::{Megahertz, Millivolts};
+///
+/// let ttt = ChipProfile::corner(SigmaBin::Ttt);
+/// let idle = ttt.vmin(ttt.most_robust_core(), &WorkloadProfile::idle(),
+///                     Megahertz::XGENE2_NOMINAL);
+/// assert!(idle < Millivolts::new(880)); // idle Vmin is low
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipProfile {
+    bin: SigmaBin,
+    /// Idle Vmin of the most robust core at nominal frequency.
+    intrinsic: Millivolts,
+    /// mV of Vmin per unit of workload droop score.
+    activity_coeff_mv: f64,
+    /// mV of Vmin per unit of resonant energy (dI/dt virus component).
+    droop_coeff_mv: f64,
+    /// Per-core Vmin offsets in mV (0 = most robust core).
+    core_offsets_mv: [f64; CORE_COUNT],
+    /// Extra rail requirement per additional simultaneously active core.
+    multicore_penalty_mv: f64,
+    /// Vmin reduction per MHz below nominal frequency.
+    freq_slope_mv_per_mhz: f64,
+    /// Leakage corner for the power model.
+    leakage: CornerLeakage,
+    /// SRAM arrays stop operating below this supply (cache-targeted
+    /// viruses expose level-dependent margins above it).
+    sram_vmin: Millivolts,
+}
+
+impl ChipProfile {
+    /// The calibrated profile of one of the three characterized parts.
+    pub fn corner(bin: SigmaBin) -> Self {
+        // Calibration (see DESIGN.md): with SPEC droop scores spanning
+        // [0.2, 0.7] the most robust core's Fig. 4 range and the Fig. 6/7
+        // virus Vmins (measured like Fig. 4 on the most robust core) are:
+        //   TTT:  SPEC 860..885 mV, virus Vmin 920 mV (60 mV margin)
+        //   TFF:  SPEC 870..885 mV, virus Vmin 960 mV (20 mV margin)
+        //   TSS:  SPEC 870..900 mV, virus Vmin 970 mV (~0 margin)
+        // The droop coefficients anchor on the GA-evolved dI/dt virus: a
+        // full-swing square wave at the PDN resonance (activity 0.5,
+        // swing 1, alignment 1 => droop score 0.625, resonant energy 1).
+        match bin {
+            SigmaBin::Ttt => ChipProfile {
+                bin,
+                intrinsic: Millivolts::new(850),
+                activity_coeff_mv: 50.0,
+                droop_coeff_mv: 39.0,
+                core_offsets_mv: [15.0, 14.0, 8.0, 7.0, 4.0, 3.0, 0.0, 1.0],
+                multicore_penalty_mv: 2.1,
+                freq_slope_mv_per_mhz: 0.055,
+                leakage: CornerLeakage::TYPICAL,
+                sram_vmin: Millivolts::new(790),
+            },
+            SigmaBin::Tff => ChipProfile {
+                bin,
+                intrinsic: Millivolts::new(864),
+                activity_coeff_mv: 30.0,
+                droop_coeff_mv: 77.0,
+                core_offsets_mv: [8.0, 7.0, 5.0, 6.0, 3.0, 2.0, 0.0, 1.0],
+                multicore_penalty_mv: 1.6,
+                freq_slope_mv_per_mhz: 0.045,
+                leakage: CornerLeakage::FAST,
+                sram_vmin: Millivolts::new(800),
+            },
+            SigmaBin::Tss => ChipProfile {
+                bin,
+                intrinsic: Millivolts::new(858),
+                activity_coeff_mv: 60.0,
+                droop_coeff_mv: 74.5,
+                core_offsets_mv: [12.0, 11.0, 8.0, 7.0, 5.0, 4.0, 0.0, 2.0],
+                multicore_penalty_mv: 2.4,
+                freq_slope_mv_per_mhz: 0.060,
+                leakage: CornerLeakage::SLOW,
+                sram_vmin: Millivolts::new(815),
+            },
+        }
+    }
+
+    /// The corner this chip was binned into.
+    pub fn bin(&self) -> SigmaBin {
+        self.bin
+    }
+
+    /// Leakage corner for power modelling.
+    pub fn leakage(&self) -> CornerLeakage {
+        self.leakage
+    }
+
+    /// Idle Vmin of the most robust core at nominal frequency.
+    pub fn intrinsic_vmin(&self) -> Millivolts {
+        self.intrinsic
+    }
+
+    /// The core with the lowest Vmin (plotted in Fig. 4).
+    pub fn most_robust_core(&self) -> CoreId {
+        let (idx, _) = self
+            .core_offsets_mv
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("core offsets are non-empty");
+        CoreId::new(idx as u8)
+    }
+
+    /// The core with the highest Vmin (sets the shared rail's requirement).
+    pub fn weakest_core(&self) -> CoreId {
+        let (idx, _) = self
+            .core_offsets_mv
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("core offsets are non-empty");
+        CoreId::new(idx as u8)
+    }
+
+    /// Vmin offset of a core relative to the most robust core, in mV.
+    pub fn core_offset_mv(&self, core: CoreId) -> f64 {
+        self.core_offsets_mv[core.index()]
+    }
+
+    /// Extra rail requirement per additional active core, in mV.
+    pub fn multicore_penalty_mv(&self) -> f64 {
+        self.multicore_penalty_mv
+    }
+
+    /// Minimum safe operating voltage for `workload` running alone on
+    /// `core` at `frequency` — the quantity single-benchmark undervolting
+    /// campaigns (Fig. 4) search for.
+    pub fn vmin(&self, core: CoreId, workload: &WorkloadProfile, frequency: Megahertz) -> Millivolts {
+        self.vmin_with_active_cores(core, workload, frequency, 1)
+    }
+
+    /// Vmin for `workload` on `core` while `active_cores` cores are busy in
+    /// total (shared-rail noise grows with simultaneously switching cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_cores` is 0 or exceeds 8.
+    pub fn vmin_with_active_cores(
+        &self,
+        core: CoreId,
+        workload: &WorkloadProfile,
+        frequency: Megahertz,
+        active_cores: usize,
+    ) -> Millivolts {
+        assert!((1..=CORE_COUNT).contains(&active_cores), "1..=8 active cores");
+        let logic = self.logic_vmin_mv(core, workload, frequency)
+            + self.multicore_penalty_mv * (active_cores as f64 - 1.0);
+        // The shared rail also feeds the cache SRAM arrays; whichever gives
+        // out first determines the failure. Cache-targeted viruses push the
+        // SRAM limit up towards the logic limit.
+        let sram = self.sram_vmin_mv(workload.target());
+        Millivolts::new(logic.max(sram).round().max(0.0) as u32)
+    }
+
+    /// The rail voltage required to run a set of `(core, workload,
+    /// frequency)` assignments simultaneously: the maximum per-assignment
+    /// Vmin with the full multicore penalty applied.
+    pub fn rail_vmin(
+        &self,
+        assignments: &[(CoreId, &WorkloadProfile, Megahertz)],
+    ) -> Option<Millivolts> {
+        let n = assignments.len();
+        assignments
+            .iter()
+            .map(|(core, w, f)| self.vmin_with_active_cores(*core, w, *f, n.clamp(1, CORE_COUNT)))
+            .max()
+    }
+
+    fn logic_vmin_mv(&self, core: CoreId, workload: &WorkloadProfile, frequency: Megahertz) -> f64 {
+        let base = f64::from(self.intrinsic.as_u32())
+            + self.activity_coeff_mv * workload.droop_score()
+            + self.droop_coeff_mv * workload.resonant_energy()
+            + self.core_offsets_mv[core.index()];
+        let f_nom = f64::from(Megahertz::XGENE2_NOMINAL.as_u32());
+        let f = f64::from(frequency.as_u32());
+        if f <= f_nom {
+            base - self.freq_slope_mv_per_mhz * (f_nom - f)
+        } else {
+            // Overclocking: critical paths hit timing walls, so the
+            // voltage cost per MHz is ~8x steeper than the undervolting
+            // slope (the exact inverse of `fmax`).
+            base + (f - f_nom) * self.overclock_slope_mv_per_mhz()
+        }
+    }
+
+    /// Voltage cost per MHz above nominal frequency.
+    fn overclock_slope_mv_per_mhz(&self) -> f64 {
+        self.freq_slope_mv_per_mhz * 8.0 / self.corner_boost()
+    }
+
+    /// Relative frequency capability of the silicon corner.
+    fn corner_boost(&self) -> f64 {
+        match self.bin {
+            SigmaBin::Tff => 1.06,
+            SigmaBin::Ttt => 1.0,
+            SigmaBin::Tss => 0.95,
+        }
+    }
+
+    /// Vmin imposed by the SRAM arrays for a given stress target.
+    fn sram_vmin_mv(&self, target: StressTarget) -> f64 {
+        let base = f64::from(self.sram_vmin.as_u32());
+        match target {
+            // Cache viruses keep the arrays continuously active, exposing
+            // the weakest bitcells; deeper levels use larger, sturdier cells.
+            StressTarget::Cache(CacheLevel::L1I) | StressTarget::Cache(CacheLevel::L1D) => {
+                base + 45.0
+            }
+            StressTarget::Cache(CacheLevel::L2) => base + 30.0,
+            StressTarget::Cache(CacheLevel::L3) => base + 18.0,
+            _ => base,
+        }
+    }
+
+    /// The guardband (in mV) that nominal 980 mV leaves above `workload`'s
+    /// Vmin on `core`.
+    pub fn guardband_mv(&self, core: CoreId, workload: &WorkloadProfile, frequency: Megahertz) -> i64 {
+        i64::from(Millivolts::XGENE2_NOMINAL.as_u32())
+            - i64::from(self.vmin(core, workload, frequency).as_u32())
+    }
+
+    /// The maximum safe frequency for `workload` on `core` at `voltage` —
+    /// the DVFS dual of [`Self::vmin`], obtained by inverting the
+    /// frequency term of the Vmin decomposition. Fast (TFF) parts
+    /// overclock the furthest at nominal voltage, matching the corner
+    /// selection rationale of §III.A ("high leakage corner parts can
+    /// operate in higher frequencies").
+    pub fn fmax(&self, core: CoreId, workload: &WorkloadProfile, voltage: Millivolts) -> Megahertz {
+        // logic_vmin(f) = vmin(f_nom) − slope · (f_nom − f) ≤ V
+        //   ⇔ f ≤ f_nom + (V − vmin(f_nom)) / slope
+        let vmin_at_nominal =
+            self.logic_vmin_mv(core, workload, Megahertz::XGENE2_NOMINAL);
+        let headroom_mv = f64::from(voltage.as_u32()) - vmin_at_nominal;
+        let f = if headroom_mv >= 0.0 {
+            // Above nominal frequency the voltage/frequency slope steepens
+            // sharply (critical paths hit timing walls): the overclock
+            // slope is ~8x the undervolting slope, scaled by the corner.
+            f64::from(Megahertz::XGENE2_NOMINAL.as_u32())
+                + headroom_mv / self.overclock_slope_mv_per_mhz()
+        } else {
+            f64::from(Megahertz::XGENE2_NOMINAL.as_u32())
+                + headroom_mv / self.freq_slope_mv_per_mhz
+        };
+        Megahertz::new(f.clamp(200.0, 3200.0) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A SPEC-like profile whose droop score equals `score` exactly
+    /// (swing 0.5, alignment 0 ⇒ swing term = 0.04).
+    fn spec_like(score: f64) -> WorkloadProfile {
+        WorkloadProfile::builder("spec")
+            .activity(((score - 0.04) / 0.75).clamp(0.0, 1.0))
+            .swing(0.5)
+            .resonance_alignment(0.0)
+            .build()
+    }
+
+    /// The GA-evolved virus shape: a full-swing resonant square wave.
+    fn virus_like() -> WorkloadProfile {
+        WorkloadProfile::builder("virus")
+            .activity(0.5)
+            .swing(1.0)
+            .resonance_alignment(1.0)
+            .build()
+    }
+
+    #[test]
+    fn ttt_spec_range_matches_fig4() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let core = ttt.most_robust_core();
+        let low = ttt.vmin(core, &spec_like(0.2), Megahertz::XGENE2_NOMINAL);
+        let high = ttt.vmin(core, &spec_like(0.7), Megahertz::XGENE2_NOMINAL);
+        assert!((855..=865).contains(&low.as_u32()), "low {low}");
+        assert!((880..=890).contains(&high.as_u32()), "high {high}");
+    }
+
+    #[test]
+    fn all_corner_spec_ranges_match_fig4() {
+        let expect = [
+            (SigmaBin::Ttt, 860, 885),
+            (SigmaBin::Tff, 870, 885),
+            (SigmaBin::Tss, 870, 900),
+        ];
+        for (bin, lo, hi) in expect {
+            let chip = ChipProfile::corner(bin);
+            let core = chip.most_robust_core();
+            let low = chip.vmin(core, &spec_like(0.2), Megahertz::XGENE2_NOMINAL);
+            let high = chip.vmin(core, &spec_like(0.7), Megahertz::XGENE2_NOMINAL);
+            assert!(
+                (i64::from(low.as_u32()) - lo).abs() <= 3,
+                "{bin} low {low} vs {lo}"
+            );
+            assert!(
+                (i64::from(high.as_u32()) - hi).abs() <= 3,
+                "{bin} high {high} vs {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn virus_vmin_matches_fig7_margins() {
+        // TTT 60 mV margin, TFF 20 mV, TSS ~0 (crashes 10 mV below nominal).
+        let virus = virus_like();
+        let expect = [(SigmaBin::Ttt, 60), (SigmaBin::Tff, 20), (SigmaBin::Tss, 10)];
+        for (bin, margin) in expect {
+            let chip = ChipProfile::corner(bin);
+            let v = chip.vmin(chip.most_robust_core(), &virus, Megahertz::XGENE2_NOMINAL);
+            let got = 980 - i64::from(v.as_u32());
+            assert!(
+                (got - margin).abs() <= 8,
+                "{bin}: virus Vmin {v}, margin {got} vs paper {margin}"
+            );
+        }
+    }
+
+    #[test]
+    fn virus_exceeds_spec_on_every_corner() {
+        for bin in SigmaBin::ALL {
+            let chip = ChipProfile::corner(bin);
+            let core = chip.most_robust_core();
+            let virus = chip.vmin(core, &virus_like(), Megahertz::XGENE2_NOMINAL);
+            let spec = chip.vmin(core, &spec_like(0.7), Megahertz::XGENE2_NOMINAL);
+            assert!(virus > spec, "{bin}: virus {virus} vs spec {spec}");
+        }
+    }
+
+    #[test]
+    fn eight_core_mix_needs_915mv_on_ttt() {
+        // Fig. 5's first undervolted point: the 8-benchmark mix is safe at
+        // 915 mV with every PMD at nominal frequency.
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let worst_bench = spec_like(0.7);
+        let rail = ttt.vmin_with_active_cores(
+            ttt.weakest_core(),
+            &worst_bench,
+            Megahertz::XGENE2_NOMINAL,
+            8,
+        );
+        assert!(
+            (910..=920).contains(&rail.as_u32()),
+            "rail Vmin for 8-core mix: {rail}"
+        );
+    }
+
+    #[test]
+    fn rail_vmin_takes_worst_assignment() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let light = spec_like(0.2);
+        let heavy = spec_like(0.7);
+        let f = Megahertz::XGENE2_NOMINAL;
+        let assignments = [
+            (CoreId::new(0), &heavy, f),
+            (CoreId::new(6), &light, f),
+        ];
+        let rail = ttt.rail_vmin(&assignments).unwrap();
+        let solo_heavy = ttt.vmin_with_active_cores(CoreId::new(0), &heavy, f, 2);
+        assert_eq!(rail, solo_heavy);
+        assert!(ttt.rail_vmin(&[]).is_none());
+    }
+
+    #[test]
+    fn halved_frequency_lowers_vmin_substantially() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let w = spec_like(0.6);
+        let core = ttt.weakest_core();
+        let full = ttt.vmin(core, &w, Megahertz::XGENE2_NOMINAL);
+        let half = ttt.vmin(core, &w, Megahertz::XGENE2_HALF);
+        let drop = full.as_u32() - half.as_u32();
+        assert!((50..=90).contains(&drop), "Vmin drop at 1.2 GHz: {drop} mV");
+    }
+
+    #[test]
+    fn weakest_cores_sit_in_pmd0() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        // Fig. 5 halves PMDs 0 and 1 first — they host the weakest cores.
+        assert_eq!(ttt.weakest_core().pmd().index(), 0);
+        assert!(ttt.core_offset_mv(CoreId::new(0)) > ttt.core_offset_mv(CoreId::new(6)));
+    }
+
+    #[test]
+    fn cache_virus_raises_vmin_above_idle() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let core = ttt.most_robust_core();
+        let l1 = WorkloadProfile::builder("l1-virus")
+            .activity(0.35)
+            .swing(0.3)
+            .target(StressTarget::Cache(CacheLevel::L1D))
+            .build();
+        let idle = ttt.vmin(core, &WorkloadProfile::idle(), Megahertz::XGENE2_NOMINAL);
+        let l1_vmin = ttt.vmin(core, &l1, Megahertz::XGENE2_NOMINAL);
+        assert!(l1_vmin >= idle, "L1 virus {l1_vmin} vs idle {idle}");
+    }
+
+    #[test]
+    fn fmax_ordering_follows_the_corners() {
+        // TFF (fast silicon) overclocks the furthest at nominal voltage;
+        // TSS the least — the corner-selection rationale of §III.A.
+        let w = spec_like(0.7);
+        let fmax = |bin| {
+            let chip = ChipProfile::corner(bin);
+            chip.fmax(chip.most_robust_core(), &w, Millivolts::XGENE2_NOMINAL)
+        };
+        let tff = fmax(SigmaBin::Tff);
+        let ttt = fmax(SigmaBin::Ttt);
+        let tss = fmax(SigmaBin::Tss);
+        assert!(tff > ttt, "TFF {tff} vs TTT {ttt}");
+        assert!(ttt > tss, "TTT {ttt} vs TSS {tss}");
+        assert!(tff.as_u32() > 2400 && tff.as_u32() < 3000, "TFF {tff}");
+    }
+
+    #[test]
+    fn fmax_at_vmin_is_nominal_frequency() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let core = ttt.most_robust_core();
+        let w = spec_like(0.5);
+        let vmin = ttt.vmin(core, &w, Megahertz::XGENE2_NOMINAL);
+        let fmax = ttt.fmax(core, &w, vmin);
+        assert!(
+            (i64::from(fmax.as_u32()) - 2400).abs() <= 10,
+            "fmax at Vmin: {fmax}"
+        );
+    }
+
+    #[test]
+    fn fmax_monotone_in_voltage() {
+        let ttt = ChipProfile::corner(SigmaBin::Ttt);
+        let core = ttt.most_robust_core();
+        let w = spec_like(0.5);
+        let lo = ttt.fmax(core, &w, Millivolts::new(900));
+        let hi = ttt.fmax(core, &w, Millivolts::new(980));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn guardband_is_positive_for_real_workloads() {
+        for bin in SigmaBin::ALL {
+            let chip = ChipProfile::corner(bin);
+            let gb = chip.guardband_mv(
+                chip.weakest_core(),
+                &spec_like(0.7),
+                Megahertz::XGENE2_NOMINAL,
+            );
+            assert!(gb > 0, "{bin} guardband {gb}");
+        }
+    }
+}

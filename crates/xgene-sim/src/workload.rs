@@ -1,0 +1,269 @@
+//! Workload activity profiles — the interface between workload models and
+//! the electrical fault/PDN models.
+//!
+//! A profile captures the properties of a running program that matter for
+//! voltage noise and Vmin: mean switching activity, the *swing* between its
+//! high- and low-power phases, how well that swing aligns with the PDN's
+//! resonant frequency, and which microarchitectural components it stresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which chip component a (targeted) workload primarily stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StressTarget {
+    /// Whole-core mixed execution (ordinary programs).
+    Mixed,
+    /// The integer ALUs.
+    IntAlu,
+    /// The floating-point/SIMD units.
+    FpAlu,
+    /// A specific cache level's SRAM arrays.
+    Cache(crate::topology::CacheLevel),
+}
+
+impl fmt::Display for StressTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StressTarget::Mixed => f.write_str("mixed"),
+            StressTarget::IntAlu => f.write_str("int-alu"),
+            StressTarget::FpAlu => f.write_str("fp-alu"),
+            StressTarget::Cache(level) => write!(f, "{level}-sram"),
+        }
+    }
+}
+
+/// Electrical activity profile of a workload on one core.
+///
+/// # Examples
+///
+/// ```
+/// use xgene_sim::workload::WorkloadProfile;
+///
+/// let virus = WorkloadProfile::builder("didt-virus")
+///     .activity(0.9)
+///     .swing(0.95)
+///     .resonance_alignment(1.0)
+///     .build();
+/// assert!(virus.droop_score() > 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    name: String,
+    /// Mean switching activity in `[0, 1]` (relative to the worst case).
+    activity: f64,
+    /// Peak-to-trough current swing in `[0, 1]`.
+    swing: f64,
+    /// How much of the swing's spectral energy lands on the PDN resonance,
+    /// in `[0, 1]`. Ordinary programs are near 0; dI/dt viruses near 1.
+    resonance_alignment: f64,
+    /// DRAM bandwidth utilization in `[0, 1]`.
+    memory_intensity: f64,
+    /// Instructions per cycle at nominal conditions.
+    ipc: f64,
+    /// Primary stress target.
+    target: StressTarget,
+}
+
+impl WorkloadProfile {
+    /// Starts building a profile with neutral defaults.
+    pub fn builder(name: impl Into<String>) -> WorkloadProfileBuilder {
+        WorkloadProfileBuilder {
+            profile: WorkloadProfile {
+                name: name.into(),
+                activity: 0.5,
+                swing: 0.3,
+                resonance_alignment: 0.1,
+                memory_intensity: 0.1,
+                ipc: 1.0,
+                target: StressTarget::Mixed,
+            },
+        }
+    }
+
+    /// An idle core (the paper's "idle Vmin test" baseline).
+    pub fn idle() -> Self {
+        WorkloadProfile::builder("idle").activity(0.02).swing(0.01).ipc(0.0).build()
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mean switching activity.
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// Peak-to-trough current swing.
+    pub fn swing(&self) -> f64 {
+        self.swing
+    }
+
+    /// Spectral alignment with the PDN resonance.
+    pub fn resonance_alignment(&self) -> f64 {
+        self.resonance_alignment
+    }
+
+    /// DRAM bandwidth utilization.
+    pub fn memory_intensity(&self) -> f64 {
+        self.memory_intensity
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.ipc
+    }
+
+    /// Primary stress target.
+    pub fn target(&self) -> StressTarget {
+        self.target
+    }
+
+    /// Workload-dependent droop severity in `[0, 1]`: the activity level a
+    /// steady load imposes, in `[0, 1]` of the worst case the platform can
+    /// exhibit. This is the score the Vmin fault model consumes.
+    pub fn droop_score(&self) -> f64 {
+        // A large swing only produces a large droop when it recurs near the
+        // resonant frequency; off-resonance swings are damped.
+        (self.activity * 0.75 + self.swing * (0.08 + 0.17 * self.resonance_alignment))
+            .clamp(0.0, 1.0)
+    }
+
+    /// Resonant component of the droop (what the EM probe senses).
+    pub fn resonant_energy(&self) -> f64 {
+        self.swing * self.resonance_alignment
+    }
+}
+
+impl fmt::Display for WorkloadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (act {:.2}, swing {:.2})", self.name, self.activity, self.swing)
+    }
+}
+
+/// Builder for [`WorkloadProfile`] ([C-BUILDER]).
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl WorkloadProfileBuilder {
+    /// Sets mean switching activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]`.
+    pub fn activity(mut self, activity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&activity), "activity in [0,1]");
+        self.profile.activity = activity;
+        self
+    }
+
+    /// Sets the current swing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]`.
+    pub fn swing(mut self, swing: f64) -> Self {
+        assert!((0.0..=1.0).contains(&swing), "swing in [0,1]");
+        self.profile.swing = swing;
+        self
+    }
+
+    /// Sets resonance alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]`.
+    pub fn resonance_alignment(mut self, alignment: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alignment), "alignment in [0,1]");
+        self.profile.resonance_alignment = alignment;
+        self
+    }
+
+    /// Sets DRAM bandwidth utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 1]`.
+    pub fn memory_intensity(mut self, intensity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&intensity), "memory intensity in [0,1]");
+        self.profile.memory_intensity = intensity;
+        self
+    }
+
+    /// Sets the IPC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    pub fn ipc(mut self, ipc: f64) -> Self {
+        assert!(ipc >= 0.0, "ipc must be non-negative");
+        self.profile.ipc = ipc;
+        self
+    }
+
+    /// Sets the stress target.
+    pub fn target(mut self, target: StressTarget) -> Self {
+        self.profile.target = target;
+        self
+    }
+
+    /// Finalizes the profile.
+    pub fn build(self) -> WorkloadProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn droop_score_orders_virus_above_ordinary_code() {
+        let virus = WorkloadProfile::builder("virus")
+            .activity(0.9)
+            .swing(0.95)
+            .resonance_alignment(1.0)
+            .build();
+        let spec = WorkloadProfile::builder("spec")
+            .activity(0.7)
+            .swing(0.4)
+            .resonance_alignment(0.1)
+            .build();
+        let idle = WorkloadProfile::idle();
+        assert!(virus.droop_score() > spec.droop_score());
+        assert!(spec.droop_score() > idle.droop_score());
+    }
+
+    #[test]
+    fn droop_score_is_bounded() {
+        let max = WorkloadProfile::builder("max")
+            .activity(1.0)
+            .swing(1.0)
+            .resonance_alignment(1.0)
+            .build();
+        assert!(max.droop_score() <= 1.0);
+        assert!(WorkloadProfile::idle().droop_score() >= 0.0);
+    }
+
+    #[test]
+    fn resonant_energy_requires_alignment() {
+        let off = WorkloadProfile::builder("off").swing(1.0).resonance_alignment(0.0).build();
+        assert_eq!(off.resonant_energy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity in [0,1]")]
+    fn builder_validates_activity() {
+        let _ = WorkloadProfile::builder("bad").activity(1.5);
+    }
+
+    #[test]
+    fn display_contains_name() {
+        let p = WorkloadProfile::builder("mcf").build();
+        assert!(p.to_string().contains("mcf"));
+    }
+}

@@ -1,0 +1,61 @@
+//! DRAM retention characterization on the thermal testbed: regulate the
+//! DIMMs to 50 °C and 60 °C, relax refresh 35×, run DPBench campaigns and
+//! the Rodinia applications, and report Table I / Fig. 8-style results.
+//!
+//! ```sh
+//! cargo run --example dram_retention
+//! ```
+
+use armv8_guardbands::char_fw::dramchar::{
+    refresh_savings, rodinia_bers, run_dram_campaign, DramCampaignConfig,
+};
+use armv8_guardbands::power_model::units::{Celsius, Milliseconds, Watts};
+use armv8_guardbands::thermal_sim::testbed::ThermalTestbed;
+use armv8_guardbands::workload_sim::rodinia::{self, KernelConfig};
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+
+fn main() {
+    for config in [DramCampaignConfig::dsn18_50c(), DramCampaignConfig::dsn18_60c()] {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 11);
+        let mut testbed = ThermalTestbed::new(Celsius::new(25.0), 11);
+        let report = run_dram_campaign(&mut server, &mut testbed, &config);
+        println!(
+            "=== {} (regulated to within {:.2} °C) ===",
+            config.temperature, report.regulation_deviation
+        );
+        println!("unique error locations per bank: {:?}", report.unique_per_bank);
+        println!(
+            "bank-to-bank spread: {:.0}%  |  CEs {}  UEs {}",
+            report.bank_spread() * 100.0,
+            report.ce_total,
+            report.ue_total
+        );
+        for (pattern, ber) in &report.pattern_bers {
+            println!("  {pattern:<18} BER {ber:.3e}");
+        }
+        println!();
+    }
+
+    // Fig. 8: the HPC applications under the relaxed refresh at 60 °C.
+    let mut server = XGene2Server::new(SigmaBin::Ttt, 11);
+    server.set_dram_temperature(Celsius::new(60.0));
+    server
+        .set_trefp(Milliseconds::DSN18_RELAXED_TREFP)
+        .expect("relaxed TREFP is valid");
+    let kernels = rodinia::suite();
+    let cfg = KernelConfig { scale: 96, iterations: 6, seed: 11, runtime_ms: 5000.0 };
+    println!("=== Rodinia under TREFP {} @60 °C ===", Milliseconds::DSN18_RELAXED_TREFP);
+    for (name, ber, correct) in rodinia_bers(&mut server, &kernels, &cfg) {
+        println!(
+            "  {name:<10} BER {ber:.3e}  output {}",
+            if correct { "correct (ECC absorbed all flips)" } else { "CORRUPTED" }
+        );
+    }
+    println!("=== Fig. 8b: DRAM power saving from the 35x relaxation ===");
+    for (name, saving) in
+        refresh_savings(&kernels, Milliseconds::DSN18_RELAXED_TREFP, Watts::new(9.0))
+    {
+        println!("  {name:<10} {:.1}%", saving * 100.0);
+    }
+}

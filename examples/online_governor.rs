@@ -1,0 +1,78 @@
+//! The §IV.D online voltage governor in action: train the Vmin predictor
+//! from a characterization campaign, attach a droop history, and let the
+//! governor drive a core through shifting workload phases — saving power
+//! with zero disruptions.
+//!
+//! ```sh
+//! cargo run --example online_governor
+//! ```
+
+use armv8_guardbands::guardband_core::droop_history::{DroopHistory, FailurePredictor};
+use armv8_guardbands::guardband_core::governor::{simulate, GovernorConfig, OnlineGovernor};
+use armv8_guardbands::guardband_core::predictor::VminPredictor;
+use armv8_guardbands::power_model::units::{Megahertz, Millivolts};
+use armv8_guardbands::workload_sim::spec::SPEC_SUITE;
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+
+fn main() {
+    let mut server = XGene2Server::new(SigmaBin::Ttt, 31);
+    let chip = server.chip().clone();
+    let core = chip.most_robust_core();
+
+    // Train the predictor from the chip model's characterization results
+    // (in deployment these come from the offline campaign).
+    let training: Vec<_> = SPEC_SUITE
+        .iter()
+        .map(|b| {
+            let p = b.profile();
+            let v = chip.vmin(core, &p, Megahertz::XGENE2_NOMINAL);
+            (p, v)
+        })
+        .collect();
+    let predictor = VminPredictor::train(&training).expect("well-posed training set");
+    println!(
+        "predictor trained on {} SPEC programs (RMSE {:.2} mV)",
+        training.len(),
+        predictor.training_rmse_mv(&training)
+    );
+
+    // Seed a droop history from the idle-Vmin test plus observed noise.
+    let mut history = DroopHistory::new(256);
+    for i in 0..256 {
+        history.record(18.0 + (i % 13) as f64);
+    }
+    let floor = FailurePredictor::new(chip.intrinsic_vmin(), history);
+    println!(
+        "droop floor: intrinsic Vmin {}, floor voltage for 1e-5 target: {}",
+        chip.intrinsic_vmin(),
+        floor.voltage_for(1e-5)
+    );
+
+    // Run 1000 epochs cycling through the SPEC phases.
+    let schedule: Vec<_> = SPEC_SUITE.iter().map(|b| b.profile()).collect();
+    let mut governor =
+        OnlineGovernor::new(Some(predictor), Some(floor), GovernorConfig::conservative());
+    let stats = simulate(&mut server, &mut governor, &schedule, core, 1000);
+
+    println!("\nafter {} epochs:", stats.epochs);
+    println!("  mean commanded voltage: {:.0} mV (nominal 980 mV)", stats.mean_voltage_mv());
+    println!(
+        "  dynamic-power savings proxy: {:.1}%",
+        (1.0 - stats.mean_power_ratio()) * 100.0
+    );
+    println!(
+        "  CE backoffs: {}, disruptions: {}, watchdog resets: {}",
+        stats.ce_backoffs,
+        stats.disruptions,
+        server.reset_count()
+    );
+    let milc = SPEC_SUITE.iter().find(|b| b.name == "milc").unwrap().profile();
+    let mcf = SPEC_SUITE.iter().find(|b| b.name == "mcf").unwrap().profile();
+    println!(
+        "  phase awareness: chooses {} for mcf vs {} for milc",
+        governor.choose(&mcf),
+        governor.choose(&milc)
+    );
+    assert!(governor.choose(&milc) <= Millivolts::XGENE2_NOMINAL);
+}

@@ -1,0 +1,42 @@
+//! Quickstart: boot a simulated X-Gene2, find one benchmark's Vmin with
+//! the characterization framework, and report its guardband.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use armv8_guardbands::char_fw::runner::CampaignRunner;
+use armv8_guardbands::char_fw::setup::VminCampaign;
+use armv8_guardbands::guardband_core::guardband::Guardband;
+use armv8_guardbands::power_model::units::Millivolts;
+use armv8_guardbands::workload_sim::spec::by_name;
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+
+fn main() {
+    // Boot a typical (TTT) chip. Everything is deterministic in the seed.
+    let mut server = XGene2Server::new(SigmaBin::Ttt, 42);
+    let core = server.chip().most_robust_core();
+    println!("booted TTT X-Gene2; most robust core is {core}");
+
+    // Undervolting campaign for one SPEC benchmark, 10 repetitions per
+    // 5 mV step, exactly as in the paper.
+    let bench = by_name("milc").expect("milc is part of the suite").profile();
+    let campaign = VminCampaign::dsn18(vec![bench], vec![core]);
+    let result = CampaignRunner::new(&mut server).run(&campaign);
+
+    let vmin = result.vmin("milc", core).expect("the schedule reaches below Vmin");
+    let guardband = Guardband::new("milc", SigmaBin::Ttt, vmin, Millivolts::XGENE2_NOMINAL);
+    println!("milc Vmin on {core}: {vmin} (nominal {})", Millivolts::XGENE2_NOMINAL);
+    println!(
+        "guardband: {} mV of headroom = {:.1}% voltage / {:.1}% power-equivalent",
+        guardband.margin_mv(),
+        guardband.voltage_fraction() * 100.0,
+        guardband.power_fraction() * 100.0
+    );
+    println!(
+        "campaign: {} runs, {} watchdog resets",
+        result.records.len(),
+        result.watchdog_resets
+    );
+}

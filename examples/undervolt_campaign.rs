@@ -1,0 +1,54 @@
+//! A full Fig. 4-style undervolting campaign: the 10-program SPEC suite
+//! across all three process corners (TTT / TFF / TSS), reported as a
+//! per-chip Vmin table with CSV output.
+//!
+//! ```sh
+//! cargo run --example undervolt_campaign
+//! ```
+
+use armv8_guardbands::char_fw::report::vmins_to_csv;
+use armv8_guardbands::char_fw::runner::CampaignRunner;
+use armv8_guardbands::char_fw::setup::VminCampaign;
+use armv8_guardbands::workload_sim::spec::SPEC_SUITE;
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+use armv8_guardbands::xgene_sim::topology::CoreId;
+
+fn main() {
+    let suite: Vec<_> = SPEC_SUITE.iter().map(|b| b.profile()).collect();
+
+    for bin in SigmaBin::ALL {
+        let mut server = XGene2Server::new(bin, 7);
+        // Characterize every core individually — heterogeneity exists even
+        // between cores of the same chip.
+        let cores: Vec<CoreId> = CoreId::all().collect();
+        let campaign = VminCampaign::dsn18(suite.clone(), cores);
+        let result = CampaignRunner::new(&mut server).run(&campaign);
+
+        println!("=== chip {bin} ===");
+        for b in &SPEC_SUITE {
+            let (core, vmin) = result
+                .most_robust_core(b.name)
+                .expect("every benchmark completes its campaign");
+            println!("{:<12} most robust core {core}: Vmin {vmin}", b.name);
+        }
+        let per_core: Vec<String> = CoreId::all()
+            .map(|c| {
+                let worst = SPEC_SUITE
+                    .iter()
+                    .filter_map(|b| result.vmin(b.name, c))
+                    .max()
+                    .map(|v| v.as_u32().to_string())
+                    .unwrap_or_else(|| "-".into());
+                format!("{c}:{worst}")
+            })
+            .collect();
+        println!("per-core worst-benchmark Vmin [mV]: {}", per_core.join(" "));
+        println!("watchdog resets: {}", result.watchdog_resets);
+
+        // The framework's parsing phase emits CSV for downstream analysis.
+        let csv = vmins_to_csv(&result);
+        println!("CSV preview:\n{}", csv.lines().take(4).collect::<Vec<_>>().join("\n"));
+        println!();
+    }
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the DSN'18 ARMv8 guardband reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests (and downstream users who want the whole system) can
+//! depend on a single crate:
+//!
+//! ```
+//! use armv8_guardbands::power_model::ServerPowerModel;
+//!
+//! let server = ServerPowerModel::xgene2();
+//! let _ = server;
+//! ```
+//!
+//! See [`guardband_core`] for the study's methodology, [`xgene_sim`] and
+//! [`dram_sim`] for the hardware substrates, [`char_fw`] for the automated
+//! characterization framework, and `crates/bench` for the binaries that
+//! regenerate every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use char_fw;
+pub use dram_sim;
+pub use guardband_core;
+pub use power_model;
+pub use stress_gen;
+pub use thermal_sim;
+pub use workload_sim;
+pub use xgene_sim;

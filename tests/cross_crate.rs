@@ -1,0 +1,147 @@
+//! Cross-crate invariants: interactions that only appear when multiple
+//! subsystems are wired together.
+
+use armv8_guardbands::dram_sim::array::DramArray;
+use armv8_guardbands::dram_sim::patterns::DataPattern;
+use armv8_guardbands::dram_sim::retention::{
+    PopulationSpec, RetentionModel, WeakCellPopulation,
+};
+use armv8_guardbands::power_model::units::{Celsius, Milliseconds, Watts};
+use armv8_guardbands::thermal_sim::testbed::{ChannelId, ThermalTestbed};
+use armv8_guardbands::workload_sim::stencil::{JacobiStencil, SweepSchedule};
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+
+fn relaxed_array(seed: u64, temp: f64) -> DramArray {
+    let pop = WeakCellPopulation::generate(
+        &RetentionModel::xgene2_micron(),
+        PopulationSpec::dsn18(),
+        seed,
+    );
+    DramArray::new(pop, Milliseconds::DSN18_RELAXED_TREFP, Celsius::new(temp))
+}
+
+/// The thermal testbed's regulated temperature drives the DRAM error rate:
+/// heating the DIMMs from 50 °C to 60 °C multiplies the error population
+/// roughly 17× (Table I's temperature sensitivity), with the *same* cells
+/// at 50 °C being a subset of those at 60 °C.
+#[test]
+fn testbed_temperature_drives_dram_errors() {
+    let mut bed = ThermalTestbed::new(Celsius::new(25.0), 42);
+    bed.set_all_targets(Celsius::new(50.0));
+    bed.run(5400.0);
+    let t50 = bed.temperature(ChannelId::new(0, 0));
+
+    let mut dram = relaxed_array(42, 25.0);
+    dram.set_temperature(t50);
+    dram.fill_pattern(DataPattern::Random { seed: 1 });
+    dram.advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 1.5);
+    let flips_50 = dram.scrub().flipped_bits;
+
+    bed.set_all_targets(Celsius::new(60.0));
+    bed.run(5400.0);
+    let t60 = bed.temperature(ChannelId::new(0, 0));
+    dram.set_temperature(t60);
+    dram.fill_pattern(DataPattern::Random { seed: 1 });
+    dram.advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 1.5);
+    let flips_60 = dram.scrub().flipped_bits;
+
+    let ratio = flips_60 as f64 / flips_50.max(1) as f64;
+    assert!(
+        (8.0..35.0).contains(&ratio),
+        "50→60 °C flip ratio {ratio} ({flips_50} → {flips_60})"
+    );
+}
+
+/// The access-pattern scheduler (workload-sim) reduces the reliance on ECC
+/// (dram-sim): the paced stencil raises fewer corrected errors than the
+/// bursty one over its grid.
+#[test]
+fn paced_stencil_reduces_ecc_reliance() {
+    let stencil = JacobiStencil::new(384, 6, 9000.0);
+    let mut a = relaxed_array(77, 60.0);
+    let bursty = stencil.run(&mut a, SweepSchedule::Bursty { duty: 0.2 });
+    let mut b = relaxed_array(77, 60.0);
+    let paced = stencil.run(&mut b, SweepSchedule::Paced);
+    assert!(
+        bursty.unique_error_locations >= paced.unique_error_locations,
+        "bursty {} vs paced {} unique failing cells",
+        bursty.unique_error_locations,
+        paced.unique_error_locations
+    );
+    assert_eq!(bursty.checksum, paced.checksum, "results are numerically identical");
+}
+
+/// SLIMpro error reporting and the framework's counters agree: every CE
+/// the DRAM raises during a scrub appears in the server's error log.
+#[test]
+fn slimpro_error_reporting_is_consistent() {
+    let mut server = XGene2Server::new(SigmaBin::Ttt, 55);
+    server.set_dram_temperature(Celsius::new(60.0));
+    server.set_trefp(Milliseconds::DSN18_RELAXED_TREFP).unwrap();
+    server.dram_mut().fill_pattern(DataPattern::Random { seed: 2 });
+    server.dram_mut().advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
+    let report = server.dram_mut().scrub();
+    let log = server.dram().error_log();
+    assert_eq!(report.ce_events, log.ce_count());
+    assert_eq!(report.ue_events, log.ue_count());
+    assert!(log.unique_locations() > 0);
+    assert!(log.unique_locations() as u64 <= report.flipped_bits);
+}
+
+/// Refresh power accounting is self-consistent between the DRAM domain
+/// model and the server model: the DRAM-domain saving inside the full
+/// breakdown equals the standalone domain computation.
+#[test]
+fn dram_domain_savings_agree_between_models() {
+    use armv8_guardbands::power_model::domain::{DomainKind, DramDomain};
+    use armv8_guardbands::power_model::server::{OperatingPoint, ServerLoad, ServerPowerModel};
+
+    let server = ServerPowerModel::xgene2();
+    let load = ServerLoad::jammer_detector();
+    let nominal = server.power(&OperatingPoint::nominal(), &load);
+    let safe = server.power(&OperatingPoint::dsn18_safe_point(), &load);
+    let in_breakdown = nominal.domain(DomainKind::Dram).savings_to(safe.domain(DomainKind::Dram));
+
+    let standalone = DramDomain::xgene2(Watts::new(9.0)).refresh_relaxation_savings(
+        Milliseconds::DSN18_RELAXED_TREFP,
+        load.dram_bandwidth_utilization,
+    );
+    assert!((in_breakdown - standalone).abs() < 1e-9);
+}
+
+/// A virus evolved against the PDN model beats the strongest constant
+/// workload in the Vmin model too — the two electrical models agree on
+/// what "worst case" means.
+#[test]
+fn em_fitness_and_vmin_model_agree_on_worst_case() {
+    use armv8_guardbands::power_model::units::Megahertz;
+    use armv8_guardbands::stress_gen::ga::{evolve, genome_profile, GaConfig};
+    use armv8_guardbands::stress_gen::isa::{InstrClass, VirusGenome};
+    use armv8_guardbands::xgene_sim::em::EmProbe;
+    use armv8_guardbands::xgene_sim::pdn::PdnModel;
+    use armv8_guardbands::xgene_sim::sigma::ChipProfile;
+
+    let pdn = PdnModel::xgene2();
+    let mut probe = EmProbe::new(pdn, 9);
+    let config = GaConfig { population: 24, generations: 30, ..GaConfig::dsn18() };
+    let champion = evolve(&config, &mut probe);
+
+    let chip = ChipProfile::corner(SigmaBin::Ttt);
+    let core = chip.most_robust_core();
+    let virus_vmin = chip.vmin(
+        core,
+        &champion.champion_profile(&pdn),
+        Megahertz::XGENE2_NOMINAL,
+    );
+    let steady = genome_profile(
+        "steady-simd",
+        &VirusGenome::new(vec![InstrClass::SimdFma; 48]),
+        &pdn,
+    );
+    let steady_vmin = chip.vmin(core, &steady, Megahertz::XGENE2_NOMINAL);
+    assert!(
+        virus_vmin > steady_vmin,
+        "evolved virus {virus_vmin} vs steady SIMD {steady_vmin}"
+    );
+}

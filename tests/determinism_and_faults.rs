@@ -1,0 +1,114 @@
+//! Determinism guarantees and failure-injection behaviour across the
+//! workspace: campaigns reproduce bit-for-bit given a seed, and the system
+//! degrades the way the paper describes as conditions worsen.
+
+use armv8_guardbands::char_fw::report::records_to_csv;
+use armv8_guardbands::char_fw::runner::CampaignRunner;
+use armv8_guardbands::char_fw::setup::VminCampaign;
+use armv8_guardbands::dram_sim::array::DramArray;
+use armv8_guardbands::dram_sim::patterns::DataPattern;
+use armv8_guardbands::dram_sim::retention::{
+    PopulationSpec, RetentionModel, WeakCellPopulation,
+};
+use armv8_guardbands::power_model::units::{Celsius, Millivolts, Milliseconds};
+use armv8_guardbands::workload_sim::spec::SPEC_SUITE;
+use armv8_guardbands::xgene_sim::fault::RunOutcome;
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+
+/// Identical seeds reproduce an identical campaign — records, CSV and all.
+#[test]
+fn campaigns_are_bit_reproducible() {
+    let run = || {
+        let mut server = XGene2Server::new(SigmaBin::Tff, 2024);
+        let core = server.chip().most_robust_core();
+        let suite = vec![SPEC_SUITE[0].profile(), SPEC_SUITE[9].profile()];
+        let campaign = VminCampaign::dsn18(suite, vec![core]);
+        let result = CampaignRunner::new(&mut server).run(&campaign);
+        records_to_csv(&result.records)
+    };
+    assert_eq!(run(), run());
+}
+
+/// Different seeds produce different (but statistically consistent) error
+/// populations.
+#[test]
+fn dram_populations_vary_by_seed_but_agree_statistically() {
+    let model = RetentionModel::xgene2_micron();
+    let a = WeakCellPopulation::generate(&model, PopulationSpec::dsn18(), 1);
+    let b = WeakCellPopulation::generate(&model, PopulationSpec::dsn18(), 2);
+    assert_ne!(a.cells(), b.cells());
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    assert!((na - nb).abs() / na < 0.05, "population sizes {na} vs {nb}");
+}
+
+/// Fault-severity staircase: as voltage drops the outcome worsens from
+/// correct → errors → crash, and the watchdog restores the board.
+#[test]
+fn fault_severity_staircase() {
+    let mut server = XGene2Server::new(SigmaBin::Ttt, 99);
+    let core = server.chip().most_robust_core();
+    let bench = SPEC_SUITE.iter().find(|b| b.name == "milc").unwrap().profile();
+
+    // Comfortably above Vmin (885): always correct.
+    server.set_pmd_voltage(Millivolts::new(940)).unwrap();
+    for _ in 0..20 {
+        assert_eq!(server.run_on_core(core, &bench).outcome, RunOutcome::Correct);
+    }
+
+    // Far below: guaranteed crash, watchdog reset, reboot at nominal.
+    server.set_pmd_voltage(Millivolts::new(820)).unwrap();
+    let outcome = server.run_on_core(core, &bench).outcome;
+    assert_eq!(outcome, RunOutcome::Crash);
+    assert_eq!(server.reset_count(), 1);
+    assert_eq!(server.pmd_voltage(), Millivolts::XGENE2_NOMINAL);
+
+    // After the reset the board runs clean again.
+    assert_eq!(server.run_on_core(core, &bench).outcome, RunOutcome::Correct);
+}
+
+/// Pushing DRAM past the characterized envelope (70 °C with a population
+/// generated for it) makes errors grow; SECDED still corrects them because
+/// repair keeps weak cells isolated per word.
+#[test]
+fn dram_beyond_60c_grows_errors_but_stays_correctable() {
+    let model = RetentionModel::xgene2_micron();
+    let spec = PopulationSpec {
+        max_temperature: Celsius::new(70.0),
+        max_trefp: Milliseconds::DSN18_RELAXED_TREFP,
+    };
+    let pop = WeakCellPopulation::generate(&model, spec, 3);
+    let run_at = |temp: f64, pop: &WeakCellPopulation| {
+        let mut dram = DramArray::new(
+            pop.clone(),
+            Milliseconds::DSN18_RELAXED_TREFP,
+            Celsius::new(temp),
+        );
+        dram.fill_pattern(DataPattern::Random { seed: 4 });
+        dram.advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 1.5);
+        dram.scrub()
+    };
+    let at60 = run_at(60.0, &pop);
+    let at70 = run_at(70.0, &pop);
+    assert!(at70.flipped_bits > 2 * at60.flipped_bits);
+    assert_eq!(at70.ue_events, 0);
+}
+
+/// The refresh guardband itself: at the nominal 64 ms no workload, pattern
+/// or temperature up to 60 °C produces a single error — the baseline the
+/// paper relaxes from.
+#[test]
+fn nominal_refresh_is_bulletproof_to_60c() {
+    let model = RetentionModel::xgene2_micron();
+    let pop = WeakCellPopulation::generate(&model, PopulationSpec::dsn18(), 5);
+    for temp in [45.0, 50.0, 60.0] {
+        let mut dram =
+            DramArray::new(pop.clone(), Milliseconds::DDR3_NOMINAL_TREFP, Celsius::new(temp));
+        for pattern in DataPattern::dpbench_suite(8) {
+            dram.fill_pattern(pattern);
+            dram.advance(10_000.0);
+            let report = dram.scrub();
+            assert_eq!(report.flipped_bits, 0, "{pattern} at {temp} °C");
+        }
+    }
+}

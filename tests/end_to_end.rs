@@ -1,0 +1,115 @@
+//! End-to-end integration: the full characterize → exploit pipeline across
+//! every crate, mirroring the paper's §III–§IV flow.
+
+use armv8_guardbands::char_fw::dramchar::{run_dram_campaign, DramCampaignConfig};
+use armv8_guardbands::char_fw::runner::CampaignRunner;
+use armv8_guardbands::char_fw::setup::VminCampaign;
+use armv8_guardbands::guardband_core::refresh_relax::{choose_relaxation, RelaxationPolicy};
+use armv8_guardbands::guardband_core::safepoint::SafePointPolicy;
+use armv8_guardbands::power_model::server::ServerLoad;
+use armv8_guardbands::power_model::units::{Celsius, Millivolts};
+use armv8_guardbands::thermal_sim::testbed::ThermalTestbed;
+use armv8_guardbands::workload_sim::jammer;
+use armv8_guardbands::workload_sim::spec::SPEC_SUITE;
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+use armv8_guardbands::xgene_sim::topology::CoreId;
+
+/// The complete study on one server: CPU characterization, DRAM
+/// characterization on the thermal testbed, safe-point derivation, and
+/// exploitation with verified savings — the paper's whole arc.
+#[test]
+fn full_study_pipeline_reproduces_the_paper_arc() {
+    let mut server = XGene2Server::new(SigmaBin::Ttt, 1001);
+
+    // Phase 1: CPU undervolting characterization (subset for speed).
+    let suite: Vec<_> = ["mcf", "leslie3d", "milc"]
+        .iter()
+        .map(|n| SPEC_SUITE.iter().find(|b| b.name == *n).unwrap().profile())
+        .collect();
+    let core = server.chip().most_robust_core();
+    let campaign = VminCampaign::dsn18(suite, vec![core]);
+    let cpu = CampaignRunner::new(&mut server).run(&campaign);
+    let worst_vmin = cpu.vmins.iter().filter_map(|v| v.vmin).max().unwrap();
+    assert!(worst_vmin < Millivolts::XGENE2_NOMINAL, "a guardband exists");
+
+    // Phase 2: DRAM characterization on the thermal testbed at 60 °C.
+    let mut testbed = ThermalTestbed::new(Celsius::new(25.0), 1001);
+    let dram = run_dram_campaign(&mut server, &mut testbed, &DramCampaignConfig::dsn18_60c());
+    assert!(dram.regulation_deviation < 1.0);
+    assert_eq!(dram.ue_total, 0, "SECDED must absorb everything at 60 °C");
+    assert!(dram.ce_total > 1_000, "relaxed refresh manifests correctable errors");
+
+    // Phase 3: pick the exploitation point.
+    let relax = choose_relaxation(
+        server.dram().population().model(),
+        Celsius::new(60.0),
+        &RelaxationPolicy::dsn18(),
+    );
+    assert!(relax.factor > 30.0, "the 35x relaxation is safe at 60 °C");
+    let cores: Vec<CoreId> = CoreId::all().collect();
+    let workloads = vec![jammer::profile(); 8];
+    let point = SafePointPolicy::dsn18().derive(server.chip(), &workloads, &cores);
+
+    // Phase 4: exploit and verify. Restore the manufacturer point first —
+    // the campaigns left the board at their last characterization setup.
+    server.set_pmd_voltage(Millivolts::XGENE2_NOMINAL).unwrap();
+    server.set_soc_voltage(Millivolts::XGENE2_NOMINAL).unwrap();
+    server.set_trefp(armv8_guardbands::power_model::units::Milliseconds::DDR3_NOMINAL_TREFP).unwrap();
+    let load = ServerLoad::jammer_detector();
+    let nominal = server.read_total_power(&load);
+    server.set_pmd_voltage(point.pmd_voltage).unwrap();
+    server.set_soc_voltage(point.soc_voltage).unwrap();
+    server.set_trefp(point.trefp).unwrap();
+    let safe = server.read_total_power(&load);
+    let savings = nominal.savings_to(safe);
+    assert!((savings - 0.202).abs() < 0.015, "total savings {savings}");
+
+    let profile = jammer::profile();
+    let assignments: Vec<_> = cores.iter().map(|c| (*c, &profile)).collect();
+    let outcomes = server.run_many(&assignments);
+    assert!(outcomes.iter().all(|r| r.outcome.is_usable()), "{outcomes:?}");
+    assert_eq!(server.reset_count(), 0, "no disruption at the safe point");
+}
+
+/// The slow (TSS) corner must be left at nominal under the virus — its
+/// margin is gone (Fig. 7's conclusion).
+#[test]
+fn tss_corner_is_not_virus_safe_below_nominal() {
+    use armv8_guardbands::xgene_sim::workload::WorkloadProfile;
+    let virus = WorkloadProfile::builder("em-virus")
+        .activity(0.5)
+        .swing(1.0)
+        .resonance_alignment(1.0)
+        .build();
+    let mut server = XGene2Server::new(SigmaBin::Tss, 1002);
+    // 20 mV below nominal is already unsafe under the virus on TSS.
+    server.set_pmd_voltage(Millivolts::new(960)).unwrap();
+    let core = server.chip().most_robust_core();
+    let mut failures = 0;
+    for _ in 0..20 {
+        server.set_pmd_voltage(Millivolts::new(960)).unwrap();
+        if !server.run_on_core(core, &virus).outcome.is_usable() {
+            failures += 1;
+        }
+    }
+    assert!(failures > 0, "TSS must fail under the virus below nominal");
+}
+
+/// Undervolting one chip does not change another's characterization: the
+/// corners carry their own calibrated personalities.
+#[test]
+fn corners_have_distinct_guardbands() {
+    let profile = SPEC_SUITE.iter().find(|b| b.name == "milc").unwrap().profile();
+    let mut vmins = Vec::new();
+    for bin in SigmaBin::ALL {
+        let mut server = XGene2Server::new(bin, 1003);
+        let core = server.chip().most_robust_core();
+        let campaign = VminCampaign::dsn18(vec![profile.clone()], vec![core]);
+        let result = CampaignRunner::new(&mut server).run(&campaign);
+        vmins.push((bin, result.vmin("milc", core).unwrap()));
+    }
+    let ttt = vmins.iter().find(|(b, _)| *b == SigmaBin::Ttt).unwrap().1;
+    let tss = vmins.iter().find(|(b, _)| *b == SigmaBin::Tss).unwrap().1;
+    assert!(tss > ttt, "the slow corner needs more voltage for milc");
+}

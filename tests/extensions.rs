@@ -1,0 +1,136 @@
+//! Integration tests for the subsystems beyond the headline figures:
+//! Fmax campaigns, multi-process rail scaling, the MCU timing model, the
+//! patrol scrubber and the execution-measured droop path.
+
+use armv8_guardbands::char_fw::frequency::{run_fmax_campaign, FmaxCampaign};
+use armv8_guardbands::char_fw::multiprocess::{
+    run_multiprocess_campaign, MultiProcessCampaign,
+};
+use armv8_guardbands::dram_sim::scrubber::{PatrolScrubber, ScrubberConfig};
+use armv8_guardbands::dram_sim::timing::refresh_overhead_for;
+use armv8_guardbands::guardband_core::droop_history::{DroopHistory, FailurePredictor};
+use armv8_guardbands::power_model::units::{Celsius, Megahertz, Millivolts, Milliseconds};
+use armv8_guardbands::stress_gen::exec::execute_genome;
+use armv8_guardbands::stress_gen::ga::{evolve, GaConfig};
+use armv8_guardbands::workload_sim::spec::{by_name, fig5_mix};
+use armv8_guardbands::xgene_sim::em::EmProbe;
+use armv8_guardbands::xgene_sim::hierarchy::CacheHierarchy;
+use armv8_guardbands::xgene_sim::pdn::PdnModel;
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+use armv8_guardbands::xgene_sim::topology::CoreId;
+
+/// The two guardbands compose: a chip undervolted to a benchmark's Vmin
+/// has no frequency headroom left, while at nominal voltage the same
+/// benchmark overclocks — Vmin and Fmax are two cuts through one surface.
+#[test]
+fn voltage_and_frequency_guardbands_are_one_surface() {
+    let mut server = XGene2Server::new(SigmaBin::Ttt, 111);
+    let core = server.chip().most_robust_core();
+    let bench = by_name("leslie3d").unwrap().profile();
+    let at_nominal = {
+        let campaign = FmaxCampaign::dsn18(vec![bench.clone()], vec![core]);
+        run_fmax_campaign(&mut server, &campaign)[0].fmax.unwrap()
+    };
+    let mut undervolted_campaign = FmaxCampaign::dsn18(vec![bench], vec![core]);
+    undervolted_campaign.voltage = Millivolts::new(890);
+    let at_890 = run_fmax_campaign(&mut server, &undervolted_campaign)[0]
+        .fmax
+        .unwrap_or(Megahertz::new(200));
+    assert!(at_nominal.as_u32() >= 2550, "nominal Fmax {at_nominal}");
+    assert!(at_890 < at_nominal, "890 mV Fmax {at_890} vs nominal {at_nominal}");
+}
+
+/// The multi-process campaign's 8-instance rail Vmin exceeds every
+/// member's single-instance Vmin and lands on the Fig. 5 first rung.
+#[test]
+fn multiprocess_rail_exceeds_singles() {
+    let mix: Vec<_> = fig5_mix().iter().map(|b| b.profile()).collect();
+    let mut ordered = mix.clone();
+    ordered.sort_by(|a, b| b.droop_score().total_cmp(&a.droop_score()));
+    let mut server = XGene2Server::new(SigmaBin::Ttt, 112);
+    let rail = run_multiprocess_campaign(
+        &mut server,
+        &MultiProcessCampaign::dsn18(ordered),
+    )
+    .rail_vmin
+    .unwrap();
+    let chip = server.chip().clone();
+    for (i, w) in mix.iter().enumerate() {
+        let solo = chip.vmin(CoreId::new(i as u8), w, Megahertz::XGENE2_NOMINAL);
+        assert!(rail >= solo, "rail {rail} vs {} solo {solo}", w.name());
+    }
+    assert!((905..=925).contains(&rail.as_u32()), "rail {rail}");
+}
+
+/// Refresh relaxation buys performance too: the MCU's refresh stall per
+/// access collapses with the 35× TREFP (the timing-side companion to the
+/// Fig. 8b power result).
+#[test]
+fn refresh_relaxation_also_buys_performance() {
+    let nominal = refresh_overhead_for(Milliseconds::DDR3_NOMINAL_TREFP, 30_000, 400, 7);
+    let relaxed = refresh_overhead_for(Milliseconds::DSN18_RELAXED_TREFP, 30_000, 400, 7);
+    assert!(nominal.stall_per_access() > 1.0);
+    assert!(relaxed.stall_per_access() < 0.2);
+    // Row-buffer behaviour itself is unchanged — only the stalls go away.
+    assert_eq!(nominal.row_hits + nominal.row_misses + nominal.row_conflicts, 30_000);
+}
+
+/// Scrubbing composes with the relaxed refresh on a live server: after a
+/// patrol pass the error log stops growing for untouched data.
+#[test]
+fn scrubber_quiesces_a_relaxed_server() {
+    let mut server = XGene2Server::new(SigmaBin::Ttt, 113);
+    server.set_dram_temperature(Celsius::new(60.0));
+    server.set_trefp(Milliseconds::DSN18_RELAXED_TREFP).unwrap();
+    server
+        .dram_mut()
+        .fill_pattern(armv8_guardbands::dram_sim::patterns::DataPattern::Random { seed: 5 });
+    server.dram_mut().advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
+
+    let mut scrubber = PatrolScrubber::new(server.dram(), ScrubberConfig {
+        patrol_period_ms: 500.0,
+        burst_words: 8192,
+    });
+    scrubber.run_for(server.dram_mut(), 500.0);
+    let corrections = scrubber.stats().corrections;
+    assert!(corrections > 1_000);
+
+    // Immediately after the pass, a full scrub of the (rewritten) words
+    // finds almost nothing to fix.
+    let report = server.dram_mut().scrub();
+    assert!(
+        report.flipped_bits < corrections / 5,
+        "{} residual flips after scrubbing {} corrections",
+        report.flipped_bits,
+        corrections
+    );
+}
+
+/// The full measured-droop loop: evolve a virus, execute it on the
+/// pipeline, feed the PDN-measured droops into the history, and get a
+/// failure predictor whose voltage recommendation clears the intrinsic
+/// Vmin by the observed droop.
+#[test]
+fn executed_droops_feed_the_failure_predictor() {
+    let pdn = PdnModel::xgene2();
+    let mut probe = EmProbe::new(pdn, 114);
+    let config = GaConfig { population: 20, generations: 20, ..GaConfig::dsn18() };
+    let champion = evolve(&config, &mut probe).champion;
+
+    let mut hierarchy = CacheHierarchy::xgene2();
+    let mut history = DroopHistory::new(64);
+    for _ in 0..32 {
+        let report = execute_genome(&champion, &mut hierarchy, CoreId::new(0), 8);
+        let period = report.current_trace.len() as f64 / 2.4e9;
+        history.record_trace(&pdn, &report.current_trace, period);
+    }
+    assert_eq!(history.len(), 32);
+    assert!(history.mean() > 1.0, "measured droops {} mV", history.mean());
+
+    let intrinsic = Millivolts::new(850);
+    let predictor = FailurePredictor::new(intrinsic, history);
+    let safe = predictor.voltage_for(1e-5);
+    assert!(safe > intrinsic);
+    assert!(predictor.failure_probability(safe) <= 1.1e-5);
+}

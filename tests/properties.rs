@@ -1,0 +1,184 @@
+//! Workspace-wide property tests: invariants that must hold for *any*
+//! input, checked with proptest.
+
+use armv8_guardbands::power_model::scaling::DynamicScaling;
+use armv8_guardbands::power_model::tradeoff::FrequencyPlan;
+use armv8_guardbands::power_model::units::{Megahertz, Millivolts};
+use armv8_guardbands::xgene_sim::fault::FaultModel;
+use armv8_guardbands::xgene_sim::sigma::{ChipProfile, SigmaBin};
+use armv8_guardbands::xgene_sim::topology::CoreId;
+use armv8_guardbands::xgene_sim::workload::WorkloadProfile;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(a, s, r, m)| {
+        WorkloadProfile::builder("arb")
+            .activity(a)
+            .swing(s)
+            .resonance_alignment(r)
+            .memory_intensity(m)
+            .build()
+    })
+}
+
+fn arb_corner() -> impl Strategy<Value = SigmaBin> {
+    prop_oneof![Just(SigmaBin::Ttt), Just(SigmaBin::Tff), Just(SigmaBin::Tss)]
+}
+
+proptest! {
+    /// Undervolting never increases power in the dynamic model.
+    #[test]
+    fn dynamic_power_monotone_in_voltage(v1 in 700u32..=980, v2 in 700u32..=980) {
+        let s = DynamicScaling::xgene2();
+        let f = Megahertz::XGENE2_NOMINAL;
+        let (lo, hi) = (v1.min(v2), v1.max(v2));
+        prop_assert!(
+            s.factor(Millivolts::new(lo), f) <= s.factor(Millivolts::new(hi), f) + 1e-12
+        );
+    }
+
+    /// Frequency-plan performance is the mean of the per-PMD ratios and
+    /// stays in (0, 1].
+    #[test]
+    fn plan_performance_bounds(slow in 0usize..=4) {
+        let plan = FrequencyPlan::with_slow_pmds(slow);
+        let perf = plan.relative_performance();
+        prop_assert!(perf > 0.0 && perf <= 1.0);
+        prop_assert!((perf - (1.0 - slow as f64 * 0.125)).abs() < 1e-12);
+    }
+
+    /// Millivolt guardband fractions are always in [0, 1).
+    #[test]
+    fn guardband_fraction_bounds(nominal in 1u32..=2000, vmin in 0u32..=2000) {
+        let f = Millivolts::new(nominal).guardband_fraction(Millivolts::new(vmin));
+        prop_assert!((0.0..1.0).contains(&f));
+    }
+
+    /// Vmin is monotone in the droop score for every corner and core.
+    #[test]
+    fn vmin_monotone_in_droop_score(
+        corner in arb_corner(),
+        core in 0u8..8,
+        a1 in 0.0f64..=1.0,
+        a2 in 0.0f64..=1.0,
+    ) {
+        let chip = ChipProfile::corner(corner);
+        let core = CoreId::new(core);
+        let (lo, hi) = (a1.min(a2), a1.max(a2));
+        let p_lo = WorkloadProfile::builder("lo").activity(lo).build();
+        let p_hi = WorkloadProfile::builder("hi").activity(hi).build();
+        prop_assert!(
+            chip.vmin(core, &p_lo, Megahertz::XGENE2_NOMINAL)
+                <= chip.vmin(core, &p_hi, Megahertz::XGENE2_NOMINAL)
+        );
+    }
+
+    /// Vmin never increases when frequency drops.
+    #[test]
+    fn vmin_monotone_in_frequency(corner in arb_corner(), profile in arb_profile()) {
+        let chip = ChipProfile::corner(corner);
+        let core = chip.most_robust_core();
+        let full = chip.vmin(core, &profile, Megahertz::XGENE2_NOMINAL);
+        let half = chip.vmin(core, &profile, Megahertz::XGENE2_HALF);
+        prop_assert!(half <= full);
+    }
+
+    /// A comfortable margin above Vmin is always classified Correct, for
+    /// any workload on any corner.
+    #[test]
+    fn safe_margin_is_always_correct(
+        corner in arb_corner(),
+        profile in arb_profile(),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let chip = ChipProfile::corner(corner);
+        let core = chip.weakest_core();
+        let vmin = chip.vmin(core, &profile, Megahertz::XGENE2_NOMINAL);
+        let v = Millivolts::new((vmin.as_u32() + 20).min(1050));
+        let model = FaultModel::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let outcome = model.classify(&chip, core, &profile, Megahertz::XGENE2_NOMINAL, v, &mut rng);
+        prop_assert_eq!(outcome, armv8_guardbands::xgene_sim::fault::RunOutcome::Correct);
+    }
+
+    /// The rail requirement of a set of assignments is at least the Vmin
+    /// of each member alone.
+    #[test]
+    fn rail_vmin_dominates_members(profiles in prop::collection::vec(arb_profile(), 1..8)) {
+        let chip = ChipProfile::corner(SigmaBin::Ttt);
+        let assignments: Vec<_> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (CoreId::new(i as u8), p, Megahertz::XGENE2_NOMINAL))
+            .collect();
+        let rail = chip.rail_vmin(&assignments).unwrap();
+        for (core, p, f) in &assignments {
+            prop_assert!(rail >= chip.vmin(*core, p, *f));
+        }
+    }
+
+    /// The governor's choice never exceeds nominal and never drops below
+    /// the predicted Vmin plus its minimum margin.
+    #[test]
+    fn governor_choice_bounds(activity in 0.0f64..=1.0) {
+        use armv8_guardbands::guardband_core::governor::{GovernorConfig, OnlineGovernor};
+        let gov = OnlineGovernor::new(None, None, GovernorConfig::conservative());
+        let w = WorkloadProfile::builder("w").activity(activity).build();
+        let v = gov.choose(&w);
+        prop_assert!(v <= Millivolts::XGENE2_NOMINAL);
+        prop_assert!(v.as_u32() % 5 == 0, "regulator grid");
+    }
+
+    /// DPBench pattern words are pure functions of the address.
+    #[test]
+    fn patterns_are_pure(flat in 0u64..1_000_000, seed: u64) {
+        use armv8_guardbands::dram_sim::geometry::WordAddr;
+        use armv8_guardbands::dram_sim::patterns::DataPattern;
+        let addr = WordAddr::unflatten(flat);
+        for p in DataPattern::dpbench_suite(seed) {
+            prop_assert_eq!(p.word(addr), p.word(addr));
+        }
+    }
+
+    /// MCU access latency is always positive and bounded by the worst
+    /// case (refresh stall + row conflict).
+    #[test]
+    fn mcu_latency_bounds(flats in prop::collection::vec(0u64..1_000_000_000, 1..200)) {
+        use armv8_guardbands::dram_sim::geometry::WordAddr;
+        use armv8_guardbands::dram_sim::timing::{DdrTimings, McuTimingModel};
+        use armv8_guardbands::power_model::units::Milliseconds;
+        let t = DdrTimings::ddr3_1600();
+        let worst = u64::from(t.t_rfc + t.t_rp + t.t_rcd + t.t_cl + t.burst_clocks);
+        let mut mcu = McuTimingModel::new(t, Milliseconds::new(64.0));
+        for f in flats {
+            let lat = mcu.access(WordAddr::unflatten(f % armv8_guardbands::dram_sim::geometry::WORD_COUNT));
+            prop_assert!(lat > 0 && lat <= worst, "latency {lat}");
+        }
+    }
+
+    /// The Vmin predictor exactly recovers any linear ground truth in its
+    /// features when given enough distinct samples.
+    #[test]
+    fn predictor_recovers_linear_models(
+        w_act in 10.0f64..80.0,
+        w_mem in -20.0f64..20.0,
+        intercept in 800.0f64..900.0,
+    ) {
+        use armv8_guardbands::guardband_core::predictor::VminPredictor;
+        let mut data = Vec::new();
+        for i in 0..12 {
+            let a = i as f64 / 11.0;
+            let m = ((i * 7) % 12) as f64 / 11.0;
+            let p = WorkloadProfile::builder(format!("s{i}"))
+                .activity(a)
+                .memory_intensity(m)
+                .ipc(0.5 + a)
+                .build();
+            let v = intercept + w_act * a + w_mem * m;
+            data.push((p, Millivolts::new(v.round() as u32)));
+        }
+        let model = VminPredictor::train(&data).unwrap();
+        prop_assert!(model.training_rmse_mv(&data) < 1.0);
+    }
+}
