@@ -9,9 +9,13 @@ use xgene_sim::sigma::{ChipProfile, SigmaBin};
 fn bench_fig5(c: &mut Criterion) {
     let chip = ChipProfile::corner(SigmaBin::Ttt);
     let mix: Vec<_> = fig5_mix().iter().map(|b| b.profile()).collect();
-    c.bench_function("fig5/derive_ladder", |b| b.iter(|| derive_ladder(&chip, &mix)));
+    c.bench_function("fig5/derive_ladder", |b| {
+        b.iter(|| derive_ladder(&chip, &mix))
+    });
     let ladder = derive_ladder(&chip, &mix);
-    c.bench_function("fig5/ladder_tradeoff", |b| b.iter(|| ladder_tradeoff(&ladder)));
+    c.bench_function("fig5/ladder_tradeoff", |b| {
+        b.iter(|| ladder_tradeoff(&ladder))
+    });
     c.bench_function("fig5/published_curve", |b| {
         b.iter(|| TradeoffCurve::xgene2_fig5().points())
     });

@@ -19,7 +19,7 @@ fn bench_virus(c: &mut Criterion) {
             evolve(&config, &mut probe)
         })
     });
-    let genome = VirusGenome::new(vec![InstrClass::SimdFma, InstrClass::Nop].repeat(24));
+    let genome = VirusGenome::new([InstrClass::SimdFma, InstrClass::Nop].repeat(24));
     c.bench_function("fig6/fitness_eval", |b| {
         let mut probe = EmProbe::new(pdn, 1);
         b.iter(|| fitness(&genome, &mut probe))

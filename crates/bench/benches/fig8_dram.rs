@@ -16,7 +16,12 @@ fn relaxed_dram(seed: u64) -> DramArray {
 }
 
 fn bench_fig8(c: &mut Criterion) {
-    let cfg = KernelConfig { scale: 32, iterations: 3, seed: 5, runtime_ms: 3000.0 };
+    let cfg = KernelConfig {
+        scale: 32,
+        iterations: 3,
+        seed: 5,
+        runtime_ms: 3000.0,
+    };
     for kernel in suite() {
         c.bench_function(&format!("fig8/{}", kernel.name()), |b| {
             b.iter(|| {

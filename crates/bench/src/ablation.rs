@@ -67,7 +67,10 @@ pub fn run_virus_search(seed: u64) -> VirusSearchAblation {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let pdn = PdnModel::xgene2();
-    let config = GaConfig { seed, ..GaConfig::dsn18() };
+    let config = GaConfig {
+        seed,
+        ..GaConfig::dsn18()
+    };
     let budget = config.population * config.generations;
 
     let mut probe = EmProbe::new(pdn, seed);
@@ -89,7 +92,11 @@ pub fn run_virus_search(seed: u64) -> VirusSearchAblation {
         .map(|i| fitness(&VirusGenome::new(vec![*i; config.genome_slots]), &mut probe))
         .fold(f64::MIN, f64::max);
 
-    VirusSearchAblation { ga, random_search: random_best, steady }
+    VirusSearchAblation {
+        ga,
+        random_search: random_best,
+        steady,
+    }
 }
 
 /// Ablation 3 — retention model: Table I 50 °C behaviour with and without
@@ -161,7 +168,10 @@ pub fn run_governor(seed: u64) -> GovernorAblation {
 pub fn render(seed: u64) -> String {
     let mut out = String::new();
     let ecc = run_ecc(seed);
-    let _ = writeln!(out, "Ablation — SECDED ECC (random DPBench, 60 °C, 2.283 s):");
+    let _ = writeln!(
+        out,
+        "Ablation — SECDED ECC (random DPBench, 60 °C, 2.283 s):"
+    );
     let _ = writeln!(
         out,
         "  decayed bits {}; corrupted words with ECC: {}, without ECC: {}",
@@ -169,7 +179,10 @@ pub fn render(seed: u64) -> String {
     );
 
     let virus = run_virus_search(seed);
-    let _ = writeln!(out, "\nAblation — virus search (EM amplitude, equal budget):");
+    let _ = writeln!(
+        out,
+        "\nAblation — virus search (EM amplitude, equal budget):"
+    );
     let _ = writeln!(
         out,
         "  GA {:.2}  |  random search {:.2}  |  best steady loop {:.2}",
@@ -177,7 +190,11 @@ pub fn render(seed: u64) -> String {
     );
 
     let retention = run_retention(seed);
-    let _ = writeln!(out, "\nAblation — retention model at 50 °C (Table I total {}):", retention.paper_total_50c);
+    let _ = writeln!(
+        out,
+        "\nAblation — retention model at 50 °C (Table I total {}):",
+        retention.paper_total_50c
+    );
     let _ = writeln!(
         out,
         "  two-population {}  |  single-population {}",
@@ -185,7 +202,10 @@ pub fn render(seed: u64) -> String {
     );
 
     let governor = run_governor(seed);
-    let _ = writeln!(out, "\nAblation — online governor (600 epochs over SPEC phases):");
+    let _ = writeln!(
+        out,
+        "\nAblation — online governor (600 epochs over SPEC phases):"
+    );
     let _ = writeln!(
         out,
         "  predictive: mean {:.0} mV, {} CE backoffs, {} disruptions, {:.1}% dyn-power savings",
@@ -219,7 +239,12 @@ mod tests {
     #[test]
     fn ga_beats_random_search_and_steady_loops() {
         let a = run_virus_search(602);
-        assert!(a.ga > a.random_search, "GA {} vs random {}", a.ga, a.random_search);
+        assert!(
+            a.ga > a.random_search,
+            "GA {} vs random {}",
+            a.ga,
+            a.random_search
+        );
         assert!(a.ga > 1.5 * a.steady, "GA {} vs steady {}", a.ga, a.steady);
     }
 
@@ -227,8 +252,7 @@ mod tests {
     fn defect_tail_is_needed_for_the_50c_counts() {
         let a = run_retention(603);
         let full_err = (a.full_total_50c as f64 - a.paper_total_50c).abs() / a.paper_total_50c;
-        let single_err =
-            (a.single_total_50c as f64 - a.paper_total_50c).abs() / a.paper_total_50c;
+        let single_err = (a.single_total_50c as f64 - a.paper_total_50c).abs() / a.paper_total_50c;
         assert!(full_err < 0.25, "full model error {full_err}");
         assert!(
             single_err > full_err + 0.08,

@@ -16,10 +16,18 @@ fn main() {
     let run_table1 = || println!("{}", bench::table1::render(&bench::table1::run(seed)));
     let run_fig8 = || println!("{}", bench::fig8::render(&bench::fig8::run(seed)));
     let run_fig9 = || println!("{}", bench::fig9::render(&bench::fig9::run(seed)));
-    let run_stencil =
-        || println!("{}", bench::extras::render_stencil(&bench::extras::run_stencil(seed)));
-    let run_predictor =
-        || println!("{}", bench::extras::render_predictor(&bench::extras::run_predictor()));
+    let run_stencil = || {
+        println!(
+            "{}",
+            bench::extras::render_stencil(&bench::extras::run_stencil(seed))
+        )
+    };
+    let run_predictor = || {
+        println!(
+            "{}",
+            bench::extras::render_predictor(&bench::extras::run_predictor())
+        )
+    };
     let run_ablations = || println!("{}", bench::ablation::render(seed));
     let run_sweep = || println!("{}", bench::sweep::render(&bench::sweep::run()));
 

@@ -28,7 +28,8 @@ pub fn run_stencil(seed: u64) -> StencilStudy {
     let make_server = || {
         let mut s = XGene2Server::new(SigmaBin::Ttt, seed);
         s.set_dram_temperature(Celsius::new(60.0));
-        s.set_trefp(Milliseconds::DSN18_RELAXED_TREFP).expect("valid TREFP");
+        s.set_trefp(Milliseconds::DSN18_RELAXED_TREFP)
+            .expect("valid TREFP");
         s
     };
     let mut s1 = make_server();
@@ -45,7 +46,11 @@ pub fn run_stencil(seed: u64) -> StencilStudy {
 /// Renders the stencil study.
 pub fn render_stencil(study: &StencilStudy) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "§IV.C — stencil access-pattern scheduling (TREFP {} ms)", study.trefp_ms);
+    let _ = writeln!(
+        out,
+        "§IV.C — stencil access-pattern scheduling (TREFP {} ms)",
+        study.trefp_ms
+    );
     for (label, r) in [("bursty", &study.bursty), ("paced", &study.paced)] {
         let _ = writeln!(
             out,
@@ -56,7 +61,11 @@ pub fn render_stencil(study: &StencilStudy) -> String {
     let _ = writeln!(
         out,
         "paced intervals {} the refresh period — accesses inherently refresh the grid",
-        if study.paced.max_row_interval_ms < study.trefp_ms { "fit within" } else { "EXCEED" }
+        if study.paced.max_row_interval_ms < study.trefp_ms {
+            "fit within"
+        } else {
+            "EXCEED"
+        }
     );
     out
 }
@@ -99,13 +108,20 @@ pub fn run_predictor() -> PredictorStudy {
         .map(|(_, p, a)| (i64::from(p.as_u32()) - i64::from(a.as_u32())).abs())
         .max()
         .unwrap_or(0);
-    PredictorStudy { train_rmse_mv, nas_eval, worst_nas_error_mv }
+    PredictorStudy {
+        train_rmse_mv,
+        nas_eval,
+        worst_nas_error_mv,
+    }
 }
 
 /// Renders the predictor study.
 pub fn render_predictor(study: &PredictorStudy) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "§IV.D — performance-counter Vmin predictor (train SPEC, test NAS)");
+    let _ = writeln!(
+        out,
+        "§IV.D — performance-counter Vmin predictor (train SPEC, test NAS)"
+    );
     let _ = writeln!(out, "training RMSE: {:.2} mV", study.train_rmse_mv);
     for (name, predicted, actual) in &study.nas_eval {
         let _ = writeln!(
@@ -128,9 +144,7 @@ mod tests {
         let study = run_stencil(501);
         assert!(study.paced.max_row_interval_ms < study.trefp_ms);
         assert!(study.bursty.max_row_interval_ms > study.paced.max_row_interval_ms);
-        assert!(
-            study.bursty.unique_error_locations >= study.paced.unique_error_locations
-        );
+        assert!(study.bursty.unique_error_locations >= study.paced.unique_error_locations);
     }
 
     #[test]

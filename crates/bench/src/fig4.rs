@@ -34,7 +34,10 @@ pub fn run(seed: u64) -> Fig4 {
 /// Renders the figure as the paper's data table plus the published ranges.
 pub fn render(fig: &Fig4) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 4 — Vmin @2.4 GHz, 10 SPEC2006 programs, most robust core");
+    let _ = writeln!(
+        out,
+        "Fig. 4 — Vmin @2.4 GHz, 10 SPEC2006 programs, most robust core"
+    );
     let _ = write!(out, "{:<12}", "benchmark");
     for s in &fig.series {
         let _ = write!(out, "{:>8}", s.chip.to_string());
@@ -58,7 +61,10 @@ pub fn render(fig: &Fig4) -> String {
                 max.as_u32(),
                 paper.1,
                 paper.2,
-                s.guardbands().guaranteed().map(|g| g.power_fraction() * 100.0).unwrap_or(0.0),
+                s.guardbands()
+                    .guaranteed()
+                    .map(|g| g.power_fraction() * 100.0)
+                    .unwrap_or(0.0),
             );
         }
     }

@@ -25,13 +25,20 @@ pub fn run() -> Fig5 {
     let ladder = derive_ladder(&chip, &mix);
     let derived = ladder_tradeoff(&ladder);
     let published = TradeoffCurve::xgene2_fig5().points();
-    Fig5 { ladder, derived, published }
+    Fig5 {
+        ladder,
+        derived,
+        published,
+    }
 }
 
 /// Renders both curves side by side.
 pub fn render(fig: &Fig5) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 5 — power/performance trade-off, 8-benchmark SPEC mix (TTT)");
+    let _ = writeln!(
+        out,
+        "Fig. 5 — power/performance trade-off, 8-benchmark SPEC mix (TTT)"
+    );
     let _ = writeln!(
         out,
         "{:<12}{:>12}{:>12}{:>12}   {:>12}{:>12}",
@@ -46,7 +53,9 @@ pub fn render(fig: &Fig5) -> String {
             "{:<12}{:>12}{:>12.1}{:>12.1}   {:>12}{:>12.1}",
             p.plan.slow_pmd_count(),
             derived.map(|d| d.voltage.as_u32()).unwrap_or(0),
-            derived.map(|d| d.relative_performance * 100.0).unwrap_or(0.0),
+            derived
+                .map(|d| d.relative_performance * 100.0)
+                .unwrap_or(0.0),
             derived.map(|d| d.relative_power * 100.0).unwrap_or(0.0),
             p.voltage.as_u32(),
             p.relative_power * 100.0,

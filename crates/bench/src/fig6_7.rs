@@ -27,8 +27,11 @@ pub struct Fig67 {
 }
 
 /// Published Fig. 7 margins in mV.
-pub const PAPER_MARGINS: [(SigmaBin, i64); 3] =
-    [(SigmaBin::Ttt, 60), (SigmaBin::Tff, 20), (SigmaBin::Tss, 10)];
+pub const PAPER_MARGINS: [(SigmaBin, i64); 3] = [
+    (SigmaBin::Ttt, 60),
+    (SigmaBin::Tff, 20),
+    (SigmaBin::Tss, 10),
+];
 
 /// Evolves the virus and measures Figs. 6 and 7.
 pub fn run(seed: u64) -> Fig67 {
@@ -105,7 +108,12 @@ mod tests {
     fn margins_match_fig7() {
         let fig = run(7);
         for (bin, paper) in PAPER_MARGINS {
-            let got = fig.virus_margins.iter().find(|(b, _, _)| *b == bin).unwrap().2;
+            let got = fig
+                .virus_margins
+                .iter()
+                .find(|(b, _, _)| *b == bin)
+                .unwrap()
+                .2;
             assert!((got - paper).abs() <= 12, "{bin}: {got} vs {paper}");
         }
     }
@@ -113,7 +121,11 @@ mod tests {
     #[test]
     fn tss_has_essentially_no_margin() {
         let fig = run(8);
-        let tss = fig.virus_margins.iter().find(|(b, _, _)| *b == SigmaBin::Tss).unwrap();
+        let tss = fig
+            .virus_margins
+            .iter()
+            .find(|(b, _, _)| *b == SigmaBin::Tss)
+            .unwrap();
         assert!(tss.2 <= 15, "TSS margin {}", tss.2);
     }
 }

@@ -58,9 +58,12 @@ pub fn run(seed: u64) -> Fig8 {
             &cfg,
         ));
     }
-    let savings =
-        refresh_savings(&kernels, Milliseconds::DSN18_RELAXED_TREFP, Watts::new(9.0));
-    Fig8 { dpbench_bers, rodinia_bers: rodinia, savings }
+    let savings = refresh_savings(&kernels, Milliseconds::DSN18_RELAXED_TREFP, Watts::new(9.0));
+    Fig8 {
+        dpbench_bers,
+        rodinia_bers: rodinia,
+        savings,
+    }
 }
 
 /// Renders both panels.
@@ -78,7 +81,10 @@ pub fn render(fig: &Fig8) -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "Fig. 8b — DRAM power saving from 35x refresh relaxation");
+    let _ = writeln!(
+        out,
+        "Fig. 8b — DRAM power saving from 35x refresh relaxation"
+    );
     for (name, s) in &fig.savings {
         let paper = match name.as_str() {
             "nw" => " (paper 27.3%)",

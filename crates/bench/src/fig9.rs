@@ -44,9 +44,15 @@ pub fn run(seed: u64) -> Fig9 {
     let nominal = server.read_power(&load);
 
     // Apply the safe point through SLIMpro and run the real detector.
-    server.set_pmd_voltage(safe_point.pmd_voltage).expect("safe point is in range");
-    server.set_soc_voltage(safe_point.soc_voltage).expect("safe point is in range");
-    server.set_trefp(safe_point.trefp).expect("safe TREFP is positive");
+    server
+        .set_pmd_voltage(safe_point.pmd_voltage)
+        .expect("safe point is in range");
+    server
+        .set_soc_voltage(safe_point.soc_voltage)
+        .expect("safe point is in range");
+    server
+        .set_trefp(safe_point.trefp)
+        .expect("safe TREFP is positive");
     let safe = server.read_power(&load);
 
     let profile = jammer::profile();
@@ -55,13 +61,23 @@ pub fn run(seed: u64) -> Fig9 {
     let all_runs_usable = results.iter().all(|r| r.outcome.is_usable());
     let jammer = jammer::run(&JammerConfig::dsn18());
 
-    Fig9 { safe_point, nominal, safe, jammer, all_runs_usable }
+    Fig9 {
+        safe_point,
+        nominal,
+        safe,
+        jammer,
+        all_runs_usable,
+    }
 }
 
 /// Renders the per-domain comparison.
 pub fn render(fig: &Fig9) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 9 — server power: nominal vs safe point ({})", fig.safe_point);
+    let _ = writeln!(
+        out,
+        "Fig. 9 — server power: nominal vs safe point ({})",
+        fig.safe_point
+    );
     let _ = writeln!(
         out,
         "{:<10}{:>12}{:>12}{:>10}",
@@ -90,7 +106,11 @@ pub fn render(fig: &Fig9) -> String {
     let _ = writeln!(
         out,
         "jammer QoS at safe point: {} (detection rate {:.1}%), runs usable: {}",
-        if fig.jammer.qos_met() { "met" } else { "VIOLATED" },
+        if fig.jammer.qos_met() {
+            "met"
+        } else {
+            "VIOLATED"
+        },
         fig.jammer.detection_rate() * 100.0,
         fig.all_runs_usable
     );

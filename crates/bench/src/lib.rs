@@ -24,10 +24,10 @@
 
 pub mod ablation;
 pub mod extras;
-pub mod sweep;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6_7;
 pub mod fig8;
 pub mod fig9;
+pub mod sweep;
 pub mod table1;

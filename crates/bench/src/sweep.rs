@@ -3,8 +3,8 @@
 //! generalizes them into the full safe-operating envelope a deployment
 //! would consult.
 
-use guardband_core::refresh_relax::{choose_relaxation, expected_failing, RelaxationPolicy};
 use dram_sim::retention::RetentionModel;
+use guardband_core::refresh_relax::{choose_relaxation, expected_failing, RelaxationPolicy};
 use power_model::domain::DramDomain;
 use power_model::units::{Celsius, Watts};
 use serde::{Deserialize, Serialize};
@@ -45,7 +45,10 @@ pub fn run() -> Vec<SweepPoint> {
 /// Renders the envelope.
 pub fn render(points: &[SweepPoint]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Extension — safe refresh-relaxation envelope vs DIMM temperature");
+    let _ = writeln!(
+        out,
+        "Extension — safe refresh-relaxation envelope vs DIMM temperature"
+    );
     let _ = writeln!(
         out,
         "{:>6}{:>14}{:>18}{:>16}",
@@ -91,16 +94,30 @@ mod tests {
     #[test]
     fn paper_point_sits_on_the_envelope() {
         let points = run();
-        let at60 = points.iter().find(|p| (p.temperature_c - 60.0).abs() < 0.1).unwrap();
-        assert!((at60.safe_factor - 35.67).abs() < 1e-9, "{}", at60.safe_factor);
+        let at60 = points
+            .iter()
+            .find(|p| (p.temperature_c - 60.0).abs() < 0.1)
+            .unwrap();
+        assert!(
+            (at60.safe_factor - 35.67).abs() < 1e-9,
+            "{}",
+            at60.safe_factor
+        );
         assert!((at60.power_saving - 0.333).abs() < 0.01);
     }
 
     #[test]
     fn hotter_than_characterized_forces_tighter_refresh() {
         let points = run();
-        let at70 = points.iter().find(|p| (p.temperature_c - 70.0).abs() < 0.1).unwrap();
-        assert!(at70.safe_factor < 35.0, "70 °C allows {}x", at70.safe_factor);
+        let at70 = points
+            .iter()
+            .find(|p| (p.temperature_c - 70.0).abs() < 0.1)
+            .unwrap();
+        assert!(
+            at70.safe_factor < 35.0,
+            "70 °C allows {}x",
+            at70.safe_factor
+        );
         assert!(at70.safe_factor >= 1.0);
     }
 }

@@ -3,10 +3,10 @@
 
 use char_fw::dramchar::{run_dram_campaign, DramCampaignConfig, DramCampaignReport};
 use dram_sim::retention::{TABLE1_50C, TABLE1_60C};
+use power_model::units::Celsius;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use thermal_sim::testbed::ThermalTestbed;
-use power_model::units::Celsius;
 use xgene_sim::server::XGene2Server;
 use xgene_sim::sigma::SigmaBin;
 
@@ -61,10 +61,7 @@ pub fn render(table: &Table1) -> String {
     let _ = writeln!(
         out,
         "ECC: {} CEs / {} UEs @50 °C, {} CEs / {} UEs @60 °C (paper: all errors corrected)",
-        table.at_50c.ce_total,
-        table.at_50c.ue_total,
-        table.at_60c.ce_total,
-        table.at_60c.ue_total
+        table.at_50c.ce_total, table.at_50c.ue_total, table.at_60c.ce_total, table.at_60c.ue_total
     );
     let _ = writeln!(
         out,
@@ -85,8 +82,14 @@ mod tests {
         let total60: u64 = t.at_60c.unique_per_bank.iter().sum();
         let paper50: f64 = TABLE1_50C.iter().sum();
         let paper60: f64 = TABLE1_60C.iter().sum();
-        assert!((total50 as f64 - paper50).abs() / paper50 < 0.2, "{total50} vs {paper50}");
-        assert!((total60 as f64 - paper60).abs() / paper60 < 0.1, "{total60} vs {paper60}");
+        assert!(
+            (total50 as f64 - paper50).abs() / paper50 < 0.2,
+            "{total50} vs {paper50}"
+        );
+        assert!(
+            (total60 as f64 - paper60).abs() / paper60 < 0.1,
+            "{total60} vs {paper60}"
+        );
         assert!(t.at_50c.bank_spread() > t.at_60c.bank_spread());
         assert_eq!(t.at_50c.ue_total + t.at_60c.ue_total, 0);
     }

@@ -6,6 +6,7 @@
 //! until a benchmark fails, revealing each chip's frequency guardband the
 //! same way the Vmin campaigns reveal the voltage guardband.
 
+use crate::resilience::{recover_board, set_pmd_voltage_verified, ResilienceConfig};
 use crate::setup::SafePolicy;
 use power_model::units::{Megahertz, Millivolts};
 use serde::{Deserialize, Serialize};
@@ -75,19 +76,26 @@ pub struct FmaxResult {
 
 /// Runs the campaign against a server.
 pub fn run_fmax_campaign(server: &mut XGene2Server, campaign: &FmaxCampaign) -> Vec<FmaxResult> {
+    let resilience = ResilienceConfig::default();
     let mut results = Vec::new();
     for benchmark in &campaign.benchmarks {
         for &core in &campaign.cores {
             let mut best: Option<Megahertz> = None;
             'schedule: for freq in campaign.schedule() {
                 for _rep in 0..campaign.repetitions {
-                    server
-                        .set_pmd_voltage(campaign.voltage)
-                        .expect("campaign voltage is in range");
+                    set_pmd_voltage_verified(
+                        server,
+                        campaign.voltage,
+                        resilience.setup_restore_attempts,
+                    );
                     server
                         .set_pmd_frequency_unlocked(core.pmd(), freq)
                         .expect("campaign frequencies are in the PLL range");
                     let outcome = server.run_on_core(core, benchmark).outcome;
+                    if campaign.policy.precautionary_reset(outcome) {
+                        server.reset();
+                    }
+                    recover_board(server, &resilience.retry);
                     if !campaign.policy.accepts(outcome) {
                         break 'schedule;
                     }
@@ -125,10 +133,7 @@ mod tests {
         let model = chip.fmax(core, &by_name("mcf").unwrap().profile(), campaign.voltage);
         let delta = i64::from(found.as_u32()) - i64::from(model.as_u32());
         // Within one marginal band's worth of PLL steps below the model.
-        assert!(
-            (-60..=25).contains(&delta),
-            "found {found}, model {model}"
-        );
+        assert!((-60..=25).contains(&delta), "found {found}, model {model}");
     }
 
     #[test]
@@ -162,6 +167,30 @@ mod tests {
     }
 
     #[test]
+    fn hung_board_recovery_keeps_later_walks_intact() {
+        let profile = by_name("mcf").unwrap().profile();
+        let mut campaign = FmaxCampaign::dsn18(vec![profile], vec![CoreId::new(0), CoreId::new(1)]);
+        // 600 MHz steps overshoot straight into the deterministic crash
+        // zone, so the first core's walk ends with a watchdog reset that
+        // the fault plan turns into a hang.
+        campaign.step_mhz = 600;
+        let mut clean = XGene2Server::new(SigmaBin::Ttt, 85);
+        let reference = run_fmax_campaign(&mut clean, &campaign);
+        let mut faulty = XGene2Server::new(SigmaBin::Ttt, 85);
+        faulty.install_fault_plan(xgene_sim::fault::FaultPlan::quiet(9).force_hang_at(0));
+        let measured = run_fmax_campaign(&mut faulty, &campaign);
+        assert_eq!(
+            reference, measured,
+            "a hung board must not poison the next core's walk"
+        );
+        assert!(!faulty.is_hung());
+        assert!(
+            faulty.reset_count() > clean.reset_count(),
+            "recovery cycles happened"
+        );
+    }
+
+    #[test]
     fn undervolted_fmax_drops_below_nominal_clock() {
         let mut server = XGene2Server::new(SigmaBin::Ttt, 84);
         let core = server.chip().most_robust_core();
@@ -170,7 +199,7 @@ mod tests {
         campaign.voltage = Millivolts::new(885);
         let results = run_fmax_campaign(&mut server, &campaign);
         match results[0].fmax {
-            None => {}                       // not even 2.4 GHz was stable
+            None => {} // not even 2.4 GHz was stable
             Some(f) => assert!(f.as_u32() <= 2450, "fmax {f}"),
         }
     }

@@ -8,6 +8,9 @@
 //!   policies (initialization phase);
 //! * [`runner`] — the execution loop with watchdog recovery and per-run
 //!   records, including the Vmin search (execution phase);
+//! * [`resilience`] — retry/backoff policies, quarantine bookkeeping and
+//!   checkpoint/resume state for campaigns that must survive the
+//!   harness's own failures;
 //! * [`report`] — classification tables and the final CSVs (parsing
 //!   phase);
 //! * [`dramchar`] — DRAM campaigns combining the PID thermal testbed,
@@ -43,6 +46,7 @@ pub mod dramchar;
 pub mod frequency;
 pub mod multiprocess;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 pub mod setup;
 pub mod soak;
@@ -50,7 +54,11 @@ pub mod soak;
 pub use dramchar::{run_dram_campaign, DramCampaignConfig, DramCampaignReport};
 pub use frequency::{run_fmax_campaign, FmaxCampaign, FmaxResult};
 pub use multiprocess::{run_multiprocess_campaign, MultiProcessCampaign, RailVminResult};
-pub use report::{classify, records_to_csv, vmins_to_csv, OutcomeCounts};
-pub use runner::{CampaignResult, CampaignRunner, RunRecord, VminResult};
-pub use soak::{soak, SoakConfig, SoakReport};
+pub use report::{classify, quarantine_to_csv, records_to_csv, vmins_to_csv, OutcomeCounts};
+pub use resilience::{
+    recover_board, BoardRecovery, CampaignCheckpoint, QuarantineRecord, QuarantineTracker,
+    RecoveryStats, ResilienceConfig, RetryPolicy,
+};
+pub use runner::{CampaignResult, CampaignRunner, ResilientRunner, RunRecord, VminResult};
 pub use setup::{SafePolicy, Setup, VminCampaign};
+pub use soak::{soak, SoakConfig, SoakReport};

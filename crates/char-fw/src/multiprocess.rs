@@ -8,6 +8,7 @@
 //! single-program Fig. 4 numbers to the Fig. 5 mix voltage (915 mV for
 //! 8 instances on TTT).
 
+use crate::resilience::{recover_board, set_pmd_voltage_verified, ResilienceConfig};
 use crate::setup::SafePolicy;
 use power_model::units::{Megahertz, Millivolts};
 use serde::{Deserialize, Serialize};
@@ -66,21 +67,32 @@ pub fn run_multiprocess_campaign(
 ) -> RailVminResult {
     let n = campaign.workloads.len();
     assert!((1..=8).contains(&n), "1..=8 instances");
+    let resilience = ResilienceConfig::default();
     let cores: Vec<CoreId> = (0..n as u8).map(CoreId::new).collect();
     let mut last_safe = None;
     let mut v = campaign.start;
     while v >= campaign.floor {
         let mut all_safe = true;
         'reps: for _ in 0..campaign.repetitions {
-            server.set_pmd_voltage(v).expect("schedule stays in range");
+            set_pmd_voltage_verified(server, v, resilience.setup_restore_attempts);
             for (core, _) in cores.iter().zip(&campaign.workloads) {
                 server
                     .set_pmd_frequency(core.pmd(), Megahertz::XGENE2_NOMINAL)
                     .expect("nominal frequency is a DVFS step");
             }
-            let assignments: Vec<(CoreId, &WorkloadProfile)> =
-                cores.iter().copied().zip(campaign.workloads.iter()).collect();
+            let assignments: Vec<(CoreId, &WorkloadProfile)> = cores
+                .iter()
+                .copied()
+                .zip(campaign.workloads.iter())
+                .collect();
             let results = server.run_many(&assignments);
+            if results
+                .iter()
+                .any(|r| campaign.policy.precautionary_reset(r.outcome))
+            {
+                server.reset();
+            }
+            recover_board(server, &resilience.retry);
             if results.iter().any(|r| !campaign.policy.accepts(r.outcome)) {
                 all_safe = false;
                 break 'reps;
@@ -93,7 +105,10 @@ pub fn run_multiprocess_campaign(
         }
         v = v.step_down(campaign.step_mv);
     }
-    RailVminResult { instances: n, rail_vmin: last_safe }
+    RailVminResult {
+        instances: n,
+        rail_vmin: last_safe,
+    }
 }
 
 /// The rail-Vmin scaling curve: instance counts 1..=8 of the same
@@ -115,7 +130,7 @@ pub fn rail_scaling(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workload_sim::spec::{fig5_mix, by_name};
+    use workload_sim::spec::{by_name, fig5_mix};
     use xgene_sim::sigma::SigmaBin;
 
     #[test]
@@ -123,12 +138,46 @@ mod tests {
         let w = by_name("milc").unwrap().profile();
         let curve = rail_scaling(91, SigmaBin::Ttt, &w);
         assert_eq!(curve.len(), 8);
-        let vmins: Vec<u32> =
-            curve.iter().map(|r| r.rail_vmin.expect("safe point exists").as_u32()).collect();
+        let vmins: Vec<u32> = curve
+            .iter()
+            .map(|r| r.rail_vmin.expect("safe point exists").as_u32())
+            .collect();
         for w in vmins.windows(2) {
             assert!(w[1] >= w[0], "{vmins:?}");
         }
         assert!(vmins[7] > vmins[0], "{vmins:?}");
+    }
+
+    #[test]
+    fn forced_setup_loss_does_not_corrupt_the_rail_walk() {
+        let w = by_name("milc").unwrap().profile();
+        let campaign = MultiProcessCampaign::dsn18(vec![w; 4]);
+        let mut clean = XGene2Server::new(SigmaBin::Ttt, 93);
+        let reference = run_multiprocess_campaign(&mut clean, &campaign);
+
+        // Draw 10 is the first write at the second voltage step — the
+        // first write whose loss is visible to read-back.
+        let mut faulty = XGene2Server::new(SigmaBin::Ttt, 93);
+        faulty.install_fault_plan(xgene_sim::fault::FaultPlan::quiet(7).force_setup_loss_at(10));
+        let measured = run_multiprocess_campaign(&mut faulty, &campaign);
+        assert_eq!(
+            reference, measured,
+            "a dropped V restore must not move the rail Vmin"
+        );
+    }
+
+    #[test]
+    fn hung_board_is_recovered_and_the_walk_ends_clean() {
+        let w = by_name("milc").unwrap().profile();
+        let mut campaign = MultiProcessCampaign::dsn18(vec![w; 2]);
+        // 150 mV steps make the second setup crash deterministically, so
+        // the forced hang at the first watchdog reset actually fires.
+        campaign.step_mv = 150;
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 94);
+        server.install_fault_plan(xgene_sim::fault::FaultPlan::quiet(8).force_hang_at(0));
+        let result = run_multiprocess_campaign(&mut server, &campaign);
+        assert_eq!(result.rail_vmin, Some(Millivolts::new(980)));
+        assert!(!server.is_hung(), "recovery must leave the board up");
     }
 
     #[test]

@@ -54,18 +54,39 @@ pub fn classify(records: &[RunRecord]) -> BTreeMap<(String, u32), OutcomeCounts>
 
 /// Renders the raw records as the framework's final CSV.
 pub fn records_to_csv(records: &[RunRecord]) -> String {
-    let mut csv = String::from("benchmark,core,voltage_mv,frequency_mhz,repetition,outcome,watchdog_reset\n");
+    let mut csv = String::from(
+        "benchmark,core,voltage_mv,frequency_mhz,repetition,outcome,watchdog_reset,reset_retries\n",
+    );
     for r in records {
         let _ = writeln!(
             csv,
-            "{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{}",
             r.benchmark,
             r.setup.core.index(),
             r.setup.voltage.as_u32(),
             r.setup.frequency.as_u32(),
             r.repetition,
             r.outcome,
-            r.watchdog_reset
+            r.watchdog_reset,
+            r.reset_retries
+        );
+    }
+    csv
+}
+
+/// Renders the quarantined setups of a campaign as CSV (empty list →
+/// header only).
+pub fn quarantine_to_csv(result: &CampaignResult) -> String {
+    let mut csv = String::from("benchmark,core,voltage_mv,frequency_mhz,consecutive_crashes\n");
+    for q in &result.quarantined {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{}",
+            q.benchmark,
+            q.setup.core.index(),
+            q.setup.voltage.as_u32(),
+            q.setup.frequency.as_u32(),
+            q.consecutive_crashes
         );
     }
     csv
@@ -80,7 +101,9 @@ pub fn vmins_to_csv(result: &CampaignResult) -> String {
             "{},{},{},{}",
             v.benchmark,
             v.core.index(),
-            v.vmin.map(|m| m.as_u32().to_string()).unwrap_or_else(|| "-".into()),
+            v.vmin
+                .map(|m| m.as_u32().to_string())
+                .unwrap_or_else(|| "-".into()),
             v.first_failure
                 .map(|m| m.as_u32().to_string())
                 .unwrap_or_else(|| "-".into()),
@@ -107,6 +130,7 @@ mod tests {
             repetition: 0,
             outcome,
             watchdog_reset: outcome.needs_reset(),
+            reset_retries: 0,
         }
     }
 
@@ -132,21 +156,49 @@ mod tests {
         let records = vec![record("mcf", 900, RunOutcome::Correct)];
         let csv = records_to_csv(&records);
         let mut lines = csv.lines();
-        assert!(lines.next().unwrap().starts_with("benchmark,core,voltage_mv"));
-        assert_eq!(lines.next().unwrap(), "mcf,0,900,2400,0,correct,false");
+        assert!(lines
+            .next()
+            .unwrap()
+            .starts_with("benchmark,core,voltage_mv"));
+        assert_eq!(lines.next().unwrap(), "mcf,0,900,2400,0,correct,false,0");
+    }
+
+    #[test]
+    fn quarantine_csv_lists_pulled_setups() {
+        let result = CampaignResult {
+            quarantined: vec![crate::resilience::QuarantineRecord {
+                benchmark: "milc".into(),
+                setup: Setup {
+                    voltage: Millivolts::new(830),
+                    frequency: Megahertz::XGENE2_NOMINAL,
+                    core: CoreId::new(5),
+                },
+                consecutive_crashes: 3,
+            }],
+            ..CampaignResult::default()
+        };
+        let csv = quarantine_to_csv(&result);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("benchmark,core"));
+        assert_eq!(lines.next().unwrap(), "milc,5,830,2400,3");
+        assert!(
+            quarantine_to_csv(&CampaignResult::default())
+                .lines()
+                .count()
+                == 1
+        );
     }
 
     #[test]
     fn vmin_csv_handles_missing_values() {
         let result = CampaignResult {
-            records: vec![],
             vmins: vec![crate::runner::VminResult {
                 benchmark: "mcf".into(),
                 core: CoreId::new(3),
                 vmin: Some(Millivolts::new(860)),
                 first_failure: None,
             }],
-            watchdog_resets: 0,
+            ..CampaignResult::default()
         };
         let csv = vmins_to_csv(&result);
         assert!(csv.contains("mcf,3,860,-"));

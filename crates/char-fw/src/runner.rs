@@ -6,7 +6,20 @@
 //! when needed, restores the characterization setup after reboot (the
 //! firmware boots at nominal V/F), and logs everything for the parsing
 //! phase.
+//!
+//! Execution is resilient to the harness's own failures
+//! ([`ResilientRunner`]): power cycles that leave the board hung are
+//! retried with exponential backoff, V/F restores the firmware silently
+//! drops are detected by read-back and re-issued, setups that crash the
+//! board repeatedly are quarantined, and the whole campaign state can be
+//! checkpointed at any run boundary and resumed bit-identically. The
+//! legacy [`CampaignRunner`] wraps all of this with the non-resilient
+//! configuration the seed framework used.
 
+use crate::resilience::{
+    recover_board, set_pmd_voltage_verified, CampaignCheckpoint, Cursor, QuarantineRecord,
+    QuarantineTracker, RecoveryStats, ResilienceConfig, SearchState,
+};
 use crate::setup::{SafePolicy, Setup, VminCampaign};
 use power_model::units::Millivolts;
 use serde::{Deserialize, Serialize};
@@ -28,6 +41,9 @@ pub struct RunRecord {
     pub outcome: RunOutcome,
     /// Whether the watchdog had to power-cycle the board.
     pub watchdog_reset: bool,
+    /// Extra power-cycle attempts the recovery loop needed after this run
+    /// (0 when the first cycle worked or none was needed).
+    pub reset_retries: u32,
 }
 
 /// Vmin search result for one (benchmark, core).
@@ -53,6 +69,10 @@ pub struct CampaignResult {
     pub vmins: Vec<VminResult>,
     /// Total watchdog resets during the campaign.
     pub watchdog_resets: u64,
+    /// Setups pulled from the walk for crashing the board repeatedly.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// What the recovery machinery had to do.
+    pub recovery: RecoveryStats,
 }
 
 impl CampaignResult {
@@ -90,74 +110,265 @@ impl<'a> CampaignRunner<'a> {
     /// voltage schedule downward, run `repetitions` runs per setup, and
     /// stop the walk at the first unsafe setup (the runs below it would
     /// only crash the board repeatedly).
+    ///
+    /// This is the [`ResilientRunner`] under
+    /// [`ResilienceConfig::legacy`]: without an installed fault plan the
+    /// behavior is identical to the original non-resilient loop.
     pub fn run(&mut self, campaign: &VminCampaign) -> CampaignResult {
-        let mut result = CampaignResult::default();
-        let resets_before = self.server.reset_count();
-        for benchmark in &campaign.benchmarks {
-            for &core in &campaign.cores {
-                let vmin = self.search_vmin(campaign, benchmark, core, &mut result);
-                result.vmins.push(vmin);
-            }
+        ResilientRunner::new(self.server, campaign.clone(), ResilienceConfig::legacy())
+            .run_to_completion()
+    }
+}
+
+/// The resilient execution loop, advanced one run at a time.
+///
+/// Each [`Self::step`] executes exactly one benchmark run (plus whatever
+/// recovery it entails) and advances the walk, so a campaign can be
+/// checkpointed between any two runs with [`Self::checkpoint`] and later
+/// resumed bit-identically with [`Self::resume`].
+#[derive(Debug)]
+pub struct ResilientRunner<'a> {
+    server: &'a mut XGene2Server,
+    campaign: VminCampaign,
+    config: ResilienceConfig,
+    cursor: Cursor,
+    search: SearchState,
+    quarantine: QuarantineTracker,
+    result: CampaignResult,
+    resets_before: u64,
+    done: bool,
+}
+
+impl<'a> ResilientRunner<'a> {
+    /// Starts a campaign on a booted server.
+    pub fn new(
+        server: &'a mut XGene2Server,
+        campaign: VminCampaign,
+        config: ResilienceConfig,
+    ) -> Self {
+        let resets_before = server.reset_count();
+        let done = campaign.benchmarks.is_empty() || campaign.cores.is_empty();
+        ResilientRunner {
+            server,
+            campaign,
+            config,
+            cursor: Cursor::default(),
+            search: SearchState::default(),
+            quarantine: QuarantineTracker::default(),
+            result: CampaignResult::default(),
+            resets_before,
+            done,
         }
-        result.watchdog_resets = self.server.reset_count() - resets_before;
-        result
     }
 
-    fn search_vmin(
-        &mut self,
-        campaign: &VminCampaign,
-        benchmark: &WorkloadProfile,
-        core: CoreId,
-        result: &mut CampaignResult,
-    ) -> VminResult {
-        let mut last_safe: Option<Millivolts> = None;
-        let mut first_failure: Option<Millivolts> = None;
-        'schedule: for voltage in campaign.voltage_schedule() {
-            let setup = Setup { voltage, frequency: campaign.frequency, core };
-            let mut all_safe = true;
-            for repetition in 0..campaign.repetitions {
-                let outcome = self.run_once(&setup, benchmark);
-                let watchdog_reset = outcome.needs_reset();
-                result.records.push(RunRecord {
+    /// Snapshots the campaign at the current run boundary.
+    pub fn checkpoint(&self) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            campaign: self.campaign.clone(),
+            config: self.config,
+            server: self.server.clone(),
+            cursor: self.cursor,
+            search: self.search,
+            partial: self.result.clone(),
+            quarantine: self.quarantine.clone(),
+            resets_before: self.resets_before,
+        }
+    }
+
+    /// Resumes a checkpointed campaign. The passed server is overwritten
+    /// with the snapshot (RNG and fault-plan state included), so the
+    /// continuation reproduces the uninterrupted campaign bit-for-bit.
+    pub fn resume(server: &'a mut XGene2Server, checkpoint: CampaignCheckpoint) -> Self {
+        *server = checkpoint.server;
+        let done = checkpoint.cursor.bench_idx >= checkpoint.campaign.benchmarks.len()
+            || checkpoint.campaign.cores.is_empty();
+        ResilientRunner {
+            server,
+            campaign: checkpoint.campaign,
+            config: checkpoint.config,
+            cursor: checkpoint.cursor,
+            search: checkpoint.search,
+            quarantine: checkpoint.quarantine,
+            result: checkpoint.partial,
+            resets_before: checkpoint.resets_before,
+            done,
+        }
+    }
+
+    /// Whether the campaign has finished.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The results accumulated so far (complete once [`Self::is_done`]).
+    pub fn result(&self) -> &CampaignResult {
+        &self.result
+    }
+
+    /// Finishes the campaign and returns the result.
+    pub fn run_to_completion(mut self) -> CampaignResult {
+        while self.step() {}
+        self.into_result()
+    }
+
+    /// Consumes the runner, returning the (possibly partial) result.
+    pub fn into_result(self) -> CampaignResult {
+        self.result
+    }
+
+    /// Executes one run (plus any recovery it entails) and advances the
+    /// walk. Returns `false` once the campaign is finished.
+    pub fn step(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        let schedule = self.campaign.voltage_schedule();
+        if self.cursor.sched_idx >= schedule.len() {
+            // Empty or fully traversed schedule: the walk reached the
+            // floor without a failure.
+            self.finish_point(None);
+            return !self.done;
+        }
+        let voltage = schedule[self.cursor.sched_idx];
+        if self.campaign.repetitions == 0 {
+            // Degenerate campaign: every setup is vacuously safe.
+            self.search.last_safe = Some(voltage);
+            self.advance_schedule(&schedule);
+            return !self.done;
+        }
+        let benchmark = self.campaign.benchmarks[self.cursor.bench_idx].clone();
+        let core = self.campaign.cores[self.cursor.core_idx];
+        let setup = Setup {
+            voltage,
+            frequency: self.campaign.frequency,
+            core,
+        };
+
+        let (outcome, reset_retries) = self.run_once(&setup, &benchmark);
+        self.result.records.push(RunRecord {
+            benchmark: benchmark.name().to_owned(),
+            setup,
+            repetition: self.cursor.repetition,
+            outcome,
+            watchdog_reset: outcome.needs_reset(),
+            reset_retries,
+        });
+
+        if self.campaign.policy.precautionary_reset(outcome) {
+            // The board completed the run but reported uncorrectable
+            // errors; under the strict policy its state is suspect and it
+            // gets power-cycled before anything else runs.
+            self.server.reset();
+            self.result.recovery.precautionary_resets += 1;
+            self.recover_if_hung();
+        }
+
+        if self.campaign.policy.accepts(outcome) {
+            self.quarantine.record_ok(setup);
+            self.search.consecutive_crashes = 0;
+            self.cursor.repetition += 1;
+            if self.cursor.repetition >= self.campaign.repetitions {
+                self.cursor.repetition = 0;
+                self.search.last_safe = Some(voltage);
+                self.advance_schedule(&schedule);
+            }
+        } else if outcome == RunOutcome::Crash && self.config.crash_retries > 0 {
+            let streak = self.quarantine.record_crash(setup);
+            self.search.consecutive_crashes = streak;
+            if streak > self.config.crash_retries {
+                self.quarantine.quarantine(setup);
+                self.result.quarantined.push(QuarantineRecord {
                     benchmark: benchmark.name().to_owned(),
                     setup,
-                    repetition,
-                    outcome,
-                    watchdog_reset,
+                    consecutive_crashes: streak,
                 });
-                if !campaign.policy.accepts(outcome) {
-                    all_safe = false;
-                    // No point repeating a setup that already failed.
-                    break;
-                }
+                self.result.recovery.quarantined_points += 1;
+                self.finish_point(Some(voltage));
             }
-            if all_safe {
-                last_safe = Some(voltage);
-            } else {
-                first_failure = Some(voltage);
-                break 'schedule;
-            }
+            // Below the threshold the same repetition is simply retried:
+            // the cursor does not move.
+        } else {
+            self.finish_point(Some(voltage));
         }
-        VminResult {
-            benchmark: benchmark.name().to_owned(),
-            core,
-            vmin: last_safe,
-            first_failure,
-        }
+        !self.done
     }
 
-    /// Applies a setup and runs the benchmark once. Restores the setup if
-    /// the watchdog had to power-cycle the board mid-run.
-    fn run_once(&mut self, setup: &Setup, benchmark: &WorkloadProfile) -> RunOutcome {
-        // (Re-)apply the characterization setup; the board may have
-        // rebooted at nominal after a previous crash.
-        self.server
-            .set_pmd_voltage(setup.voltage)
-            .expect("campaign schedules stay within regulator range");
+    /// Applies the setup (verifying the V/F writes landed), runs the
+    /// benchmark once, and recovers the board if the watchdog's own power
+    /// cycle left it hung.
+    fn run_once(&mut self, setup: &Setup, benchmark: &WorkloadProfile) -> (RunOutcome, u32) {
+        self.apply_setup(setup);
+        let outcome = self.server.run_on_core(setup.core, benchmark).outcome;
+        let reset_retries = self.recover_if_hung();
+        (outcome, reset_retries)
+    }
+
+    /// (Re-)applies the characterization setup; the board may have
+    /// rebooted at nominal after a previous crash, and a faulty firmware
+    /// may silently drop the voltage write — detected by read-back and
+    /// re-issued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the firmware drops more consecutive restores than
+    /// [`ResilienceConfig::setup_restore_attempts`] allows (a fault plan
+    /// with a 100 % loss rate).
+    fn apply_setup(&mut self, setup: &Setup) {
+        self.result.recovery.setup_restores += set_pmd_voltage_verified(
+            self.server,
+            setup.voltage,
+            self.config.setup_restore_attempts,
+        );
         self.server
             .set_pmd_frequency(setup.core.pmd(), setup.frequency)
             .expect("campaign frequencies are valid DVFS steps");
-        self.server.run_on_core(setup.core, benchmark).outcome
+    }
+
+    /// Recovers a hung board with the retry policy, folding the outcome
+    /// into the campaign stats. Returns the retry count.
+    fn recover_if_hung(&mut self) -> u32 {
+        if !self.server.is_hung() {
+            return 0;
+        }
+        let recovery = recover_board(self.server, &self.config.retry);
+        self.result.recovery.absorb(&recovery);
+        recovery.retries
+    }
+
+    /// Moves to the next voltage, finishing the point if the schedule is
+    /// exhausted.
+    fn advance_schedule(&mut self, schedule: &[Millivolts]) {
+        self.cursor.sched_idx += 1;
+        if self.cursor.sched_idx >= schedule.len() {
+            self.finish_point(None);
+        }
+    }
+
+    /// Emits the VminResult of the current (benchmark, core) and advances
+    /// to the next point, finishing the campaign after the last one.
+    fn finish_point(&mut self, first_failure: Option<Millivolts>) {
+        let benchmark = self.campaign.benchmarks[self.cursor.bench_idx]
+            .name()
+            .to_owned();
+        let core = self.campaign.cores[self.cursor.core_idx];
+        self.result.vmins.push(VminResult {
+            benchmark,
+            core,
+            vmin: self.search.last_safe,
+            first_failure,
+        });
+        self.search = SearchState::default();
+        self.cursor.sched_idx = 0;
+        self.cursor.repetition = 0;
+        self.cursor.core_idx += 1;
+        if self.cursor.core_idx >= self.campaign.cores.len() {
+            self.cursor.core_idx = 0;
+            self.cursor.bench_idx += 1;
+            if self.cursor.bench_idx >= self.campaign.benchmarks.len() {
+                self.result.watchdog_resets = self.server.reset_count() - self.resets_before;
+                self.done = true;
+            }
+        }
     }
 }
 
@@ -186,6 +397,7 @@ mod tests {
     use super::*;
     use power_model::units::Megahertz;
     use workload_sim::spec::SPEC_SUITE;
+    use xgene_sim::fault::FaultPlan;
     use xgene_sim::sigma::SigmaBin;
 
     fn campaign_for(names: &[&str], cores: Vec<CoreId>) -> VminCampaign {
@@ -208,7 +420,11 @@ mod tests {
         let found = result.vmin("mcf", core).expect("campaign found a Vmin");
         let model = chip.vmin(
             core,
-            &SPEC_SUITE.iter().find(|b| b.name == "mcf").unwrap().profile(),
+            &SPEC_SUITE
+                .iter()
+                .find(|b| b.name == "mcf")
+                .unwrap()
+                .profile(),
             Megahertz::XGENE2_NOMINAL,
         );
         // The campaign's safe Vmin sits within one marginal band (the CE
@@ -226,12 +442,18 @@ mod tests {
         let result = runner.run(&campaign);
         assert!(!result.records.is_empty());
         // Records walk downward in voltage.
-        let voltages: Vec<u32> =
-            result.records.iter().map(|r| r.setup.voltage.as_u32()).collect();
+        let voltages: Vec<u32> = result
+            .records
+            .iter()
+            .map(|r| r.setup.voltage.as_u32())
+            .collect();
         assert!(voltages.windows(2).all(|w| w[1] <= w[0]));
         // The walk stopped at a failure.
         let last = result.records.last().unwrap();
         assert!(!campaign.policy.accepts(last.outcome));
+        // Without a fault plan the recovery machinery never engages.
+        assert!(!result.recovery.any_recovery());
+        assert!(result.quarantined.is_empty());
     }
 
     #[test]
@@ -267,9 +489,176 @@ mod tests {
     fn classify_setup_takes_worst() {
         use RunOutcome::*;
         assert_eq!(
-            classify_setup(&[Correct, CorrectableError, Crash], SafePolicy::AllowCorrected),
+            classify_setup(
+                &[Correct, CorrectableError, Crash],
+                SafePolicy::AllowCorrected
+            ),
             Crash
         );
-        assert_eq!(classify_setup(&[Correct], SafePolicy::StrictCorrect), Correct);
+        assert_eq!(
+            classify_setup(&[Correct], SafePolicy::StrictCorrect),
+            Correct
+        );
+    }
+
+    #[test]
+    fn hostile_plan_still_yields_the_same_vmin() {
+        // The acceptance scenario: a campaign under an injected fault plan
+        // with at least one failed power cycle and one lost setup restore
+        // completes with the same Vmin a clean campaign finds. Coarse
+        // 150 mV steps guarantee the second setup crashes the board, so
+        // reset draws definitely happen; the forced setup loss sits on the
+        // first post-recovery voltage write, where the dropped write is
+        // actually observable by read-back.
+        let core = {
+            let server = XGene2Server::new(SigmaBin::Tss, 55);
+            server.chip().weakest_core()
+        };
+        let mut campaign = campaign_for(&["milc"], vec![core]);
+        campaign.step_mv = 150;
+
+        let mut clean_server = XGene2Server::new(SigmaBin::Tss, 55);
+        let clean = ResilientRunner::new(
+            &mut clean_server,
+            campaign.clone(),
+            ResilienceConfig::dsn18(),
+        )
+        .run_to_completion();
+
+        let mut faulty_server = XGene2Server::new(SigmaBin::Tss, 55);
+        faulty_server.install_fault_plan(
+            FaultPlan::quiet(77)
+                .with_power_cycle_failure_rate(0.4)
+                .with_setup_loss_rate(0.02)
+                .force_hang_at(0)
+                .force_setup_loss_at(11),
+        );
+        let faulty = ResilientRunner::new(&mut faulty_server, campaign, ResilienceConfig::dsn18())
+            .run_to_completion();
+
+        assert_eq!(
+            clean.vmin("milc", core),
+            faulty.vmin("milc", core),
+            "harness faults must not move the measured Vmin"
+        );
+        assert!(
+            faulty.recovery.failed_power_cycles >= 1,
+            "{:?}",
+            faulty.recovery
+        );
+        assert!(faulty.recovery.setup_restores >= 1, "{:?}", faulty.recovery);
+        assert!(faulty.recovery.total_backoff_ms > 0);
+        assert!(faulty.records.iter().any(|r| r.reset_retries > 0));
+    }
+
+    #[test]
+    fn repeatedly_crashing_point_is_quarantined() {
+        let mut server = XGene2Server::new(SigmaBin::Tss, 56);
+        let core = server.chip().weakest_core();
+        // 150 mV steps put the second setup deep in the deterministic
+        // crash zone: with crash retries on, it crashes K+1 times in a row
+        // and gets quarantined.
+        let mut campaign = campaign_for(&["milc"], vec![core]);
+        campaign.step_mv = 150;
+        let config = ResilienceConfig::dsn18();
+        let result = ResilientRunner::new(&mut server, campaign, config).run_to_completion();
+        assert_eq!(result.quarantined.len(), 1, "{:?}", result.quarantined);
+        let q = &result.quarantined[0];
+        assert_eq!(q.consecutive_crashes, config.crash_retries + 1);
+        assert_eq!(result.recovery.quarantined_points, 1);
+        // The walk still produced a Vmin above the quarantined setup.
+        let vmin = result.vmins[0].vmin.expect("the first setup was safe");
+        assert!(vmin > q.setup.voltage);
+        // Every crash retry is in the records: K+1 crashes at the setup.
+        let crashes = result
+            .records
+            .iter()
+            .filter(|r| r.setup == q.setup && r.outcome == RunOutcome::Crash)
+            .count();
+        assert_eq!(crashes as u32, config.crash_retries + 1);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_mid_campaign() {
+        let campaign = {
+            let server = XGene2Server::new(SigmaBin::Ttt, 57);
+            let core = server.chip().most_robust_core();
+            let mut c = campaign_for(&["mcf"], vec![core]);
+            c.step_mv = 20;
+            c.repetitions = 3;
+            c
+        };
+        let plan = FaultPlan::hostile(58);
+
+        let mut reference_server = XGene2Server::new(SigmaBin::Ttt, 57);
+        reference_server.install_fault_plan(plan.clone());
+        let reference = ResilientRunner::new(
+            &mut reference_server,
+            campaign.clone(),
+            ResilienceConfig::dsn18(),
+        )
+        .run_to_completion();
+
+        // Same campaign, interrupted after 7 runs and resumed from JSON.
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 57);
+        server.install_fault_plan(plan);
+        let mut runner = ResilientRunner::new(&mut server, campaign, ResilienceConfig::dsn18());
+        for _ in 0..7 {
+            if !runner.step() {
+                break;
+            }
+        }
+        let json = runner.checkpoint().to_json();
+        drop(runner);
+
+        // A completely fresh server is overwritten by the snapshot.
+        let mut resumed_server = XGene2Server::new(SigmaBin::Tff, 9999);
+        let checkpoint = CampaignCheckpoint::from_json(&json).unwrap();
+        let resumed = ResilientRunner::resume(&mut resumed_server, checkpoint).run_to_completion();
+
+        assert_eq!(reference, resumed);
+    }
+
+    #[test]
+    fn strict_policy_issues_precautionary_reset_on_ue() {
+        // Pin a single setup inside the failure band, where completed runs
+        // report UEs. Under StrictCorrect every UE must power-cycle the
+        // board even though the run finished without the watchdog; under
+        // the default policy none do.
+        let run_with = |policy: SafePolicy| {
+            let mut server = XGene2Server::new(SigmaBin::Tss, 52);
+            let core = server.chip().weakest_core();
+            let profile = SPEC_SUITE
+                .iter()
+                .find(|b| b.name == "milc")
+                .unwrap()
+                .profile();
+            let vmin = server
+                .chip()
+                .vmin(core, &profile, Megahertz::XGENE2_NOMINAL);
+            let mut campaign = campaign_for(&["milc"], vec![core]);
+            campaign.start = Millivolts::new(vmin.as_u32() - 6);
+            campaign.floor = campaign.start;
+            campaign.policy = policy;
+            // Generous crash retries keep the walk alive until a
+            // completed-but-failing run (CE/SDC/UE) ends it.
+            let config = ResilienceConfig {
+                crash_retries: 100,
+                ..ResilienceConfig::dsn18()
+            };
+            ResilientRunner::new(&mut server, campaign, config).run_to_completion()
+        };
+
+        let strict = run_with(SafePolicy::StrictCorrect);
+        let ue_runs = strict
+            .records
+            .iter()
+            .filter(|r| r.outcome == RunOutcome::UncorrectableError)
+            .count() as u64;
+        assert!(ue_runs >= 1, "the failure band must have produced a UE");
+        assert_eq!(strict.recovery.precautionary_resets, ue_runs);
+
+        let lenient = run_with(SafePolicy::AllowCorrected);
+        assert_eq!(lenient.recovery.precautionary_resets, 0);
     }
 }

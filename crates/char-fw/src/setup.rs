@@ -43,6 +43,19 @@ impl SafePolicy {
             SafePolicy::AllowCorrected => outcome.is_usable(),
         }
     }
+
+    /// Whether the execution loop should power-cycle the board after
+    /// `outcome` even though the run completed without the watchdog.
+    ///
+    /// An uncorrectable error means the hardware knows state was
+    /// corrupted; under the strict policy the board is considered suspect
+    /// and gets a precautionary reset before anything else runs. The
+    /// default [`SafePolicy::AllowCorrected`] never asks for one, so
+    /// legacy campaigns behave exactly as before.
+    pub fn precautionary_reset(self, outcome: xgene_sim::fault::RunOutcome) -> bool {
+        use xgene_sim::fault::RunOutcome;
+        self == SafePolicy::StrictCorrect && outcome == RunOutcome::UncorrectableError
+    }
 }
 
 /// An undervolting campaign for a list of benchmarks.
@@ -108,6 +121,23 @@ mod tests {
         for w in schedule.windows(2) {
             assert_eq!(w[0].as_u32() - w[1].as_u32(), 5);
         }
+    }
+
+    #[test]
+    fn only_strict_policy_asks_for_precautionary_resets() {
+        assert!(SafePolicy::StrictCorrect.precautionary_reset(RunOutcome::UncorrectableError));
+        for outcome in [
+            RunOutcome::Correct,
+            RunOutcome::CorrectableError,
+            RunOutcome::SilentDataCorruption,
+            RunOutcome::Crash,
+        ] {
+            assert!(
+                !SafePolicy::StrictCorrect.precautionary_reset(outcome),
+                "{outcome}"
+            );
+        }
+        assert!(!SafePolicy::AllowCorrected.precautionary_reset(RunOutcome::UncorrectableError));
     }
 
     #[test]

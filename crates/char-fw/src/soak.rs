@@ -8,8 +8,8 @@
 //! matched its golden reference, and no uncorrectable memory error was
 //! reported.
 
+use crate::resilience::{recover_board, set_pmd_voltage_verified, ResilienceConfig};
 use power_model::server::OperatingPoint;
-use power_model::units::Milliseconds;
 use serde::{Deserialize, Serialize};
 use xgene_sim::fault::RunOutcome;
 use xgene_sim::server::XGene2Server;
@@ -31,7 +31,11 @@ impl SoakConfig {
     /// A deployment-qualification soak: 200 epochs of ~1 s each with a
     /// memory scrub every 4 epochs.
     pub fn qualification() -> Self {
-        SoakConfig { epochs: 200, epoch_ms: 1000, scrub_interval: 4 }
+        SoakConfig {
+            epochs: 200,
+            epoch_ms: 1000,
+            scrub_interval: 4,
+        }
     }
 }
 
@@ -70,15 +74,24 @@ pub fn soak(
         (1..=8).contains(&schedule.len()),
         "schedule must hold 1..=8 simultaneous workloads"
     );
+    let resilience = ResilienceConfig::default();
     let resets_before = server.reset_count();
-    let mut report =
-        SoakReport { epochs: 0, correctable: 0, disruptions: 0, watchdog_resets: 0 };
+    let mut report = SoakReport {
+        epochs: 0,
+        correctable: 0,
+        disruptions: 0,
+        watchdog_resets: 0,
+    };
 
     for epoch in 0..config.epochs {
         // (Re-)apply the point — a watchdog reset would have cleared it.
-        server.set_pmd_voltage(point.pmd_voltage).expect("point is in range");
-        server.set_soc_voltage(point.soc_voltage).expect("point is in range");
-        server.set_trefp(point.trefp).expect("point TREFP is positive");
+        set_pmd_voltage_verified(server, point.pmd_voltage, resilience.setup_restore_attempts);
+        server
+            .set_soc_voltage(point.soc_voltage)
+            .expect("point is in range");
+        server
+            .set_trefp(point.trefp)
+            .expect("point TREFP is positive");
 
         // Rotate the schedule across the cores each epoch.
         let n = schedule.len();
@@ -95,6 +108,9 @@ pub fn soak(
                 _ => report.disruptions += 1,
             }
         }
+        // A watchdog reset may have left the board hung: a soak must keep
+        // going (and count the recovery cycles in its watchdog tally).
+        recover_board(server, &resilience.retry);
         server.dram_mut().advance(f64::from(config.epoch_ms));
         if config.scrub_interval > 0 && epoch % config.scrub_interval == 0 {
             let scrub = server.dram_mut().scrub();
@@ -111,7 +127,7 @@ pub fn soak(
 mod tests {
     use super::*;
     use power_model::tradeoff::FrequencyPlan;
-    use power_model::units::Millivolts;
+    use power_model::units::{Milliseconds, Millivolts};
     use workload_sim::jammer;
     use xgene_sim::sigma::SigmaBin;
 
@@ -145,17 +161,51 @@ mod tests {
             &mut server,
             &reckless,
             &jammer_schedule(),
-            &SoakConfig { epochs: 50, epoch_ms: 500, scrub_interval: 0 },
+            &SoakConfig {
+                epochs: 50,
+                epoch_ms: 500,
+                scrub_interval: 0,
+            },
         );
         assert!(!report.accepted(), "{report:?}");
         assert!(report.disruptions > 0);
     }
 
     #[test]
+    fn soak_survives_a_board_that_hangs_mid_run() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 134);
+        server.install_fault_plan(xgene_sim::fault::FaultPlan::quiet(10).force_hang_at(0));
+        let reckless = OperatingPoint {
+            pmd_voltage: Millivolts::new(880),
+            soc_voltage: Millivolts::new(920),
+            plan: FrequencyPlan::all_nominal(),
+            trefp: Milliseconds::DSN18_RELAXED_TREFP,
+        };
+        let config = SoakConfig {
+            epochs: 50,
+            epoch_ms: 500,
+            scrub_interval: 0,
+        };
+        let report = soak(&mut server, &reckless, &jammer_schedule(), &config);
+        assert_eq!(
+            report.epochs, config.epochs,
+            "a hung board must not end the soak"
+        );
+        assert!(!server.is_hung(), "recovery must leave the board up");
+        assert!(report.disruptions > 0);
+        assert!(report.watchdog_resets > 0);
+        assert!(!report.accepted());
+    }
+
+    #[test]
     fn relaxed_refresh_soak_logs_correctable_memory_errors_only() {
         let mut server = XGene2Server::new(SigmaBin::Ttt, 133);
         server.set_dram_temperature(power_model::units::Celsius::new(60.0));
-        let config = SoakConfig { epochs: 20, epoch_ms: 2500, scrub_interval: 2 };
+        let config = SoakConfig {
+            epochs: 20,
+            epoch_ms: 2500,
+            scrub_interval: 2,
+        };
         let report = soak(
             &mut server,
             &OperatingPoint::dsn18_safe_point(),

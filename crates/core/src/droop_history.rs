@@ -28,7 +28,12 @@ impl DroopHistory {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        DroopHistory { samples: Vec::with_capacity(capacity), capacity, next: 0, filled: false }
+        DroopHistory {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            filled: false,
+        }
     }
 
     /// Records one droop observation in mV.
@@ -37,7 +42,10 @@ impl DroopHistory {
     ///
     /// Panics if the sample is negative or not finite.
     pub fn record(&mut self, droop_mv: f64) {
-        assert!(droop_mv.is_finite() && droop_mv >= 0.0, "droop must be non-negative");
+        assert!(
+            droop_mv.is_finite() && droop_mv >= 0.0,
+            "droop must be non-negative"
+        );
         if self.samples.len() < self.capacity {
             self.samples.push(droop_mv);
         } else {
@@ -68,12 +76,7 @@ impl DroopHistory {
     /// Records the droop of an executed current waveform, measured through
     /// the PDN model — the online path that connects the pipeline's
     /// execution traces to the failure predictor.
-    pub fn record_trace(
-        &mut self,
-        pdn: &xgene_sim::pdn::PdnModel,
-        samples: &[f64],
-        period_s: f64,
-    ) {
+    pub fn record_trace(&mut self, pdn: &xgene_sim::pdn::PdnModel, samples: &[f64], period_s: f64) {
         if samples.is_empty() || period_s <= 0.0 {
             return;
         }
@@ -119,7 +122,10 @@ pub struct FailurePredictor {
 impl FailurePredictor {
     /// Creates a predictor from an idle-Vmin measurement and a history.
     pub fn new(intrinsic_vmin: Millivolts, history: DroopHistory) -> Self {
-        FailurePredictor { intrinsic_vmin, history }
+        FailurePredictor {
+            intrinsic_vmin,
+            history,
+        }
     }
 
     /// The intrinsic Vmin the predictor anchors on.

@@ -39,7 +39,11 @@ pub struct LadderRung {
 ///
 /// Panics if the mix does not contain exactly 8 workloads.
 pub fn derive_ladder(chip: &ChipProfile, mix: &[WorkloadProfile]) -> Vec<LadderRung> {
-    assert_eq!(mix.len(), CORE_COUNT, "the Fig. 5 mix runs one benchmark per core");
+    assert_eq!(
+        mix.len(),
+        CORE_COUNT,
+        "the Fig. 5 mix runs one benchmark per core"
+    );
     // Benchmarks sorted by droop score, heaviest first.
     let mut order: Vec<usize> = (0..mix.len()).collect();
     order.sort_by(|&a, &b| mix[b].droop_score().total_cmp(&mix[a].droop_score()));
@@ -68,18 +72,17 @@ pub fn derive_ladder(chip: &ChipProfile, mix: &[WorkloadProfile]) -> Vec<LadderR
                 // Worst-case placement: any of the remaining benchmarks may
                 // land on any full-speed core.
                 for &bench in &order[slow_cores..] {
-                    let v = chip.vmin_with_active_cores(
-                        core,
-                        &mix[bench],
-                        freq,
-                        CORE_COUNT,
-                    );
+                    let v = chip.vmin_with_active_cores(core, &mix[bench], freq, CORE_COUNT);
                     rail = rail.max(v.as_u32());
                 }
             }
         }
         let rail_voltage = Millivolts::new(rail.div_ceil(5) * 5);
-        ladder.push(LadderRung { slow_pmds, rail_voltage, assignment });
+        ladder.push(LadderRung {
+            slow_pmds,
+            rail_voltage,
+            assignment,
+        });
     }
     ladder
 }
@@ -91,7 +94,10 @@ pub fn ladder_tradeoff(ladder: &[LadderRung]) -> Vec<TradeoffPoint> {
     let mut steps = Vec::with_capacity(ladder.len() + 1);
     steps.push((FrequencyPlan::all_nominal(), Millivolts::XGENE2_NOMINAL));
     for rung in ladder {
-        steps.push((FrequencyPlan::with_slow_pmds(rung.slow_pmds), rung.rail_voltage));
+        steps.push((
+            FrequencyPlan::with_slow_pmds(rung.slow_pmds),
+            rung.rail_voltage,
+        ));
     }
     TradeoffCurve::new(scaling, steps).points()
 }
@@ -156,10 +162,13 @@ mod tests {
         let m = mix();
         let ladder = derive_ladder(&chip, &m);
         let rung = &ladder[2]; // 2 slow PMDs
-        // Core 0 hosts the heaviest benchmark of the mix.
+                               // Core 0 hosts the heaviest benchmark of the mix.
         let heaviest = rung.assignment[0];
         for (i, w) in m.iter().enumerate() {
-            assert!(w.droop_score() <= m[heaviest].droop_score() + 1e-12, "bench {i}");
+            assert!(
+                w.droop_score() <= m[heaviest].droop_score() + 1e-12,
+                "bench {i}"
+            );
         }
     }
 

@@ -39,6 +39,12 @@ pub struct GovernorConfig {
     pub min_margin_mv: u32,
     /// Per-epoch failure-probability target for the droop floor.
     pub target_failure_probability: f64,
+    /// Consecutive disruptions that trigger graceful degradation: the
+    /// governor rolls back to nominal instead of oscillating around a
+    /// voltage the chip keeps rejecting.
+    pub degrade_after_disruptions: u32,
+    /// Epochs spent at nominal before scaled operation resumes.
+    pub degrade_hold_epochs: u32,
 }
 
 impl GovernorConfig {
@@ -53,6 +59,8 @@ impl GovernorConfig {
             relax_step_mv: 5,
             min_margin_mv: 10,
             target_failure_probability: 1e-5,
+            degrade_after_disruptions: 3,
+            degrade_hold_epochs: 50,
         }
     }
 }
@@ -70,6 +78,9 @@ pub struct GovernorStats {
     pub voltage_sum_mv: u64,
     /// Sum of `(V/Vnom)²` (dynamic-power proxy).
     pub power_proxy_sum: f64,
+    /// Graceful degradations: rollbacks to nominal after consecutive
+    /// disruptions.
+    pub degradations: u64,
 }
 
 impl GovernorStats {
@@ -100,6 +111,9 @@ pub struct OnlineGovernor {
     /// Current adaptive margin above the prediction, in mV.
     dynamic_margin_mv: u32,
     clean_streak: u32,
+    consecutive_disruptions: u32,
+    /// Epochs left at nominal after a graceful degradation.
+    hold_remaining: u32,
     stats: GovernorStats,
 }
 
@@ -118,8 +132,15 @@ impl OnlineGovernor {
             config,
             dynamic_margin_mv: config.base_margin_mv,
             clean_streak: 0,
+            consecutive_disruptions: 0,
+            hold_remaining: 0,
             stats: GovernorStats::default(),
         }
+    }
+
+    /// Whether the governor is currently degraded to nominal operation.
+    pub fn is_degraded(&self) -> bool {
+        self.hold_remaining > 0
     }
 
     /// Telemetry so far.
@@ -134,6 +155,11 @@ impl OnlineGovernor {
 
     /// Chooses the voltage for the next epoch of `workload`.
     pub fn choose(&self, workload: &WorkloadProfile) -> Millivolts {
+        if self.hold_remaining > 0 {
+            // Degraded: hold nominal until the chip has proven itself
+            // again rather than oscillating around a rejected voltage.
+            return Millivolts::XGENE2_NOMINAL;
+        }
         let predicted = match &self.predictor {
             Some(p) => p.predict(workload).as_u32(),
             // Reactive-only ablation starts from a mid guardband guess.
@@ -141,7 +167,11 @@ impl OnlineGovernor {
         };
         let mut v = predicted + self.dynamic_margin_mv;
         if let Some(floor) = &self.droop_floor {
-            v = v.max(floor.voltage_for(self.config.target_failure_probability).as_u32());
+            v = v.max(
+                floor
+                    .voltage_for(self.config.target_failure_probability)
+                    .as_u32(),
+            );
         }
         let gridded = v.div_ceil(5) * 5;
         Millivolts::new(gridded.min(Millivolts::XGENE2_NOMINAL.as_u32()))
@@ -153,19 +183,29 @@ impl OnlineGovernor {
         self.stats.voltage_sum_mv += u64::from(commanded.as_u32());
         let r = commanded.ratio_to(Millivolts::XGENE2_NOMINAL);
         self.stats.power_proxy_sum += r * r;
+        let holding = self.hold_remaining > 0;
+        if holding {
+            self.hold_remaining -= 1;
+        }
         match outcome {
             RunOutcome::Correct => {
-                self.clean_streak += 1;
-                if self.clean_streak >= self.config.clean_streak_to_relax {
-                    self.clean_streak = 0;
-                    self.dynamic_margin_mv = self
-                        .dynamic_margin_mv
-                        .saturating_sub(self.config.relax_step_mv)
-                        .max(self.config.min_margin_mv);
+                self.consecutive_disruptions = 0;
+                // Clean epochs at nominal prove the chip, not the margin:
+                // relaxation only restarts once the hold has expired.
+                if !holding {
+                    self.clean_streak += 1;
+                    if self.clean_streak >= self.config.clean_streak_to_relax {
+                        self.clean_streak = 0;
+                        self.dynamic_margin_mv = self
+                            .dynamic_margin_mv
+                            .saturating_sub(self.config.relax_step_mv)
+                            .max(self.config.min_margin_mv);
+                    }
                 }
             }
             RunOutcome::CorrectableError => {
                 self.clean_streak = 0;
+                self.consecutive_disruptions = 0;
                 self.stats.ce_backoffs += 1;
                 self.dynamic_margin_mv += self.config.ce_backoff_mv;
             }
@@ -175,6 +215,18 @@ impl OnlineGovernor {
                 self.clean_streak = 0;
                 self.stats.disruptions += 1;
                 self.dynamic_margin_mv += self.config.disruption_backoff_mv;
+                self.consecutive_disruptions += 1;
+                if self.consecutive_disruptions >= self.config.degrade_after_disruptions
+                    && self.hold_remaining == 0
+                {
+                    self.stats.degradations += 1;
+                    self.hold_remaining = self.config.degrade_hold_epochs;
+                    self.consecutive_disruptions = 0;
+                    // Re-widen so the post-hold restart is conservative.
+                    self.dynamic_margin_mv = self
+                        .dynamic_margin_mv
+                        .max(self.config.base_margin_mv + self.config.disruption_backoff_mv);
+                }
             }
         }
     }
@@ -239,7 +291,11 @@ mod tests {
         assert_eq!(stats.disruptions, 0, "{stats:?}");
         let savings = 1.0 - stats.mean_power_ratio();
         assert!(savings > 0.12, "power savings proxy {savings}");
-        assert!(stats.mean_voltage_mv() < 920.0, "{}", stats.mean_voltage_mv());
+        assert!(
+            stats.mean_voltage_mv() < 920.0,
+            "{}",
+            stats.mean_voltage_mv()
+        );
     }
 
     #[test]
@@ -251,8 +307,16 @@ mod tests {
             None,
             GovernorConfig::conservative(),
         );
-        let mcf = SPEC_SUITE.iter().find(|b| b.name == "mcf").unwrap().profile();
-        let milc = SPEC_SUITE.iter().find(|b| b.name == "milc").unwrap().profile();
+        let mcf = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "mcf")
+            .unwrap()
+            .profile();
+        let milc = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "milc")
+            .unwrap()
+            .profile();
         assert!(gov.choose(&milc) > gov.choose(&mcf));
     }
 
@@ -277,8 +341,7 @@ mod tests {
             let mut server = XGene2Server::new(SigmaBin::Ttt, 72);
             let core = server.chip().most_robust_core();
             let predictor = predictive.then(|| trained_predictor(SigmaBin::Ttt));
-            let mut gov =
-                OnlineGovernor::new(predictor, None, GovernorConfig::conservative());
+            let mut gov = OnlineGovernor::new(predictor, None, GovernorConfig::conservative());
             simulate(&mut server, &mut gov, &schedule(), core, 500)
         };
         let predictive = run(true);
@@ -307,8 +370,69 @@ mod tests {
             None,
             GovernorConfig::conservative(),
         );
-        let mcf = SPEC_SUITE.iter().find(|b| b.name == "mcf").unwrap().profile();
+        let mcf = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "mcf")
+            .unwrap()
+            .profile();
         assert!(with_floor.choose(&mcf) > without.choose(&mcf));
+    }
+
+    #[test]
+    fn repeated_disruptions_degrade_to_nominal_and_hold() {
+        let config = GovernorConfig {
+            disruption_backoff_mv: 5,
+            degrade_after_disruptions: 3,
+            degrade_hold_epochs: 10,
+            ..GovernorConfig::conservative()
+        };
+        let mut gov = OnlineGovernor::new(None, None, config);
+        let heavy = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "milc")
+            .unwrap()
+            .profile();
+        for _ in 0..3 {
+            let v = gov.choose(&heavy);
+            gov.observe(v, RunOutcome::Crash);
+        }
+        assert_eq!(gov.stats().degradations, 1);
+        assert!(gov.is_degraded());
+        for _ in 0..10 {
+            assert_eq!(
+                gov.choose(&heavy),
+                Millivolts::XGENE2_NOMINAL,
+                "holds nominal"
+            );
+            gov.observe(Millivolts::XGENE2_NOMINAL, RunOutcome::Correct);
+        }
+        assert!(!gov.is_degraded(), "the hold expires");
+        // Scaled operation resumes from the re-widened margin: 900 mV
+        // reactive base + (15 base + 3×5 backoff) margin.
+        assert_eq!(gov.choose(&heavy), Millivolts::new(930));
+        assert_eq!(gov.stats().degradations, 1, "no re-trigger while holding");
+    }
+
+    #[test]
+    fn degradation_does_not_oscillate_under_sustained_faults() {
+        let config = GovernorConfig {
+            degrade_after_disruptions: 3,
+            degrade_hold_epochs: 20,
+            ..GovernorConfig::conservative()
+        };
+        let mut gov = OnlineGovernor::new(None, None, config);
+        let heavy = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "milc")
+            .unwrap()
+            .profile();
+        // 30 straight crashes: one degradation fires, then the hold
+        // absorbs the rest instead of re-triggering every third epoch.
+        for _ in 0..30 {
+            let v = gov.choose(&heavy);
+            gov.observe(v, RunOutcome::Crash);
+        }
+        assert!(gov.stats().degradations <= 2, "{:?}", gov.stats());
     }
 
     #[test]
@@ -317,7 +441,11 @@ mod tests {
         for _ in 0..30 {
             gov.observe(Millivolts::new(950), RunOutcome::Crash);
         }
-        let heavy = SPEC_SUITE.iter().find(|b| b.name == "milc").unwrap().profile();
+        let heavy = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "milc")
+            .unwrap()
+            .profile();
         assert!(gov.choose(&heavy) <= Millivolts::XGENE2_NOMINAL);
     }
 }

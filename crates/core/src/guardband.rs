@@ -31,7 +31,12 @@ impl Guardband {
         vmin: Millivolts,
         nominal: Millivolts,
     ) -> Self {
-        Guardband { benchmark: benchmark.into(), chip, vmin, nominal }
+        Guardband {
+            benchmark: benchmark.into(),
+            chip,
+            vmin,
+            nominal,
+        }
     }
 
     /// Voltage headroom in millivolts (zero when Vmin ≥ nominal).
@@ -104,14 +109,22 @@ mod tests {
         let s = summary(SigmaBin::Ttt, &[("mcf", 860), ("milc", 885)]);
         let g = s.guaranteed().unwrap();
         assert_eq!(g.benchmark, "milc");
-        assert!((g.power_fraction() - 0.184).abs() < 2e-3, "{}", g.power_fraction());
+        assert!(
+            (g.power_fraction() - 0.184).abs() < 2e-3,
+            "{}",
+            g.power_fraction()
+        );
     }
 
     #[test]
     fn tss_guaranteed_guardband_is_15_7_percent() {
         let s = summary(SigmaBin::Tss, &[("mcf", 870), ("milc", 900)]);
         let g = s.guaranteed().unwrap();
-        assert!((g.power_fraction() - 0.157).abs() < 2e-3, "{}", g.power_fraction());
+        assert!(
+            (g.power_fraction() - 0.157).abs() < 2e-3,
+            "{}",
+            g.power_fraction()
+        );
     }
 
     #[test]
@@ -124,7 +137,12 @@ mod tests {
 
     #[test]
     fn vmin_above_nominal_clamps_to_zero_margin() {
-        let g = Guardband::new("virus", SigmaBin::Tss, Millivolts::new(990), Millivolts::new(980));
+        let g = Guardband::new(
+            "virus",
+            SigmaBin::Tss,
+            Millivolts::new(990),
+            Millivolts::new(980),
+        );
         assert_eq!(g.margin_mv(), 0);
         assert_eq!(g.power_fraction(), 0.0);
         assert_eq!(g.voltage_fraction(), 0.0);

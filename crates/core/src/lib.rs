@@ -61,8 +61,8 @@ pub mod safepoint;
 pub mod vmin;
 
 pub use droop_history::{DroopHistory, FailurePredictor};
-pub use governor::{GovernorConfig, GovernorStats, OnlineGovernor};
 pub use energy::{derive_ladder, ladder_tradeoff, LadderRung};
+pub use governor::{GovernorConfig, GovernorStats, OnlineGovernor};
 pub use guardband::{Guardband, GuardbandSummary};
 pub use predictor::VminPredictor;
 pub use refresh_relax::{choose_relaxation, RelaxationChoice, RelaxationPolicy};

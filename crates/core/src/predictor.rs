@@ -139,6 +139,8 @@ fn solve(mut a: [[f64; FEATURES]; FEATURES], mut b: [f64; FEATURES]) -> Option<[
         // Eliminate below.
         for row in col + 1..FEATURES {
             let f = a[row][col] / a[col][col];
+            // Two rows of `a` are live at once, so stay on indices.
+            #[allow(clippy::needless_range_loop)]
             for k in col..FEATURES {
                 a[row][k] -= f * a[col][k];
             }

@@ -56,13 +56,21 @@ pub fn choose_relaxation(
     let mut best = RelaxationChoice {
         trefp: Milliseconds::DDR3_NOMINAL_TREFP,
         factor: 1.0,
-        expected_failing_cells: expected_failing(model, temperature, Milliseconds::DDR3_NOMINAL_TREFP),
+        expected_failing_cells: expected_failing(
+            model,
+            temperature,
+            Milliseconds::DDR3_NOMINAL_TREFP,
+        ),
     };
     for &factor in &policy.candidate_factors {
         let trefp = Milliseconds::DDR3_NOMINAL_TREFP.relaxed(factor);
         let expected = expected_failing(model, temperature, trefp);
         if expected <= policy.max_expected_failing_cells && factor >= best.factor {
-            best = RelaxationChoice { trefp, factor, expected_failing_cells: expected };
+            best = RelaxationChoice {
+                trefp,
+                factor,
+                expected_failing_cells: expected,
+            };
         }
     }
     best
@@ -70,7 +78,9 @@ pub fn choose_relaxation(
 
 /// Expected failing cells across the whole array at `(temperature, trefp)`.
 pub fn expected_failing(model: &RetentionModel, temperature: Celsius, trefp: Milliseconds) -> f64 {
-    BankId::all().map(|b| model.expected_failing(b, temperature, trefp)).sum()
+    BankId::all()
+        .map(|b| model.expected_failing(b, temperature, trefp))
+        .sum()
 }
 
 /// DRAM-rail power saving of a relaxation for a workload at the given
@@ -91,7 +101,11 @@ mod tests {
     fn at_60c_the_35x_relaxation_is_chosen() {
         let model = RetentionModel::xgene2_micron();
         let choice = choose_relaxation(&model, Celsius::new(60.0), &RelaxationPolicy::dsn18());
-        assert!((choice.factor - 35.67).abs() < 1e-9, "factor {}", choice.factor);
+        assert!(
+            (choice.factor - 35.67).abs() < 1e-9,
+            "factor {}",
+            choice.factor
+        );
         assert!(choice.expected_failing_cells < 30_000.0);
         assert!(choice.expected_failing_cells > 20_000.0);
     }

@@ -9,7 +9,7 @@
 
 use power_model::server::OperatingPoint;
 use power_model::tradeoff::FrequencyPlan;
-use power_model::units::{Megahertz, Millivolts, Milliseconds};
+use power_model::units::{Megahertz, Milliseconds, Millivolts};
 use serde::{Deserialize, Serialize};
 use xgene_sim::sigma::ChipProfile;
 use xgene_sim::topology::CoreId;
@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn never_exceeds_nominal() {
         let chip = ChipProfile::corner(SigmaBin::Tss);
-        let policy = SafePointPolicy { pmd_margin_mv: 200, ..SafePointPolicy::dsn18() };
+        let policy = SafePointPolicy {
+            pmd_margin_mv: 200,
+            ..SafePointPolicy::dsn18()
+        };
         let workloads = vec![jammer::profile(); 2];
         let cores = vec![CoreId::new(0), CoreId::new(1)];
         let point = policy.derive(&chip, &workloads, &cores);

@@ -51,11 +51,7 @@ impl ChipVminSeries {
 
 /// Runs the undervolting campaign for `suite` on `chip`'s most robust
 /// core, deterministic in `seed` (the Fig. 4 measurement for one chip).
-pub fn characterize_chip(
-    chip: SigmaBin,
-    suite: &[WorkloadProfile],
-    seed: u64,
-) -> ChipVminSeries {
+pub fn characterize_chip(chip: SigmaBin, suite: &[WorkloadProfile], seed: u64) -> ChipVminSeries {
     let mut server = XGene2Server::new(chip, seed);
     let core = server.chip().most_robust_core();
     let campaign = VminCampaign::dsn18(suite.to_vec(), vec![core]);
@@ -74,17 +70,13 @@ pub fn characterize_chip(
 
 /// The Fig. 6/7 measurement: the virus's Vmin on each corner, with the
 /// margin to nominal. Returns `(chip, virus vmin, margin_mv)`.
-pub fn virus_margins(
-    virus: &WorkloadProfile,
-    seed: u64,
-) -> Vec<(SigmaBin, Millivolts, i64)> {
+pub fn virus_margins(virus: &WorkloadProfile, seed: u64) -> Vec<(SigmaBin, Millivolts, i64)> {
     SigmaBin::ALL
         .iter()
         .map(|&bin| {
             let series = characterize_chip(bin, std::slice::from_ref(virus), seed);
             let (_, vmin) = series.vmins[0].clone();
-            let margin =
-                i64::from(Millivolts::XGENE2_NOMINAL.as_u32()) - i64::from(vmin.as_u32());
+            let margin = i64::from(Millivolts::XGENE2_NOMINAL.as_u32()) - i64::from(vmin.as_u32());
             (bin, vmin, margin)
         })
         .collect()
@@ -136,8 +128,16 @@ mod tests {
             .build();
         let margins = virus_margins(&virus, 79);
         let get = |bin| margins.iter().find(|(b, _, _)| *b == bin).unwrap().2;
-        assert!((get(SigmaBin::Ttt) - 60).abs() <= 10, "TTT {}", get(SigmaBin::Ttt));
-        assert!((get(SigmaBin::Tff) - 20).abs() <= 10, "TFF {}", get(SigmaBin::Tff));
+        assert!(
+            (get(SigmaBin::Ttt) - 60).abs() <= 10,
+            "TTT {}",
+            get(SigmaBin::Ttt)
+        );
+        assert!(
+            (get(SigmaBin::Tff) - 20).abs() <= 10,
+            "TFF {}",
+            get(SigmaBin::Tff)
+        );
         assert!(get(SigmaBin::Tss) <= 15, "TSS {}", get(SigmaBin::Tss));
     }
 }

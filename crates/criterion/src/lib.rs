@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the criterion 0.5 API its benches use:
+//! [`Criterion`] with the `sample_size` / `measurement_time` /
+//! `warm_up_time` builders, [`Criterion::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple: after a warm-up phase, each
+//! sample times a batch of iterations with `std::time::Instant` and the
+//! harness prints the median, minimum and maximum per-iteration time.
+//! There is no statistical analysis, plotting or HTML report — the goal
+//! is a working `cargo bench` that gives honest order-of-magnitude
+//! numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark harness: collects timing samples per named function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples to collect per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time before measurement starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: also calibrates how many iterations fit in a sample.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            warm_iters += bencher.iters;
+        }
+        let warm_elapsed = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_iter = warm_elapsed.as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Aim for `sample_size` samples inside `measurement_time`.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = (per_sample / per_iter.max(1e-12)).ceil().max(1.0) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        let max = samples_ns[samples_ns.len() - 1];
+        println!(
+            "{name:<40} time: [{} {} {}] ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+/// Handed to each benchmark closure; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Hints the optimizer to keep `value` (re-export for bench code).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group, in either the positional or the
+/// `name = / config = / targets =` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn nanosecond_formatting_scales() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("us"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_300_000_000.0).ends_with("s"));
+    }
+}

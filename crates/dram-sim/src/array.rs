@@ -61,7 +61,11 @@ impl ErrorLog {
             ErrorKind::Uncorrectable => self.ue_count += 1,
         }
         self.unique.insert(cell);
-        self.records.push(ErrorRecord { cell, time_ms, kind });
+        self.records.push(ErrorRecord {
+            cell,
+            time_ms,
+            kind,
+        });
     }
 
     /// All events in detection order.
@@ -217,7 +221,10 @@ impl DramArray {
             trefp,
             temperature,
             now_ms: 0.0,
-            fill: Some(FillState { pattern: DataPattern::AllZeros, time_ms: 0.0 }),
+            fill: Some(FillState {
+                pattern: DataPattern::AllZeros,
+                time_ms: 0.0,
+            }),
             words: HashMap::new(),
             rows: HashMap::new(),
             log: ErrorLog::new(),
@@ -285,20 +292,33 @@ impl DramArray {
     pub fn fill_pattern(&mut self, pattern: DataPattern) {
         self.words.clear();
         self.rows.clear();
-        self.fill = Some(FillState { pattern, time_ms: self.now_ms });
+        self.fill = Some(FillState {
+            pattern,
+            time_ms: self.now_ms,
+        });
     }
 
     /// Writes a 64-bit payload to `addr` at the current time.
     pub fn write_word(&mut self, addr: WordAddr, data: u64) {
         self.counters.writes += 1;
         let t = self.now_ms;
-        self.words.insert(addr.flatten(), WordState { data, written_at: t });
+        self.words.insert(
+            addr.flatten(),
+            WordState {
+                data,
+                written_at: t,
+            },
+        );
         // A write activates the row: recharge everything in it and restart
         // the decay clock (row-granular approximation; our workloads write
         // rows densely).
         self.rows.insert(
             addr.row_addr().flatten(),
-            RowState { written_at: t, last_event: t, max_gap: 0.0 },
+            RowState {
+                written_at: t,
+                last_event: t,
+                max_gap: 0.0,
+            },
         );
     }
 
@@ -321,7 +341,14 @@ impl DramArray {
             return;
         }
         let t = self.now_ms;
-        self.rows.insert(flat_row, RowState { written_at: t, last_event: t, max_gap: 0.0 });
+        self.rows.insert(
+            flat_row,
+            RowState {
+                written_at: t,
+                last_event: t,
+                max_gap: 0.0,
+            },
+        );
     }
 
     /// Reads a word whose payload the caller stores: evaluates weak-cell
@@ -342,13 +369,7 @@ impl DramArray {
             last_event: self.fill.map(|f| f.time_ms).unwrap_or(0.0),
             max_gap: 0.0,
         });
-        let outcome = self.evaluate_word(
-            addr,
-            stored,
-            row_state,
-            CouplingContext::WorstCase,
-            true,
-        );
+        let outcome = self.evaluate_word(addr, stored, row_state, CouplingContext::WorstCase, true);
         self.touch_row(addr.row_addr());
         outcome
     }
@@ -357,7 +378,12 @@ impl DramArray {
     /// equivalent of the DPBench full-array read (words without weak cells
     /// cannot produce errors).
     pub fn scrub(&mut self) -> ScrubReport {
-        let mut report = ScrubReport { words_read: 0, ce_events: 0, ue_events: 0, flipped_bits: 0 };
+        let mut report = ScrubReport {
+            words_read: 0,
+            ce_events: 0,
+            ue_events: 0,
+            flipped_bits: 0,
+        };
         let rows: Vec<u64> = self.population.rows_with_cells().collect();
         for flat_row in rows {
             // Distinct words within the row that hold weak cells.
@@ -399,7 +425,11 @@ impl DramArray {
         let (data, written_at, context) = match self.words.get(&addr.flatten()) {
             Some(w) => (w.data, w.written_at, CouplingContext::WorstCase),
             None => match self.fill {
-                Some(f) => (f.pattern.word(addr), f.time_ms, f.pattern.coupling_context()),
+                Some(f) => (
+                    f.pattern.word(addr),
+                    f.time_ms,
+                    f.pattern.coupling_context(),
+                ),
                 None => (0, 0.0, CouplingContext::Uniform),
             },
         };
@@ -474,7 +504,11 @@ impl DramArray {
                 DecodeOutcome::Clean { .. } => {}
             }
         }
-        ReadOutcome { data: decode.data(), decode, flipped_bits }
+        ReadOutcome {
+            data: decode.data(),
+            decode,
+            flipped_bits,
+        }
     }
 
     /// Registers a row activation at the current time, folding the elapsed
@@ -491,7 +525,11 @@ impl DramArray {
         let segment = self.max_segment_gap(flat, last_event, self.now_ms);
         self.rows.insert(
             flat,
-            RowState { written_at, last_event: self.now_ms, max_gap: max_gap.max(segment) },
+            RowState {
+                written_at,
+                last_event: self.now_ms,
+                max_gap: max_gap.max(segment),
+            },
         );
     }
 
@@ -742,7 +780,11 @@ mod tests {
             .find(|c| c.retention_at_60c_ms < 600.0)
             .unwrap()
             .clone();
-        let stored = if cell.polarity.charged_value() { u64::MAX } else { 0 };
+        let stored = if cell.polarity.charged_value() {
+            u64::MAX
+        } else {
+            0
+        };
         dram.write_external(cell.addr.word);
         dram.advance(relaxed.as_f64() * 1.5);
         let out = dram.read_external(cell.addr.word, stored);
@@ -775,7 +817,12 @@ mod tests {
 
     #[test]
     fn scrub_report_ber() {
-        let r = ScrubReport { words_read: 10, ce_events: 5, ue_events: 0, flipped_bits: 5 };
+        let r = ScrubReport {
+            words_read: 10,
+            ce_events: 5,
+            ue_events: 0,
+            flipped_bits: 5,
+        };
         assert!((r.ber(1000) - 0.005).abs() < 1e-12);
         assert_eq!(r.ber(0), 0.0);
     }

@@ -35,7 +35,10 @@ impl CodeWord {
     ///
     /// Panics if bits above position 71 are set.
     pub fn from_bits(bits: u128) -> Self {
-        assert!(bits >> CODE_BITS == 0, "code word has only {CODE_BITS} bits");
+        assert!(
+            bits >> CODE_BITS == 0,
+            "code word has only {CODE_BITS} bits"
+        );
         CodeWord(bits)
     }
 
@@ -238,7 +241,14 @@ mod tests {
     #[test]
     fn roundtrip_simple_values() {
         let codec = Secded72::new();
-        for data in [0u64, u64::MAX, 0x5555_5555_5555_5555, 0xAAAA_AAAA_AAAA_AAAA, 1, 1 << 63] {
+        for data in [
+            0u64,
+            u64::MAX,
+            0x5555_5555_5555_5555,
+            0xAAAA_AAAA_AAAA_AAAA,
+            1,
+            1 << 63,
+        ] {
             let word = codec.encode(data);
             assert_eq!(codec.decode(word), DecodeOutcome::Clean { data });
         }

@@ -31,8 +31,7 @@ pub const DATA_BITS_PER_WORD: usize = 64;
 pub const CODE_BITS_PER_WORD: usize = 72;
 
 /// Total number of 72-bit words in the array.
-pub const WORD_COUNT: u64 =
-    (RANK_COUNT * BANKS_PER_CHIP * ROWS_PER_BANK * COLS_PER_ROW) as u64;
+pub const WORD_COUNT: u64 = (RANK_COUNT * BANKS_PER_CHIP * ROWS_PER_BANK * COLS_PER_ROW) as u64;
 
 /// Total data capacity in bytes (32 GiB).
 pub const DATA_BYTES: u64 = WORD_COUNT * (DATA_BITS_PER_WORD as u64 / 8);
@@ -91,7 +90,10 @@ impl BankId {
     ///
     /// Panics if `bank >= 8`.
     pub fn new(bank: u8) -> Self {
-        assert!((bank as usize) < BANKS_PER_CHIP, "bank must be < {BANKS_PER_CHIP}");
+        assert!(
+            (bank as usize) < BANKS_PER_CHIP,
+            "bank must be < {BANKS_PER_CHIP}"
+        );
         BankId(bank)
     }
 
@@ -142,9 +144,20 @@ impl WordAddr {
     ///
     /// Panics if `row` or `col` is out of range.
     pub fn new(rank: RankId, bank: BankId, row: u32, col: u16) -> Self {
-        assert!((row as usize) < ROWS_PER_BANK, "row must be < {ROWS_PER_BANK}");
-        assert!((col as usize) < COLS_PER_ROW, "col must be < {COLS_PER_ROW}");
-        WordAddr { rank, bank, row, col }
+        assert!(
+            (row as usize) < ROWS_PER_BANK,
+            "row must be < {ROWS_PER_BANK}"
+        );
+        assert!(
+            (col as usize) < COLS_PER_ROW,
+            "col must be < {COLS_PER_ROW}"
+        );
+        WordAddr {
+            rank,
+            bank,
+            row,
+            col,
+        }
     }
 
     /// Flattens to a linear word index `0..WORD_COUNT`
@@ -154,8 +167,7 @@ impl WordAddr {
         let b = self.bank.index() as u64;
         let row = u64::from(self.row);
         let col = u64::from(self.col);
-        ((r * BANKS_PER_CHIP as u64 + b) * ROWS_PER_BANK as u64 + row) * COLS_PER_ROW as u64
-            + col
+        ((r * BANKS_PER_CHIP as u64 + b) * ROWS_PER_BANK as u64 + row) * COLS_PER_ROW as u64 + col
     }
 
     /// Inverse of [`WordAddr::flatten`].
@@ -171,18 +183,31 @@ impl WordAddr {
         let rest = rest / ROWS_PER_BANK as u64;
         let bank = BankId::new((rest % BANKS_PER_CHIP as u64) as u8);
         let rank = RankId::new((rest / BANKS_PER_CHIP as u64) as u8);
-        WordAddr { rank, bank, row, col }
+        WordAddr {
+            rank,
+            bank,
+            row,
+            col,
+        }
     }
 
     /// The row this word belongs to.
     pub fn row_addr(self) -> RowAddr {
-        RowAddr { rank: self.rank, bank: self.bank, row: self.row }
+        RowAddr {
+            rank: self.rank,
+            bank: self.bank,
+            row: self.row,
+        }
     }
 }
 
 impl fmt::Display for WordAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}/row{}/col{}", self.rank, self.bank, self.row, self.col)
+        write!(
+            f,
+            "{}/{}/row{}/col{}",
+            self.rank, self.bank, self.row, self.col
+        )
     }
 }
 
@@ -204,7 +229,10 @@ impl RowAddr {
     ///
     /// Panics if `row` is out of range.
     pub fn new(rank: RankId, bank: BankId, row: u32) -> Self {
-        assert!((row as usize) < ROWS_PER_BANK, "row must be < {ROWS_PER_BANK}");
+        assert!(
+            (row as usize) < ROWS_PER_BANK,
+            "row must be < {ROWS_PER_BANK}"
+        );
         RowAddr { rank, bank, row }
     }
 
@@ -240,7 +268,10 @@ impl CellAddr {
     ///
     /// Panics if `bit >= 72`.
     pub fn new(word: WordAddr, bit: u8) -> Self {
-        assert!((bit as usize) < CODE_BITS_PER_WORD, "bit must be < {CODE_BITS_PER_WORD}");
+        assert!(
+            (bit as usize) < CODE_BITS_PER_WORD,
+            "bit must be < {CODE_BITS_PER_WORD}"
+        );
         CellAddr { word, bit }
     }
 

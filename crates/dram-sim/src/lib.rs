@@ -53,7 +53,9 @@ pub mod retention;
 pub mod scrubber;
 pub mod timing;
 
-pub use array::{AccessCounters, DramArray, ErrorKind, ErrorLog, ErrorRecord, ReadOutcome, ScrubReport};
+pub use array::{
+    AccessCounters, DramArray, ErrorKind, ErrorLog, ErrorRecord, ReadOutcome, ScrubReport,
+};
 pub use ecc::{CodeWord, DecodeOutcome, Secded72};
 pub use geometry::{BankId, CellAddr, RankId, RowAddr, WordAddr};
 pub use patterns::DataPattern;

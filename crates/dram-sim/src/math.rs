@@ -18,8 +18,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -33,12 +32,15 @@ pub fn erf(x: f64) -> f64 {
 ///
 /// Panics if `p` is not strictly inside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile argument must be in (0,1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -88,7 +90,10 @@ pub fn normal_quantile(p: f64) -> f64 {
 ///
 /// Panics if `lambda` is negative or not finite.
 pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be non-negative"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -123,12 +128,7 @@ pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// # Panics
 ///
 /// Panics if `cap` is not positive or `sigma` is not positive.
-pub fn sample_lognormal_below<R: Rng + ?Sized>(
-    rng: &mut R,
-    mu: f64,
-    sigma: f64,
-    cap: f64,
-) -> f64 {
+pub fn sample_lognormal_below<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64, cap: f64) -> f64 {
     assert!(cap > 0.0, "cap must be positive");
     assert!(sigma > 0.0, "sigma must be positive");
     let z_cap = (cap.ln() - mu) / sigma;

@@ -48,7 +48,7 @@ impl DataPattern {
             DataPattern::AllZeros => 0,
             DataPattern::AllOnes => u64::MAX,
             DataPattern::Checkerboard { inverted } => {
-                let base = if (addr.row as u64 + u64::from(addr.col)) % 2 == 0 {
+                let base = if (addr.row as u64 + u64::from(addr.col)).is_multiple_of(2) {
                     0xAAAA_AAAA_AAAA_AAAA
                 } else {
                     0x5555_5555_5555_5555
@@ -137,7 +137,10 @@ mod tests {
 
     #[test]
     fn contexts_match_patterns() {
-        assert_eq!(DataPattern::AllZeros.coupling_context(), CouplingContext::Uniform);
+        assert_eq!(
+            DataPattern::AllZeros.coupling_context(),
+            CouplingContext::Uniform
+        );
         assert_eq!(
             DataPattern::Checkerboard { inverted: false }.coupling_context(),
             CouplingContext::Alternating
@@ -152,6 +155,9 @@ mod tests {
     fn suite_has_four_distinct_patterns() {
         let suite = DataPattern::dpbench_suite(1);
         assert_eq!(suite.len(), 4);
-        assert_eq!(suite.iter().collect::<std::collections::HashSet<_>>().len(), 4);
+        assert_eq!(
+            suite.iter().collect::<std::collections::HashSet<_>>().len(),
+            4
+        );
     }
 }

@@ -60,11 +60,20 @@ pub struct PatrolScrubber {
 impl PatrolScrubber {
     /// Builds a scrubber over the array's weak-cell word list.
     pub fn new(dram: &DramArray, config: ScrubberConfig) -> Self {
-        let mut targets: Vec<WordAddr> =
-            dram.population().cells().iter().map(|c| c.addr.word).collect();
+        let mut targets: Vec<WordAddr> = dram
+            .population()
+            .cells()
+            .iter()
+            .map(|c| c.addr.word)
+            .collect();
         targets.sort_by_key(|w| w.flatten());
         targets.dedup();
-        PatrolScrubber { config, targets, cursor: 0, stats: ScrubberStats::default() }
+        PatrolScrubber {
+            config,
+            targets,
+            cursor: 0,
+            stats: ScrubberStats::default(),
+        }
     }
 
     /// Telemetry so far.
@@ -137,13 +146,20 @@ mod tests {
         dram.fill_pattern(DataPattern::Random { seed: 1 });
         // Let flips latch.
         dram.advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
-        let mut scrubber = PatrolScrubber::new(&dram, ScrubberConfig {
-            patrol_period_ms: 1000.0,
-            burst_words: 4096,
-        });
+        let mut scrubber = PatrolScrubber::new(
+            &dram,
+            ScrubberConfig {
+                patrol_period_ms: 1000.0,
+                burst_words: 4096,
+            },
+        );
         // One full patrol pass worth of time.
         scrubber.run_for(&mut dram, 1000.0);
-        assert!(scrubber.stats().corrections > 1_000, "{:?}", scrubber.stats());
+        assert!(
+            scrubber.stats().corrections > 1_000,
+            "{:?}",
+            scrubber.stats()
+        );
         assert_eq!(scrubber.stats().uncorrectable, 0);
     }
 
@@ -158,10 +174,13 @@ mod tests {
             d.fill_pattern(DataPattern::Random { seed: 2 });
             d.advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
         }
-        let mut scrubber = PatrolScrubber::new(&scrubbed, ScrubberConfig {
-            patrol_period_ms: 500.0,
-            burst_words: 8192,
-        });
+        let mut scrubber = PatrolScrubber::new(
+            &scrubbed,
+            ScrubberConfig {
+                patrol_period_ms: 500.0,
+                burst_words: 8192,
+            },
+        );
         scrubber.run_for(&mut scrubbed, 500.0);
         bare.advance(500.0);
 
@@ -178,10 +197,13 @@ mod tests {
     #[test]
     fn patrol_paces_itself() {
         let dram = relaxed_dram(73);
-        let mut scrubber = PatrolScrubber::new(&dram, ScrubberConfig {
-            patrol_period_ms: 10_000.0,
-            burst_words: 512,
-        });
+        let mut scrubber = PatrolScrubber::new(
+            &dram,
+            ScrubberConfig {
+                patrol_period_ms: 10_000.0,
+                burst_words: 512,
+            },
+        );
         let mut d = relaxed_dram(73);
         // A tenth of the period should visit about a tenth of the targets.
         scrubber.run_for(&mut d, 1_000.0);

@@ -65,7 +65,9 @@ impl DdrTimings {
 enum BankState {
     Idle,
     /// Row open since `ready_at` (activation completed).
-    Open { row: u32 },
+    Open {
+        row: u32,
+    },
 }
 
 /// Outcome category of one access, for locality statistics.
@@ -241,10 +243,9 @@ impl McuTimingModel {
         let t = &self.timings;
         let state = self.banks[bank_index(addr.rank, addr.bank)];
         match state {
-            BankState::Open { row } if row == addr.row => (
-                AccessKind::RowHit,
-                u64::from(t.t_cl + t.burst_clocks),
-            ),
+            BankState::Open { row } if row == addr.row => {
+                (AccessKind::RowHit, u64::from(t.t_cl + t.burst_clocks))
+            }
             BankState::Idle => (
                 AccessKind::RowMiss,
                 u64::from(t.t_rcd + t.t_cl + t.burst_clocks),
@@ -333,8 +334,7 @@ mod tests {
     #[test]
     fn relaxed_refresh_reduces_overhead_35x() {
         let nominal = refresh_overhead_for(Milliseconds::new(64.0), 20_000, 500, 9);
-        let relaxed =
-            refresh_overhead_for(Milliseconds::DSN18_RELAXED_TREFP, 20_000, 500, 9);
+        let relaxed = refresh_overhead_for(Milliseconds::DSN18_RELAXED_TREFP, 20_000, 500, 9);
         // Expected collision stall ≈ tRFC²/(2·tREFI) ≈ 3.5 clocks/access.
         assert!(
             nominal.stall_per_access() > 1.0,

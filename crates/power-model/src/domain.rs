@@ -27,8 +27,12 @@ pub enum DomainKind {
 
 impl DomainKind {
     /// All four domains in reporting order.
-    pub const ALL: [DomainKind; 4] =
-        [DomainKind::Pmd, DomainKind::Soc, DomainKind::Dram, DomainKind::Fixed];
+    pub const ALL: [DomainKind; 4] = [
+        DomainKind::Pmd,
+        DomainKind::Soc,
+        DomainKind::Dram,
+        DomainKind::Fixed,
+    ];
 }
 
 impl fmt::Display for DomainKind {
@@ -86,13 +90,26 @@ impl ComputeDomain {
         dynamic: DynamicScaling,
         leakage: LeakageScaling,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&leakage_fraction), "leakage_fraction in [0,1]");
-        assert!((0.0..=1.0).contains(&fixed_fraction), "fixed_fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&leakage_fraction),
+            "leakage_fraction in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&fixed_fraction),
+            "fixed_fraction in [0,1]"
+        );
         assert!(
             leakage_fraction + fixed_fraction <= 1.0 + 1e-12,
             "leakage + fixed fractions must not exceed 1"
         );
-        ComputeDomain { kind, nominal_power, leakage_fraction, fixed_fraction, dynamic, leakage }
+        ComputeDomain {
+            kind,
+            nominal_power,
+            leakage_fraction,
+            fixed_fraction,
+            dynamic,
+            leakage,
+        }
     }
 
     /// The calibrated X-Gene2 PMD domain: 60 % leakage share at the nominal
@@ -139,9 +156,8 @@ impl ComputeDomain {
         let dyn_frac = 1.0 - self.leakage_fraction - self.fixed_fraction;
         let dyn_factor = self.dynamic.factor_multi(voltage, frequencies);
         let leak_factor = self.leakage.factor(voltage, temp);
-        let factor = dyn_frac * dyn_factor
-            + self.leakage_fraction * leak_factor
-            + self.fixed_fraction;
+        let factor =
+            dyn_frac * dyn_factor + self.leakage_fraction * leak_factor + self.fixed_fraction;
         self.nominal_power.scaled(factor)
     }
 }
@@ -186,7 +202,12 @@ impl DramDomain {
         access_at_full_bw: Watts,
         nominal_trefp: crate::units::Milliseconds,
     ) -> Self {
-        DramDomain { background, refresh_at_nominal, access_at_full_bw, nominal_trefp }
+        DramDomain {
+            background,
+            refresh_at_nominal,
+            access_at_full_bw,
+            nominal_trefp,
+        }
     }
 
     /// Calibrated X-Gene2 32 GB DDR3 subsystem scaled to a reference power.
@@ -214,11 +235,7 @@ impl DramDomain {
     /// # Panics
     ///
     /// Panics if `bandwidth_utilization` is outside `[0, 1]`.
-    pub fn power(
-        &self,
-        trefp: crate::units::Milliseconds,
-        bandwidth_utilization: f64,
-    ) -> Watts {
+    pub fn power(&self, trefp: crate::units::Milliseconds, bandwidth_utilization: f64) -> Watts {
         assert!(
             (0.0..=1.0).contains(&bandwidth_utilization),
             "bandwidth utilization must be in [0,1], got {bandwidth_utilization}"
@@ -278,7 +295,11 @@ mod tests {
     #[test]
     fn nominal_power_is_reproduced_at_anchor() {
         let pmd = ComputeDomain::xgene2_pmd(Watts::new(14.5));
-        let p = pmd.power(Millivolts::new(980), &[Megahertz::XGENE2_NOMINAL; 4], Celsius::new(45.0));
+        let p = pmd.power(
+            Millivolts::new(980),
+            &[Megahertz::XGENE2_NOMINAL; 4],
+            Celsius::new(45.0),
+        );
         assert!((p.as_f64() - 14.5).abs() < 1e-9);
     }
 

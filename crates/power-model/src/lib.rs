@@ -41,4 +41,4 @@ pub use domain::{ComputeDomain, DomainKind, DramDomain};
 pub use scaling::{CornerLeakage, DynamicScaling, LeakageScaling};
 pub use server::{OperatingPoint, PowerBreakdown, ServerLoad, ServerPowerModel};
 pub use tradeoff::{FrequencyPlan, TradeoffCurve, TradeoffPoint};
-pub use units::{Celsius, Megahertz, Millivolts, Milliseconds, Watts};
+pub use units::{Celsius, Megahertz, Milliseconds, Millivolts, Watts};

@@ -31,7 +31,10 @@ pub struct DynamicScaling {
 impl DynamicScaling {
     /// Creates a scaling rule anchored at the given nominal operating point.
     pub fn new(nominal_voltage: Millivolts, nominal_frequency: Megahertz) -> Self {
-        DynamicScaling { nominal_voltage, nominal_frequency }
+        DynamicScaling {
+            nominal_voltage,
+            nominal_frequency,
+        }
     }
 
     /// The X-Gene2 nominal anchor (980 mV, 2.4 GHz).
@@ -63,7 +66,10 @@ impl DynamicScaling {
             return 0.0;
         }
         let v = voltage.ratio_to(self.nominal_voltage);
-        let fsum: f64 = frequencies.iter().map(|f| f.ratio_to(self.nominal_frequency)).sum();
+        let fsum: f64 = frequencies
+            .iter()
+            .map(|f| f.ratio_to(self.nominal_frequency))
+            .sum();
         v * v * fsum / frequencies.len() as f64
     }
 }
@@ -107,9 +113,20 @@ impl LeakageScaling {
         gamma: f64,
         temp_coeff: f64,
     ) -> Self {
-        assert!(gamma.is_finite() && gamma >= 0.0, "gamma must be non-negative");
-        assert!(temp_coeff.is_finite() && temp_coeff >= 0.0, "temp_coeff must be non-negative");
-        LeakageScaling { nominal_voltage, nominal_temperature, gamma, temp_coeff }
+        assert!(
+            gamma.is_finite() && gamma >= 0.0,
+            "gamma must be non-negative"
+        );
+        assert!(
+            temp_coeff.is_finite() && temp_coeff >= 0.0,
+            "temp_coeff must be non-negative"
+        );
+        LeakageScaling {
+            nominal_voltage,
+            nominal_temperature,
+            gamma,
+            temp_coeff,
+        }
     }
 
     /// Calibrated X-Gene2 leakage rule (γ = 6.0, leakage doubles per ~23 K,
@@ -152,7 +169,10 @@ impl CornerLeakage {
     ///
     /// Panics if the multiplier is not strictly positive and finite.
     pub fn new(multiplier: f64) -> Self {
-        assert!(multiplier.is_finite() && multiplier > 0.0, "multiplier must be positive");
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "multiplier must be positive"
+        );
         CornerLeakage(multiplier)
     }
 

@@ -8,7 +8,7 @@
 
 use crate::domain::{ComputeDomain, DomainKind, DramDomain};
 use crate::tradeoff::FrequencyPlan;
-use crate::units::{Celsius, Megahertz, Millivolts, Milliseconds, Watts};
+use crate::units::{Celsius, Megahertz, Milliseconds, Millivolts, Watts};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -70,7 +70,10 @@ pub struct ServerLoad {
 impl ServerLoad {
     /// The 4-instance jammer detector load: ~10.7 % DRAM bandwidth at 45 °C.
     pub fn jammer_detector() -> Self {
-        ServerLoad { dram_bandwidth_utilization: 0.107, temperature: Celsius::new(45.0) }
+        ServerLoad {
+            dram_bandwidth_utilization: 0.107,
+            temperature: Celsius::new(45.0),
+        }
     }
 }
 
@@ -144,7 +147,12 @@ pub struct ServerPowerModel {
 impl ServerPowerModel {
     /// Creates a server model from its domain models.
     pub fn new(pmd: ComputeDomain, soc: ComputeDomain, dram: DramDomain, fixed: Watts) -> Self {
-        ServerPowerModel { pmd, soc, dram, fixed }
+        ServerPowerModel {
+            pmd,
+            soc,
+            dram,
+            fixed,
+        }
     }
 
     /// The calibrated X-Gene2 board: PMD 14.7 W, SoC 5.0 W, DRAM ≈ 8.9 W
@@ -161,15 +169,25 @@ impl ServerPowerModel {
 
     /// Per-domain power at an operating point under a load.
     pub fn power(&self, point: &OperatingPoint, load: &ServerLoad) -> PowerBreakdown {
-        let pmd =
-            self.pmd.power(point.pmd_voltage, point.plan.frequencies(), load.temperature);
+        let pmd = self.pmd.power(
+            point.pmd_voltage,
+            point.plan.frequencies(),
+            load.temperature,
+        );
         let soc = self.soc.power(
             point.soc_voltage,
             &[Megahertz::XGENE2_NOMINAL],
             load.temperature,
         );
-        let dram = self.dram.power(point.trefp, load.dram_bandwidth_utilization);
-        PowerBreakdown { pmd, soc, dram, fixed: self.fixed }
+        let dram = self
+            .dram
+            .power(point.trefp, load.dram_bandwidth_utilization);
+        PowerBreakdown {
+            pmd,
+            soc,
+            dram,
+            fixed: self.fixed,
+        }
     }
 
     /// Fractional total-power saving of `point` relative to nominal under
@@ -181,13 +199,20 @@ impl ServerPowerModel {
     }
 
     /// Per-domain fractional savings of `point` relative to nominal.
-    pub fn domain_savings(&self, point: &OperatingPoint, load: &ServerLoad) -> Vec<(DomainKind, f64)> {
+    pub fn domain_savings(
+        &self,
+        point: &OperatingPoint,
+        load: &ServerLoad,
+    ) -> Vec<(DomainKind, f64)> {
         let nominal = self.power(&OperatingPoint::nominal(), load);
         let at_point = self.power(point, load);
         DomainKind::ALL
             .iter()
             .map(|kind| {
-                (*kind, nominal.domain(*kind).savings_to(at_point.domain(*kind)))
+                (
+                    *kind,
+                    nominal.domain(*kind).savings_to(at_point.domain(*kind)),
+                )
             })
             .collect()
     }
@@ -214,7 +239,11 @@ mod tests {
             "nominal {}",
             nominal.total()
         );
-        assert!((safe.total().as_f64() - 24.8).abs() < 0.25, "safe {}", safe.total());
+        assert!(
+            (safe.total().as_f64() - 24.8).abs() < 0.25,
+            "safe {}",
+            safe.total()
+        );
         let savings = nominal.total().savings_to(safe.total());
         assert!((savings - 0.202).abs() < 0.01, "savings {savings}");
     }
@@ -225,11 +254,27 @@ mod tests {
         let load = ServerLoad::jammer_detector();
         let savings = server.domain_savings(&OperatingPoint::dsn18_safe_point(), &load);
         let get = |kind: DomainKind| {
-            savings.iter().find(|(k, _)| *k == kind).map(|(_, s)| *s).unwrap()
+            savings
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, s)| *s)
+                .unwrap()
         };
-        assert!((get(DomainKind::Pmd) - 0.203).abs() < 0.01, "PMD {}", get(DomainKind::Pmd));
-        assert!((get(DomainKind::Soc) - 0.069).abs() < 0.01, "SoC {}", get(DomainKind::Soc));
-        assert!((get(DomainKind::Dram) - 0.333).abs() < 0.01, "DRAM {}", get(DomainKind::Dram));
+        assert!(
+            (get(DomainKind::Pmd) - 0.203).abs() < 0.01,
+            "PMD {}",
+            get(DomainKind::Pmd)
+        );
+        assert!(
+            (get(DomainKind::Soc) - 0.069).abs() < 0.01,
+            "SoC {}",
+            get(DomainKind::Soc)
+        );
+        assert!(
+            (get(DomainKind::Dram) - 0.333).abs() < 0.01,
+            "DRAM {}",
+            get(DomainKind::Dram)
+        );
         assert_eq!(get(DomainKind::Fixed), 0.0);
     }
 

@@ -33,7 +33,9 @@ pub struct FrequencyPlan {
 impl FrequencyPlan {
     /// All PMDs at the nominal 2.4 GHz.
     pub fn all_nominal() -> Self {
-        FrequencyPlan { frequencies: [Megahertz::XGENE2_NOMINAL; PMD_COUNT] }
+        FrequencyPlan {
+            frequencies: [Megahertz::XGENE2_NOMINAL; PMD_COUNT],
+        }
     }
 
     /// The first `slow` PMDs (the weakest ones, PMD0 upward) at 1.2 GHz and
@@ -63,14 +65,20 @@ impl FrequencyPlan {
 
     /// Number of PMDs running below nominal frequency.
     pub fn slow_pmd_count(&self) -> usize {
-        self.frequencies.iter().filter(|f| **f < Megahertz::XGENE2_NOMINAL).count()
+        self.frequencies
+            .iter()
+            .filter(|f| **f < Megahertz::XGENE2_NOMINAL)
+            .count()
     }
 
     /// Aggregate throughput relative to all PMDs at nominal frequency
     /// (`Σfᵢ / Σf_nom`), the x-axis of Fig. 5.
     pub fn relative_performance(&self) -> f64 {
-        let sum: f64 =
-            self.frequencies.iter().map(|f| f.ratio_to(Megahertz::XGENE2_NOMINAL)).sum();
+        let sum: f64 = self
+            .frequencies
+            .iter()
+            .map(|f| f.ratio_to(Megahertz::XGENE2_NOMINAL))
+            .sum();
         sum / PMD_COUNT as f64
     }
 }

@@ -136,7 +136,7 @@ impl Megahertz {
 
 impl fmt::Display for Megahertz {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 100 == 0 && self.0 >= 1000 {
+        if self.0.is_multiple_of(100) && self.0 >= 1000 {
             write!(f, "{:.1}GHz", f64::from(self.0) / 1000.0)
         } else {
             write!(f, "{}MHz", self.0)
@@ -166,7 +166,10 @@ impl Watts {
     ///
     /// Panics if `w` is negative or not finite.
     pub fn new(w: f64) -> Self {
-        assert!(w.is_finite() && w >= 0.0, "power must be finite and non-negative, got {w}");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "power must be finite and non-negative, got {w}"
+        );
         Watts(w)
     }
 
@@ -290,7 +293,10 @@ impl Milliseconds {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn new(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Milliseconds(ms)
     }
 
@@ -310,7 +316,10 @@ impl Milliseconds {
     ///
     /// Panics if `factor` is not finite or is negative.
     pub fn relaxed(self, factor: f64) -> Milliseconds {
-        assert!(factor.is_finite() && factor >= 0.0, "relaxation factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "relaxation factor must be non-negative"
+        );
         Milliseconds(self.0 * factor)
     }
 
@@ -369,7 +378,10 @@ mod tests {
     fn millivolt_add_sub() {
         let a = Millivolts::new(900) + Millivolts::new(80);
         assert_eq!(a, Millivolts::XGENE2_NOMINAL);
-        assert_eq!(Millivolts::new(100) - Millivolts::new(300), Millivolts::new(0));
+        assert_eq!(
+            Millivolts::new(100) - Millivolts::new(300),
+            Millivolts::new(0)
+        );
     }
 
     #[test]
@@ -400,7 +412,8 @@ mod tests {
 
     #[test]
     fn refresh_relaxation_factor() {
-        let f = Milliseconds::DSN18_RELAXED_TREFP.relaxation_factor(Milliseconds::DDR3_NOMINAL_TREFP);
+        let f =
+            Milliseconds::DSN18_RELAXED_TREFP.relaxation_factor(Milliseconds::DDR3_NOMINAL_TREFP);
         // 2283/64 = 35.67×; the paper rounds this to "35x".
         assert!((f - 35.67).abs() < 0.01);
     }

@@ -1,0 +1,480 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde stand-in.
+//!
+//! The offline build environment has no `syn`/`quote`, so this crate
+//! parses the derive input token stream by hand. It supports the type
+//! shapes used in this workspace: non-generic structs (named, tuple,
+//! unit) and non-generic enums (unit, tuple and struct variants, with
+//! optional explicit discriminants), plus the field attributes
+//! `#[serde(skip)]`, `#[serde(default)]` and
+//! `#[serde(skip, default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttr {
+    skip: bool,
+    /// `Some("")` means `Default::default()`; `Some(path)` calls `path()`.
+    default: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    attr: FieldAttr,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("derive expects a struct or enum, found `{other}`"),
+    }
+}
+
+/// Skips attributes; returns the serde attribute content if one appeared.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttr {
+    let mut attr = FieldAttr::default();
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                parse_possible_serde_attr(g.stream(), &mut attr);
+                *i += 2;
+            }
+            _ => return attr,
+        }
+    }
+}
+
+fn parse_possible_serde_attr(content: TokenStream, attr: &mut FieldAttr) {
+    let tokens: Vec<TokenTree> = content.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                match &inner[j] {
+                    TokenTree::Ident(word) => match word.to_string().as_str() {
+                        "skip" => attr.skip = true,
+                        "default" => {
+                            if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(path))) =
+                                (inner.get(j + 1), inner.get(j + 2))
+                            {
+                                if eq.as_char() == '=' {
+                                    let raw = path.to_string();
+                                    attr.default = Some(raw.trim_matches('"').to_string());
+                                    j += 2;
+                                }
+                            } else {
+                                attr.default = Some(String::new());
+                            }
+                        }
+                        other => panic!("unsupported serde attribute `{other}`"),
+                    },
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => panic!("unsupported serde attribute token {other:?}"),
+                }
+                j += 1;
+            }
+        }
+        _ => {}
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Consumes type tokens until a top-level comma (angle brackets tracked).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attr = skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        // Now at a top-level comma or the end.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, attr });
+    }
+    Fields::Named(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Each tuple field may carry attributes and a visibility.
+        let attr = skip_attrs(&tokens, &mut i);
+        if attr.skip {
+            panic!("#[serde(skip)] on tuple fields is not supported");
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())
+            }
+            _ => Fields::Unit,
+        };
+        // Optional explicit discriminant: `= expr` up to the next comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                if f.attr.skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "__m.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let mut s = String::from("let __m = __v.as_map()?;\n");
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&named_field_init(name, f));
+            }
+            s.push_str("})");
+            s
+        }
+        Fields::Tuple(n) => {
+            let mut s = String::from("let __s = __v.as_seq()?;\n");
+            s.push_str(&format!(
+                "if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n"
+            ));
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                .collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            ));
+            s
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_field_init(ty: &str, f: &Field) -> String {
+    let fallback = match (&f.attr.default, f.attr.skip) {
+        (Some(path), _) if !path.is_empty() => format!("{path}()"),
+        (Some(_), _) | (None, true) => "::std::default::Default::default()".to_string(),
+        (None, false) => String::new(),
+    };
+    if f.attr.skip {
+        return format!("{}: {fallback},\n", f.name);
+    }
+    let missing = if fallback.is_empty() {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::missing_field(\"{ty}\", \"{}\"))",
+            f.name
+        )
+    } else {
+        fallback
+    };
+    format!(
+        "{0}: match ::serde::map_get(__m, \"{0}\") {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {missing},\n}},\n",
+        f.name
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![(\
+                     \"{vn}\".to_string(), ::serde::Value::Seq(::std::vec![{items}]))]),\n",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                     \"{vn}\".to_string(), ::serde::Value::Map(::std::vec![{items}]))]),\n",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\nlet __s = __payload.as_seq()?;\n\
+                     if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                     return ::std::result::Result::Ok({name}::{vn}({items}));\n}}\n",
+                    items = items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&named_field_init(&format!("{name}::{vn}"), f));
+                }
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\nlet __m = __payload.as_map()?;\n\
+                     return ::std::result::Result::Ok({name}::{vn} {{\n{inits}}});\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         if let ::serde::Value::Str(__s) = __v {{\n\
+         match __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+         if let ::serde::Value::Map(__entries) = __v {{\n\
+         if __entries.len() == 1 {{\n\
+         let (__tag, __payload) = &__entries[0];\n\
+         match __tag.as_str() {{\n{payload_arms}_ => {{}}\n}}\n}}\n}}\n\
+         ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"no variant of {name} matches {{:?}}\", __v)))\n\
+         }}\n}}\n"
+    )
+}

@@ -40,7 +40,11 @@ fn lower(instr: InstrClass, next_addr: &mut u64) -> MicroOp {
 /// Lowers a genome to its micro-op loop body.
 pub fn lower_genome(genome: &VirusGenome) -> Vec<MicroOp> {
     let mut next_addr = 0u64;
-    genome.slots().iter().map(|i| lower(*i, &mut next_addr)).collect()
+    genome
+        .slots()
+        .iter()
+        .map(|i| lower(*i, &mut next_addr))
+        .collect()
 }
 
 /// Executes a genome on `core` and returns the execution report.
@@ -70,8 +74,7 @@ pub fn measured_profile(
         InstrClass::SimdFma.current_amps(),
     );
     // Recover the resonance alignment from the executed waveform.
-    let period_s =
-        report.current_trace.len() as f64 / crate::isa::CORE_CLOCK_HZ;
+    let period_s = report.current_trace.len() as f64 / crate::isa::CORE_CLOCK_HZ;
     if report.current_trace.is_empty() || period_s <= 0.0 {
         return base;
     }
@@ -79,10 +82,16 @@ pub fn measured_profile(
     let f0 = pdn.resonant_frequency_hz();
     let bw = f0 / 3.0;
     let total: f64 = spec.iter().map(|(_, a)| a).sum();
-    let in_band: f64 =
-        spec.iter().filter(|(f, _)| (f - f0).abs() < bw).map(|(_, a)| a).sum();
-    let alignment =
-        if total <= 1e-12 { 0.0 } else { ((in_band / total) / 0.55).clamp(0.0, 1.0) };
+    let in_band: f64 = spec
+        .iter()
+        .filter(|(f, _)| (f - f0).abs() < bw)
+        .map(|(_, a)| a)
+        .sum();
+    let alignment = if total <= 1e-12 {
+        0.0
+    } else {
+        ((in_band / total) / 0.55).clamp(0.0, 1.0)
+    };
     WorkloadProfile::builder(name)
         .activity(base.activity())
         .swing(base.swing())
@@ -112,7 +121,11 @@ mod tests {
     fn evolved_virus_measures_resonant_on_the_pipeline() {
         let pdn = PdnModel::xgene2();
         let mut probe = EmProbe::new(pdn, 5);
-        let config = GaConfig { population: 24, generations: 30, ..GaConfig::dsn18() };
+        let config = GaConfig {
+            population: 24,
+            generations: 30,
+            ..GaConfig::dsn18()
+        };
         let result = evolve(&config, &mut probe);
         let mut h = CacheHierarchy::xgene2();
         let profile = measured_profile("em-virus", &result.champion, &mut h, &pdn);

@@ -75,8 +75,7 @@ pub fn genome_profile(name: &str, genome: &VirusGenome, pdn: &PdnModel) -> Workl
     let (trace, period) = genome.current_trace();
     let max_draw = InstrClass::SimdFma.current_amps();
     let min_draw = InstrClass::Nop.current_amps();
-    let activity =
-        ((genome.mean_current() - min_draw) / (max_draw - min_draw)).clamp(0.0, 1.0);
+    let activity = ((genome.mean_current() - min_draw) / (max_draw - min_draw)).clamp(0.0, 1.0);
     let swing = (genome.current_swing() / (max_draw - min_draw)).clamp(0.0, 1.0);
 
     // Resonance alignment: fraction of the waveform's harmonic content
@@ -124,7 +123,10 @@ pub fn genome_profile(name: &str, genome: &VirusGenome, pdn: &PdnModel) -> Workl
 /// ```
 pub fn evolve(config: &GaConfig, probe: &mut EmProbe) -> EvolutionResult {
     assert!(config.population >= 2, "population must be at least 2");
-    assert!(config.elites < config.population, "elites must leave room for offspring");
+    assert!(
+        config.elites < config.population,
+        "elites must leave room for offspring"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut population: Vec<VirusGenome> = (0..config.population)
         .map(|_| random_genome(&mut rng, config.genome_slots))
@@ -147,8 +149,11 @@ pub fn evolve(config: &GaConfig, probe: &mut EmProbe) -> EvolutionResult {
         best_per_generation.push(scored[0].0);
 
         // Elites survive unchanged.
-        let mut next: Vec<VirusGenome> =
-            scored.iter().take(config.elites).map(|(_, g)| g.clone()).collect();
+        let mut next: Vec<VirusGenome> = scored
+            .iter()
+            .take(config.elites)
+            .map(|(_, g)| g.clone())
+            .collect();
         // Offspring by tournament selection + crossover + mutation.
         while next.len() < config.population {
             let a = tournament(&scored, config.tournament, &mut rng);
@@ -160,7 +165,11 @@ pub fn evolve(config: &GaConfig, probe: &mut EmProbe) -> EvolutionResult {
         population = next;
     }
 
-    EvolutionResult { champion, champion_fitness, best_per_generation }
+    EvolutionResult {
+        champion,
+        champion_fitness,
+        best_per_generation,
+    }
 }
 
 /// EM-amplitude fitness of one genome.
@@ -177,11 +186,7 @@ fn random_genome(rng: &mut StdRng, slots: usize) -> VirusGenome {
     )
 }
 
-fn tournament<'a>(
-    scored: &'a [(f64, VirusGenome)],
-    k: usize,
-    rng: &mut StdRng,
-) -> &'a VirusGenome {
+fn tournament<'a>(scored: &'a [(f64, VirusGenome)], k: usize, rng: &mut StdRng) -> &'a VirusGenome {
     let mut best: Option<&(f64, VirusGenome)> = None;
     for _ in 0..k.max(1) {
         let cand = &scored[rng.gen_range(0..scored.len())];

@@ -168,7 +168,12 @@ impl VirusGenome {
 
 impl fmt::Display for VirusGenome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "loop[{} slots, {} cycles]", self.slots.len(), self.cycles())
+        write!(
+            f,
+            "loop[{} slots, {} cycles]",
+            self.slots.len(),
+            self.cycles()
+        )
     }
 }
 
@@ -185,7 +190,11 @@ mod tests {
 
     #[test]
     fn trace_length_matches_cycles() {
-        let g = VirusGenome::new(vec![InstrClass::IntMul, InstrClass::Nop, InstrClass::SimdFma]);
+        let g = VirusGenome::new(vec![
+            InstrClass::IntMul,
+            InstrClass::Nop,
+            InstrClass::SimdFma,
+        ]);
         let (trace, period) = g.current_trace();
         assert_eq!(trace.len(), 8); // 3 + 1 + 4 cycles
         assert!((period - 8.0 / CORE_CLOCK_HZ).abs() < 1e-18);

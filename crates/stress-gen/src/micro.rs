@@ -149,7 +149,11 @@ mod tests {
         for a in &stream {
             l1.access(*a);
         }
-        assert!(l1.stats().miss_ratio() > 0.95, "L1 miss {}", l1.stats().miss_ratio());
+        assert!(
+            l1.stats().miss_ratio() > 0.95,
+            "L1 miss {}",
+            l1.stats().miss_ratio()
+        );
     }
 
     #[test]
@@ -185,7 +189,8 @@ mod tests {
         let chip = ChipProfile::corner(SigmaBin::Ttt);
         let core = chip.most_robust_core();
         let vmin = |v: &MicroVirus| {
-            chip.vmin(core, &v.profile(), Megahertz::XGENE2_NOMINAL).as_u32()
+            chip.vmin(core, &v.profile(), Megahertz::XGENE2_NOMINAL)
+                .as_u32()
         };
         let l1 = vmin(&MicroVirus::cache(CacheLevel::L1D));
         let l2 = vmin(&MicroVirus::cache(CacheLevel::L2));

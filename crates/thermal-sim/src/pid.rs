@@ -18,7 +18,11 @@ impl PidGains {
     /// Gains tuned for the DIMM-adapter plant (τ = 480 s, gain 60 K/duty):
     /// fast approach with no overshoot beyond the ±1 °C regulation band.
     pub fn dimm_adapter() -> Self {
-        PidGains { kp: 0.25, ki: 0.004, kd: 0.8 }
+        PidGains {
+            kp: 0.25,
+            ki: 0.004,
+            kd: 0.8,
+        }
     }
 }
 
@@ -48,7 +52,11 @@ pub struct Pid {
 impl Pid {
     /// Creates a controller with the given gains.
     pub fn new(gains: PidGains) -> Self {
-        Pid { gains, integral: 0.0, last_error: None }
+        Pid {
+            gains,
+            integral: 0.0,
+            last_error: None,
+        }
     }
 
     /// Computes the duty-cycle command for one control period.
@@ -66,9 +74,8 @@ impl Pid {
         self.last_error = Some(error);
 
         let tentative_integral = self.integral + error * dt;
-        let unsat = self.gains.kp * error
-            + self.gains.ki * tentative_integral
-            + self.gains.kd * derivative;
+        let unsat =
+            self.gains.kp * error + self.gains.ki * tentative_integral + self.gains.kd * derivative;
         let saturated = unsat.clamp(0.0, 1.0);
         // Anti-windup: only integrate when not pushing further into a limit.
         let winding_up = (unsat > 1.0 && error > 0.0) || (unsat < 0.0 && error < 0.0);

@@ -42,8 +42,14 @@ impl ThermalPlant {
     ///
     /// Panics if `r_th` or `capacity` is not strictly positive.
     pub fn new(ambient: Celsius, r_th: f64, capacity: f64) -> Self {
-        assert!(r_th > 0.0 && r_th.is_finite(), "thermal resistance must be positive");
-        assert!(capacity > 0.0 && capacity.is_finite(), "heat capacity must be positive");
+        assert!(
+            r_th > 0.0 && r_th.is_finite(),
+            "thermal resistance must be positive"
+        );
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "heat capacity must be positive"
+        );
         ThermalPlant {
             temperature: ambient,
             ambient,
@@ -100,8 +106,7 @@ impl ThermalPlant {
     /// The heater power needed to hold `target` at steady state (clamped at
     /// zero: the testbed can only heat, not cool below ambient).
     pub fn power_for(&self, target: Celsius) -> Watts {
-        let p = (target.as_f64() - self.ambient.as_f64()) / self.r_th
-            - self.self_heating.as_f64();
+        let p = (target.as_f64() - self.ambient.as_f64()) / self.r_th - self.self_heating.as_f64();
         Watts::new(p.max(0.0))
     }
 }

@@ -46,18 +46,32 @@ impl SolidStateRelay {
     /// Panics if the window is not positive or the minimum interval is
     /// negative or exceeds the window.
     pub fn new(window: f64, min_interval: f64) -> Self {
-        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive"
+        );
         assert!(
             (0.0..=window).contains(&min_interval),
             "min interval must be within [0, window]"
         );
-        SolidStateRelay { window, min_interval, duty: 0.0, phase: 0.0, switch_count: 0, is_on: false }
+        SolidStateRelay {
+            window,
+            min_interval,
+            duty: 0.0,
+            phase: 0.0,
+            switch_count: 0,
+            is_on: false,
+        }
     }
 
     /// Sets the commanded duty cycle, clamped to `[0, 1]` and quantized to
     /// the minimum switching interval.
     pub fn set_duty(&mut self, duty: f64) {
-        let clamped = if duty.is_finite() { duty.clamp(0.0, 1.0) } else { 0.0 };
+        let clamped = if duty.is_finite() {
+            duty.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         self.duty = if self.min_interval > 0.0 {
             let q = self.min_interval / self.window;
             (clamped / q).round() * q

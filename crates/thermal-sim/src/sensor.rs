@@ -20,6 +20,34 @@ pub enum SensorKind {
     Spd,
 }
 
+/// Fault behavior of a flaky sensor: per-reading probabilities of the two
+/// failure modes the framework actually sees on long campaigns — a reading
+/// that sticks at the previous value (I2C transaction returns stale data)
+/// and a dropout (the transaction fails outright).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorFaultModel {
+    /// Probability a reading repeats the previous value.
+    pub stuck_rate: f64,
+    /// Probability a reading is lost entirely.
+    pub dropout_rate: f64,
+}
+
+impl SensorFaultModel {
+    /// Creates a fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn new(stuck_rate: f64, dropout_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&stuck_rate), "rate must be in [0,1]");
+        assert!((0.0..=1.0).contains(&dropout_rate), "rate must be in [0,1]");
+        SensorFaultModel {
+            stuck_rate,
+            dropout_rate,
+        }
+    }
+}
+
 /// A noisy, possibly quantized temperature sensor.
 ///
 /// # Examples
@@ -44,6 +72,9 @@ pub struct TemperatureSensor {
     /// First-order lag coefficient in `[0,1)`: 0 = instantaneous.
     lag: f64,
     filtered: Option<f64>,
+    /// Injected fault behavior; `None` (the default) is a healthy sensor.
+    #[serde(default)]
+    faults: Option<SensorFaultModel>,
     #[serde(skip, default = "default_rng")]
     rng: StdRng,
 }
@@ -59,7 +90,14 @@ impl TemperatureSensor {
     ///
     /// Panics if `noise_sigma` or `quantization` is negative, or `lag` is
     /// outside `[0, 1)`.
-    pub fn new(kind: SensorKind, noise_sigma: f64, quantization: f64, offset: f64, lag: f64, seed: u64) -> Self {
+    pub fn new(
+        kind: SensorKind,
+        noise_sigma: f64,
+        quantization: f64,
+        offset: f64,
+        lag: f64,
+        seed: u64,
+    ) -> Self {
         assert!(noise_sigma >= 0.0, "noise sigma must be non-negative");
         assert!(quantization >= 0.0, "quantization must be non-negative");
         assert!((0.0..1.0).contains(&lag), "lag must be in [0,1)");
@@ -70,8 +108,16 @@ impl TemperatureSensor {
             offset,
             lag,
             filtered: None,
+            faults: None,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Injects fault behavior (pass `None` to heal the sensor). A healthy
+    /// sensor takes no fault draws, so injection never perturbs the noise
+    /// stream of other sensors.
+    pub fn inject_faults(&mut self, faults: Option<SensorFaultModel>) {
+        self.faults = faults;
     }
 
     /// A K-type thermocouple on the adapter: ±0.1 K noise, no quantization,
@@ -89,6 +135,31 @@ impl TemperatureSensor {
     /// Sensor identity.
     pub fn kind(&self) -> SensorKind {
         self.kind
+    }
+
+    /// Samples the sensor, surfacing injected faults: `None` on a dropout,
+    /// and a repeat of the previous reading (filter state untouched) when
+    /// the reading sticks. A healthy sensor behaves exactly like
+    /// [`Self::read`].
+    pub fn try_read(&mut self, truth: Celsius) -> Option<Celsius> {
+        if let Some(faults) = self.faults {
+            let dropout_roll: f64 = self.rng.gen();
+            let stuck_roll: f64 = self.rng.gen();
+            if dropout_roll < faults.dropout_rate {
+                return None;
+            }
+            if stuck_roll < faults.stuck_rate {
+                if let Some(prev) = self.filtered {
+                    // Report the stale value without advancing the filter.
+                    let mut v = prev;
+                    if self.quantization > 0.0 {
+                        v = (v / self.quantization).round() * self.quantization;
+                    }
+                    return Some(Celsius::new(v));
+                }
+            }
+        }
+        Some(self.read(truth))
     }
 
     /// Samples the sensor given the true plant temperature.
@@ -161,11 +232,57 @@ mod tests {
     }
 
     #[test]
+    fn healthy_try_read_matches_read() {
+        let mut a = TemperatureSensor::spd(7);
+        let mut b = TemperatureSensor::spd(7);
+        for _ in 0..50 {
+            assert_eq!(
+                a.try_read(Celsius::new(48.0)),
+                Some(b.read(Celsius::new(48.0)))
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_sensor_drops_out_and_sticks() {
+        let mut s = TemperatureSensor::thermocouple(5);
+        s.read(Celsius::new(30.0)); // establish a previous value
+        s.inject_faults(Some(SensorFaultModel::new(0.3, 0.3)));
+        let mut dropouts = 0;
+        let mut stuck = 0;
+        let mut prev = None;
+        for _ in 0..500 {
+            match s.try_read(Celsius::new(30.0)) {
+                None => dropouts += 1,
+                Some(r) => {
+                    if prev == Some(r) {
+                        stuck += 1;
+                    }
+                    prev = Some(r);
+                }
+            }
+        }
+        assert!(dropouts > 50, "dropouts {dropouts}");
+        assert!(stuck > 20, "stuck repeats {stuck}");
+    }
+
+    #[test]
+    fn zero_rate_fault_model_is_harmless() {
+        let mut s = TemperatureSensor::thermocouple(9);
+        s.inject_faults(Some(SensorFaultModel::new(0.0, 0.0)));
+        for _ in 0..100 {
+            assert!(s.try_read(Celsius::new(40.0)).is_some());
+        }
+    }
+
+    #[test]
     fn noise_is_unbiased() {
         let mut s = TemperatureSensor::thermocouple(123);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| s.read(Celsius::new(50.0)).as_f64() - 50.0).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| s.read(Celsius::new(50.0)).as_f64() - 50.0)
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.01, "bias {mean}");
     }
 }

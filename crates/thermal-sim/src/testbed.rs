@@ -9,7 +9,7 @@
 use crate::pid::{Pid, PidGains};
 use crate::plant::ThermalPlant;
 use crate::relay::SolidStateRelay;
-use crate::sensor::TemperatureSensor;
+use crate::sensor::{SensorFaultModel, TemperatureSensor};
 use power_model::units::{Celsius, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -73,9 +73,12 @@ impl HeaterChannel {
 
     fn step(&mut self, heater_max: Watts, dt: f64) {
         if let Some(target) = self.target {
-            let measured = self.thermocouple.read(self.plant.temperature());
-            let duty = self.pid.update(target.as_f64(), measured.as_f64(), dt);
-            self.relay.set_duty(duty);
+            // On a sensor dropout the controller holds its previous duty
+            // for one period rather than acting on garbage.
+            if let Some(measured) = self.thermocouple.try_read(self.plant.temperature()) {
+                let duty = self.pid.update(target.as_f64(), measured.as_f64(), dt);
+                self.relay.set_duty(duty);
+            }
         } else {
             self.relay.set_duty(0.0);
         }
@@ -92,10 +95,10 @@ pub struct ChannelReading {
     pub channel: ChannelId,
     /// True plant temperature.
     pub actual: Celsius,
-    /// Thermocouple reading.
-    pub thermocouple: Celsius,
-    /// SPD sensor reading.
-    pub spd: Celsius,
+    /// Thermocouple reading (`None` on a dropout).
+    pub thermocouple: Option<Celsius>,
+    /// SPD sensor reading (`None` on a dropout).
+    pub spd: Option<Celsius>,
     /// Commanded set point, if any.
     pub target: Option<Celsius>,
 }
@@ -130,7 +133,12 @@ impl ThermalTestbed {
         let channels = (0..CHANNEL_COUNT as u64)
             .map(|i| HeaterChannel::new(ambient, seed.wrapping_mul(2654435761).wrapping_add(i)))
             .collect();
-        ThermalTestbed { channels, heater_max: Watts::new(15.0), dt: 0.5, elapsed: 0.0 }
+        ThermalTestbed {
+            channels,
+            heater_max: Watts::new(15.0),
+            dt: 0.5,
+            elapsed: 0.0,
+        }
     }
 
     /// Sets the target temperature of one channel.
@@ -157,6 +165,15 @@ impl ThermalTestbed {
     /// Injects per-channel self-heating from memory traffic.
     pub fn set_self_heating(&mut self, channel: ChannelId, power: Watts) {
         self.channels[channel.index()].plant.set_self_heating(power);
+    }
+
+    /// Injects the same fault behavior into every sensor on the bed
+    /// (`None` heals them all).
+    pub fn inject_sensor_faults(&mut self, faults: Option<SensorFaultModel>) {
+        for ch in &mut self.channels {
+            ch.thermocouple.inject_faults(faults);
+            ch.spd.inject_faults(faults);
+        }
     }
 
     /// Advances the testbed by `seconds` of simulated time.
@@ -196,8 +213,8 @@ impl ThermalTestbed {
             out.push(ChannelReading {
                 channel: id,
                 actual: truth,
-                thermocouple: ch.thermocouple.read(truth),
-                spd: ch.spd.read(truth),
+                thermocouple: ch.thermocouple.try_read(truth),
+                spd: ch.spd.try_read(truth),
                 target: ch.target,
             });
         }
@@ -276,6 +293,36 @@ mod tests {
         assert_eq!(r.len(), CHANNEL_COUNT);
         assert_eq!(r[0].channel, ChannelId::new(0, 0));
         assert_eq!(r[7].channel, ChannelId::new(3, 1));
+    }
+
+    #[test]
+    fn regulation_survives_flaky_sensors() {
+        let mut bed = ThermalTestbed::new(Celsius::new(25.0), 7);
+        bed.inject_sensor_faults(Some(SensorFaultModel::new(0.05, 0.05)));
+        bed.set_all_targets(Celsius::new(60.0));
+        bed.run(3600.0);
+        let dev = bed.max_deviation_over(900.0);
+        assert!(dev < 1.5, "deviation with flaky sensors {dev} °C");
+        // Healing the sensors restores the paper-grade regulation bound.
+        bed.inject_sensor_faults(None);
+        bed.run(600.0);
+        let healed = bed.max_deviation_over(900.0);
+        assert!(healed < 1.0, "deviation after healing {healed} °C");
+    }
+
+    #[test]
+    fn faulty_bed_reports_dropouts_in_readings() {
+        let mut bed = ThermalTestbed::new(Celsius::new(25.0), 11);
+        bed.inject_sensor_faults(Some(SensorFaultModel::new(0.0, 1.0)));
+        let r = bed.readings();
+        assert!(r
+            .iter()
+            .all(|c| c.thermocouple.is_none() && c.spd.is_none()));
+        bed.inject_sensor_faults(None);
+        let r = bed.readings();
+        assert!(r
+            .iter()
+            .all(|c| c.thermocouple.is_some() && c.spd.is_some()));
     }
 
     #[test]

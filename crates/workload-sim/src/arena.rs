@@ -25,7 +25,10 @@ pub fn interleave(linear: u64) -> WordAddr {
     let rest = rest / 8;
     let col = (rest % COLS_PER_ROW as u64) as u16;
     let row = rest / COLS_PER_ROW as u64;
-    assert!(row < ROWS_PER_BANK as u64, "linear index out of array range");
+    assert!(
+        row < ROWS_PER_BANK as u64,
+        "linear index out of array range"
+    );
     WordAddr::new(rank, bank, row as u32, col)
 }
 
@@ -91,7 +94,12 @@ impl<'a> DramArena<'a> {
         if len > 0 {
             let _ = interleave(base + len as u64 - 1);
         }
-        DramArena { dram, base, data: vec![0; len], stats: ArenaStats::default() }
+        DramArena {
+            dram,
+            base,
+            data: vec![0; len],
+            stats: ArenaStats::default(),
+        }
     }
 
     /// Number of words in the arena.
@@ -121,7 +129,8 @@ impl<'a> DramArena<'a> {
     /// Panics if `index` is out of bounds.
     pub fn write(&mut self, index: usize, value: u64) {
         self.data[index] = value;
-        self.dram.write_external(interleave(self.base + index as u64));
+        self.dram
+            .write_external(interleave(self.base + index as u64));
         self.stats.writes += 1;
     }
 
@@ -134,7 +143,9 @@ impl<'a> DramArena<'a> {
     /// Panics if `index` is out of bounds.
     pub fn read(&mut self, index: usize) -> u64 {
         let stored = self.data[index];
-        let out = self.dram.read_external(interleave(self.base + index as u64), stored);
+        let out = self
+            .dram
+            .read_external(interleave(self.base + index as u64), stored);
         self.stats.reads += 1;
         self.stats.flipped_bits += out.flipped_bits.len() as u64;
         match out.decode {

@@ -44,17 +44,17 @@ pub fn run_round(dram: &mut DramArray, pattern: DataPattern, wait_factor: f64) -
     dram.advance(dram.trefp().as_f64() * wait_factor);
     let report = dram.scrub();
     let ber = report.ber(DATA_BYTES * 8);
-    DpBenchRound { pattern, report, ber }
+    DpBenchRound {
+        pattern,
+        report,
+        ber,
+    }
 }
 
 /// Runs a multi-round campaign with the paper's methodology: the four
 /// standard patterns, with the random pattern re-seeded `random_rounds`
 /// times to cover both cell polarities.
-pub fn run_campaign(
-    dram: &mut DramArray,
-    random_rounds: u64,
-    wait_factor: f64,
-) -> DpBenchCampaign {
+pub fn run_campaign(dram: &mut DramArray, random_rounds: u64, wait_factor: f64) -> DpBenchCampaign {
     dram.clear_error_log();
     let mut rounds = Vec::new();
     for pattern in [
@@ -110,9 +110,7 @@ mod tests {
     fn campaign_reproduces_table1_at_60c() {
         let mut d = dram(60.0, 11);
         let campaign = run_campaign(&mut d, 6, 1.5);
-        for (b, (got, expect)) in
-            campaign.unique_per_bank.iter().zip(TABLE1_60C).enumerate()
-        {
+        for (b, (got, expect)) in campaign.unique_per_bank.iter().zip(TABLE1_60C).enumerate() {
             let rel = (*got as f64 - expect).abs() / expect;
             assert!(rel < 0.12, "bank {b}: {got} vs paper {expect}");
         }

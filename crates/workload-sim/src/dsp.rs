@@ -20,7 +20,10 @@ impl Complex {
 
     /// `e^{iθ}`.
     pub fn from_angle(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Squared magnitude.
@@ -41,11 +44,17 @@ impl Complex {
     }
 
     fn add(self, other: Complex) -> Complex {
-        Complex { re: self.re + other.re, im: self.im + other.im }
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 
     fn sub(self, other: Complex) -> Complex {
-        Complex { re: self.re - other.re, im: self.im - other.im }
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 }
 
@@ -56,7 +65,10 @@ impl Complex {
 /// Panics if the length is not a power of two.
 pub fn fft(buf: &mut [Complex]) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -103,7 +115,10 @@ pub fn power_spectrum(samples: &[f64]) -> Vec<f64> {
         })
         .collect();
     fft(&mut buf);
-    buf[..n / 2].iter().map(|c| c.norm_sq() / (n as f64)).collect()
+    buf[..n / 2]
+        .iter()
+        .map(|c| c.norm_sq() / (n as f64))
+        .collect()
 }
 
 #[cfg(test)]

@@ -94,8 +94,11 @@ impl JammerReport {
         if bursts == 0 {
             return 1.0;
         }
-        let found: usize =
-            self.instances.iter().map(|i| i.detected_in_time + i.detected_late).sum();
+        let found: usize = self
+            .instances
+            .iter()
+            .map(|i| i.detected_in_time + i.detected_late)
+            .sum();
         found as f64 / bursts as f64
     }
 }
@@ -181,10 +184,7 @@ pub fn run_instance(config: &JammerConfig, instance_id: u64) -> InstanceReport {
             .map(|i| {
                 let noise: f64 = rng.gen::<f64>() * 2.0 - 1.0;
                 let jam = if in_burst {
-                    3.0 * (2.0 * std::f64::consts::PI
-                        * jam_bin as f64
-                        * i as f64
-                        / BLOCK as f64)
+                    3.0 * (2.0 * std::f64::consts::PI * jam_bin as f64 * i as f64 / BLOCK as f64)
                         .sin()
                 } else {
                     0.0
@@ -243,7 +243,11 @@ mod tests {
     fn detects_all_bursts_within_qos() {
         let report = run(&JammerConfig::dsn18());
         assert_eq!(report.instances.len(), 4);
-        assert!(report.detection_rate() > 0.99, "rate {}", report.detection_rate());
+        assert!(
+            report.detection_rate() > 0.99,
+            "rate {}",
+            report.detection_rate()
+        );
         assert!(report.qos_met(), "{:#?}", report.instances);
     }
 
@@ -251,7 +255,11 @@ mod tests {
     fn latency_is_prompt() {
         let r = run_instance(&JammerConfig::dsn18(), 0);
         assert!(r.bursts >= 8, "bursts {}", r.bursts);
-        assert!(r.mean_latency_blocks <= 1.0, "latency {}", r.mean_latency_blocks);
+        assert!(
+            r.mean_latency_blocks <= 1.0,
+            "latency {}",
+            r.mean_latency_blocks
+        );
     }
 
     #[test]

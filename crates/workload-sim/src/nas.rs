@@ -31,14 +31,54 @@ impl NasBenchmark {
 
 /// The NAS kernels used in the Fig. 6 comparison.
 pub const NAS_SUITE: [NasBenchmark; 8] = [
-    NasBenchmark { name: "is", droop_score: 0.24, memory_intensity: 0.80, ipc: 0.55 },
-    NasBenchmark { name: "cg", droop_score: 0.30, memory_intensity: 0.75, ipc: 0.65 },
-    NasBenchmark { name: "mg", droop_score: 0.42, memory_intensity: 0.70, ipc: 0.95 },
-    NasBenchmark { name: "ft", droop_score: 0.50, memory_intensity: 0.65, ipc: 1.05 },
-    NasBenchmark { name: "sp", droop_score: 0.55, memory_intensity: 0.50, ipc: 1.15 },
-    NasBenchmark { name: "bt", droop_score: 0.60, memory_intensity: 0.45, ipc: 1.25 },
-    NasBenchmark { name: "lu", droop_score: 0.63, memory_intensity: 0.40, ipc: 1.30 },
-    NasBenchmark { name: "ep", droop_score: 0.68, memory_intensity: 0.05, ipc: 1.75 },
+    NasBenchmark {
+        name: "is",
+        droop_score: 0.24,
+        memory_intensity: 0.80,
+        ipc: 0.55,
+    },
+    NasBenchmark {
+        name: "cg",
+        droop_score: 0.30,
+        memory_intensity: 0.75,
+        ipc: 0.65,
+    },
+    NasBenchmark {
+        name: "mg",
+        droop_score: 0.42,
+        memory_intensity: 0.70,
+        ipc: 0.95,
+    },
+    NasBenchmark {
+        name: "ft",
+        droop_score: 0.50,
+        memory_intensity: 0.65,
+        ipc: 1.05,
+    },
+    NasBenchmark {
+        name: "sp",
+        droop_score: 0.55,
+        memory_intensity: 0.50,
+        ipc: 1.15,
+    },
+    NasBenchmark {
+        name: "bt",
+        droop_score: 0.60,
+        memory_intensity: 0.45,
+        ipc: 1.25,
+    },
+    NasBenchmark {
+        name: "lu",
+        droop_score: 0.63,
+        memory_intensity: 0.40,
+        ipc: 1.30,
+    },
+    NasBenchmark {
+        name: "ep",
+        droop_score: 0.68,
+        memory_intensity: 0.05,
+        ipc: 1.75,
+    },
 ];
 
 #[cfg(test)]
@@ -76,7 +116,9 @@ mod tests {
         let ttt = ChipProfile::corner(SigmaBin::Ttt);
         let core = ttt.most_robust_core();
         for kernel in &NAS_SUITE {
-            let v = ttt.vmin(core, &kernel.profile(), Megahertz::XGENE2_NOMINAL).as_u32();
+            let v = ttt
+                .vmin(core, &kernel.profile(), Megahertz::XGENE2_NOMINAL)
+                .as_u32();
             assert!((855..=890).contains(&v), "{} Vmin {v}", kernel.name);
         }
     }

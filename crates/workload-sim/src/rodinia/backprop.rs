@@ -134,7 +134,12 @@ mod tests {
     fn training_reduces_error() {
         // Train, then check the network classifies better than chance on
         // its own training set (re-running forward passes on host memory).
-        let cfg = KernelConfig { scale: 4, iterations: 20, seed: 5, runtime_ms: 10.0 };
+        let cfg = KernelConfig {
+            scale: 4,
+            iterations: 20,
+            seed: 5,
+            runtime_ms: 10.0,
+        };
         let k = Backprop;
         let mut m = HostMemory::new(k.footprint_words(&cfg));
         let _ = k.run(&mut m, &cfg);
@@ -171,7 +176,12 @@ mod tests {
 
     #[test]
     fn dram_backed_training_matches_golden() {
-        let cfg = KernelConfig { scale: 64, iterations: 4, seed: 6, runtime_ms: 4500.0 };
+        let cfg = KernelConfig {
+            scale: 64,
+            iterations: 4,
+            seed: 6,
+            runtime_ms: 4500.0,
+        };
         let mut dram = relaxed_dram(41);
         let report = Backprop.characterize(&mut dram, &cfg);
         assert!(report.is_correct(), "backprop diverged from golden");

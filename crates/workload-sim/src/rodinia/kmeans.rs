@@ -76,8 +76,7 @@ impl RodiniaKernel for Kmeans {
                 let mut best = 0usize;
                 let mut best_dist = f64::INFINITY;
                 for (k, c) in centroids.iter().enumerate() {
-                    let dist: f64 =
-                        p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let dist: f64 = p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
                     if dist < best_dist {
                         best_dist = dist;
                         best = k;
@@ -122,11 +121,19 @@ mod tests {
 
     #[test]
     fn converges_to_stable_assignments() {
-        let cfg = KernelConfig { scale: 2, iterations: 40, seed: 1, runtime_ms: 10.0 };
+        let cfg = KernelConfig {
+            scale: 2,
+            iterations: 40,
+            seed: 1,
+            runtime_ms: 10.0,
+        };
         let k = Kmeans;
         let mut a = HostMemory::new(k.footprint_words(&cfg));
         let long = k.run(&mut a, &cfg);
-        let cfg2 = KernelConfig { iterations: 41, ..cfg };
+        let cfg2 = KernelConfig {
+            iterations: 41,
+            ..cfg
+        };
         let mut b = HostMemory::new(k.footprint_words(&cfg2));
         let longer = k.run(&mut b, &cfg2);
         assert_eq!(long, longer, "assignments converged before iteration 12");
@@ -137,7 +144,12 @@ mod tests {
         // With a multi-second run but per-round rescans, kmeans reads its
         // rows far more often than the relaxed refresh period, so inherent
         // refresh keeps corruption minimal even at 60 °C.
-        let cfg = KernelConfig { scale: 256, iterations: 10, seed: 2, runtime_ms: 4000.0 };
+        let cfg = KernelConfig {
+            scale: 256,
+            iterations: 10,
+            seed: 2,
+            runtime_ms: 4000.0,
+        };
         let mut dram = relaxed_dram(21);
         let report = Kmeans.characterize(&mut dram, &cfg);
         assert!(report.is_correct(), "kmeans output diverged");

@@ -55,7 +55,9 @@ pub struct HostMemory {
 impl HostMemory {
     /// Allocates `len` zeroed words.
     pub fn new(len: usize) -> Self {
-        HostMemory { words: vec![0; len] }
+        HostMemory {
+            words: vec![0; len],
+        }
     }
 }
 
@@ -98,12 +100,22 @@ impl KernelConfig {
     /// The default characterization-scale configuration: a multi-second
     /// run so rows experience gaps comparable to the relaxed TREFP.
     pub fn characterization() -> Self {
-        KernelConfig { scale: 256, iterations: 8, seed: 42, runtime_ms: 6000.0 }
+        KernelConfig {
+            scale: 256,
+            iterations: 8,
+            seed: 42,
+            runtime_ms: 6000.0,
+        }
     }
 
     /// A small smoke-test configuration.
     pub fn smoke() -> Self {
-        KernelConfig { scale: 32, iterations: 2, seed: 42, runtime_ms: 200.0 }
+        KernelConfig {
+            scale: 32,
+            iterations: 2,
+            seed: 42,
+            runtime_ms: 200.0,
+        }
     }
 }
 
@@ -262,8 +274,7 @@ pub(crate) mod test_support {
             PopulationSpec::dsn18(),
             seed,
         );
-        let mut d =
-            DramArray::new(pop, Milliseconds::DSN18_RELAXED_TREFP, Celsius::new(60.0));
+        let mut d = DramArray::new(pop, Milliseconds::DSN18_RELAXED_TREFP, Celsius::new(60.0));
         d.set_temperature(Celsius::new(60.0));
         d
     }

@@ -137,7 +137,12 @@ mod tests {
     fn identical_sequences_align_perfectly() {
         // With seq_b == seq_a the best score is 5·L (all matches).
         // Check via the internal scorer on a tiny custom run.
-        let cfg = KernelConfig { scale: 4, iterations: 1, seed: 3, runtime_ms: 1.0 };
+        let cfg = KernelConfig {
+            scale: 4,
+            iterations: 1,
+            seed: 3,
+            runtime_ms: 1.0,
+        };
         let k = NeedlemanWunsch;
         let mut m = HostMemory::new(k.footprint_words(&cfg));
         let _ = k.run(&mut m, &cfg);
@@ -152,7 +157,12 @@ mod tests {
 
     #[test]
     fn idle_matrix_accumulates_decay_but_ecc_holds() {
-        let cfg = KernelConfig { scale: 128, iterations: 1, seed: 4, runtime_ms: 5500.0 };
+        let cfg = KernelConfig {
+            scale: 128,
+            iterations: 1,
+            seed: 4,
+            runtime_ms: 5500.0,
+        };
         let mut dram = relaxed_dram(31);
         let report = NeedlemanWunsch.characterize(&mut dram, &cfg);
         // nw's long idle phase lets weak cells in its footprint decay; the

@@ -68,10 +68,9 @@ impl RodiniaKernel for Srad {
                     let sdown = mem.read_f64(img + (y + 1).min(s - 1) * s + x);
                     let w = mem.read_f64(img + y * s + x.saturating_sub(1));
                     let e = mem.read_f64(img + y * s + (x + 1).min(s - 1));
-                    let g2 = ((n - c).powi(2) + (sdown - c).powi(2)
-                        + (w - c).powi(2)
-                        + (e - c).powi(2))
-                        / (c * c).max(1e-12);
+                    let g2 =
+                        ((n - c).powi(2) + (sdown - c).powi(2) + (w - c).powi(2) + (e - c).powi(2))
+                            / (c * c).max(1e-12);
                     let l = (n + sdown + w + e - 4.0 * c) / c.max(1e-12);
                     let num = 0.5 * g2 - (l * l) / 16.0;
                     let den = (1.0 + l / 4.0).powi(2);
@@ -91,8 +90,7 @@ impl RodiniaKernel for Srad {
                     let v_s = mem.read_f64(img + (y + 1).min(s - 1) * s + x);
                     let v_w = mem.read_f64(img + y * s + x.saturating_sub(1));
                     let v_e = mem.read_f64(img + y * s + (x + 1).min(s - 1));
-                    let div = d_s * (v_s - c) + d_c * (v_n - c) + d_e * (v_e - c)
-                        + d_c * (v_w - c);
+                    let div = d_s * (v_s - c) + d_c * (v_n - c) + d_e * (v_e - c) + d_c * (v_w - c);
                     mem.write_f64(img + y * s + x, c + (LAMBDA / 4.0) * div);
                 }
             }
@@ -122,14 +120,22 @@ mod tests {
 
     #[test]
     fn diffusion_reduces_speckle_variance() {
-        let cfg = KernelConfig { scale: 16, iterations: 0, seed: 7, runtime_ms: 1.0 };
+        let cfg = KernelConfig {
+            scale: 16,
+            iterations: 0,
+            seed: 7,
+            runtime_ms: 1.0,
+        };
         let k = Srad;
         let mut before = HostMemory::new(k.footprint_words(&cfg));
         let _ = k.run(&mut before, &cfg); // zero iterations: raw image
         let n = Srad::side(&cfg).pow(2);
         let raw_var = variance(&mut before, n);
 
-        let cfg_smooth = KernelConfig { iterations: 12, ..cfg };
+        let cfg_smooth = KernelConfig {
+            iterations: 12,
+            ..cfg
+        };
         let mut after = HostMemory::new(k.footprint_words(&cfg_smooth));
         let _ = k.run(&mut after, &cfg_smooth);
         let smooth_var = variance(&mut after, n);
@@ -141,7 +147,12 @@ mod tests {
 
     #[test]
     fn dram_backed_diffusion_matches_golden() {
-        let cfg = KernelConfig { scale: 96, iterations: 5, seed: 8, runtime_ms: 5000.0 };
+        let cfg = KernelConfig {
+            scale: 96,
+            iterations: 5,
+            seed: 8,
+            runtime_ms: 5000.0,
+        };
         let mut dram = relaxed_dram(51);
         let report = Srad.characterize(&mut dram, &cfg);
         assert!(report.is_correct(), "srad diverged from golden");

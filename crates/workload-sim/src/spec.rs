@@ -55,23 +55,80 @@ pub fn profile_for_score(
 /// The 10 SPEC CPU2006 programs of the Fig. 4 campaign, with calibrated
 /// droop scores spanning `[0.2, 0.7]` (TTT Vmin 860–885 mV).
 pub const SPEC_SUITE: [SpecBenchmark; 10] = [
-    SpecBenchmark { name: "mcf", droop_score: 0.20, memory_intensity: 0.85, ipc: 0.45 },
-    SpecBenchmark { name: "lbm", droop_score: 0.26, memory_intensity: 0.90, ipc: 0.60 },
-    SpecBenchmark { name: "soplex", droop_score: 0.30, memory_intensity: 0.65, ipc: 0.75 },
-    SpecBenchmark { name: "bwaves", droop_score: 0.34, memory_intensity: 0.70, ipc: 0.90 },
-    SpecBenchmark { name: "leslie3d", droop_score: 0.42, memory_intensity: 0.60, ipc: 1.10 },
-    SpecBenchmark { name: "cactusADM", droop_score: 0.48, memory_intensity: 0.45, ipc: 1.15 },
-    SpecBenchmark { name: "gromacs", droop_score: 0.55, memory_intensity: 0.15, ipc: 1.60 },
-    SpecBenchmark { name: "dealII", droop_score: 0.60, memory_intensity: 0.25, ipc: 1.55 },
-    SpecBenchmark { name: "namd", droop_score: 0.66, memory_intensity: 0.10, ipc: 1.85 },
-    SpecBenchmark { name: "milc", droop_score: 0.70, memory_intensity: 0.55, ipc: 1.20 },
+    SpecBenchmark {
+        name: "mcf",
+        droop_score: 0.20,
+        memory_intensity: 0.85,
+        ipc: 0.45,
+    },
+    SpecBenchmark {
+        name: "lbm",
+        droop_score: 0.26,
+        memory_intensity: 0.90,
+        ipc: 0.60,
+    },
+    SpecBenchmark {
+        name: "soplex",
+        droop_score: 0.30,
+        memory_intensity: 0.65,
+        ipc: 0.75,
+    },
+    SpecBenchmark {
+        name: "bwaves",
+        droop_score: 0.34,
+        memory_intensity: 0.70,
+        ipc: 0.90,
+    },
+    SpecBenchmark {
+        name: "leslie3d",
+        droop_score: 0.42,
+        memory_intensity: 0.60,
+        ipc: 1.10,
+    },
+    SpecBenchmark {
+        name: "cactusADM",
+        droop_score: 0.48,
+        memory_intensity: 0.45,
+        ipc: 1.15,
+    },
+    SpecBenchmark {
+        name: "gromacs",
+        droop_score: 0.55,
+        memory_intensity: 0.15,
+        ipc: 1.60,
+    },
+    SpecBenchmark {
+        name: "dealII",
+        droop_score: 0.60,
+        memory_intensity: 0.25,
+        ipc: 1.55,
+    },
+    SpecBenchmark {
+        name: "namd",
+        droop_score: 0.66,
+        memory_intensity: 0.10,
+        ipc: 1.85,
+    },
+    SpecBenchmark {
+        name: "milc",
+        droop_score: 0.70,
+        memory_intensity: 0.55,
+        ipc: 1.20,
+    },
 ];
 
 /// The 8-benchmark mix of Fig. 5: bwaves, cactusADM, dealII, gromacs,
 /// leslie3d, mcf, milc, namd.
 pub fn fig5_mix() -> Vec<SpecBenchmark> {
     const MIX: [&str; 8] = [
-        "bwaves", "cactusADM", "dealII", "gromacs", "leslie3d", "mcf", "milc", "namd",
+        "bwaves",
+        "cactusADM",
+        "dealII",
+        "gromacs",
+        "leslie3d",
+        "mcf",
+        "milc",
+        "namd",
     ];
     SPEC_SUITE
         .iter()
@@ -111,7 +168,10 @@ mod tests {
         let core = ttt.most_robust_core();
         let vmins: Vec<u32> = SPEC_SUITE
             .iter()
-            .map(|b| ttt.vmin(core, &b.profile(), Megahertz::XGENE2_NOMINAL).as_u32())
+            .map(|b| {
+                ttt.vmin(core, &b.profile(), Megahertz::XGENE2_NOMINAL)
+                    .as_u32()
+            })
             .collect();
         let min = *vmins.iter().min().unwrap();
         let max = *vmins.iter().max().unwrap();
@@ -123,7 +183,11 @@ mod tests {
     fn mcf_is_the_most_undervoltable() {
         let ttt = ChipProfile::corner(SigmaBin::Ttt);
         let core = ttt.most_robust_core();
-        let mcf = ttt.vmin(core, &by_name("mcf").unwrap().profile(), Megahertz::XGENE2_NOMINAL);
+        let mcf = ttt.vmin(
+            core,
+            &by_name("mcf").unwrap().profile(),
+            Megahertz::XGENE2_NOMINAL,
+        );
         for b in &SPEC_SUITE {
             let v = ttt.vmin(core, &b.profile(), Megahertz::XGENE2_NOMINAL);
             assert!(v >= mcf, "{} has lower Vmin than mcf", b.name);
@@ -153,7 +217,10 @@ mod tests {
             let core = chip.most_robust_core();
             SPEC_SUITE
                 .iter()
-                .map(|b| chip.vmin(core, &b.profile(), Megahertz::XGENE2_NOMINAL).as_u32())
+                .map(|b| {
+                    chip.vmin(core, &b.profile(), Megahertz::XGENE2_NOMINAL)
+                        .as_u32()
+                })
                 .collect::<Vec<_>>()
         };
         let ttt = core_vmins(SigmaBin::Ttt);

@@ -69,7 +69,11 @@ impl JacobiStencil {
     pub fn new(side: usize, sweeps: usize, runtime_ms: f64) -> Self {
         assert!(side >= 4, "grid side must be at least 4");
         assert!(sweeps > 0, "at least one sweep");
-        JacobiStencil { side, sweeps, runtime_ms }
+        JacobiStencil {
+            side,
+            sweeps,
+            runtime_ms,
+        }
     }
 
     /// Runs the stencil under `schedule`, tracking per-DRAM-row access
@@ -85,7 +89,11 @@ impl JacobiStencil {
         let mut arena = DramArena::new(dram, 0, words);
         for y in 0..s {
             for x in 0..s {
-                let v = if (x as i64 - s as i64 / 2).abs() < 3 && y < 3 { 100.0 } else { 0.0 };
+                let v = if (x as i64 - s as i64 / 2).abs() < 3 && y < 3 {
+                    100.0
+                } else {
+                    0.0
+                };
                 arena.write_f64(y * s + x, v);
             }
         }
@@ -176,7 +184,11 @@ impl RowIntervalTracker {
     }
 
     fn intervals(&self) -> (f64, f64) {
-        let mean = if self.count == 0 { 0.0 } else { self.sum_intervals / self.count as f64 };
+        let mean = if self.count == 0 {
+            0.0
+        } else {
+            self.sum_intervals / self.count as f64
+        };
         (self.max_interval, mean)
     }
 }

@@ -67,13 +67,19 @@ impl Cache {
     /// Panics if any parameter is zero, or `capacity` is not divisible by
     /// `ways * line_bytes`, or the set count is not a power of two.
     pub fn new(capacity: usize, ways: usize, line_bytes: usize) -> Self {
-        assert!(capacity > 0 && ways > 0 && line_bytes > 0, "parameters must be non-zero");
         assert!(
-            capacity % (ways * line_bytes) == 0,
+            capacity > 0 && ways > 0 && line_bytes > 0,
+            "parameters must be non-zero"
+        );
+        assert!(
+            capacity.is_multiple_of(ways * line_bytes),
             "capacity must be a whole number of sets"
         );
         let sets = capacity / (ways * line_bytes);
-        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
         Cache {
             sets,
             ways,
@@ -192,8 +198,8 @@ mod tests {
     #[test]
     fn working_set_beyond_capacity_thrashes() {
         let mut c = Cache::new(1024, 2, 64); // 16 lines
-        // 3 lines mapping to the same set with 2 ways, accessed round-robin
-        // under LRU: every access misses.
+                                             // 3 lines mapping to the same set with 2 ways, accessed round-robin
+                                             // under LRU: every access misses.
         let set_stride = 8 * 64; // sets = 8
         c.reset_stats();
         for _ in 0..10 {
@@ -201,7 +207,11 @@ mod tests {
                 c.access(k * set_stride);
             }
         }
-        assert_eq!(c.stats().hits, 0, "LRU round-robin over ways+1 lines never hits");
+        assert_eq!(
+            c.stats().hits,
+            0,
+            "LRU round-robin over ways+1 lines never hits"
+        );
     }
 
     #[test]

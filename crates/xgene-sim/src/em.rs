@@ -47,7 +47,12 @@ fn default_rng() -> StdRng {
 impl EmProbe {
     /// Creates a probe over the given PDN with a deterministic noise seed.
     pub fn new(pdn: PdnModel, seed: u64) -> Self {
-        EmProbe { pdn, coupling: 1.0, noise_sigma: 0.01, rng: StdRng::seed_from_u64(seed) }
+        EmProbe {
+            pdn,
+            coupling: 1.0,
+            noise_sigma: 0.01,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The PDN the probe observes.

@@ -14,7 +14,8 @@ use crate::sigma::ChipProfile;
 use crate::topology::CoreId;
 use crate::workload::WorkloadProfile;
 use power_model::units::{Megahertz, Millivolts};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -104,12 +105,20 @@ impl FaultModel {
     pub fn new(safe_band_mv: f64, failure_band_mv: f64, ce_probability_at_vmin: f64) -> Self {
         assert!(safe_band_mv >= 0.0, "safe band must be non-negative");
         assert!(failure_band_mv > 0.0, "failure band must be positive");
-        assert!((0.0..=1.0).contains(&ce_probability_at_vmin), "probability in [0,1]");
-        FaultModel { safe_band_mv, failure_band_mv, ce_probability_at_vmin }
+        assert!(
+            (0.0..=1.0).contains(&ce_probability_at_vmin),
+            "probability in [0,1]"
+        );
+        FaultModel {
+            safe_band_mv,
+            failure_band_mv,
+            ce_probability_at_vmin,
+        }
     }
 
     /// Classifies one run at `voltage` for `(chip, core, workload,
     /// frequency)` with `active_cores` busy cores in total.
+    #[allow(clippy::too_many_arguments)]
     pub fn classify_with_active_cores<R: Rng + ?Sized>(
         &self,
         chip: &ChipProfile,
@@ -178,6 +187,183 @@ impl Default for FaultModel {
     }
 }
 
+/// What one reset request actually did to the board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResetBehavior {
+    /// The power cycle completed and the firmware booted at nominal.
+    Booted,
+    /// The board entered a boot-loop and needed this many extra power
+    /// cycles before coming up.
+    BootLoop {
+        /// Extra power cycles consumed by the loop.
+        extra_cycles: u32,
+    },
+    /// The IPMI power cycle was acknowledged but the board stayed hung;
+    /// the requester must retry.
+    StayedHung,
+}
+
+/// Board- and framework-level fault injection: the failure modes of the
+/// *harness* rather than the silicon.
+///
+/// The DSN'18 framework babysits real boards for weeks, and the things
+/// that actually go wrong are mundane: an IPMI power cycle that does not
+/// bring the board back, a reboot that loops in firmware, a V/F restore
+/// that the freshly booted firmware silently drops, and thermal sensors
+/// that stick or drop out. A `FaultPlan` injects those events into the
+/// simulated server deterministically: all draws come from an embedded
+/// seeded generator, and individual events can additionally be *forced*
+/// at specific draw indices so a test can guarantee "at least one of
+/// each" without cranking the rates.
+///
+/// The plan serializes with the server (generator state included), so a
+/// checkpointed campaign resumes into the identical fault sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    rng: StdRng,
+    power_cycle_failure_rate: f64,
+    boot_loop_rate: f64,
+    boot_loop_max_extra: u32,
+    setup_loss_rate: f64,
+    sensor_stuck_rate: f64,
+    sensor_dropout_rate: f64,
+    /// Reset-draw indices (0-based) forced to [`ResetBehavior::StayedHung`].
+    forced_hangs: Vec<u64>,
+    /// Setup-write draw indices (0-based) forced to be lost.
+    forced_setup_losses: Vec<u64>,
+    reset_draws: u64,
+    setup_draws: u64,
+}
+
+impl FaultPlan {
+    /// A plan with every rate zero: faults occur only where forced.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            rng: StdRng::seed_from_u64(seed ^ 0xFA17_FA17),
+            power_cycle_failure_rate: 0.0,
+            boot_loop_rate: 0.0,
+            boot_loop_max_extra: 3,
+            setup_loss_rate: 0.0,
+            sensor_stuck_rate: 0.0,
+            sensor_dropout_rate: 0.0,
+            forced_hangs: Vec::new(),
+            forced_setup_losses: Vec::new(),
+            reset_draws: 0,
+            setup_draws: 0,
+        }
+    }
+
+    /// A hostile plan for resilience testing: frequent hung power cycles,
+    /// boot loops, lost restores and flaky sensors.
+    pub fn hostile(seed: u64) -> Self {
+        FaultPlan {
+            power_cycle_failure_rate: 0.3,
+            boot_loop_rate: 0.2,
+            setup_loss_rate: 0.05,
+            sensor_stuck_rate: 0.02,
+            sensor_dropout_rate: 0.02,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// Sets the probability that a requested power cycle leaves the board
+    /// hung.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]` (also for the other setters).
+    #[must_use]
+    pub fn with_power_cycle_failure_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        self.power_cycle_failure_rate = rate;
+        self
+    }
+
+    /// Sets the probability that a reset enters a boot-loop.
+    #[must_use]
+    pub fn with_boot_loop_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        self.boot_loop_rate = rate;
+        self
+    }
+
+    /// Sets the probability that a post-boot V/F restore write is lost.
+    #[must_use]
+    pub fn with_setup_loss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1]");
+        self.setup_loss_rate = rate;
+        self
+    }
+
+    /// Sets the thermal-sensor stuck/dropout probabilities per reading.
+    #[must_use]
+    pub fn with_sensor_fault_rates(mut self, stuck: f64, dropout: f64) -> Self {
+        assert!((0.0..=1.0).contains(&stuck), "rate must be in [0,1]");
+        assert!((0.0..=1.0).contains(&dropout), "rate must be in [0,1]");
+        self.sensor_stuck_rate = stuck;
+        self.sensor_dropout_rate = dropout;
+        self
+    }
+
+    /// Forces the `index`-th reset draw (0-based) to leave the board hung.
+    #[must_use]
+    pub fn force_hang_at(mut self, index: u64) -> Self {
+        self.forced_hangs.push(index);
+        self
+    }
+
+    /// Forces the `index`-th setup-write draw (0-based) to be lost.
+    #[must_use]
+    pub fn force_setup_loss_at(mut self, index: u64) -> Self {
+        self.forced_setup_losses.push(index);
+        self
+    }
+
+    /// The `(stuck, dropout)` per-reading sensor fault rates, for wiring
+    /// into thermal-testbed sensors.
+    pub fn sensor_fault_rates(&self) -> (f64, f64) {
+        (self.sensor_stuck_rate, self.sensor_dropout_rate)
+    }
+
+    /// Draws the behavior of one power-cycle request.
+    pub fn next_reset_behavior(&mut self) -> ResetBehavior {
+        let index = self.reset_draws;
+        self.reset_draws += 1;
+        // Consume the stochastic draws unconditionally so forcing an event
+        // does not shift the rest of the sequence.
+        let hang_roll: f64 = self.rng.gen();
+        let loop_roll: f64 = self.rng.gen();
+        let extra = self.rng.gen_range(1..=self.boot_loop_max_extra.max(1));
+        if self.forced_hangs.contains(&index) || hang_roll < self.power_cycle_failure_rate {
+            return ResetBehavior::StayedHung;
+        }
+        if loop_roll < self.boot_loop_rate {
+            return ResetBehavior::BootLoop {
+                extra_cycles: extra,
+            };
+        }
+        ResetBehavior::Booted
+    }
+
+    /// Draws whether one V/F setup write is silently lost.
+    pub fn next_setup_write_lost(&mut self) -> bool {
+        let index = self.setup_draws;
+        self.setup_draws += 1;
+        let roll: f64 = self.rng.gen();
+        self.forced_setup_losses.contains(&index) || roll < self.setup_loss_rate
+    }
+
+    /// Total reset draws taken so far.
+    pub fn reset_draws(&self) -> u64 {
+        self.reset_draws
+    }
+
+    /// Total setup-write draws taken so far.
+    pub fn setup_draws(&self) -> u64 {
+        self.setup_draws
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,7 +375,10 @@ mod tests {
         (
             FaultModel::default(),
             ChipProfile::corner(SigmaBin::Ttt),
-            WorkloadProfile::builder("w").activity(0.6).swing(0.4).build(),
+            WorkloadProfile::builder("w")
+                .activity(0.6)
+                .swing(0.4)
+                .build(),
             StdRng::seed_from_u64(99),
         )
     }
@@ -200,8 +389,12 @@ mod tests {
         let core = chip.most_robust_core();
         for _ in 0..200 {
             let o = model.classify(
-                &chip, core, &w, Megahertz::XGENE2_NOMINAL,
-                Millivolts::XGENE2_NOMINAL, &mut rng,
+                &chip,
+                core,
+                &w,
+                Megahertz::XGENE2_NOMINAL,
+                Millivolts::XGENE2_NOMINAL,
+                &mut rng,
             );
             assert_eq!(o, RunOutcome::Correct);
         }
@@ -228,12 +421,20 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..500 {
             seen.insert(model.classify(
-                &chip, core, &w, Megahertz::XGENE2_NOMINAL, just_below, &mut rng,
+                &chip,
+                core,
+                &w,
+                Megahertz::XGENE2_NOMINAL,
+                just_below,
+                &mut rng,
             ));
         }
         assert!(seen.contains(&RunOutcome::SilentDataCorruption), "{seen:?}");
         assert!(seen.contains(&RunOutcome::CorrectableError), "{seen:?}");
-        assert!(!seen.contains(&RunOutcome::Correct), "below Vmin is never correct");
+        assert!(
+            !seen.contains(&RunOutcome::Correct),
+            "below Vmin is never correct"
+        );
     }
 
     #[test]
@@ -244,7 +445,14 @@ mod tests {
         let at_vmin = vmin;
         let mut ces = 0;
         for _ in 0..1000 {
-            match model.classify(&chip, core, &w, Megahertz::XGENE2_NOMINAL, at_vmin, &mut rng) {
+            match model.classify(
+                &chip,
+                core,
+                &w,
+                Megahertz::XGENE2_NOMINAL,
+                at_vmin,
+                &mut rng,
+            ) {
                 RunOutcome::CorrectableError => ces += 1,
                 RunOutcome::Correct => {}
                 other => panic!("unexpected {other} at Vmin"),
@@ -263,6 +471,76 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_forces_events_without_shifting_the_stream() {
+        // Two identical plans, one with a forced hang: every draw after
+        // the forced index must still agree.
+        let mut plain = FaultPlan::quiet(5).with_boot_loop_rate(0.5);
+        let mut forced = FaultPlan::quiet(5)
+            .with_boot_loop_rate(0.5)
+            .force_hang_at(2);
+        for i in 0..20u64 {
+            let a = plain.next_reset_behavior();
+            let b = forced.next_reset_behavior();
+            if i == 2 {
+                assert_eq!(b, ResetBehavior::StayedHung);
+            } else {
+                assert_eq!(a, b, "draw {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_plan_never_faults() {
+        let mut plan = FaultPlan::quiet(9);
+        for _ in 0..100 {
+            assert_eq!(plan.next_reset_behavior(), ResetBehavior::Booted);
+            assert!(!plan.next_setup_write_lost());
+        }
+    }
+
+    #[test]
+    fn hostile_plan_shows_every_fault_class() {
+        let mut plan = FaultPlan::hostile(11);
+        let mut hangs = 0;
+        let mut loops = 0;
+        let mut losses = 0;
+        for _ in 0..400 {
+            match plan.next_reset_behavior() {
+                ResetBehavior::StayedHung => hangs += 1,
+                ResetBehavior::BootLoop { extra_cycles } => {
+                    assert!(extra_cycles >= 1);
+                    loops += 1;
+                }
+                ResetBehavior::Booted => {}
+            }
+            if plan.next_setup_write_lost() {
+                losses += 1;
+            }
+        }
+        assert!(
+            hangs > 0 && loops > 0 && losses > 0,
+            "{hangs}/{loops}/{losses}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_serde_roundtrip_preserves_sequence() {
+        let mut plan = FaultPlan::hostile(13);
+        for _ in 0..7 {
+            plan.next_reset_behavior();
+        }
+        let snapshot = serde::json::to_string(&plan);
+        let mut restored: FaultPlan = serde::json::from_str(&snapshot).unwrap();
+        for _ in 0..50 {
+            assert_eq!(plan.next_reset_behavior(), restored.next_reset_behavior());
+            assert_eq!(
+                plan.next_setup_write_lost(),
+                restored.next_setup_write_lost()
+            );
+        }
+    }
+
+    #[test]
     fn more_active_cores_fail_earlier() {
         let (model, chip, w, mut rng) = setup();
         let core = chip.weakest_core();
@@ -272,7 +550,13 @@ mod tests {
         let mut eight_core_failures = 0;
         for _ in 0..200 {
             let o = model.classify_with_active_cores(
-                &chip, core, &w, Megahertz::XGENE2_NOMINAL, v, 8, &mut rng,
+                &chip,
+                core,
+                &w,
+                Megahertz::XGENE2_NOMINAL,
+                v,
+                8,
+                &mut rng,
             );
             if !o.is_usable() {
                 eight_core_failures += 1;

@@ -85,9 +85,15 @@ impl CacheHierarchy {
     /// Builds the X-Gene2 hierarchy (8× L1I + 8× L1D, 4× L2, 1× L3).
     pub fn xgene2() -> Self {
         CacheHierarchy {
-            l1i: (0..CORE_COUNT).map(|_| Cache::for_level(CacheLevel::L1I)).collect(),
-            l1d: (0..CORE_COUNT).map(|_| Cache::for_level(CacheLevel::L1D)).collect(),
-            l2: (0..PMD_COUNT).map(|_| Cache::for_level(CacheLevel::L2)).collect(),
+            l1i: (0..CORE_COUNT)
+                .map(|_| Cache::for_level(CacheLevel::L1I))
+                .collect(),
+            l1d: (0..CORE_COUNT)
+                .map(|_| Cache::for_level(CacheLevel::L1D))
+                .collect(),
+            l2: (0..PMD_COUNT)
+                .map(|_| Cache::for_level(CacheLevel::L2))
+                .collect(),
             l3: Cache::for_level(CacheLevel::L3),
             counters: vec![CoreCounters::default(); CORE_COUNT],
         }
@@ -110,8 +116,16 @@ impl CacheHierarchy {
         let c = &mut self.counters[idx];
         c.accesses += 1;
 
-        let l1 = if is_instr { &mut self.l1i[idx] } else { &mut self.l1d[idx] };
-        let l1_level = if is_instr { CacheLevel::L1I } else { CacheLevel::L1D };
+        let l1 = if is_instr {
+            &mut self.l1i[idx]
+        } else {
+            &mut self.l1d[idx]
+        };
+        let l1_level = if is_instr {
+            CacheLevel::L1I
+        } else {
+            CacheLevel::L1D
+        };
         if l1.access(addr) {
             let lat = l1_level.latency_cycles();
             c.latency_cycles += u64::from(lat);
@@ -179,7 +193,10 @@ mod tests {
         assert_eq!(served, ServedBy::Dram);
         assert_eq!(lat, DRAM_LATENCY_CYCLES);
         // Now resident everywhere down the path.
-        assert_eq!(h.access_data(core, 0x1_0000).0, ServedBy::Cache(CacheLevel::L1D));
+        assert_eq!(
+            h.access_data(core, 0x1_0000).0,
+            ServedBy::Cache(CacheLevel::L1D)
+        );
     }
 
     #[test]
@@ -191,7 +208,10 @@ mod tests {
         // Sibling core misses L1 but hits the shared L2.
         assert_eq!(h.access_data(b, 0x8000).0, ServedBy::Cache(CacheLevel::L2));
         // A core in another PMD misses L2 but hits the chip-wide L3.
-        assert_eq!(h.access_data(other, 0x8000).0, ServedBy::Cache(CacheLevel::L3));
+        assert_eq!(
+            h.access_data(other, 0x8000).0,
+            ServedBy::Cache(CacheLevel::L3)
+        );
     }
 
     #[test]
@@ -200,7 +220,10 @@ mod tests {
         let core = CoreId::new(0);
         h.access_instr(core, 0x2000);
         // Same address as data: misses L1D (split caches) but hits L2.
-        assert_eq!(h.access_data(core, 0x2000).0, ServedBy::Cache(CacheLevel::L2));
+        assert_eq!(
+            h.access_data(core, 0x2000).0,
+            ServedBy::Cache(CacheLevel::L2)
+        );
     }
 
     #[test]

@@ -54,10 +54,10 @@ pub mod workload;
 
 pub use cache::{Cache, CacheStats};
 pub use em::EmProbe;
-pub use hierarchy::{CacheHierarchy, CoreCounters, ServedBy};
-pub use pipeline::{ExecUnit, ExecutionReport, InOrderCore, MicroOp};
 pub use fault::{FaultModel, RunOutcome};
+pub use hierarchy::{CacheHierarchy, CoreCounters, ServedBy};
 pub use pdn::PdnModel;
+pub use pipeline::{ExecUnit, ExecutionReport, InOrderCore, MicroOp};
 pub use server::{ConfigError, CoreRunResult, XGene2Server};
 pub use sigma::{ChipProfile, SigmaBin};
 pub use topology::{CacheLevel, CoreId, PmdId, CORE_COUNT, PMD_COUNT};

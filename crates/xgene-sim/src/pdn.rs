@@ -49,7 +49,12 @@ impl PdnModel {
         assert!(l_henries > 0.0, "inductance must be positive");
         assert!(c_farads > 0.0, "capacitance must be positive");
         assert!(q > 0.0, "quality factor must be positive");
-        PdnModel { r_ohms, l_henries, c_farads, q }
+        PdnModel {
+            r_ohms,
+            l_henries,
+            c_farads,
+            q,
+        }
     }
 
     /// The calibrated X-Gene2 PDN: ~50 MHz first-order resonance, 0.6 mΩ DC
@@ -136,7 +141,10 @@ pub fn mean(samples: &[f64]) -> f64 {
 /// Panics if `samples` is empty or `period_s` is not positive.
 pub fn spectrum(samples: &[f64], period_s: f64, n: usize) -> Vec<(f64, f64)> {
     assert!(!samples.is_empty(), "trace must not be empty");
-    assert!(period_s > 0.0 && period_s.is_finite(), "period must be positive");
+    assert!(
+        period_s > 0.0 && period_s.is_finite(),
+        "period must be positive"
+    );
     let len = samples.len() as f64;
     let f1 = 1.0 / period_s;
     (1..=n)
@@ -196,8 +204,14 @@ mod tests {
         let at_res = pdn.droop_mv_from_trace(&square, 1.0 / f0);
         let steady = pdn.droop_mv_from_trace(&flat, 1.0 / f0);
         let off_res = pdn.droop_mv_from_trace(&square, 1.0 / (f0 * 7.3));
-        assert!(at_res > 3.0 * steady, "resonant {at_res} vs steady {steady}");
-        assert!(at_res > 1.5 * off_res, "resonant {at_res} vs off-resonance {off_res}");
+        assert!(
+            at_res > 3.0 * steady,
+            "resonant {at_res} vs steady {steady}"
+        );
+        assert!(
+            at_res > 1.5 * off_res,
+            "resonant {at_res} vs off-resonance {off_res}"
+        );
     }
 
     #[test]
@@ -207,8 +221,7 @@ mod tests {
         let small: Vec<f64> = (0..128).map(|i| if i < 64 { 16.0 } else { 14.0 }).collect();
         let large: Vec<f64> = (0..128).map(|i| if i < 64 { 28.0 } else { 2.0 }).collect();
         assert!(
-            pdn.droop_mv_from_trace(&large, 1.0 / f0)
-                > pdn.droop_mv_from_trace(&small, 1.0 / f0)
+            pdn.droop_mv_from_trace(&large, 1.0 / f0) > pdn.droop_mv_from_trace(&small, 1.0 / f0)
         );
     }
 

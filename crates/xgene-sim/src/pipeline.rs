@@ -42,12 +42,22 @@ pub struct MicroOp {
 impl MicroOp {
     /// A non-memory op.
     pub fn compute(unit: ExecUnit, latency: u32, current_amps: f64) -> Self {
-        MicroOp { unit, latency, current_amps, address: None }
+        MicroOp {
+            unit,
+            latency,
+            current_amps,
+            address: None,
+        }
     }
 
     /// A load from `address`.
     pub fn load(address: u64, current_amps: f64) -> Self {
-        MicroOp { unit: ExecUnit::LoadStore, latency: 1, current_amps, address: Some(address) }
+        MicroOp {
+            unit: ExecUnit::LoadStore,
+            latency: 1,
+            current_amps,
+            address: Some(address),
+        }
     }
 }
 
@@ -111,7 +121,10 @@ pub struct InOrderCore {
 impl InOrderCore {
     /// Creates a core model.
     pub fn new(core: CoreId) -> Self {
-        InOrderCore { core, idle_amps: 0.6 }
+        InOrderCore {
+            core,
+            idle_amps: 0.6,
+        }
     }
 
     /// Executes `iterations` repetitions of a loop body against the
@@ -171,7 +184,11 @@ impl InOrderCore {
             } else {
                 dram_accesses as f64 / instructions as f64
             },
-            mean_current: if cycles == 0 { 0.0 } else { current_sum / cycles as f64 },
+            mean_current: if cycles == 0 {
+                0.0
+            } else {
+                current_sum / cycles as f64
+            },
         }
     }
 }
@@ -198,8 +215,7 @@ mod tests {
         let mut h = CacheHierarchy::xgene2();
         let core = InOrderCore::new(CoreId::new(0));
         // Strided loads over 4 MiB: mostly L3/DRAM.
-        let body: Vec<MicroOp> =
-            (0..64).map(|i| MicroOp::load(i * 64 * 1024, 1.7)).collect();
+        let body: Vec<MicroOp> = (0..64).map(|i| MicroOp::load(i * 64 * 1024, 1.7)).collect();
         let report = core.execute(&mut h, &body, 4);
         assert!(report.ipc() < 0.1, "ipc {}", report.ipc());
         assert!(report.dram_ratio > 0.1, "dram ratio {}", report.dram_ratio);

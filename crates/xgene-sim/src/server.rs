@@ -8,7 +8,7 @@
 //! does — so swapping the simulated server for real hardware would only
 //! replace this module.
 
-use crate::fault::{FaultModel, RunOutcome};
+use crate::fault::{FaultModel, FaultPlan, ResetBehavior, RunOutcome};
 use crate::sigma::{ChipProfile, SigmaBin};
 use crate::topology::{CoreId, PmdId, PMD_COUNT};
 use crate::workload::WorkloadProfile;
@@ -16,7 +16,7 @@ use dram_sim::array::DramArray;
 use dram_sim::retention::{PopulationSpec, RetentionModel, WeakCellPopulation};
 use power_model::server::{OperatingPoint, PowerBreakdown, ServerLoad, ServerPowerModel};
 use power_model::tradeoff::FrequencyPlan;
-use power_model::units::{Celsius, Megahertz, Millivolts, Milliseconds, Watts};
+use power_model::units::{Celsius, Megahertz, Milliseconds, Millivolts, Watts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -88,7 +88,7 @@ pub struct CoreRunResult {
 /// assert!(result.outcome.is_usable());
 /// # Ok::<(), xgene_sim::server::ConfigError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct XGene2Server {
     chip: ChipProfile,
     fault_model: FaultModel,
@@ -100,6 +100,8 @@ pub struct XGene2Server {
     dram_temperature: Celsius,
     reset_count: u64,
     rng: StdRng,
+    fault_plan: Option<FaultPlan>,
+    hung: bool,
 }
 
 impl XGene2Server {
@@ -111,8 +113,7 @@ impl XGene2Server {
     /// Boots a server whose DRAM population covers a custom envelope
     /// (needed for sweeps beyond 60 °C / 2.283 s).
     pub fn with_population_spec(bin: SigmaBin, seed: u64, spec: PopulationSpec) -> Self {
-        let population =
-            WeakCellPopulation::generate(&RetentionModel::xgene2_micron(), spec, seed);
+        let population = WeakCellPopulation::generate(&RetentionModel::xgene2_micron(), spec, seed);
         let dram = DramArray::new(
             population,
             Milliseconds::DDR3_NOMINAL_TREFP,
@@ -129,7 +130,28 @@ impl XGene2Server {
             dram_temperature: Celsius::new(45.0),
             reset_count: 0,
             rng: StdRng::seed_from_u64(seed ^ 0xD5A5_5A5D),
+            fault_plan: None,
+            hung: false,
         }
+    }
+
+    /// Installs a board-level fault-injection plan. Without one (the
+    /// default) every reset succeeds and every setup write lands, which is
+    /// the exact legacy behavior: no plan means zero extra RNG draws.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Whether the board is currently hung (a power cycle failed to bring
+    /// it back). A hung board crashes every run until [`Self::power_cycle`]
+    /// succeeds.
+    pub fn is_hung(&self) -> bool {
+        self.hung
     }
 
     /// The chip installed in the socket.
@@ -174,6 +196,14 @@ impl XGene2Server {
     /// Returns [`ConfigError::VoltageOutOfRange`] outside 700–1050 mV.
     pub fn set_pmd_voltage(&mut self, voltage: Millivolts) -> Result<(), ConfigError> {
         validate_voltage(voltage)?;
+        // A faulty firmware may silently drop the write (the SLIMpro call
+        // returns success but the regulator stays where it was); callers
+        // that care must read the voltage back.
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if plan.next_setup_write_lost() {
+                return Ok(());
+            }
+        }
         self.pmd_voltage = voltage;
         Ok(())
     }
@@ -196,7 +226,9 @@ impl XGene2Server {
     /// Returns [`ConfigError::UnsupportedFrequency`] for other values.
     pub fn set_pmd_frequency(&mut self, pmd: PmdId, freq: Megahertz) -> Result<(), ConfigError> {
         if !DVFS_STEPS_MHZ.contains(&freq.as_u32()) {
-            return Err(ConfigError::UnsupportedFrequency { requested_mhz: freq.as_u32() });
+            return Err(ConfigError::UnsupportedFrequency {
+                requested_mhz: freq.as_u32(),
+            });
         }
         self.pmd_frequencies[pmd.index()] = freq;
         Ok(())
@@ -215,7 +247,9 @@ impl XGene2Server {
         freq: Megahertz,
     ) -> Result<(), ConfigError> {
         if !(200..=3200).contains(&freq.as_u32()) {
-            return Err(ConfigError::UnsupportedFrequency { requested_mhz: freq.as_u32() });
+            return Err(ConfigError::UnsupportedFrequency {
+                requested_mhz: freq.as_u32(),
+            });
         }
         self.pmd_frequencies[pmd.index()] = freq;
         Ok(())
@@ -241,7 +275,18 @@ impl XGene2Server {
     }
 
     /// Runs one program alone on `core` and classifies the outcome.
+    ///
+    /// On a hung board nothing executes: the result is a crash and no
+    /// watchdog fires (the watchdog already gave up; recovery needs an
+    /// explicit [`Self::power_cycle`]).
     pub fn run_on_core(&mut self, core: CoreId, workload: &WorkloadProfile) -> CoreRunResult {
+        if self.hung {
+            return CoreRunResult {
+                core,
+                workload: workload.name().to_owned(),
+                outcome: RunOutcome::Crash,
+            };
+        }
         let freq = self.pmd_frequencies[core.pmd().index()];
         let outcome = self.fault_model.classify(
             &self.chip,
@@ -254,15 +299,26 @@ impl XGene2Server {
         if outcome.needs_reset() {
             self.reset();
         }
-        CoreRunResult { core, workload: workload.name().to_owned(), outcome }
+        CoreRunResult {
+            core,
+            workload: workload.name().to_owned(),
+            outcome,
+        }
     }
 
     /// Runs one program per assignment simultaneously (multi-process
     /// setup); each run sees the combined rail noise of all active cores.
-    pub fn run_many(
-        &mut self,
-        assignments: &[(CoreId, &WorkloadProfile)],
-    ) -> Vec<CoreRunResult> {
+    pub fn run_many(&mut self, assignments: &[(CoreId, &WorkloadProfile)]) -> Vec<CoreRunResult> {
+        if self.hung {
+            return assignments
+                .iter()
+                .map(|(core, workload)| CoreRunResult {
+                    core: *core,
+                    workload: workload.name().to_owned(),
+                    outcome: RunOutcome::Crash,
+                })
+                .collect();
+        }
         let n = assignments.len().max(1);
         let mut results = Vec::with_capacity(assignments.len());
         let mut crashed = false;
@@ -314,18 +370,64 @@ impl XGene2Server {
 
     /// Power-cycles the server: restores nominal V/F (the firmware boots at
     /// nominal), clears DRAM contents, and counts the reset.
+    ///
+    /// With a [`FaultPlan`] installed the cycle may misbehave: a boot-loop
+    /// burns extra cycles before coming up, and a failed cycle leaves the
+    /// board hung (state untouched, every subsequent run crashes) until
+    /// [`Self::power_cycle`] succeeds.
     pub fn reset(&mut self) {
         self.reset_count += 1;
+        let behavior = match self.fault_plan.as_mut() {
+            Some(plan) => plan.next_reset_behavior(),
+            None => ResetBehavior::Booted,
+        };
+        match behavior {
+            ResetBehavior::StayedHung => {
+                self.hung = true;
+            }
+            ResetBehavior::BootLoop { extra_cycles } => {
+                self.reset_count += u64::from(extra_cycles);
+                self.complete_boot();
+            }
+            ResetBehavior::Booted => self.complete_boot(),
+        }
+    }
+
+    /// Issues an explicit IPMI power cycle and reports whether the board
+    /// came back. On success the board is un-hung and at the nominal
+    /// operating point; on failure it is (still) hung and the caller
+    /// should retry with backoff.
+    pub fn power_cycle(&mut self) -> bool {
+        self.reset();
+        if self.hung {
+            return false;
+        }
+        true
+    }
+
+    /// Operator-level recovery — physically reseating the board — which
+    /// always brings it back at nominal, bypassing the fault plan. The
+    /// escalation path once power-cycle retries are exhausted.
+    pub fn force_recover(&mut self) {
+        self.reset_count += 1;
+        self.complete_boot();
+    }
+
+    fn complete_boot(&mut self) {
+        self.hung = false;
         self.pmd_voltage = Millivolts::XGENE2_NOMINAL;
         self.soc_voltage = Millivolts::XGENE2_NOMINAL;
         self.pmd_frequencies = [Megahertz::XGENE2_NOMINAL; PMD_COUNT];
-        self.dram.fill_pattern(dram_sim::patterns::DataPattern::AllZeros);
+        self.dram
+            .fill_pattern(dram_sim::patterns::DataPattern::AllZeros);
     }
 }
 
 fn validate_voltage(voltage: Millivolts) -> Result<(), ConfigError> {
     if !VOLTAGE_RANGE_MV.contains(&voltage.as_u32()) {
-        return Err(ConfigError::VoltageOutOfRange { requested_mv: voltage.as_u32() });
+        return Err(ConfigError::VoltageOutOfRange {
+            requested_mv: voltage.as_u32(),
+        });
     }
     Ok(())
 }
@@ -338,7 +440,10 @@ mod tests {
     fn boots_at_nominal() {
         let server = XGene2Server::new(SigmaBin::Ttt, 1);
         assert_eq!(server.pmd_voltage(), Millivolts::XGENE2_NOMINAL);
-        assert_eq!(server.pmd_frequency(PmdId::new(0)), Megahertz::XGENE2_NOMINAL);
+        assert_eq!(
+            server.pmd_frequency(PmdId::new(0)),
+            Megahertz::XGENE2_NOMINAL
+        );
         assert_eq!(server.reset_count(), 0);
     }
 
@@ -353,7 +458,9 @@ mod tests {
     #[test]
     fn rejects_unsupported_frequency() {
         let mut server = XGene2Server::new(SigmaBin::Ttt, 1);
-        assert!(server.set_pmd_frequency(PmdId::new(0), Megahertz::new(1234)).is_err());
+        assert!(server
+            .set_pmd_frequency(PmdId::new(0), Megahertz::new(1234))
+            .is_err());
         assert!(server
             .set_pmd_frequency(PmdId::new(0), Megahertz::XGENE2_HALF)
             .is_ok());
@@ -364,7 +471,10 @@ mod tests {
     fn crash_triggers_watchdog_reset_and_reboot_at_nominal() {
         let mut server = XGene2Server::new(SigmaBin::Ttt, 1);
         server.set_pmd_voltage(Millivolts::new(700)).unwrap();
-        let heavy = WorkloadProfile::builder("heavy").activity(0.9).swing(0.8).build();
+        let heavy = WorkloadProfile::builder("heavy")
+            .activity(0.9)
+            .swing(0.8)
+            .build();
         let result = server.run_on_core(CoreId::new(0), &heavy);
         assert_eq!(result.outcome, RunOutcome::Crash);
         assert_eq!(server.reset_count(), 1);
@@ -374,7 +484,10 @@ mod tests {
     #[test]
     fn nominal_run_is_clean() {
         let mut server = XGene2Server::new(SigmaBin::Tss, 2);
-        let w = WorkloadProfile::builder("w").activity(0.7).swing(0.5).build();
+        let w = WorkloadProfile::builder("w")
+            .activity(0.7)
+            .swing(0.5)
+            .build();
         let r = server.run_on_core(CoreId::new(3), &w);
         assert_eq!(r.outcome, RunOutcome::Correct);
     }
@@ -384,10 +497,7 @@ mod tests {
         let mut server = XGene2Server::new(SigmaBin::Ttt, 3);
         let a = WorkloadProfile::builder("a").activity(0.4).build();
         let b = WorkloadProfile::builder("b").activity(0.6).build();
-        let results = server.run_many(&[
-            (CoreId::new(0), &a),
-            (CoreId::new(2), &b),
-        ]);
+        let results = server.run_many(&[(CoreId::new(0), &a), (CoreId::new(2), &b)]);
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].workload, "a");
         assert_eq!(results[1].core, CoreId::new(2));
@@ -415,6 +525,108 @@ mod tests {
         );
         assert!(server.set_trefp(Milliseconds::DSN18_RELAXED_TREFP).is_ok());
         assert_eq!(server.dram().trefp(), Milliseconds::DSN18_RELAXED_TREFP);
+    }
+
+    #[test]
+    fn forced_hang_leaves_board_dead_until_power_cycle_succeeds() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 1);
+        // First reset draw hangs the board; later cycles succeed.
+        server.install_fault_plan(FaultPlan::quiet(7).force_hang_at(0));
+        server.set_pmd_voltage(Millivolts::new(700)).unwrap();
+        let heavy = WorkloadProfile::builder("heavy")
+            .activity(0.9)
+            .swing(0.8)
+            .build();
+        let crash = server.run_on_core(CoreId::new(0), &heavy);
+        assert_eq!(crash.outcome, RunOutcome::Crash);
+        assert!(server.is_hung(), "the watchdog reset must have failed");
+        // A hung board crashes everything without further resets.
+        let before = server.reset_count();
+        let dead = server.run_on_core(CoreId::new(1), &heavy);
+        assert_eq!(dead.outcome, RunOutcome::Crash);
+        assert_eq!(server.reset_count(), before);
+        // An explicit power cycle recovers it.
+        assert!(server.power_cycle());
+        assert!(!server.is_hung());
+        assert_eq!(server.pmd_voltage(), Millivolts::XGENE2_NOMINAL);
+        let clean = server.run_on_core(CoreId::new(0), &heavy);
+        assert!(clean.outcome.is_usable());
+    }
+
+    #[test]
+    fn lost_setup_write_keeps_old_voltage_but_reports_success() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 1);
+        server.install_fault_plan(FaultPlan::quiet(7).force_setup_loss_at(0));
+        assert!(server.set_pmd_voltage(Millivolts::new(900)).is_ok());
+        assert_eq!(
+            server.pmd_voltage(),
+            Millivolts::XGENE2_NOMINAL,
+            "the write must have been silently dropped"
+        );
+        // The next write lands.
+        server.set_pmd_voltage(Millivolts::new(900)).unwrap();
+        assert_eq!(server.pmd_voltage(), Millivolts::new(900));
+    }
+
+    #[test]
+    fn boot_loop_burns_extra_power_cycles() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 1);
+        server.install_fault_plan(FaultPlan::quiet(7).with_boot_loop_rate(1.0));
+        server.reset();
+        assert!(!server.is_hung());
+        assert!(
+            server.reset_count() >= 2,
+            "a boot loop costs at least one extra cycle"
+        );
+    }
+
+    #[test]
+    fn quiet_plan_preserves_legacy_run_sequence() {
+        let heavy = WorkloadProfile::builder("heavy")
+            .activity(0.8)
+            .swing(0.6)
+            .build();
+        let drive = |server: &mut XGene2Server| -> Vec<RunOutcome> {
+            (0..40)
+                .map(|_| {
+                    server.set_pmd_voltage(Millivolts::new(880)).unwrap();
+                    server.run_on_core(CoreId::new(0), &heavy).outcome
+                })
+                .collect()
+        };
+        let mut plain = XGene2Server::new(SigmaBin::Ttt, 21);
+        let mut planned = XGene2Server::new(SigmaBin::Ttt, 21);
+        planned.install_fault_plan(FaultPlan::quiet(999));
+        assert_eq!(drive(&mut plain), drive(&mut planned));
+        assert_eq!(plain.reset_count(), planned.reset_count());
+    }
+
+    #[test]
+    fn server_serde_roundtrip_reproduces_outcomes() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 33);
+        server.install_fault_plan(FaultPlan::hostile(33));
+        let heavy = WorkloadProfile::builder("heavy")
+            .activity(0.8)
+            .swing(0.6)
+            .build();
+        for _ in 0..5 {
+            let _ = server.set_pmd_voltage(Millivolts::new(890));
+            server.run_on_core(CoreId::new(0), &heavy);
+        }
+        let snapshot = serde::json::to_string(&server);
+        let mut restored: XGene2Server = serde::json::from_str(&snapshot).unwrap();
+        for _ in 0..20 {
+            let _ = server.set_pmd_voltage(Millivolts::new(885));
+            let _ = restored.set_pmd_voltage(Millivolts::new(885));
+            let a = server.run_on_core(CoreId::new(0), &heavy);
+            let b = restored.run_on_core(CoreId::new(0), &heavy);
+            assert_eq!(a, b);
+            assert_eq!(server.reset_count(), restored.reset_count());
+            assert_eq!(server.is_hung(), restored.is_hung());
+            if server.is_hung() {
+                assert_eq!(server.power_cycle(), restored.power_cycle());
+            }
+        }
     }
 
     #[test]

@@ -191,7 +191,12 @@ impl ChipProfile {
     /// Minimum safe operating voltage for `workload` running alone on
     /// `core` at `frequency` — the quantity single-benchmark undervolting
     /// campaigns (Fig. 4) search for.
-    pub fn vmin(&self, core: CoreId, workload: &WorkloadProfile, frequency: Megahertz) -> Millivolts {
+    pub fn vmin(
+        &self,
+        core: CoreId,
+        workload: &WorkloadProfile,
+        frequency: Megahertz,
+    ) -> Millivolts {
         self.vmin_with_active_cores(core, workload, frequency, 1)
     }
 
@@ -208,7 +213,10 @@ impl ChipProfile {
         frequency: Megahertz,
         active_cores: usize,
     ) -> Millivolts {
-        assert!((1..=CORE_COUNT).contains(&active_cores), "1..=8 active cores");
+        assert!(
+            (1..=CORE_COUNT).contains(&active_cores),
+            "1..=8 active cores"
+        );
         let logic = self.logic_vmin_mv(core, workload, frequency)
             + self.multicore_penalty_mv * (active_cores as f64 - 1.0);
         // The shared rail also feeds the cache SRAM arrays; whichever gives
@@ -280,7 +288,12 @@ impl ChipProfile {
 
     /// The guardband (in mV) that nominal 980 mV leaves above `workload`'s
     /// Vmin on `core`.
-    pub fn guardband_mv(&self, core: CoreId, workload: &WorkloadProfile, frequency: Megahertz) -> i64 {
+    pub fn guardband_mv(
+        &self,
+        core: CoreId,
+        workload: &WorkloadProfile,
+        frequency: Megahertz,
+    ) -> i64 {
         i64::from(Millivolts::XGENE2_NOMINAL.as_u32())
             - i64::from(self.vmin(core, workload, frequency).as_u32())
     }
@@ -294,8 +307,7 @@ impl ChipProfile {
     pub fn fmax(&self, core: CoreId, workload: &WorkloadProfile, voltage: Millivolts) -> Megahertz {
         // logic_vmin(f) = vmin(f_nom) − slope · (f_nom − f) ≤ V
         //   ⇔ f ≤ f_nom + (V − vmin(f_nom)) / slope
-        let vmin_at_nominal =
-            self.logic_vmin_mv(core, workload, Megahertz::XGENE2_NOMINAL);
+        let vmin_at_nominal = self.logic_vmin_mv(core, workload, Megahertz::XGENE2_NOMINAL);
         let headroom_mv = f64::from(voltage.as_u32()) - vmin_at_nominal;
         let f = if headroom_mv >= 0.0 {
             // Above nominal frequency the voltage/frequency slope steepens
@@ -304,8 +316,7 @@ impl ChipProfile {
             f64::from(Megahertz::XGENE2_NOMINAL.as_u32())
                 + headroom_mv / self.overclock_slope_mv_per_mhz()
         } else {
-            f64::from(Megahertz::XGENE2_NOMINAL.as_u32())
-                + headroom_mv / self.freq_slope_mv_per_mhz
+            f64::from(Megahertz::XGENE2_NOMINAL.as_u32()) + headroom_mv / self.freq_slope_mv_per_mhz
         };
         Megahertz::new(f.clamp(200.0, 3200.0) as u32)
     }
@@ -371,7 +382,11 @@ mod tests {
     fn virus_vmin_matches_fig7_margins() {
         // TTT 60 mV margin, TFF 20 mV, TSS ~0 (crashes 10 mV below nominal).
         let virus = virus_like();
-        let expect = [(SigmaBin::Ttt, 60), (SigmaBin::Tff, 20), (SigmaBin::Tss, 10)];
+        let expect = [
+            (SigmaBin::Ttt, 60),
+            (SigmaBin::Tff, 20),
+            (SigmaBin::Tss, 10),
+        ];
         for (bin, margin) in expect {
             let chip = ChipProfile::corner(bin);
             let v = chip.vmin(chip.most_robust_core(), &virus, Megahertz::XGENE2_NOMINAL);
@@ -418,10 +433,7 @@ mod tests {
         let light = spec_like(0.2);
         let heavy = spec_like(0.7);
         let f = Megahertz::XGENE2_NOMINAL;
-        let assignments = [
-            (CoreId::new(0), &heavy, f),
-            (CoreId::new(6), &light, f),
-        ];
+        let assignments = [(CoreId::new(0), &heavy, f), (CoreId::new(6), &light, f)];
         let rail = ttt.rail_vmin(&assignments).unwrap();
         let solo_heavy = ttt.vmin_with_active_cores(CoreId::new(0), &heavy, f, 2);
         assert_eq!(rail, solo_heavy);

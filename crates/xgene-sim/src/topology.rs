@@ -110,8 +110,12 @@ pub enum CacheLevel {
 
 impl CacheLevel {
     /// All levels, innermost first.
-    pub const ALL: [CacheLevel; 4] =
-        [CacheLevel::L1I, CacheLevel::L1D, CacheLevel::L2, CacheLevel::L3];
+    pub const ALL: [CacheLevel; 4] = [
+        CacheLevel::L1I,
+        CacheLevel::L1D,
+        CacheLevel::L2,
+        CacheLevel::L3,
+    ];
 
     /// Capacity in bytes.
     pub fn capacity(self) -> usize {

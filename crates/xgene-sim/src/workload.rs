@@ -83,7 +83,11 @@ impl WorkloadProfile {
 
     /// An idle core (the paper's "idle Vmin test" baseline).
     pub fn idle() -> Self {
-        WorkloadProfile::builder("idle").activity(0.02).swing(0.01).ipc(0.0).build()
+        WorkloadProfile::builder("idle")
+            .activity(0.02)
+            .swing(0.01)
+            .ipc(0.0)
+            .build()
     }
 
     /// Workload name.
@@ -139,7 +143,11 @@ impl WorkloadProfile {
 
 impl fmt::Display for WorkloadProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (act {:.2}, swing {:.2})", self.name, self.activity, self.swing)
+        write!(
+            f,
+            "{} (act {:.2}, swing {:.2})",
+            self.name, self.activity, self.swing
+        )
     }
 }
 
@@ -189,7 +197,10 @@ impl WorkloadProfileBuilder {
     ///
     /// Panics if outside `[0, 1]`.
     pub fn memory_intensity(mut self, intensity: f64) -> Self {
-        assert!((0.0..=1.0).contains(&intensity), "memory intensity in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&intensity),
+            "memory intensity in [0,1]"
+        );
         self.profile.memory_intensity = intensity;
         self
     }
@@ -251,7 +262,10 @@ mod tests {
 
     #[test]
     fn resonant_energy_requires_alignment() {
-        let off = WorkloadProfile::builder("off").swing(1.0).resonance_alignment(0.0).build();
+        let off = WorkloadProfile::builder("off")
+            .swing(1.0)
+            .resonance_alignment(0.0)
+            .build();
         assert_eq!(off.resonant_energy(), 0.0);
     }
 

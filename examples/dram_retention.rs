@@ -16,7 +16,10 @@ use armv8_guardbands::xgene_sim::server::XGene2Server;
 use armv8_guardbands::xgene_sim::sigma::SigmaBin;
 
 fn main() {
-    for config in [DramCampaignConfig::dsn18_50c(), DramCampaignConfig::dsn18_60c()] {
+    for config in [
+        DramCampaignConfig::dsn18_50c(),
+        DramCampaignConfig::dsn18_60c(),
+    ] {
         let mut server = XGene2Server::new(SigmaBin::Ttt, 11);
         let mut testbed = ThermalTestbed::new(Celsius::new(25.0), 11);
         let report = run_dram_campaign(&mut server, &mut testbed, &config);
@@ -24,7 +27,10 @@ fn main() {
             "=== {} (regulated to within {:.2} °C) ===",
             config.temperature, report.regulation_deviation
         );
-        println!("unique error locations per bank: {:?}", report.unique_per_bank);
+        println!(
+            "unique error locations per bank: {:?}",
+            report.unique_per_bank
+        );
         println!(
             "bank-to-bank spread: {:.0}%  |  CEs {}  UEs {}",
             report.bank_spread() * 100.0,
@@ -44,12 +50,24 @@ fn main() {
         .set_trefp(Milliseconds::DSN18_RELAXED_TREFP)
         .expect("relaxed TREFP is valid");
     let kernels = rodinia::suite();
-    let cfg = KernelConfig { scale: 96, iterations: 6, seed: 11, runtime_ms: 5000.0 };
-    println!("=== Rodinia under TREFP {} @60 °C ===", Milliseconds::DSN18_RELAXED_TREFP);
+    let cfg = KernelConfig {
+        scale: 96,
+        iterations: 6,
+        seed: 11,
+        runtime_ms: 5000.0,
+    };
+    println!(
+        "=== Rodinia under TREFP {} @60 °C ===",
+        Milliseconds::DSN18_RELAXED_TREFP
+    );
     for (name, ber, correct) in rodinia_bers(&mut server, &kernels, &cfg) {
         println!(
             "  {name:<10} BER {ber:.3e}  output {}",
-            if correct { "correct (ECC absorbed all flips)" } else { "CORRUPTED" }
+            if correct {
+                "correct (ECC absorbed all flips)"
+            } else {
+                "CORRUPTED"
+            }
         );
     }
     println!("=== Fig. 8b: DRAM power saving from the 35x relaxation ===");

@@ -32,8 +32,12 @@ fn main() {
     println!("derived safe point: {point}");
 
     // Apply through SLIMpro.
-    server.set_pmd_voltage(point.pmd_voltage).expect("within regulator range");
-    server.set_soc_voltage(point.soc_voltage).expect("within regulator range");
+    server
+        .set_pmd_voltage(point.pmd_voltage)
+        .expect("within regulator range");
+    server
+        .set_soc_voltage(point.soc_voltage)
+        .expect("within regulator range");
     server.set_trefp(point.trefp).expect("positive TREFP");
 
     // Run the actual detector (4 parallel FFT-based instances) and check
@@ -54,7 +58,10 @@ fn main() {
 
     // Fig. 9 per-domain comparison.
     let safe = server.read_power(&load);
-    println!("\n{:<8}{:>10}{:>10}{:>9}", "domain", "nominal", "safe", "saving");
+    println!(
+        "\n{:<8}{:>10}{:>10}{:>9}",
+        "domain", "nominal", "safe", "saving"
+    );
     for kind in DomainKind::ALL {
         let n = nominal.domain(kind);
         let s = safe.domain(kind);

@@ -56,7 +56,10 @@ fn main() {
     let stats = simulate(&mut server, &mut governor, &schedule, core, 1000);
 
     println!("\nafter {} epochs:", stats.epochs);
-    println!("  mean commanded voltage: {:.0} mV (nominal 980 mV)", stats.mean_voltage_mv());
+    println!(
+        "  mean commanded voltage: {:.0} mV (nominal 980 mV)",
+        stats.mean_voltage_mv()
+    );
     println!(
         "  dynamic-power savings proxy: {:.1}%",
         (1.0 - stats.mean_power_ratio()) * 100.0
@@ -67,8 +70,16 @@ fn main() {
         stats.disruptions,
         server.reset_count()
     );
-    let milc = SPEC_SUITE.iter().find(|b| b.name == "milc").unwrap().profile();
-    let mcf = SPEC_SUITE.iter().find(|b| b.name == "mcf").unwrap().profile();
+    let milc = SPEC_SUITE
+        .iter()
+        .find(|b| b.name == "milc")
+        .unwrap()
+        .profile();
+    let mcf = SPEC_SUITE
+        .iter()
+        .find(|b| b.name == "mcf")
+        .unwrap()
+        .profile();
     println!(
         "  phase awareness: chooses {} for mcf vs {} for milc",
         governor.choose(&mcf),

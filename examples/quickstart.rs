@@ -21,13 +21,20 @@ fn main() {
 
     // Undervolting campaign for one SPEC benchmark, 10 repetitions per
     // 5 mV step, exactly as in the paper.
-    let bench = by_name("milc").expect("milc is part of the suite").profile();
+    let bench = by_name("milc")
+        .expect("milc is part of the suite")
+        .profile();
     let campaign = VminCampaign::dsn18(vec![bench], vec![core]);
     let result = CampaignRunner::new(&mut server).run(&campaign);
 
-    let vmin = result.vmin("milc", core).expect("the schedule reaches below Vmin");
+    let vmin = result
+        .vmin("milc", core)
+        .expect("the schedule reaches below Vmin");
     let guardband = Guardband::new("milc", SigmaBin::Ttt, vmin, Millivolts::XGENE2_NOMINAL);
-    println!("milc Vmin on {core}: {vmin} (nominal {})", Millivolts::XGENE2_NOMINAL);
+    println!(
+        "milc Vmin on {core}: {vmin} (nominal {})",
+        Millivolts::XGENE2_NOMINAL
+    );
     println!(
         "guardband: {} mV of headroom = {:.1}% voltage / {:.1}% power-equivalent",
         guardband.margin_mv(),

@@ -1,0 +1,92 @@
+//! Resilient campaign execution: a Vmin campaign that survives a hostile
+//! harness — failed power cycles, boot loops, silently dropped V/F
+//! restores — retries with exponential backoff, quarantines setups that
+//! keep crashing the board, and resumes bit-identically from a JSON
+//! checkpoint after being "killed" mid-flight.
+//!
+//! ```sh
+//! cargo run --example resilient_campaign
+//! ```
+
+use armv8_guardbands::char_fw::report::quarantine_to_csv;
+use armv8_guardbands::char_fw::resilience::{CampaignCheckpoint, ResilienceConfig};
+use armv8_guardbands::char_fw::runner::ResilientRunner;
+use armv8_guardbands::char_fw::setup::VminCampaign;
+use armv8_guardbands::workload_sim::spec::by_name;
+use armv8_guardbands::xgene_sim::fault::FaultPlan;
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+
+fn main() {
+    // A slow-corner chip, its weakest core, and coarse 150 mV steps: the
+    // second setup sits deep in the crash zone, so the board goes down
+    // hard — exactly what the recovery machinery is for.
+    let bench = by_name("milc")
+        .expect("milc is part of the suite")
+        .profile();
+    let make_campaign = || {
+        let mut c = VminCampaign::dsn18(vec![bench.clone()], vec![]);
+        c.step_mv = 150;
+        c
+    };
+
+    // The hostile harness: a 40 % chance that a power cycle leaves the
+    // board hung, occasional boot loops and lost voltage restores — plus
+    // one forced hang (reset 0) and one forced lost restore (write 10,
+    // the first write at the second voltage step) so the demo always
+    // shows every failure class.
+    let plan = FaultPlan::quiet(7)
+        .with_power_cycle_failure_rate(0.4)
+        .with_boot_loop_rate(0.1)
+        .with_setup_loss_rate(0.02)
+        .force_hang_at(0)
+        .force_setup_loss_at(10);
+
+    let mut server = XGene2Server::new(SigmaBin::Tss, 56);
+    let core = server.chip().weakest_core();
+    server.install_fault_plan(plan.clone());
+    let mut campaign = make_campaign();
+    campaign.cores = vec![core];
+    println!("booted TSS X-Gene2 under a hostile fault plan; testing {core}");
+
+    // Reference: the same campaign uninterrupted.
+    let reference = ResilientRunner::new(&mut server, campaign.clone(), ResilienceConfig::dsn18())
+        .run_to_completion();
+
+    // Now the same campaign, "killed" after 5 runs and resumed from the
+    // serialized checkpoint on a brand-new server object.
+    let mut victim = XGene2Server::new(SigmaBin::Tss, 56);
+    victim.install_fault_plan(plan);
+    let mut runner = ResilientRunner::new(&mut victim, campaign, ResilienceConfig::dsn18());
+    for _ in 0..5 {
+        runner.step();
+    }
+    let json = runner.checkpoint().to_json();
+    drop(runner);
+    println!(
+        "\nkilled the campaign mid-flight; checkpoint is {} bytes of JSON",
+        json.len()
+    );
+
+    let mut fresh = XGene2Server::new(SigmaBin::Tff, 0); // any state: overwritten
+    let checkpoint = CampaignCheckpoint::from_json(&json).expect("checkpoint decodes");
+    let resumed = ResilientRunner::resume(&mut fresh, checkpoint).run_to_completion();
+    assert_eq!(reference, resumed, "resume must be bit-identical");
+    println!("resumed campaign is bit-identical to the uninterrupted one");
+
+    let vmin = resumed.vmin("milc", core).expect("a safe setup exists");
+    println!("\nmilc Vmin on {core}: {vmin} — measured through the hostile harness");
+
+    let r = &resumed.recovery;
+    println!("\nrecovery summary:");
+    println!("  failed power cycles : {}", r.failed_power_cycles);
+    println!("  reset retries       : {}", r.reset_retries);
+    println!("  backoff bookkept    : {} ms", r.total_backoff_ms);
+    println!("  V/F restores        : {}", r.setup_restores);
+    println!("  quarantined points  : {}", r.quarantined_points);
+    assert!(r.failed_power_cycles >= 1, "the forced hang fired");
+    assert!(r.setup_restores >= 1, "the forced lost restore fired");
+    assert!(r.quarantined_points >= 1, "the crash point was quarantined");
+
+    println!("\nquarantine report:\n{}", quarantine_to_csv(&resumed));
+}

@@ -48,7 +48,10 @@ fn main() {
 
         // The framework's parsing phase emits CSV for downstream analysis.
         let csv = vmins_to_csv(&result);
-        println!("CSV preview:\n{}", csv.lines().take(4).collect::<Vec<_>>().join("\n"));
+        println!(
+            "CSV preview:\n{}",
+            csv.lines().take(4).collect::<Vec<_>>().join("\n")
+        );
         println!();
     }
 }

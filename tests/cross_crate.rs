@@ -3,9 +3,7 @@
 
 use armv8_guardbands::dram_sim::array::DramArray;
 use armv8_guardbands::dram_sim::patterns::DataPattern;
-use armv8_guardbands::dram_sim::retention::{
-    PopulationSpec, RetentionModel, WeakCellPopulation,
-};
+use armv8_guardbands::dram_sim::retention::{PopulationSpec, RetentionModel, WeakCellPopulation};
 use armv8_guardbands::power_model::units::{Celsius, Milliseconds, Watts};
 use armv8_guardbands::thermal_sim::testbed::{ChannelId, ThermalTestbed};
 use armv8_guardbands::workload_sim::stencil::{JacobiStencil, SweepSchedule};
@@ -69,7 +67,10 @@ fn paced_stencil_reduces_ecc_reliance() {
         bursty.unique_error_locations,
         paced.unique_error_locations
     );
-    assert_eq!(bursty.checksum, paced.checksum, "results are numerically identical");
+    assert_eq!(
+        bursty.checksum, paced.checksum,
+        "results are numerically identical"
+    );
 }
 
 /// SLIMpro error reporting and the framework's counters agree: every CE
@@ -79,8 +80,12 @@ fn slimpro_error_reporting_is_consistent() {
     let mut server = XGene2Server::new(SigmaBin::Ttt, 55);
     server.set_dram_temperature(Celsius::new(60.0));
     server.set_trefp(Milliseconds::DSN18_RELAXED_TREFP).unwrap();
-    server.dram_mut().fill_pattern(DataPattern::Random { seed: 2 });
-    server.dram_mut().advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
+    server
+        .dram_mut()
+        .fill_pattern(DataPattern::Random { seed: 2 });
+    server
+        .dram_mut()
+        .advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
     let report = server.dram_mut().scrub();
     let log = server.dram().error_log();
     assert_eq!(report.ce_events, log.ce_count());
@@ -101,7 +106,9 @@ fn dram_domain_savings_agree_between_models() {
     let load = ServerLoad::jammer_detector();
     let nominal = server.power(&OperatingPoint::nominal(), &load);
     let safe = server.power(&OperatingPoint::dsn18_safe_point(), &load);
-    let in_breakdown = nominal.domain(DomainKind::Dram).savings_to(safe.domain(DomainKind::Dram));
+    let in_breakdown = nominal
+        .domain(DomainKind::Dram)
+        .savings_to(safe.domain(DomainKind::Dram));
 
     let standalone = DramDomain::xgene2(Watts::new(9.0)).refresh_relaxation_savings(
         Milliseconds::DSN18_RELAXED_TREFP,
@@ -124,7 +131,11 @@ fn em_fitness_and_vmin_model_agree_on_worst_case() {
 
     let pdn = PdnModel::xgene2();
     let mut probe = EmProbe::new(pdn, 9);
-    let config = GaConfig { population: 24, generations: 30, ..GaConfig::dsn18() };
+    let config = GaConfig {
+        population: 24,
+        generations: 30,
+        ..GaConfig::dsn18()
+    };
     let champion = evolve(&config, &mut probe);
 
     let chip = ChipProfile::corner(SigmaBin::Ttt);

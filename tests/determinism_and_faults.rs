@@ -7,10 +7,8 @@ use armv8_guardbands::char_fw::runner::CampaignRunner;
 use armv8_guardbands::char_fw::setup::VminCampaign;
 use armv8_guardbands::dram_sim::array::DramArray;
 use armv8_guardbands::dram_sim::patterns::DataPattern;
-use armv8_guardbands::dram_sim::retention::{
-    PopulationSpec, RetentionModel, WeakCellPopulation,
-};
-use armv8_guardbands::power_model::units::{Celsius, Millivolts, Milliseconds};
+use armv8_guardbands::dram_sim::retention::{PopulationSpec, RetentionModel, WeakCellPopulation};
+use armv8_guardbands::power_model::units::{Celsius, Milliseconds, Millivolts};
 use armv8_guardbands::workload_sim::spec::SPEC_SUITE;
 use armv8_guardbands::xgene_sim::fault::RunOutcome;
 use armv8_guardbands::xgene_sim::server::XGene2Server;
@@ -48,12 +46,19 @@ fn dram_populations_vary_by_seed_but_agree_statistically() {
 fn fault_severity_staircase() {
     let mut server = XGene2Server::new(SigmaBin::Ttt, 99);
     let core = server.chip().most_robust_core();
-    let bench = SPEC_SUITE.iter().find(|b| b.name == "milc").unwrap().profile();
+    let bench = SPEC_SUITE
+        .iter()
+        .find(|b| b.name == "milc")
+        .unwrap()
+        .profile();
 
     // Comfortably above Vmin (885): always correct.
     server.set_pmd_voltage(Millivolts::new(940)).unwrap();
     for _ in 0..20 {
-        assert_eq!(server.run_on_core(core, &bench).outcome, RunOutcome::Correct);
+        assert_eq!(
+            server.run_on_core(core, &bench).outcome,
+            RunOutcome::Correct
+        );
     }
 
     // Far below: guaranteed crash, watchdog reset, reboot at nominal.
@@ -64,7 +69,10 @@ fn fault_severity_staircase() {
     assert_eq!(server.pmd_voltage(), Millivolts::XGENE2_NOMINAL);
 
     // After the reset the board runs clean again.
-    assert_eq!(server.run_on_core(core, &bench).outcome, RunOutcome::Correct);
+    assert_eq!(
+        server.run_on_core(core, &bench).outcome,
+        RunOutcome::Correct
+    );
 }
 
 /// Pushing DRAM past the characterized envelope (70 °C with a population
@@ -102,8 +110,11 @@ fn nominal_refresh_is_bulletproof_to_60c() {
     let model = RetentionModel::xgene2_micron();
     let pop = WeakCellPopulation::generate(&model, PopulationSpec::dsn18(), 5);
     for temp in [45.0, 50.0, 60.0] {
-        let mut dram =
-            DramArray::new(pop.clone(), Milliseconds::DDR3_NOMINAL_TREFP, Celsius::new(temp));
+        let mut dram = DramArray::new(
+            pop.clone(),
+            Milliseconds::DDR3_NOMINAL_TREFP,
+            Celsius::new(temp),
+        );
         for pattern in DataPattern::dpbench_suite(8) {
             dram.fill_pattern(pattern);
             dram.advance(10_000.0);

@@ -31,14 +31,20 @@ fn full_study_pipeline_reproduces_the_paper_arc() {
     let campaign = VminCampaign::dsn18(suite, vec![core]);
     let cpu = CampaignRunner::new(&mut server).run(&campaign);
     let worst_vmin = cpu.vmins.iter().filter_map(|v| v.vmin).max().unwrap();
-    assert!(worst_vmin < Millivolts::XGENE2_NOMINAL, "a guardband exists");
+    assert!(
+        worst_vmin < Millivolts::XGENE2_NOMINAL,
+        "a guardband exists"
+    );
 
     // Phase 2: DRAM characterization on the thermal testbed at 60 °C.
     let mut testbed = ThermalTestbed::new(Celsius::new(25.0), 1001);
     let dram = run_dram_campaign(&mut server, &mut testbed, &DramCampaignConfig::dsn18_60c());
     assert!(dram.regulation_deviation < 1.0);
     assert_eq!(dram.ue_total, 0, "SECDED must absorb everything at 60 °C");
-    assert!(dram.ce_total > 1_000, "relaxed refresh manifests correctable errors");
+    assert!(
+        dram.ce_total > 1_000,
+        "relaxed refresh manifests correctable errors"
+    );
 
     // Phase 3: pick the exploitation point.
     let relax = choose_relaxation(
@@ -55,7 +61,9 @@ fn full_study_pipeline_reproduces_the_paper_arc() {
     // the campaigns left the board at their last characterization setup.
     server.set_pmd_voltage(Millivolts::XGENE2_NOMINAL).unwrap();
     server.set_soc_voltage(Millivolts::XGENE2_NOMINAL).unwrap();
-    server.set_trefp(armv8_guardbands::power_model::units::Milliseconds::DDR3_NOMINAL_TREFP).unwrap();
+    server
+        .set_trefp(armv8_guardbands::power_model::units::Milliseconds::DDR3_NOMINAL_TREFP)
+        .unwrap();
     let load = ServerLoad::jammer_detector();
     let nominal = server.read_total_power(&load);
     server.set_pmd_voltage(point.pmd_voltage).unwrap();
@@ -67,9 +75,20 @@ fn full_study_pipeline_reproduces_the_paper_arc() {
 
     let profile = jammer::profile();
     let assignments: Vec<_> = cores.iter().map(|c| (*c, &profile)).collect();
+    // Characterization may legitimately crash the board (that is what the
+    // watchdog is for); what must hold is that *exploitation* at the safe
+    // point causes no new disruption.
+    let resets_before_exploitation = server.reset_count();
     let outcomes = server.run_many(&assignments);
-    assert!(outcomes.iter().all(|r| r.outcome.is_usable()), "{outcomes:?}");
-    assert_eq!(server.reset_count(), 0, "no disruption at the safe point");
+    assert!(
+        outcomes.iter().all(|r| r.outcome.is_usable()),
+        "{outcomes:?}"
+    );
+    assert_eq!(
+        server.reset_count(),
+        resets_before_exploitation,
+        "no disruption at the safe point"
+    );
 }
 
 /// The slow (TSS) corner must be left at nominal under the virus — its
@@ -100,7 +119,11 @@ fn tss_corner_is_not_virus_safe_below_nominal() {
 /// corners carry their own calibrated personalities.
 #[test]
 fn corners_have_distinct_guardbands() {
-    let profile = SPEC_SUITE.iter().find(|b| b.name == "milc").unwrap().profile();
+    let profile = SPEC_SUITE
+        .iter()
+        .find(|b| b.name == "milc")
+        .unwrap()
+        .profile();
     let mut vmins = Vec::new();
     for bin in SigmaBin::ALL {
         let mut server = XGene2Server::new(bin, 1003);

@@ -3,13 +3,11 @@
 //! patrol scrubber and the execution-measured droop path.
 
 use armv8_guardbands::char_fw::frequency::{run_fmax_campaign, FmaxCampaign};
-use armv8_guardbands::char_fw::multiprocess::{
-    run_multiprocess_campaign, MultiProcessCampaign,
-};
+use armv8_guardbands::char_fw::multiprocess::{run_multiprocess_campaign, MultiProcessCampaign};
 use armv8_guardbands::dram_sim::scrubber::{PatrolScrubber, ScrubberConfig};
 use armv8_guardbands::dram_sim::timing::refresh_overhead_for;
 use armv8_guardbands::guardband_core::droop_history::{DroopHistory, FailurePredictor};
-use armv8_guardbands::power_model::units::{Celsius, Megahertz, Millivolts, Milliseconds};
+use armv8_guardbands::power_model::units::{Celsius, Megahertz, Milliseconds, Millivolts};
 use armv8_guardbands::stress_gen::exec::execute_genome;
 use armv8_guardbands::stress_gen::ga::{evolve, GaConfig};
 use armv8_guardbands::workload_sim::spec::{by_name, fig5_mix};
@@ -38,7 +36,10 @@ fn voltage_and_frequency_guardbands_are_one_surface() {
         .fmax
         .unwrap_or(Megahertz::new(200));
     assert!(at_nominal.as_u32() >= 2550, "nominal Fmax {at_nominal}");
-    assert!(at_890 < at_nominal, "890 mV Fmax {at_890} vs nominal {at_nominal}");
+    assert!(
+        at_890 < at_nominal,
+        "890 mV Fmax {at_890} vs nominal {at_nominal}"
+    );
 }
 
 /// The multi-process campaign's 8-instance rail Vmin exceeds every
@@ -49,12 +50,9 @@ fn multiprocess_rail_exceeds_singles() {
     let mut ordered = mix.clone();
     ordered.sort_by(|a, b| b.droop_score().total_cmp(&a.droop_score()));
     let mut server = XGene2Server::new(SigmaBin::Ttt, 112);
-    let rail = run_multiprocess_campaign(
-        &mut server,
-        &MultiProcessCampaign::dsn18(ordered),
-    )
-    .rail_vmin
-    .unwrap();
+    let rail = run_multiprocess_campaign(&mut server, &MultiProcessCampaign::dsn18(ordered))
+        .rail_vmin
+        .unwrap();
     let chip = server.chip().clone();
     for (i, w) in mix.iter().enumerate() {
         let solo = chip.vmin(CoreId::new(i as u8), w, Megahertz::XGENE2_NOMINAL);
@@ -73,7 +71,10 @@ fn refresh_relaxation_also_buys_performance() {
     assert!(nominal.stall_per_access() > 1.0);
     assert!(relaxed.stall_per_access() < 0.2);
     // Row-buffer behaviour itself is unchanged — only the stalls go away.
-    assert_eq!(nominal.row_hits + nominal.row_misses + nominal.row_conflicts, 30_000);
+    assert_eq!(
+        nominal.row_hits + nominal.row_misses + nominal.row_conflicts,
+        30_000
+    );
 }
 
 /// Scrubbing composes with the relaxed refresh on a live server: after a
@@ -86,12 +87,17 @@ fn scrubber_quiesces_a_relaxed_server() {
     server
         .dram_mut()
         .fill_pattern(armv8_guardbands::dram_sim::patterns::DataPattern::Random { seed: 5 });
-    server.dram_mut().advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
+    server
+        .dram_mut()
+        .advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
 
-    let mut scrubber = PatrolScrubber::new(server.dram(), ScrubberConfig {
-        patrol_period_ms: 500.0,
-        burst_words: 8192,
-    });
+    let mut scrubber = PatrolScrubber::new(
+        server.dram(),
+        ScrubberConfig {
+            patrol_period_ms: 500.0,
+            burst_words: 8192,
+        },
+    );
     scrubber.run_for(server.dram_mut(), 500.0);
     let corrections = scrubber.stats().corrections;
     assert!(corrections > 1_000);
@@ -115,7 +121,11 @@ fn scrubber_quiesces_a_relaxed_server() {
 fn executed_droops_feed_the_failure_predictor() {
     let pdn = PdnModel::xgene2();
     let mut probe = EmProbe::new(pdn, 114);
-    let config = GaConfig { population: 20, generations: 20, ..GaConfig::dsn18() };
+    let config = GaConfig {
+        population: 20,
+        generations: 20,
+        ..GaConfig::dsn18()
+    };
     let champion = evolve(&config, &mut probe).champion;
 
     let mut hierarchy = CacheHierarchy::xgene2();
@@ -126,7 +136,11 @@ fn executed_droops_feed_the_failure_predictor() {
         history.record_trace(&pdn, &report.current_trace, period);
     }
     assert_eq!(history.len(), 32);
-    assert!(history.mean() > 1.0, "measured droops {} mV", history.mean());
+    assert!(
+        history.mean() > 1.0,
+        "measured droops {} mV",
+        history.mean()
+    );
 
     let intrinsic = Millivolts::new(850);
     let predictor = FailurePredictor::new(intrinsic, history);

@@ -22,7 +22,11 @@ fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
 }
 
 fn arb_corner() -> impl Strategy<Value = SigmaBin> {
-    prop_oneof![Just(SigmaBin::Ttt), Just(SigmaBin::Tff), Just(SigmaBin::Tss)]
+    prop_oneof![
+        Just(SigmaBin::Ttt),
+        Just(SigmaBin::Tff),
+        Just(SigmaBin::Tss)
+    ]
 }
 
 proptest! {
@@ -127,7 +131,7 @@ proptest! {
         let w = WorkloadProfile::builder("w").activity(activity).build();
         let v = gov.choose(&w);
         prop_assert!(v <= Millivolts::XGENE2_NOMINAL);
-        prop_assert!(v.as_u32() % 5 == 0, "regulator grid");
+        prop_assert!(v.as_u32().is_multiple_of(5), "regulator grid");
     }
 
     /// DPBench pattern words are pure functions of the address.
@@ -180,5 +184,64 @@ proptest! {
         }
         let model = VminPredictor::train(&data).unwrap();
         prop_assert!(model.training_rmse_mv(&data) < 1.0);
+    }
+}
+
+proptest! {
+    /// Killing a campaign at *any* run boundary and resuming it from a
+    /// JSON checkpoint reproduces the uninterrupted result bit-for-bit —
+    /// RNG state, fault-plan state and quarantine bookkeeping included.
+    #[test]
+    fn checkpoint_resume_is_transparent_at_any_boundary(
+        seed in 0u64..500,
+        steps_before_pause in 0usize..48,
+        step_mv in prop_oneof![Just(20u32), Just(60), Just(150)],
+    ) {
+        use armv8_guardbands::char_fw::resilience::{CampaignCheckpoint, ResilienceConfig};
+        use armv8_guardbands::char_fw::runner::ResilientRunner;
+        use armv8_guardbands::char_fw::setup::VminCampaign;
+        use armv8_guardbands::workload_sim::spec::by_name;
+        use armv8_guardbands::xgene_sim::fault::FaultPlan;
+        use armv8_guardbands::xgene_sim::server::XGene2Server;
+
+        let profile = by_name("milc").unwrap().profile();
+        let make_campaign = || {
+            let mut c = VminCampaign::dsn18(vec![profile.clone()], vec![CoreId::new(3)]);
+            c.step_mv = step_mv;
+            c.repetitions = 2;
+            c
+        };
+        let make_server = || {
+            let mut s = XGene2Server::new(SigmaBin::Ttt, seed);
+            s.install_fault_plan(FaultPlan::hostile(seed.wrapping_add(1)));
+            s
+        };
+
+        let mut ref_server = make_server();
+        let reference = ResilientRunner::new(
+            &mut ref_server,
+            make_campaign(),
+            ResilienceConfig::dsn18(),
+        )
+        .run_to_completion();
+
+        let mut server = make_server();
+        let mut runner =
+            ResilientRunner::new(&mut server, make_campaign(), ResilienceConfig::dsn18());
+        for _ in 0..steps_before_pause {
+            if !runner.step() {
+                break;
+            }
+        }
+        let json = runner.checkpoint().to_json();
+        drop(runner);
+
+        // "Kill the process": resume onto a brand-new server object.
+        let mut resumed_server = XGene2Server::new(SigmaBin::Tff, 0);
+        let checkpoint = CampaignCheckpoint::from_json(&json).unwrap();
+        let resumed =
+            ResilientRunner::resume(&mut resumed_server, checkpoint).run_to_completion();
+
+        prop_assert_eq!(reference, resumed);
     }
 }
