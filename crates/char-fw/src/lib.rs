@@ -18,7 +18,7 @@
 //! * [`frequency`] — Fmax campaigns (the DVFS dual of the Vmin search);
 //! * [`multiprocess`] — rail-Vmin campaigns for simultaneous instances
 //!   (the single-process → Fig. 5 mix bridge);
-//! * [`soak`] — long-duration safe-point qualification ("without any
+//! * [`mod@soak`] — long-duration safe-point qualification ("without any
 //!   disruption").
 //!
 //! # Examples

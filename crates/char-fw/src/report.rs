@@ -92,6 +92,52 @@ pub fn quarantine_to_csv(result: &CampaignResult) -> String {
     csv
 }
 
+/// Builds a metrics registry summarizing a finished campaign: run and
+/// outcome counters, recovery work (retries, backoff, setup restores),
+/// quarantine totals and a per-run reset-retry histogram.
+///
+/// This is the post-hoc counterpart to the live counters the runner
+/// emits while a campaign executes: it derives the same families of
+/// numbers from the final [`CampaignResult`], so reports can be
+/// rendered (Prometheus text or JSON) without having had a telemetry
+/// context installed during the run.
+pub fn campaign_metrics(result: &CampaignResult) -> telemetry::Registry {
+    let reg = telemetry::Registry::new();
+    reg.counter_add("campaign_runs_total", result.records.len() as u64);
+    let mut counts = OutcomeCounts::default();
+    reg.register_histogram("run_reset_retries", &[0.0, 1.0, 2.0, 4.0, 8.0]);
+    for r in &result.records {
+        counts.record(r.outcome);
+        reg.observe("run_reset_retries", f64::from(r.reset_retries));
+    }
+    reg.counter_add("campaign_correct_total", counts.correct);
+    reg.counter_add("campaign_ce_total", counts.ce);
+    reg.counter_add("campaign_ue_total", counts.ue);
+    reg.counter_add("campaign_sdc_total", counts.sdc);
+    reg.counter_add("campaign_crashes_total", counts.crash);
+    reg.counter_add("campaign_watchdog_resets_total", result.watchdog_resets);
+    reg.counter_add(
+        "campaign_quarantines_total",
+        result.quarantined.len() as u64,
+    );
+    reg.counter_add("campaign_vmin_points_total", result.vmins.len() as u64);
+    reg.counter_add("recovery_retries_total", result.recovery.reset_retries);
+    reg.counter_add(
+        "recovery_backoff_ms_total",
+        result.recovery.total_backoff_ms,
+    );
+    reg.counter_add(
+        "recovery_failed_power_cycles_total",
+        result.recovery.failed_power_cycles,
+    );
+    reg.counter_add("setup_restores_total", result.recovery.setup_restores);
+    reg.counter_add(
+        "precautionary_resets_total",
+        result.recovery.precautionary_resets,
+    );
+    reg
+}
+
 /// Renders the per-(benchmark, core) Vmin summary as CSV.
 pub fn vmins_to_csv(result: &CampaignResult) -> String {
     let mut csv = String::from("benchmark,core,vmin_mv,first_failure_mv\n");
@@ -187,6 +233,47 @@ mod tests {
                 .count()
                 == 1
         );
+    }
+
+    #[test]
+    fn campaign_metrics_summarize_the_result() {
+        let mut crash = record("mcf", 880, RunOutcome::Crash);
+        crash.reset_retries = 2;
+        let result = CampaignResult {
+            records: vec![
+                record("mcf", 900, RunOutcome::Correct),
+                record("mcf", 890, RunOutcome::CorrectableError),
+                record("mcf", 885, RunOutcome::SilentDataCorruption),
+                crash,
+            ],
+            watchdog_resets: 3,
+            recovery: crate::resilience::RecoveryStats {
+                failed_power_cycles: 1,
+                reset_retries: 2,
+                total_backoff_ms: 300,
+                setup_restores: 1,
+                quarantined_points: 0,
+                precautionary_resets: 1,
+            },
+            ..CampaignResult::default()
+        };
+        let reg = campaign_metrics(&result);
+        assert_eq!(reg.counter("campaign_runs_total"), 4);
+        assert_eq!(reg.counter("campaign_correct_total"), 1);
+        assert_eq!(reg.counter("campaign_ce_total"), 1);
+        assert_eq!(reg.counter("campaign_sdc_total"), 1);
+        assert_eq!(reg.counter("campaign_crashes_total"), 1);
+        assert_eq!(reg.counter("campaign_ue_total"), 0);
+        assert_eq!(reg.counter("campaign_watchdog_resets_total"), 3);
+        assert_eq!(reg.counter("recovery_retries_total"), 2);
+        assert_eq!(reg.counter("recovery_backoff_ms_total"), 300);
+        let retries = reg.histogram("run_reset_retries").unwrap();
+        assert_eq!(retries.count, 4);
+        assert_eq!(retries.counts[0], 3); // three runs with zero retries
+        let text = reg.prometheus();
+        assert!(text.contains("# TYPE campaign_runs_total counter"));
+        assert!(text.contains("campaign_runs_total 4"));
+        assert!(text.contains("run_reset_retries_bucket{le=\"2\"} 4"));
     }
 
     #[test]

@@ -26,6 +26,8 @@ use crate::runner::CampaignResult;
 use crate::setup::{Setup, VminCampaign};
 use power_model::units::Millivolts;
 use serde::{Deserialize, Serialize};
+use telemetry::metrics::MetricsSnapshot;
+use telemetry::Level;
 use xgene_sim::server::XGene2Server;
 
 /// Bounded exponential backoff for failed power cycles.
@@ -229,13 +231,34 @@ pub fn recover_board(server: &mut XGene2Server, retry: &RetryPolicy) -> BoardRec
     }
     recovery.failed_cycles += 1; // the cycle that hung the board
     while recovery.retries < retry.max_retries {
-        recovery.backoff_ms += retry.backoff_ms(recovery.retries);
+        let backoff = retry.backoff_ms(recovery.retries);
+        recovery.backoff_ms += backoff;
         recovery.retries += 1;
+        telemetry::event!(
+            Level::Warn,
+            "recovery_retry",
+            attempt = recovery.retries,
+            backoff_ms = backoff,
+        );
+        telemetry::counter!("recovery_retries_total");
+        telemetry::counter!("recovery_backoff_ms_total", backoff);
         if server.power_cycle() {
+            telemetry::event!(
+                Level::Info,
+                "board_recovered",
+                retries = recovery.retries,
+                backoff_ms = recovery.backoff_ms,
+            );
             return recovery;
         }
         recovery.failed_cycles += 1;
     }
+    telemetry::event!(
+        Level::Warn,
+        "recovery_escalated",
+        retries = recovery.retries,
+        backoff_ms = recovery.backoff_ms,
+    );
     server.force_recover();
     recovery.escalated = true;
     recovery
@@ -268,6 +291,14 @@ pub fn set_pmd_voltage_verified(
             restores < u64::from(max_attempts),
             "firmware dropped {restores} consecutive voltage restores"
         );
+        telemetry::event!(
+            Level::Warn,
+            "setup_restore_retry",
+            requested_mv = v.as_u32(),
+            actual_mv = server.pmd_voltage().as_u32(),
+            attempt = restores + 1,
+        );
+        telemetry::counter!("setup_restores_total");
         server
             .set_pmd_voltage(v)
             .expect("campaign voltages stay within regulator range");
@@ -324,6 +355,11 @@ pub struct CampaignCheckpoint {
     /// Server reset count when the campaign started (for the final
     /// watchdog tally).
     pub resets_before: u64,
+    /// Snapshot of the installed metrics registry at checkpoint time
+    /// (empty when no registry was installed). Defaults keep checkpoints
+    /// from before this field decodable.
+    #[serde(default)]
+    pub metrics: MetricsSnapshot,
 }
 
 impl CampaignCheckpoint {

@@ -23,6 +23,7 @@ use crate::resilience::{
 use crate::setup::{SafePolicy, Setup, VminCampaign};
 use power_model::units::Millivolts;
 use serde::{Deserialize, Serialize};
+use telemetry::Level;
 use xgene_sim::fault::RunOutcome;
 use xgene_sim::server::XGene2Server;
 use xgene_sim::topology::CoreId;
@@ -137,6 +138,8 @@ pub struct ResilientRunner<'a> {
     result: CampaignResult,
     resets_before: u64,
     done: bool,
+    /// Keeps the `campaign` tracing span open for the runner's lifetime.
+    _campaign_span: telemetry::SpanGuard,
 }
 
 impl<'a> ResilientRunner<'a> {
@@ -148,6 +151,13 @@ impl<'a> ResilientRunner<'a> {
     ) -> Self {
         let resets_before = server.reset_count();
         let done = campaign.benchmarks.is_empty() || campaign.cores.is_empty();
+        let span = telemetry::span!(
+            Level::Info,
+            "campaign",
+            benchmarks = campaign.benchmarks.len(),
+            cores = campaign.cores.len(),
+            repetitions = campaign.repetitions,
+        );
         ResilientRunner {
             server,
             campaign,
@@ -158,12 +168,24 @@ impl<'a> ResilientRunner<'a> {
             result: CampaignResult::default(),
             resets_before,
             done,
+            _campaign_span: span,
         }
     }
 
-    /// Snapshots the campaign at the current run boundary.
+    /// Snapshots the campaign at the current run boundary. The installed
+    /// metrics registry (if any) is embedded as an inert snapshot so a
+    /// resumed campaign's report starts from the same numbers.
     pub fn checkpoint(&self) -> CampaignCheckpoint {
+        telemetry::event!(
+            Level::Info,
+            "checkpoint_saved",
+            runs = self.result.records.len(),
+            bench_idx = self.cursor.bench_idx,
+            sched_idx = self.cursor.sched_idx,
+        );
+        telemetry::counter!("campaign_checkpoints_total");
         CampaignCheckpoint {
+            metrics: telemetry::with_registry(telemetry::Registry::snapshot).unwrap_or_default(),
             campaign: self.campaign.clone(),
             config: self.config,
             server: self.server.clone(),
@@ -182,6 +204,19 @@ impl<'a> ResilientRunner<'a> {
         *server = checkpoint.server;
         let done = checkpoint.cursor.bench_idx >= checkpoint.campaign.benchmarks.len()
             || checkpoint.campaign.cores.is_empty();
+        let span = telemetry::span!(
+            Level::Info,
+            "campaign",
+            benchmarks = checkpoint.campaign.benchmarks.len(),
+            cores = checkpoint.campaign.cores.len(),
+            resumed_runs = checkpoint.partial.records.len(),
+        );
+        telemetry::event!(
+            Level::Info,
+            "campaign_resumed",
+            runs = checkpoint.partial.records.len(),
+            bench_idx = checkpoint.cursor.bench_idx,
+        );
         ResilientRunner {
             server,
             campaign: checkpoint.campaign,
@@ -192,6 +227,7 @@ impl<'a> ResilientRunner<'a> {
             result: checkpoint.partial,
             resets_before: checkpoint.resets_before,
             done,
+            _campaign_span: span,
         }
     }
 
@@ -222,6 +258,7 @@ impl<'a> ResilientRunner<'a> {
         if self.done {
             return false;
         }
+        telemetry::time_scope!("step_wall_seconds");
         let schedule = self.campaign.voltage_schedule();
         if self.cursor.sched_idx >= schedule.len() {
             // Empty or fully traversed schedule: the walk reached the
@@ -258,6 +295,11 @@ impl<'a> ResilientRunner<'a> {
             // The board completed the run but reported uncorrectable
             // errors; under the strict policy its state is suspect and it
             // gets power-cycled before anything else runs.
+            telemetry::event!(
+                Level::Info,
+                "precautionary_reset",
+                outcome = outcome.to_string(),
+            );
             self.server.reset();
             self.result.recovery.precautionary_resets += 1;
             self.recover_if_hung();
@@ -276,6 +318,16 @@ impl<'a> ResilientRunner<'a> {
             let streak = self.quarantine.record_crash(setup);
             self.search.consecutive_crashes = streak;
             if streak > self.config.crash_retries {
+                // Error level: this is the post-mortem trigger a flight
+                // recorder dumps on.
+                telemetry::event!(
+                    Level::Error,
+                    "quarantine",
+                    benchmark = benchmark.name(),
+                    voltage_mv = voltage.as_u32(),
+                    consecutive_crashes = streak,
+                );
+                telemetry::counter!("campaign_quarantines_total");
                 self.quarantine.quarantine(setup);
                 self.result.quarantined.push(QuarantineRecord {
                     benchmark: benchmark.name().to_owned(),
@@ -284,9 +336,19 @@ impl<'a> ResilientRunner<'a> {
                 });
                 self.result.recovery.quarantined_points += 1;
                 self.finish_point(Some(voltage));
+            } else {
+                // Below the threshold the same repetition is simply
+                // retried: the cursor does not move.
+                telemetry::event!(
+                    Level::Warn,
+                    "crash_retry",
+                    benchmark = benchmark.name(),
+                    voltage_mv = voltage.as_u32(),
+                    streak = streak,
+                    retries_left = self.config.crash_retries - streak + 1,
+                );
+                telemetry::counter!("campaign_crash_retries_total");
             }
-            // Below the threshold the same repetition is simply retried:
-            // the cursor does not move.
         } else {
             self.finish_point(Some(voltage));
         }
@@ -297,9 +359,41 @@ impl<'a> ResilientRunner<'a> {
     /// benchmark once, and recovers the board if the watchdog's own power
     /// cycle left it hung.
     fn run_once(&mut self, setup: &Setup, benchmark: &WorkloadProfile) -> (RunOutcome, u32) {
-        self.apply_setup(setup);
+        {
+            let _setup_span = telemetry::span!(
+                Level::Debug,
+                "setup",
+                voltage_mv = setup.voltage.as_u32(),
+                freq_mhz = setup.frequency.as_u32(),
+                core = setup.core.index(),
+            );
+            self.apply_setup(setup);
+        }
+        let _run_span = telemetry::span!(
+            Level::Debug,
+            "run",
+            benchmark = benchmark.name(),
+            repetition = self.cursor.repetition,
+        );
         let outcome = self.server.run_on_core(setup.core, benchmark).outcome;
         let reset_retries = self.recover_if_hung();
+        telemetry::event!(
+            Level::Info,
+            "run_complete",
+            benchmark = benchmark.name(),
+            voltage_mv = setup.voltage.as_u32(),
+            repetition = self.cursor.repetition,
+            outcome = outcome.to_string(),
+            reset_retries = reset_retries,
+        );
+        telemetry::counter!("campaign_runs_total");
+        match outcome {
+            RunOutcome::Correct => {}
+            RunOutcome::CorrectableError => telemetry::counter!("campaign_ce_total"),
+            RunOutcome::UncorrectableError => telemetry::counter!("campaign_ue_total"),
+            RunOutcome::SilentDataCorruption => telemetry::counter!("campaign_sdc_total"),
+            RunOutcome::Crash => telemetry::counter!("campaign_crashes_total"),
+        }
         (outcome, reset_retries)
     }
 
@@ -351,6 +445,18 @@ impl<'a> ResilientRunner<'a> {
             .name()
             .to_owned();
         let core = self.campaign.cores[self.cursor.core_idx];
+        telemetry::event!(
+            Level::Info,
+            "point_complete",
+            benchmark = benchmark.as_str(),
+            core = core.index(),
+            vmin_mv = self
+                .search
+                .last_safe
+                .map(|v| i64::from(v.as_u32()))
+                .unwrap_or(-1),
+            first_failure_mv = first_failure.map(|v| i64::from(v.as_u32())).unwrap_or(-1),
+        );
         self.result.vmins.push(VminResult {
             benchmark,
             core,
@@ -367,6 +473,13 @@ impl<'a> ResilientRunner<'a> {
             if self.cursor.bench_idx >= self.campaign.benchmarks.len() {
                 self.result.watchdog_resets = self.server.reset_count() - self.resets_before;
                 self.done = true;
+                telemetry::event!(
+                    Level::Info,
+                    "campaign_complete",
+                    runs = self.result.records.len(),
+                    watchdog_resets = self.result.watchdog_resets,
+                    quarantined = self.result.quarantined.len(),
+                );
             }
         }
     }
@@ -617,6 +730,44 @@ mod tests {
         let resumed = ResilientRunner::resume(&mut resumed_server, checkpoint).run_to_completion();
 
         assert_eq!(reference, resumed);
+    }
+
+    #[test]
+    fn checkpoint_embeds_and_roundtrips_the_metrics_snapshot() {
+        let registry = std::rc::Rc::new(telemetry::Registry::new());
+        let _guard = telemetry::Telemetry::new()
+            .with_registry(registry.clone())
+            .install();
+
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 61);
+        let core = server.chip().most_robust_core();
+        let mut campaign = campaign_for(&["mcf"], vec![core]);
+        campaign.step_mv = 20;
+        let mut runner = ResilientRunner::new(&mut server, campaign, ResilienceConfig::dsn18());
+        for _ in 0..5 {
+            assert!(runner.step());
+        }
+        let checkpoint = runner.checkpoint();
+        assert_eq!(checkpoint.metrics, registry.snapshot());
+        assert_eq!(checkpoint.metrics.counter("campaign_runs_total"), Some(5));
+
+        // The snapshot survives the JSON round trip bit-for-bit.
+        let back = CampaignCheckpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(back.metrics, checkpoint.metrics);
+
+        // Old checkpoints (no metrics key) still decode, as an empty
+        // snapshot.
+        let json = checkpoint.to_json();
+        let legacy = json.replace(
+            &format!(
+                ",\"metrics\":{}",
+                serde::json::to_string(&checkpoint.metrics)
+            ),
+            "",
+        );
+        assert_ne!(legacy, json, "metrics key should have been stripped");
+        let old = CampaignCheckpoint::from_json(&legacy).unwrap();
+        assert_eq!(old.metrics, telemetry::MetricsSnapshot::default());
     }
 
     #[test]

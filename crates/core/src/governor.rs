@@ -17,6 +17,7 @@ use crate::droop_history::FailurePredictor;
 use crate::predictor::VminPredictor;
 use power_model::units::Millivolts;
 use serde::{Deserialize, Serialize};
+use telemetry::Level;
 use xgene_sim::fault::RunOutcome;
 use xgene_sim::server::XGene2Server;
 use xgene_sim::topology::CoreId;
@@ -196,10 +197,22 @@ impl OnlineGovernor {
                     self.clean_streak += 1;
                     if self.clean_streak >= self.config.clean_streak_to_relax {
                         self.clean_streak = 0;
+                        let before = self.dynamic_margin_mv;
                         self.dynamic_margin_mv = self
                             .dynamic_margin_mv
                             .saturating_sub(self.config.relax_step_mv)
                             .max(self.config.min_margin_mv);
+                        if self.dynamic_margin_mv < before {
+                            telemetry::event!(
+                                Level::Info,
+                                "margin_narrow",
+                                reason = "clean_streak",
+                                from_mv = before,
+                                to_mv = self.dynamic_margin_mv,
+                            );
+                            telemetry::counter!("governor_margin_narrows_total");
+                        }
+                        telemetry::gauge!("governor_margin_mv", f64::from(self.dynamic_margin_mv));
                     }
                 }
             }
@@ -207,14 +220,33 @@ impl OnlineGovernor {
                 self.clean_streak = 0;
                 self.consecutive_disruptions = 0;
                 self.stats.ce_backoffs += 1;
+                telemetry::event!(
+                    Level::Info,
+                    "margin_widen",
+                    reason = "correctable_error",
+                    from_mv = self.dynamic_margin_mv,
+                    to_mv = self.dynamic_margin_mv + self.config.ce_backoff_mv,
+                );
+                telemetry::counter!("governor_margin_widens_total");
                 self.dynamic_margin_mv += self.config.ce_backoff_mv;
+                telemetry::gauge!("governor_margin_mv", f64::from(self.dynamic_margin_mv));
             }
             RunOutcome::UncorrectableError
             | RunOutcome::SilentDataCorruption
             | RunOutcome::Crash => {
                 self.clean_streak = 0;
                 self.stats.disruptions += 1;
+                telemetry::event!(
+                    Level::Warn,
+                    "margin_widen",
+                    reason = "disruption",
+                    outcome = outcome.to_string(),
+                    from_mv = self.dynamic_margin_mv,
+                    to_mv = self.dynamic_margin_mv + self.config.disruption_backoff_mv,
+                );
+                telemetry::counter!("governor_margin_widens_total");
                 self.dynamic_margin_mv += self.config.disruption_backoff_mv;
+                telemetry::gauge!("governor_margin_mv", f64::from(self.dynamic_margin_mv));
                 self.consecutive_disruptions += 1;
                 if self.consecutive_disruptions >= self.config.degrade_after_disruptions
                     && self.hold_remaining == 0
@@ -226,6 +258,13 @@ impl OnlineGovernor {
                     self.dynamic_margin_mv = self
                         .dynamic_margin_mv
                         .max(self.config.base_margin_mv + self.config.disruption_backoff_mv);
+                    telemetry::event!(
+                        Level::Error,
+                        "governor_degraded",
+                        hold_epochs = self.config.degrade_hold_epochs,
+                        margin_mv = self.dynamic_margin_mv,
+                    );
+                    telemetry::counter!("governor_degradations_total");
                 }
             }
         }

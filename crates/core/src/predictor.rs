@@ -1,7 +1,7 @@
 //! Workload-dependent Vmin prediction from performance-counter features.
 //!
 //! §IV.D: "we can train a workload dependent prediction model considering
-//! also performance counters as we recently proposed in [11]" (MICRO'17).
+//! also performance counters as we recently proposed in \[11\]" (MICRO'17).
 //! The model here is ordinary least squares over per-workload features the
 //! platform can observe online — IPC, memory intensity and the activity /
 //! swing statistics the counters proxy — trained on characterization

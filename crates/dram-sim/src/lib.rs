@@ -11,7 +11,7 @@
 //!   calibrated to Table I (bank-to-bank and temperature variation);
 //! * [`patterns`] — the DPBench data patterns (all-0s/1s, checkerboard,
 //!   random);
-//! * [`array`] — the array simulator with staggered auto-refresh,
+//! * [`mod@array`] — the array simulator with staggered auto-refresh,
 //!   access-driven inherent refresh, lazy decay evaluation and SLIMpro-style
 //!   CE/UE logging;
 //! * [`timing`] — the DDR3 MCU bank state machine and the performance

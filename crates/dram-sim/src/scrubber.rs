@@ -11,6 +11,7 @@
 use crate::array::DramArray;
 use crate::geometry::WordAddr;
 use serde::{Deserialize, Serialize};
+use telemetry::Level;
 
 /// Patrol scrubber configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -99,6 +100,7 @@ impl PatrolScrubber {
         let to_visit = ((self.targets.len() as f64 * share).ceil() as usize).max(1);
         let bursts = to_visit.div_ceil(self.config.burst_words);
         let ms_per_burst = elapsed_ms / bursts as f64;
+        let before = self.stats;
         let mut remaining = to_visit;
         for _ in 0..bursts {
             let n = remaining.min(self.config.burst_words);
@@ -111,9 +113,17 @@ impl PatrolScrubber {
                     crate::ecc::DecodeOutcome::Corrected { data, .. } => {
                         dram.write_word(addr, data);
                         self.stats.corrections += 1;
+                        telemetry::counter!("scrub_corrections_total");
                     }
                     crate::ecc::DecodeOutcome::Uncorrectable => {
                         self.stats.uncorrectable += 1;
+                        telemetry::event!(
+                            Level::Warn,
+                            "scrub_ue",
+                            word = addr.flatten(),
+                            sim_ms = dram.now(),
+                        );
+                        telemetry::counter!("scrub_ue_total");
                     }
                     crate::ecc::DecodeOutcome::Clean { .. } => {}
                 }
@@ -121,6 +131,19 @@ impl PatrolScrubber {
             remaining -= n;
             dram.advance(ms_per_burst);
         }
+        telemetry::event!(
+            Level::Debug,
+            "scrub_pass",
+            elapsed_ms = elapsed_ms,
+            words = self.stats.words_scrubbed - before.words_scrubbed,
+            corrections = self.stats.corrections - before.corrections,
+            uncorrectable = self.stats.uncorrectable - before.uncorrectable,
+            sim_ms = dram.now(),
+        );
+        telemetry::counter!(
+            "scrub_words_total",
+            self.stats.words_scrubbed - before.words_scrubbed
+        );
     }
 }
 

@@ -197,7 +197,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length bounds for [`vec`]: built from `usize`, `a..b` or `a..=b`.
+    /// Length bounds for [`fn@vec`]: built from `usize`, `a..b` or `a..=b`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -242,7 +242,7 @@ pub mod collection {
         }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`fn@vec`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

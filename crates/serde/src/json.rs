@@ -1,4 +1,4 @@
-//! JSON text encoding of the [`Value`](crate::Value) data model.
+//! JSON text encoding of the [`Value`] data model.
 //!
 //! Floats are written with Rust's shortest round-trip formatting, so any
 //! finite `f64` survives `to_string` → `from_str` exactly; non-finite

@@ -1,6 +1,6 @@
 //! Genetic algorithm that evolves dI/dt viruses guided by EM emanations.
 //!
-//! Following the methodology of [14] (Hadjilambrou, IEEE CAL'17), the GA
+//! Following the methodology of \[14\] (Hadjilambrou, IEEE CAL'17), the GA
 //! "crafts a loop of instructions that maximizes radiated EM amplitude":
 //! tournament selection, single-point crossover, per-slot mutation, and
 //! elitism, with the simulated near-field probe as the fitness function.

@@ -1,0 +1,428 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms
+//! with Prometheus-style text exposition and JSON export.
+//!
+//! A [`Registry`] is a plain value with interior mutability — share it as
+//! `Rc<Registry>` between the telemetry context (so the `counter!` /
+//! `gauge!` / `observe!` macros can reach it) and the reporting code that
+//! renders it at the end of a campaign. Snapshots ([`MetricsSnapshot`])
+//! are inert serializable data, used both for JSON export and for
+//! embedding campaign metrics in checkpoints.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default buckets for wall-clock durations, in seconds (1 µs … 10 s).
+pub const WALL_SECONDS_BUCKETS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// Default buckets for simulated durations, in milliseconds
+/// (0.1 ms … 1000 s).
+pub const SIM_MS_BUCKETS: [f64; 8] = [0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6];
+
+/// A fixed-bucket histogram (Prometheus semantics: cumulative `le`
+/// buckets plus an implicit `+Inf` overflow, a sum and a count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Finite upper bounds, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `counts[bounds.len()]` is the
+    /// `+Inf` overflow bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given finite upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite (+Inf is implicit)"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Cumulative count at each finite bound, then at `+Inf` — the
+    /// Prometheus `_bucket` series.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// The inert snapshot of this histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            sum: self.sum,
+            count: self.count,
+        }
+    }
+}
+
+/// Serializable snapshot of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (last entry is the `+Inf` overflow bucket).
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Serializable snapshot of a whole [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The metrics registry.
+///
+/// # Examples
+///
+/// ```
+/// use telemetry::metrics::Registry;
+///
+/// let reg = Registry::new();
+/// reg.counter_add("campaign_runs_total", 3);
+/// reg.gauge_set("margin_mv", 15.0);
+/// reg.register_histogram("backoff_ms", &[100.0, 1000.0, 10_000.0]);
+/// reg.observe("backoff_ms", 500.0);
+/// assert_eq!(reg.counter("campaign_runs_total"), 3);
+/// assert!(reg.prometheus().contains("backoff_ms_bucket{le=\"1000\"} 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RefCell<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Rebuilds a registry from a snapshot (counters and gauges restored
+    /// exactly; histograms keep their bounds and counts).
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> Self {
+        let reg = Registry::new();
+        {
+            let mut inner = reg.inner.borrow_mut();
+            for (name, v) in &snapshot.counters {
+                inner.counters.insert(name.clone(), *v);
+            }
+            for (name, v) in &snapshot.gauges {
+                inner.gauges.insert(name.clone(), *v);
+            }
+            for (name, h) in &snapshot.histograms {
+                inner.histograms.insert(
+                    name.clone(),
+                    Histogram {
+                        bounds: h.bounds.clone(),
+                        counts: h.counts.clone(),
+                        sum: h.sum,
+                        count: h.count,
+                    },
+                );
+            }
+        }
+        reg
+    }
+
+    /// Adds `delta` to a counter (created at zero on first touch).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        *self
+            .inner
+            .borrow_mut()
+            .counters
+            .entry(name.to_owned())
+            .or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.inner
+            .borrow_mut()
+            .gauges
+            .insert(name.to_owned(), value);
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.borrow().gauges.get(name).copied()
+    }
+
+    /// Declares a histogram with explicit bucket bounds. Re-declaring an
+    /// existing histogram keeps the original (observations are never
+    /// dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid bounds (see [`Histogram::new`]).
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds));
+    }
+
+    /// Records one observation; auto-creates the histogram with
+    /// [`SIM_MS_BUCKETS`] if it was never declared.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(&SIM_MS_BUCKETS))
+            .observe(value);
+    }
+
+    /// A histogram's snapshot, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner
+            .borrow()
+            .histograms
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// The inert snapshot of everything in the registry, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.borrow();
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Prometheus-style text exposition of the whole registry, in
+    /// deterministic (name-sorted) order.
+    pub fn prometheus(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        for (name, v) in &inner.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &inner.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &inner.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let cumulative = h.cumulative();
+            for (bound, cum) in h.bounds.iter().zip(&cumulative) {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"+Inf\"}} {}",
+                cumulative.last().copied().unwrap_or(0)
+            );
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+
+    /// JSON export of the registry snapshot.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations_by_upper_bound() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(0.5); // le=1
+        h.observe(1.0); // le=1 (inclusive upper bound)
+        h.observe(5.0); // le=10
+        h.observe(100.0); // le=100
+        h.observe(1e9); // +Inf overflow
+        assert_eq!(h.counts, vec![2, 1, 1, 1]);
+        assert_eq!(h.cumulative(), vec![2, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 1_000_000_106.5).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_empty_bounds() {
+        let _ = Histogram::new(&[]);
+    }
+
+    #[test]
+    fn exposition_format_matches_prometheus_shape() {
+        let reg = Registry::new();
+        reg.counter_add("runs_total", 7);
+        reg.gauge_set("margin_mv", 12.5);
+        reg.register_histogram("lat_ms", &[1.0, 10.0]);
+        reg.observe("lat_ms", 0.4);
+        reg.observe("lat_ms", 4.0);
+        reg.observe("lat_ms", 40.0);
+        let text = reg.prometheus();
+        let expected = "\
+# TYPE runs_total counter
+runs_total 7
+# TYPE margin_mv gauge
+margin_mv 12.5
+# TYPE lat_ms histogram
+lat_ms_bucket{le=\"1\"} 1
+lat_ms_bucket{le=\"10\"} 2
+lat_ms_bucket{le=\"+Inf\"} 3
+lat_ms_sum 44.4
+lat_ms_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = Registry::new();
+        reg.counter_add("c", 1);
+        reg.counter_add("c", 2);
+        assert_eq!(reg.counter("c"), 3);
+        assert_eq!(reg.counter("never"), 0);
+        reg.gauge_set("g", 1.0);
+        reg.gauge_set("g", -2.0);
+        assert_eq!(reg.gauge("g"), Some(-2.0));
+        assert_eq!(reg.gauge("never"), None);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json_and_registry() {
+        let reg = Registry::new();
+        reg.counter_add("runs", 5);
+        reg.gauge_set("v", 900.0);
+        reg.register_histogram("h", &[1.0, 2.0]);
+        reg.observe("h", 1.5);
+        let snap = reg.snapshot();
+        let text = serde::json::to_string(&snap);
+        let back: MetricsSnapshot = serde::json::from_str(&text).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.counter("runs"), Some(5));
+        assert_eq!(back.gauge("v"), Some(900.0));
+        assert_eq!(back.histogram("h").unwrap().count, 1);
+
+        let restored = Registry::from_snapshot(&back);
+        assert_eq!(restored.snapshot(), snap);
+        // The restored registry keeps accumulating where it left off.
+        restored.counter_add("runs", 1);
+        assert_eq!(restored.counter("runs"), 6);
+    }
+
+    #[test]
+    fn auto_created_histogram_uses_sim_buckets() {
+        let reg = Registry::new();
+        reg.observe("implicit", 50.0);
+        let h = reg.histogram("implicit").unwrap();
+        assert_eq!(h.bounds, SIM_MS_BUCKETS.to_vec());
+        assert_eq!(h.count, 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! The flight recorder: a bounded ring buffer of recent events, dumped
+//! when a post-mortem-worthy event fires.
+//!
+//! The DSN'18 framework babysits boards for weeks; when a setup finally
+//! crashes the board hard enough to be quarantined, what matters is the
+//! *lead-up* — the V/F writes, retries and outcomes immediately before.
+//! The recorder retains the last `capacity` events it saw and, when a
+//! trigger event arrives (by default anything at [`Level::Error`], plus
+//! any explicitly named events), snapshots the whole buffer into a
+//! [`FlightDump`]. Dumps are deterministic: events appear in emission
+//! (sequence) order, and nothing in them depends on wall time.
+
+use crate::event::{Event, Level};
+use crate::sink::Sink;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One post-mortem snapshot taken by the [`FlightRecorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Sequence number of the event that triggered the dump.
+    pub trigger_seq: u64,
+    /// Name of the triggering event.
+    pub trigger_name: String,
+    /// The retained events in emission order; the triggering event is the
+    /// last entry.
+    pub events: Vec<Event>,
+}
+
+impl FlightDump {
+    /// Multi-line human rendering of the dump.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "=== flight recorder dump: `{}` at seq {} ({} events retained) ===\n",
+            self.trigger_name,
+            self.trigger_seq,
+            self.events.len()
+        );
+        for e in &self.events {
+            let _ = writeln!(out, "{}", e.render());
+        }
+        out.push_str("=== end of dump ===\n");
+        out
+    }
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    buf: VecDeque<Event>,
+    dumps: Vec<FlightDump>,
+}
+
+/// The bounded ring-buffer recorder; install it as a sink.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    trigger_level: Level,
+    trigger_names: Vec<String>,
+    max_dumps: usize,
+    min_level: Level,
+    inner: RefCell<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// Default buffer capacity: comfortably more than the ≥ 64 events a
+    /// post-mortem needs for context.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A recorder retaining [`Self::DEFAULT_CAPACITY`] events, dumping on
+    /// any `Error`-level event, keeping at most 8 dumps.
+    pub fn new() -> Self {
+        FlightRecorder::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A recorder retaining the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            capacity,
+            trigger_level: Level::Error,
+            trigger_names: Vec::new(),
+            max_dumps: 8,
+            min_level: Level::Trace,
+            inner: RefCell::new(RecorderInner {
+                buf: VecDeque::with_capacity(capacity),
+                dumps: Vec::new(),
+            }),
+        }
+    }
+
+    /// Also dumps whenever an event with this exact name arrives,
+    /// regardless of its level.
+    #[must_use]
+    pub fn with_trigger_name(mut self, name: &str) -> Self {
+        self.trigger_names.push(name.to_owned());
+        self
+    }
+
+    /// Changes the level at (and above) which events trigger a dump.
+    #[must_use]
+    pub fn with_trigger_level(mut self, level: Level) -> Self {
+        self.trigger_level = level;
+        self
+    }
+
+    /// Caps how many dumps are retained (later triggers are counted but
+    /// not snapshotted, bounding memory on a pathological campaign).
+    #[must_use]
+    pub fn with_max_dumps(mut self, max: usize) -> Self {
+        self.max_dumps = max;
+        self
+    }
+
+    /// Restricts which events are retained at all.
+    #[must_use]
+    pub fn with_min_level(mut self, level: Level) -> Self {
+        self.min_level = level;
+        self
+    }
+
+    /// Copies of the dumps taken so far, in trigger order.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.inner.borrow().dumps.clone()
+    }
+
+    /// Removes and returns the dumps taken so far.
+    pub fn take_dumps(&self) -> Vec<FlightDump> {
+        std::mem::take(&mut self.inner.borrow_mut().dumps)
+    }
+
+    /// Number of events currently retained in the ring.
+    pub fn retained(&self) -> usize {
+        self.inner.borrow().buf.len()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn record(&self, event: &Event) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(event.clone());
+        let triggered =
+            event.level >= self.trigger_level || self.trigger_names.contains(&event.name);
+        if triggered && inner.dumps.len() < self.max_dumps {
+            let events: Vec<Event> = inner.buf.iter().cloned().collect();
+            inner.dumps.push(FlightDump {
+                trigger_seq: event.seq,
+                trigger_name: event.name.clone(),
+                events,
+            });
+        }
+    }
+
+    fn min_level(&self) -> Level {
+        self.min_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, FieldValue};
+
+    fn ev(seq: u64, level: Level, name: &str) -> Event {
+        Event {
+            seq,
+            kind: EventKind::Event,
+            level,
+            target: "t".into(),
+            name: name.into(),
+            span_path: vec![],
+            fields: vec![("seq".into(), FieldValue::U64(seq))],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_capacity_events() {
+        let rec = FlightRecorder::with_capacity(4);
+        for i in 0..10 {
+            rec.record(&ev(i, Level::Info, "e"));
+        }
+        assert_eq!(rec.retained(), 4);
+        rec.record(&ev(10, Level::Error, "boom"));
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 1);
+        let seqs: Vec<u64> = dumps[0].events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10], "oldest evicted, trigger last");
+    }
+
+    #[test]
+    fn dump_triggers_on_level_and_on_name() {
+        let rec = FlightRecorder::with_capacity(8).with_trigger_name("quarantine");
+        rec.record(&ev(0, Level::Warn, "retry"));
+        assert!(rec.dumps().is_empty());
+        rec.record(&ev(1, Level::Info, "quarantine"));
+        rec.record(&ev(2, Level::Error, "escalated"));
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(dumps[0].trigger_name, "quarantine");
+        assert_eq!(dumps[0].trigger_seq, 1);
+        assert_eq!(dumps[1].trigger_name, "escalated");
+    }
+
+    #[test]
+    fn max_dumps_bounds_memory() {
+        let rec = FlightRecorder::with_capacity(4).with_max_dumps(2);
+        for i in 0..5 {
+            rec.record(&ev(i, Level::Error, "boom"));
+        }
+        assert_eq!(rec.dumps().len(), 2);
+        assert_eq!(rec.take_dumps().len(), 2);
+        assert!(rec.dumps().is_empty());
+    }
+
+    #[test]
+    fn render_contains_trigger_and_events() {
+        let rec = FlightRecorder::with_capacity(4);
+        rec.record(&ev(0, Level::Info, "before"));
+        rec.record(&ev(1, Level::Error, "boom"));
+        let dump = &rec.dumps()[0];
+        let text = dump.render();
+        assert!(text.contains("`boom` at seq 1"), "{text}");
+        assert!(text.contains("before"), "{text}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Pluggable event sinks: pretty-printing, JSONL and test capture.
+//!
+//! A [`Sink`] receives every dispatched [`Event`] at or above its
+//! [`Sink::min_level`]. Sinks take `&self` and use interior mutability so
+//! they can be shared as `Rc<dyn Sink>` between the dispatcher and the
+//! code that later inspects them (tests reading a [`CaptureSink`], a
+//! post-mortem reading a flight recorder).
+
+use crate::event::{Event, Level};
+use std::cell::RefCell;
+use std::io::Write;
+
+/// A destination for dispatched events.
+pub trait Sink {
+    /// Receives one event (already filtered by the dispatcher against
+    /// [`Self::min_level`]).
+    fn record(&self, event: &Event);
+
+    /// The least severe level this sink wants to see.
+    fn min_level(&self) -> Level {
+        Level::Trace
+    }
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// Human-readable pretty printer over any writer (stderr by default).
+///
+/// Output is one line per event, indented two spaces per enclosing span,
+/// with `->`/`<-` markers for span enter/exit.
+pub struct PrettySink<W: Write> {
+    writer: RefCell<W>,
+    min_level: Level,
+}
+
+impl PrettySink<std::io::Stderr> {
+    /// A pretty printer on stderr at `Info` verbosity.
+    pub fn stderr() -> Self {
+        PrettySink {
+            writer: RefCell::new(std::io::stderr()),
+            min_level: Level::Info,
+        }
+    }
+}
+
+impl<W: Write> PrettySink<W> {
+    /// A pretty printer over an arbitrary writer at `Info` verbosity.
+    pub fn new(writer: W) -> Self {
+        PrettySink {
+            writer: RefCell::new(writer),
+            min_level: Level::Info,
+        }
+    }
+
+    /// Lowers (or raises) the verbosity threshold.
+    #[must_use]
+    pub fn with_min_level(mut self, level: Level) -> Self {
+        self.min_level = level;
+        self
+    }
+}
+
+impl<W: Write> std::fmt::Debug for PrettySink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrettySink")
+            .field("min_level", &self.min_level)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> Sink for PrettySink<W> {
+    fn record(&self, event: &Event) {
+        // A full stderr (or broken pipe) must never take the simulation
+        // down; drop the line instead.
+        let _ = writeln!(self.writer.borrow_mut(), "{}", event.render());
+    }
+
+    fn min_level(&self) -> Level {
+        self.min_level
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.borrow_mut().flush();
+    }
+}
+
+/// Machine-readable sink: one JSON object per line, encoded through the
+/// workspace `serde`.
+pub struct JsonlSink<W: Write> {
+    writer: RefCell<W>,
+    min_level: Level,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A JSONL writer capturing everything down to `Trace`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: RefCell::new(writer),
+            min_level: Level::Trace,
+        }
+    }
+
+    /// Restricts the sink to `level` and above.
+    #[must_use]
+    pub fn with_min_level(mut self, level: Level) -> Self {
+        self.min_level = level;
+        self
+    }
+}
+
+impl JsonlSink<Vec<u8>> {
+    /// An in-memory JSONL buffer (tests, examples).
+    pub fn in_memory() -> Self {
+        JsonlSink::new(Vec::new())
+    }
+
+    /// The captured JSONL text so far.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.writer.borrow()).into_owned()
+    }
+}
+
+impl<W: Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("min_level", &self.min_level)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let line = serde::json::to_string(event);
+        let _ = writeln!(self.writer.borrow_mut(), "{line}");
+    }
+
+    fn min_level(&self) -> Level {
+        self.min_level
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.borrow_mut().flush();
+    }
+}
+
+/// Test sink: buffers every event for later assertions.
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    events: RefCell<Vec<Event>>,
+    min_level: Level,
+}
+
+impl CaptureSink {
+    /// A capture sink recording everything down to `Trace`.
+    pub fn new() -> Self {
+        CaptureSink {
+            events: RefCell::new(Vec::new()),
+            min_level: Level::Trace,
+        }
+    }
+
+    /// Restricts the capture to `level` and above.
+    #[must_use]
+    pub fn with_min_level(mut self, level: Level) -> Self {
+        self.min_level = level;
+        self
+    }
+
+    /// A copy of every captured event, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.borrow().clone()
+    }
+
+    /// Captured events whose name matches, in emission order.
+    pub fn named(&self, name: &str) -> Vec<Event> {
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Drops everything captured so far.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+}
+
+impl Sink for CaptureSink {
+    fn record(&self, event: &Event) {
+        self.events.borrow_mut().push(event.clone());
+    }
+
+    fn min_level(&self) -> Level {
+        self.min_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, FieldValue};
+
+    fn sample(seq: u64, level: Level) -> Event {
+        Event {
+            seq,
+            kind: EventKind::Event,
+            level,
+            target: "t".into(),
+            name: "e".into(),
+            span_path: vec![],
+            fields: vec![("k".into(), FieldValue::U64(seq))],
+        }
+    }
+
+    #[test]
+    fn capture_sink_buffers_in_order() {
+        let sink = CaptureSink::new();
+        sink.record(&sample(1, Level::Info));
+        sink.record(&sample(2, Level::Warn));
+        let seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(sink.len(), 2);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_decodable_object_per_line() {
+        let sink = JsonlSink::in_memory();
+        sink.record(&sample(1, Level::Info));
+        sink.record(&sample(2, Level::Debug));
+        let text = sink.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let back: Event = serde::json::from_str(line).unwrap();
+            assert_eq!(back.seq, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn pretty_sink_renders_lines() {
+        let sink = PrettySink::new(Vec::new());
+        sink.record(&sample(7, Level::Warn));
+        let text = String::from_utf8(sink.writer.into_inner()).unwrap();
+        assert!(text.contains("WARN"), "{text}");
+        assert!(text.contains("k=7"), "{text}");
+    }
+}

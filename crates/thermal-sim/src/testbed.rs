@@ -12,6 +12,10 @@ use crate::relay::SolidStateRelay;
 use crate::sensor::{SensorFaultModel, TemperatureSensor};
 use power_model::units::{Celsius, Watts};
 use serde::{Deserialize, Serialize};
+use telemetry::Level;
+
+/// Histogram buckets for set-point deviation in °C.
+const DEVIATION_BUCKETS_C: [f64; 7] = [0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 25.0];
 
 /// Number of heating channels on the testbed (4 DIMMs × 2 ranks).
 pub const CHANNEL_COUNT: usize = 8;
@@ -178,30 +182,56 @@ impl ThermalTestbed {
 
     /// Advances the testbed by `seconds` of simulated time.
     pub fn run(&mut self, seconds: f64) {
-        let steps = (seconds / self.dt).ceil() as u64;
+        let worst = self.advance((seconds / self.dt).ceil() as u64);
+        telemetry::event!(
+            Level::Debug,
+            "thermal_run",
+            seconds = seconds,
+            elapsed_s = self.elapsed,
+            max_deviation_c = worst,
+        );
+    }
+
+    /// Steps every channel `steps` times, tracing per-channel set-point
+    /// tracking and returning the worst absolute deviation of any
+    /// targeted channel over the window.
+    fn advance(&mut self, steps: u64) -> f64 {
+        let mut worst: f64 = 0.0;
         for _ in 0..steps {
-            for ch in &mut self.channels {
+            for (i, ch) in self.channels.iter_mut().enumerate() {
                 ch.step(self.heater_max, self.dt);
+                if let Some(t) = ch.target {
+                    let err = ch.plant.temperature().as_f64() - t.as_f64();
+                    telemetry::event!(
+                        Level::Trace,
+                        "pid_track",
+                        channel = i,
+                        target_c = t.as_f64(),
+                        error_c = err,
+                    );
+                    worst = worst.max(err.abs());
+                }
             }
             self.elapsed += self.dt;
         }
+        let _ = telemetry::with_registry(|reg| {
+            reg.register_histogram("pid_max_deviation_c", &DEVIATION_BUCKETS_C);
+            reg.observe("pid_max_deviation_c", worst);
+        });
+        worst
     }
 
     /// Runs for `seconds` more and returns the worst absolute deviation of
     /// any *targeted* channel from its set point observed during that
     /// window (the paper's "maximum deviation" metric).
     pub fn max_deviation_over(&mut self, seconds: f64) -> f64 {
-        let steps = (seconds / self.dt).ceil() as u64;
-        let mut worst: f64 = 0.0;
-        for _ in 0..steps {
-            for ch in &mut self.channels {
-                ch.step(self.heater_max, self.dt);
-                if let Some(t) = ch.target {
-                    worst = worst.max((ch.plant.temperature().as_f64() - t.as_f64()).abs());
-                }
-            }
-            self.elapsed += self.dt;
-        }
+        let worst = self.advance((seconds / self.dt).ceil() as u64);
+        telemetry::event!(
+            Level::Debug,
+            "thermal_deviation_window",
+            seconds = seconds,
+            max_deviation_c = worst,
+        );
         worst
     }
 

@@ -20,6 +20,7 @@ use power_model::units::{Celsius, Megahertz, Milliseconds, Millivolts, Watts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use telemetry::Level;
 
 /// Voltage programmable range of the PMD/SoC regulators.
 pub const VOLTAGE_RANGE_MV: std::ops::RangeInclusive<u32> = 700..=1050;
@@ -201,9 +202,17 @@ impl XGene2Server {
         // that care must read the voltage back.
         if let Some(plan) = self.fault_plan.as_mut() {
             if plan.next_setup_write_lost() {
+                telemetry::event!(
+                    Level::Warn,
+                    "setup_write_lost",
+                    requested_mv = voltage.as_u32(),
+                    actual_mv = self.pmd_voltage.as_u32(),
+                );
+                telemetry::counter!("setup_writes_lost_total");
                 return Ok(());
             }
         }
+        telemetry::event!(Level::Trace, "pmd_voltage_set", mv = voltage.as_u32());
         self.pmd_voltage = voltage;
         Ok(())
     }
@@ -215,6 +224,7 @@ impl XGene2Server {
     /// Returns [`ConfigError::VoltageOutOfRange`] outside 700–1050 mV.
     pub fn set_soc_voltage(&mut self, voltage: Millivolts) -> Result<(), ConfigError> {
         validate_voltage(voltage)?;
+        telemetry::event!(Level::Trace, "soc_voltage_set", mv = voltage.as_u32());
         self.soc_voltage = voltage;
         Ok(())
     }
@@ -230,6 +240,12 @@ impl XGene2Server {
                 requested_mhz: freq.as_u32(),
             });
         }
+        telemetry::event!(
+            Level::Trace,
+            "pmd_frequency_set",
+            pmd = pmd.index(),
+            mhz = freq.as_u32(),
+        );
         self.pmd_frequencies[pmd.index()] = freq;
         Ok(())
     }
@@ -299,6 +315,13 @@ impl XGene2Server {
         if outcome.needs_reset() {
             self.reset();
         }
+        telemetry::event!(
+            Level::Debug,
+            "run_outcome",
+            core = core.index(),
+            workload = workload.name(),
+            outcome = outcome.to_string(),
+        );
         CoreRunResult {
             core,
             workload: workload.name().to_owned(),
@@ -377,19 +400,38 @@ impl XGene2Server {
     /// [`Self::power_cycle`] succeeds.
     pub fn reset(&mut self) {
         self.reset_count += 1;
+        telemetry::counter!("watchdog_resets_total");
         let behavior = match self.fault_plan.as_mut() {
             Some(plan) => plan.next_reset_behavior(),
             None => ResetBehavior::Booted,
         };
         match behavior {
             ResetBehavior::StayedHung => {
+                telemetry::event!(
+                    Level::Warn,
+                    "reset_failed_board_hung",
+                    reset_count = self.reset_count,
+                );
                 self.hung = true;
             }
             ResetBehavior::BootLoop { extra_cycles } => {
+                telemetry::event!(
+                    Level::Warn,
+                    "boot_loop",
+                    extra_cycles = extra_cycles,
+                    reset_count = self.reset_count,
+                );
                 self.reset_count += u64::from(extra_cycles);
                 self.complete_boot();
             }
-            ResetBehavior::Booted => self.complete_boot(),
+            ResetBehavior::Booted => {
+                telemetry::event!(
+                    Level::Debug,
+                    "watchdog_reset",
+                    reset_count = self.reset_count
+                );
+                self.complete_boot();
+            }
         }
     }
 
@@ -399,16 +441,22 @@ impl XGene2Server {
     /// should retry with backoff.
     pub fn power_cycle(&mut self) -> bool {
         self.reset();
-        if self.hung {
-            return false;
-        }
-        true
+        let success = !self.hung;
+        telemetry::counter!("power_cycles_total");
+        telemetry::event!(Level::Info, "power_cycle", success = success);
+        success
     }
 
     /// Operator-level recovery — physically reseating the board — which
     /// always brings it back at nominal, bypassing the fault plan. The
     /// escalation path once power-cycle retries are exhausted.
     pub fn force_recover(&mut self) {
+        telemetry::event!(
+            Level::Warn,
+            "force_recover",
+            reset_count = self.reset_count + 1
+        );
+        telemetry::counter!("force_recoveries_total");
         self.reset_count += 1;
         self.complete_boot();
     }

@@ -4,14 +4,24 @@
 //! keep crashing the board, and resumes bit-identically from a JSON
 //! checkpoint after being "killed" mid-flight.
 //!
+//! The first pass runs with the telemetry layer installed: a pretty
+//! printer on stderr shows the live `campaign` / `setup` / `run` span
+//! tree with retry and quarantine events, a flight recorder snapshots
+//! the lead-up to the first quarantine, and a metrics registry counts
+//! everything for a Prometheus-style exposition at the end.
+//!
 //! ```sh
 //! cargo run --example resilient_campaign
 //! ```
 
-use armv8_guardbands::char_fw::report::quarantine_to_csv;
+use std::rc::Rc;
+
+use armv8_guardbands::char_fw::report::{campaign_metrics, quarantine_to_csv};
 use armv8_guardbands::char_fw::resilience::{CampaignCheckpoint, ResilienceConfig};
 use armv8_guardbands::char_fw::runner::ResilientRunner;
 use armv8_guardbands::char_fw::setup::VminCampaign;
+use armv8_guardbands::telemetry::sink::PrettySink;
+use armv8_guardbands::telemetry::{FlightRecorder, Level, Registry, Telemetry};
 use armv8_guardbands::workload_sim::spec::by_name;
 use armv8_guardbands::xgene_sim::fault::FaultPlan;
 use armv8_guardbands::xgene_sim::server::XGene2Server;
@@ -49,12 +59,51 @@ fn main() {
     campaign.cores = vec![core];
     println!("booted TSS X-Gene2 under a hostile fault plan; testing {core}");
 
-    // Reference: the same campaign uninterrupted.
-    let reference = ResilientRunner::new(&mut server, campaign.clone(), ResilienceConfig::dsn18())
-        .run_to_completion();
+    // Reference: the same campaign uninterrupted — and fully observed.
+    // The pretty printer narrates the span tree on stderr, the flight
+    // recorder keeps the last 256 events for the post-mortem, and the
+    // registry counts everything.
+    let recorder = Rc::new(FlightRecorder::new());
+    let registry = Rc::new(Registry::new());
+    let reference = {
+        let _telemetry = Telemetry::new()
+            .with_sink(PrettySink::stderr().with_min_level(Level::Debug))
+            .with_shared_sink(recorder.clone())
+            .with_registry(registry.clone())
+            .install();
+        ResilientRunner::new(&mut server, campaign.clone(), ResilienceConfig::dsn18())
+            .run_to_completion()
+    };
+
+    // The quarantine event fires at `Error` level, so the recorder took a
+    // post-mortem snapshot of everything leading up to it.
+    let dumps = recorder.dumps();
+    assert!(
+        !dumps.is_empty(),
+        "the quarantine must have triggered a dump"
+    );
+    let dump = &dumps[0];
+    assert_eq!(dump.trigger_name, "quarantine");
+    assert!(
+        dump.events.len() >= 64,
+        "the post-mortem retains plenty of context, got {}",
+        dump.events.len()
+    );
+    println!(
+        "\nflight recorder: {} dump(s); first triggered by `{}` at seq {} with {} events of lead-up",
+        dumps.len(),
+        dump.trigger_name,
+        dump.trigger_seq,
+        dump.events.len() - 1
+    );
+    println!("last five events before the quarantine:");
+    for e in dump.events.iter().rev().take(6).rev() {
+        println!("  {}", e.render());
+    }
 
     // Now the same campaign, "killed" after 5 runs and resumed from the
-    // serialized checkpoint on a brand-new server object.
+    // serialized checkpoint on a brand-new server object. This pass runs
+    // without any telemetry context — the instrumentation is inert.
     let mut victim = XGene2Server::new(SigmaBin::Tss, 56);
     victim.install_fault_plan(plan);
     let mut runner = ResilientRunner::new(&mut victim, campaign, ResilienceConfig::dsn18());
@@ -89,4 +138,29 @@ fn main() {
     assert!(r.quarantined_points >= 1, "the crash point was quarantined");
 
     println!("\nquarantine report:\n{}", quarantine_to_csv(&resumed));
+
+    // Live counters from the observed pass, Prometheus-style.
+    println!("live metrics from the observed pass (excerpt):");
+    for line in registry
+        .prometheus()
+        .lines()
+        .filter(|l| !l.starts_with("# ") && !l.contains("_bucket"))
+        .take(12)
+    {
+        println!("  {line}");
+    }
+
+    // And the post-hoc registry derived from the result alone — same
+    // families of numbers, no telemetry context required.
+    let derived = campaign_metrics(&resumed);
+    assert_eq!(
+        derived.counter("campaign_runs_total"),
+        registry.counter("campaign_runs_total"),
+        "live and derived run counters agree"
+    );
+    println!(
+        "\npost-hoc campaign_metrics agrees: {} runs, {} quarantines",
+        derived.counter("campaign_runs_total"),
+        derived.counter("campaign_quarantines_total")
+    );
 }

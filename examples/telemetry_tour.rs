@@ -1,0 +1,117 @@
+//! A tour of the telemetry layer: structured tracing into JSONL, the
+//! metrics registry with Prometheus-style exposition and JSON export,
+//! profiling timers, and a named-trigger flight recorder — all driven by
+//! the real characterization stack.
+//!
+//! Everything here is deterministic: event sequence numbers restart at
+//! zero per installed context, no wall-clock time appears in any event
+//! field, and two runs of this example produce identical traces.
+//!
+//! ```sh
+//! cargo run --example telemetry_tour
+//! ```
+
+use std::rc::Rc;
+
+use armv8_guardbands::char_fw::resilience::ResilienceConfig;
+use armv8_guardbands::char_fw::runner::ResilientRunner;
+use armv8_guardbands::char_fw::setup::VminCampaign;
+use armv8_guardbands::power_model::units::Celsius;
+use armv8_guardbands::telemetry::sink::JsonlSink;
+use armv8_guardbands::telemetry::{self, Event, FlightRecorder, Level, Registry, Telemetry};
+use armv8_guardbands::thermal_sim::testbed::ThermalTestbed;
+use armv8_guardbands::workload_sim::spec::by_name;
+use armv8_guardbands::xgene_sim::server::XGene2Server;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+
+fn main() {
+    // ── 1. Machine-readable trace: a short Vmin campaign into JSONL ──
+    //
+    // The JSONL sink writes one JSON object per event; the registry
+    // counts runs, resets and step durations while the campaign
+    // executes. Both are shared `Rc`s so we can read them back after the
+    // telemetry guard drops.
+    let jsonl = Rc::new(JsonlSink::in_memory().with_min_level(Level::Debug));
+    let registry = Rc::new(Registry::new());
+    {
+        let _telemetry = Telemetry::new()
+            .with_shared_sink(jsonl.clone())
+            .with_registry(registry.clone())
+            .install();
+
+        let bench = by_name("mcf").expect("mcf is part of the suite").profile();
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 42);
+        let core = server.chip().most_robust_core();
+        let mut campaign = VminCampaign::dsn18(vec![bench], vec![core]);
+        campaign.step_mv = 25;
+        campaign.repetitions = 2;
+        let result = ResilientRunner::new(&mut server, campaign, ResilienceConfig::dsn18())
+            .run_to_completion();
+        println!(
+            "campaign traced: {} runs, Vmin {:?}",
+            result.records.len(),
+            result.vmin("mcf", core)
+        );
+
+        // The thermal testbed traces PID tracking and feeds the
+        // `pid_max_deviation_c` histogram through the same context.
+        let mut testbed = ThermalTestbed::new(Celsius::new(25.0), 7);
+        testbed.set_all_targets(Celsius::new(60.0));
+        testbed.run(3600.0); // settle
+        let dev = testbed.max_deviation_over(600.0);
+        println!("thermal testbed regulated to within {dev:.3} °C of 60 °C");
+    }
+
+    let trace = jsonl.contents();
+    let lines: Vec<&str> = trace.lines().collect();
+    println!(
+        "\nJSONL trace: {} events, {} bytes",
+        lines.len(),
+        trace.len()
+    );
+    println!("first three lines:");
+    for line in lines.iter().take(3) {
+        println!("  {line}");
+    }
+    // Every line decodes back into the exact `Event` that was emitted.
+    let first: Event = serde::json::from_str(lines[0]).expect("trace lines decode");
+    assert_eq!(first.seq, 0);
+    assert_eq!(first.name, "campaign");
+
+    // ── 2. Metrics: Prometheus-style exposition and JSON export ──
+    println!("\nPrometheus exposition (excerpt):");
+    for line in registry
+        .prometheus()
+        .lines()
+        .filter(|l| l.contains("campaign_") || l.contains("step_wall_seconds_count"))
+        .take(10)
+    {
+        println!("  {line}");
+    }
+    let json = registry.to_json();
+    println!("JSON export: {} bytes", json.len());
+    // Snapshots round-trip losslessly and keep accumulating.
+    let snapshot = registry.snapshot();
+    let restored = Registry::from_snapshot(&snapshot);
+    assert_eq!(restored.snapshot(), snapshot);
+
+    // ── 3. Flight recorder with a named trigger ──
+    //
+    // Besides the default `Error`-level trigger, a recorder can dump on
+    // any exactly-named event — here a hand-rolled tripwire.
+    let recorder = Rc::new(FlightRecorder::with_capacity(8).with_trigger_name("tripwire"));
+    {
+        let _telemetry = Telemetry::new()
+            .with_shared_sink(recorder.clone())
+            .install();
+        let _span = telemetry::span!(Level::Info, "demo", stage = "tour");
+        for i in 0..12u32 {
+            telemetry::event!(Level::Info, "tick", i = i);
+        }
+        telemetry::event!(Level::Info, "tripwire", reason = "manual");
+    }
+    let dumps = recorder.dumps();
+    assert_eq!(dumps.len(), 1);
+    println!("\nflight recorder dump (named trigger, ring of 8):");
+    print!("{}", dumps[0].render());
+}

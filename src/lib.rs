@@ -13,8 +13,9 @@
 //!
 //! See [`guardband_core`] for the study's methodology, [`xgene_sim`] and
 //! [`dram_sim`] for the hardware substrates, [`char_fw`] for the automated
-//! characterization framework, and `crates/bench` for the binaries that
-//! regenerate every table and figure of the paper.
+//! characterization framework, [`telemetry`] for structured tracing,
+//! metrics and the flight recorder, and `crates/bench` for the binaries
+//! that regenerate every table and figure of the paper.
 
 #![warn(missing_docs)]
 
@@ -23,6 +24,7 @@ pub use dram_sim;
 pub use guardband_core;
 pub use power_model;
 pub use stress_gen;
+pub use telemetry;
 pub use thermal_sim;
 pub use workload_sim;
 pub use xgene_sim;
