@@ -11,6 +11,9 @@
 //! * [`resilience`] — retry/backoff policies, quarantine bookkeeping and
 //!   checkpoint/resume state for campaigns that must survive the
 //!   harness's own failures;
+//! * [`safety`] — the production safety net's primitives: redundant-
+//!   execution (DMR) sentinel canaries and the EWMA CE-rate circuit
+//!   breaker scheduled inside campaigns;
 //! * [`report`] — classification tables and the final CSVs (parsing
 //!   phase);
 //! * [`dramchar`] — DRAM campaigns combining the PID thermal testbed,
@@ -48,17 +51,24 @@ pub mod multiprocess;
 pub mod report;
 pub mod resilience;
 pub mod runner;
+pub mod safety;
 pub mod setup;
 pub mod soak;
 
 pub use dramchar::{run_dram_campaign, DramCampaignConfig, DramCampaignReport};
 pub use frequency::{run_fmax_campaign, FmaxCampaign, FmaxResult};
 pub use multiprocess::{run_multiprocess_campaign, MultiProcessCampaign, RailVminResult};
-pub use report::{classify, quarantine_to_csv, records_to_csv, vmins_to_csv, OutcomeCounts};
+pub use report::{
+    classify, quarantine_to_csv, records_to_csv, safety_to_csv, vmins_to_csv, OutcomeCounts,
+};
 pub use resilience::{
     recover_board, BoardRecovery, CampaignCheckpoint, QuarantineRecord, QuarantineTracker,
     RecoveryStats, ResilienceConfig, RetryPolicy,
 };
 pub use runner::{CampaignResult, CampaignRunner, ResilientRunner, RunRecord, VminResult};
+pub use safety::{
+    BreakerConfig, BreakerState, CampaignSafetyState, CircuitBreaker, HealthSignal, SafetySummary,
+    SentinelReport, SentinelRunner, SentinelStats, SentinelVerdict, TripReason,
+};
 pub use setup::{SafePolicy, Setup, VminCampaign};
 pub use soak::{soak, SoakConfig, SoakReport};

@@ -135,7 +135,47 @@ pub fn campaign_metrics(result: &CampaignResult) -> telemetry::Registry {
         "precautionary_resets_total",
         result.recovery.precautionary_resets,
     );
+    reg.counter_add("breaker_trips_total", result.safety.breaker_trips);
+    reg.counter_add("sentinel_checks_total", result.safety.sentinel.checks);
+    reg.counter_add(
+        "sentinel_detections_total",
+        result.safety.sentinel.detections(),
+    );
+    reg.counter_add(
+        "sentinel_undetected_sdcs_total",
+        result.safety.sentinel.undetected_sdcs,
+    );
     reg
+}
+
+/// Renders the campaign's safety-net summary as a one-row CSV: breaker
+/// trips and final state, the reason of the last trip, and the sentinel
+/// tallies (checks, detections split by mechanism, timeouts, hardware
+/// errors, and the audit-only miss count).
+pub fn safety_to_csv(result: &CampaignResult) -> String {
+    let s = &result.safety;
+    let mut csv = String::from(
+        "breaker_trips,last_trip_reason,breaker_state,sentinel_checks,\
+         detected_by_checksum,detected_by_vote,sentinel_timeouts,sentinel_hw_errors,\
+         true_sdcs,undetected_sdcs\n",
+    );
+    let _ = writeln!(
+        csv,
+        "{},{},{},{},{},{},{},{},{},{}",
+        s.breaker_trips,
+        s.last_trip_reason
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "-".into()),
+        s.breaker_state,
+        s.sentinel.checks,
+        s.sentinel.detected_by_checksum,
+        s.sentinel.detected_by_vote,
+        s.sentinel.timeouts,
+        s.sentinel.hw_errors,
+        s.sentinel.true_sdcs,
+        s.sentinel.undetected_sdcs,
+    );
+    csv
 }
 
 /// Renders the per-(benchmark, core) Vmin summary as CSV.
@@ -274,6 +314,40 @@ mod tests {
         assert!(text.contains("# TYPE campaign_runs_total counter"));
         assert!(text.contains("campaign_runs_total 4"));
         assert!(text.contains("run_reset_retries_bucket{le=\"2\"} 4"));
+    }
+
+    #[test]
+    fn safety_csv_renders_trips_and_sentinel_tallies() {
+        use crate::safety::{SafetySummary, SentinelStats, TripReason};
+        let result = CampaignResult {
+            safety: SafetySummary {
+                breaker_trips: 2,
+                last_trip_reason: Some(TripReason::SdcVote),
+                breaker_state: crate::safety::BreakerState::Cooldown,
+                sentinel: SentinelStats {
+                    checks: 40,
+                    detected_by_checksum: 1,
+                    detected_by_vote: 2,
+                    timeouts: 1,
+                    hw_errors: 0,
+                    true_sdcs: 3,
+                    undetected_sdcs: 0,
+                },
+            },
+            ..CampaignResult::default()
+        };
+        let csv = safety_to_csv(&result);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("breaker_trips,"));
+        assert_eq!(lines.next().unwrap(), "2,sdc-vote,cooldown,40,1,2,1,0,3,0");
+        // No trips: the reason renders as a dash.
+        let quiet = safety_to_csv(&CampaignResult::default());
+        assert!(quiet.lines().nth(1).unwrap().starts_with("0,-,healthy,0,"));
+        let reg = campaign_metrics(&result);
+        assert_eq!(reg.counter("breaker_trips_total"), 2);
+        assert_eq!(reg.counter("sentinel_checks_total"), 40);
+        assert_eq!(reg.counter("sentinel_detections_total"), 3);
+        assert_eq!(reg.counter("sentinel_undetected_sdcs_total"), 0);
     }
 
     #[test]

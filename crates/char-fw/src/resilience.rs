@@ -85,6 +85,12 @@ pub struct ResilienceConfig {
     pub crash_retries: u32,
     /// How many times a dropped V/F restore is re-issued before giving up.
     pub setup_restore_attempts: u32,
+    /// Run a DMR sentinel check every this many campaign runs (0 disables
+    /// sentinels — the legacy and plain-dsn18 behavior, so existing
+    /// deterministic walks are unperturbed). Defaults to 0 when absent so
+    /// old checkpoints still decode.
+    #[serde(default)]
+    pub sentinel_every: u32,
 }
 
 impl ResilienceConfig {
@@ -97,6 +103,7 @@ impl ResilienceConfig {
             retry: RetryPolicy::dsn18(),
             crash_retries: 0,
             setup_restore_attempts: 16,
+            sentinel_every: 0,
         }
     }
 
@@ -106,6 +113,16 @@ impl ResilienceConfig {
         ResilienceConfig {
             crash_retries: 2,
             ..ResilienceConfig::legacy()
+        }
+    }
+
+    /// The guarded production configuration: everything in
+    /// [`ResilienceConfig::dsn18`] plus a DMR sentinel check every 25
+    /// campaign runs feeding the campaign's circuit breaker.
+    pub fn guarded() -> Self {
+        ResilienceConfig {
+            sentinel_every: 25,
+            ..ResilienceConfig::dsn18()
         }
     }
 }
@@ -360,6 +377,10 @@ pub struct CampaignCheckpoint {
     /// from before this field decodable.
     #[serde(default)]
     pub metrics: MetricsSnapshot,
+    /// Live safety-net state (circuit breaker + sentinel scheduler).
+    /// Defaults keep pre-safety-net checkpoints decodable and resumable.
+    #[serde(default)]
+    pub safety: crate::safety::CampaignSafetyState,
 }
 
 impl CampaignCheckpoint {

@@ -20,6 +20,9 @@ use crate::resilience::{
     recover_board, set_pmd_voltage_verified, CampaignCheckpoint, Cursor, QuarantineRecord,
     QuarantineTracker, RecoveryStats, ResilienceConfig, SearchState,
 };
+use crate::safety::{
+    BreakerState, CampaignSafetyState, HealthSignal, SafetySummary, SentinelVerdict,
+};
 use crate::setup::{SafePolicy, Setup, VminCampaign};
 use power_model::units::Millivolts;
 use serde::{Deserialize, Serialize};
@@ -74,6 +77,11 @@ pub struct CampaignResult {
     pub quarantined: Vec<QuarantineRecord>,
     /// What the recovery machinery had to do.
     pub recovery: RecoveryStats,
+    /// Safety-net summary: breaker trips and sentinel bookkeeping (all
+    /// zero when sentinels were disabled). Defaults keep results from
+    /// before this field decodable.
+    #[serde(default)]
+    pub safety: SafetySummary,
 }
 
 impl CampaignResult {
@@ -136,6 +144,7 @@ pub struct ResilientRunner<'a> {
     search: SearchState,
     quarantine: QuarantineTracker,
     result: CampaignResult,
+    safety: CampaignSafetyState,
     resets_before: u64,
     done: bool,
     /// Keeps the `campaign` tracing span open for the runner's lifetime.
@@ -166,6 +175,7 @@ impl<'a> ResilientRunner<'a> {
             search: SearchState::default(),
             quarantine: QuarantineTracker::default(),
             result: CampaignResult::default(),
+            safety: CampaignSafetyState::default(),
             resets_before,
             done,
             _campaign_span: span,
@@ -193,6 +203,7 @@ impl<'a> ResilientRunner<'a> {
             search: self.search,
             partial: self.result.clone(),
             quarantine: self.quarantine.clone(),
+            safety: self.safety.clone(),
             resets_before: self.resets_before,
         }
     }
@@ -225,6 +236,7 @@ impl<'a> ResilientRunner<'a> {
             search: checkpoint.search,
             quarantine: checkpoint.quarantine,
             result: checkpoint.partial,
+            safety: checkpoint.safety,
             resets_before: checkpoint.resets_before,
             done,
             _campaign_span: span,
@@ -352,7 +364,52 @@ impl<'a> ResilientRunner<'a> {
         } else {
             self.finish_point(Some(voltage));
         }
+        self.maybe_run_sentinel();
+        self.result.safety = self.safety.summary();
         !self.done
+    }
+
+    /// Every [`ResilienceConfig::sentinel_every`] campaign runs, executes
+    /// one DMR sentinel check on the PMD of the core under test and feeds
+    /// the observables (CE reports, checksum/vote detections, timeouts)
+    /// into the campaign's circuit breaker. A freshly opened breaker
+    /// triggers a precautionary power cycle: the board's state is suspect.
+    ///
+    /// Disabled (`sentinel_every == 0`) this consumes nothing — no server
+    /// runs, no RNG draws — so legacy campaigns are bit-identical.
+    fn maybe_run_sentinel(&mut self) {
+        if self.config.sentinel_every == 0 || self.done {
+            return;
+        }
+        self.safety.runs_since_sentinel += 1;
+        if self.safety.runs_since_sentinel < self.config.sentinel_every {
+            return;
+        }
+        self.safety.runs_since_sentinel = 0;
+        let pmd = self.campaign.cores[self.cursor.core_idx].pmd();
+        let report = self.safety.sentinel.check(self.server, pmd);
+        self.recover_if_hung();
+        let signal = HealthSignal {
+            ce_events: report.ce_events,
+            scrub_ce_rate: 0.0,
+            ue: report.verdict == SentinelVerdict::HwError,
+            sdc_checksum: report.verdict == SentinelVerdict::ChecksumMismatch,
+            sdc_vote: report.verdict == SentinelVerdict::VoteSplit,
+            timeout: report.verdict == SentinelVerdict::Timeout,
+        };
+        let before = self.safety.breaker.state();
+        let after = self.safety.breaker.record_epoch(&signal);
+        if after == BreakerState::Tripped && before != BreakerState::Tripped {
+            telemetry::event!(
+                Level::Warn,
+                "campaign_breaker_trip",
+                verdict = report.verdict.to_string(),
+                pmd = pmd.index(),
+            );
+            self.server.reset();
+            self.result.recovery.precautionary_resets += 1;
+            self.recover_if_hung();
+        }
     }
 
     /// Applies the setup (verifying the V/F writes landed), runs the
@@ -768,6 +825,103 @@ mod tests {
         assert_ne!(legacy, json, "metrics key should have been stripped");
         let old = CampaignCheckpoint::from_json(&legacy).unwrap();
         assert_eq!(old.metrics, telemetry::MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn guarded_campaign_runs_sentinels_and_stays_healthy_without_faults() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 71);
+        let core = server.chip().most_robust_core();
+        let profile = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "mcf")
+            .unwrap()
+            .profile();
+        let vmin = server
+            .chip()
+            .vmin(core, &profile, Megahertz::XGENE2_NOMINAL);
+        let mut campaign = campaign_for(&["mcf"], vec![core]);
+        campaign.step_mv = 5;
+        // Keep the whole schedule above Vmin: with no setup in the danger
+        // zone, every canary must come back clean.
+        campaign.floor = Millivolts::new(vmin.as_u32() + 20);
+        let config = ResilienceConfig {
+            sentinel_every: 4,
+            ..ResilienceConfig::guarded()
+        };
+        let result = ResilientRunner::new(&mut server, campaign, config).run_to_completion();
+        assert!(
+            result.safety.sentinel.checks >= 2,
+            "{:?}",
+            result.safety.sentinel
+        );
+        assert_eq!(result.safety.breaker_trips, 0);
+        assert_eq!(result.safety.sentinel.undetected_sdcs, 0);
+        assert_eq!(result.safety.last_trip_reason, None);
+    }
+
+    #[test]
+    fn sub_vmin_sdc_in_a_canary_is_detected_and_trips_the_breaker() {
+        // Force every completed sub-Vmin run silent: once the walk dips
+        // below Vmin, the sentinel's canaries corrupt too — and the
+        // checksum/vote machinery must catch every single one.
+        let mut server = XGene2Server::new(SigmaBin::Tss, 72);
+        server.install_fault_plan(FaultPlan::quiet(72).with_sub_vmin_sdc());
+        let core = server.chip().weakest_core();
+        let mut campaign = campaign_for(&["milc"], vec![core]);
+        campaign.step_mv = 10;
+        let config = ResilienceConfig {
+            sentinel_every: 2,
+            crash_retries: 6,
+            ..ResilienceConfig::guarded()
+        };
+        let result = ResilientRunner::new(&mut server, campaign, config).run_to_completion();
+        let s = result.safety;
+        assert!(s.sentinel.checks >= 1, "{s:?}");
+        assert_eq!(s.sentinel.undetected_sdcs, 0, "zero misses: {s:?}");
+        if s.sentinel.true_sdcs > 0 {
+            assert!(s.sentinel.detections() > 0, "{s:?}");
+            assert!(s.breaker_trips >= 1, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_with_sentinels_enabled() {
+        let campaign = {
+            let server = XGene2Server::new(SigmaBin::Ttt, 73);
+            let core = server.chip().most_robust_core();
+            let mut c = campaign_for(&["mcf"], vec![core]);
+            c.step_mv = 20;
+            c.repetitions = 3;
+            c
+        };
+        let plan = FaultPlan::hostile(74).with_sub_vmin_sdc();
+        let config = ResilienceConfig {
+            sentinel_every: 3,
+            ..ResilienceConfig::guarded()
+        };
+
+        let mut reference_server = XGene2Server::new(SigmaBin::Ttt, 73);
+        reference_server.install_fault_plan(plan.clone());
+        let reference = ResilientRunner::new(&mut reference_server, campaign.clone(), config)
+            .run_to_completion();
+
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 73);
+        server.install_fault_plan(plan);
+        let mut runner = ResilientRunner::new(&mut server, campaign, config);
+        for _ in 0..9 {
+            if !runner.step() {
+                break;
+            }
+        }
+        let json = runner.checkpoint().to_json();
+        drop(runner);
+
+        let mut resumed_server = XGene2Server::new(SigmaBin::Tff, 31337);
+        let checkpoint = CampaignCheckpoint::from_json(&json).unwrap();
+        let resumed = ResilientRunner::resume(&mut resumed_server, checkpoint).run_to_completion();
+
+        assert_eq!(reference, resumed, "safety state must resume seamlessly");
+        assert!(reference.safety.sentinel.checks >= 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::droop_history::FailurePredictor;
 use crate::predictor::VminPredictor;
+use char_fw::safety::TripReason;
 use power_model::units::Millivolts;
 use serde::{Deserialize, Serialize};
 use telemetry::Level;
@@ -82,6 +83,13 @@ pub struct GovernorStats {
     /// Graceful degradations: rollbacks to nominal after consecutive
     /// disruptions.
     pub degradations: u64,
+    /// Circuit-breaker trips recorded against this governor by the safety
+    /// net. Defaults keep pre-safety-net serialized stats decodable.
+    #[serde(default)]
+    pub breaker_trips: u64,
+    /// Reason of the most recent recorded breaker trip.
+    #[serde(default)]
+    pub last_trip_reason: Option<TripReason>,
 }
 
 impl GovernorStats {
@@ -152,6 +160,39 @@ impl OnlineGovernor {
     /// The currently applied adaptive margin, in mV.
     pub fn dynamic_margin_mv(&self) -> u32 {
         self.dynamic_margin_mv
+    }
+
+    /// Widens the adaptive margin by `extra_mv` (the safety net's margin
+    /// restore on a breaker trip) and resets the clean streak: the extra
+    /// caution must be earned away, not inherited.
+    pub fn widen_margin(&mut self, extra_mv: u32) {
+        if extra_mv == 0 {
+            return;
+        }
+        self.clean_streak = 0;
+        telemetry::event!(
+            Level::Warn,
+            "margin_widen",
+            reason = "breaker_trip",
+            from_mv = self.dynamic_margin_mv,
+            to_mv = self.dynamic_margin_mv + extra_mv,
+        );
+        telemetry::counter!("governor_margin_widens_total");
+        self.dynamic_margin_mv += extra_mv;
+        telemetry::gauge!("governor_margin_mv", f64::from(self.dynamic_margin_mv));
+    }
+
+    /// Holds the relaxation machinery still for this epoch: the clean
+    /// streak is cleared so margins cannot narrow while the safety net's
+    /// breaker sits in its Watch state.
+    pub fn hold_relaxation(&mut self) {
+        self.clean_streak = 0;
+    }
+
+    /// Records a circuit-breaker trip against this governor's stats.
+    pub fn record_breaker_trip(&mut self, reason: TripReason) {
+        self.stats.breaker_trips += 1;
+        self.stats.last_trip_reason = Some(reason);
     }
 
     /// Chooses the voltage for the next epoch of `workload`.
@@ -472,6 +513,122 @@ mod tests {
             gov.observe(v, RunOutcome::Crash);
         }
         assert!(gov.stats().degradations <= 2, "{:?}", gov.stats());
+    }
+
+    #[test]
+    fn zero_hold_epochs_never_degrades_operation() {
+        // Boundary: with a zero hold the degradation machinery fires (the
+        // margin re-widens, the stat increments) but there is no nominal
+        // hold at all — the very next choice is already scaled.
+        let config = GovernorConfig {
+            disruption_backoff_mv: 5,
+            degrade_after_disruptions: 2,
+            degrade_hold_epochs: 0,
+            ..GovernorConfig::conservative()
+        };
+        let mut gov = OnlineGovernor::new(None, None, config);
+        let heavy = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "milc")
+            .unwrap()
+            .profile();
+        for _ in 0..2 {
+            let v = gov.choose(&heavy);
+            gov.observe(v, RunOutcome::Crash);
+        }
+        assert_eq!(gov.stats().degradations, 1);
+        assert!(!gov.is_degraded(), "a zero hold expires instantly");
+        assert!(gov.choose(&heavy) < Millivolts::XGENE2_NOMINAL);
+    }
+
+    #[test]
+    fn one_hold_epoch_holds_nominal_exactly_once() {
+        let config = GovernorConfig {
+            disruption_backoff_mv: 5,
+            degrade_after_disruptions: 2,
+            degrade_hold_epochs: 1,
+            ..GovernorConfig::conservative()
+        };
+        let mut gov = OnlineGovernor::new(None, None, config);
+        let heavy = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "milc")
+            .unwrap()
+            .profile();
+        for _ in 0..2 {
+            let v = gov.choose(&heavy);
+            gov.observe(v, RunOutcome::Crash);
+        }
+        assert!(gov.is_degraded());
+        assert_eq!(gov.choose(&heavy), Millivolts::XGENE2_NOMINAL);
+        gov.observe(Millivolts::XGENE2_NOMINAL, RunOutcome::Correct);
+        assert!(!gov.is_degraded(), "one observed epoch consumes the hold");
+        assert!(gov.choose(&heavy) < Millivolts::XGENE2_NOMINAL);
+    }
+
+    #[test]
+    fn hold_expires_exactly_at_the_configured_epoch() {
+        let hold = 7;
+        let config = GovernorConfig {
+            disruption_backoff_mv: 5,
+            degrade_after_disruptions: 2,
+            degrade_hold_epochs: hold,
+            ..GovernorConfig::conservative()
+        };
+        let mut gov = OnlineGovernor::new(None, None, config);
+        let heavy = SPEC_SUITE
+            .iter()
+            .find(|b| b.name == "milc")
+            .unwrap()
+            .profile();
+        for _ in 0..2 {
+            let v = gov.choose(&heavy);
+            gov.observe(v, RunOutcome::Crash);
+        }
+        // Epochs 1..=hold are nominal; epoch hold+1 is scaled again.
+        for epoch in 1..=hold {
+            assert!(gov.is_degraded(), "epoch {epoch} still inside the hold");
+            assert_eq!(gov.choose(&heavy), Millivolts::XGENE2_NOMINAL);
+            gov.observe(Millivolts::XGENE2_NOMINAL, RunOutcome::Correct);
+        }
+        assert!(!gov.is_degraded(), "the hold expires at epoch {hold}");
+        assert!(gov.choose(&heavy) < Millivolts::XGENE2_NOMINAL);
+    }
+
+    #[test]
+    fn breaker_trips_are_recorded_and_widen_margin() {
+        use char_fw::safety::TripReason;
+        let mut gov = OnlineGovernor::new(None, None, GovernorConfig::conservative());
+        let before = gov.dynamic_margin_mv();
+        gov.widen_margin(30);
+        gov.record_breaker_trip(TripReason::SdcVote);
+        assert_eq!(gov.dynamic_margin_mv(), before + 30);
+        assert_eq!(gov.stats().breaker_trips, 1);
+        assert_eq!(gov.stats().last_trip_reason, Some(TripReason::SdcVote));
+        // Stats roundtrip with the new fields, and old serialized stats
+        // (without them) still decode.
+        let text = serde::json::to_string(&gov.stats());
+        let back: GovernorStats = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, gov.stats());
+        let legacy = "{\"epochs\":3,\"ce_backoffs\":1,\"disruptions\":0,\
+                      \"voltage_sum_mv\":2700,\"power_proxy_sum\":2.4,\"degradations\":0}";
+        let old: GovernorStats = serde::json::from_str(legacy).unwrap();
+        assert_eq!(old.breaker_trips, 0);
+        assert_eq!(old.last_trip_reason, None);
+    }
+
+    #[test]
+    fn hold_relaxation_freezes_margin_narrowing() {
+        let mut gov = OnlineGovernor::new(None, None, GovernorConfig::conservative());
+        gov.observe(Millivolts::new(900), RunOutcome::CorrectableError);
+        let widened = gov.dynamic_margin_mv();
+        // Clean epochs would normally relax the margin — holding the
+        // relaxation every epoch must pin it.
+        for _ in 0..100 {
+            gov.hold_relaxation();
+            gov.observe(Millivolts::new(900), RunOutcome::Correct);
+        }
+        assert_eq!(gov.dynamic_margin_mv(), widened);
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   sketched as future work in §IV.D;
 //! * [`governor`] — the online voltage-adoption governor §IV.D aims for,
 //!   combining feed-forward prediction, the droop floor and reactive
-//!   error feedback.
+//!   error feedback;
+//! * [`safety`] — the production safety net: deadline watchdog,
+//!   redundant-execution SDC sentinels and a CE-rate circuit breaker
+//!   that make below-guardband operation self-protecting without oracle
+//!   outcome labels.
 //!
 //! # Examples
 //!
@@ -58,6 +62,7 @@ pub mod guardband;
 pub mod predictor;
 pub mod refresh_relax;
 pub mod safepoint;
+pub mod safety;
 pub mod vmin;
 
 pub use droop_history::{DroopHistory, FailurePredictor};
@@ -67,4 +72,5 @@ pub use guardband::{Guardband, GuardbandSummary};
 pub use predictor::VminPredictor;
 pub use refresh_relax::{choose_relaxation, RelaxationChoice, RelaxationPolicy};
 pub use safepoint::SafePointPolicy;
+pub use safety::{Observation, SafetyNet, SafetyNetConfig};
 pub use vmin::{characterize_chip, virus_margins, ChipVminSeries};

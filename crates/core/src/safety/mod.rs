@@ -1,0 +1,40 @@
+//! The production safety net: self-protecting below-guardband operation.
+//!
+//! §IV.D of the paper stops at "solid prediction will help establishing a
+//! robust and efficient online voltage adoption mechanism". This module is
+//! the robustness half of that sentence. A production system running at
+//! the 930 mV / 920 mV / 35×-refresh safe point cannot see the oracle
+//! outcome labels the characterization campaigns enjoy: a silent data
+//! corruption *completes without any hardware error report*, and a crash
+//! is only visible as the absence of completion. The safety net therefore
+//! composes three detectors that need nothing but observables:
+//!
+//! * [`observe`] — the observability boundary itself: the deadline
+//!   watchdog converts hangs into timeouts, and every completing outcome
+//!   (including SDC) reads back as a completion plus at most an ECC error
+//!   report;
+//! * sentinels ([`char_fw::safety::SentinelRunner`], re-exported here) —
+//!   periodic canary workloads with precomputed golden checksums run
+//!   redundantly on both cores of a PMD, turning silent corruptions into
+//!   checksum mismatches and vote splits;
+//! * the circuit breaker ([`char_fw::safety::CircuitBreaker`]) — an EWMA
+//!   CE-rate monitor over CPU error reports and DRAM scrubber correction
+//!   rates, with a Healthy → Watch → Tripped → Cooldown state machine and
+//!   hysteresis;
+//!
+//! and [`net`] wires them around the [`OnlineGovernor`]: a trip restores
+//! the voltage margin and rolls the DRAM refresh period back to nominal;
+//! recovery (trip hold, then clean cooldown) re-earns the relaxed
+//! settings.
+//!
+//! [`OnlineGovernor`]: crate::governor::OnlineGovernor
+
+pub mod net;
+pub mod observe;
+
+pub use char_fw::safety::{
+    BreakerConfig, BreakerState, CircuitBreaker, HealthSignal, SentinelReport, SentinelRunner,
+    SentinelStats, SentinelVerdict, TripReason,
+};
+pub use net::{EpochReport, SafetyNet, SafetyNetConfig, SafetyNetStats, SdcAudit};
+pub use observe::{ErrorReport, Observation};

@@ -1,0 +1,477 @@
+//! The assembled safety net around the online governor.
+//!
+//! [`SafetyNet::run_epoch`] is the production epoch loop: choose a voltage
+//! (nominal whenever the breaker is open), run the workload, project the
+//! outcome through the observability boundary, feed the governor only
+//! what production can see, interleave DMR sentinel checks, and fold all
+//! observables into the circuit breaker. A trip restores the governor
+//! margin and rolls the DRAM refresh period back to nominal; the breaker's
+//! hold-then-cooldown hysteresis re-earns the relaxed settings.
+
+use crate::governor::OnlineGovernor;
+use crate::safety::observe::{ErrorReport, Observation};
+use char_fw::resilience::{recover_board, RetryPolicy};
+use char_fw::safety::{
+    BreakerConfig, BreakerState, CircuitBreaker, HealthSignal, SentinelRunner, SentinelStats,
+    SentinelVerdict,
+};
+use dram_sim::array::DramArray;
+use dram_sim::scrubber::ScrubberStats;
+use power_model::units::{Milliseconds, Millivolts};
+use serde::{Deserialize, Serialize};
+use telemetry::Level;
+use xgene_sim::fault::RunOutcome;
+use xgene_sim::server::XGene2Server;
+use xgene_sim::topology::CoreId;
+use xgene_sim::watchdog::{DeadlineWatchdog, WatchdogConfig, WatchdogStats};
+use xgene_sim::workload::WorkloadProfile;
+
+/// Safety-net tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafetyNetConfig {
+    /// Circuit-breaker thresholds and hold/cooldown lengths.
+    pub breaker: BreakerConfig,
+    /// Deadline watchdog budget.
+    pub watchdog: WatchdogConfig,
+    /// Board-recovery retry schedule after a watchdog power cycle.
+    pub retry: RetryPolicy,
+    /// Run one DMR sentinel check every this many epochs (0 disables
+    /// sentinels — not recommended below the guardband).
+    pub sentinel_every_epochs: u32,
+    /// Extra adaptive margin restored onto the governor when the breaker
+    /// trips, in mV.
+    pub trip_margin_widen_mv: u32,
+    /// The relaxed DRAM refresh period used while the breaker is closed;
+    /// an open breaker rolls back to the DDR3 nominal 64 ms.
+    pub relaxed_trefp: Milliseconds,
+}
+
+impl SafetyNetConfig {
+    /// Production defaults around the paper's safe point: sentinels every
+    /// 10 epochs, a 30 mV margin restore per trip, and the 35× relaxed
+    /// refresh period while healthy.
+    pub fn dsn18() -> Self {
+        SafetyNetConfig {
+            breaker: BreakerConfig::dsn18(),
+            watchdog: WatchdogConfig::dsn18(),
+            retry: RetryPolicy::dsn18(),
+            sentinel_every_epochs: 10,
+            trip_margin_widen_mv: 30,
+            relaxed_trefp: Milliseconds::DSN18_RELAXED_TREFP,
+        }
+    }
+}
+
+impl Default for SafetyNetConfig {
+    fn default() -> Self {
+        SafetyNetConfig::dsn18()
+    }
+}
+
+/// Ground-truth bookkeeping for tests and post-hoc analysis. The control
+/// path never reads this: it exists so experiments can *prove* the
+/// detection coverage the net claims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdcAudit {
+    /// True SDCs suffered by production workload epochs. These are
+    /// invisible by construction — the net's answer to them is the
+    /// sentinel cadence, not per-run detection.
+    pub workload_true_sdcs: u64,
+}
+
+/// Aggregate net bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SafetyNetStats {
+    /// Epochs executed through the net.
+    pub epochs: u64,
+    /// Epochs spent at nominal because the breaker was open.
+    pub nominal_epochs: u64,
+    /// Refresh rollbacks to the DDR3 nominal period (one per trip).
+    pub refresh_rollbacks: u64,
+    /// Relaxed-refresh restores after a full recovery.
+    pub refresh_restores: u64,
+}
+
+/// What one guarded epoch did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochReport {
+    /// Voltage commanded for the workload epoch.
+    pub commanded: Millivolts,
+    /// The epoch as production observed it.
+    pub observation: Observation,
+    /// Verdict of the sentinel check, if one was scheduled this epoch.
+    pub sentinel: Option<SentinelVerdict>,
+    /// Breaker state after folding this epoch in.
+    pub breaker_state: BreakerState,
+    /// Refresh period in force after this epoch.
+    pub trefp: Milliseconds,
+}
+
+/// The assembled safety net.
+#[derive(Debug, Clone)]
+pub struct SafetyNet {
+    config: SafetyNetConfig,
+    breaker: CircuitBreaker,
+    sentinel: SentinelRunner,
+    watchdog: DeadlineWatchdog,
+    epochs_since_sentinel: u32,
+    /// Latest DRAM scrubber correction rate (corrections/epoch), fed via
+    /// [`Self::feed_scrubber`]; folded into every breaker epoch.
+    scrub_ce_rate: f64,
+    last_scrub: Option<ScrubberStats>,
+    audit: SdcAudit,
+    stats: SafetyNetStats,
+}
+
+impl SafetyNet {
+    /// A closed net with the default canary suite.
+    pub fn new(config: SafetyNetConfig) -> Self {
+        SafetyNet {
+            config,
+            breaker: CircuitBreaker::new(config.breaker),
+            sentinel: SentinelRunner::default(),
+            watchdog: DeadlineWatchdog::new(config.watchdog),
+            epochs_since_sentinel: 0,
+            scrub_ce_rate: 0.0,
+            last_scrub: None,
+            audit: SdcAudit::default(),
+            stats: SafetyNetStats::default(),
+        }
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Breaker trips so far.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker.trips()
+    }
+
+    /// Sentinel bookkeeping.
+    pub fn sentinel_stats(&self) -> SentinelStats {
+        self.sentinel.stats()
+    }
+
+    /// Watchdog bookkeeping.
+    pub fn watchdog_stats(&self) -> WatchdogStats {
+        self.watchdog.stats()
+    }
+
+    /// Ground-truth audit (tests only — see [`SdcAudit`]).
+    pub fn audit(&self) -> SdcAudit {
+        self.audit
+    }
+
+    /// Net bookkeeping.
+    pub fn stats(&self) -> SafetyNetStats {
+        self.stats
+    }
+
+    /// The refresh period currently authorized: relaxed while the breaker
+    /// permits scaled operation, the DDR3 nominal 64 ms otherwise.
+    pub fn current_trefp(&self) -> Milliseconds {
+        if self.breaker.allows_scaling() {
+            self.config.relaxed_trefp
+        } else {
+            Milliseconds::DDR3_NOMINAL_TREFP
+        }
+    }
+
+    /// Applies the authorized refresh period to a DRAM array.
+    pub fn apply_refresh(&self, dram: &mut DramArray) {
+        dram.set_trefp(self.current_trefp());
+    }
+
+    /// Feeds the DRAM scrubber's cumulative stats, converting the delta
+    /// since the previous feed into a corrections-per-epoch rate that the
+    /// breaker folds into its EWMA. `epochs` is how many epochs the delta
+    /// spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is not strictly positive.
+    pub fn feed_scrubber(&mut self, stats: ScrubberStats, epochs: f64) {
+        assert!(epochs > 0.0, "the feed must span at least part of an epoch");
+        let prev = self.last_scrub.unwrap_or_default();
+        let corrections = stats.corrections.saturating_sub(prev.corrections);
+        self.scrub_ce_rate = corrections as f64 / epochs;
+        self.last_scrub = Some(stats);
+        telemetry::gauge!("scrub_ce_rate_per_epoch", self.scrub_ce_rate);
+    }
+
+    /// Runs one guarded epoch of `workload` on `core`: voltage choice
+    /// (nominal when the breaker is open), execution, observation through
+    /// the watchdog, governor feedback from observables only, scheduled
+    /// sentinel checks, and the breaker update with its trip/recovery
+    /// actions.
+    pub fn run_epoch(
+        &mut self,
+        server: &mut XGene2Server,
+        governor: &mut OnlineGovernor,
+        core: CoreId,
+        workload: &WorkloadProfile,
+    ) -> EpochReport {
+        self.stats.epochs += 1;
+        let commanded = if self.breaker.allows_scaling() {
+            if !self.breaker.allows_relaxation() {
+                // Watch: keep running scaled but freeze margin narrowing.
+                governor.hold_relaxation();
+            }
+            governor.choose(workload)
+        } else {
+            self.stats.nominal_epochs += 1;
+            Millivolts::XGENE2_NOMINAL
+        };
+        server
+            .set_pmd_voltage(commanded)
+            .expect("net voltages stay within the regulator range");
+
+        let outcome = server.run_on_core(core, workload).outcome;
+        if outcome == RunOutcome::SilentDataCorruption {
+            // Ground truth only: production cannot see this branch.
+            self.audit.workload_true_sdcs += 1;
+        }
+        let observation = Observation::from_outcome(outcome, &mut self.watchdog);
+        if observation.timed_out() {
+            recover_board(server, &self.config.retry);
+        }
+        governor.observe(commanded, observation.as_feedback());
+
+        let mut signal = HealthSignal {
+            ce_events: u32::from(
+                observation
+                    == Observation::Completed {
+                        report: ErrorReport::Corrected,
+                    },
+            ),
+            scrub_ce_rate: self.scrub_ce_rate,
+            ue: observation
+                == Observation::Completed {
+                    report: ErrorReport::Uncorrectable,
+                },
+            sdc_checksum: false,
+            sdc_vote: false,
+            timeout: observation.timed_out(),
+        };
+
+        let mut sentinel_verdict = None;
+        if self.config.sentinel_every_epochs > 0 {
+            self.epochs_since_sentinel += 1;
+            if self.epochs_since_sentinel >= self.config.sentinel_every_epochs {
+                self.epochs_since_sentinel = 0;
+                let report = self.sentinel.check(server, core.pmd());
+                recover_board(server, &self.config.retry);
+                signal.ce_events += report.ce_events;
+                signal.ue |= report.verdict == SentinelVerdict::HwError;
+                signal.timeout |= report.verdict == SentinelVerdict::Timeout;
+                signal.sdc_checksum = report.verdict == SentinelVerdict::ChecksumMismatch;
+                signal.sdc_vote = report.verdict == SentinelVerdict::VoteSplit;
+                sentinel_verdict = Some(report.verdict);
+            }
+        }
+
+        let scaling_before = self.breaker.allows_scaling();
+        let tripped_before = self.breaker.state() == BreakerState::Tripped;
+        let state = self.breaker.record_epoch(&signal);
+        if state == BreakerState::Tripped && !tripped_before {
+            let reason = self
+                .breaker
+                .last_trip_reason()
+                .expect("a fresh trip always records its reason");
+            governor.record_breaker_trip(reason);
+            governor.widen_margin(self.config.trip_margin_widen_mv);
+            if scaling_before {
+                self.stats.refresh_rollbacks += 1;
+                telemetry::event!(
+                    Level::Warn,
+                    "refresh_rollback",
+                    reason = reason.to_string(),
+                    trefp_ms = Milliseconds::DDR3_NOMINAL_TREFP.as_f64(),
+                );
+                telemetry::counter!("refresh_rollbacks_total");
+            }
+        } else if !scaling_before && self.breaker.allows_scaling() {
+            self.stats.refresh_restores += 1;
+            telemetry::event!(
+                Level::Info,
+                "refresh_restore",
+                trefp_ms = self.config.relaxed_trefp.as_f64(),
+            );
+            telemetry::counter!("refresh_restores_total");
+        }
+
+        EpochReport {
+            commanded,
+            observation,
+            sentinel: sentinel_verdict,
+            breaker_state: state,
+            trefp: self.current_trefp(),
+        }
+    }
+}
+
+impl Default for SafetyNet {
+    fn default() -> Self {
+        SafetyNet::new(SafetyNetConfig::dsn18())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::GovernorConfig;
+    use xgene_sim::fault::FaultPlan;
+    use xgene_sim::sigma::SigmaBin;
+
+    fn reactive_governor() -> OnlineGovernor {
+        OnlineGovernor::new(None, None, GovernorConfig::conservative())
+    }
+
+    fn light_workload() -> WorkloadProfile {
+        WorkloadProfile::builder("light").activity(0.2).build()
+    }
+
+    #[test]
+    fn healthy_epochs_stay_scaled_and_relaxed() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 90);
+        let core = server.chip().most_robust_core();
+        let mut gov = reactive_governor();
+        let mut net = SafetyNet::new(SafetyNetConfig::dsn18());
+        let w = light_workload();
+        for _ in 0..30 {
+            let r = net.run_epoch(&mut server, &mut gov, core, &w);
+            assert_eq!(r.breaker_state, BreakerState::Healthy);
+            assert!(r.commanded < Millivolts::XGENE2_NOMINAL);
+            assert_eq!(r.trefp, Milliseconds::DSN18_RELAXED_TREFP);
+        }
+        assert_eq!(net.breaker_trips(), 0);
+        assert_eq!(net.sentinel_stats().checks, 3, "one check per 10 epochs");
+        assert_eq!(net.sentinel_stats().undetected_sdcs, 0);
+        assert_eq!(net.stats().nominal_epochs, 0);
+    }
+
+    #[test]
+    fn a_detected_sentinel_sdc_trips_margin_and_refresh() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 91);
+        // The first sentinel canary run is forced silent; the check must
+        // catch it and open the breaker.
+        server.install_fault_plan(FaultPlan::quiet(91).force_sdc_at_run(1));
+        let core = server.chip().most_robust_core();
+        let mut gov = reactive_governor();
+        let margin_before = gov.dynamic_margin_mv();
+        let config = SafetyNetConfig {
+            sentinel_every_epochs: 1,
+            ..SafetyNetConfig::dsn18()
+        };
+        let mut net = SafetyNet::new(config);
+        let w = light_workload();
+        let r = net.run_epoch(&mut server, &mut gov, core, &w);
+        assert!(matches!(
+            r.sentinel,
+            Some(SentinelVerdict::VoteSplit | SentinelVerdict::ChecksumMismatch)
+        ));
+        assert_eq!(r.breaker_state, BreakerState::Tripped);
+        assert_eq!(r.trefp, Milliseconds::DDR3_NOMINAL_TREFP, "rolled back");
+        assert_eq!(net.breaker_trips(), 1);
+        assert_eq!(net.stats().refresh_rollbacks, 1);
+        assert_eq!(gov.stats().breaker_trips, 1);
+        assert_eq!(
+            gov.dynamic_margin_mv(),
+            margin_before + config.trip_margin_widen_mv
+        );
+        // While open, epochs run at nominal.
+        let r = net.run_epoch(&mut server, &mut gov, core, &w);
+        assert_eq!(r.commanded, Millivolts::XGENE2_NOMINAL);
+        assert!(net.stats().nominal_epochs >= 1);
+    }
+
+    #[test]
+    fn trip_recovers_through_cooldown_and_restores_refresh() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 92);
+        // Run draw 0 is the first workload epoch; draws 1–2 are the first
+        // sentinel's canary pair. Force the first canary silent.
+        server.install_fault_plan(FaultPlan::quiet(92).force_sdc_at_run(1));
+        let core = server.chip().most_robust_core();
+        let mut gov = reactive_governor();
+        let config = SafetyNetConfig {
+            breaker: BreakerConfig {
+                trip_hold_epochs: 4,
+                cooldown_epochs: 3,
+                ..BreakerConfig::dsn18()
+            },
+            sentinel_every_epochs: 1,
+            ..SafetyNetConfig::dsn18()
+        };
+        let mut net = SafetyNet::new(config);
+        let w = light_workload();
+        let mut states = Vec::new();
+        for _ in 0..30 {
+            states.push(net.run_epoch(&mut server, &mut gov, core, &w).breaker_state);
+            if *states.last().unwrap() == BreakerState::Healthy && states.len() > 1 {
+                break;
+            }
+        }
+        assert!(states.contains(&BreakerState::Tripped), "{states:?}");
+        assert!(states.contains(&BreakerState::Cooldown), "{states:?}");
+        assert_eq!(*states.last().unwrap(), BreakerState::Healthy);
+        assert_eq!(net.stats().refresh_restores, 1);
+        assert_eq!(net.current_trefp(), Milliseconds::DSN18_RELAXED_TREFP);
+        assert_eq!(net.breaker_trips(), 1, "one trip, one recovery");
+    }
+
+    #[test]
+    fn scrubber_ce_rate_feeds_the_breaker() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 93);
+        let core = server.chip().most_robust_core();
+        let mut gov = reactive_governor();
+        let mut net = SafetyNet::new(SafetyNetConfig::dsn18());
+        let w = light_workload();
+        // A scrubber correcting 3 words/epoch is far above the 0.5 trip
+        // threshold: the EWMA must open the breaker within a few epochs.
+        net.feed_scrubber(
+            ScrubberStats {
+                words_scrubbed: 10_000,
+                corrections: 300,
+                uncorrectable: 0,
+            },
+            100.0,
+        );
+        let mut tripped_at = None;
+        for e in 0..20 {
+            let r = net.run_epoch(&mut server, &mut gov, core, &w);
+            if r.breaker_state == BreakerState::Tripped {
+                tripped_at = Some(e);
+                break;
+            }
+        }
+        assert!(tripped_at.is_some(), "scrubber rate never tripped");
+        assert_eq!(net.breaker_state(), BreakerState::Tripped,);
+        // A later feed with no new corrections drops the rate again.
+        net.feed_scrubber(
+            ScrubberStats {
+                words_scrubbed: 20_000,
+                corrections: 300,
+                uncorrectable: 0,
+            },
+            100.0,
+        );
+        assert_eq!(net.audit().workload_true_sdcs, 0);
+    }
+
+    #[test]
+    fn refresh_application_follows_the_breaker() {
+        use dram_sim::retention::{PopulationSpec, RetentionModel, WeakCellPopulation};
+        use power_model::units::Celsius;
+        let pop = WeakCellPopulation::generate(
+            &RetentionModel::xgene2_micron(),
+            PopulationSpec::dsn18(),
+            5,
+        );
+        let mut dram = DramArray::new(pop, Milliseconds::DSN18_RELAXED_TREFP, Celsius::new(60.0));
+        let net = SafetyNet::new(SafetyNetConfig::dsn18());
+        net.apply_refresh(&mut dram);
+        assert_eq!(dram.trefp(), Milliseconds::DSN18_RELAXED_TREFP);
+    }
+}

@@ -1,0 +1,118 @@
+//! The observability boundary between characterization and production.
+//!
+//! Characterization campaigns compare against golden references offline,
+//! so they can label every run with its true [`RunOutcome`] — including
+//! [`RunOutcome::SilentDataCorruption`], which by definition produces no
+//! hardware error report. A production system has none of that: it sees a
+//! run either complete (with at most an ECC error report) or miss its
+//! deadline. [`Observation::from_outcome`] performs that information-
+//! destroying projection explicitly, so everything downstream of it is
+//! honest about what a deployed governor can actually know.
+
+use serde::{Deserialize, Serialize};
+use xgene_sim::fault::RunOutcome;
+use xgene_sim::watchdog::DeadlineWatchdog;
+
+/// What the hardware error-reporting machinery said about a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorReport {
+    /// No error reported.
+    None,
+    /// A corrected error was reported (ECC / pipeline replay).
+    Corrected,
+    /// An uncorrectable error was reported.
+    Uncorrectable,
+}
+
+/// One epoch as production observes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Observation {
+    /// The run completed before its deadline.
+    Completed {
+        /// The hardware error report attached to the completion.
+        report: ErrorReport,
+    },
+    /// The deadline expired: the watchdog fired and the board was
+    /// power-cycled.
+    TimedOut,
+}
+
+impl Observation {
+    /// Projects an oracle outcome through the deadline watchdog onto what
+    /// production observes. The crucial line is the silent corruption:
+    /// it completes with **no** error report and is indistinguishable
+    /// from a correct run here — only a sentinel checksum can unmask it.
+    pub fn from_outcome(outcome: RunOutcome, watchdog: &mut DeadlineWatchdog) -> Self {
+        if watchdog.guard(outcome).timed_out() {
+            return Observation::TimedOut;
+        }
+        let report = match outcome {
+            RunOutcome::CorrectableError => ErrorReport::Corrected,
+            RunOutcome::UncorrectableError => ErrorReport::Uncorrectable,
+            RunOutcome::Correct | RunOutcome::SilentDataCorruption => ErrorReport::None,
+            // needs_reset outcomes never reach here.
+            RunOutcome::Crash => unreachable!("crashes time out"),
+        };
+        Observation::Completed { report }
+    }
+
+    /// The outcome a production feedback loop may legitimately feed its
+    /// governor: the observable projection, NOT the oracle label. An
+    /// undetected SDC maps to `Correct` — the honest lie the sentinels
+    /// exist to correct.
+    pub fn as_feedback(self) -> RunOutcome {
+        match self {
+            Observation::Completed {
+                report: ErrorReport::None,
+            } => RunOutcome::Correct,
+            Observation::Completed {
+                report: ErrorReport::Corrected,
+            } => RunOutcome::CorrectableError,
+            Observation::Completed {
+                report: ErrorReport::Uncorrectable,
+            } => RunOutcome::UncorrectableError,
+            Observation::TimedOut => RunOutcome::Crash,
+        }
+    }
+
+    /// Whether the watchdog had to fire.
+    pub fn timed_out(self) -> bool {
+        self == Observation::TimedOut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdc_is_observationally_identical_to_correct() {
+        let mut wd = DeadlineWatchdog::default();
+        let clean = Observation::from_outcome(RunOutcome::Correct, &mut wd);
+        let silent = Observation::from_outcome(RunOutcome::SilentDataCorruption, &mut wd);
+        assert_eq!(clean, silent, "the observability boundary erases SDCs");
+        assert_eq!(silent.as_feedback(), RunOutcome::Correct);
+    }
+
+    #[test]
+    fn crash_projects_to_timeout_and_feeds_back_as_crash() {
+        let mut wd = DeadlineWatchdog::default();
+        let o = Observation::from_outcome(RunOutcome::Crash, &mut wd);
+        assert!(o.timed_out());
+        assert_eq!(o.as_feedback(), RunOutcome::Crash);
+        assert_eq!(wd.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn error_reports_survive_the_projection() {
+        let mut wd = DeadlineWatchdog::default();
+        assert_eq!(
+            Observation::from_outcome(RunOutcome::CorrectableError, &mut wd).as_feedback(),
+            RunOutcome::CorrectableError
+        );
+        assert_eq!(
+            Observation::from_outcome(RunOutcome::UncorrectableError, &mut wd).as_feedback(),
+            RunOutcome::UncorrectableError
+        );
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arena;
+pub mod canary;
 pub mod dpbench;
 pub mod dsp;
 pub mod jammer;
@@ -46,6 +47,7 @@ pub mod spec;
 pub mod stencil;
 
 pub use arena::{ArenaStats, DramArena};
+pub use canary::CanaryKernel;
 pub use dpbench::{DpBenchCampaign, DpBenchRound};
 pub use jammer::{JammerConfig, JammerReport};
 pub use rodinia::{KernelConfig, KernelReport, RodiniaKernel};

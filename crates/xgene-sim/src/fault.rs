@@ -233,6 +233,19 @@ pub struct FaultPlan {
     forced_setup_losses: Vec<u64>,
     reset_draws: u64,
     setup_draws: u64,
+    /// Run-draw indices (0-based) whose completed outcome is forced to
+    /// [`RunOutcome::SilentDataCorruption`]. Pure bookkeeping — no RNG
+    /// draws — so legacy fault sequences are unaffected.
+    #[serde(default)]
+    forced_sdc_runs: Vec<u64>,
+    /// When set, every run that completes below its Vmin is reclassified
+    /// as a silent corruption: the deterministic worst case for detection
+    /// studies (hangs stay hangs — a run that never finishes cannot be
+    /// silently wrong).
+    #[serde(default)]
+    sdc_below_vmin: bool,
+    #[serde(default)]
+    run_draws: u64,
 }
 
 impl FaultPlan {
@@ -250,6 +263,9 @@ impl FaultPlan {
             forced_setup_losses: Vec::new(),
             reset_draws: 0,
             setup_draws: 0,
+            forced_sdc_runs: Vec::new(),
+            sdc_below_vmin: false,
+            run_draws: 0,
         }
     }
 
@@ -319,6 +335,21 @@ impl FaultPlan {
         self
     }
 
+    /// Forces the `index`-th run draw (0-based) that completes to be a
+    /// silent corruption (a crash at that index stays a crash).
+    #[must_use]
+    pub fn force_sdc_at_run(mut self, index: u64) -> Self {
+        self.forced_sdc_runs.push(index);
+        self
+    }
+
+    /// Reclassifies every completed sub-Vmin run as a silent corruption.
+    #[must_use]
+    pub fn with_sub_vmin_sdc(mut self) -> Self {
+        self.sdc_below_vmin = true;
+        self
+    }
+
     /// The `(stuck, dropout)` per-reading sensor fault rates, for wiring
     /// into thermal-testbed sensors.
     pub fn sensor_fault_rates(&self) -> (f64, f64) {
@@ -351,6 +382,25 @@ impl FaultPlan {
         self.setup_draws += 1;
         let roll: f64 = self.rng.gen();
         self.forced_setup_losses.contains(&index) || roll < self.setup_loss_rate
+    }
+
+    /// Draws the silicon-level override for one run: whether a run that
+    /// classified as `outcome` (`below_vmin` says where the operating
+    /// point sat relative to the run's Vmin) must be reclassified as a
+    /// silent corruption. Consumes no RNG — forcing never shifts the
+    /// fault sequence.
+    pub fn next_run_sdc_override(&mut self, below_vmin: bool, outcome: RunOutcome) -> bool {
+        let index = self.run_draws;
+        self.run_draws += 1;
+        if outcome.needs_reset() {
+            return false;
+        }
+        self.forced_sdc_runs.contains(&index) || (self.sdc_below_vmin && below_vmin)
+    }
+
+    /// Total run draws taken so far.
+    pub fn run_draws(&self) -> u64 {
+        self.run_draws
     }
 
     /// Total reset draws taken so far.
@@ -521,6 +571,25 @@ mod tests {
             hangs > 0 && loops > 0 && losses > 0,
             "{hangs}/{loops}/{losses}"
         );
+    }
+
+    #[test]
+    fn sdc_override_never_resurrects_a_crash_and_consumes_no_rng() {
+        let mut plan = FaultPlan::quiet(3)
+            .with_boot_loop_rate(0.5)
+            .force_sdc_at_run(0)
+            .with_sub_vmin_sdc();
+        // A crash at the forced index stays a crash.
+        assert!(!plan.next_run_sdc_override(true, RunOutcome::Crash));
+        // Forced index already consumed; sub-Vmin mode still applies.
+        assert!(plan.next_run_sdc_override(true, RunOutcome::CorrectableError));
+        assert!(!plan.next_run_sdc_override(false, RunOutcome::Correct));
+        assert_eq!(plan.run_draws(), 3);
+        // Run draws never touch the RNG: the reset stream is unshifted.
+        let mut twin = FaultPlan::quiet(3).with_boot_loop_rate(0.5);
+        for _ in 0..20 {
+            assert_eq!(plan.next_reset_behavior(), twin.next_reset_behavior());
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod pipeline;
 pub mod server;
 pub mod sigma;
 pub mod topology;
+pub mod watchdog;
 pub mod workload;
 
 pub use cache::{Cache, CacheStats};
@@ -61,4 +62,5 @@ pub use pipeline::{ExecUnit, ExecutionReport, InOrderCore, MicroOp};
 pub use server::{ConfigError, CoreRunResult, XGene2Server};
 pub use sigma::{ChipProfile, SigmaBin};
 pub use topology::{CacheLevel, CoreId, PmdId, CORE_COUNT, PMD_COUNT};
+pub use watchdog::{DeadlineWatchdog, WatchdogConfig, WatchdogStats, WatchdogVerdict};
 pub use workload::{StressTarget, WorkloadProfile, WorkloadProfileBuilder};

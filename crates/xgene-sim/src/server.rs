@@ -312,6 +312,7 @@ impl XGene2Server {
             self.pmd_voltage,
             &mut self.rng,
         );
+        let outcome = self.apply_sdc_injection(core, workload, freq, 1, outcome);
         if outcome.needs_reset() {
             self.reset();
         }
@@ -356,6 +357,7 @@ impl XGene2Server {
                 n,
                 &mut self.rng,
             );
+            let outcome = self.apply_sdc_injection(*core, workload, freq, n, outcome);
             crashed |= outcome.needs_reset();
             results.push(CoreRunResult {
                 core: *core,
@@ -367,6 +369,40 @@ impl XGene2Server {
             self.reset();
         }
         results
+    }
+
+    /// Applies the fault plan's silicon-level SDC injection (if any) to a
+    /// freshly classified run. Without a plan this is a no-op; with one,
+    /// the plan's run-draw counter advances (no RNG) and forced or
+    /// sub-Vmin runs are reclassified as silent corruptions.
+    fn apply_sdc_injection(
+        &mut self,
+        core: CoreId,
+        workload: &WorkloadProfile,
+        freq: Megahertz,
+        active_cores: usize,
+        outcome: RunOutcome,
+    ) -> RunOutcome {
+        let Some(plan) = self.fault_plan.as_mut() else {
+            return outcome;
+        };
+        let vmin = self
+            .chip
+            .vmin_with_active_cores(core, workload, freq, active_cores);
+        let below = self.pmd_voltage < vmin;
+        if plan.next_run_sdc_override(below, outcome) && outcome != RunOutcome::SilentDataCorruption
+        {
+            telemetry::event!(
+                Level::Debug,
+                "sdc_injected",
+                core = core.index(),
+                workload = workload.name(),
+                original = outcome.to_string(),
+            );
+            telemetry::counter!("sdc_injections_total");
+            return RunOutcome::SilentDataCorruption;
+        }
+        outcome
     }
 
     /// Board power at the current operating point for a given load, as the
@@ -673,6 +709,60 @@ mod tests {
             assert_eq!(server.is_hung(), restored.is_hung());
             if server.is_hung() {
                 assert_eq!(server.power_cycle(), restored.power_cycle());
+            }
+        }
+    }
+
+    #[test]
+    fn sub_vmin_sdc_injection_turns_completed_failures_silent() {
+        let heavy = WorkloadProfile::builder("heavy")
+            .activity(0.9)
+            .swing(0.8)
+            .build();
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 44);
+        server.install_fault_plan(FaultPlan::quiet(44).with_sub_vmin_sdc());
+        let core = server.chip().most_robust_core();
+        let vmin = server.chip().vmin(core, &heavy, Megahertz::XGENE2_NOMINAL);
+        // A few mV below Vmin: completed runs are CE/UE/SDC mixes in the
+        // plain model, all silent under injection.
+        server
+            .set_pmd_voltage(Millivolts::new(vmin.as_u32() - 4))
+            .unwrap();
+        let mut completed = 0;
+        for _ in 0..100 {
+            let o = server.run_on_core(core, &heavy).outcome;
+            if !o.needs_reset() {
+                assert_eq!(o, RunOutcome::SilentDataCorruption);
+                completed += 1;
+            }
+            server
+                .set_pmd_voltage(Millivolts::new(vmin.as_u32() - 4))
+                .unwrap();
+        }
+        assert!(completed > 0, "some sub-Vmin runs must have completed");
+        // At or above Vmin the injection is inert.
+        server.set_pmd_voltage(vmin).unwrap();
+        for _ in 0..50 {
+            let o = server.run_on_core(core, &heavy).outcome;
+            assert_ne!(o, RunOutcome::SilentDataCorruption);
+            server.set_pmd_voltage(vmin).unwrap();
+        }
+    }
+
+    #[test]
+    fn forced_sdc_lands_on_the_requested_run_draw() {
+        let w = WorkloadProfile::builder("w").activity(0.5).build();
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 45);
+        server.install_fault_plan(FaultPlan::quiet(45).force_sdc_at_run(2));
+        let core = server.chip().most_robust_core();
+        // Nominal voltage: every run is Correct except the forced draw.
+        let outcomes: Vec<RunOutcome> = (0..5)
+            .map(|_| server.run_on_core(core, &w).outcome)
+            .collect();
+        assert_eq!(outcomes[2], RunOutcome::SilentDataCorruption);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(*o, RunOutcome::Correct, "run {i}");
             }
         }
     }

@@ -1,0 +1,207 @@
+//! The deadline watchdog: converting hangs into observable timeouts.
+//!
+//! The paper's framework babysits boards with an *external* watchdog: if a
+//! run does not report completion within its deadline, the watchdog
+//! power-cycles the board and the run is logged as a hang. That external
+//! view is exactly what a production system operating below the guardband
+//! has, too — it can never see a [`RunOutcome::Crash`] label, only the
+//! absence of a completion before the deadline. This module models that
+//! conversion: [`DeadlineWatchdog::guard`] turns the simulator's
+//! oracle-level outcome into what the deadline timer actually observes,
+//! and keeps the firing statistics a health monitor consumes.
+
+use crate::fault::RunOutcome;
+use serde::{Deserialize, Serialize};
+use telemetry::Level;
+
+/// Watchdog tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Runtime budget per run, in milliseconds. A run that has not
+    /// completed by then is declared hung.
+    pub deadline_ms: f64,
+    /// Nominal runtime of a completing run, in milliseconds (what the
+    /// timer reads back for completed runs).
+    pub expected_runtime_ms: f64,
+}
+
+impl WatchdogConfig {
+    /// The framework's defaults: runs budgeted at 4× their nominal 30 s
+    /// runtime before the watchdog fires.
+    pub fn dsn18() -> Self {
+        WatchdogConfig {
+            deadline_ms: 120_000.0,
+            expected_runtime_ms: 30_000.0,
+        }
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig::dsn18()
+    }
+}
+
+/// Firing statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogStats {
+    /// Runs guarded.
+    pub runs_guarded: u64,
+    /// Deadline expirations (hangs converted to observable timeouts).
+    pub timeouts: u64,
+}
+
+/// What the deadline timer observed for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WatchdogVerdict {
+    /// The run reported completion within its budget.
+    Completed {
+        /// Measured runtime, in milliseconds.
+        runtime_ms: f64,
+    },
+    /// The deadline expired with no completion: the watchdog fired and the
+    /// board was (or must be) power-cycled.
+    TimedOut {
+        /// The expired budget, in milliseconds.
+        deadline_ms: f64,
+    },
+}
+
+impl WatchdogVerdict {
+    /// Whether the watchdog had to fire.
+    pub fn timed_out(self) -> bool {
+        matches!(self, WatchdogVerdict::TimedOut { .. })
+    }
+}
+
+/// The per-board deadline watchdog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineWatchdog {
+    config: WatchdogConfig,
+    stats: WatchdogStats,
+}
+
+impl DeadlineWatchdog {
+    /// Arms a watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < expected_runtime_ms <= deadline_ms`.
+    pub fn new(config: WatchdogConfig) -> Self {
+        assert!(
+            config.expected_runtime_ms > 0.0,
+            "expected runtime must be positive"
+        );
+        assert!(
+            config.deadline_ms >= config.expected_runtime_ms,
+            "the deadline must cover at least one nominal runtime"
+        );
+        DeadlineWatchdog {
+            config,
+            stats: WatchdogStats::default(),
+        }
+    }
+
+    /// The configured budget.
+    pub fn config(&self) -> WatchdogConfig {
+        self.config
+    }
+
+    /// Firing statistics so far.
+    pub fn stats(&self) -> WatchdogStats {
+        self.stats
+    }
+
+    /// Converts one run's (oracle) outcome into the deadline timer's view:
+    /// crashes and hangs never report completion, so the deadline expires;
+    /// every completing outcome — including a silent corruption — reads
+    /// back as an ordinary in-time completion. This is the observability
+    /// boundary the safety net lives behind.
+    pub fn guard(&mut self, outcome: RunOutcome) -> WatchdogVerdict {
+        self.stats.runs_guarded += 1;
+        if outcome.needs_reset() {
+            self.stats.timeouts += 1;
+            telemetry::event!(
+                Level::Warn,
+                "watchdog_deadline",
+                deadline_ms = self.config.deadline_ms,
+                timeouts = self.stats.timeouts,
+            );
+            telemetry::counter!("watchdog_deadline_timeouts_total");
+            return WatchdogVerdict::TimedOut {
+                deadline_ms: self.config.deadline_ms,
+            };
+        }
+        WatchdogVerdict::Completed {
+            runtime_ms: self.config.expected_runtime_ms,
+        }
+    }
+}
+
+impl Default for DeadlineWatchdog {
+    fn default() -> Self {
+        DeadlineWatchdog::new(WatchdogConfig::dsn18())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_becomes_timeout() {
+        let mut wd = DeadlineWatchdog::default();
+        let v = wd.guard(RunOutcome::Crash);
+        assert!(v.timed_out());
+        assert_eq!(wd.stats().timeouts, 1);
+        assert_eq!(wd.stats().runs_guarded, 1);
+    }
+
+    #[test]
+    fn sdc_reads_back_as_clean_completion() {
+        // The whole reason sentinels exist: the watchdog alone cannot see
+        // a silent corruption.
+        let mut wd = DeadlineWatchdog::default();
+        let v = wd.guard(RunOutcome::SilentDataCorruption);
+        assert!(!v.timed_out());
+        assert_eq!(
+            v,
+            WatchdogVerdict::Completed {
+                runtime_ms: WatchdogConfig::dsn18().expected_runtime_ms
+            }
+        );
+        assert_eq!(wd.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn completions_and_error_reports_do_not_fire() {
+        let mut wd = DeadlineWatchdog::default();
+        for o in [
+            RunOutcome::Correct,
+            RunOutcome::CorrectableError,
+            RunOutcome::UncorrectableError,
+        ] {
+            assert!(!wd.guard(o).timed_out());
+        }
+        assert_eq!(wd.stats().runs_guarded, 3);
+        assert_eq!(wd.stats().timeouts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must cover")]
+    fn rejects_deadline_below_runtime() {
+        DeadlineWatchdog::new(WatchdogConfig {
+            deadline_ms: 10.0,
+            expected_runtime_ms: 20.0,
+        });
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut wd = DeadlineWatchdog::default();
+        wd.guard(RunOutcome::Crash);
+        let text = serde::json::to_string(&wd);
+        let back: DeadlineWatchdog = serde::json::from_str(&text).unwrap();
+        assert_eq!(wd, back);
+    }
+}

@@ -1,7 +1,10 @@
 //! The §IV.D online voltage governor in action: train the Vmin predictor
 //! from a characterization campaign, attach a droop history, and let the
 //! governor drive a core through shifting workload phases — saving power
-//! with zero disruptions.
+//! with zero disruptions. A second act wraps the governor in the
+//! production safety net and injects silent corruptions below Vmin: the
+//! DMR sentinels catch every one, the circuit breaker trips, refresh and
+//! margin roll back, and scaled operation is re-earned after cooldown.
 //!
 //! ```sh
 //! cargo run --example online_governor
@@ -10,10 +13,12 @@
 use armv8_guardbands::guardband_core::droop_history::{DroopHistory, FailurePredictor};
 use armv8_guardbands::guardband_core::governor::{simulate, GovernorConfig, OnlineGovernor};
 use armv8_guardbands::guardband_core::predictor::VminPredictor;
+use armv8_guardbands::guardband_core::safety::{SafetyNet, SafetyNetConfig};
 use armv8_guardbands::power_model::units::{Megahertz, Millivolts};
-use armv8_guardbands::workload_sim::spec::SPEC_SUITE;
+use armv8_guardbands::workload_sim::spec::{by_name, SPEC_SUITE};
+use armv8_guardbands::xgene_sim::fault::FaultPlan;
 use armv8_guardbands::xgene_sim::server::XGene2Server;
-use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+use armv8_guardbands::xgene_sim::sigma::{ChipProfile, SigmaBin};
 
 fn main() {
     let mut server = XGene2Server::new(SigmaBin::Ttt, 31);
@@ -86,4 +91,91 @@ fn main() {
         governor.choose(&milc)
     );
     assert!(governor.choose(&milc) <= Millivolts::XGENE2_NOMINAL);
+
+    safety_net_act();
+}
+
+/// Act two: the same governor family on a hostile slow-corner chip, with
+/// silent corruptions injected below Vmin — kept safe by the net.
+fn safety_net_act() {
+    println!("\n=== production safety net ===");
+    const SEED: u64 = 2018;
+    let mut server = XGene2Server::new(SigmaBin::Tss, SEED);
+    // Every run below its Vmin silently corrupts instead of crashing —
+    // the nastiest possible failure mode: no error report, no hang.
+    server.install_fault_plan(FaultPlan::quiet(SEED).with_sub_vmin_sdc());
+    let chip = ChipProfile::corner(SigmaBin::Tss);
+    let weak = chip.weakest_core();
+    let mcf = by_name("mcf").expect("mcf is in the suite").profile();
+
+    // A predictor trained on the *robust* core steers the weak one: the
+    // miscalibration puts the canaries below their Vmin while the
+    // workload itself stays (barely) clean. Exactly the blind spot the
+    // sentinels exist for.
+    let robust = chip.most_robust_core();
+    let training: Vec<_> = SPEC_SUITE
+        .iter()
+        .map(|b| {
+            let p = b.profile();
+            (p.clone(), chip.vmin(robust, &p, Megahertz::XGENE2_NOMINAL))
+        })
+        .collect();
+    let predictor = VminPredictor::train(&training).expect("well-posed training set");
+    let mut governor = OnlineGovernor::new(Some(predictor), None, GovernorConfig::conservative());
+
+    let config = SafetyNetConfig {
+        sentinel_every_epochs: 5,
+        ..SafetyNetConfig::dsn18()
+    };
+    let mut net = SafetyNet::new(config);
+    println!(
+        "sentinels every {} epochs, trip widens margin by {} mV",
+        config.sentinel_every_epochs, config.trip_margin_widen_mv
+    );
+
+    let mut last_state = net.breaker_state();
+    for epoch in 0..80u32 {
+        let report = net.run_epoch(&mut server, &mut governor, weak, &mcf);
+        if report.breaker_state != last_state {
+            println!(
+                "epoch {epoch:>3}: breaker {last_state} -> {} at {} (refresh {} ms)",
+                report.breaker_state,
+                report.commanded,
+                report.trefp.as_f64()
+            );
+            last_state = report.breaker_state;
+        }
+    }
+
+    let sentinel = net.sentinel_stats();
+    println!("after 80 guarded epochs:");
+    println!(
+        "  sentinel checks: {} (checksum hits {}, vote splits {}, timeouts {})",
+        sentinel.checks,
+        sentinel.detected_by_checksum,
+        sentinel.detected_by_vote,
+        sentinel.timeouts
+    );
+    println!(
+        "  injected SDCs seen by canaries: {}, undetected: {}",
+        sentinel.true_sdcs, sentinel.undetected_sdcs
+    );
+    println!(
+        "  breaker trips: {} (last reason: {}), refresh rollbacks: {}, restores: {}",
+        net.breaker_trips(),
+        governor
+            .stats()
+            .last_trip_reason
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "-".into()),
+        net.stats().refresh_rollbacks,
+        net.stats().refresh_restores
+    );
+    println!(
+        "  guarded power savings vs nominal: {:.1}% over {} epochs ({} at nominal)",
+        (1.0 - governor.stats().mean_power_ratio()) * 100.0,
+        net.stats().epochs,
+        net.stats().nominal_epochs
+    );
+    assert_eq!(sentinel.undetected_sdcs, 0, "an SDC escaped the net");
 }

@@ -187,6 +187,87 @@ proptest! {
     }
 }
 
+fn arb_outcome() -> impl Strategy<Value = armv8_guardbands::xgene_sim::fault::RunOutcome> {
+    use armv8_guardbands::xgene_sim::fault::RunOutcome;
+    prop_oneof![
+        Just(RunOutcome::Correct),
+        Just(RunOutcome::CorrectableError),
+        Just(RunOutcome::UncorrectableError),
+        Just(RunOutcome::SilentDataCorruption),
+        Just(RunOutcome::Crash),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = armv8_guardbands::char_fw::setup::SafePolicy> {
+    use armv8_guardbands::char_fw::setup::SafePolicy;
+    prop_oneof![
+        Just(SafePolicy::StrictCorrect),
+        Just(SafePolicy::AllowCorrected)
+    ]
+}
+
+proptest! {
+    /// The setup classification is dominated by its worst member: it never
+    /// reports anything milder than any individual repetition, and the
+    /// reported class always appears among the inputs.
+    #[test]
+    fn classify_setup_severity_dominance(
+        outcomes in prop::collection::vec(arb_outcome(), 0..12),
+        policy in arb_policy(),
+    ) {
+        use armv8_guardbands::char_fw::runner::classify_setup;
+        use armv8_guardbands::xgene_sim::fault::RunOutcome;
+        let severity = |x: RunOutcome| match x {
+            RunOutcome::Correct => 0,
+            RunOutcome::CorrectableError => 1,
+            RunOutcome::UncorrectableError => 2,
+            RunOutcome::SilentDataCorruption => 3,
+            RunOutcome::Crash => 4,
+        };
+        let class = classify_setup(&outcomes, policy);
+        for &o in &outcomes {
+            prop_assert!(severity(class) >= severity(o), "{class:?} milder than {o:?}");
+        }
+        if outcomes.is_empty() {
+            prop_assert_eq!(class, RunOutcome::Correct, "vacuous setups are safe");
+        } else {
+            prop_assert!(outcomes.contains(&class), "{class:?} not among inputs");
+        }
+    }
+
+    /// The classification is order-independent: any rotation (and the
+    /// reversal) of the repetition list yields the same class.
+    #[test]
+    fn classify_setup_is_order_independent(
+        outcomes in prop::collection::vec(arb_outcome(), 1..10),
+        rotation in 0usize..10,
+        policy in arb_policy(),
+    ) {
+        use armv8_guardbands::char_fw::runner::classify_setup;
+        let baseline = classify_setup(&outcomes, policy);
+        let mut rotated = outcomes.clone();
+        rotated.rotate_left(rotation % outcomes.len());
+        prop_assert_eq!(classify_setup(&rotated, policy), baseline);
+        let mut reversed = outcomes.clone();
+        reversed.reverse();
+        prop_assert_eq!(classify_setup(&reversed, policy), baseline);
+    }
+
+    /// Both safe policies agree on the class itself (the policy moves the
+    /// accept/reject line, not the severity order).
+    #[test]
+    fn classify_setup_is_policy_invariant(
+        outcomes in prop::collection::vec(arb_outcome(), 0..12),
+    ) {
+        use armv8_guardbands::char_fw::runner::classify_setup;
+        use armv8_guardbands::char_fw::setup::SafePolicy;
+        prop_assert_eq!(
+            classify_setup(&outcomes, SafePolicy::StrictCorrect),
+            classify_setup(&outcomes, SafePolicy::AllowCorrected)
+        );
+    }
+}
+
 proptest! {
     /// Killing a campaign at *any* run boundary and resuming it from a
     /// JSON checkpoint reproduces the uninterrupted result bit-for-bit —
