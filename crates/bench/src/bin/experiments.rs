@@ -1,6 +1,9 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|all] [seed]`
+//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|all] [seed]`
+//!
+//! `fleet` additionally writes the speedup record to `BENCH_fleet.json`
+//! in the current directory.
 
 use guardband_bench as bench;
 
@@ -30,6 +33,15 @@ fn main() {
     };
     let run_ablations = || println!("{}", bench::ablation::render(seed));
     let run_sweep = || println!("{}", bench::sweep::render(&bench::sweep::run()));
+    let run_fleet = || {
+        let data = bench::fleet_scale::run(seed);
+        println!("{}", bench::fleet_scale::render(&data));
+        let json = serde::json::to_string(&data);
+        match std::fs::write("BENCH_fleet.json", &json) {
+            Ok(()) => println!("(speedup record written to BENCH_fleet.json)"),
+            Err(err) => eprintln!("could not write BENCH_fleet.json: {err}"),
+        }
+    };
 
     match which {
         "fig4" => run_fig4(),
@@ -42,6 +54,7 @@ fn main() {
         "predictor" => run_predictor(),
         "ablations" => run_ablations(),
         "sweep" => run_sweep(),
+        "fleet" => run_fleet(),
         "all" => {
             run_fig4();
             run_fig5();
@@ -53,11 +66,12 @@ fn main() {
             run_predictor();
             run_ablations();
             run_sweep();
+            run_fleet();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of \
-                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|all"
+                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|all"
             );
             std::process::exit(2);
         }

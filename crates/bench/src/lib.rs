@@ -15,6 +15,7 @@
 //! | [`extras`] | §IV.C stencil scheduling, §IV.D predictor |
 //! | [`ablation`] | ECC / virus-search / retention-model / governor ablations |
 //! | [`sweep`]  | extension: safe refresh envelope vs temperature |
+//! | [`fleet_scale`] | extension: 256-board fleet orchestration speedup |
 //!
 //! The `experiments` binary drives all of them; the `benches/` directory
 //! holds criterion timings of the same entry points.
@@ -29,5 +30,6 @@ pub mod fig5;
 pub mod fig6_7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet_scale;
 pub mod sweep;
 pub mod table1;

@@ -1,0 +1,70 @@
+//! Board provisioning for campaigns.
+//!
+//! Campaign entry points take a board *handle* (`&mut XGene2Server`) or a
+//! [`BoardProvider`] when they need one fresh board per configuration —
+//! they never construct boards themselves. That inversion is what lets
+//! the fleet scheduler inject per-unit sampled boards, and what a future
+//! real-hardware backend would implement to hand out SLIMpro connections
+//! instead of simulations.
+
+use xgene_sim::server::XGene2Server;
+use xgene_sim::sigma::SigmaBin;
+
+/// Supplies fresh boards to campaigns that need one power-on state per
+/// configuration (e.g. the rail-scaling sweep boots an identical board
+/// for every instance count).
+pub trait BoardProvider {
+    /// A freshly booted board for zero-based configuration `index`.
+    fn board(&mut self, index: usize) -> XGene2Server;
+}
+
+/// The legacy provider: every configuration gets an identical simulated
+/// board booted from `(corner, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeededBoards {
+    /// Process corner of the part in the socket.
+    pub corner: SigmaBin,
+    /// Boot seed.
+    pub seed: u64,
+}
+
+impl BoardProvider for SeededBoards {
+    fn board(&mut self, _index: usize) -> XGene2Server {
+        XGene2Server::new(self.corner, self.seed)
+    }
+}
+
+/// Closures provide boards too: `|i| fleet_spec.board(i).boot(..)`.
+impl<F: FnMut(usize) -> XGene2Server> BoardProvider for F {
+    fn board(&mut self, index: usize) -> XGene2Server {
+        self(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_boards_hand_out_identical_power_on_states() {
+        let mut provider = SeededBoards {
+            corner: SigmaBin::Tff,
+            seed: 17,
+        };
+        let a = provider.board(0);
+        let b = provider.board(5);
+        assert_eq!(a.chip(), b.chip());
+        assert_eq!(a.pmd_voltage(), b.pmd_voltage());
+    }
+
+    #[test]
+    fn closures_are_providers() {
+        let mut calls = Vec::new();
+        let mut provider = |i: usize| {
+            calls.push(i);
+            XGene2Server::new(SigmaBin::Ttt, i as u64)
+        };
+        let _ = BoardProvider::board(&mut provider, 3);
+        assert_eq!(calls, vec![3]);
+    }
+}

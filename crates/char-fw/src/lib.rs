@@ -4,6 +4,9 @@
 //! execution, parsing — that finds each component's limits under scaled
 //! voltage/frequency/refresh conditions and classifies every run's effect:
 //!
+//! * [`board`] — board provisioning: campaigns take injected board
+//!   handles (the fleet scheduler's and a future hardware backend's
+//!   entry point) instead of constructing their own;
 //! * [`setup`] — characterization setups, voltage schedules, safe-outcome
 //!   policies (initialization phase);
 //! * [`runner`] — the execution loop with watchdog recovery and per-run
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod board;
 pub mod dramchar;
 pub mod frequency;
 pub mod multiprocess;
@@ -55,9 +59,13 @@ pub mod safety;
 pub mod setup;
 pub mod soak;
 
+pub use board::{BoardProvider, SeededBoards};
 pub use dramchar::{run_dram_campaign, DramCampaignConfig, DramCampaignReport};
 pub use frequency::{run_fmax_campaign, FmaxCampaign, FmaxResult};
-pub use multiprocess::{run_multiprocess_campaign, MultiProcessCampaign, RailVminResult};
+pub use multiprocess::{
+    rail_scaling, rail_scaling_with, run_multiprocess_campaign, MultiProcessCampaign,
+    RailVminResult,
+};
 pub use report::{
     classify, quarantine_to_csv, records_to_csv, safety_to_csv, vmins_to_csv, OutcomeCounts,
 };

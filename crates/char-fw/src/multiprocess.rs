@@ -112,19 +112,33 @@ pub fn run_multiprocess_campaign(
 }
 
 /// The rail-Vmin scaling curve: instance counts 1..=8 of the same
-/// workload replicated.
+/// workload replicated, one fresh board per count supplied by
+/// `provider` (configuration index `n − 1` for `n` instances).
+pub fn rail_scaling_with(
+    provider: &mut dyn crate::board::BoardProvider,
+    workload: &WorkloadProfile,
+) -> Vec<RailVminResult> {
+    (1..=8)
+        .map(|n| {
+            let mut server = provider.board(n - 1);
+            let campaign = MultiProcessCampaign::dsn18(vec![workload.clone(); n]);
+            run_multiprocess_campaign(&mut server, &campaign)
+        })
+        .collect()
+}
+
+/// [`rail_scaling_with`] on identical seeded boards — the single-board
+/// legacy entry point.
 pub fn rail_scaling(
     server_seed: u64,
     corner: xgene_sim::sigma::SigmaBin,
     workload: &WorkloadProfile,
 ) -> Vec<RailVminResult> {
-    (1..=8)
-        .map(|n| {
-            let mut server = XGene2Server::new(corner, server_seed);
-            let campaign = MultiProcessCampaign::dsn18(vec![workload.clone(); n]);
-            run_multiprocess_campaign(&mut server, &campaign)
-        })
-        .collect()
+    let mut provider = crate::board::SeededBoards {
+        corner,
+        seed: server_seed,
+    };
+    rail_scaling_with(&mut provider, workload)
 }
 
 #[cfg(test)]
@@ -146,6 +160,17 @@ mod tests {
             assert!(w[1] >= w[0], "{vmins:?}");
         }
         assert!(vmins[7] > vmins[0], "{vmins:?}");
+    }
+
+    #[test]
+    fn injected_boards_reproduce_the_seeded_curve() {
+        // The provider-based entry point with a closure handing out the
+        // same seeded boards must match the legacy constructor path.
+        let w = by_name("milc").unwrap().profile();
+        let legacy = rail_scaling(91, SigmaBin::Ttt, &w);
+        let mut provider = |_i: usize| XGene2Server::new(SigmaBin::Ttt, 91);
+        let injected = rail_scaling_with(&mut provider, &w);
+        assert_eq!(legacy, injected);
     }
 
     #[test]

@@ -71,6 +71,6 @@ pub use governor::{GovernorConfig, GovernorStats, OnlineGovernor};
 pub use guardband::{Guardband, GuardbandSummary};
 pub use predictor::VminPredictor;
 pub use refresh_relax::{choose_relaxation, RelaxationChoice, RelaxationPolicy};
-pub use safepoint::SafePointPolicy;
+pub use safepoint::{BoardSafePoint, FleetStats, SafePointPolicy, SafePointStore};
 pub use safety::{Observation, SafetyNet, SafetyNetConfig};
 pub use vmin::{characterize_chip, virus_margins, ChipVminSeries};

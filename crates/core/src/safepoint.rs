@@ -11,7 +11,8 @@ use power_model::server::OperatingPoint;
 use power_model::tradeoff::FrequencyPlan;
 use power_model::units::{Megahertz, Milliseconds, Millivolts};
 use serde::{Deserialize, Serialize};
-use xgene_sim::sigma::ChipProfile;
+use std::collections::BTreeMap;
+use xgene_sim::sigma::{ChipProfile, SigmaBin};
 use xgene_sim::topology::CoreId;
 use xgene_sim::workload::WorkloadProfile;
 
@@ -75,11 +76,232 @@ impl SafePointPolicy {
     }
 }
 
+impl SafePointPolicy {
+    /// Derives the safe operating point from a *measured* rail Vmin (as a
+    /// fleet campaign produces) rather than from a chip model: margin
+    /// added, snapped up to the regulator grid, capped at nominal. The
+    /// refresh period is the board's validated-safe `trefp`, clamped so a
+    /// board never relaxes beyond what this policy allows.
+    pub fn derive_from_measured(
+        &self,
+        rail_vmin: Millivolts,
+        trefp: Milliseconds,
+    ) -> OperatingPoint {
+        let pmd = snap_up(rail_vmin.as_u32() + self.pmd_margin_mv, self.grid_mv);
+        let soc = Millivolts::XGENE2_NOMINAL.as_u32() - self.soc_undervolt_mv;
+        OperatingPoint {
+            pmd_voltage: Millivolts::new(pmd.min(Millivolts::XGENE2_NOMINAL.as_u32())),
+            soc_voltage: Millivolts::new(soc),
+            plan: FrequencyPlan::all_nominal(),
+            trefp: Milliseconds::new(trefp.as_f64().min(self.trefp.as_f64())),
+        }
+    }
+}
+
 fn snap_up(mv: u32, grid: u32) -> u32 {
     if grid == 0 {
         return mv;
     }
     mv.div_ceil(grid) * grid
+}
+
+/// One board's characterized safe point — the unit record of a
+/// [`SafePointStore`].
+///
+/// `board` identifies the unit; `attempt` counts re-characterizations
+/// (a board evicted by the safety net comes back with `attempt + 1`).
+/// Together they order competing records for the same board during
+/// [`SafePointStore::insert`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardSafePoint {
+    /// Fleet-wide board id.
+    pub board: u32,
+    /// Re-characterization attempt that produced this record (0 = first).
+    pub attempt: u32,
+    /// The chip's process corner.
+    pub bin: SigmaBin,
+    /// Measured per-core Vmin in mV, indexed by core; `None` where the
+    /// search found no safe setup (core quarantined at every voltage).
+    pub core_vmin_mv: Vec<Option<u32>>,
+    /// Rail Vmin of the deployed workload set, if measured.
+    pub rail_vmin_mv: Option<u32>,
+    /// The derived deployment point; `None` when characterization failed.
+    pub operating_point: Option<OperatingPoint>,
+    /// Per-bank validated-safe refresh period, ms.
+    pub bank_safe_trefp_ms: Vec<f64>,
+    /// Fractional power saving vs nominal under the reference load.
+    pub savings_fraction: f64,
+    /// Absolute power saving vs nominal under the reference load, W.
+    pub savings_watts: f64,
+}
+
+impl BoardSafePoint {
+    /// PMD margin this record exploits: nominal minus deployed voltage.
+    pub fn margin_mv(&self) -> Option<i64> {
+        self.operating_point.as_ref().map(|p| {
+            i64::from(Millivolts::XGENE2_NOMINAL.as_u32()) - i64::from(p.pmd_voltage.as_u32())
+        })
+    }
+
+    /// Total order deciding which of two records for the same board
+    /// survives a merge: the later attempt wins, ties broken by record
+    /// content so the outcome never depends on arrival order.
+    fn precedence_key(&self) -> (u32, String) {
+        (self.attempt, serde::json::to_string(self))
+    }
+}
+
+/// The fleet-wide safe-point database.
+///
+/// A join-semilattice: [`SafePointStore::insert`] keeps, per board, the
+/// record with the highest precedence key `(attempt, canonical JSON)`,
+/// which makes [`SafePointStore::merge`] associative, commutative and
+/// idempotent — shards can be merged in any order, any number of times,
+/// and the result is bit-identical (property-tested in `tests/fleet.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use guardband_core::safepoint::{BoardSafePoint, SafePointStore};
+/// use xgene_sim::sigma::SigmaBin;
+///
+/// let record = BoardSafePoint {
+///     board: 7,
+///     attempt: 0,
+///     bin: SigmaBin::Ttt,
+///     core_vmin_mv: vec![Some(890); 8],
+///     rail_vmin_mv: Some(905),
+///     operating_point: None,
+///     bank_safe_trefp_ms: vec![64.0; 8],
+///     savings_fraction: 0.0,
+///     savings_watts: 0.0,
+/// };
+/// let mut a = SafePointStore::new();
+/// a.insert(record.clone());
+/// let mut b = SafePointStore::new();
+/// b.merge(&a);
+/// b.merge(&a); // idempotent
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SafePointStore {
+    boards: BTreeMap<u32, BoardSafePoint>,
+}
+
+impl SafePointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SafePointStore::default()
+    }
+
+    /// Inserts one record, keeping the highest-precedence record per
+    /// board.
+    pub fn insert(&mut self, record: BoardSafePoint) {
+        match self.boards.entry(record.board) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(record);
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                if record.precedence_key() > slot.get().precedence_key() {
+                    slot.insert(record);
+                }
+            }
+        }
+    }
+
+    /// Merges another shard into this one (see the type docs for the
+    /// algebraic laws).
+    pub fn merge(&mut self, other: &SafePointStore) {
+        for record in other.boards.values() {
+            self.insert(record.clone());
+        }
+    }
+
+    /// Number of boards with a record.
+    pub fn len(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.boards.is_empty()
+    }
+
+    /// The surviving record for a board.
+    pub fn get(&self, board: u32) -> Option<&BoardSafePoint> {
+        self.boards.get(&board)
+    }
+
+    /// All records in board order.
+    pub fn records(&self) -> impl Iterator<Item = &BoardSafePoint> {
+        self.boards.values()
+    }
+
+    /// Population statistics over the stored safe points. Deterministic:
+    /// every aggregate is computed in board order from the sorted map,
+    /// never in insertion order.
+    pub fn stats(&self) -> FleetStats {
+        let mut margins: Vec<i64> = self
+            .records()
+            .filter_map(BoardSafePoint::margin_mv)
+            .collect();
+        margins.sort_unstable();
+        let corner_histogram = SigmaBin::ALL
+            .iter()
+            .map(|bin| (*bin, self.records().filter(|r| r.bin == *bin).count()))
+            .collect();
+        let characterized = margins.len();
+        let total_savings_watts = self.records().map(|r| r.savings_watts).sum();
+        let mean_savings_fraction = if characterized == 0 {
+            0.0
+        } else {
+            self.records()
+                .filter(|r| r.operating_point.is_some())
+                .map(|r| r.savings_fraction)
+                .sum::<f64>()
+                / characterized as f64
+        };
+        FleetStats {
+            boards: self.len(),
+            characterized,
+            corner_histogram,
+            min_margin_mv: margins.first().copied(),
+            median_margin_mv: sorted_quantile(&margins, 0.50),
+            p95_margin_mv: sorted_quantile(&margins, 0.95),
+            total_savings_watts,
+            mean_savings_fraction,
+        }
+    }
+}
+
+/// Nearest-rank quantile of an already sorted slice.
+fn sorted_quantile(sorted: &[i64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1] as f64)
+}
+
+/// Population statistics of a [`SafePointStore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Boards with any record.
+    pub boards: usize,
+    /// Boards with a derived operating point.
+    pub characterized: usize,
+    /// Boards per process corner, in [`SigmaBin::ALL`] order.
+    pub corner_histogram: Vec<(SigmaBin, usize)>,
+    /// Smallest exploited PMD margin, mV.
+    pub min_margin_mv: Option<i64>,
+    /// Median exploited PMD margin, mV (nearest rank).
+    pub median_margin_mv: Option<f64>,
+    /// 95th-percentile exploited PMD margin, mV (nearest rank).
+    pub p95_margin_mv: Option<f64>,
+    /// Projected fleet-wide power saving, W.
+    pub total_savings_watts: f64,
+    /// Mean fractional saving across characterized boards.
+    pub mean_savings_fraction: f64,
 }
 
 #[cfg(test)]
@@ -146,5 +368,123 @@ mod tests {
     fn rejects_mismatched_lengths() {
         let chip = ChipProfile::corner(SigmaBin::Ttt);
         let _ = SafePointPolicy::dsn18().derive(&chip, &[jammer::profile()], &[]);
+    }
+
+    #[test]
+    fn derive_from_measured_matches_the_model_path() {
+        // Feeding the model's own rail Vmin through the measured-data path
+        // must land on the same deployment point.
+        let chip = ChipProfile::corner(SigmaBin::Ttt);
+        let policy = SafePointPolicy::dsn18();
+        let workloads = vec![jammer::profile(); 8];
+        let cores: Vec<CoreId> = CoreId::all().collect();
+        let modeled = policy.derive(&chip, &workloads, &cores);
+        let assignments: Vec<_> = cores
+            .iter()
+            .zip(&workloads)
+            .map(|(c, w)| (*c, w, Megahertz::XGENE2_NOMINAL))
+            .collect();
+        let rail = chip.rail_vmin(&assignments).unwrap();
+        let measured = policy.derive_from_measured(rail, policy.trefp);
+        assert_eq!(modeled, measured);
+        // A board whose DRAM only validated a shorter period keeps it…
+        let conservative = policy.derive_from_measured(rail, Milliseconds::new(500.0));
+        assert_eq!(conservative.trefp, Milliseconds::new(500.0));
+        // …and one validated beyond the policy is clamped to the policy.
+        let clamped = policy.derive_from_measured(rail, Milliseconds::new(9000.0));
+        assert_eq!(clamped.trefp, policy.trefp);
+    }
+
+    fn record(board: u32, attempt: u32, rail: u32) -> BoardSafePoint {
+        let policy = SafePointPolicy::dsn18();
+        BoardSafePoint {
+            board,
+            attempt,
+            bin: SigmaBin::Ttt,
+            core_vmin_mv: vec![Some(rail - 5); 8],
+            rail_vmin_mv: Some(rail),
+            operating_point: Some(policy.derive_from_measured(Millivolts::new(rail), policy.trefp)),
+            bank_safe_trefp_ms: vec![2283.0; 8],
+            savings_fraction: 0.2,
+            savings_watts: 6.0,
+        }
+    }
+
+    #[test]
+    fn later_attempt_wins_regardless_of_arrival_order() {
+        let first = record(3, 0, 905);
+        let redo = record(3, 1, 930);
+        let mut forward = SafePointStore::new();
+        forward.insert(first.clone());
+        forward.insert(redo.clone());
+        let mut backward = SafePointStore::new();
+        backward.insert(redo.clone());
+        backward.insert(first);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.get(3), Some(&redo));
+        assert_eq!(forward.len(), 1);
+    }
+
+    #[test]
+    fn merge_is_a_join() {
+        let mut a = SafePointStore::new();
+        a.insert(record(0, 0, 905));
+        a.insert(record(1, 1, 910));
+        let mut b = SafePointStore::new();
+        b.insert(record(1, 0, 900));
+        b.insert(record(2, 0, 920));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab.len(), 3);
+        assert_eq!(ab.get(1).unwrap().attempt, 1);
+        let again = {
+            let mut s = ab.clone();
+            s.merge(&b);
+            s
+        };
+        assert_eq!(again, ab, "merge must be idempotent");
+    }
+
+    #[test]
+    fn stats_summarize_the_population() {
+        let mut store = SafePointStore::new();
+        store.insert(record(0, 0, 905)); // margin 50 (930 deployed)
+        store.insert(record(1, 0, 925)); // margin 30 (950 deployed)
+        let mut failed = record(2, 0, 905);
+        failed.operating_point = None;
+        failed.savings_fraction = 0.0;
+        failed.savings_watts = 0.0;
+        failed.bin = SigmaBin::Tss;
+        store.insert(failed);
+        let stats = store.stats();
+        assert_eq!(stats.boards, 3);
+        assert_eq!(stats.characterized, 2);
+        assert_eq!(stats.min_margin_mv, Some(30));
+        assert_eq!(stats.median_margin_mv, Some(30.0));
+        assert_eq!(stats.p95_margin_mv, Some(50.0));
+        assert_eq!(
+            stats.corner_histogram,
+            vec![(SigmaBin::Ttt, 2), (SigmaBin::Tff, 0), (SigmaBin::Tss, 1)]
+        );
+        assert!((stats.total_savings_watts - 12.0).abs() < 1e-12);
+        assert!((stats.mean_savings_fraction - 0.2).abs() < 1e-12);
+        // Stats of an empty store are all-absent, not a panic.
+        let empty = SafePointStore::new().stats();
+        assert_eq!(empty.min_margin_mv, None);
+        assert_eq!(empty.median_margin_mv, None);
+    }
+
+    #[test]
+    fn store_roundtrips_through_json() {
+        let mut store = SafePointStore::new();
+        store.insert(record(5, 0, 905));
+        store.insert(record(9, 2, 915));
+        let text = serde::json::to_string(&store);
+        let back: SafePointStore = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(serde::json::to_string(&back), text);
     }
 }

@@ -409,6 +409,25 @@ impl WeakCellPopulation {
             .filter(move |c| c.decays_within(trefp, temp, context, model))
     }
 
+    /// The most leaky cell's effective retention per bank at `temp` under
+    /// `context`, in ms — `None` for banks whose population holds no weak
+    /// cell. A bank is error-free at refresh period `trefp` iff its floor
+    /// is ≥ `trefp`, so a fleet shard can derive each bank's safe refresh
+    /// period from this floor without replaying the multi-round campaign.
+    pub fn min_retention_per_bank(
+        &self,
+        temp: Celsius,
+        context: CouplingContext,
+    ) -> [Option<f64>; BANKS_PER_CHIP] {
+        let mut floors = [None; BANKS_PER_CHIP];
+        for cell in &self.cells {
+            let retention = cell.retention_ms(temp, context, &self.model);
+            let slot = &mut floors[cell.addr.word.bank.index()];
+            *slot = Some(slot.map_or(retention, |floor: f64| floor.min(retention)));
+        }
+        floors
+    }
+
     /// Count of failing cells per bank (the Table I measurement).
     pub fn failing_per_bank(
         &self,
@@ -580,6 +599,36 @@ mod tests {
             .count();
         assert!(worst > alt, "worst {worst} vs alternating {alt}");
         assert!(alt > uni, "alternating {alt} vs uniform {uni}");
+    }
+
+    #[test]
+    fn bank_retention_floor_separates_failing_from_safe_periods() {
+        let model = RetentionModel::xgene2_micron();
+        let pop = WeakCellPopulation::generate(&model, PopulationSpec::dsn18(), 21);
+        let temp = Celsius::new(60.0);
+        let floors = pop.min_retention_per_bank(temp, CouplingContext::WorstCase);
+        let counts = pop.failing_per_bank(
+            temp,
+            Milliseconds::DSN18_RELAXED_TREFP,
+            CouplingContext::WorstCase,
+        );
+        for (b, floor) in floors.iter().enumerate() {
+            let floor = floor.expect("every bank has weak cells at the envelope");
+            // The floor really is a lower bound on every cell's retention…
+            for cell in pop.cells().iter().filter(|c| c.addr.word.bank.index() == b) {
+                assert!(cell.retention_ms(temp, CouplingContext::WorstCase, &model) >= floor);
+            }
+            // …and is consistent with the failing-count view: errors at
+            // the paper's relaxed period, none just below the floor.
+            assert!(floor < Milliseconds::DSN18_RELAXED_TREFP.as_f64());
+            assert!(counts[b] > 0);
+            let safe = Milliseconds::new(floor * 0.999);
+            assert_eq!(
+                pop.failing_per_bank(temp, safe, CouplingContext::WorstCase)[b],
+                0,
+                "bank {b} must be clean below its retention floor"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Fleet-scale campaign orchestration.
+//!
+//! The paper characterizes three X-Gene 2 boards by hand; this crate
+//! scales the same campaigns to a simulated datacenter. It is built
+//! around one invariant: **an N-worker fleet run produces byte-identical
+//! characterization output to the serial run**, resting on three pillars —
+//!
+//! 1. [`population`] — every board's silicon is a pure function of
+//!    `(fleet seed, board id)`: corner drawn from a [`CornerMix`],
+//!    chip personality sampled around it, DRAM weak cells from the
+//!    board's own boot seed;
+//! 2. [`job`] — characterizing a board is a pure function of its spec
+//!    and the campaign: the full `char-fw` resilient Vmin walk, the
+//!    per-bank DRAM retention floor, the derived safe point and a
+//!    simulated cost in board-seconds;
+//! 3. [`orchestrator`] — dispatch through the bounded work-stealing
+//!    [`queue`] is intentionally racy, but aggregation sorts every
+//!    outcome by `(board, attempt)` before folding, and the safe-point
+//!    database ([`SafePointStore`]) is an order-independent semilattice.
+//!
+//! Boards whose safety net trips (sub-Vmin silent corruption caught by
+//! the DMR sentinels) are evicted back to nominal and re-queued once
+//! with a raised search floor. Fleet speedup is *modeled* by the
+//! deterministic [`schedule`] makespan over per-job simulated costs —
+//! see that module for why wall clock is not the metric.
+//!
+//! # Examples
+//!
+//! ```
+//! use fleet::{run_fleet, FleetCampaign, FleetConfig, FleetSpec};
+//!
+//! let spec = FleetSpec::new(4, 2018);
+//! let report = run_fleet(&spec, &FleetCampaign::quick(), &FleetConfig::with_workers(2));
+//! assert_eq!(report.characterization.stats.boards, 4);
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod job;
+pub mod orchestrator;
+pub mod population;
+pub mod queue;
+pub mod report;
+pub mod schedule;
+
+pub use guardband_core::safepoint::{BoardSafePoint, FleetStats, SafePointStore};
+pub use job::{execute, BoardOutcome, FleetCampaign, FleetJob};
+pub use orchestrator::{run_fleet, FleetConfig};
+pub use population::{BoardSpec, CornerMix, FleetSpec};
+pub use queue::{FleetQueue, QueueStats};
+pub use report::{FleetCharacterization, FleetExecution, FleetReport, JobSummary};
+pub use schedule::ScheduleModel;

@@ -1,0 +1,280 @@
+//! The fleet coordinator: shard, execute, evict, merge.
+//!
+//! [`run_fleet`] seeds a bounded work-stealing queue with one job per
+//! board, runs them on a pool of worker threads, listens for outcomes,
+//! and re-queues any board the safety net evicted (breaker tripped) with
+//! a raised search floor. When the last job lands it sorts every outcome
+//! into `(board, attempt)` order and only then aggregates — the merged
+//! [`SafePointStore`], population stats, summed campaign counters and
+//! the modeled schedule are all computed from sorted data, never from
+//! arrival order. Together with pure board specs and pure job execution
+//! this yields the headline invariant: an N-worker run's
+//! characterization output is byte-identical to the serial run's.
+
+use crate::job::{self, BoardOutcome, FleetCampaign, FleetJob};
+use crate::population::FleetSpec;
+use crate::queue::FleetQueue;
+use crate::report::{FleetCharacterization, FleetExecution, FleetReport, JobSummary};
+use crate::schedule::ScheduleModel;
+use guardband_core::safepoint::SafePointStore;
+use power_model::units::Millivolts;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::thread;
+use telemetry::{counter, event, gauge, observe, span, Level};
+
+/// Pool and eviction policy of a fleet run. Changing any knob here may
+/// change *how fast* the fleet characterizes, never *what* it measures —
+/// except `max_attempts` and `requeue_backoff_mv`, which are part of the
+/// campaign semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Injector bound (backpressure on the coordinator).
+    pub queue_capacity: usize,
+    /// Jobs a worker refills its local deque with per injector visit.
+    pub batch_size: usize,
+    /// Characterization attempts per board (1 = never re-queue).
+    pub max_attempts: u32,
+    /// How far above the highest observed failure a re-queued board's
+    /// search floor is raised, mV.
+    pub requeue_backoff_mv: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 4,
+            queue_capacity: 64,
+            batch_size: 4,
+            max_attempts: 2,
+            requeue_backoff_mv: 15,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The default policy with an explicit pool size.
+    pub fn with_workers(workers: usize) -> Self {
+        FleetConfig {
+            workers,
+            ..FleetConfig::default()
+        }
+    }
+}
+
+/// Characterizes the whole fleet. See the module docs for the
+/// determinism argument.
+///
+/// # Panics
+///
+/// Panics if `config.workers` or `config.max_attempts` is zero, or if a
+/// worker thread panics.
+pub fn run_fleet(spec: &FleetSpec, campaign: &FleetCampaign, config: &FleetConfig) -> FleetReport {
+    assert!(config.max_attempts > 0, "fleet needs at least one attempt");
+    let _fleet_span = span!(
+        Level::Info,
+        "fleet",
+        boards = spec.boards,
+        workers = config.workers as u64,
+    );
+    let queue = FleetQueue::new(config.workers, config.queue_capacity, config.batch_size);
+    let (tx, rx) = mpsc::channel::<BoardOutcome>();
+    let mut outcomes: Vec<BoardOutcome> = Vec::new();
+    let mut requeues: u64 = 0;
+
+    let per_worker_jobs: Vec<u64> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| {
+                let tx = tx.clone();
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut jobs = 0u64;
+                    while let Some(next) = queue.next(w) {
+                        let outcome = job::execute(&next, campaign, spec.population);
+                        jobs += 1;
+                        tx.send(outcome).expect("coordinator outlives workers");
+                    }
+                    jobs
+                })
+            })
+            .collect();
+        drop(tx);
+
+        let mut outstanding: u64 = 0;
+        for board in spec.all_boards() {
+            queue.push(FleetJob {
+                board,
+                attempt: 0,
+                floor_override_mv: None,
+            });
+            outstanding += 1;
+        }
+        while outstanding > 0 {
+            let outcome = rx.recv().expect("workers outlive the backlog");
+            outstanding -= 1;
+            // Eviction: a tripped breaker means the board misbehaved below
+            // its real limits. Send it back to nominal and re-characterize
+            // with the floor raised clear of the observed crash zone.
+            if outcome.tripped && outcome.attempt + 1 < config.max_attempts {
+                if let Some(failure_mv) = outcome.highest_failure_mv {
+                    let floor = (failure_mv + config.requeue_backoff_mv)
+                        .min(Millivolts::XGENE2_NOMINAL.as_u32());
+                    event!(
+                        Level::Warn,
+                        "fleet_board_evicted",
+                        board = outcome.board,
+                        attempt = outcome.attempt,
+                        raised_floor_mv = floor,
+                    );
+                    queue.push(FleetJob {
+                        board: spec.board(outcome.board),
+                        attempt: outcome.attempt + 1,
+                        floor_override_mv: Some(floor),
+                    });
+                    outstanding += 1;
+                    requeues += 1;
+                }
+            }
+            outcomes.push(outcome);
+        }
+        queue.close();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // Everything below folds over `(board, attempt)`-sorted data, so no
+    // trace of arrival order survives into the report.
+    outcomes.sort_by_key(|o| (o.board, o.attempt));
+    let mut store = SafePointStore::new();
+    for outcome in &outcomes {
+        store.insert(outcome.record.clone());
+    }
+    let stats = store.stats();
+    let costs: Vec<f64> = outcomes.iter().map(|o| o.sim_cost_seconds).collect();
+    let plan = ScheduleModel::plan(&costs, config.workers);
+
+    let mut summed: BTreeMap<String, u64> = BTreeMap::new();
+    for outcome in &outcomes {
+        for (name, value) in &outcome.metrics.counters {
+            *summed.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+    let campaign_counters: Vec<(String, u64)> = summed.into_iter().collect();
+
+    counter!("fleet_jobs_total", outcomes.len() as u64);
+    counter!("fleet_requeues_total", requeues);
+    counter!("fleet_boards_characterized", stats.characterized as u64);
+    gauge!("fleet_total_savings_watts", stats.total_savings_watts);
+    let _ = telemetry::with_registry(|reg| {
+        reg.register_histogram(
+            "fleet_margin_mv",
+            &[10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 120.0],
+        );
+    });
+    for record in store.records() {
+        if let Some(margin) = record.margin_mv() {
+            observe!("fleet_margin_mv", margin as f64);
+        }
+    }
+    for (worker, jobs) in per_worker_jobs.iter().enumerate() {
+        event!(
+            Level::Debug,
+            "fleet_worker_done",
+            worker = worker as u64,
+            jobs = *jobs,
+        );
+    }
+
+    let jobs = outcomes
+        .iter()
+        .map(|o| JobSummary {
+            board: o.board,
+            attempt: o.attempt,
+            tripped: o.tripped,
+            runs: o.runs,
+            watchdog_resets: o.watchdog_resets,
+            quarantined_setups: o.quarantined_setups,
+            breaker_trips: o.breaker_trips,
+            backoff_ms: o.backoff_ms,
+            sim_cost_seconds: o.sim_cost_seconds,
+        })
+        .collect();
+    let characterization = FleetCharacterization {
+        boards: spec.boards,
+        seed: spec.seed,
+        store,
+        stats,
+        jobs,
+        campaign_counters,
+        sim_serial_seconds: plan.serial_seconds,
+    };
+    let execution = FleetExecution::new(queue.stats(), per_worker_jobs, requeues, &plan);
+    FleetReport {
+        characterization,
+        execution,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet() -> FleetSpec {
+        FleetSpec::new(10, 2018)
+    }
+
+    #[test]
+    fn parallel_runs_match_the_serial_run_byte_for_byte() {
+        let spec = small_fleet();
+        let campaign = FleetCampaign::quick();
+        let serial = run_fleet(&spec, &campaign, &FleetConfig::with_workers(1));
+        let pooled = run_fleet(&spec, &campaign, &FleetConfig::with_workers(4));
+        assert_eq!(
+            serial.characterization_json(),
+            pooled.characterization_json()
+        );
+        assert_eq!(serial.execution.jobs, pooled.execution.jobs);
+        assert_ne!(serial.execution.workers, pooled.execution.workers);
+    }
+
+    #[test]
+    fn tripped_boards_are_requeued_once_with_a_raised_floor() {
+        let spec = small_fleet();
+        let campaign = FleetCampaign::quick(); // injects sub-Vmin SDC
+        let report = run_fleet(&spec, &campaign, &FleetConfig::with_workers(2));
+        let c = &report.characterization;
+        assert!(report.execution.requeues > 0, "the fault plan must evict");
+        assert_eq!(
+            report.execution.jobs,
+            u64::from(spec.boards) + report.execution.requeues
+        );
+        // Every evicted board's surviving record is its re-characterization.
+        for job in c.jobs.iter().filter(|j| j.tripped && j.attempt == 0) {
+            assert_eq!(c.store.get(job.board).unwrap().attempt, 1);
+        }
+        // And re-walks stay above the crash zone: no third attempts exist.
+        assert!(c.jobs.iter().all(|j| j.attempt <= 1));
+    }
+
+    #[test]
+    fn a_single_attempt_fleet_never_requeues_and_projects_savings() {
+        let spec = small_fleet();
+        let campaign = FleetCampaign::quick();
+        let config = FleetConfig {
+            max_attempts: 1,
+            ..FleetConfig::with_workers(2)
+        };
+        let report = run_fleet(&spec, &campaign, &config);
+        assert_eq!(report.execution.requeues, 0);
+        let stats = &report.characterization.stats;
+        assert_eq!(stats.characterized, 10);
+        assert!(stats.total_savings_watts > 0.0);
+        assert!(stats.min_margin_mv.unwrap() > 0);
+        assert!(report.execution.speedup > 1.0);
+        assert!(!report.characterization.campaign_counters.is_empty());
+    }
+}

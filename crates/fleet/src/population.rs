@@ -1,0 +1,198 @@
+//! Seeded board populations.
+//!
+//! The paper characterizes three hand-picked parts; a datacenter holds
+//! thousands, each with its own silicon. A [`FleetSpec`] turns a single
+//! seed into that population: every board's process corner is drawn from
+//! a [`CornerMix`], its chip personality from
+//! [`ChipProfile::sampled`], and its DRAM weak-cell population from the
+//! board's own boot seed. Board `k`'s spec is a pure function of
+//! `(fleet seed, k)` — independent of fleet size, iteration order or any
+//! other board — which is the first pillar of the orchestrator's
+//! determinism guarantee.
+
+use dram_sim::retention::PopulationSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use xgene_sim::server::XGene2Server;
+use xgene_sim::sigma::{ChipProfile, SigmaBin};
+
+/// Corner shares of a procurement batch (relative weights over
+/// [`SigmaBin::ALL`]; they need not sum to 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CornerMix {
+    /// Relative weight of TTT, TFF and TSS parts, in that order.
+    pub weights: [f64; 3],
+}
+
+impl CornerMix {
+    /// Typical procurement: mostly typical parts with fast and slow
+    /// tails.
+    pub fn datacenter() -> Self {
+        CornerMix {
+            weights: [0.70, 0.15, 0.15],
+        }
+    }
+
+    /// The paper's bench: each corner equally likely.
+    pub fn uniform() -> Self {
+        CornerMix {
+            weights: [1.0, 1.0, 1.0],
+        }
+    }
+
+    /// Draws one corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no weight is positive.
+    pub fn sample(&self, rng: &mut StdRng) -> SigmaBin {
+        let total: f64 = self.weights.iter().sum();
+        assert!(total > 0.0, "corner mix needs positive total weight");
+        let mut draw = rng.gen::<f64>() * total;
+        for (bin, weight) in SigmaBin::ALL.iter().zip(self.weights) {
+            if draw < weight {
+                return *bin;
+            }
+            draw -= weight;
+        }
+        SigmaBin::Tss
+    }
+}
+
+/// Deterministic specification of a simulated fleet.
+///
+/// # Examples
+///
+/// ```
+/// use fleet::population::FleetSpec;
+///
+/// let spec = FleetSpec::new(256, 2018);
+/// let b7 = spec.board(7);
+/// // A board's personality is a pure function of (seed, id):
+/// assert_eq!(b7, FleetSpec::new(1_000_000, 2018).board(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Number of boards in the fleet.
+    pub boards: u32,
+    /// Master seed all per-board streams derive from.
+    pub seed: u64,
+    /// Process-corner composition.
+    pub mix: CornerMix,
+    /// DRAM population envelope every board is generated for.
+    pub population: PopulationSpec,
+}
+
+impl FleetSpec {
+    /// A fleet with the default datacenter corner mix and the paper's
+    /// DRAM characterization envelope.
+    pub fn new(boards: u32, seed: u64) -> Self {
+        FleetSpec {
+            boards,
+            seed,
+            mix: CornerMix::datacenter(),
+            population: PopulationSpec::dsn18(),
+        }
+    }
+
+    /// The spec of board `id` — a pure function of `(self.seed, id)`.
+    pub fn board(&self, id: u32) -> BoardSpec {
+        // SplitMix-style stream separation: each board gets its own RNG
+        // stream regardless of how many boards exist.
+        let stream = self.seed ^ u64::from(id + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(stream);
+        let bin = self.mix.sample(&mut rng);
+        let chip = ChipProfile::sampled(bin, &mut rng);
+        let boot_seed = rng.gen();
+        BoardSpec {
+            id,
+            chip,
+            boot_seed,
+        }
+    }
+
+    /// All board specs in id order.
+    pub fn all_boards(&self) -> impl Iterator<Item = BoardSpec> + '_ {
+        (0..self.boards).map(|id| self.board(id))
+    }
+}
+
+/// One board of the fleet: an id, a sampled chip personality and the
+/// seed its DRAM population and fault RNG boot from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardSpec {
+    /// Fleet-wide board id.
+    pub id: u32,
+    /// The sampled silicon in the socket.
+    pub chip: ChipProfile,
+    /// Boot seed (DRAM weak cells, fault RNG).
+    pub boot_seed: u64,
+}
+
+impl BoardSpec {
+    /// The chip's process corner.
+    pub fn bin(&self) -> SigmaBin {
+        self.chip.bin()
+    }
+
+    /// Boots the simulated board at its nominal power-on state.
+    pub fn boot(&self, population: PopulationSpec) -> XGene2Server {
+        XGene2Server::with_chip(self.chip.clone(), self.boot_seed, population)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_specs_are_pure_functions_of_seed_and_id() {
+        let spec = FleetSpec::new(16, 99);
+        assert_eq!(spec.board(3), spec.board(3));
+        // Independent of fleet size:
+        assert_eq!(spec.board(3), FleetSpec::new(4, 99).board(3));
+        // …but sensitive to seed and id.
+        assert_ne!(spec.board(3), spec.board(4));
+        assert_ne!(spec.board(3), FleetSpec::new(16, 100).board(3));
+    }
+
+    #[test]
+    fn corner_mix_tracks_the_weights() {
+        let spec = FleetSpec::new(512, 7);
+        let mut counts = [0usize; 3];
+        for board in spec.all_boards() {
+            let idx = SigmaBin::ALL
+                .iter()
+                .position(|b| *b == board.bin())
+                .unwrap();
+            counts[idx] += 1;
+        }
+        let ttt = counts[0] as f64 / 512.0;
+        assert!((ttt - 0.70).abs() < 0.08, "TTT share {ttt}");
+        assert!(counts[1] > 0 && counts[2] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn boards_get_distinct_chips_and_dram() {
+        let spec = FleetSpec::new(4, 42);
+        let a = spec.board(0);
+        let b = spec.board(1);
+        assert_ne!(a.chip, b.chip);
+        let sa = a.boot(spec.population);
+        let sb = b.boot(spec.population);
+        assert_ne!(
+            sa.dram().population().cells(),
+            sb.dram().population().cells(),
+            "each board must carry its own weak-cell population"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn zero_weight_mix_is_rejected() {
+        let mix = CornerMix { weights: [0.0; 3] };
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = mix.sample(&mut rng);
+    }
+}

@@ -1,0 +1,245 @@
+//! Bounded work-stealing job queue.
+//!
+//! The coordinator pushes jobs into a bounded *injector*; each worker
+//! drains a private local deque, refilling it in batches from the
+//! injector and stealing half a victim's backlog when both run dry.
+//! Batched dispatch amortizes lock traffic; stealing keeps the pool
+//! busy when board costs are skewed (a TSS board's deep Vmin walk takes
+//! several times longer than a TFF board's shallow one).
+//!
+//! The queue only decides *which worker runs which job when* — job
+//! results are pure functions of the job, and the aggregation layer
+//! sorts before folding — so none of the (intentionally racy) dispatch
+//! order here can leak into campaign output.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Counters describing how work actually flowed through the queue.
+/// Execution-side diagnostics only: never part of deterministic output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs pushed by the coordinator.
+    pub pushed: u64,
+    /// Batch refills from the injector into a worker's local deque.
+    pub batches: u64,
+    /// Steal operations between workers.
+    pub steals: u64,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    injector: VecDeque<T>,
+    locals: Vec<VecDeque<T>>,
+    closed: bool,
+    stats: QueueStats,
+}
+
+/// A bounded multi-producer work-stealing queue for `workers` consumers.
+#[derive(Debug)]
+pub struct FleetQueue<T> {
+    shared: Mutex<Shared<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    batch: usize,
+}
+
+impl<T> FleetQueue<T> {
+    /// Creates a queue for `workers` consumers with a bounded injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `capacity` or `batch` is zero.
+    pub fn new(workers: usize, capacity: usize, batch: usize) -> Self {
+        assert!(workers > 0, "queue needs at least one worker");
+        assert!(capacity > 0, "queue needs positive capacity");
+        assert!(batch > 0, "dispatch batch must be positive");
+        FleetQueue {
+            shared: Mutex::new(Shared {
+                injector: VecDeque::new(),
+                locals: (0..workers).map(|_| VecDeque::new()).collect(),
+                closed: false,
+                stats: QueueStats::default(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+            batch,
+        }
+    }
+
+    /// Pushes one job, blocking while the injector is at capacity.
+    /// Pushing after [`close`](Self::close) is a no-op (the job is
+    /// dropped); the orchestrator never does this.
+    pub fn push(&self, job: T) {
+        let mut shared = self.shared.lock().expect("fleet queue poisoned");
+        while shared.injector.len() >= self.capacity && !shared.closed {
+            shared = self.not_full.wait(shared).expect("fleet queue poisoned");
+        }
+        if shared.closed {
+            return;
+        }
+        shared.injector.push_back(job);
+        shared.stats.pushed += 1;
+        drop(shared);
+        self.not_empty.notify_all();
+    }
+
+    /// Takes the next job for `worker`, blocking until one is available
+    /// or the queue is closed and fully drained (then `None`).
+    ///
+    /// Preference order: own local deque, then a batch refill from the
+    /// injector, then stealing half of the largest backlog.
+    pub fn next(&self, worker: usize) -> Option<T> {
+        let mut shared = self.shared.lock().expect("fleet queue poisoned");
+        loop {
+            if let Some(job) = shared.locals[worker].pop_front() {
+                return Some(job);
+            }
+            if !shared.injector.is_empty() {
+                let take = self.batch.min(shared.injector.len());
+                for _ in 0..take {
+                    let job = shared.injector.pop_front().expect("checked non-empty");
+                    shared.locals[worker].push_back(job);
+                }
+                shared.stats.batches += 1;
+                self.not_full.notify_all();
+                continue;
+            }
+            if let Some(victim) = self.richest_victim(&shared, worker) {
+                let backlog = shared.locals[victim].len();
+                let take = (backlog / 2).max(1);
+                for _ in 0..take {
+                    let job = shared.locals[victim].pop_front().expect("victim non-empty");
+                    shared.locals[worker].push_back(job);
+                }
+                shared.stats.steals += 1;
+                continue;
+            }
+            if shared.closed {
+                return None;
+            }
+            shared = self.not_empty.wait(shared).expect("fleet queue poisoned");
+        }
+    }
+
+    fn richest_victim(&self, shared: &Shared<T>, worker: usize) -> Option<usize> {
+        shared
+            .locals
+            .iter()
+            .enumerate()
+            .filter(|(idx, local)| *idx != worker && !local.is_empty())
+            .max_by_key(|(_, local)| local.len())
+            .map(|(idx, _)| idx)
+    }
+
+    /// Closes the queue: blocked consumers drain the remaining jobs and
+    /// then observe `None`; blocked producers unblock.
+    pub fn close(&self) {
+        let mut shared = self.shared.lock().expect("fleet queue poisoned");
+        shared.closed = true;
+        drop(shared);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current flow counters.
+    pub fn stats(&self) -> QueueStats {
+        self.shared.lock().expect("fleet queue poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn drains_in_fifo_order_for_a_single_worker() {
+        let queue = FleetQueue::new(1, 8, 3);
+        for job in 0..5 {
+            queue.push(job);
+        }
+        queue.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| queue.next(0)).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        let stats = queue.stats();
+        assert_eq!(stats.pushed, 5);
+        assert!(stats.batches >= 2, "batch of 3 needs two refills");
+    }
+
+    #[test]
+    fn close_unblocks_an_idle_consumer() {
+        let queue = Arc::new(FleetQueue::<u32>::new(2, 4, 2));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.next(1))
+        };
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn a_bounded_injector_backpressures_the_producer() {
+        let queue = Arc::new(FleetQueue::new(1, 2, 1));
+        queue.push(1);
+        queue.push(2);
+        let producer = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.push(3)) // blocks: injector full
+        };
+        assert_eq!(queue.next(0), Some(1));
+        producer.join().unwrap();
+        queue.close();
+        assert_eq!(queue.next(0), Some(2));
+        assert_eq!(queue.next(0), Some(3));
+        assert_eq!(queue.next(0), None);
+    }
+
+    #[test]
+    fn an_empty_handed_worker_steals_from_the_richest_backlog() {
+        let queue = FleetQueue::new(2, 16, 8);
+        for job in 0..8 {
+            queue.push(job);
+        }
+        queue.close();
+        // Worker 0 refills its local deque with the whole batch…
+        assert_eq!(queue.next(0), Some(0));
+        // …so worker 1 finds the injector empty and must steal.
+        assert!(queue.next(1).is_some());
+        assert_eq!(queue.stats().steals, 1);
+        let drained = std::iter::from_fn(|| queue.next(1)).count()
+            + std::iter::from_fn(|| queue.next(0)).count();
+        assert_eq!(drained, 6);
+    }
+
+    #[test]
+    fn all_jobs_arrive_exactly_once_under_contention() {
+        let workers = 4;
+        let queue = Arc::new(FleetQueue::new(workers, 8, 2));
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(job) = queue.next(w) {
+                        seen.push(job);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for job in 0..200u32 {
+            queue.push(job);
+        }
+        queue.close();
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+}

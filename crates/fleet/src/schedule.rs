@@ -1,0 +1,102 @@
+//! Deterministic makespan model.
+//!
+//! The containerized test environment offers no real parallel silicon,
+//! so fleet speedup is *modeled*, not clocked: every job reports what it
+//! would have cost on real hardware in simulated board-seconds, and a
+//! greedy earliest-available-worker list scheduler turns those costs
+//! into a per-pool-size makespan. The model is a pure function of the
+//! (sorted) cost list, so the speedup record in `BENCH_fleet.json` is
+//! reproducible bit-for-bit on any host. Host wall-clock numbers are
+//! reported alongside as informational only.
+
+use serde::{Deserialize, Serialize};
+
+/// A greedy list schedule of job costs over a worker pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleModel {
+    /// Pool size the plan was computed for.
+    pub workers: usize,
+    /// Simulated busy seconds per worker.
+    pub per_worker_busy_seconds: Vec<f64>,
+    /// Simulated completion time of the whole fleet.
+    pub makespan_seconds: f64,
+    /// Total simulated work (the 1-worker makespan).
+    pub serial_seconds: f64,
+}
+
+impl ScheduleModel {
+    /// Plans `costs` (simulated seconds per job, in deterministic job
+    /// order) over `workers` workers: each job goes to the earliest-
+    /// available worker, ties broken by lowest index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn plan(costs: &[f64], workers: usize) -> Self {
+        assert!(workers > 0, "schedule needs at least one worker");
+        let mut busy = vec![0.0f64; workers];
+        for cost in costs {
+            let earliest = busy
+                .iter()
+                .enumerate()
+                .min_by(|(ai, at), (bi, bt)| {
+                    at.partial_cmp(bt)
+                        .expect("costs are finite")
+                        .then(ai.cmp(bi))
+                })
+                .map(|(idx, _)| idx)
+                .expect("workers > 0");
+            busy[earliest] += cost;
+        }
+        let makespan = busy.iter().copied().fold(0.0, f64::max);
+        ScheduleModel {
+            workers,
+            per_worker_busy_seconds: busy,
+            makespan_seconds: makespan,
+            serial_seconds: costs.iter().sum(),
+        }
+    }
+
+    /// Modeled speedup of this pool over serial execution.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_seconds > 0.0 {
+            self.serial_seconds / self.makespan_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_worker_is_the_serial_sum() {
+        let plan = ScheduleModel::plan(&[3.0, 1.0, 2.0], 1);
+        assert_eq!(plan.makespan_seconds, 6.0);
+        assert_eq!(plan.speedup(), 1.0);
+    }
+
+    #[test]
+    fn uniform_costs_split_evenly() {
+        let costs = vec![1.0; 8];
+        let plan = ScheduleModel::plan(&costs, 4);
+        assert_eq!(plan.makespan_seconds, 2.0);
+        assert!((plan.speedup() - 4.0).abs() < 1e-12);
+        assert!(plan.per_worker_busy_seconds.iter().all(|b| *b == 2.0));
+    }
+
+    #[test]
+    fn the_longest_job_bounds_the_makespan() {
+        let plan = ScheduleModel::plan(&[10.0, 1.0, 1.0, 1.0], 4);
+        assert_eq!(plan.makespan_seconds, 10.0);
+    }
+
+    #[test]
+    fn an_empty_fleet_schedules_to_zero() {
+        let plan = ScheduleModel::plan(&[], 8);
+        assert_eq!(plan.makespan_seconds, 0.0);
+        assert_eq!(plan.speedup(), 1.0);
+    }
+}

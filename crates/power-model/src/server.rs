@@ -198,6 +198,16 @@ impl ServerPowerModel {
         nominal.total().savings_to(at_point.total())
     }
 
+    /// Absolute total-power saving of `point` relative to nominal under
+    /// the same load, in watts (clamped at zero: a point that costs more
+    /// than nominal saves nothing). Fleet projections sum this across
+    /// boards, which a bare fraction cannot do.
+    pub fn savings_watts(&self, point: &OperatingPoint, load: &ServerLoad) -> Watts {
+        let nominal = self.power(&OperatingPoint::nominal(), load).total();
+        let at_point = self.power(point, load).total();
+        Watts::new((nominal.as_f64() - at_point.as_f64()).max(0.0))
+    }
+
     /// Per-domain fractional savings of `point` relative to nominal.
     pub fn domain_savings(
         &self,
@@ -284,6 +294,22 @@ mod tests {
         let load = ServerLoad::jammer_detector();
         let s = server.total_savings(&OperatingPoint::nominal(), &load);
         assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_watts_agrees_with_the_fraction() {
+        let server = ServerPowerModel::xgene2();
+        let load = ServerLoad::jammer_detector();
+        let point = OperatingPoint::dsn18_safe_point();
+        let watts = server.savings_watts(&point, &load).as_f64();
+        let nominal = server.power(&OperatingPoint::nominal(), &load).total();
+        let fraction = server.total_savings(&point, &load);
+        assert!((watts - fraction * nominal.as_f64()).abs() < 1e-12);
+        assert!((watts - 6.3).abs() < 0.3, "savings {watts} W");
+        assert_eq!(
+            server.savings_watts(&OperatingPoint::nominal(), &load),
+            Watts::ZERO
+        );
     }
 
     #[test]

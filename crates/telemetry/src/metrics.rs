@@ -101,6 +101,50 @@ impl Histogram {
             count: self.count,
         }
     }
+
+    /// Estimated `q`-quantile (see [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        bucket_quantile(&self.bounds, &self.counts, self.count, q)
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+/// Prometheus-style `histogram_quantile`: locate the bucket containing
+/// rank `q·count` and interpolate linearly inside it (the first bucket
+/// interpolates from 0). Observations in the `+Inf` overflow bucket are
+/// reported as the highest finite bound — a lower bound on the truth,
+/// exactly as Prometheus does.
+fn bucket_quantile(bounds: &[f64], counts: &[u64], count: u64, q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) || count == 0 {
+        return None;
+    }
+    let target = q * count as f64;
+    let mut cum = 0.0;
+    let mut lower = 0.0;
+    for (i, &bound) in bounds.iter().enumerate() {
+        let in_bucket = counts[i] as f64;
+        if cum + in_bucket >= target && in_bucket > 0.0 {
+            let frac = ((target - cum) / in_bucket).clamp(0.0, 1.0);
+            return Some(lower + (bound - lower) * frac);
+        }
+        cum += in_bucket;
+        lower = bound;
+    }
+    bounds.last().copied()
 }
 
 /// Serializable snapshot of a [`Histogram`].
@@ -147,6 +191,48 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, h)| h)
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile of the recorded distribution.
+    ///
+    /// Prometheus `histogram_quantile` semantics: the bucket containing
+    /// rank `q·count` is found and the value is interpolated linearly
+    /// within it, with the first bucket interpolating up from 0. Returns
+    /// `None` for an empty histogram or `q` outside `[0, 1]`; ranks that
+    /// land in the `+Inf` overflow bucket report the highest finite bound.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use telemetry::metrics::Histogram;
+    ///
+    /// let mut h = Histogram::new(&[10.0, 20.0]);
+    /// for _ in 0..4 {
+    ///     h.observe(15.0);
+    /// }
+    /// let snap = h.snapshot();
+    /// // All mass sits in (10, 20]: the median interpolates to 15.
+    /// assert_eq!(snap.quantile(0.5), Some(15.0));
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        bucket_quantile(&self.bounds, &self.counts, self.count, q)
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
     }
 }
 
@@ -271,6 +357,17 @@ impl Registry {
             .histograms
             .get(name)
             .map(Histogram::snapshot)
+    }
+
+    /// Estimated `q`-quantile of a histogram (see
+    /// [`HistogramSnapshot::quantile`]); `None` if the histogram does not
+    /// exist or is empty.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.inner
+            .borrow()
+            .histograms
+            .get(name)
+            .and_then(|h| h.quantile(q))
     }
 
     /// The inert snapshot of everything in the registry, sorted by name.
@@ -415,6 +512,94 @@ lat_ms_count 3
         // The restored registry keeps accumulating where it left off.
         restored.counter_add("runs", 1);
         assert_eq!(restored.counter("runs"), 6);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_bucket() {
+        let mut h = Histogram::new(&[10.0, 20.0, 40.0]);
+        // 2 in (0,10], 2 in (10,20], 4 in (20,40].
+        for v in [5.0, 5.0, 15.0, 15.0, 30.0, 30.0, 30.0, 30.0] {
+            h.observe(v);
+        }
+        // p25 → rank 2 of 8, the full first bucket: its upper bound.
+        assert_eq!(h.quantile(0.25), Some(10.0));
+        // p50 → rank 4, end of the second bucket.
+        assert_eq!(h.quantile(0.50), Some(20.0));
+        // p75 → rank 6, halfway through the (20,40] bucket.
+        assert_eq!(h.quantile(0.75), Some(30.0));
+        assert_eq!(h.p50(), h.quantile(0.5));
+    }
+
+    #[test]
+    fn quantile_on_bucket_boundary_is_the_bound_itself() {
+        // Observations exactly on a bucket's upper bound land in that
+        // bucket (inclusive `le`), so the top quantile of a boundary-only
+        // histogram is the bound itself, not the next bucket up.
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for _ in 0..10 {
+            h.observe(10.0);
+        }
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        assert_eq!(h.p50(), Some(5.5)); // interpolated inside (1,10]
+    }
+
+    #[test]
+    fn lowest_bucket_interpolates_from_zero() {
+        let mut h = Histogram::new(&[8.0, 16.0]);
+        for _ in 0..4 {
+            h.observe(2.0);
+        }
+        // Ranks interpolate linearly across (0, 8].
+        assert_eq!(h.quantile(0.25), Some(2.0));
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+    }
+
+    #[test]
+    fn overflow_bucket_reports_the_highest_finite_bound() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1e9); // +Inf overflow
+        assert_eq!(h.quantile(0.99), Some(2.0));
+        assert_eq!(h.p99(), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_rejects_empty_and_out_of_range() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_skips_empty_buckets() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        h.observe(0.5); // (0,1]
+        h.observe(6.0); // (4,8]
+                        // The median rank (1 of 2) completes the first bucket; p75 must
+                        // skip the two empty middle buckets and interpolate in (4,8].
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.75), Some(6.0));
+    }
+
+    #[test]
+    fn registry_and_snapshot_agree_on_quantiles() {
+        let reg = Registry::new();
+        reg.register_histogram("margin_mv", &[25.0, 50.0, 100.0]);
+        for v in [10.0, 30.0, 60.0, 70.0] {
+            reg.observe("margin_mv", v);
+        }
+        let snap = reg.snapshot();
+        let hist = snap.histogram("margin_mv").unwrap();
+        assert_eq!(reg.quantile("margin_mv", 0.95), hist.p95());
+        assert_eq!(reg.quantile("missing", 0.95), None);
+        // The snapshot survives a JSON round trip with quantiles intact.
+        let back: MetricsSnapshot = serde::json::from_str(&serde::json::to_string(&snap)).unwrap();
+        assert_eq!(back.histogram("margin_mv").unwrap().p95(), hist.p95());
     }
 
     #[test]

@@ -136,6 +136,18 @@ impl XGene2Server {
         }
     }
 
+    /// Boots a server around an explicit chip personality (typically
+    /// [`ChipProfile::sampled`]) — the fleet orchestrator's constructor,
+    /// where every board carries its own sampled silicon rather than one
+    /// of the three characterized corner parts. The DRAM weak-cell
+    /// population and fault RNG still derive deterministically from
+    /// `seed`.
+    pub fn with_chip(chip: ChipProfile, seed: u64, spec: PopulationSpec) -> Self {
+        let mut server = XGene2Server::with_population_spec(chip.bin(), seed, spec);
+        server.chip = chip;
+        server
+    }
+
     /// Installs a board-level fault-injection plan. Without one (the
     /// default) every reset succeeds and every setup write lands, which is
     /// the exact legacy behavior: no plan means zero extra RNG draws.

@@ -11,6 +11,8 @@ use crate::topology::{CacheLevel, CoreId, CORE_COUNT};
 use crate::workload::{StressTarget, WorkloadProfile};
 use power_model::scaling::CornerLeakage;
 use power_model::units::{Megahertz, Millivolts};
+use rand::rngs::StdRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -139,6 +141,39 @@ impl ChipProfile {
                 sram_vmin: Millivolts::new(815),
             },
         }
+    }
+
+    /// One per-unit chip personality sampled around a corner's calibrated
+    /// centroid.
+    ///
+    /// The paper characterizes exactly three parts; exploiting guardbands
+    /// across a datacenter requires per-unit variation — two TTT chips do
+    /// not share a Vmin. Every term of the Vmin decomposition is jittered
+    /// with a bounded, bell-shaped draw (mean of four uniforms), so a
+    /// sampled chip stays recognizably inside its bin: intrinsic Vmin
+    /// within ±8 mV, coefficient spreads of a few percent, per-core
+    /// offsets within ±2 mV of the measured pattern. Deterministic in the
+    /// RNG state; [`ChipProfile::corner`] is untouched as the population
+    /// centroid.
+    pub fn sampled(bin: SigmaBin, rng: &mut StdRng) -> Self {
+        let mut chip = ChipProfile::corner(bin);
+        // Bounded symmetric jitter in [-1, 1] with most mass near 0.
+        let mut unit = || {
+            let sum: f64 = (0..4).map(|_| rng.gen::<f64>()).sum();
+            sum / 2.0 - 1.0
+        };
+        let intrinsic = f64::from(chip.intrinsic.as_u32()) + 8.0 * unit();
+        chip.intrinsic = Millivolts::new(intrinsic.round() as u32);
+        chip.activity_coeff_mv *= 1.0 + 0.06 * unit();
+        chip.droop_coeff_mv *= 1.0 + 0.06 * unit();
+        for offset in &mut chip.core_offsets_mv {
+            *offset = (*offset + 2.0 * unit()).max(0.0);
+        }
+        chip.multicore_penalty_mv = (chip.multicore_penalty_mv * (1.0 + 0.10 * unit())).max(0.0);
+        chip.freq_slope_mv_per_mhz *= 1.0 + 0.08 * unit();
+        let sram = f64::from(chip.sram_vmin.as_u32()) + 6.0 * unit();
+        chip.sram_vmin = Millivolts::new(sram.round() as u32);
+        chip
     }
 
     /// The corner this chip was binned into.
@@ -511,6 +546,45 @@ mod tests {
         let lo = ttt.fmax(core, &w, Millivolts::new(900));
         let hi = ttt.fmax(core, &w, Millivolts::new(980));
         assert!(hi > lo);
+    }
+
+    #[test]
+    fn sampled_chips_are_deterministic_in_the_rng() {
+        use rand::SeedableRng;
+        let mut a = StdRng::seed_from_u64(1234);
+        let mut b = StdRng::seed_from_u64(1234);
+        assert_eq!(
+            ChipProfile::sampled(SigmaBin::Tff, &mut a),
+            ChipProfile::sampled(SigmaBin::Tff, &mut b)
+        );
+    }
+
+    #[test]
+    fn sampled_chips_vary_but_stay_near_their_corner() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let centroid = ChipProfile::corner(SigmaBin::Ttt);
+        let mut distinct = 0;
+        for _ in 0..32 {
+            let chip = ChipProfile::sampled(SigmaBin::Ttt, &mut rng);
+            assert_eq!(chip.bin(), SigmaBin::Ttt);
+            let d = i64::from(chip.intrinsic_vmin().as_u32())
+                - i64::from(centroid.intrinsic_vmin().as_u32());
+            assert!(d.abs() <= 9, "intrinsic drifted {d} mV");
+            let w = chip.vmin(
+                chip.weakest_core(),
+                &spec_like(0.7),
+                Megahertz::XGENE2_NOMINAL,
+            );
+            assert!(
+                (860..=930).contains(&w.as_u32()),
+                "sampled worst-core Vmin {w}"
+            );
+            if chip != centroid {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 31, "sampling must actually perturb the chip");
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //!
 //! See [`guardband_core`] for the study's methodology, [`xgene_sim`] and
 //! [`dram_sim`] for the hardware substrates, [`char_fw`] for the automated
-//! characterization framework, [`telemetry`] for structured tracing,
+//! characterization framework, [`fleet`] for sharding campaigns across a
+//! simulated datacenter of boards, [`telemetry`] for structured tracing,
 //! metrics and the flight recorder, and `crates/bench` for the binaries
 //! that regenerate every table and figure of the paper.
 
@@ -21,6 +22,7 @@
 
 pub use char_fw;
 pub use dram_sim;
+pub use fleet;
 pub use guardband_core;
 pub use power_model;
 pub use stress_gen;
