@@ -1,9 +1,10 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|all] [seed]`
+//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|all] [seed]`
 //!
 //! `fleet` additionally writes the speedup record to `BENCH_fleet.json`
-//! in the current directory.
+//! and `lifetime` the aging record to `BENCH_lifetime.json`, both in
+//! the current directory.
 
 use guardband_bench as bench;
 
@@ -42,6 +43,15 @@ fn main() {
             Err(err) => eprintln!("could not write BENCH_fleet.json: {err}"),
         }
     };
+    let run_lifetime = || {
+        let data = bench::lifetime_scale::run(seed);
+        println!("{}", bench::lifetime_scale::render(&data));
+        let json = serde::json::to_string(&data);
+        match std::fs::write("BENCH_lifetime.json", &json) {
+            Ok(()) => println!("(aging record written to BENCH_lifetime.json)"),
+            Err(err) => eprintln!("could not write BENCH_lifetime.json: {err}"),
+        }
+    };
 
     match which {
         "fig4" => run_fig4(),
@@ -55,6 +65,7 @@ fn main() {
         "ablations" => run_ablations(),
         "sweep" => run_sweep(),
         "fleet" => run_fleet(),
+        "lifetime" => run_lifetime(),
         "all" => {
             run_fig4();
             run_fig5();
@@ -67,11 +78,12 @@ fn main() {
             run_ablations();
             run_sweep();
             run_fleet();
+            run_lifetime();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of \
-                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|all"
+                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|all"
             );
             std::process::exit(2);
         }

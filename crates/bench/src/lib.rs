@@ -16,6 +16,7 @@
 //! | [`ablation`] | ECC / virus-search / retention-model / governor ablations |
 //! | [`sweep`]  | extension: safe refresh envelope vs temperature |
 //! | [`fleet_scale`] | extension: 256-board fleet orchestration speedup |
+//! | [`lifetime_scale`] | extension: 16-board fleet aged 60 months with maintenance |
 //!
 //! The `experiments` binary drives all of them; the `benches/` directory
 //! holds criterion timings of the same entry points.
@@ -31,5 +32,6 @@ pub mod fig6_7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet_scale;
+pub mod lifetime_scale;
 pub mod sweep;
 pub mod table1;

@@ -25,7 +25,10 @@
 //! * [`multiprocess`] — rail-Vmin campaigns for simultaneous instances
 //!   (the single-process → Fig. 5 mix bridge);
 //! * [`mod@soak`] — long-duration safe-point qualification ("without any
-//!   disruption").
+//!   disruption");
+//! * [`warmstart`] — re-characterization seeded by a previous epoch's
+//!   safe point: narrow Vmin windows around the prior, with escalation
+//!   to a cold walk when drift outruns the headroom.
 //!
 //! # Examples
 //!
@@ -58,6 +61,7 @@ pub mod runner;
 pub mod safety;
 pub mod setup;
 pub mod soak;
+pub mod warmstart;
 
 pub use board::{BoardProvider, SeededBoards};
 pub use dramchar::{run_dram_campaign, DramCampaignConfig, DramCampaignReport};
@@ -80,3 +84,6 @@ pub use safety::{
 };
 pub use setup::{SafePolicy, Setup, VminCampaign};
 pub use soak::{soak, SoakConfig, SoakReport};
+pub use warmstart::{
+    cold_walk_setups, distinct_setups, run_warm_start, WarmStartConfig, WarmStartOutcome,
+};

@@ -1,0 +1,403 @@
+//! Warm-start re-characterization: re-walking Vmin from the previous
+//! epoch's safe point instead of from nominal.
+//!
+//! The first characterization of a board has no choice but to walk the
+//! full schedule — nominal down to the floor, 5 mV at a time, ten
+//! repetitions per setup. A *re*-characterization knows where the Vmin
+//! was last epoch and that silicon only drifts upward a few mV per
+//! year, so it can walk a narrow window around the prior instead:
+//! start a small headroom above it (covering any upward drift since),
+//! stop a small slack below it (no point confirming territory the
+//! board already left behind). That cuts the steps per (benchmark,
+//! core) point from dozens to a handful — the difference between a
+//! maintenance campaign a scheduler can afford monthly and one it
+//! cannot.
+//!
+//! The narrowing is **conservative, never optimistic**: the warm
+//! window is a sub-range of the cold schedule on the same voltage
+//! grid, so a warm walk can only report a Vmin equal to or *higher*
+//! than the cold walk would (higher = more margin kept in hand). If
+//! even the top of the window fails — the board aged past the headroom
+//! — the walk **escalates** to the full cold schedule rather than
+//! declare the point dead, so a surprise drift costs time, not
+//! correctness.
+
+use crate::resilience::ResilienceConfig;
+use crate::runner::{CampaignResult, ResilientRunner};
+use crate::setup::VminCampaign;
+use power_model::units::Millivolts;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use telemetry::Level;
+use xgene_sim::server::XGene2Server;
+use xgene_sim::topology::CoreId;
+
+/// How far around the prior Vmin the warm window reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmStartConfig {
+    /// mV above the prior Vmin the walk starts at — the drift budget a
+    /// window absorbs before escalating to a cold walk.
+    pub headroom_mv: u32,
+    /// mV below the prior Vmin the walk gives up at. Silicon does not
+    /// un-age, so anything found below the prior is measurement grace,
+    /// not margin to chase.
+    pub floor_slack_mv: u32,
+}
+
+impl WarmStartConfig {
+    /// The lifetime subsystem's defaults: 40 mV of drift budget (a few
+    /// years of median aging between epochs), 25 mV of downward slack.
+    pub fn dsn18() -> Self {
+        WarmStartConfig {
+            headroom_mv: 40,
+            floor_slack_mv: 25,
+        }
+    }
+}
+
+impl Default for WarmStartConfig {
+    fn default() -> Self {
+        WarmStartConfig::dsn18()
+    }
+}
+
+/// What a warm-start campaign did, beyond the plain result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmStartOutcome {
+    /// The merged campaign result, shaped exactly like a cold
+    /// [`ResilientRunner`] result (same walk order, one
+    /// [`VminResult`](crate::runner::VminResult) per (benchmark, core)).
+    pub result: CampaignResult,
+    /// Distinct (benchmark, core, voltage) setups actually visited —
+    /// the cost metric the warm window exists to shrink.
+    pub walked_setups: u64,
+    /// Points walked inside a warm window.
+    pub warm_points: u64,
+    /// Points with no usable prior, walked cold from the start.
+    pub cold_points: u64,
+    /// Points whose warm window missed (the board drifted past the
+    /// headroom) and were re-walked cold.
+    pub escalations: u64,
+}
+
+/// Runs `campaign` with per-core priors from a previous epoch.
+///
+/// `priors[core.index()]` is the core's Vmin (mV) from the last
+/// characterization, `None` where that epoch found no safe setup (or
+/// the slice is simply shorter). Walk order matches the cold runner —
+/// benchmarks outer, cores inner — so downstream parsing is oblivious
+/// to how the result was produced.
+pub fn run_warm_start(
+    server: &mut XGene2Server,
+    campaign: &VminCampaign,
+    priors: &[Option<u32>],
+    config: WarmStartConfig,
+    resilience: ResilienceConfig,
+) -> WarmStartOutcome {
+    let _span = telemetry::span!(
+        Level::Info,
+        "warm_start",
+        benchmarks = campaign.benchmarks.len(),
+        cores = campaign.cores.len(),
+        headroom_mv = config.headroom_mv,
+    );
+    let mut outcome = WarmStartOutcome {
+        result: CampaignResult::default(),
+        walked_setups: 0,
+        warm_points: 0,
+        cold_points: 0,
+        escalations: 0,
+    };
+    for benchmark in &campaign.benchmarks {
+        for &core in &campaign.cores {
+            let prior = priors.get(core.index()).copied().flatten();
+            let (mini, warm) = match prior {
+                Some(p) => (narrowed(campaign, benchmark.clone(), core, p, config), true),
+                None => (point_campaign(campaign, benchmark.clone(), core), false),
+            };
+            let sub = ResilientRunner::new(server, mini, resilience).run_to_completion();
+            let missed = warm && sub.vmins.iter().all(|v| v.vmin.is_none());
+            if missed {
+                // The whole window failed: drift outran the headroom.
+                // Keep the window's records (those runs happened) but
+                // take the authoritative Vmin from a full cold walk.
+                telemetry::counter!("warmstart_escalations_total");
+                telemetry::event!(
+                    Level::Warn,
+                    "warmstart_escalated",
+                    benchmark = benchmark.name(),
+                    core = core.index(),
+                    prior_mv = i64::from(prior.unwrap_or(0)),
+                );
+                outcome.escalations += 1;
+                merge(&mut outcome.result, sub, false);
+                let cold = point_campaign(campaign, benchmark.clone(), core);
+                let redo = ResilientRunner::new(server, cold, resilience).run_to_completion();
+                merge(&mut outcome.result, redo, true);
+            } else {
+                if warm {
+                    outcome.warm_points += 1;
+                } else {
+                    outcome.cold_points += 1;
+                }
+                merge(&mut outcome.result, sub, true);
+            }
+        }
+    }
+    outcome.walked_setups = distinct_setups(&outcome.result);
+    telemetry::counter!("warmstart_points_total", outcome.warm_points);
+    telemetry::counter!("warmstart_setups_total", outcome.walked_setups);
+    telemetry::event!(
+        Level::Info,
+        "warm_start_complete",
+        walked_setups = outcome.walked_setups,
+        warm_points = outcome.warm_points,
+        cold_points = outcome.cold_points,
+        escalations = outcome.escalations,
+    );
+    outcome
+}
+
+/// Number of distinct setups a cold walk of `campaign` would visit in
+/// the worst case (full schedule for every point) — the denominator of
+/// the warm-start savings claim.
+pub fn cold_walk_setups(campaign: &VminCampaign) -> u64 {
+    (campaign.voltage_schedule().len() * campaign.benchmarks.len() * campaign.cores.len()) as u64
+}
+
+/// The single-point cold campaign: the full schedule, one benchmark,
+/// one core.
+fn point_campaign(
+    campaign: &VminCampaign,
+    benchmark: xgene_sim::workload::WorkloadProfile,
+    core: CoreId,
+) -> VminCampaign {
+    VminCampaign {
+        benchmarks: vec![benchmark],
+        cores: vec![core],
+        ..campaign.clone()
+    }
+}
+
+/// The warm window for one point: the largest cold-schedule grid point
+/// at or below `prior + headroom` down to `prior − slack`, never wider
+/// than the cold campaign itself.
+fn narrowed(
+    campaign: &VminCampaign,
+    benchmark: xgene_sim::workload::WorkloadProfile,
+    core: CoreId,
+    prior_mv: u32,
+    config: WarmStartConfig,
+) -> VminCampaign {
+    let step = campaign.step_mv.max(1);
+    let top = prior_mv.saturating_add(config.headroom_mv);
+    // Stay on the cold schedule's grid (start − k·step) so a warm Vmin
+    // is always a voltage the cold walk could have reported.
+    let start = if top >= campaign.start.as_u32() {
+        campaign.start
+    } else {
+        let k = (campaign.start.as_u32() - top).div_ceil(step);
+        Millivolts::new(campaign.start.as_u32() - k * step)
+    };
+    let floor = Millivolts::new(
+        prior_mv
+            .saturating_sub(config.floor_slack_mv)
+            .max(campaign.floor.as_u32()),
+    );
+    VminCampaign {
+        benchmarks: vec![benchmark],
+        cores: vec![core],
+        start,
+        floor,
+        ..campaign.clone()
+    }
+}
+
+/// Folds one mini-campaign into the aggregate: records always append
+/// (they ran); Vmin rows only from the authoritative walk.
+fn merge(aggregate: &mut CampaignResult, sub: CampaignResult, keep_vmins: bool) {
+    aggregate.records.extend(sub.records);
+    if keep_vmins {
+        aggregate.vmins.extend(sub.vmins);
+    }
+    aggregate.quarantined.extend(sub.quarantined);
+    aggregate.watchdog_resets += sub.watchdog_resets;
+    let r = &mut aggregate.recovery;
+    r.failed_power_cycles += sub.recovery.failed_power_cycles;
+    r.reset_retries += sub.recovery.reset_retries;
+    r.total_backoff_ms += sub.recovery.total_backoff_ms;
+    r.setup_restores += sub.recovery.setup_restores;
+    r.quarantined_points += sub.recovery.quarantined_points;
+    r.precautionary_resets += sub.recovery.precautionary_resets;
+    let s = &mut aggregate.safety;
+    s.breaker_trips += sub.safety.breaker_trips;
+    if sub.safety.last_trip_reason.is_some() {
+        s.last_trip_reason = sub.safety.last_trip_reason;
+    }
+    s.breaker_state = sub.safety.breaker_state;
+    s.sentinel.checks += sub.safety.sentinel.checks;
+    s.sentinel.detected_by_checksum += sub.safety.sentinel.detected_by_checksum;
+    s.sentinel.detected_by_vote += sub.safety.sentinel.detected_by_vote;
+    s.sentinel.timeouts += sub.safety.sentinel.timeouts;
+    s.sentinel.hw_errors += sub.safety.sentinel.hw_errors;
+    s.sentinel.true_sdcs += sub.safety.sentinel.true_sdcs;
+    s.sentinel.undetected_sdcs += sub.safety.sentinel.undetected_sdcs;
+}
+
+/// Distinct (benchmark, core, voltage) setups across a result's
+/// records — the per-job walk-cost metric, comparable between cold and
+/// warm-started campaigns.
+pub fn distinct_setups(result: &CampaignResult) -> u64 {
+    let mut seen: HashSet<(&str, u8, u32)> = HashSet::new();
+    for record in &result.records {
+        seen.insert((
+            record.benchmark.as_str(),
+            record.setup.core.index() as u8,
+            record.setup.voltage.as_u32(),
+        ));
+    }
+    seen.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CampaignRunner;
+    use workload_sim::spec::by_name;
+    use xgene_sim::sigma::SigmaBin;
+    use xgene_sim::topology::CORE_COUNT;
+
+    fn campaign(cores: Vec<CoreId>) -> VminCampaign {
+        VminCampaign::dsn18(vec![by_name("mcf").unwrap().profile()], cores)
+    }
+
+    fn priors_from(result: &CampaignResult) -> Vec<Option<u32>> {
+        let mut priors = vec![None; CORE_COUNT];
+        for v in &result.vmins {
+            if let Some(mv) = v.vmin {
+                priors[v.core.index()] = Some(mv.as_u32());
+            }
+        }
+        priors
+    }
+
+    #[test]
+    fn warm_start_matches_the_cold_vmin_with_far_fewer_setups() {
+        let cores: Vec<CoreId> = CoreId::all().collect();
+        let cold = {
+            let mut server = XGene2Server::new(SigmaBin::Ttt, 31);
+            CampaignRunner::new(&mut server).run(&campaign(cores.clone()))
+        };
+        let priors = priors_from(&cold);
+
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 31);
+        let warm = run_warm_start(
+            &mut server,
+            &campaign(cores.clone()),
+            &priors,
+            WarmStartConfig::dsn18(),
+            ResilienceConfig::legacy(),
+        );
+        assert_eq!(warm.escalations, 0);
+        assert_eq!(warm.warm_points as usize, cores.len());
+        for core in &cores {
+            assert_eq!(
+                warm.result.vmin("mcf", *core),
+                cold.vmin("mcf", *core),
+                "core {core:?}"
+            );
+        }
+        let cold_setups = distinct_setups(&cold);
+        assert!(
+            warm.walked_setups * 2 <= cold_setups,
+            "warm {} vs cold {cold_setups}",
+            warm.walked_setups
+        );
+    }
+
+    #[test]
+    fn missing_priors_walk_cold_and_agree_with_the_plain_runner() {
+        let cores = vec![CoreId::new(2), CoreId::new(5)];
+        let cold = {
+            let mut server = XGene2Server::new(SigmaBin::Tff, 33);
+            CampaignRunner::new(&mut server).run(&campaign(cores.clone()))
+        };
+        let mut server = XGene2Server::new(SigmaBin::Tff, 33);
+        let warm = run_warm_start(
+            &mut server,
+            &campaign(cores.clone()),
+            &[],
+            WarmStartConfig::dsn18(),
+            ResilienceConfig::legacy(),
+        );
+        assert_eq!(warm.cold_points, 2);
+        assert_eq!(warm.warm_points, 0);
+        assert_eq!(warm.result.vmins, cold.vmins);
+    }
+
+    #[test]
+    fn stale_priors_escalate_to_a_cold_walk() {
+        // Feed priors far below any real Vmin: the whole warm window
+        // sits in crash territory, so the walk must escalate and still
+        // find the true Vmin.
+        let cores = vec![CoreId::new(0)];
+        let cold = {
+            let mut server = XGene2Server::new(SigmaBin::Tss, 35);
+            CampaignRunner::new(&mut server).run(&campaign(cores.clone()))
+        };
+        let mut server = XGene2Server::new(SigmaBin::Tss, 35);
+        let mut priors = vec![None; CORE_COUNT];
+        priors[0] = Some(710); // decades out of date
+        let warm = run_warm_start(
+            &mut server,
+            &campaign(cores.clone()),
+            &priors,
+            WarmStartConfig::dsn18(),
+            ResilienceConfig::legacy(),
+        );
+        assert_eq!(warm.escalations, 1);
+        assert_eq!(
+            warm.result.vmin("mcf", cores[0]),
+            cold.vmin("mcf", cores[0])
+        );
+        // Exactly one authoritative Vmin row per point, escalation or not.
+        assert_eq!(warm.result.vmins.len(), 1);
+    }
+
+    #[test]
+    fn warm_window_stays_on_the_cold_grid() {
+        let base = campaign(vec![CoreId::new(1)]);
+        let mini = narrowed(
+            &base,
+            base.benchmarks[0].clone(),
+            CoreId::new(1),
+            903, // off-grid prior
+            WarmStartConfig::dsn18(),
+        );
+        // 903 + 40 = 943 → largest grid point ≤ 943 on the 980 − 5k grid
+        // is 940; floor is prior − 25 = 878 (off-grid is fine, it is
+        // only a bound).
+        assert_eq!(mini.start, Millivolts::new(940));
+        assert_eq!(mini.floor, Millivolts::new(878));
+        let schedule = mini.voltage_schedule();
+        assert!(schedule.iter().all(|v| (980 - v.as_u32()) % 5 == 0));
+        // Saturating cases: a prior near nominal keeps the cold start…
+        let high = narrowed(
+            &base,
+            base.benchmarks[0].clone(),
+            CoreId::new(1),
+            975,
+            WarmStartConfig::dsn18(),
+        );
+        assert_eq!(high.start, base.start);
+        // …and a prior near the floor keeps the cold floor.
+        let low = narrowed(
+            &base,
+            base.benchmarks[0].clone(),
+            CoreId::new(1),
+            705,
+            WarmStartConfig::dsn18(),
+        );
+        assert_eq!(low.floor, base.floor);
+    }
+}

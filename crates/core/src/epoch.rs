@@ -1,0 +1,232 @@
+//! Epoch-versioned safe points: the time axis of the fleet database.
+//!
+//! A [`SafePointStore`] answers "what is each board's safe point?" —
+//! one snapshot. The lifetime subsystem needs the *history*: silicon
+//! ages, DRAM retention drifts, and each re-characterization campaign
+//! produces a fresh, slightly-less-aggressive safe point. A
+//! [`VersionedSafePointStore`] keeps one store per **epoch** (the
+//! simulated month the campaign ran), so the fleet can
+//!
+//! * deploy from the latest epoch while keeping every prior epoch as
+//!   the warm-start prior for the next re-characterization;
+//! * quantify margin decay per board across epochs — the headline
+//!   "how much guardband does aging reclaim per year" curve;
+//! * merge shards from concurrent workers with the same algebra the
+//!   flat store has: the pointwise (per-epoch) merge of join-
+//!   semilattices is itself a join-semilattice, so associativity,
+//!   commutativity and idempotence carry over and N-worker runs stay
+//!   byte-identical (property-tested in `tests/lifetime.rs`).
+
+use crate::safepoint::{BoardSafePoint, SafePointStore};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The epoch-indexed safe-point database.
+///
+/// # Examples
+///
+/// ```
+/// use guardband_core::epoch::VersionedSafePointStore;
+/// use guardband_core::safepoint::BoardSafePoint;
+/// use xgene_sim::sigma::SigmaBin;
+///
+/// let record = |attempt| BoardSafePoint {
+///     board: 7,
+///     attempt,
+///     bin: SigmaBin::Ttt,
+///     core_vmin_mv: vec![Some(890 + attempt); 8],
+///     rail_vmin_mv: Some(905 + attempt),
+///     operating_point: None,
+///     bank_safe_trefp_ms: vec![64.0; 8],
+///     savings_fraction: 0.0,
+///     savings_watts: 0.0,
+/// };
+/// let mut store = VersionedSafePointStore::new();
+/// store.insert(0, record(0));
+/// store.insert(12, record(12)); // re-characterized at month 12
+/// assert_eq!(store.latest_for(7).unwrap().0, 12);
+/// assert_eq!(store.history(7).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VersionedSafePointStore {
+    /// Epoch (simulated month of the campaign) → that campaign's store.
+    epochs: BTreeMap<u32, SafePointStore>,
+}
+
+impl VersionedSafePointStore {
+    /// An empty history.
+    pub fn new() -> Self {
+        VersionedSafePointStore::default()
+    }
+
+    /// Inserts one record under `epoch`, with the flat store's
+    /// highest-precedence-wins semantics within the epoch.
+    pub fn insert(&mut self, epoch: u32, record: BoardSafePoint) {
+        self.epochs.entry(epoch).or_default().insert(record);
+    }
+
+    /// Pointwise merge: each of `other`'s epoch stores joins into the
+    /// matching epoch here. Associative, commutative and idempotent —
+    /// see the module docs.
+    pub fn merge(&mut self, other: &VersionedSafePointStore) {
+        for (epoch, store) in &other.epochs {
+            self.epochs.entry(*epoch).or_default().merge(store);
+        }
+    }
+
+    /// Number of epochs with any record.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether the history holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The most recent epoch, if any.
+    pub fn latest_epoch(&self) -> Option<u32> {
+        self.epochs.keys().next_back().copied()
+    }
+
+    /// Epochs in ascending order with their stores.
+    pub fn epochs(&self) -> impl Iterator<Item = (u32, &SafePointStore)> {
+        self.epochs.iter().map(|(e, s)| (*e, s))
+    }
+
+    /// The store of one epoch.
+    pub fn epoch(&self, epoch: u32) -> Option<&SafePointStore> {
+        self.epochs.get(&epoch)
+    }
+
+    /// A board's most recent record: the highest epoch that knows the
+    /// board, with that epoch.
+    pub fn latest_for(&self, board: u32) -> Option<(u32, &BoardSafePoint)> {
+        self.epochs
+            .iter()
+            .rev()
+            .find_map(|(epoch, store)| store.get(board).map(|r| (*epoch, r)))
+    }
+
+    /// A board's full trajectory, in epoch order.
+    pub fn history(&self, board: u32) -> Vec<(u32, &BoardSafePoint)> {
+        self.epochs
+            .iter()
+            .filter_map(|(epoch, store)| store.get(board).map(|r| (*epoch, r)))
+            .collect()
+    }
+
+    /// How much exploited PMD margin a board lost between its first and
+    /// latest epochs, in mV: positive means the deployed voltage had to
+    /// rise (aging reclaimed guardband), zero means the safe point held.
+    /// `None` until the board has two epochs with derived points.
+    pub fn margin_decay_mv(&self, board: u32) -> Option<i64> {
+        let history = self.history(board);
+        let first = history.iter().find_map(|(_, r)| r.margin_mv())?;
+        let last = history.iter().rev().find_map(|(_, r)| r.margin_mv())?;
+        if history.len() < 2 {
+            return None;
+        }
+        Some(first - last)
+    }
+
+    /// The fleet's current deployment view: every board's record from
+    /// the most recent epoch that characterized it, flattened into one
+    /// store. Records carry `attempt = epoch` in the lifetime flow, so
+    /// the flat store's precedence order and the epoch order agree.
+    pub fn latest(&self) -> SafePointStore {
+        let mut flat = SafePointStore::new();
+        for store in self.epochs.values() {
+            flat.merge(store);
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safepoint::SafePointPolicy;
+    use power_model::units::Millivolts;
+    use xgene_sim::sigma::SigmaBin;
+
+    fn record(board: u32, epoch: u32, rail: u32) -> BoardSafePoint {
+        let policy = SafePointPolicy::dsn18();
+        BoardSafePoint {
+            board,
+            attempt: epoch,
+            bin: SigmaBin::Ttt,
+            core_vmin_mv: vec![Some(rail - 5); 8],
+            rail_vmin_mv: Some(rail),
+            operating_point: Some(policy.derive_from_measured(Millivolts::new(rail), policy.trefp)),
+            bank_safe_trefp_ms: vec![2283.0; 8],
+            savings_fraction: 0.2,
+            savings_watts: 6.0,
+        }
+    }
+
+    #[test]
+    fn latest_for_walks_epochs_backwards() {
+        let mut store = VersionedSafePointStore::new();
+        store.insert(0, record(1, 0, 905));
+        store.insert(0, record(2, 0, 910));
+        store.insert(14, record(1, 14, 915));
+        let (epoch, r) = store.latest_for(1).unwrap();
+        assert_eq!((epoch, r.rail_vmin_mv), (14, Some(915)));
+        let (epoch, r) = store.latest_for(2).unwrap();
+        assert_eq!((epoch, r.rail_vmin_mv), (0, Some(910)));
+        assert_eq!(store.latest_for(3), None);
+        assert_eq!(store.latest_epoch(), Some(14));
+        assert_eq!(store.epoch_count(), 2);
+    }
+
+    #[test]
+    fn margin_decay_tracks_the_rising_rail() {
+        let mut store = VersionedSafePointStore::new();
+        store.insert(0, record(4, 0, 905)); // deploys 930 → margin 50
+        assert_eq!(store.margin_decay_mv(4), None, "one epoch is no trend");
+        store.insert(18, record(4, 18, 925)); // deploys 950 → margin 30
+        assert_eq!(store.margin_decay_mv(4), Some(20));
+    }
+
+    #[test]
+    fn pointwise_merge_keeps_the_semilattice_laws() {
+        let mut a = VersionedSafePointStore::new();
+        a.insert(0, record(0, 0, 905));
+        a.insert(12, record(0, 12, 915));
+        let mut b = VersionedSafePointStore::new();
+        b.insert(0, record(1, 0, 900));
+        b.insert(12, record(0, 12, 915));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "commutative");
+        let mut again = ab.clone();
+        again.merge(&b);
+        assert_eq!(again, ab, "idempotent");
+        assert_eq!(ab.epoch(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn latest_flattens_to_the_deployment_view() {
+        let mut store = VersionedSafePointStore::new();
+        store.insert(0, record(0, 0, 905));
+        store.insert(0, record(1, 0, 910));
+        store.insert(20, record(0, 20, 920));
+        let flat = store.latest();
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.get(0).unwrap().attempt, 20);
+        assert_eq!(flat.get(1).unwrap().attempt, 0);
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut store = VersionedSafePointStore::new();
+        store.insert(0, record(3, 0, 905));
+        store.insert(9, record(3, 9, 910));
+        let text = serde::json::to_string(&store);
+        let back: VersionedSafePointStore = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, store);
+    }
+}

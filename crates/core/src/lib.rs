@@ -15,6 +15,9 @@
 //!   with predictor-assisted scheduling;
 //! * [`safepoint`] — deriving deployable safe operating points (§IV.D,
 //!   the 930 mV / 920 mV / 35× point);
+//! * [`epoch`] — the time axis of the safe-point database: one store
+//!   per re-characterization epoch, margin-decay queries, and the same
+//!   mergeable-shard algebra the flat store has;
 //! * [`refresh_relax`] — choosing and valuing DRAM refresh relaxations
 //!   (Fig. 8b);
 //! * [`predictor`] — the performance-counter Vmin predictor (MICRO'17
@@ -57,6 +60,7 @@
 
 pub mod droop_history;
 pub mod energy;
+pub mod epoch;
 pub mod governor;
 pub mod guardband;
 pub mod predictor;
@@ -67,6 +71,7 @@ pub mod vmin;
 
 pub use droop_history::{DroopHistory, FailurePredictor};
 pub use energy::{derive_ladder, ladder_tradeoff, LadderRung};
+pub use epoch::VersionedSafePointStore;
 pub use governor::{GovernorConfig, GovernorStats, OnlineGovernor};
 pub use guardband::{Guardband, GuardbandSummary};
 pub use predictor::VminPredictor;

@@ -18,6 +18,8 @@
 //!   cost of refresh (tRFC stalls every tREFI);
 //! * [`scrubber`] — a patrol-scrub engine bounding how long correctable
 //!   flips linger;
+//! * [`aging`] — weak-cell population growth, retention decay and VRT
+//!   flicker over deployment months (the lifetime subsystem's DRAM leg);
 //! * [`math`] — normal/Poisson/lognormal sampling built on `rand` alone.
 //!
 //! # Examples
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod aging;
 pub mod array;
 pub mod ecc;
 pub mod geometry;
@@ -53,6 +56,7 @@ pub mod retention;
 pub mod scrubber;
 pub mod timing;
 
+pub use aging::DramAging;
 pub use array::{
     AccessCounters, DramArray, ErrorKind, ErrorLog, ErrorRecord, ReadOutcome, ScrubReport,
 };

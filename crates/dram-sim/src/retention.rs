@@ -331,6 +331,14 @@ impl WeakCellPopulation {
             }
         }
 
+        WeakCellPopulation::from_cells(model.clone(), cells)
+    }
+
+    /// Builds a population (row index and bitmap included) around an
+    /// explicit cell list — the constructor the aging model uses to
+    /// assemble a board's population as it exists after years of
+    /// deployment.
+    pub fn from_cells(model: RetentionModel, cells: Vec<WeakCell>) -> Self {
         let mut row_index: HashMap<u64, Vec<u32>> = HashMap::new();
         let total_rows = crate::geometry::RANK_COUNT
             * crate::geometry::BANKS_PER_CHIP
@@ -342,7 +350,7 @@ impl WeakCellPopulation {
             row_bitmap[(flat / 64) as usize] |= 1u64 << (flat % 64);
         }
         WeakCellPopulation {
-            model: model.clone(),
+            model,
             cells,
             row_index,
             row_bitmap,
@@ -445,7 +453,7 @@ impl WeakCellPopulation {
 
 /// Places a weak cell at a uniformly random location within `bank`,
 /// resampling any word that already hosts a weak cell (redundancy repair).
-fn random_cell(
+pub(crate) fn random_cell(
     rng: &mut StdRng,
     bank: BankId,
     retention_ms: f64,

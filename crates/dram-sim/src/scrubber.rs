@@ -9,7 +9,7 @@
 //! add, so we build it and quantify what it buys.
 
 use crate::array::DramArray;
-use crate::geometry::WordAddr;
+use crate::geometry::{WordAddr, BANKS_PER_CHIP};
 use serde::{Deserialize, Serialize};
 use telemetry::Level;
 
@@ -56,6 +56,16 @@ pub struct PatrolScrubber {
     /// Next target index.
     cursor: usize,
     stats: ScrubberStats,
+    /// Per-bank breakdown of the same counters — the drift signal the
+    /// lifetime subsystem's maintenance scheduler consumes (a bank whose
+    /// CE rate climbs is a bank whose retention margin is eroding).
+    #[serde(default = "default_bank_stats")]
+    bank_stats: Vec<ScrubberStats>,
+}
+
+/// One zeroed stat block per bank (serde default for old snapshots).
+fn default_bank_stats() -> Vec<ScrubberStats> {
+    vec![ScrubberStats::default(); BANKS_PER_CHIP]
 }
 
 impl PatrolScrubber {
@@ -74,12 +84,32 @@ impl PatrolScrubber {
             targets,
             cursor: 0,
             stats: ScrubberStats::default(),
+            bank_stats: default_bank_stats(),
         }
     }
 
     /// Telemetry so far.
     pub fn stats(&self) -> ScrubberStats {
         self.stats
+    }
+
+    /// Per-bank telemetry so far, indexed by bank.
+    pub fn bank_stats(&self) -> &[ScrubberStats] {
+        &self.bank_stats
+    }
+
+    /// Corrections per scrubbed word, per bank — `None` for banks the
+    /// patrol has not visited yet. This is the normalized CE-rate the
+    /// maintenance scheduler compares against its drift threshold: raw
+    /// correction counts scale with patrol speed, the rate does not.
+    pub fn ce_rate_per_bank(&self) -> [Option<f64>; BANKS_PER_CHIP] {
+        let mut rates = [None; BANKS_PER_CHIP];
+        for (rate, stats) in rates.iter_mut().zip(&self.bank_stats) {
+            if stats.words_scrubbed > 0 {
+                *rate = Some(stats.corrections as f64 / stats.words_scrubbed as f64);
+            }
+        }
+        rates
     }
 
     /// Number of distinct scrub targets.
@@ -107,16 +137,20 @@ impl PatrolScrubber {
             for _ in 0..n {
                 let addr = self.targets[self.cursor];
                 self.cursor = (self.cursor + 1) % self.targets.len();
+                let bank = addr.bank.index();
                 let out = dram.read_word(addr);
                 self.stats.words_scrubbed += 1;
+                self.bank_stats[bank].words_scrubbed += 1;
                 match out.decode {
                     crate::ecc::DecodeOutcome::Corrected { data, .. } => {
                         dram.write_word(addr, data);
                         self.stats.corrections += 1;
+                        self.bank_stats[bank].corrections += 1;
                         telemetry::counter!("scrub_corrections_total");
                     }
                     crate::ecc::DecodeOutcome::Uncorrectable => {
                         self.stats.uncorrectable += 1;
+                        self.bank_stats[bank].uncorrectable += 1;
                         telemetry::event!(
                             Level::Warn,
                             "scrub_ue",
@@ -236,6 +270,64 @@ mod tests {
             (visited - expected).abs() / expected < 0.1,
             "visited {visited}, expected ≈{expected}"
         );
+    }
+
+    #[test]
+    fn bank_stats_partition_the_totals() {
+        let mut dram = relaxed_dram(75);
+        dram.fill_pattern(DataPattern::Random { seed: 3 });
+        dram.advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
+        let mut scrubber = PatrolScrubber::new(
+            &dram,
+            ScrubberConfig {
+                patrol_period_ms: 1000.0,
+                burst_words: 4096,
+            },
+        );
+        scrubber.run_for(&mut dram, 1000.0);
+        let totals = scrubber.stats();
+        let banks = scrubber.bank_stats();
+        assert_eq!(banks.len(), BANKS_PER_CHIP);
+        assert_eq!(
+            banks.iter().map(|b| b.words_scrubbed).sum::<u64>(),
+            totals.words_scrubbed
+        );
+        assert_eq!(
+            banks.iter().map(|b| b.corrections).sum::<u64>(),
+            totals.corrections
+        );
+        assert_eq!(
+            banks.iter().map(|b| b.uncorrectable).sum::<u64>(),
+            totals.uncorrectable
+        );
+        // A full patrol pass at 60 °C touches every bank's weak words.
+        assert!(banks.iter().all(|b| b.words_scrubbed > 0));
+    }
+
+    #[test]
+    fn ce_rate_is_normalized_per_scrubbed_word() {
+        let mut dram = relaxed_dram(76);
+        dram.fill_pattern(DataPattern::Random { seed: 4 });
+        dram.advance(Milliseconds::DSN18_RELAXED_TREFP.as_f64() * 2.0);
+        let mut scrubber = PatrolScrubber::new(
+            &dram,
+            ScrubberConfig {
+                patrol_period_ms: 1000.0,
+                burst_words: 4096,
+            },
+        );
+        assert!(
+            scrubber.ce_rate_per_bank().iter().all(Option::is_none),
+            "no rate before the patrol has scrubbed anything"
+        );
+        scrubber.run_for(&mut dram, 1000.0);
+        for (b, rate) in scrubber.ce_rate_per_bank().iter().enumerate() {
+            let rate = rate.expect("full pass visits every bank");
+            assert!((0.0..=1.0).contains(&rate), "bank {b}: rate {rate}");
+            let stats = scrubber.bank_stats()[b];
+            let expected = stats.corrections as f64 / stats.words_scrubbed as f64;
+            assert!((rate - expected).abs() < 1e-12);
+        }
     }
 
     #[test]

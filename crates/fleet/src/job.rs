@@ -13,7 +13,8 @@ use crate::population::BoardSpec;
 use char_fw::resilience::ResilienceConfig;
 use char_fw::runner::ResilientRunner;
 use char_fw::setup::{SafePolicy, VminCampaign};
-use dram_sim::retention::{CouplingContext, PopulationSpec};
+use char_fw::warmstart::{distinct_setups, run_warm_start, WarmStartConfig};
+use dram_sim::retention::{CouplingContext, PopulationSpec, WeakCellPopulation};
 use guardband_core::safepoint::{BoardSafePoint, SafePointPolicy};
 use power_model::server::{ServerLoad, ServerPowerModel};
 use power_model::units::{Celsius, Megahertz, Milliseconds, Millivolts};
@@ -23,6 +24,8 @@ use telemetry::metrics::{MetricsSnapshot, Registry};
 use telemetry::Telemetry;
 use workload_sim::spec::by_name;
 use xgene_sim::fault::FaultPlan;
+use xgene_sim::server::XGene2Server;
+use xgene_sim::sigma::ChipProfile;
 use xgene_sim::topology::CoreId;
 use xgene_sim::workload::WorkloadProfile;
 
@@ -122,6 +125,38 @@ impl FleetCampaign {
     }
 }
 
+/// A board's physical state at characterization time, when it differs
+/// from the pristine spec. The lifetime subsystem hands
+/// [`execute_in_env`] aged silicon (Vmin drifted upward), an aged DRAM
+/// population (grown weak cells, decayed retention) and the previous
+/// epoch's safe point as a warm-start prior; everything stays a pure
+/// function of the arguments, so the N-workers ≡ serial guarantee
+/// carries over to re-characterization campaigns unchanged.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobEnvironment {
+    /// The chip as it exists now (e.g. after aging), replacing the
+    /// spec's pristine profile.
+    pub chip: ChipProfile,
+    /// The DRAM weak-cell population as it exists now.
+    pub population: WeakCellPopulation,
+    /// Longest refresh period the safe-trefp derivation may report, ms
+    /// (the envelope [`execute`] takes from its [`PopulationSpec`]).
+    pub max_trefp_ms: f64,
+    /// Warm-start the Vmin walk from a previous epoch, if available.
+    pub warm_start: Option<WarmStartPriors>,
+}
+
+/// The previous epoch's per-core Vmin, as [`execute_in_env`] feeds it
+/// to [`char_fw::warmstart::run_warm_start`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmStartPriors {
+    /// Prior Vmin in mV, indexed by **core index** (not campaign
+    /// position); `None` where the prior epoch found no safe setup.
+    pub core_vmin_mv: Vec<Option<u32>>,
+    /// Window shape around each prior.
+    pub config: WarmStartConfig,
+}
+
 /// One queued unit of work: characterize `board` (again, if the safety
 /// net already evicted it).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -164,6 +199,11 @@ pub struct BoardOutcome {
     /// What this job would have cost on real hardware, in simulated
     /// board-seconds (runs, sentinels, reboots, backoff, DRAM probe).
     pub sim_cost_seconds: f64,
+    /// Distinct (benchmark, core, voltage) setups the walk visited —
+    /// the cost metric warm-started re-characterization shrinks.
+    /// Defaults keep outcomes from before this field decodable.
+    #[serde(default)]
+    pub walked_steps: u64,
     /// The job's own telemetry, captured from a per-job registry.
     pub metrics: MetricsSnapshot,
 }
@@ -180,6 +220,42 @@ pub fn execute(
     campaign: &FleetCampaign,
     population: PopulationSpec,
 ) -> BoardOutcome {
+    execute_with(job, campaign, population.max_trefp.as_f64(), None, || {
+        job.board.boot(population)
+    })
+}
+
+/// Characterizes one board in an explicit physical environment — aged
+/// chip, aged DRAM, optional warm-start priors. Pure in the same sense
+/// as [`execute`]; in fact [`execute`] is this function with the
+/// spec's pristine environment and no priors.
+pub fn execute_in_env(
+    job: &FleetJob,
+    campaign: &FleetCampaign,
+    env: &JobEnvironment,
+) -> BoardOutcome {
+    execute_with(
+        job,
+        campaign,
+        env.max_trefp_ms,
+        env.warm_start.as_ref(),
+        || {
+            XGene2Server::with_chip_and_population(
+                env.chip.clone(),
+                job.board.boot_seed,
+                env.population.clone(),
+            )
+        },
+    )
+}
+
+fn execute_with(
+    job: &FleetJob,
+    campaign: &FleetCampaign,
+    max_trefp: f64,
+    warm: Option<&WarmStartPriors>,
+    boot: impl FnOnce() -> XGene2Server,
+) -> BoardOutcome {
     // Each job gets its own registry in the executing thread's telemetry
     // context: worker threads never share mutable telemetry state, and
     // the captured snapshot is identical wherever the job runs.
@@ -188,12 +264,30 @@ pub fn execute(
         .with_registry(Rc::clone(&registry))
         .install();
 
-    let mut server = job.board.boot(population);
+    let mut server = boot();
     if let Some(plan) = campaign.fault_plan(&job.board) {
         server.install_fault_plan(plan);
     }
     let walk = campaign.vmin_campaign(job.floor_override_mv);
-    let result = ResilientRunner::new(&mut server, walk, campaign.resilience).run_to_completion();
+    let (result, walked_steps) = match warm {
+        Some(priors) => {
+            let outcome = run_warm_start(
+                &mut server,
+                &walk,
+                &priors.core_vmin_mv,
+                priors.config,
+                campaign.resilience,
+            );
+            let steps = outcome.walked_setups;
+            (outcome.result, steps)
+        }
+        None => {
+            let result =
+                ResilientRunner::new(&mut server, walk, campaign.resilience).run_to_completion();
+            let steps = distinct_setups(&result);
+            (result, steps)
+        }
+    };
 
     // Worst-case (highest) Vmin per core across the benchmark set; a
     // core counts as characterized only if every benchmark found one.
@@ -227,7 +321,6 @@ pub fn execute(
         .dram()
         .population()
         .min_retention_per_bank(campaign.retention_temperature, CouplingContext::WorstCase);
-    let max_trefp = population.max_trefp.as_f64();
     let bank_safe_trefp_ms: Vec<f64> = floors
         .iter()
         .map(|floor| match floor {
@@ -301,6 +394,7 @@ pub fn execute(
         breaker_trips: result.safety.breaker_trips,
         backoff_ms: result.recovery.total_backoff_ms,
         sim_cost_seconds,
+        walked_steps,
         metrics,
     }
 }
@@ -351,6 +445,62 @@ mod tests {
             .bank_safe_trefp_ms
             .iter()
             .all(|t| *t >= Milliseconds::DDR3_NOMINAL_TREFP.as_f64()));
+    }
+
+    #[test]
+    fn warm_started_recharacterization_walks_far_fewer_steps() {
+        let mut campaign = FleetCampaign::quick();
+        campaign.inject_sub_vmin_sdc = false;
+        let spec = FleetSpec::new(8, 2018);
+        let cold = execute(&job(4), &campaign, spec.population);
+        assert!(cold.walked_steps > 0);
+
+        // Age the board three years and re-characterize from the prior.
+        let board = spec.board(4);
+        let aging = xgene_sim::aging::AgingModel::sampled(board.boot_seed);
+        let shifts = aging.shifts_mv(&xgene_sim::aging::StressProfile::datacenter(), 36);
+        let mut priors = vec![None; xgene_sim::topology::CORE_COUNT];
+        for (core, vmin) in campaign.cores.iter().zip(&cold.record.core_vmin_mv) {
+            priors[core.index()] = *vmin;
+        }
+        let env = JobEnvironment {
+            chip: board.chip.with_aging(&shifts),
+            population: dram_sim::aging::DramAging::dsn18().aged(
+                &dram_sim::retention::WeakCellPopulation::generate(
+                    &dram_sim::retention::RetentionModel::xgene2_micron(),
+                    spec.population,
+                    board.boot_seed,
+                ),
+                36,
+                board.boot_seed,
+            ),
+            max_trefp_ms: spec.population.max_trefp.as_f64(),
+            warm_start: Some(WarmStartPriors {
+                core_vmin_mv: priors,
+                config: WarmStartConfig::dsn18(),
+            }),
+        };
+        let mut rejob = job(4);
+        rejob.attempt = 1;
+        let warm = execute_in_env(&rejob, &campaign, &env);
+        assert_eq!(warm, execute_in_env(&rejob, &campaign, &env), "pure");
+        assert!(
+            warm.walked_steps * 2 <= cold.walked_steps,
+            "warm {} vs cold {}",
+            warm.walked_steps,
+            cold.walked_steps
+        );
+        // Aged silicon never reports a lower Vmin than it started with.
+        for (aged, fresh) in warm
+            .record
+            .core_vmin_mv
+            .iter()
+            .zip(&cold.record.core_vmin_mv)
+        {
+            if let (Some(a), Some(f)) = (aged, fresh) {
+                assert!(a >= f, "aged {a} vs fresh {f}");
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! deterministic [`schedule`] makespan over per-job simulated costs —
 //! see that module for why wall clock is not the metric.
 //!
+//! Safe points age with the silicon under them: [`maintenance`] plans
+//! budget-capped re-characterization rounds from per-board drift
+//! signals, and [`job::execute_in_env`] re-runs a board's campaign
+//! against aged silicon with a warm-started Vmin walk seeded by the
+//! previous epoch's safe point.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod job;
+pub mod maintenance;
 pub mod orchestrator;
 pub mod population;
 pub mod queue;
@@ -46,7 +53,12 @@ pub mod report;
 pub mod schedule;
 
 pub use guardband_core::safepoint::{BoardSafePoint, FleetStats, SafePointStore};
-pub use job::{execute, BoardOutcome, FleetCampaign, FleetJob};
+pub use job::{
+    execute, execute_in_env, BoardOutcome, FleetCampaign, FleetJob, JobEnvironment, WarmStartPriors,
+};
+pub use maintenance::{
+    BoardHealth, MaintenanceDecision, MaintenancePlan, MaintenancePolicy, MaintenanceTrigger,
+};
 pub use orchestrator::{run_fleet, FleetConfig};
 pub use population::{BoardSpec, CornerMix, FleetSpec};
 pub use queue::{FleetQueue, QueueStats};

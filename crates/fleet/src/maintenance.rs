@@ -1,0 +1,327 @@
+//! The fleet maintenance scheduler: deciding *when* each board gets
+//! re-characterized, under a concurrency budget.
+//!
+//! A safe point is perishable. Silicon Vmin drifts upward
+//! ([`xgene_sim::aging`]), the DRAM weak tail grows
+//! ([`dram_sim::aging`]), and the 25 mV deployment margin that looked
+//! comfortable at epoch 0 erodes month by month. Re-characterizing
+//! everything constantly would burn the fleet's capacity; never
+//! re-characterizing ends in silent corruption once some board's drift
+//! crosses its margin. This module is the middle path: a pure,
+//! deterministic [`MaintenancePolicy::plan`] that watches three drift
+//! signals per board and schedules the most urgent boards first, up to
+//! a per-month budget:
+//!
+//! * **margin** — the deployed voltage minus the (modeled) aged rail
+//!   Vmin; the sentinel-marginal trigger fires when it shrinks to the
+//!   threshold, *before* it reaches zero where SDCs start;
+//! * **CE pressure** — failing-cell count at the deployed refresh
+//!   period, the scrubber's rising correctable-error signature;
+//! * **calendar age** — a backstop re-characterization interval for
+//!   boards whose signals stay quiet.
+//!
+//! Everything is a pure function of the input health vector, so the
+//! lifetime simulation's multi-year loop stays byte-reproducible.
+
+use serde::{Deserialize, Serialize};
+use telemetry::Level;
+
+/// Why a board was scheduled for re-characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaintenanceTrigger {
+    /// The modeled margin shrank to the policy threshold.
+    SentinelMarginal {
+        /// Remaining margin, mV.
+        margin_mv: i64,
+    },
+    /// Aged failing cells at the deployed refresh period crossed the
+    /// threshold (the scrubber's CE rate is climbing).
+    CeRate {
+        /// Failing cells at the deployed refresh period.
+        failing_cells: u64,
+    },
+    /// Nothing fired, but the safe point is simply old.
+    CalendarAge {
+        /// Months since the board's last characterization.
+        months: u32,
+    },
+}
+
+impl MaintenanceTrigger {
+    /// Short machine-readable name (telemetry label, report key).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MaintenanceTrigger::SentinelMarginal { .. } => "margin",
+            MaintenanceTrigger::CeRate { .. } => "ce_rate",
+            MaintenanceTrigger::CalendarAge { .. } => "age",
+        }
+    }
+}
+
+/// One board's drift signals, as the monthly monitoring pass sees them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoardHealth {
+    /// Fleet-wide board id.
+    pub board: u32,
+    /// Months since the board's current safe point was measured.
+    pub months_since_characterization: u32,
+    /// Deployed PMD voltage minus the aged rail Vmin estimate, mV.
+    /// `None` when the board has no deployed point (already parked at
+    /// nominal — nothing left to protect).
+    pub margin_mv: Option<i64>,
+    /// Weak cells that started failing at the deployed refresh period
+    /// since the last characterization (tracks the scrubber's rising
+    /// CE rate; the validated-at-deployment baseline is excluded).
+    pub failing_cells: u64,
+}
+
+/// When to re-characterize, and how much capacity that may consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintenancePolicy {
+    /// Schedule when the modeled margin is at or below this, mV.
+    pub margin_threshold_mv: i64,
+    /// Schedule when this many aged cells fail at the deployed trefp.
+    pub ce_cells_threshold: u64,
+    /// Backstop: schedule any safe point older than this, months.
+    pub max_epoch_age_months: u32,
+    /// Re-characterizations allowed per planning round (the fleet can
+    /// only take so many boards out of production at once).
+    pub budget_per_round: usize,
+}
+
+impl MaintenancePolicy {
+    /// The lifetime study's defaults: act at 12 mV of remaining margin
+    /// (roughly half the deployment margin, months before projected
+    /// exhaustion), 4 failing cells of CE pressure, a 24-month
+    /// calendar backstop, 4 boards per round.
+    pub fn dsn18() -> Self {
+        MaintenancePolicy {
+            margin_threshold_mv: 12,
+            ce_cells_threshold: 4,
+            max_epoch_age_months: 24,
+            budget_per_round: 4,
+        }
+    }
+
+    /// The trigger (if any) this policy raises for one board's signals.
+    /// Margin urgency outranks CE pressure outranks calendar age.
+    pub fn trigger(&self, health: &BoardHealth) -> Option<MaintenanceTrigger> {
+        if let Some(margin) = health.margin_mv {
+            if margin <= self.margin_threshold_mv {
+                return Some(MaintenanceTrigger::SentinelMarginal { margin_mv: margin });
+            }
+        } else {
+            // No deployed point: the board runs at nominal and ages
+            // slower than anything the scheduler could buy it.
+            return None;
+        }
+        if health.failing_cells >= self.ce_cells_threshold {
+            return Some(MaintenanceTrigger::CeRate {
+                failing_cells: health.failing_cells,
+            });
+        }
+        if health.months_since_characterization >= self.max_epoch_age_months {
+            return Some(MaintenanceTrigger::CalendarAge {
+                months: health.months_since_characterization,
+            });
+        }
+        None
+    }
+
+    /// Plans one round: every triggered board, most urgent first
+    /// (smallest margin, ties by board id), cut at the budget. Boards
+    /// beyond the budget are returned as `deferred` — they keep their
+    /// triggers and compete again next round.
+    pub fn plan(&self, fleet: &[BoardHealth]) -> MaintenancePlan {
+        let mut triggered: Vec<(i64, MaintenanceDecision)> = fleet
+            .iter()
+            .filter_map(|h| {
+                self.trigger(h).map(|trigger| {
+                    (
+                        h.margin_mv.unwrap_or(i64::MIN),
+                        MaintenanceDecision {
+                            board: h.board,
+                            trigger,
+                        },
+                    )
+                })
+            })
+            .collect();
+        triggered.sort_by_key(|(margin, d)| (*margin, d.board));
+        let mut decisions = triggered.into_iter().map(|(_, d)| d);
+        let scheduled: Vec<MaintenanceDecision> =
+            decisions.by_ref().take(self.budget_per_round).collect();
+        let deferred: Vec<MaintenanceDecision> = decisions.collect();
+        for decision in &scheduled {
+            telemetry::event!(
+                Level::Info,
+                "maintenance_scheduled",
+                board = decision.board,
+                trigger = decision.trigger.kind(),
+            );
+            match decision.trigger {
+                MaintenanceTrigger::SentinelMarginal { .. } => {
+                    telemetry::counter!("maintenance_trigger_margin_total")
+                }
+                MaintenanceTrigger::CeRate { .. } => {
+                    telemetry::counter!("maintenance_trigger_ce_total")
+                }
+                MaintenanceTrigger::CalendarAge { .. } => {
+                    telemetry::counter!("maintenance_trigger_age_total")
+                }
+            }
+        }
+        telemetry::counter!("maintenance_scheduled_total", scheduled.len() as u64);
+        telemetry::counter!("maintenance_deferred_total", deferred.len() as u64);
+        MaintenancePlan {
+            scheduled,
+            deferred,
+        }
+    }
+}
+
+/// One scheduled (or deferred) re-characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenanceDecision {
+    /// The board to re-characterize.
+    pub board: u32,
+    /// What fired.
+    pub trigger: MaintenanceTrigger,
+}
+
+/// The outcome of one planning round.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MaintenancePlan {
+    /// Boards to re-characterize this round, most urgent first.
+    pub scheduled: Vec<MaintenanceDecision>,
+    /// Triggered boards the budget could not fit this round.
+    pub deferred: Vec<MaintenanceDecision>,
+}
+
+impl MaintenancePlan {
+    /// Whether nothing fired at all.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty() && self.deferred.is_empty()
+    }
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy::dsn18()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy(board: u32) -> BoardHealth {
+        BoardHealth {
+            board,
+            months_since_characterization: 6,
+            margin_mv: Some(40),
+            failing_cells: 0,
+        }
+    }
+
+    #[test]
+    fn quiet_fleet_schedules_nothing() {
+        let policy = MaintenancePolicy::dsn18();
+        let fleet: Vec<BoardHealth> = (0..8).map(healthy).collect();
+        assert!(policy.plan(&fleet).is_empty());
+    }
+
+    #[test]
+    fn margin_outranks_ce_outranks_age() {
+        let policy = MaintenancePolicy::dsn18();
+        let marginal = BoardHealth {
+            margin_mv: Some(10),
+            failing_cells: 9,
+            months_since_characterization: 30,
+            ..healthy(0)
+        };
+        assert!(matches!(
+            policy.trigger(&marginal),
+            Some(MaintenanceTrigger::SentinelMarginal { margin_mv: 10 })
+        ));
+        let noisy = BoardHealth {
+            failing_cells: 9,
+            months_since_characterization: 30,
+            ..healthy(1)
+        };
+        assert!(matches!(
+            policy.trigger(&noisy),
+            Some(MaintenanceTrigger::CeRate { failing_cells: 9 })
+        ));
+        let old = BoardHealth {
+            months_since_characterization: 30,
+            ..healthy(2)
+        };
+        assert!(matches!(
+            policy.trigger(&old),
+            Some(MaintenanceTrigger::CalendarAge { months: 30 })
+        ));
+        let parked = BoardHealth {
+            margin_mv: None,
+            failing_cells: 99,
+            months_since_characterization: 99,
+            ..healthy(3)
+        };
+        assert_eq!(policy.trigger(&parked), None, "nominal boards never walk");
+    }
+
+    #[test]
+    fn budget_cuts_by_urgency_and_board_id() {
+        let policy = MaintenancePolicy {
+            budget_per_round: 2,
+            ..MaintenancePolicy::dsn18()
+        };
+        let fleet = vec![
+            BoardHealth {
+                margin_mv: Some(11),
+                ..healthy(5)
+            },
+            BoardHealth {
+                margin_mv: Some(3),
+                ..healthy(9)
+            },
+            BoardHealth {
+                margin_mv: Some(11),
+                ..healthy(1)
+            },
+            BoardHealth {
+                margin_mv: Some(7),
+                ..healthy(2)
+            },
+            healthy(0),
+        ];
+        let plan = policy.plan(&fleet);
+        let scheduled: Vec<u32> = plan.scheduled.iter().map(|d| d.board).collect();
+        assert_eq!(scheduled, vec![9, 2], "smallest margin first");
+        let deferred: Vec<u32> = plan.deferred.iter().map(|d| d.board).collect();
+        assert_eq!(deferred, vec![1, 5], "equal margins tie-break by id");
+    }
+
+    #[test]
+    fn planning_is_input_order_independent() {
+        let policy = MaintenancePolicy::dsn18();
+        let mut fleet = vec![
+            BoardHealth {
+                margin_mv: Some(2),
+                ..healthy(4)
+            },
+            BoardHealth {
+                failing_cells: 6,
+                ..healthy(7)
+            },
+            BoardHealth {
+                months_since_characterization: 25,
+                ..healthy(6)
+            },
+            healthy(1),
+        ];
+        let forward = policy.plan(&fleet);
+        fleet.reverse();
+        assert_eq!(policy.plan(&fleet), forward);
+    }
+}

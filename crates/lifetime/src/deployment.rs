@@ -1,0 +1,385 @@
+//! The multi-year deployment loop: age, watch, re-characterize, repeat.
+//!
+//! [`run_deployment`] plays a fleet's whole service life in simulated
+//! months. Month 0 cold-characterizes every board and deploys the
+//! resulting safe points (epoch 0). Every later month it
+//!
+//! 1. projects each board's drift signals with the [`DriftModel`] —
+//!    modeled margin, failing-cell pressure, safe-point age;
+//! 2. counts any board whose margin went negative as a production SDC
+//!    exposure (the quantity the scheduler exists to keep at zero, and
+//!    the ablation run demonstrably does not);
+//! 3. asks the [`MaintenancePolicy`] for a budget-capped plan;
+//! 4. runs the scheduled boards' re-characterization campaigns on a
+//!    worker pool — each against its *aged* silicon and DRAM, each
+//!    warm-started from the board's previous epoch — and commits the
+//!    fresh safe points as a new epoch.
+//!
+//! Determinism is inherited, not re-argued: board specs and job
+//! execution are pure ([`fleet`]'s pillars), planning is pure
+//! ([`fleet::maintenance`]), aging is seeded, and each round's outcomes
+//! are sorted by board before any aggregation — so the chronicle is
+//! byte-identical across runs and worker counts.
+
+use crate::drift::DriftModel;
+use crate::report::{LifetimeChronicle, LifetimeExecution, LifetimeReport, MonthRecord};
+use char_fw::warmstart::{cold_walk_setups, WarmStartConfig};
+use dram_sim::retention::{RetentionModel, WeakCellPopulation};
+use fleet::job::{
+    execute_in_env, BoardOutcome, FleetCampaign, FleetJob, JobEnvironment, WarmStartPriors,
+};
+use fleet::maintenance::{BoardHealth, MaintenancePlan, MaintenancePolicy};
+use fleet::population::{BoardSpec, FleetSpec};
+use guardband_core::epoch::VersionedSafePointStore;
+use guardband_core::safepoint::BoardSafePoint;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use telemetry::metrics::Registry;
+use telemetry::{counter, event, gauge, span, Level, Telemetry};
+use xgene_sim::topology::CORE_COUNT;
+
+/// Everything a lifetime run is a function of.
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    /// The fleet: seed, size, corner mix, DRAM envelope.
+    pub fleet: FleetSpec,
+    /// The characterization campaign every epoch runs.
+    pub campaign: FleetCampaign,
+    /// The degradation physics boards age under.
+    pub drift: DriftModel,
+    /// Service horizon, months.
+    pub months: u32,
+    /// When and how much to re-characterize.
+    pub maintenance: MaintenancePolicy,
+    /// Warm-start window shape for re-characterization walks.
+    pub warm_start: WarmStartConfig,
+    /// `false` runs the ablation: deploy once, never re-characterize,
+    /// and count the SDC exposure that accumulates.
+    pub recharacterize: bool,
+}
+
+impl DeploymentSpec {
+    /// The paper-shaped lifetime study: full campaign, datacenter
+    /// stress, default maintenance policy.
+    pub fn dsn18(boards: u32, seed: u64, months: u32) -> Self {
+        let mut campaign = FleetCampaign::dsn18();
+        campaign.inject_sub_vmin_sdc = false;
+        DeploymentSpec {
+            fleet: FleetSpec::new(boards, seed),
+            campaign,
+            drift: DriftModel::dsn18(),
+            months,
+            maintenance: MaintenancePolicy::dsn18(),
+            warm_start: WarmStartConfig::dsn18(),
+            recharacterize: true,
+        }
+    }
+
+    /// A cut-down shape for tests and benches: the quick fleet campaign
+    /// (one benchmark, four cores, 10 mV steps) without fault injection.
+    pub fn quick(boards: u32, seed: u64, months: u32) -> Self {
+        let mut campaign = FleetCampaign::quick();
+        campaign.inject_sub_vmin_sdc = false;
+        DeploymentSpec {
+            campaign,
+            ..DeploymentSpec::dsn18(boards, seed, months)
+        }
+    }
+
+    /// The ablation variant: same fleet, same physics, no maintenance.
+    pub fn without_maintenance(mut self) -> Self {
+        self.recharacterize = false;
+        self
+    }
+}
+
+/// Execution knobs. Like the fleet's config, changing these may change
+/// how fast the life plays out, never what happens in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifetimeConfig {
+    /// Worker threads per characterization round.
+    pub workers: usize,
+}
+
+impl LifetimeConfig {
+    /// A pool of `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        LifetimeConfig { workers }
+    }
+}
+
+impl Default for LifetimeConfig {
+    fn default() -> Self {
+        LifetimeConfig { workers: 4 }
+    }
+}
+
+/// Plays the fleet's whole service life. See the module docs for the
+/// loop and the determinism argument.
+///
+/// # Panics
+///
+/// Panics if `config.workers` is zero or a worker thread panics.
+pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> LifetimeReport {
+    assert!(config.workers > 0, "lifetime needs at least one worker");
+    let registry = Rc::new(Registry::new());
+    let guard = Telemetry::new()
+        .with_registry(Rc::clone(&registry))
+        .install();
+    let _lifetime_span = span!(
+        Level::Info,
+        "lifetime",
+        boards = spec.fleet.boards,
+        months = spec.months,
+    );
+
+    let boards: Vec<BoardSpec> = spec.fleet.all_boards().collect();
+    // Each board's as-manufactured weak-cell population, generated once:
+    // the aging model derives every month's population (and the analytic
+    // CE-pressure query) from this base.
+    let model = RetentionModel::xgene2_micron();
+    let bases: Vec<WeakCellPopulation> = boards
+        .iter()
+        .map(|b| WeakCellPopulation::generate(&model, spec.fleet.population, b.boot_seed))
+        .collect();
+    let cold_steps_per_walk = cold_walk_setups(&spec.campaign.vmin_campaign(None));
+
+    let mut epochs = VersionedSafePointStore::new();
+    let mut job_counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut months_log: Vec<MonthRecord> = Vec::new();
+    let mut recharacterizations = 0u64;
+    let mut warm_walked_steps = 0u64;
+    let mut sdc_board_months = 0u64;
+    let mut rounds = 0u64;
+
+    // Month 0: cold-characterize and deploy the whole fleet.
+    let initial: Vec<(FleetJob, JobEnvironment)> = boards
+        .iter()
+        .zip(&bases)
+        .map(|(board, base)| build_job(spec, board, base, 0, None))
+        .collect();
+    let outcomes = run_round(&initial, &spec.campaign, config.workers);
+    let mut jobs_total = outcomes.len() as u64;
+    rounds += 1;
+    absorb(&mut epochs, 0, &outcomes, &mut job_counters);
+
+    for month in 1..=spec.months {
+        gauge!("lifetime_month", f64::from(month));
+
+        // Drift pass: one health triple per deployed board.
+        let mut healths: Vec<BoardHealth> = Vec::with_capacity(boards.len());
+        let mut sdc_boards: Vec<u32> = Vec::new();
+        let mut min_margin: Option<i64> = None;
+        for (board, base) in boards.iter().zip(&bases) {
+            let Some((epoch, record)) = epochs.latest_for(board.id) else {
+                continue;
+            };
+            let health = spec
+                .drift
+                .health(board, &spec.campaign.cores, base, record, epoch, month);
+            if let Some(margin) = health.margin_mv {
+                min_margin = Some(min_margin.map_or(margin, |m| m.min(margin)));
+                if margin < 0 {
+                    sdc_boards.push(board.id);
+                }
+            }
+            healths.push(health);
+        }
+        if !sdc_boards.is_empty() {
+            sdc_board_months += sdc_boards.len() as u64;
+            counter!("lifetime_sdc_board_months_total", sdc_boards.len() as u64);
+            event!(
+                Level::Error,
+                "lifetime_production_sdc",
+                month = month,
+                boards = sdc_boards.len() as u64,
+            );
+        }
+
+        // Plan and execute this month's re-characterizations.
+        let plan = if spec.recharacterize {
+            spec.maintenance.plan(&healths)
+        } else {
+            MaintenancePlan::default()
+        };
+        if !plan.scheduled.is_empty() {
+            let jobs: Vec<(FleetJob, JobEnvironment)> = plan
+                .scheduled
+                .iter()
+                .map(|decision| {
+                    let idx = boards
+                        .iter()
+                        .position(|b| b.id == decision.board)
+                        .expect("scheduled boards come from this fleet");
+                    let prior = epochs.latest_for(decision.board).map(|(_, r)| r);
+                    build_job(spec, &boards[idx], &bases[idx], month, prior)
+                })
+                .collect();
+            let outcomes = run_round(&jobs, &spec.campaign, config.workers);
+            jobs_total += outcomes.len() as u64;
+            rounds += 1;
+            recharacterizations += outcomes.len() as u64;
+            warm_walked_steps += outcomes.iter().map(|o| o.walked_steps).sum::<u64>();
+            counter!("lifetime_recharacterizations_total", outcomes.len() as u64);
+            absorb(&mut epochs, month, &outcomes, &mut job_counters);
+        }
+
+        months_log.push(MonthRecord {
+            month,
+            deferred: plan.deferred.len() as u64,
+            scheduled: plan.scheduled,
+            sdc_boards,
+            min_margin_mv: min_margin,
+            total_savings_watts: epochs.latest().stats().total_savings_watts,
+        });
+    }
+
+    drop(guard);
+    // Merge the coordinator's own counters (maintenance triggers, SDC
+    // tallies) with the per-job sums; both are pure, so the merged map
+    // is too. Wall-clock histograms measure the host and are dropped.
+    for (name, value) in &registry.snapshot().counters {
+        *job_counters.entry(name.clone()).or_insert(0) += value;
+    }
+
+    let chronicle = LifetimeChronicle {
+        boards: spec.fleet.boards,
+        seed: spec.fleet.seed,
+        months: spec.months,
+        maintenance_enabled: spec.recharacterize,
+        epochs,
+        months_log,
+        recharacterizations,
+        warm_walked_steps,
+        cold_equivalent_steps: recharacterizations * cold_steps_per_walk,
+        production_sdc_board_months: sdc_board_months,
+        campaign_counters: job_counters.into_iter().collect(),
+    };
+    let execution = LifetimeExecution {
+        workers: config.workers,
+        jobs: jobs_total,
+        rounds,
+    };
+    LifetimeReport {
+        chronicle,
+        execution,
+    }
+}
+
+/// Builds one board's characterization job for `month`: aged chip, aged
+/// DRAM, and (for re-characterizations) the previous epoch's Vmins as
+/// warm-start priors. `attempt = month` keeps the flat store's
+/// precedence order aligned with epoch order.
+fn build_job(
+    spec: &DeploymentSpec,
+    board: &BoardSpec,
+    base: &WeakCellPopulation,
+    month: u32,
+    prior: Option<&BoardSafePoint>,
+) -> (FleetJob, JobEnvironment) {
+    let aging = DriftModel::aging_of(board);
+    let shifts = aging.shifts_mv(&spec.drift.stress, month);
+    let warm_start = prior.map(|record| {
+        // `core_vmin_mv` is indexed by campaign position; priors are
+        // indexed by core — remap through the campaign's core list.
+        let mut core_vmin_mv = vec![None; CORE_COUNT];
+        for (core, vmin) in spec.campaign.cores.iter().zip(&record.core_vmin_mv) {
+            core_vmin_mv[core.index()] = *vmin;
+        }
+        WarmStartPriors {
+            core_vmin_mv,
+            config: spec.warm_start,
+        }
+    });
+    (
+        FleetJob {
+            board: board.clone(),
+            attempt: month,
+            floor_override_mv: None,
+        },
+        JobEnvironment {
+            chip: board.chip.with_aging(&shifts),
+            population: spec.drift.dram.aged(base, month, board.boot_seed),
+            max_trefp_ms: spec.fleet.population.max_trefp.as_f64(),
+            warm_start,
+        },
+    )
+}
+
+/// Executes one round of jobs on a pool and returns the outcomes in
+/// `(board, attempt)` order — arrival order never escapes this function.
+fn run_round(
+    jobs: &[(FleetJob, JobEnvironment)],
+    campaign: &FleetCampaign,
+    workers: usize,
+) -> Vec<BoardOutcome> {
+    let next = AtomicUsize::new(0);
+    let mut outcomes: Vec<BoardOutcome> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(jobs.len()).max(1))
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((job, env)) = jobs.get(i) else {
+                            break;
+                        };
+                        done.push(execute_in_env(job, campaign, env));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("lifetime worker panicked"))
+            .collect()
+    });
+    outcomes.sort_by_key(|o| (o.board, o.attempt));
+    outcomes
+}
+
+/// Commits one round's records as epoch `month` and folds each job's
+/// telemetry counters into the (sorted, deterministic) fleet sum.
+fn absorb(
+    epochs: &mut VersionedSafePointStore,
+    month: u32,
+    outcomes: &[BoardOutcome],
+    counters: &mut BTreeMap<String, u64>,
+) {
+    for outcome in outcomes {
+        epochs.insert(month, outcome.record.clone());
+        for (name, value) in &outcome.metrics.counters {
+            *counters.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_short_life_is_deterministic_and_deploys_everyone() {
+        let spec = DeploymentSpec::quick(3, 2018, 6);
+        let a = run_deployment(&spec, &LifetimeConfig::with_workers(1));
+        let b = run_deployment(&spec, &LifetimeConfig::with_workers(1));
+        assert_eq!(a.chronicle_json(), b.chronicle_json());
+        let c = &a.chronicle;
+        assert_eq!(c.epochs.epoch(0).unwrap().len(), 3);
+        assert_eq!(c.months_log.len(), 6);
+        assert!(c.initial_savings_watts() > 0.0);
+    }
+
+    #[test]
+    fn the_ablation_never_recharacterizes() {
+        let spec = DeploymentSpec::quick(3, 2018, 6).without_maintenance();
+        let report = run_deployment(&spec, &LifetimeConfig::with_workers(2));
+        assert_eq!(report.chronicle.recharacterizations, 0);
+        assert_eq!(report.chronicle.epochs.epoch_count(), 1);
+        assert!(!report.chronicle.maintenance_enabled);
+    }
+}

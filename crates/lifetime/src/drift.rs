@@ -1,0 +1,235 @@
+//! Modeled drift signals: what monitoring would see on a deployed board.
+//!
+//! A safe point is measured once; the silicon under it keeps moving. The
+//! [`DriftModel`] projects both movements forward from a board's last
+//! characterization — NBTI/HCI Vmin drift through
+//! [`xgene_sim::aging::AgingModel`] and DRAM weak-tail growth through
+//! [`dram_sim::aging::DramAging`] — and condenses them into the
+//! [`BoardHealth`] triple the maintenance scheduler plans from:
+//! remaining voltage margin, failing-cell (CE) pressure at the deployed
+//! refresh period, and safe-point age. On real hardware these signals
+//! come from the DMR sentinels and the patrol scrubber's per-bank CE
+//! rates ([`dram_sim::scrubber::PatrolScrubber::ce_rate_per_bank`]); in
+//! the simulation the same aging models that *drive* degradation also
+//! *report* it, which keeps the whole lifetime loop a pure function of
+//! the fleet seed.
+
+use dram_sim::aging::DramAging;
+use dram_sim::retention::{CouplingContext, WeakCellPopulation};
+use fleet::maintenance::BoardHealth;
+use fleet::population::BoardSpec;
+use guardband_core::safepoint::BoardSafePoint;
+use power_model::units::Celsius;
+use xgene_sim::aging::{AgingModel, StressProfile};
+use xgene_sim::topology::CoreId;
+
+/// The degradation physics of a deployment: one stress profile and one
+/// DRAM aging law shared by the whole fleet. (Per-board *susceptibility*
+/// still differs: each board's [`AgingModel`] is sampled from its own
+/// boot seed.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Operating conditions every deployed board ages under.
+    pub stress: StressProfile,
+    /// DRAM weak-cell growth, VRT and retention-decay law.
+    pub dram: DramAging,
+    /// Temperature the failing-cell (CE pressure) signal is evaluated
+    /// at — the worst case the retention floor was characterized for.
+    pub retention_temperature: Celsius,
+}
+
+impl DriftModel {
+    /// The lifetime study's physics: datacenter stress (930 mV, 55 °C,
+    /// 0.6 activity) and the DSN'18-calibrated DRAM aging law, with CE
+    /// pressure judged at the 60 °C characterization corner.
+    pub fn dsn18() -> Self {
+        DriftModel {
+            stress: StressProfile::datacenter(),
+            dram: DramAging::dsn18(),
+            retention_temperature: Celsius::new(60.0),
+        }
+    }
+
+    /// The aging personality of one board — a pure function of its boot
+    /// seed, like everything else about the board.
+    pub fn aging_of(board: &BoardSpec) -> AgingModel {
+        AgingModel::sampled(board.boot_seed)
+    }
+
+    /// How far the rail Vmin of `board` moved between two months, mV:
+    /// the worst per-core shift delta over the characterized core set.
+    /// (The multicore penalty is voltage-independent, so the rail
+    /// inherits the worst single-core shift unchanged.)
+    pub fn rail_shift_mv(
+        &self,
+        board: &BoardSpec,
+        cores: &[CoreId],
+        from_month: u32,
+        to_month: u32,
+    ) -> f64 {
+        let aging = DriftModel::aging_of(board);
+        cores
+            .iter()
+            .map(|core| {
+                aging.vmin_shift_mv(*core, &self.stress, to_month)
+                    - aging.vmin_shift_mv(*core, &self.stress, from_month)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The modeled margin of a deployed safe point in `month`: deployed
+    /// PMD voltage minus the aged rail Vmin (the epoch's measured rail
+    /// plus the drift since). Negative means the board is operating
+    /// below its real limit — silent corruption territory. `None` when
+    /// the record never derived a deployable point.
+    pub fn margin_mv(
+        &self,
+        board: &BoardSpec,
+        cores: &[CoreId],
+        record: &BoardSafePoint,
+        epoch_month: u32,
+        month: u32,
+    ) -> Option<i64> {
+        let deployed = record.operating_point.as_ref()?.pmd_voltage;
+        let rail = record.rail_vmin_mv?;
+        let shift = self.rail_shift_mv(board, cores, epoch_month, month);
+        Some((f64::from(deployed.as_u32()) - f64::from(rail) - shift).floor() as i64)
+    }
+
+    /// Weak cells that *started* failing at the deployed refresh period
+    /// since the board's last characterization — the analytic form of
+    /// the scrubber's rising CE count. The baseline is subtracted
+    /// because re-characterization re-baselines the scrubber's
+    /// expectations: cells already failing when the refresh period was
+    /// validated are known CEs, not drift. Every such cell is still
+    /// SECDED-correctable (aging never pairs weak cells in a word), so
+    /// this is pressure, not data loss; the scheduler's job is to
+    /// re-validate the refresh *before* the scrub overhead matters.
+    pub fn failing_cells(
+        &self,
+        board: &BoardSpec,
+        base: &WeakCellPopulation,
+        record: &BoardSafePoint,
+        epoch_month: u32,
+        month: u32,
+    ) -> u64 {
+        let Some(point) = &record.operating_point else {
+            return 0;
+        };
+        let at = |m: u32| {
+            self.dram.failing_at(
+                base,
+                m,
+                board.boot_seed,
+                self.retention_temperature,
+                point.trefp,
+                CouplingContext::WorstCase,
+            )
+        };
+        at(month).saturating_sub(at(epoch_month))
+    }
+
+    /// The full health triple for one board in `month`, given its
+    /// latest record from `epoch_month`.
+    pub fn health(
+        &self,
+        board: &BoardSpec,
+        cores: &[CoreId],
+        base: &WeakCellPopulation,
+        record: &BoardSafePoint,
+        epoch_month: u32,
+        month: u32,
+    ) -> BoardHealth {
+        BoardHealth {
+            board: board.id,
+            months_since_characterization: month - epoch_month,
+            margin_mv: self.margin_mv(board, cores, record, epoch_month, month),
+            failing_cells: self.failing_cells(board, base, record, epoch_month, month),
+        }
+    }
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        DriftModel::dsn18()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet::population::FleetSpec;
+    use guardband_core::safepoint::SafePointPolicy;
+    use power_model::units::{Milliseconds, Millivolts};
+    use xgene_sim::sigma::SigmaBin;
+
+    fn record(rail: u32) -> BoardSafePoint {
+        let policy = SafePointPolicy::dsn18();
+        BoardSafePoint {
+            board: 0,
+            attempt: 0,
+            bin: SigmaBin::Ttt,
+            core_vmin_mv: vec![Some(rail - 10); 4],
+            rail_vmin_mv: Some(rail),
+            operating_point: Some(
+                policy.derive_from_measured(Millivolts::new(rail), Milliseconds::new(200.0)),
+            ),
+            bank_safe_trefp_ms: vec![200.0; 8],
+            savings_fraction: 0.1,
+            savings_watts: 4.0,
+        }
+    }
+
+    #[test]
+    fn margin_starts_at_the_policy_margin_and_only_erodes() {
+        let drift = DriftModel::dsn18();
+        let spec = FleetSpec::new(4, 2018);
+        let board = spec.board(2);
+        let cores: Vec<CoreId> = CoreId::all().collect();
+        let record = record(900);
+        let fresh = drift.margin_mv(&board, &cores, &record, 0, 0).unwrap();
+        // derive_from_measured snaps up to the 5 mV grid: 25..=29 mV.
+        assert!((25..=29).contains(&fresh), "fresh margin {fresh}");
+        let mut last = fresh;
+        for month in 1..=48 {
+            let aged = drift.margin_mv(&board, &cores, &record, 0, month).unwrap();
+            assert!(aged <= last, "margin must not recover (month {month})");
+            last = aged;
+        }
+        assert!(last < fresh, "four years must consume visible margin");
+    }
+
+    #[test]
+    fn drift_resets_at_a_new_epoch() {
+        let drift = DriftModel::dsn18();
+        let spec = FleetSpec::new(4, 2018);
+        let board = spec.board(1);
+        let cores: Vec<CoreId> = CoreId::all().collect();
+        // Same calendar month, fresher epoch → strictly less drift.
+        let stale = drift.rail_shift_mv(&board, &cores, 0, 30);
+        let fresh = drift.rail_shift_mv(&board, &cores, 24, 30);
+        assert!(fresh < stale);
+        assert!(fresh > 0.0);
+        assert_eq!(drift.rail_shift_mv(&board, &cores, 30, 30), 0.0);
+    }
+
+    #[test]
+    fn an_underivable_record_has_no_margin_and_no_ce_pressure() {
+        let drift = DriftModel::dsn18();
+        let spec = FleetSpec::new(4, 2018);
+        let board = spec.board(0);
+        let base = WeakCellPopulation::generate(
+            &dram_sim::retention::RetentionModel::xgene2_micron(),
+            spec.population,
+            board.boot_seed,
+        );
+        let mut rec = record(900);
+        rec.operating_point = None;
+        rec.rail_vmin_mv = None;
+        let cores: Vec<CoreId> = CoreId::all().collect();
+        let health = drift.health(&board, &cores, &base, &rec, 0, 12);
+        assert_eq!(health.margin_mv, None);
+        assert_eq!(health.failing_cells, 0);
+        assert_eq!(health.months_since_characterization, 12);
+    }
+}

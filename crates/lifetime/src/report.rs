@@ -1,0 +1,195 @@
+//! The lifetime chronicle: what a multi-year deployment did, and proof
+//! it did it deterministically.
+//!
+//! Mirroring the fleet report's split, a [`LifetimeReport`] keeps two
+//! parts: the [`LifetimeChronicle`] is a pure function of the
+//! deployment spec — byte-identical across runs and worker counts, the
+//! thing CI pins — while [`LifetimeExecution`] records how this
+//! particular run was driven (worker count, job tally) and is excluded
+//! from the comparison.
+
+use fleet::maintenance::MaintenanceDecision;
+use guardband_core::epoch::VersionedSafePointStore;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One simulated month's ledger entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthRecord {
+    /// Simulated month (1-based; month 0 is the initial deployment).
+    pub month: u32,
+    /// Re-characterizations executed this month, most urgent first.
+    pub scheduled: Vec<MaintenanceDecision>,
+    /// Triggered boards the budget pushed to a later month.
+    pub deferred: u64,
+    /// Boards whose modeled margin went negative while deployed — each
+    /// one is a production SDC exposure the scheduler failed to prevent
+    /// (the ablation's failure mode).
+    pub sdc_boards: Vec<u32>,
+    /// Worst modeled margin across the deployed fleet this month, mV.
+    pub min_margin_mv: Option<i64>,
+    /// Fleet-wide projected savings of the current deployment view, W.
+    pub total_savings_watts: f64,
+}
+
+/// The deterministic heart of a lifetime run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeChronicle {
+    /// Fleet size.
+    pub boards: u32,
+    /// Fleet seed everything derives from.
+    pub seed: u64,
+    /// Simulated horizon, months.
+    pub months: u32,
+    /// Whether the maintenance scheduler ran (false = ablation).
+    pub maintenance_enabled: bool,
+    /// Every epoch's safe-point store, keyed by the month it ran.
+    pub epochs: VersionedSafePointStore,
+    /// Month-by-month ledger (months 1..=horizon).
+    pub months_log: Vec<MonthRecord>,
+    /// Re-characterization campaigns executed after month 0.
+    pub recharacterizations: u64,
+    /// Distinct setups those warm-started campaigns actually walked.
+    pub warm_walked_steps: u64,
+    /// Setups the same campaigns would have walked cold.
+    pub cold_equivalent_steps: u64,
+    /// Board-months spent operating below the modeled aged Vmin.
+    pub production_sdc_board_months: u64,
+    /// Campaign telemetry counters, summed over every job's registry
+    /// and the coordinator's own (sorted by name).
+    pub campaign_counters: Vec<(String, u64)>,
+}
+
+impl LifetimeChronicle {
+    /// Worst modeled margin over the whole horizon, with its month.
+    pub fn min_margin_mv(&self) -> Option<(u32, i64)> {
+        self.months_log
+            .iter()
+            .filter_map(|m| m.min_margin_mv.map(|mv| (m.month, mv)))
+            .min_by_key(|(month, mv)| (*mv, *month))
+    }
+
+    /// Fleet savings of the initial deployment (epoch 0), W.
+    pub fn initial_savings_watts(&self) -> f64 {
+        self.epochs
+            .epoch(0)
+            .map(|store| store.stats().total_savings_watts)
+            .unwrap_or(0.0)
+    }
+
+    /// Fleet savings at the end of the horizon, W.
+    pub fn final_savings_watts(&self) -> f64 {
+        self.months_log
+            .last()
+            .map(|m| m.total_savings_watts)
+            .unwrap_or_else(|| self.initial_savings_watts())
+    }
+
+    /// Fraction of cold re-characterization cost the warm starts
+    /// avoided (0 when nothing was re-characterized).
+    pub fn walk_savings_fraction(&self) -> f64 {
+        if self.cold_equivalent_steps == 0 {
+            return 0.0;
+        }
+        1.0 - self.warm_walked_steps as f64 / self.cold_equivalent_steps as f64
+    }
+}
+
+/// How the run was executed — everything the determinism comparison
+/// must ignore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifetimeExecution {
+    /// Worker threads characterization rounds ran on.
+    pub workers: usize,
+    /// Characterization jobs executed (initial fleet + all epochs).
+    pub jobs: u64,
+    /// Rounds that dispatched at least one job.
+    pub rounds: u64,
+}
+
+/// A complete lifetime run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeReport {
+    /// The deterministic chronicle (compare this).
+    pub chronicle: LifetimeChronicle,
+    /// The execution trace (never compare this).
+    pub execution: LifetimeExecution,
+}
+
+impl LifetimeReport {
+    /// The canonical determinism artifact: the chronicle alone, as
+    /// JSON. Two runs of the same spec must produce identical strings
+    /// regardless of worker count.
+    pub fn chronicle_json(&self) -> String {
+        serde::json::to_string(&self.chronicle)
+    }
+
+    /// Human-readable summary of the deployment's life.
+    pub fn render(&self) -> String {
+        let c = &self.chronicle;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Lifetime deployment: {} boards, {} months, maintenance {} ({} workers)",
+            c.boards,
+            c.months,
+            if c.maintenance_enabled { "on" } else { "off" },
+            self.execution.workers,
+        );
+        let _ = writeln!(
+            out,
+            "  epochs: {}  re-characterizations: {}  warm walk: {} steps vs {} cold ({:.0}% saved)",
+            c.epochs.epoch_count(),
+            c.recharacterizations,
+            c.warm_walked_steps,
+            c.cold_equivalent_steps,
+            100.0 * c.walk_savings_fraction(),
+        );
+        let _ = writeln!(
+            out,
+            "  production SDC board-months: {}",
+            c.production_sdc_board_months
+        );
+        if let Some((month, margin)) = c.min_margin_mv() {
+            let _ = writeln!(out, "  worst modeled margin: {margin} mV (month {month})");
+        }
+        let _ = writeln!(
+            out,
+            "  fleet savings: {:.1} W at deployment -> {:.1} W at month {}",
+            c.initial_savings_watts(),
+            c.final_savings_watts(),
+            c.months,
+        );
+        for month in &c.months_log {
+            if month.scheduled.is_empty() && month.sdc_boards.is_empty() {
+                continue;
+            }
+            for d in &month.scheduled {
+                let _ = writeln!(
+                    out,
+                    "  month {:>3}: board {} re-characterized ({})",
+                    month.month,
+                    d.board,
+                    describe(&d.trigger),
+                );
+            }
+            if !month.sdc_boards.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  month {:>3}: SDC exposure on boards {:?}",
+                    month.month, month.sdc_boards,
+                );
+            }
+        }
+        out
+    }
+}
+
+fn describe(trigger: &fleet::maintenance::MaintenanceTrigger) -> String {
+    use fleet::maintenance::MaintenanceTrigger::*;
+    match trigger {
+        SentinelMarginal { margin_mv } => format!("margin down to {margin_mv} mV"),
+        CeRate { failing_cells } => format!("{failing_cells} cells failing refresh"),
+        CalendarAge { months } => format!("safe point {months} months old"),
+    }
+}

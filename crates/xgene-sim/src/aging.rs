@@ -1,0 +1,277 @@
+//! Silicon aging: NBTI/HCI-style Vmin drift over deployment time.
+//!
+//! The guardbands the paper measures exist to cover process, voltage,
+//! temperature **and aging**; exploiting them (running at the measured
+//! safe point) removes the slack that would otherwise absorb wear-out.
+//! This module supplies the time axis: a per-chip [`AgingModel`] that
+//! turns a deployment [`StressProfile`] and an age in simulated months
+//! into a per-core upward Vmin shift.
+//!
+//! The shift follows the standard reaction–diffusion shape of BTI
+//! degradation, `ΔVmin ∝ t^n` with `n ≈ 0.3` (power-law saturation:
+//! most of the lifetime shift lands in the first year), accelerated by
+//! voltage overdrive (NBTI is field-driven) and temperature
+//! (Arrhenius-like, linearized over the server's 40–70 °C window), plus
+//! an activity-proportional HCI term for cores that switch hard. Each
+//! core carries its own sampled susceptibility — two cores of one chip
+//! do not age identically, just as they do not start identical.
+//!
+//! Everything is a pure function of `(model, stress, months)`; the
+//! model itself is a pure function of its seed. No wall clock anywhere,
+//! so fleet-lifetime simulations stay byte-reproducible.
+
+use crate::topology::{CoreId, CORE_COUNT};
+use power_model::units::{Celsius, Millivolts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The operating conditions a deployed board ages under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressProfile {
+    /// Deployed PMD-rail voltage (higher overdrive ⇒ faster BTI aging).
+    pub voltage: Millivolts,
+    /// Average silicon temperature during operation.
+    pub temperature: Celsius,
+    /// Average utilization in `[0, 1]` (drives the HCI term).
+    pub activity: f64,
+}
+
+impl StressProfile {
+    /// A typical datacenter duty cycle: the paper's exploited 930 mV
+    /// point, 55 °C silicon, ~60 % utilization.
+    pub fn datacenter() -> Self {
+        StressProfile {
+            voltage: Millivolts::new(930),
+            temperature: Celsius::new(55.0),
+            activity: 0.6,
+        }
+    }
+}
+
+/// Per-chip aging personality: the calibrated drift law plus one
+/// susceptibility factor per core.
+///
+/// # Examples
+///
+/// ```
+/// use xgene_sim::aging::{AgingModel, StressProfile};
+/// use xgene_sim::topology::CoreId;
+///
+/// let model = AgingModel::sampled(42);
+/// let stress = StressProfile::datacenter();
+/// let year1 = model.vmin_shift_mv(CoreId::new(0), &stress, 12);
+/// let year3 = model.vmin_shift_mv(CoreId::new(0), &stress, 36);
+/// assert!(year1 > 0.0 && year3 > year1); // drift only ever grows
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingModel {
+    /// Per-core susceptibility multipliers (sampled around 1).
+    susceptibility: [f64; CORE_COUNT],
+    /// BTI prefactor: mV of shift at one month under reference stress.
+    nbti_mv_per_month_pow: f64,
+    /// HCI prefactor: mV/month^n of shift at activity 1.
+    hci_mv_per_month_pow: f64,
+    /// Power-law time exponent (`t^n`).
+    time_exponent: f64,
+}
+
+/// Reference voltage of the BTI acceleration term: overdrive is measured
+/// from here, so a board parked at a deep undervolt ages slower than one
+/// at nominal — the guardband-exploitation silver lining.
+const REFERENCE_MV: f64 = 900.0;
+/// Reference temperature of the thermal acceleration term.
+const REFERENCE_CELSIUS: f64 = 45.0;
+
+impl AgingModel {
+    /// Samples one chip's aging personality, deterministic in `seed`.
+    ///
+    /// Calibration (see DESIGN.md §13): under the datacenter stress
+    /// profile a median chip's worst core drifts ≈ 10 mV in the first
+    /// year and ≈ 15–20 mV by year three — inside the 25 mV deployment
+    /// margin of [`SafePointPolicy::dsn18`], but close enough that the
+    /// most susceptible chips cross it within the simulated horizon,
+    /// which is exactly the hazard the lifetime subsystem exists to
+    /// manage.
+    ///
+    /// [`SafePointPolicy::dsn18`]: ../../guardband_core/safepoint/struct.SafePointPolicy.html
+    pub fn sampled(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00A6_1ED5_1C0F_F5E7_u64);
+        let mut susceptibility = [1.0; CORE_COUNT];
+        for s in &mut susceptibility {
+            // Bounded bell-shaped draw in [0.7, 1.6]: mean of four
+            // uniforms, the same shape `ChipProfile::sampled` uses.
+            let unit: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0;
+            *s = 1.15 + 0.45 * unit;
+        }
+        AgingModel {
+            susceptibility,
+            nbti_mv_per_month_pow: 3.2 * (1.0 + 0.15 * (rng.gen::<f64>() - 0.5)),
+            hci_mv_per_month_pow: 1.1 * (1.0 + 0.15 * (rng.gen::<f64>() - 0.5)),
+            time_exponent: 0.30,
+        }
+    }
+
+    /// A core's susceptibility multiplier.
+    pub fn susceptibility(&self, core: CoreId) -> f64 {
+        self.susceptibility[core.index()]
+    }
+
+    /// The core that will drift fastest.
+    pub fn most_susceptible_core(&self) -> CoreId {
+        let (idx, _) = self
+            .susceptibility
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("susceptibilities are non-empty");
+        CoreId::new(idx as u8)
+    }
+
+    /// Voltage-overdrive acceleration: `exp(k · (V − V_ref))`, clamped
+    /// below so a deep undervolt can slow but never reverse aging.
+    fn voltage_acceleration(&self, voltage: Millivolts) -> f64 {
+        let overdrive_mv = f64::from(voltage.as_u32()) - REFERENCE_MV;
+        (0.008 * overdrive_mv).exp().max(0.25)
+    }
+
+    /// Arrhenius-like thermal acceleration, linearized as one doubling
+    /// per 25 K over the server window.
+    fn thermal_acceleration(&self, temperature: Celsius) -> f64 {
+        let dt = temperature.as_f64() - REFERENCE_CELSIUS;
+        (dt / 25.0).exp2().max(0.25)
+    }
+
+    /// Upward Vmin shift of `core` after `months` under `stress`, in mV.
+    ///
+    /// Monotone (non-strictly) in months, voltage, temperature and
+    /// activity — property-tested in `tests/lifetime.rs`.
+    pub fn vmin_shift_mv(&self, core: CoreId, stress: &StressProfile, months: u32) -> f64 {
+        if months == 0 {
+            return 0.0;
+        }
+        let v_acc = self.voltage_acceleration(stress.voltage);
+        let t_acc = self.thermal_acceleration(stress.temperature);
+        let bti = self.nbti_mv_per_month_pow * v_acc * t_acc;
+        let hci = self.hci_mv_per_month_pow * stress.activity.clamp(0.0, 1.0) * t_acc;
+        self.susceptibility[core.index()] * (bti + hci) * f64::from(months).powf(self.time_exponent)
+    }
+
+    /// The full per-core shift vector at `months` — the argument
+    /// [`ChipProfile::with_aging`](crate::sigma::ChipProfile::with_aging)
+    /// takes.
+    pub fn shifts_mv(&self, stress: &StressProfile, months: u32) -> [f64; CORE_COUNT] {
+        let mut shifts = [0.0; CORE_COUNT];
+        for (i, shift) in shifts.iter_mut().enumerate() {
+            *shift = self.vmin_shift_mv(CoreId::new(i as u8), stress, months);
+        }
+        shifts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigma::{ChipProfile, SigmaBin};
+    use crate::workload::WorkloadProfile;
+    use power_model::units::Megahertz;
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        assert_eq!(AgingModel::sampled(7), AgingModel::sampled(7));
+        assert_ne!(AgingModel::sampled(7), AgingModel::sampled(8));
+    }
+
+    #[test]
+    fn drift_is_monotone_in_time_and_saturating() {
+        let model = AgingModel::sampled(1);
+        let stress = StressProfile::datacenter();
+        let core = CoreId::new(3);
+        let mut prev = 0.0;
+        let mut prev_delta = f64::INFINITY;
+        for months in 1..=48 {
+            let shift = model.vmin_shift_mv(core, &stress, months);
+            assert!(shift > prev, "month {months}: {shift} vs {prev}");
+            let delta = shift - prev;
+            assert!(
+                delta <= prev_delta + 1e-9,
+                "power-law drift must decelerate (month {months})"
+            );
+            prev = shift;
+            prev_delta = delta;
+        }
+    }
+
+    #[test]
+    fn hotter_higher_and_busier_age_faster() {
+        let model = AgingModel::sampled(2);
+        let base = StressProfile::datacenter();
+        let shift = |s: &StressProfile| model.vmin_shift_mv(CoreId::new(0), s, 24);
+        let hot = StressProfile {
+            temperature: Celsius::new(70.0),
+            ..base
+        };
+        let high_v = StressProfile {
+            voltage: Millivolts::new(980),
+            ..base
+        };
+        let busy = StressProfile {
+            activity: 1.0,
+            ..base
+        };
+        assert!(shift(&hot) > shift(&base));
+        assert!(shift(&high_v) > shift(&base));
+        assert!(shift(&busy) > shift(&base));
+    }
+
+    #[test]
+    fn first_year_drift_is_plausibly_sized() {
+        // Median chips should drift single-digit-to-low-double-digit mV
+        // in year one under datacenter stress — big enough to matter
+        // against a 25 mV margin over a multi-year horizon, small enough
+        // that month one never eats the whole margin.
+        let stress = StressProfile::datacenter();
+        for seed in 0..16 {
+            let model = AgingModel::sampled(seed);
+            let worst = model.vmin_shift_mv(model.most_susceptible_core(), &stress, 12);
+            assert!((5.0..25.0).contains(&worst), "seed {seed}: {worst} mV");
+        }
+    }
+
+    #[test]
+    fn aged_chip_raises_vmin_by_the_shift() {
+        let chip = ChipProfile::corner(SigmaBin::Ttt);
+        let model = AgingModel::sampled(5);
+        let shifts = model.shifts_mv(&StressProfile::datacenter(), 36);
+        let aged = chip.with_aging(&shifts);
+        let w = WorkloadProfile::builder("w").activity(0.6).build();
+        for core in CoreId::all() {
+            let fresh = chip.vmin(core, &w, Megahertz::XGENE2_NOMINAL);
+            let old = aged.vmin(core, &w, Megahertz::XGENE2_NOMINAL);
+            let delta = i64::from(old.as_u32()) - i64::from(fresh.as_u32());
+            let expected = shifts[core.index()];
+            assert!(
+                (delta as f64 - expected).abs() <= 1.0,
+                "core {core:?}: moved {delta} mV, shift {expected:.1} mV"
+            );
+        }
+    }
+
+    #[test]
+    fn undervolted_boards_age_slower_than_nominal_ones() {
+        // The silver lining quantified: exploiting the guardband reduces
+        // the stress that erodes it.
+        let model = AgingModel::sampled(9);
+        let at = |mv: u32| {
+            model.vmin_shift_mv(
+                CoreId::new(0),
+                &StressProfile {
+                    voltage: Millivolts::new(mv),
+                    ..StressProfile::datacenter()
+                },
+                36,
+            )
+        };
+        assert!(at(930) < at(980));
+    }
+}

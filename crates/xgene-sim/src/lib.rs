@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod aging;
 pub mod cache;
 pub mod em;
 pub mod fault;

@@ -148,6 +148,38 @@ impl XGene2Server {
         server
     }
 
+    /// Boots a server around an explicit chip *and* an explicit DRAM
+    /// weak-cell population — the lifetime subsystem's constructor,
+    /// where a re-characterization boots the board as it exists after
+    /// years of deployment (aged silicon, grown cell population) rather
+    /// than as it left the factory. The fault RNG still derives from
+    /// `seed`.
+    pub fn with_chip_and_population(
+        chip: ChipProfile,
+        seed: u64,
+        population: WeakCellPopulation,
+    ) -> Self {
+        let dram = DramArray::new(
+            population,
+            Milliseconds::DDR3_NOMINAL_TREFP,
+            Celsius::new(45.0),
+        );
+        XGene2Server {
+            chip,
+            fault_model: FaultModel::default(),
+            power_model: ServerPowerModel::xgene2(),
+            dram,
+            pmd_voltage: Millivolts::XGENE2_NOMINAL,
+            soc_voltage: Millivolts::XGENE2_NOMINAL,
+            pmd_frequencies: [Megahertz::XGENE2_NOMINAL; PMD_COUNT],
+            dram_temperature: Celsius::new(45.0),
+            reset_count: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0xD5A5_5A5D),
+            fault_plan: None,
+            hung: false,
+        }
+    }
+
     /// Installs a board-level fault-injection plan. Without one (the
     /// default) every reset succeeds and every setup write lands, which is
     /// the exact legacy behavior: no plan means zero extra RNG draws.

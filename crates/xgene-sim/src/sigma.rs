@@ -181,6 +181,18 @@ impl ChipProfile {
         self.bin
     }
 
+    /// This chip after wear-out: each core's Vmin raised by the given
+    /// shift (mV), everything else untouched. Shifts come from an
+    /// [`AgingModel`](crate::aging::AgingModel); negative entries are
+    /// clamped to zero — silicon does not un-age.
+    pub fn with_aging(&self, shifts_mv: &[f64; CORE_COUNT]) -> ChipProfile {
+        let mut aged = self.clone();
+        for (offset, shift) in aged.core_offsets_mv.iter_mut().zip(shifts_mv) {
+            *offset += shift.max(0.0);
+        }
+        aged
+    }
+
     /// Leakage corner for power modelling.
     pub fn leakage(&self) -> CornerLeakage {
         self.leakage

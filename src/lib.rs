@@ -14,7 +14,8 @@
 //! See [`guardband_core`] for the study's methodology, [`xgene_sim`] and
 //! [`dram_sim`] for the hardware substrates, [`char_fw`] for the automated
 //! characterization framework, [`fleet`] for sharding campaigns across a
-//! simulated datacenter of boards, [`telemetry`] for structured tracing,
+//! simulated datacenter of boards, [`lifetime`] for the multi-year aging
+//! and re-characterization study, [`telemetry`] for structured tracing,
 //! metrics and the flight recorder, and `crates/bench` for the binaries
 //! that regenerate every table and figure of the paper.
 
@@ -24,6 +25,7 @@ pub use char_fw;
 pub use dram_sim;
 pub use fleet;
 pub use guardband_core;
+pub use lifetime;
 pub use power_model;
 pub use stress_gen;
 pub use telemetry;
