@@ -1,10 +1,11 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|all] [seed]`
+//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|redteam|all] [seed]`
 //!
-//! `fleet` additionally writes the speedup record to `BENCH_fleet.json`
-//! and `lifetime` the aging record to `BENCH_lifetime.json`, both in
-//! the current directory.
+//! `fleet` additionally writes the speedup record to `BENCH_fleet.json`,
+//! `lifetime` the aging record to `BENCH_lifetime.json`, and `redteam`
+//! the adversarial record to `BENCH_redteam.json`, all in the current
+//! directory.
 
 use guardband_bench as bench;
 
@@ -53,6 +54,16 @@ fn main() {
         }
     };
 
+    let run_redteam = || {
+        let data = bench::redteam_scale::run(seed);
+        println!("{}", bench::redteam_scale::render(&data));
+        let json = serde::json::to_string(&data);
+        match std::fs::write("BENCH_redteam.json", &json) {
+            Ok(()) => println!("(adversarial record written to BENCH_redteam.json)"),
+            Err(err) => eprintln!("could not write BENCH_redteam.json: {err}"),
+        }
+    };
+
     match which {
         "fig4" => run_fig4(),
         "fig5" => run_fig5(),
@@ -66,6 +77,7 @@ fn main() {
         "sweep" => run_sweep(),
         "fleet" => run_fleet(),
         "lifetime" => run_lifetime(),
+        "redteam" => run_redteam(),
         "all" => {
             run_fig4();
             run_fig5();
@@ -79,11 +91,12 @@ fn main() {
             run_sweep();
             run_fleet();
             run_lifetime();
+            run_redteam();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of \
-                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|all"
+                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|redteam|all"
             );
             std::process::exit(2);
         }

@@ -77,16 +77,18 @@ pub fn records_to_csv(records: &[RunRecord]) -> String {
 /// Renders the quarantined setups of a campaign as CSV (empty list →
 /// header only).
 pub fn quarantine_to_csv(result: &CampaignResult) -> String {
-    let mut csv = String::from("benchmark,core,voltage_mv,frequency_mhz,consecutive_crashes\n");
+    let mut csv =
+        String::from("benchmark,core,voltage_mv,frequency_mhz,consecutive_crashes,attribution\n");
     for q in &result.quarantined {
         let _ = writeln!(
             csv,
-            "{},{},{},{},{}",
+            "{},{},{},{},{},{}",
             q.benchmark,
             q.setup.core.index(),
             q.setup.voltage.as_u32(),
             q.setup.frequency.as_u32(),
-            q.consecutive_crashes
+            q.consecutive_crashes,
+            q.attribution
         );
     }
     csv
@@ -260,13 +262,14 @@ mod tests {
                     core: CoreId::new(5),
                 },
                 consecutive_crashes: 3,
+                attribution: crate::safety::TenantAttribution::default(),
             }],
             ..CampaignResult::default()
         };
         let csv = quarantine_to_csv(&result);
         let mut lines = csv.lines();
         assert!(lines.next().unwrap().starts_with("benchmark,core"));
-        assert_eq!(lines.next().unwrap(), "milc,5,830,2400,3");
+        assert_eq!(lines.next().unwrap(), "milc,5,830,2400,3,board");
         assert!(
             quarantine_to_csv(&CampaignResult::default())
                 .lines()

@@ -23,6 +23,7 @@
 //!   bit-identically.
 
 use crate::runner::CampaignResult;
+use crate::safety::TenantAttribution;
 use crate::setup::{Setup, VminCampaign};
 use power_model::units::Millivolts;
 use serde::{Deserialize, Serialize};
@@ -143,6 +144,11 @@ pub struct QuarantineRecord {
     pub setup: Setup,
     /// Consecutive crashes observed before quarantine.
     pub consecutive_crashes: u32,
+    /// Who the quarantine blames: the board's own silicon (the default,
+    /// and what every legacy record decodes to) or an adversarial
+    /// co-tenant whose droop caused the crashes.
+    #[serde(default)]
+    pub attribution: TenantAttribution,
 }
 
 /// Tracks consecutive crashes per setup and decides quarantine.

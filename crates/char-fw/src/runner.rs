@@ -22,6 +22,7 @@ use crate::resilience::{
 };
 use crate::safety::{
     BreakerState, CampaignSafetyState, HealthSignal, SafetySummary, SentinelVerdict,
+    TenantAttribution,
 };
 use crate::setup::{SafePolicy, Setup, VminCampaign};
 use power_model::units::Millivolts;
@@ -345,6 +346,9 @@ impl<'a> ResilientRunner<'a> {
                     benchmark: benchmark.name().to_owned(),
                     setup,
                     consecutive_crashes: streak,
+                    // Characterization campaigns run single-tenant: the
+                    // crashes can only be the board's own.
+                    attribution: TenantAttribution::Board,
                 });
                 self.result.recovery.quarantined_points += 1;
                 self.finish_point(Some(voltage));
@@ -396,6 +400,7 @@ impl<'a> ResilientRunner<'a> {
             sdc_checksum: report.verdict == SentinelVerdict::ChecksumMismatch,
             sdc_vote: report.verdict == SentinelVerdict::VoteSplit,
             timeout: report.verdict == SentinelVerdict::Timeout,
+            droop_mv: 0.0,
         };
         let before = self.safety.breaker.state();
         let after = self.safety.breaker.record_epoch(&signal);

@@ -76,6 +76,10 @@ pub enum TripReason {
     WatchdogTimeout,
     /// Hardware reported an uncorrectable error.
     UncorrectableError,
+    /// The smoothed cross-tenant droop estimate crossed the trip
+    /// threshold: an adversarial neighbour, not this board, is eroding
+    /// the margin.
+    CrossTenantDroop,
 }
 
 impl std::fmt::Display for TripReason {
@@ -87,8 +91,44 @@ impl std::fmt::Display for TripReason {
             TripReason::SdcVote => "sdc-vote",
             TripReason::WatchdogTimeout => "watchdog-timeout",
             TripReason::UncorrectableError => "ue-report",
+            TripReason::CrossTenantDroop => "cross-tenant-droop",
         };
         f.write_str(s)
+    }
+}
+
+impl TripReason {
+    /// Which tenant a trip with this reason is attributed to: every
+    /// classic reason blames the board's own silicon; a cross-tenant
+    /// droop excursion blames the adversarial neighbour.
+    pub fn attribution(self) -> TenantAttribution {
+        match self {
+            TripReason::CrossTenantDroop => TenantAttribution::Attacker,
+            _ => TenantAttribution::Board,
+        }
+    }
+}
+
+/// Who a protective action (a trip, a quarantine) is attributed to: the
+/// board's own silicon, or an adversarial co-tenant. The distinction
+/// drives very different responses — a faulty board is pulled from
+/// below-guardband duty, while a healthy board under attack keeps its
+/// scaled operating point and sheds the *attacker* instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TenantAttribution {
+    /// The board itself is at fault (the default for all legacy records).
+    #[default]
+    Board,
+    /// An adversarial co-tenant caused the condition; the board is fine.
+    Attacker,
+}
+
+impl std::fmt::Display for TenantAttribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TenantAttribution::Board => "board",
+            TenantAttribution::Attacker => "attacker",
+        })
     }
 }
 
@@ -108,6 +148,15 @@ pub struct BreakerConfig {
     pub trip_hold_epochs: u32,
     /// Clean Cooldown epochs required before returning to Healthy.
     pub cooldown_epochs: u32,
+    /// Smoothed cross-tenant droop estimate (mV) above which Healthy
+    /// escalates to Watch. `0` (the default, and the value every legacy
+    /// checkpoint decodes to) disables droop attribution entirely.
+    #[serde(default)]
+    pub droop_watch_mv: f64,
+    /// Smoothed cross-tenant droop estimate (mV) above which the breaker
+    /// trips with [`TripReason::CrossTenantDroop`]. `0` disables.
+    #[serde(default)]
+    pub droop_trip_mv: f64,
 }
 
 impl BreakerConfig {
@@ -122,7 +171,14 @@ impl BreakerConfig {
             recover_ce_rate: 0.05,
             trip_hold_epochs: 20,
             cooldown_epochs: 10,
+            droop_watch_mv: 0.0,
+            droop_trip_mv: 0.0,
         }
+    }
+
+    /// Whether cross-tenant droop attribution is enabled.
+    pub fn droop_attribution_enabled(&self) -> bool {
+        self.droop_trip_mv > 0.0
     }
 }
 
@@ -147,6 +203,10 @@ pub struct HealthSignal {
     pub sdc_vote: bool,
     /// The deadline watchdog fired.
     pub timeout: bool,
+    /// Estimated cross-tenant droop (mV) co-located tenants coupled onto
+    /// this rail during the epoch, derived from their PMU activity
+    /// telemetry (zero on a dedicated PMD).
+    pub droop_mv: f64,
 }
 
 impl HealthSignal {
@@ -184,6 +244,10 @@ pub struct CircuitBreaker {
     epochs_in_state: u32,
     trips: u64,
     last_trip: Option<TripReason>,
+    /// Smoothed cross-tenant droop estimate (mV). Defaults to 0 when
+    /// decoding checkpoints taken before droop attribution existed.
+    #[serde(default)]
+    droop_ewma: f64,
 }
 
 impl CircuitBreaker {
@@ -203,6 +267,12 @@ impl CircuitBreaker {
                 && config.watch_ce_rate <= config.trip_ce_rate,
             "thresholds must satisfy recover < watch <= trip"
         );
+        if config.droop_attribution_enabled() {
+            assert!(
+                config.droop_watch_mv > 0.0 && config.droop_watch_mv <= config.droop_trip_mv,
+                "droop thresholds must satisfy 0 < watch <= trip"
+            );
+        }
         CircuitBreaker {
             config,
             state: BreakerState::Healthy,
@@ -210,6 +280,7 @@ impl CircuitBreaker {
             epochs_in_state: 0,
             trips: 0,
             last_trip: None,
+            droop_ewma: 0.0,
         }
     }
 
@@ -221,6 +292,33 @@ impl CircuitBreaker {
     /// Smoothed CE rate.
     pub fn ewma_ce_rate(&self) -> f64 {
         self.ewma
+    }
+
+    /// Smoothed cross-tenant droop estimate (mV).
+    pub fn droop_ewma_mv(&self) -> f64 {
+        self.droop_ewma
+    }
+
+    /// The droop EWMA this breaker would hold *after* folding in one more
+    /// epoch with the given estimate — a pure preview, nothing recorded.
+    pub fn droop_ewma_after(&self, droop_mv: f64) -> f64 {
+        self.config.ewma_alpha * droop_mv + (1.0 - self.config.ewma_alpha) * self.droop_ewma
+    }
+
+    /// Whether folding in one more epoch at `droop_mv` would cross the
+    /// droop trip threshold. The safety net consults this *before*
+    /// scheduling an epoch: answering yes is its cue to quarantine the
+    /// attacker (shedding the droop source) rather than let a healthy
+    /// board trip into nominal hold.
+    pub fn would_trip_on_droop(&self, droop_mv: f64) -> bool {
+        self.config.droop_attribution_enabled()
+            && self.droop_ewma_after(droop_mv) >= self.config.droop_trip_mv
+    }
+
+    /// Whether the smoothed droop estimate currently sits in the watch
+    /// band (anomalous, but below the trip threshold).
+    pub fn droop_watch_active(&self) -> bool {
+        self.config.droop_attribution_enabled() && self.droop_ewma >= self.config.droop_watch_mv
     }
 
     /// Total trips so far.
@@ -249,7 +347,9 @@ impl CircuitBreaker {
     pub fn record_epoch(&mut self, signal: &HealthSignal) -> BreakerState {
         let x = f64::from(signal.ce_events) + signal.scrub_ce_rate;
         self.ewma = self.config.ewma_alpha * x + (1.0 - self.config.ewma_alpha) * self.ewma;
+        self.droop_ewma = self.droop_ewma_after(signal.droop_mv);
         telemetry::gauge!("breaker_ewma_ce_rate", self.ewma);
+        telemetry::gauge!("breaker_ewma_droop_mv", self.droop_ewma);
         self.epochs_in_state = self.epochs_in_state.saturating_add(1);
 
         if let Some(reason) = signal.disruption() {
@@ -262,18 +362,25 @@ impl CircuitBreaker {
             return self.state;
         }
 
+        let droop_trip =
+            self.config.droop_attribution_enabled() && self.droop_ewma >= self.config.droop_trip_mv;
+        let droop_watch = self.droop_watch_active();
         match self.state {
             BreakerState::Healthy => {
                 if self.ewma >= self.config.trip_ce_rate {
                     self.trip(self.rate_reason(signal));
-                } else if self.ewma >= self.config.watch_ce_rate {
+                } else if droop_trip {
+                    self.trip(TripReason::CrossTenantDroop);
+                } else if self.ewma >= self.config.watch_ce_rate || droop_watch {
                     self.transition(BreakerState::Watch);
                 }
             }
             BreakerState::Watch => {
                 if self.ewma >= self.config.trip_ce_rate {
                     self.trip(self.rate_reason(signal));
-                } else if self.ewma < self.config.recover_ce_rate {
+                } else if droop_trip {
+                    self.trip(TripReason::CrossTenantDroop);
+                } else if self.ewma < self.config.recover_ce_rate && !droop_watch {
                     self.transition(BreakerState::Healthy);
                 }
             }
@@ -285,8 +392,11 @@ impl CircuitBreaker {
             BreakerState::Cooldown => {
                 if self.ewma >= self.config.trip_ce_rate {
                     self.trip(self.rate_reason(signal));
+                } else if droop_trip {
+                    self.trip(TripReason::CrossTenantDroop);
                 } else if self.epochs_in_state >= self.config.cooldown_epochs
                     && self.ewma < self.config.recover_ce_rate
+                    && !droop_watch
                 {
                     self.transition(BreakerState::Healthy);
                 }
@@ -788,6 +898,108 @@ mod tests {
         // way the SDCs are detected, never missed.
         assert!(report.detected_sdc(), "{report:?}");
         assert_eq!(sentinel.stats().undetected_sdcs, 0);
+    }
+
+    fn droop_config() -> BreakerConfig {
+        BreakerConfig {
+            droop_watch_mv: 12.0,
+            droop_trip_mv: 25.0,
+            ..BreakerConfig::dsn18()
+        }
+    }
+
+    fn droop(mv: f64) -> HealthSignal {
+        HealthSignal {
+            droop_mv: mv,
+            ..HealthSignal::clean()
+        }
+    }
+
+    #[test]
+    fn sustained_cross_tenant_droop_walks_watch_then_trips_attributed() {
+        let mut b = CircuitBreaker::new(droop_config());
+        let mut saw_watch = false;
+        let mut epochs = 0;
+        while b.state() != BreakerState::Tripped {
+            let s = b.record_epoch(&droop(40.0));
+            saw_watch |= s == BreakerState::Watch;
+            epochs += 1;
+            assert!(epochs < 20, "a 40 mV attack must trip the breaker");
+        }
+        assert!(saw_watch);
+        assert_eq!(b.last_trip_reason(), Some(TripReason::CrossTenantDroop));
+        assert_eq!(
+            b.last_trip_reason().unwrap().attribution(),
+            TenantAttribution::Attacker
+        );
+        // Classic reasons stay board-attributed.
+        assert_eq!(TripReason::SdcVote.attribution(), TenantAttribution::Board);
+    }
+
+    #[test]
+    fn droop_preview_matches_the_recorded_fold_without_mutating() {
+        let mut b = CircuitBreaker::new(droop_config());
+        b.record_epoch(&droop(30.0));
+        let preview = b.droop_ewma_after(30.0);
+        let before = b.droop_ewma_mv();
+        assert!(!b.would_trip_on_droop(0.0));
+        assert_eq!(b.droop_ewma_mv(), before, "previews must not record");
+        b.record_epoch(&droop(30.0));
+        assert!((b.droop_ewma_mv() - preview).abs() < 1e-12);
+        // The preview crosses the threshold exactly when recording would.
+        let mut probe = CircuitBreaker::new(droop_config());
+        let mut epochs = 0;
+        while !probe.would_trip_on_droop(40.0) {
+            probe.record_epoch(&droop(40.0));
+            epochs += 1;
+            assert!(epochs < 20);
+        }
+        assert_ne!(probe.state(), BreakerState::Tripped);
+        probe.record_epoch(&droop(40.0));
+        assert_eq!(probe.state(), BreakerState::Tripped);
+    }
+
+    #[test]
+    fn droop_attribution_disabled_by_default_keeps_legacy_behavior() {
+        let mut b = CircuitBreaker::default();
+        for _ in 0..50 {
+            assert_eq!(b.record_epoch(&droop(100.0)), BreakerState::Healthy);
+        }
+        assert!(!b.would_trip_on_droop(1000.0));
+        assert_eq!(b.trips(), 0);
+        // The EWMA still tracks (it is observability, not control).
+        assert!(b.droop_ewma_mv() > 90.0);
+    }
+
+    #[test]
+    fn droop_watch_band_freezes_recovery_until_the_attack_subsides() {
+        let mut b = CircuitBreaker::new(droop_config());
+        // Hold inside the watch band, below trip.
+        for _ in 0..60 {
+            b.record_epoch(&droop(15.0));
+        }
+        assert_eq!(b.state(), BreakerState::Watch);
+        assert!(b.droop_watch_active());
+        // Droop gone: the EWMA decays and the breaker recovers.
+        let mut epochs = 0;
+        while b.state() != BreakerState::Healthy {
+            b.record_epoch(&HealthSignal::clean());
+            epochs += 1;
+            assert!(epochs < 100, "recovery must happen once the droop stops");
+        }
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn legacy_breaker_json_without_droop_fields_decodes() {
+        let modern = serde::json::to_string(&CircuitBreaker::default());
+        let legacy = modern
+            .replace(",\"droop_watch_mv\":0.0", "")
+            .replace(",\"droop_trip_mv\":0.0", "")
+            .replace(",\"droop_ewma\":0.0", "");
+        assert!(!legacy.contains("droop"), "fixture must predate droop");
+        let b: CircuitBreaker = serde::json::from_str(&legacy).unwrap();
+        assert_eq!(b, CircuitBreaker::default());
     }
 
     #[test]

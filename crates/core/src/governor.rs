@@ -15,7 +15,7 @@
 
 use crate::droop_history::FailurePredictor;
 use crate::predictor::VminPredictor;
-use char_fw::safety::TripReason;
+use char_fw::safety::{TenantAttribution, TripReason};
 use power_model::units::Millivolts;
 use serde::{Deserialize, Serialize};
 use telemetry::Level;
@@ -90,6 +90,14 @@ pub struct GovernorStats {
     /// Reason of the most recent recorded breaker trip.
     #[serde(default)]
     pub last_trip_reason: Option<TripReason>,
+    /// Tenant the most recent trip was attributed to (board fault vs
+    /// cross-tenant droop attack).
+    #[serde(default)]
+    pub last_trip_attribution: Option<TenantAttribution>,
+    /// Attacker quarantines the safety net recorded against this
+    /// governor's tenure (evictions that spared the board a trip).
+    #[serde(default)]
+    pub attacker_quarantines: u64,
 }
 
 impl GovernorStats {
@@ -193,6 +201,14 @@ impl OnlineGovernor {
     pub fn record_breaker_trip(&mut self, reason: TripReason) {
         self.stats.breaker_trips += 1;
         self.stats.last_trip_reason = Some(reason);
+        self.stats.last_trip_attribution = Some(reason.attribution());
+    }
+
+    /// Records an attacker quarantine: the safety net evicted a
+    /// co-tenant instead of tripping the breaker, so the board keeps
+    /// scaling uninterrupted.
+    pub fn record_attacker_quarantine(&mut self) {
+        self.stats.attacker_quarantines += 1;
     }
 
     /// Chooses the voltage for the next epoch of `workload`.

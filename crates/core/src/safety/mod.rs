@@ -34,7 +34,7 @@ pub mod observe;
 
 pub use char_fw::safety::{
     BreakerConfig, BreakerState, CircuitBreaker, HealthSignal, SentinelReport, SentinelRunner,
-    SentinelStats, SentinelVerdict, TripReason,
+    SentinelStats, SentinelVerdict, TenantAttribution, TripReason,
 };
 pub use net::{EpochReport, SafetyNet, SafetyNetConfig, SafetyNetStats, SdcAudit};
 pub use observe::{ErrorReport, Observation};

@@ -44,6 +44,25 @@ pub struct SafetyNetConfig {
     /// The relaxed DRAM refresh period used while the breaker is closed;
     /// an open breaker rolls back to the DDR3 nominal 64 ms.
     pub relaxed_trefp: Milliseconds,
+    /// Conservative platform constant (mV per unit of co-runner resonant
+    /// energy) used to *estimate* the cross-tenant droop from co-located
+    /// tenants' PMU telemetry — both to compensate the commanded voltage
+    /// and to feed the breaker's droop EWMA. `0` (the default, and what
+    /// every legacy config decodes to) disables estimation entirely.
+    #[serde(default)]
+    pub cross_droop_mv_per_unit: f64,
+    /// Adaptive sentinel cadence: while the droop estimate or breaker
+    /// state is anomalous, the sentinel period tightens from
+    /// `sentinel_every_epochs` down to this floor. `0` disables.
+    #[serde(default)]
+    pub min_sentinel_every_epochs: u32,
+    /// When the droop EWMA is about to cross the trip threshold,
+    /// quarantine the *attacker* (evict the co-tenant, keep the healthy
+    /// board scaled) instead of tripping the breaker into nominal hold.
+    /// Board-fault trips are untouched — this is what makes attacker
+    /// quarantine distinct from board quarantine.
+    #[serde(default)]
+    pub quarantine_attacker: bool,
 }
 
 impl SafetyNetConfig {
@@ -58,6 +77,36 @@ impl SafetyNetConfig {
             sentinel_every_epochs: 10,
             trip_margin_widen_mv: 30,
             relaxed_trefp: Milliseconds::DSN18_RELAXED_TREFP,
+            cross_droop_mv_per_unit: 0.0,
+            min_sentinel_every_epochs: 0,
+            quarantine_attacker: false,
+        }
+    }
+
+    /// The red-team-motivated hardening on top of [`Self::dsn18`]:
+    ///
+    /// * droop estimation at 48 mV per unit resonant energy — the
+    ///   worst-characterized corner's rail coupling (0.55 × the TFF droop
+    ///   coefficient) plus sampling headroom, so feed-forward
+    ///   compensation covers every board in the fleet without oracle
+    ///   access to the victim chip's true coefficient;
+    /// * droop attribution in the breaker (watch at 12 mV, trip at
+    ///   25 mV smoothed);
+    /// * sentinel cadence tightening to every 2 epochs under anomalous
+    ///   droop or CE bursts;
+    /// * attacker quarantine instead of board trips for droop
+    ///   excursions.
+    pub fn hardened() -> Self {
+        SafetyNetConfig {
+            breaker: BreakerConfig {
+                droop_watch_mv: 12.0,
+                droop_trip_mv: 25.0,
+                ..BreakerConfig::dsn18()
+            },
+            cross_droop_mv_per_unit: 48.0,
+            min_sentinel_every_epochs: 2,
+            quarantine_attacker: true,
+            ..SafetyNetConfig::dsn18()
         }
     }
 }
@@ -77,6 +126,11 @@ pub struct SdcAudit {
     /// invisible by construction — the net's answer to them is the
     /// sentinel cadence, not per-run detection.
     pub workload_true_sdcs: u64,
+    /// True SDCs that occurred *before* the net's first detection event
+    /// (breaker trip or attacker quarantine) — the red-team escape
+    /// count. Equal to `workload_true_sdcs` when nothing ever detects.
+    #[serde(default)]
+    pub escaped_sdcs: u64,
 }
 
 /// Aggregate net bookkeeping.
@@ -90,6 +144,19 @@ pub struct SafetyNetStats {
     pub refresh_rollbacks: u64,
     /// Relaxed-refresh restores after a full recovery.
     pub refresh_restores: u64,
+    /// Transitions of the sentinel cadence from the relaxed period to
+    /// the tightened floor (see
+    /// [`SafetyNetConfig::min_sentinel_every_epochs`]).
+    #[serde(default)]
+    pub cadence_tightenings: u64,
+    /// Co-tenants evicted by the droop-attribution preview instead of
+    /// tripping the breaker.
+    #[serde(default)]
+    pub attacker_quarantines: u64,
+    /// Epoch index (1-based) of the first detection event — a breaker
+    /// trip or an attacker quarantine — if one has happened.
+    #[serde(default)]
+    pub first_detection_epoch: Option<u64>,
 }
 
 /// What one guarded epoch did.
@@ -105,6 +172,11 @@ pub struct EpochReport {
     pub breaker_state: BreakerState,
     /// Refresh period in force after this epoch.
     pub trefp: Milliseconds,
+    /// Estimated cross-tenant droop folded into this epoch's breaker
+    /// signal, in mV (0 on a dedicated PMD or with estimation disabled).
+    pub cross_droop_estimate_mv: f64,
+    /// Whether an attacker quarantine was in force during this epoch.
+    pub attacker_quarantined: bool,
 }
 
 /// The assembled safety net.
@@ -121,6 +193,8 @@ pub struct SafetyNet {
     last_scrub: Option<ScrubberStats>,
     audit: SdcAudit,
     stats: SafetyNetStats,
+    attacker_quarantined: bool,
+    cadence_tightened: bool,
 }
 
 impl SafetyNet {
@@ -136,6 +210,8 @@ impl SafetyNet {
             last_scrub: None,
             audit: SdcAudit::default(),
             stats: SafetyNetStats::default(),
+            attacker_quarantined: false,
+            cadence_tightened: false,
         }
     }
 
@@ -201,6 +277,56 @@ impl SafetyNet {
         telemetry::gauge!("scrub_ce_rate_per_epoch", self.scrub_ce_rate);
     }
 
+    /// Whether the droop-attribution preview has evicted the co-tenant.
+    /// Once set, every later epoch runs the victim solo regardless of the
+    /// schedule passed in.
+    pub fn attacker_quarantined(&self) -> bool {
+        self.attacker_quarantined
+    }
+
+    /// Estimated cross-tenant droop, in mV, from the co-runners' PMU
+    /// telemetry (resonant energy), scaled by the platform constant. This
+    /// is the net's *estimate* — it has no oracle access to the victim
+    /// chip's true coupling coefficient.
+    fn droop_estimate(&self, co_tenants: &[(CoreId, &WorkloadProfile)]) -> f64 {
+        self.config.cross_droop_mv_per_unit
+            * co_tenants
+                .iter()
+                .map(|(_, w)| w.resonant_energy())
+                .sum::<f64>()
+    }
+
+    /// Feed-forward compensation: raise the governor's choice by the
+    /// estimated co-tenant droop (rounded up), never above nominal.
+    fn compensate(chosen: Millivolts, droop_estimate_mv: f64) -> Millivolts {
+        if droop_estimate_mv <= 0.0 {
+            return chosen;
+        }
+        let bumped = chosen.as_u32() + droop_estimate_mv.ceil() as u32;
+        Millivolts::new(bumped.min(Millivolts::XGENE2_NOMINAL.as_u32()))
+    }
+
+    /// Marks the first detection event (trip or quarantine) if none has
+    /// been recorded yet.
+    fn mark_detection(&mut self) {
+        if self.stats.first_detection_epoch.is_none() {
+            self.stats.first_detection_epoch = Some(self.stats.epochs);
+        }
+    }
+
+    fn evict_attacker(&mut self, governor: &mut OnlineGovernor) {
+        self.attacker_quarantined = true;
+        self.stats.attacker_quarantines += 1;
+        self.mark_detection();
+        governor.record_attacker_quarantine();
+        telemetry::event!(
+            Level::Warn,
+            "attacker_quarantined",
+            epoch = self.stats.epochs,
+        );
+        telemetry::counter!("safety_redteam_attacker_quarantines_total");
+    }
+
     /// Runs one guarded epoch of `workload` on `core`: voltage choice
     /// (nominal when the breaker is open), execution, observation through
     /// the watchdog, governor feedback from observables only, scheduled
@@ -213,13 +339,65 @@ impl SafetyNet {
         core: CoreId,
         workload: &WorkloadProfile,
     ) -> EpochReport {
+        self.run_epoch_colocated(server, governor, core, workload, &[])
+    }
+
+    /// Runs one guarded epoch with `co_tenants` sharing the victim's PMD
+    /// rail. With an empty schedule this is exactly [`Self::run_epoch`].
+    ///
+    /// The hardening knobs in [`SafetyNetConfig`] act here:
+    ///
+    /// * the co-tenants' droop is estimated from their observable PMU
+    ///   profile and compensated feed-forward into the commanded voltage;
+    /// * the estimate feeds the breaker's droop EWMA for cross-tenant
+    ///   attribution;
+    /// * when the EWMA would cross the trip threshold, the *attacker* is
+    ///   quarantined (evicted for all later epochs) instead of the board;
+    /// * anomalous droop tightens the sentinel cadence to the configured
+    ///   floor.
+    ///
+    /// With every knob at its zeroed default the schedule still runs, but
+    /// the net is blind to the coupling — the seed-net ablation the
+    /// red-team campaign attacks.
+    pub fn run_epoch_colocated(
+        &mut self,
+        server: &mut XGene2Server,
+        governor: &mut OnlineGovernor,
+        core: CoreId,
+        workload: &WorkloadProfile,
+        co_tenants: &[(CoreId, &WorkloadProfile)],
+    ) -> EpochReport {
         self.stats.epochs += 1;
+
+        // A quarantined attacker stays evicted: later epochs run solo.
+        let co_tenants: &[(CoreId, &WorkloadProfile)] = if self.attacker_quarantined {
+            &[]
+        } else {
+            co_tenants
+        };
+        let mut droop_estimate = self.droop_estimate(co_tenants);
+        // Quarantine preview: if folding this estimate in would trip the
+        // breaker on droop, evict the attacker *before* the epoch and keep
+        // the (healthy) board scaled. Board-fault trips are unaffected.
+        if self.config.quarantine_attacker
+            && !co_tenants.is_empty()
+            && self.breaker.would_trip_on_droop(droop_estimate)
+        {
+            self.evict_attacker(governor);
+        }
+        let co_tenants: &[(CoreId, &WorkloadProfile)] = if self.attacker_quarantined {
+            droop_estimate = 0.0;
+            &[]
+        } else {
+            co_tenants
+        };
+
         let commanded = if self.breaker.allows_scaling() {
             if !self.breaker.allows_relaxation() {
                 // Watch: keep running scaled but freeze margin narrowing.
                 governor.hold_relaxation();
             }
-            governor.choose(workload)
+            Self::compensate(governor.choose(workload), droop_estimate)
         } else {
             self.stats.nominal_epochs += 1;
             Millivolts::XGENE2_NOMINAL
@@ -228,11 +406,24 @@ impl SafetyNet {
             .set_pmd_voltage(commanded)
             .expect("net voltages stay within the regulator range");
 
-        let outcome = server.run_on_core(core, workload).outcome;
-        if outcome == RunOutcome::SilentDataCorruption {
+        let run = server.run_colocated(core, workload, co_tenants);
+        if run.victim.outcome == RunOutcome::SilentDataCorruption {
             // Ground truth only: production cannot see this branch.
             self.audit.workload_true_sdcs += 1;
+            if self.stats.first_detection_epoch.is_none() {
+                self.audit.escaped_sdcs += 1;
+                telemetry::counter!("safety_redteam_escapes_total");
+            }
         }
+        // An aggressor crash resets the shared board, so the epoch is
+        // lost even when the victim's own run would have survived.
+        let outcome = if !run.victim.outcome.needs_reset()
+            && run.aggressors.iter().any(|a| a.outcome.needs_reset())
+        {
+            RunOutcome::Crash
+        } else {
+            run.victim.outcome
+        };
         let observation = Observation::from_outcome(outcome, &mut self.watchdog);
         if observation.timed_out() {
             recover_board(server, &self.config.retry);
@@ -254,12 +445,38 @@ impl SafetyNet {
             sdc_checksum: false,
             sdc_vote: false,
             timeout: observation.timed_out(),
+            droop_mv: droop_estimate,
         };
 
+        // Adaptive cadence: tighten the sentinel period while the droop
+        // picture is anomalous (estimate in the watch band, the breaker's
+        // droop EWMA elevated, or the breaker escalated to Watch by a CE
+        // burst).
+        let mut sentinel_period = self.config.sentinel_every_epochs;
+        let tighten = self.config.min_sentinel_every_epochs > 0
+            && sentinel_period > 0
+            && (self.breaker.droop_watch_active()
+                || self.breaker.state() == BreakerState::Watch
+                || (self.config.breaker.droop_attribution_enabled()
+                    && droop_estimate >= self.config.breaker.droop_watch_mv));
+        if tighten {
+            sentinel_period = self.config.min_sentinel_every_epochs.min(sentinel_period);
+            if !self.cadence_tightened {
+                self.stats.cadence_tightenings += 1;
+                telemetry::event!(
+                    Level::Info,
+                    "sentinel_cadence_tightened",
+                    every_epochs = sentinel_period,
+                );
+                telemetry::counter!("safety_redteam_cadence_tightenings_total");
+            }
+        }
+        self.cadence_tightened = tighten;
+
         let mut sentinel_verdict = None;
-        if self.config.sentinel_every_epochs > 0 {
+        if sentinel_period > 0 {
             self.epochs_since_sentinel += 1;
-            if self.epochs_since_sentinel >= self.config.sentinel_every_epochs {
+            if self.epochs_since_sentinel >= sentinel_period {
                 self.epochs_since_sentinel = 0;
                 let report = self.sentinel.check(server, core.pmd());
                 recover_board(server, &self.config.retry);
@@ -276,6 +493,7 @@ impl SafetyNet {
         let tripped_before = self.breaker.state() == BreakerState::Tripped;
         let state = self.breaker.record_epoch(&signal);
         if state == BreakerState::Tripped && !tripped_before {
+            self.mark_detection();
             let reason = self
                 .breaker
                 .last_trip_reason()
@@ -308,6 +526,8 @@ impl SafetyNet {
             sentinel: sentinel_verdict,
             breaker_state: state,
             trefp: self.current_trefp(),
+            cross_droop_estimate_mv: droop_estimate,
+            attacker_quarantined: self.attacker_quarantined,
         }
     }
 }
@@ -473,5 +693,158 @@ mod tests {
         let net = SafetyNet::new(SafetyNetConfig::dsn18());
         net.apply_refresh(&mut dram);
         assert_eq!(dram.trefp(), Milliseconds::DSN18_RELAXED_TREFP);
+    }
+
+    /// A crafted dI/dt virus neighbor: full activity swing, near-resonant
+    /// alignment (resonant energy 0.9).
+    fn virus_neighbor() -> WorkloadProfile {
+        WorkloadProfile::builder("didt-virus")
+            .activity(1.0)
+            .swing(1.0)
+            .resonance_alignment(0.9)
+            .build()
+    }
+
+    fn victim_and_sibling(server: &XGene2Server) -> (CoreId, CoreId) {
+        let victim = server.chip().most_robust_core();
+        let sibling = victim
+            .pmd()
+            .cores()
+            .into_iter()
+            .find(|c| *c != victim)
+            .expect("a PMD has two cores");
+        (victim, sibling)
+    }
+
+    #[test]
+    fn seed_net_is_blind_to_cross_tenant_droop() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 90);
+        let (victim, sibling) = victim_and_sibling(&server);
+        let mut gov = reactive_governor();
+        let mut net = SafetyNet::new(SafetyNetConfig::dsn18());
+        let w = light_workload();
+        let virus = virus_neighbor();
+        for _ in 0..10 {
+            let r =
+                net.run_epoch_colocated(&mut server, &mut gov, victim, &w, &[(sibling, &virus)]);
+            // Every hardening knob defaults to off: no estimate, no
+            // compensation, no quarantine — the schedule just runs.
+            assert_eq!(r.cross_droop_estimate_mv, 0.0);
+            assert!(!r.attacker_quarantined);
+        }
+        assert_eq!(net.stats().attacker_quarantines, 0);
+        assert_eq!(net.stats().cadence_tightenings, 0);
+    }
+
+    #[test]
+    fn hardened_net_quarantines_the_attacker_not_the_board() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 90);
+        let (victim, sibling) = victim_and_sibling(&server);
+        let mut gov = reactive_governor();
+        let mut net = SafetyNet::new(SafetyNetConfig::hardened());
+        let w = light_workload();
+        let virus = virus_neighbor();
+        let mut quarantine_epoch = None;
+        for e in 1..=20u64 {
+            let r =
+                net.run_epoch_colocated(&mut server, &mut gov, victim, &w, &[(sibling, &virus)]);
+            if r.attacker_quarantined && quarantine_epoch.is_none() {
+                quarantine_epoch = Some(e);
+            }
+            if quarantine_epoch.is_none() {
+                // Feed-forward compensation: the estimate (48 × 0.9 mV,
+                // rounded up) is added to the governor's choice.
+                assert_eq!(r.cross_droop_estimate_mv, 48.0 * 0.9);
+                assert_eq!(
+                    r.commanded.as_u32(),
+                    gov.choose(&w).as_u32() + 44,
+                    "commanded voltage is compensated while the attacker runs"
+                );
+            } else {
+                assert_eq!(
+                    r.cross_droop_estimate_mv, 0.0,
+                    "evicted attacker couples nothing"
+                );
+            }
+        }
+        // The droop EWMA preview evicts the attacker before the trip
+        // threshold is ever folded in: the board never trips.
+        let detected = quarantine_epoch.expect("the droop EWMA must quarantine the attacker");
+        assert!(
+            detected <= 10,
+            "within one relaxed sentinel period, got {detected}"
+        );
+        assert_eq!(
+            net.breaker_trips(),
+            0,
+            "attacker quarantine spares the board"
+        );
+        assert_eq!(net.stats().attacker_quarantines, 1);
+        assert_eq!(net.stats().first_detection_epoch, Some(detected));
+        assert_eq!(gov.stats().attacker_quarantines, 1);
+        assert_eq!(gov.stats().breaker_trips, 0);
+        assert!(net.attacker_quarantined());
+        // The board keeps its scaled voltage and relaxed refresh.
+        assert_eq!(net.current_trefp(), Milliseconds::DSN18_RELAXED_TREFP);
+    }
+
+    #[test]
+    fn droop_trip_without_quarantine_attributes_the_attacker() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 90);
+        let (victim, sibling) = victim_and_sibling(&server);
+        let mut gov = reactive_governor();
+        // Attribution on, eviction off: the breaker itself must trip and
+        // blame the attacker, not the board.
+        let config = SafetyNetConfig {
+            quarantine_attacker: false,
+            ..SafetyNetConfig::hardened()
+        };
+        let mut net = SafetyNet::new(config);
+        let w = light_workload();
+        let virus = virus_neighbor();
+        let mut tripped_at = None;
+        for e in 1..=20u64 {
+            let r =
+                net.run_epoch_colocated(&mut server, &mut gov, victim, &w, &[(sibling, &virus)]);
+            if r.breaker_state == BreakerState::Tripped {
+                tripped_at = Some(e);
+                break;
+            }
+        }
+        assert!(tripped_at.is_some(), "the droop EWMA must trip the breaker");
+        assert_eq!(net.stats().attacker_quarantines, 0);
+        assert_eq!(net.stats().first_detection_epoch, tripped_at);
+        assert_eq!(
+            gov.stats().last_trip_attribution,
+            Some(crate::safety::TenantAttribution::Attacker)
+        );
+    }
+
+    #[test]
+    fn anomalous_droop_tightens_the_sentinel_cadence() {
+        let mut server = XGene2Server::new(SigmaBin::Ttt, 90);
+        let (victim, sibling) = victim_and_sibling(&server);
+        let mut gov = reactive_governor();
+        let mut net = SafetyNet::new(SafetyNetConfig::hardened());
+        let w = light_workload();
+        let virus = virus_neighbor();
+        for _ in 0..8 {
+            net.run_epoch_colocated(&mut server, &mut gov, victim, &w, &[(sibling, &virus)]);
+        }
+        // Under the relaxed every-10 cadence no sentinel would have run
+        // yet; the droop anomaly tightened it to every 2 epochs.
+        assert_eq!(net.stats().cadence_tightenings, 1, "one tighten transition");
+        assert!(
+            net.sentinel_stats().checks >= 2,
+            "tightened cadence ran sentinels early: {:?}",
+            net.sentinel_stats()
+        );
+        // Once the attacker is quarantined and the EWMA decays, the
+        // cadence relaxes again without a second transition being counted
+        // as a new event until the next anomaly.
+        for _ in 0..20 {
+            net.run_epoch(&mut server, &mut gov, victim, &w);
+        }
+        assert_eq!(net.stats().cadence_tightenings, 1);
     }
 }

@@ -1,0 +1,290 @@
+//! Co-evolution campaign: the virus GA versus a fleet of guarded boards.
+//!
+//! Each generation's genomes are scored against every board of a seeded
+//! fleet; the fitness of a genome is the total number of SDCs its virus
+//! slips past the safety net before detection, plus a small
+//! resonant-energy shaping term that keeps selection pressure alive even
+//! while the net holds (and deterministically tie-breaks genomes with
+//! equal escape counts toward stronger dI/dt coupling).
+//!
+//! The `(genome × board)` episode grid of a generation is embarrassingly
+//! parallel. It runs on a pulled-index worker pool whose results are
+//! re-sorted by grid position before any aggregation, so arrival order
+//! never escapes: the campaign chronicle is byte-identical for any
+//! worker count.
+
+use crate::episode::{run_episode, AttackScenario, EpisodeReport};
+use fleet::population::{BoardSpec, FleetSpec};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use stress_gen::ga::{evolve_batched, genome_profile, GaConfig};
+use stress_gen::isa::VirusGenome;
+use telemetry::Level;
+use xgene_sim::pdn::PdnModel;
+use xgene_sim::workload::WorkloadProfile;
+
+/// Weight of the resonant-energy shaping term in the fitness. Small
+/// enough that a single real escape always dominates any amount of
+/// shaping (resonant energy is at most 1).
+const RESONANCE_SHAPING: f64 = 0.01;
+
+/// A co-evolution campaign specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// The fleet of boards every genome is scored against.
+    pub fleet: FleetSpec,
+    /// GA hyper-parameters (the attacker's evolution budget).
+    pub ga: GaConfig,
+    /// The net arm under attack and the episode shape.
+    pub scenario: AttackScenario,
+    /// Worker threads for the episode grid. Never affects results.
+    pub workers: usize,
+}
+
+impl CampaignConfig {
+    /// A paper-scaled campaign against the pre-hardening seed net.
+    pub fn dsn18(boards: u32, seed: u64) -> Self {
+        CampaignConfig {
+            fleet: FleetSpec::new(boards, seed),
+            ga: GaConfig {
+                population: 12,
+                generations: 8,
+                genome_slots: 48,
+                mutation_rate: 0.08,
+                tournament: 3,
+                elites: 2,
+                seed,
+            },
+            scenario: AttackScenario::seed_net(40),
+            workers: 1,
+        }
+    }
+}
+
+/// One generation of the co-evolution, as chronicled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationRecord {
+    /// Generation index.
+    pub generation: u32,
+    /// Best fitness (escapes + shaping) this generation.
+    pub best_fitness: f64,
+    /// Fleet-wide escapes of the generation's best genome.
+    pub best_escapes: u64,
+    /// Escapes summed over the whole `(genome × board)` grid.
+    pub total_escapes: u64,
+}
+
+/// The full campaign result. Serializing this is the chronicle used for
+/// worker-count byte-identity checks — it deliberately carries no
+/// execution detail (worker count, wall time), only what the
+/// co-evolution computed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Fleet size attacked.
+    pub boards: u32,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Per-generation trajectory.
+    pub generations: Vec<GenerationRecord>,
+    /// The fittest virus genome found.
+    pub champion: VirusGenome,
+    /// The champion's fitness (escapes + shaping).
+    pub champion_fitness: f64,
+}
+
+impl CampaignReport {
+    /// The chronicle as canonical JSON.
+    pub fn chronicle_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// The champion genome's observable workload profile on the X-Gene2
+    /// PDN — what the attacker tenant actually schedules.
+    pub fn champion_profile(&self) -> WorkloadProfile {
+        genome_profile("redteam-champion", &self.champion, &PdnModel::xgene2())
+    }
+
+    /// Total escapes across the whole campaign grid.
+    pub fn total_escapes(&self) -> u64 {
+        self.generations.iter().map(|g| g.total_escapes).sum()
+    }
+}
+
+/// Runs the co-evolution campaign.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let pdn = PdnModel::xgene2();
+    let boards: Vec<BoardSpec> = config.fleet.all_boards().collect();
+    let mut generations: Vec<GenerationRecord> = Vec::new();
+    let mut generation = 0u32;
+
+    let result = evolve_batched(&config.ga, |genomes| {
+        let profiles: Vec<WorkloadProfile> = genomes
+            .iter()
+            .map(|g| genome_profile("redteam-virus", g, &pdn))
+            .collect();
+        let escapes = fleet_escapes(&boards, &profiles, &config.scenario, config.workers);
+        let scores: Vec<f64> = escapes
+            .iter()
+            .zip(&profiles)
+            .map(|(e, p)| *e as f64 + RESONANCE_SHAPING * p.resonant_energy())
+            .collect();
+
+        // Same argmax the GA's stable descending sort produces.
+        let mut best = 0;
+        for i in 1..scores.len() {
+            if scores[i] > scores[best] {
+                best = i;
+            }
+        }
+        let record = GenerationRecord {
+            generation,
+            best_fitness: scores[best],
+            best_escapes: escapes[best],
+            total_escapes: escapes.iter().sum(),
+        };
+        telemetry::event!(
+            Level::Info,
+            "redteam_generation",
+            generation = record.generation,
+            best_fitness = record.best_fitness,
+            total_escapes = record.total_escapes,
+        );
+        generations.push(record);
+        generation += 1;
+        scores
+    });
+
+    CampaignReport {
+        boards: config.fleet.boards,
+        seed: config.fleet.seed,
+        generations,
+        champion: result.champion,
+        champion_fitness: result.champion_fitness,
+    }
+}
+
+/// Replays an attacker profile (or the dedicated-PMD control with
+/// `None`) against every board of `fleet` under `scenario`, in board-id
+/// order. Used to benchmark a co-evolved champion against the hardened
+/// arm. Worker count never affects the result.
+pub fn replay_fleet(
+    fleet: &FleetSpec,
+    attacker: Option<&WorkloadProfile>,
+    scenario: &AttackScenario,
+    workers: usize,
+) -> Vec<EpisodeReport> {
+    let boards: Vec<BoardSpec> = fleet.all_boards().collect();
+    let next = AtomicUsize::new(0);
+    let mut reports: Vec<EpisodeReport> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(boards.len()).max(1))
+            .map(|_| {
+                let next = &next;
+                let boards = &boards;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(board) = boards.get(i) else {
+                            break;
+                        };
+                        done.push(run_episode(board, attacker, scenario));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("redteam replay worker panicked"))
+            .collect()
+    });
+    reports.sort_by_key(|r| r.board);
+    reports
+}
+
+/// Scores every genome against every board and returns per-genome
+/// fleet-wide escape totals, in genome order. The `(genome, board)` job
+/// grid is pulled by index and the results re-sorted by grid position,
+/// so worker scheduling never leaks into the totals.
+fn fleet_escapes(
+    boards: &[BoardSpec],
+    profiles: &[WorkloadProfile],
+    scenario: &AttackScenario,
+    workers: usize,
+) -> Vec<u64> {
+    let jobs: Vec<(usize, usize)> = (0..profiles.len())
+        .flat_map(|g| (0..boards.len()).map(move |b| (g, b)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<(usize, usize, u64)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(jobs.len()).max(1))
+            .map(|_| {
+                let next = &next;
+                let jobs = &jobs;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(g, b)) = jobs.get(i) else {
+                            break;
+                        };
+                        let report = run_episode(&boards[b], Some(&profiles[g]), scenario);
+                        done.push((g, b, report.escaped_sdcs));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("redteam campaign worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|&(g, b, _)| (g, b));
+    let mut per_genome = vec![0u64; profiles.len()];
+    for (g, _, e) in results {
+        per_genome[g] += e;
+    }
+    per_genome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CampaignConfig {
+        let mut config = CampaignConfig::dsn18(3, 2018);
+        config.ga.population = 6;
+        config.ga.generations = 3;
+        config.scenario.epochs = 25;
+        config
+    }
+
+    #[test]
+    fn chronicle_is_byte_identical_across_worker_counts() {
+        let mut serial = small_config();
+        serial.workers = 1;
+        let mut pooled = small_config();
+        pooled.workers = 3;
+        assert_eq!(
+            run_campaign(&serial).chronicle_json(),
+            run_campaign(&pooled).chronicle_json()
+        );
+    }
+
+    #[test]
+    fn replay_is_ordered_and_deterministic() {
+        let config = small_config();
+        let virus = WorkloadProfile::builder("v")
+            .activity(1.0)
+            .swing(1.0)
+            .resonance_alignment(0.9)
+            .build();
+        let a = replay_fleet(&config.fleet, Some(&virus), &config.scenario, 1);
+        let b = replay_fleet(&config.fleet, Some(&virus), &config.scenario, 4);
+        assert_eq!(a, b);
+        let ids: Vec<u32> = a.iter().map(|r| r.board).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,211 @@
+//! One adversarial episode: an attacker tenant against one board's net.
+//!
+//! An episode is a pure function of `(board, attacker, scenario)`: the
+//! board boots fresh from its fleet spec, the victim runs on the chip's
+//! weakest core with the attacker (if any) packed onto the sibling core
+//! of the same PMD, and the safety net governs the shared rail for a
+//! fixed number of epochs. The report counts ground-truth SDCs, the
+//! escapes among them, and when (if ever) the net first detected the
+//! attack.
+
+use dram_sim::retention::PopulationSpec;
+use fleet::population::BoardSpec;
+use guardband_core::governor::{GovernorConfig, OnlineGovernor};
+use guardband_core::safety::{SafetyNet, SafetyNetConfig};
+use serde::{Deserialize, Serialize};
+use telemetry::Level;
+use workload_sim::spec;
+use workload_sim::tenant::ColocationSchedule;
+use xgene_sim::fault::FaultPlan;
+use xgene_sim::workload::WorkloadProfile;
+
+/// Domain separator for the episode fault-plan RNG stream, so episode
+/// fault draws never alias the board's boot stream (SplitMix-style, the
+/// same discipline as the server's attacker stream).
+const FAULT_DOMAIN: u64 = 0x5DC;
+
+/// Everything one adversarial episode is a function of (besides the
+/// board and the attacker's genome).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackScenario {
+    /// Guarded epochs to run.
+    pub epochs: u32,
+    /// The victim tenant's workload.
+    pub victim: WorkloadProfile,
+    /// The safety-net arm under attack.
+    pub safety: SafetyNetConfig,
+    /// Governor the net wraps.
+    pub governor: GovernorConfig,
+}
+
+impl AttackScenario {
+    /// The pre-hardening ablation: the net exactly as originally
+    /// shipped, blind to cross-tenant droop. The victim is the
+    /// memory-bound `mcf`, the workload class the paper found most
+    /// droop-sensitive to co-runner interference.
+    pub fn seed_net(epochs: u32) -> Self {
+        AttackScenario {
+            epochs,
+            victim: spec::by_name("mcf")
+                .expect("mcf is part of the Fig. 5 mix")
+                .profile(),
+            safety: SafetyNetConfig::dsn18(),
+            governor: GovernorConfig::conservative(),
+        }
+    }
+
+    /// The hardened arm: droop estimation, feed-forward compensation,
+    /// breaker attribution, adaptive cadence, attacker quarantine.
+    pub fn hardened(epochs: u32) -> Self {
+        AttackScenario {
+            safety: SafetyNetConfig::hardened(),
+            ..AttackScenario::seed_net(epochs)
+        }
+    }
+}
+
+/// What one episode did, from the red team's scorecard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeReport {
+    /// Fleet id of the board attacked.
+    pub board: u32,
+    /// Epochs run.
+    pub epochs: u32,
+    /// Ground-truth victim SDCs (visible only to the audit).
+    pub victim_true_sdcs: u64,
+    /// SDCs that landed before the net's first detection event — the
+    /// red team's score.
+    pub escaped_sdcs: u64,
+    /// Epoch (1-based) of the first detection event, if any.
+    pub detection_epoch: Option<u64>,
+    /// Whether the net evicted the attacker.
+    pub attacker_quarantined: bool,
+    /// Breaker trips charged to the board.
+    pub breaker_trips: u64,
+    /// Sentinel-cadence tightenings the attack provoked.
+    pub cadence_tightenings: u64,
+    /// DMR sentinel checks run.
+    pub sentinel_checks: u64,
+    /// Mean commanded victim voltage across the episode, in mV.
+    pub mean_commanded_mv: f64,
+}
+
+/// Runs one episode of `scenario` on `board`, with `attacker` (if any)
+/// co-located on the victim's sibling core.
+pub fn run_episode(
+    board: &BoardSpec,
+    attacker: Option<&WorkloadProfile>,
+    scenario: &AttackScenario,
+) -> EpisodeReport {
+    let mut server = board.boot(PopulationSpec::dsn18());
+    let fault_seed = board.boot_seed ^ FAULT_DOMAIN.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    server.install_fault_plan(FaultPlan::quiet(fault_seed).with_sub_vmin_sdc());
+
+    let victim_core = server.chip().weakest_core();
+    let mut schedule = match attacker {
+        Some(profile) => {
+            ColocationSchedule::shared(victim_core, scenario.victim.clone(), profile.clone())
+        }
+        None => ColocationSchedule::dedicated(victim_core, scenario.victim.clone()),
+    };
+    let mut governor = OnlineGovernor::new(None, None, scenario.governor);
+    let mut net = SafetyNet::new(scenario.safety);
+
+    let mut commanded_sum = 0u64;
+    for _ in 0..scenario.epochs {
+        let victim_profile = schedule.victim.profile.clone();
+        let assignments = schedule.co_tenant_assignments();
+        let report = net.run_epoch_colocated(
+            &mut server,
+            &mut governor,
+            victim_core,
+            &victim_profile,
+            &assignments,
+        );
+        commanded_sum += u64::from(report.commanded.as_u32());
+        // The net's quarantine decision reaches the scheduler: the
+        // attacker loses its placement, the victim keeps the PMD.
+        if net.attacker_quarantined() && schedule.neighbor.is_some() {
+            let evicted = schedule.evict_neighbor();
+            debug_assert!(evicted.is_some());
+        }
+    }
+
+    let stats = net.stats();
+    let audit = net.audit();
+    if let Some(epoch) = stats.first_detection_epoch {
+        telemetry::gauge!("safety_redteam_detection_latency_epochs", epoch as f64);
+    }
+    telemetry::event!(
+        Level::Info,
+        "redteam_episode",
+        board = board.id,
+        escapes = audit.escaped_sdcs,
+        true_sdcs = audit.workload_true_sdcs,
+        quarantined = net.attacker_quarantined(),
+    );
+
+    EpisodeReport {
+        board: board.id,
+        epochs: scenario.epochs,
+        victim_true_sdcs: audit.workload_true_sdcs,
+        escaped_sdcs: audit.escaped_sdcs,
+        detection_epoch: stats.first_detection_epoch,
+        attacker_quarantined: net.attacker_quarantined(),
+        breaker_trips: net.breaker_trips(),
+        cadence_tightenings: stats.cadence_tightenings,
+        sentinel_checks: net.sentinel_stats().checks,
+        mean_commanded_mv: if scenario.epochs == 0 {
+            0.0
+        } else {
+            commanded_sum as f64 / f64::from(scenario.epochs)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet::population::FleetSpec;
+
+    fn virus() -> WorkloadProfile {
+        WorkloadProfile::builder("test-virus")
+            .activity(1.0)
+            .swing(1.0)
+            .resonance_alignment(0.9)
+            .build()
+    }
+
+    #[test]
+    fn episodes_are_deterministic() {
+        let board = FleetSpec::new(4, 2018).board(1);
+        let scenario = AttackScenario::seed_net(30);
+        let v = virus();
+        let a = run_episode(&board, Some(&v), &scenario);
+        let b = run_episode(&board, Some(&v), &scenario);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn a_dedicated_pmd_suffers_no_attack() {
+        let board = FleetSpec::new(4, 2018).board(1);
+        let scenario = AttackScenario::seed_net(30);
+        let r = run_episode(&board, None, &scenario);
+        assert!(!r.attacker_quarantined);
+        assert_eq!(r.cadence_tightenings, 0);
+    }
+
+    #[test]
+    fn the_hardened_arm_quarantines_a_crafted_virus() {
+        let board = FleetSpec::new(4, 2018).board(1);
+        let scenario = AttackScenario::hardened(30);
+        let r = run_episode(&board, Some(&virus()), &scenario);
+        assert!(r.attacker_quarantined);
+        assert_eq!(r.escaped_sdcs, 0);
+        let latency = r.detection_epoch.expect("quarantine is a detection");
+        assert!(
+            latency <= u64::from(scenario.safety.sentinel_every_epochs),
+            "detected at epoch {latency}"
+        );
+    }
+}

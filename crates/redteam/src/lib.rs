@@ -1,0 +1,35 @@
+//! Red-team co-evolution against the below-guardband safety net.
+//!
+//! The characterization campaigns establish how far below the guardband a
+//! board can run; the safety net (`guardband_core::safety`) keeps it
+//! there in production. This crate attacks that net the way a malicious
+//! cloud tenant would: a dI/dt virus (evolved by `stress_gen::ga`) is
+//! co-located with a victim workload on the same PMD, its droop couples
+//! into the victim's effective Vmin through the shared power-delivery
+//! network, and the genetic algorithm's fitness is the number of silent
+//! data corruptions that *escape* — land before the net's first
+//! detection event (breaker trip or attacker quarantine).
+//!
+//! Two scenario arms make the argument:
+//!
+//! * [`AttackScenario::seed_net`] — the pre-hardening ablation: every
+//!   cross-tenant knob off, exactly the net as originally shipped. The
+//!   co-evolved champion leaks SDCs here because sentinels run
+//!   single-tenant (the attacker is preempted during the DMR check) and
+//!   the breaker only watches CE rates.
+//! * [`AttackScenario::hardened`] — droop estimation from co-tenant PMU
+//!   telemetry, feed-forward voltage compensation, droop attribution in
+//!   the breaker, adaptive sentinel cadence, and attacker quarantine.
+//!
+//! [`run_campaign`] drives the co-evolution across a seeded fleet with a
+//! deterministic worker pool: the campaign chronicle is byte-identical
+//! for any worker count, and the champion's fitness is monotone in the
+//! generation budget.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod episode;
+
+pub use campaign::{replay_fleet, run_campaign, CampaignConfig, CampaignReport, GenerationRecord};
+pub use episode::{run_episode, AttackScenario, EpisodeReport};

@@ -122,6 +122,27 @@ pub fn genome_profile(name: &str, genome: &VirusGenome, pdn: &PdnModel) -> Workl
 /// println!("virus EM amplitude: {:.2}", result.champion_fitness);
 /// ```
 pub fn evolve(config: &GaConfig, probe: &mut EmProbe) -> EvolutionResult {
+    evolve_batched(config, |genomes| {
+        genomes.iter().map(|g| fitness(g, probe)).collect()
+    })
+}
+
+/// Evolves with a caller-supplied batch fitness function.
+///
+/// `eval` receives the whole generation at once (in population order) and
+/// must return one score per genome, in the same order. This lets callers
+/// farm the expensive evaluations out to a worker pool — the GA's own RNG
+/// is never touched during evaluation, so any parallel schedule that
+/// returns scores in population order reproduces [`evolve`] exactly.
+///
+/// # Panics
+///
+/// Panics if `eval` returns a different number of scores than genomes, or
+/// on the same config violations as [`evolve`].
+pub fn evolve_batched(
+    config: &GaConfig,
+    mut eval: impl FnMut(&[VirusGenome]) -> Vec<f64>,
+) -> EvolutionResult {
     assert!(config.population >= 2, "population must be at least 2");
     assert!(
         config.elites < config.population,
@@ -137,10 +158,14 @@ pub fn evolve(config: &GaConfig, probe: &mut EmProbe) -> EvolutionResult {
     let mut champion_fitness = f64::MIN;
 
     for _gen in 0..config.generations {
-        let mut scored: Vec<(f64, VirusGenome)> = population
-            .drain(..)
-            .map(|g| (fitness(&g, probe), g))
-            .collect();
+        let scores = eval(&population);
+        assert_eq!(
+            scores.len(),
+            population.len(),
+            "eval must score every genome"
+        );
+        let mut scored: Vec<(f64, VirusGenome)> =
+            scores.into_iter().zip(population.drain(..)).collect();
         scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         if scored[0].0 > champion_fitness {
             champion_fitness = scored[0].0;
@@ -287,5 +312,25 @@ mod tests {
         let a = run_small();
         let b = run_small();
         assert_eq!(a.champion, b.champion);
+    }
+
+    #[test]
+    fn batched_evolution_reproduces_the_sequential_path() {
+        let pdn = PdnModel::xgene2();
+        let mut probe = EmProbe::new(pdn, 3);
+        let config = GaConfig {
+            population: 24,
+            generations: 40,
+            genome_slots: 48,
+            mutation_rate: 0.08,
+            tournament: 3,
+            elites: 2,
+            seed: 11,
+        };
+        let batched = evolve_batched(&config, |genomes| {
+            genomes.iter().map(|g| fitness(g, &mut probe)).collect()
+        });
+        let sequential = run_small();
+        assert_eq!(batched, sequential);
     }
 }

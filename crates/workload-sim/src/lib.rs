@@ -45,6 +45,7 @@ pub mod nas;
 pub mod rodinia;
 pub mod spec;
 pub mod stencil;
+pub mod tenant;
 
 pub use arena::{ArenaStats, DramArena};
 pub use canary::CanaryKernel;
@@ -53,3 +54,4 @@ pub use jammer::{JammerConfig, JammerReport};
 pub use rodinia::{KernelConfig, KernelReport, RodiniaKernel};
 pub use spec::{SpecBenchmark, SPEC_SUITE};
 pub use stencil::{JacobiStencil, StencilReport, SweepSchedule};
+pub use tenant::{ColocationSchedule, PmdColocation, Tenant, TenantKind};

@@ -1,0 +1,180 @@
+//! Multi-tenant co-location: placing an adversarial tenant next to a
+//! victim workload on the same PMD.
+//!
+//! The X-Gene2 shares one voltage rail across all PMDs and one L2 per
+//! PMD pair, so a cloud-style scheduler that packs two tenants onto one
+//! PMD gives the neighbour a direct PDN coupling path to the victim
+//! (see `ChipProfile::cross_tenant_droop_mv` in `xgene-sim`). This
+//! module is the scheduler-side view of that arrangement: who runs
+//! where, which tenant is trusted, and what a co-location schedule
+//! hands to `XGene2Server::run_colocated`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use xgene_sim::topology::CoreId;
+use xgene_sim::workload::WorkloadProfile;
+
+/// The trust class of a co-located tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TenantKind {
+    /// The workload whose correctness the operator guarantees.
+    #[default]
+    Victim,
+    /// An untrusted neighbour — potentially a dI/dt adversary.
+    Attacker,
+}
+
+impl fmt::Display for TenantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TenantKind::Victim => "victim",
+            TenantKind::Attacker => "attacker",
+        })
+    }
+}
+
+/// One tenant as the scheduler sees it: a trust class plus the activity
+/// profile its PMU telemetry exposes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tenant {
+    /// Trust class.
+    pub kind: TenantKind,
+    /// The tenant's observable activity profile.
+    pub profile: WorkloadProfile,
+}
+
+/// A two-tenant placement on one PMD: the victim on its assigned core,
+/// the co-tenant on the PMD's sibling core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PmdColocation {
+    /// Core the victim runs on.
+    pub victim_core: CoreId,
+    /// The sibling core of the same PMD, where the co-tenant lands.
+    pub neighbor_core: CoreId,
+}
+
+impl PmdColocation {
+    /// Packs a co-tenant onto the same PMD as `victim_core` — the
+    /// tightest placement a pair-wise scheduler can produce, and the one
+    /// with the strongest PDN coupling.
+    pub fn same_pmd(victim_core: CoreId) -> Self {
+        PmdColocation {
+            victim_core,
+            neighbor_core: sibling_core(victim_core),
+        }
+    }
+}
+
+/// The sibling core sharing `core`'s PMD (and therefore its L2 and the
+/// strongest rail coupling).
+pub fn sibling_core(core: CoreId) -> CoreId {
+    let [a, b] = core.pmd().cores();
+    if a == core {
+        b
+    } else {
+        a
+    }
+}
+
+/// A benign co-tenant: busy, but with its current swing spread far off
+/// the PDN resonance — the profile an ordinary cloud neighbour exposes.
+/// Useful as the control arm of adversarial experiments.
+pub fn benign_neighbor() -> WorkloadProfile {
+    WorkloadProfile::builder("benign-neighbor")
+        .activity(0.6)
+        .swing(0.4)
+        .resonance_alignment(0.0)
+        .build()
+}
+
+/// An epoch-by-epoch co-location schedule: the victim's profile plus an
+/// optional untrusted neighbour. `None` models a dedicated (or vacated)
+/// PMD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationSchedule {
+    /// Placement of the two tenants.
+    pub placement: PmdColocation,
+    /// The victim tenant.
+    pub victim: Tenant,
+    /// The untrusted neighbour, if the PMD is shared this epoch.
+    pub neighbor: Option<Tenant>,
+}
+
+impl ColocationSchedule {
+    /// A dedicated-PMD schedule: the victim runs alone.
+    pub fn dedicated(victim_core: CoreId, victim: WorkloadProfile) -> Self {
+        ColocationSchedule {
+            placement: PmdColocation::same_pmd(victim_core),
+            victim: Tenant {
+                kind: TenantKind::Victim,
+                profile: victim,
+            },
+            neighbor: None,
+        }
+    }
+
+    /// A shared-PMD schedule with an untrusted neighbour on the sibling
+    /// core.
+    pub fn shared(victim_core: CoreId, victim: WorkloadProfile, neighbor: WorkloadProfile) -> Self {
+        ColocationSchedule {
+            placement: PmdColocation::same_pmd(victim_core),
+            victim: Tenant {
+                kind: TenantKind::Victim,
+                profile: victim,
+            },
+            neighbor: Some(Tenant {
+                kind: TenantKind::Attacker,
+                profile: neighbor,
+            }),
+        }
+    }
+
+    /// Evicts the neighbour (attacker quarantine leaves the victim with a
+    /// dedicated PMD).
+    pub fn evict_neighbor(&mut self) -> Option<Tenant> {
+        self.neighbor.take()
+    }
+
+    /// The co-tenant assignments to hand to
+    /// `XGene2Server::run_colocated` alongside the victim.
+    pub fn co_tenant_assignments(&self) -> Vec<(CoreId, &WorkloadProfile)> {
+        self.neighbor
+            .iter()
+            .map(|t| (self.placement.neighbor_core, &t.profile))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sibling_is_the_other_core_of_the_same_pmd() {
+        for i in 0..8u8 {
+            let core = CoreId::new(i);
+            let sib = sibling_core(core);
+            assert_ne!(core, sib);
+            assert_eq!(core.pmd(), sib.pmd());
+            assert_eq!(sibling_core(sib), core);
+        }
+    }
+
+    #[test]
+    fn shared_schedule_exposes_one_assignment_until_eviction() {
+        let victim = WorkloadProfile::builder("victim").activity(0.4).build();
+        let mut schedule = ColocationSchedule::shared(CoreId::new(2), victim, benign_neighbor());
+        assert_eq!(schedule.placement.neighbor_core.pmd().index(), 1);
+        let assignments = schedule.co_tenant_assignments();
+        assert_eq!(assignments.len(), 1);
+        assert_eq!(assignments[0].0, schedule.placement.neighbor_core);
+        let evicted = schedule.evict_neighbor().expect("a neighbour was placed");
+        assert_eq!(evicted.kind, TenantKind::Attacker);
+        assert!(schedule.co_tenant_assignments().is_empty());
+    }
+
+    #[test]
+    fn benign_neighbor_couples_no_resonant_energy() {
+        assert_eq!(benign_neighbor().resonant_energy(), 0.0);
+    }
+}

@@ -72,6 +72,25 @@ pub struct CoreRunResult {
     pub outcome: RunOutcome,
 }
 
+/// One multi-tenant epoch: a victim run plus its co-tenants' runs, with
+/// the cross-tenant PDN droop each induced on the other.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocatedRun {
+    /// The victim tenant's classified run.
+    pub victim: CoreRunResult,
+    /// Co-tenant (aggressor) runs, in assignment order.
+    pub aggressors: Vec<CoreRunResult>,
+    /// Ground-truth rail droop (mV) the co-tenants induced at the
+    /// victim's supply pins. This is simulator-side truth for audits and
+    /// tests; a safety net must *estimate* it from observable telemetry.
+    pub cross_droop_mv: f64,
+}
+
+/// SplitMix domain tag for the adversarial tenant's RNG stream — the same
+/// domain-separation pattern the fleet uses for per-board streams, so an
+/// attacker's fault draws can never perturb the victim's trace.
+const ATTACKER_STREAM_DOMAIN: u64 = 0xAD;
+
 /// The simulated server.
 ///
 /// # Examples
@@ -103,6 +122,16 @@ pub struct XGene2Server {
     rng: StdRng,
     fault_plan: Option<FaultPlan>,
     hung: bool,
+    /// Seed of the domain-separated attacker stream (see
+    /// [`ATTACKER_STREAM_DOMAIN`]). Defaults to 0 when decoding snapshots
+    /// taken before multi-tenancy existed.
+    #[serde(default)]
+    attacker_seed: u64,
+    /// Lazily seeded attacker RNG: `None` until the first co-located run,
+    /// so purely single-tenant campaigns replay byte-identically against
+    /// pre-multi-tenancy snapshots.
+    #[serde(default)]
+    attacker_rng: Option<StdRng>,
 }
 
 impl XGene2Server {
@@ -133,6 +162,8 @@ impl XGene2Server {
             rng: StdRng::seed_from_u64(seed ^ 0xD5A5_5A5D),
             fault_plan: None,
             hung: false,
+            attacker_seed: seed ^ ATTACKER_STREAM_DOMAIN.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            attacker_rng: None,
         }
     }
 
@@ -177,6 +208,8 @@ impl XGene2Server {
             rng: StdRng::seed_from_u64(seed ^ 0xD5A5_5A5D),
             fault_plan: None,
             hung: false,
+            attacker_seed: seed ^ ATTACKER_STREAM_DOMAIN.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            attacker_rng: None,
         }
     }
 
@@ -356,7 +389,7 @@ impl XGene2Server {
             self.pmd_voltage,
             &mut self.rng,
         );
-        let outcome = self.apply_sdc_injection(core, workload, freq, 1, outcome);
+        let outcome = self.apply_sdc_injection(core, workload, freq, 1, outcome, self.pmd_voltage);
         if outcome.needs_reset() {
             self.reset();
         }
@@ -401,7 +434,8 @@ impl XGene2Server {
                 n,
                 &mut self.rng,
             );
-            let outcome = self.apply_sdc_injection(*core, workload, freq, n, outcome);
+            let outcome =
+                self.apply_sdc_injection(*core, workload, freq, n, outcome, self.pmd_voltage);
             crashed |= outcome.needs_reset();
             results.push(CoreRunResult {
                 core: *core,
@@ -415,10 +449,134 @@ impl XGene2Server {
         results
     }
 
+    /// Runs the victim tenant on `core` simultaneously with co-located
+    /// tenants on other cores of the shared rail, applying the
+    /// cross-tenant PDN droop each induces on the others (see
+    /// [`ChipProfile::cross_tenant_droop_mv`]).
+    ///
+    /// Two invariants make this safe to add to an existing campaign:
+    ///
+    /// * With an empty `co_tenants` slice the victim path is draw-for-draw
+    ///   identical to [`Self::run_on_core`] — same RNG stream, same fault
+    ///   plan advancement, same classification inputs.
+    /// * Co-tenant runs are classified from a *domain-separated* attacker
+    ///   RNG stream and never advance the fault plan, so adding or
+    ///   swapping an attacker cannot perturb the victim's fault trace
+    ///   (only its physics, through the droop it couples in).
+    pub fn run_colocated(
+        &mut self,
+        core: CoreId,
+        workload: &WorkloadProfile,
+        co_tenants: &[(CoreId, &WorkloadProfile)],
+    ) -> ColocatedRun {
+        if self.hung {
+            return ColocatedRun {
+                victim: CoreRunResult {
+                    core,
+                    workload: workload.name().to_owned(),
+                    outcome: RunOutcome::Crash,
+                },
+                aggressors: co_tenants
+                    .iter()
+                    .map(|(c, w)| CoreRunResult {
+                        core: *c,
+                        workload: w.name().to_owned(),
+                        outcome: RunOutcome::Crash,
+                    })
+                    .collect(),
+                cross_droop_mv: 0.0,
+            };
+        }
+        let active = 1 + co_tenants.len();
+        let aggressor_profiles: Vec<&WorkloadProfile> =
+            co_tenants.iter().map(|(_, w)| *w).collect();
+        let cross_droop_mv = self.chip.cross_tenant_droop_mv(&aggressor_profiles);
+
+        // Victim: classified at the droop-eroded effective voltage, drawing
+        // from the victim RNG stream and advancing the fault plan exactly
+        // as a solo run would.
+        let freq = self.pmd_frequencies[core.pmd().index()];
+        let effective = droop_adjusted(self.pmd_voltage, cross_droop_mv);
+        let outcome = self.fault_model.classify_with_active_cores(
+            &self.chip,
+            core,
+            workload,
+            freq,
+            effective,
+            active,
+            &mut self.rng,
+        );
+        let outcome = self.apply_sdc_injection(core, workload, freq, active, outcome, effective);
+        let mut crashed = outcome.needs_reset();
+        let victim = CoreRunResult {
+            core,
+            workload: workload.name().to_owned(),
+            outcome,
+        };
+
+        // Aggressors: classified from the attacker stream at *their*
+        // droop-eroded voltage (the droop every other tenant couples onto
+        // them); a benign victim contributes ~0 back.
+        let attacker_seed = self.attacker_seed;
+        let mut aggressors = Vec::with_capacity(co_tenants.len());
+        for (i, (a_core, a_workload)) in co_tenants.iter().enumerate() {
+            let mut others: Vec<&WorkloadProfile> = vec![workload];
+            others.extend(
+                co_tenants
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, (_, w))| *w),
+            );
+            let a_droop = self.chip.cross_tenant_droop_mv(&others);
+            let a_effective = droop_adjusted(self.pmd_voltage, a_droop);
+            let a_freq = self.pmd_frequencies[a_core.pmd().index()];
+            let arng = self
+                .attacker_rng
+                .get_or_insert_with(|| StdRng::seed_from_u64(attacker_seed));
+            let a_outcome = self.fault_model.classify_with_active_cores(
+                &self.chip,
+                *a_core,
+                a_workload,
+                a_freq,
+                a_effective,
+                active,
+                arng,
+            );
+            crashed |= a_outcome.needs_reset();
+            aggressors.push(CoreRunResult {
+                core: *a_core,
+                workload: a_workload.name().to_owned(),
+                outcome: a_outcome,
+            });
+        }
+        // A crash anywhere on the shared rail takes the whole board down:
+        // one watchdog reset, exactly as in `run_many`.
+        if crashed {
+            self.reset();
+        }
+        telemetry::event!(
+            Level::Debug,
+            "colocated_run",
+            core = core.index(),
+            workload = workload.name(),
+            co_tenants = co_tenants.len(),
+            cross_droop_mv = cross_droop_mv,
+            outcome = victim.outcome.to_string(),
+        );
+        ColocatedRun {
+            victim,
+            aggressors,
+            cross_droop_mv,
+        }
+    }
+
     /// Applies the fault plan's silicon-level SDC injection (if any) to a
     /// freshly classified run. Without a plan this is a no-op; with one,
     /// the plan's run-draw counter advances (no RNG) and forced or
-    /// sub-Vmin runs are reclassified as silent corruptions.
+    /// sub-Vmin runs are reclassified as silent corruptions. `rail` is the
+    /// effective voltage the run actually saw (droop-adjusted for
+    /// co-located runs), so the sub-Vmin check matches the physics.
     fn apply_sdc_injection(
         &mut self,
         core: CoreId,
@@ -426,6 +584,7 @@ impl XGene2Server {
         freq: Megahertz,
         active_cores: usize,
         outcome: RunOutcome,
+        rail: Millivolts,
     ) -> RunOutcome {
         let Some(plan) = self.fault_plan.as_mut() else {
             return outcome;
@@ -433,7 +592,7 @@ impl XGene2Server {
         let vmin = self
             .chip
             .vmin_with_active_cores(core, workload, freq, active_cores);
-        let below = self.pmd_voltage < vmin;
+        let below = rail < vmin;
         if plan.next_run_sdc_override(below, outcome) && outcome != RunOutcome::SilentDataCorruption
         {
             telemetry::event!(
@@ -549,6 +708,12 @@ impl XGene2Server {
         self.dram
             .fill_pattern(dram_sim::patterns::DataPattern::AllZeros);
     }
+}
+
+/// Applies a PDN droop (mV) to the rail set-point, saturating at zero.
+fn droop_adjusted(rail: Millivolts, droop_mv: f64) -> Millivolts {
+    let v = (f64::from(rail.as_u32()) - droop_mv).round().max(0.0);
+    Millivolts::new(v as u32)
 }
 
 fn validate_voltage(voltage: Millivolts) -> Result<(), ConfigError> {
@@ -808,6 +973,133 @@ mod tests {
             if i != 2 {
                 assert_eq!(*o, RunOutcome::Correct, "run {i}");
             }
+        }
+    }
+
+    #[test]
+    fn colocated_droop_erodes_victim_margin() {
+        // At a voltage with a few mV of solo margin, a resonant aggressor
+        // couples enough droop across the rail to push the victim below
+        // Vmin, while a non-resonant neighbour leaves it clean.
+        let chip = ChipProfile::corner(SigmaBin::Tff);
+        let victim_core = chip.weakest_core();
+        let [a, b] = victim_core.pmd().cores();
+        let attacker_core = if a == victim_core { b } else { a };
+        let victim = WorkloadProfile::builder("victim").activity(0.3).build();
+        let virus = WorkloadProfile::builder("virus")
+            .activity(0.6)
+            .swing(1.0)
+            .resonance_alignment(0.9)
+            .build();
+        let benign = WorkloadProfile::builder("benign")
+            .activity(0.6)
+            .resonance_alignment(0.0)
+            .build();
+        let vmin = chip.vmin_with_active_cores(victim_core, &victim, Megahertz::XGENE2_NOMINAL, 2);
+        let volts = Millivolts::new(vmin.as_u32() + 8);
+        assert!(
+            chip.cross_tenant_droop_mv(&[&virus]) > 8.0,
+            "premise: the virus must couple more droop than the margin"
+        );
+        assert!(chip.cross_tenant_droop_mv(&[&benign]) < 1e-9);
+
+        let mut failed = 0;
+        let mut server = XGene2Server::new(SigmaBin::Tff, 77);
+        for _ in 0..60 {
+            server.set_pmd_voltage(volts).unwrap();
+            let run = server.run_colocated(victim_core, &victim, &[(attacker_core, &virus)]);
+            if run.victim.outcome != RunOutcome::Correct {
+                failed += 1;
+            }
+        }
+        assert!(failed > 0, "the coupled droop never bit the victim");
+
+        let mut server = XGene2Server::new(SigmaBin::Tff, 77);
+        for _ in 0..60 {
+            server.set_pmd_voltage(volts).unwrap();
+            let run = server.run_colocated(victim_core, &victim, &[(attacker_core, &benign)]);
+            assert_eq!(run.victim.outcome, RunOutcome::Correct);
+            assert!(run.cross_droop_mv < 1e-9);
+        }
+    }
+
+    #[test]
+    fn attacker_stream_never_perturbs_victim_trace() {
+        // Byte-identity regression for the SplitMix stream separation:
+        // two aggressors with *identical* coupling physics (zero resonant
+        // energy) but very different fault-draw behavior — one runs in its
+        // own safe band and consumes classification draws, the other sits
+        // far above its Vmin and consumes none. The victim's outcome
+        // sequence must be byte-identical either way, and a fault plan's
+        // run counter must advance for victim runs only.
+        let victim = WorkloadProfile::builder("victim").activity(0.3).build();
+        // Zero resonance alignment => zero resonant energy => zero
+        // cross-tenant droop, so only the RNG streams can differ.
+        let marginal = WorkloadProfile::builder("marginal")
+            .activity(0.9)
+            .swing(0.9)
+            .resonance_alignment(0.0)
+            .build();
+        let idle = WorkloadProfile::idle();
+        let chip = ChipProfile::corner(SigmaBin::Ttt);
+        let victim_core = chip.weakest_core();
+        let [a, b] = victim_core.pmd().cores();
+        let attacker_core = if a == victim_core { b } else { a };
+        // Place the rail inside the marginal aggressor's safe band so its
+        // runs draw from the attacker stream without ever crashing.
+        let marginal_vmin =
+            chip.vmin_with_active_cores(attacker_core, &marginal, Megahertz::XGENE2_NOMINAL, 2);
+        let volts = Millivolts::new(marginal_vmin.as_u32() + 2);
+
+        let drive = |attacker: &WorkloadProfile| -> (Vec<RunOutcome>, Vec<RunOutcome>) {
+            let mut server = XGene2Server::new(SigmaBin::Ttt, 2024);
+            server.install_fault_plan(FaultPlan::quiet(2024).force_sdc_at_run(5));
+            let mut victims = Vec::new();
+            let mut attackers = Vec::new();
+            for _ in 0..30 {
+                server.set_pmd_voltage(volts).unwrap();
+                let run = server.run_colocated(victim_core, &victim, &[(attacker_core, attacker)]);
+                victims.push(run.victim.outcome);
+                attackers.push(run.aggressors[0].outcome);
+            }
+            (victims, attackers)
+        };
+
+        let (victims_marginal, attackers_marginal) = drive(&marginal);
+        let (victims_idle, attackers_idle) = drive(&idle);
+        // The marginal aggressor genuinely exercised its own fault band...
+        assert!(
+            attackers_marginal.contains(&RunOutcome::CorrectableError),
+            "premise: the marginal aggressor never drew a fault"
+        );
+        assert!(attackers_idle.iter().all(|o| *o == RunOutcome::Correct));
+        // ...yet the victim trace is byte-identical, down to the forced
+        // SDC landing on the victim's 5th plan draw in both worlds.
+        assert_eq!(
+            serde::json::to_string(&victims_marginal),
+            serde::json::to_string(&victims_idle)
+        );
+        assert_eq!(victims_marginal[5], RunOutcome::SilentDataCorruption);
+    }
+
+    #[test]
+    fn solo_colocated_run_matches_run_on_core_exactly() {
+        let heavy = WorkloadProfile::builder("heavy")
+            .activity(0.8)
+            .swing(0.6)
+            .build();
+        let mut solo = XGene2Server::new(SigmaBin::Ttt, 21);
+        let mut colo = XGene2Server::new(SigmaBin::Ttt, 21);
+        solo.install_fault_plan(FaultPlan::quiet(9).with_sub_vmin_sdc());
+        colo.install_fault_plan(FaultPlan::quiet(9).with_sub_vmin_sdc());
+        for _ in 0..40 {
+            solo.set_pmd_voltage(Millivolts::new(880)).unwrap();
+            colo.set_pmd_voltage(Millivolts::new(880)).unwrap();
+            let a = solo.run_on_core(CoreId::new(0), &heavy);
+            let b = colo.run_colocated(CoreId::new(0), &heavy, &[]);
+            assert_eq!(a, b.victim);
+            assert_eq!(b.cross_droop_mv, 0.0);
+            assert_eq!(solo.reset_count(), colo.reset_count());
         }
     }
 

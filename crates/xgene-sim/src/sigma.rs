@@ -333,6 +333,26 @@ impl ChipProfile {
         }
     }
 
+    /// Rail droop (in mV) that co-located tenants induce on a victim
+    /// core through the shared power-delivery network.
+    ///
+    /// Only the *resonant* component of a neighbour's current swing
+    /// couples across the rail: steady draw is absorbed by the local
+    /// decap, but a swing at the PDN's first-order resonance recirculates
+    /// through the shared loop inductance and arrives at the victim's
+    /// supply pins attenuated by the rail's transfer factor (0.55 for a
+    /// same-rail neighbour on this package). This is the coupling path a
+    /// multi-tenant dI/dt attacker exploits: its own Vmin penalty is paid
+    /// on its own core, while this droop silently erodes the *victim's*
+    /// margin.
+    pub fn cross_tenant_droop_mv(&self, aggressors: &[&WorkloadProfile]) -> f64 {
+        /// Fraction of a neighbour's resonant droop that survives the
+        /// trip across the shared rail.
+        const RAIL_COUPLING: f64 = 0.55;
+        let resonant: f64 = aggressors.iter().map(|w| w.resonant_energy()).sum();
+        RAIL_COUPLING * self.droop_coeff_mv * resonant
+    }
+
     /// The guardband (in mV) that nominal 980 mV leaves above `workload`'s
     /// Vmin on `core`.
     pub fn guardband_mv(
@@ -372,6 +392,43 @@ impl ChipProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cross_tenant_droop_follows_resonant_energy() {
+        let virus = WorkloadProfile::builder("virus")
+            .activity(0.6)
+            .swing(1.0)
+            .resonance_alignment(1.0)
+            .build();
+        let half = WorkloadProfile::builder("half")
+            .activity(0.6)
+            .swing(0.5)
+            .resonance_alignment(1.0)
+            .build();
+        let benign = WorkloadProfile::builder("benign")
+            .activity(0.9)
+            .swing(0.9)
+            .resonance_alignment(0.0)
+            .build();
+        for bin in [SigmaBin::Ttt, SigmaBin::Tff, SigmaBin::Tss] {
+            let chip = ChipProfile::corner(bin);
+            let full = chip.cross_tenant_droop_mv(&[&virus]);
+            // Attenuated (0.55×) resonant coupling: strictly less than the
+            // aggressor's own droop coefficient, but a sizeable bite.
+            assert!(full > 10.0 && full < 50.0, "{bin:?}: {full}");
+            // Monotone in resonant energy, additive across aggressors.
+            assert!(chip.cross_tenant_droop_mv(&[&half]) < full);
+            let both = chip.cross_tenant_droop_mv(&[&virus, &half]);
+            assert!((both - full - chip.cross_tenant_droop_mv(&[&half])).abs() < 1e-9);
+            // Steady draw without resonance couples nothing.
+            assert_eq!(chip.cross_tenant_droop_mv(&[&benign]), 0.0);
+            assert_eq!(chip.cross_tenant_droop_mv(&[]), 0.0);
+        }
+        // A stronger droop coefficient (TFF) couples a stronger attack.
+        let ttt = ChipProfile::corner(SigmaBin::Ttt).cross_tenant_droop_mv(&[&virus]);
+        let tff = ChipProfile::corner(SigmaBin::Tff).cross_tenant_droop_mv(&[&virus]);
+        assert!(tff > ttt);
+    }
 
     /// A SPEC-like profile whose droop score equals `score` exactly
     /// (swing 0.5, alignment 0 ⇒ swing term = 0.04).

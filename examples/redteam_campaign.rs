@@ -1,0 +1,59 @@
+//! Red-team co-evolution demo: evolve a dI/dt virus tenant against the
+//! pre-hardening safety net across a small fleet, then replay the
+//! champion against the hardened net.
+//!
+//! ```text
+//! cargo run --release --example redteam_campaign
+//! ```
+
+use armv8_guardbands::redteam::{replay_fleet, run_campaign, AttackScenario, CampaignConfig};
+
+fn main() {
+    let config = CampaignConfig::dsn18(6, 2018);
+    println!(
+        "co-evolving {} genomes x {} generations against {} boards (seed net)...",
+        config.ga.population, config.ga.generations, config.fleet.boards
+    );
+    let report = run_campaign(&config);
+    for g in &report.generations {
+        println!(
+            "  gen {:>2}: best fitness {:>6.2} ({} escapes), grid total {}",
+            g.generation, g.best_fitness, g.best_escapes, g.total_escapes
+        );
+    }
+    let champion = report.champion_profile();
+    println!(
+        "champion: fitness {:.2}, resonant energy {:.3}",
+        report.champion_fitness,
+        champion.resonant_energy()
+    );
+
+    let seed = replay_fleet(
+        &config.fleet,
+        Some(&champion),
+        &config.scenario,
+        config.workers,
+    );
+    let hardened = replay_fleet(
+        &config.fleet,
+        Some(&champion),
+        &AttackScenario::hardened(config.scenario.epochs),
+        config.workers,
+    );
+    println!("\nchampion replay, per board (seed net -> hardened net):");
+    for (s, h) in seed.iter().zip(&hardened) {
+        println!(
+            "  board {}: escapes {:>2} -> {:>2}, detection {:?} -> {:?}, quarantined {} -> {}",
+            s.board,
+            s.escaped_sdcs,
+            h.escaped_sdcs,
+            s.detection_epoch,
+            h.detection_epoch,
+            s.attacker_quarantined,
+            h.attacker_quarantined
+        );
+    }
+    let seed_total: u64 = seed.iter().map(|r| r.escaped_sdcs).sum();
+    let hard_total: u64 = hardened.iter().map(|r| r.escaped_sdcs).sum();
+    println!("\ntotal escapes: seed net {seed_total}, hardened net {hard_total}");
+}

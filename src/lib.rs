@@ -15,9 +15,11 @@
 //! [`dram_sim`] for the hardware substrates, [`char_fw`] for the automated
 //! characterization framework, [`fleet`] for sharding campaigns across a
 //! simulated datacenter of boards, [`lifetime`] for the multi-year aging
-//! and re-characterization study, [`telemetry`] for structured tracing,
-//! metrics and the flight recorder, and `crates/bench` for the binaries
-//! that regenerate every table and figure of the paper.
+//! and re-characterization study, [`redteam`] for the adversarial
+//! co-evolution campaign against the safety net, [`telemetry`] for
+//! structured tracing, metrics and the flight recorder, and
+//! `crates/bench` for the binaries that regenerate every table and
+//! figure of the paper.
 
 #![warn(missing_docs)]
 
@@ -27,6 +29,7 @@ pub use fleet;
 pub use guardband_core;
 pub use lifetime;
 pub use power_model;
+pub use redteam;
 pub use stress_gen;
 pub use telemetry;
 pub use thermal_sim;

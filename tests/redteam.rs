@@ -1,0 +1,123 @@
+//! End-to-end adversarial scenario: the co-evolved dI/dt virus tenant
+//! versus both arms of the safety net.
+//!
+//! The committed scenario (6 boards, seed 2018, the `dsn18` campaign) is
+//! the one `BENCH_redteam.json` records: the champion slips at least one
+//! silent data corruption past the pre-hardening seed net, while the
+//! hardened net holds at zero escapes and detects the attack within one
+//! relaxed sentinel period on every board. Property tests pin the
+//! campaign's two structural invariants: the chronicle is byte-identical
+//! for any worker-pool size, and the champion's fitness is monotone in
+//! the attacker's generation budget.
+
+use armv8_guardbands::redteam::{replay_fleet, run_campaign, AttackScenario, CampaignConfig};
+use armv8_guardbands::workload_sim::tenant::benign_neighbor;
+use proptest::prelude::*;
+
+#[test]
+fn hardened_net_holds_where_the_seed_net_leaks() {
+    // The committed scenario — the same one the benchmark records.
+    let mut config = CampaignConfig::dsn18(6, 2018);
+    config.workers = 4;
+    let report = run_campaign(&config);
+    let champion = report.champion_profile();
+    assert!(
+        champion.resonant_energy() > 0.5,
+        "the GA must evolve a resonant virus, got {champion:?}"
+    );
+
+    // Pre-hardening ablation: the seed net leaks.
+    let seed_replay = replay_fleet(&config.fleet, Some(&champion), &config.scenario, 4);
+    let seed_escapes: u64 = seed_replay.iter().map(|r| r.escaped_sdcs).sum();
+    assert!(
+        seed_escapes >= 1,
+        "the champion must slip at least one SDC past the seed net"
+    );
+    assert!(
+        seed_replay.iter().all(|r| !r.attacker_quarantined),
+        "the seed net has no quarantine to offer"
+    );
+
+    // Hardened arm: zero escapes, detection within one sentinel period,
+    // and the response is attacker quarantine — never a board trip for
+    // the droop.
+    let hardened = AttackScenario::hardened(config.scenario.epochs);
+    let sentinel_period = u64::from(hardened.safety.sentinel_every_epochs);
+    let hardened_replay = replay_fleet(&config.fleet, Some(&champion), &hardened, 4);
+    let hardened_escapes: u64 = hardened_replay.iter().map(|r| r.escaped_sdcs).sum();
+    assert_eq!(hardened_escapes, 0, "the hardened net must hold");
+    for r in &hardened_replay {
+        assert!(r.attacker_quarantined, "board {} never evicted", r.board);
+        let latency = r
+            .detection_epoch
+            .unwrap_or_else(|| panic!("board {} never detected the attack", r.board));
+        assert!(
+            latency <= sentinel_period,
+            "board {} detected at epoch {latency}, past the {sentinel_period}-epoch period",
+            r.board
+        );
+        assert!(
+            r.cadence_tightenings >= 1,
+            "board {} never tightened its sentinel cadence",
+            r.board
+        );
+    }
+
+    // Control arm: a benign (off-resonance) neighbour must NOT be
+    // quarantined by the hardened net — the attribution keys on coupled
+    // droop, not on mere co-location.
+    let benign_replay = replay_fleet(&config.fleet, Some(&benign_neighbor()), &hardened, 4);
+    assert!(
+        benign_replay.iter().all(|r| !r.attacker_quarantined),
+        "a benign neighbour was falsely quarantined"
+    );
+}
+
+proptest! {
+    /// The campaign chronicle is byte-identical across 1/2/4/8 fleet
+    /// workers: worker scheduling never leaks into the co-evolution.
+    #[test]
+    fn chronicle_is_byte_identical_across_worker_pools(
+        seed in any::<u64>(),
+        boards in 2u32..4,
+    ) {
+        let mut config = CampaignConfig::dsn18(boards, seed);
+        config.ga.population = 4;
+        config.ga.generations = 2;
+        config.scenario.epochs = 12;
+        let mut baseline: Option<String> = None;
+        for workers in [1usize, 2, 4, 8] {
+            config.workers = workers;
+            let json = run_campaign(&config).chronicle_json();
+            match &baseline {
+                None => baseline = Some(json),
+                Some(first) => prop_assert_eq!(first, &json, "workers={}", workers),
+            }
+        }
+    }
+
+    /// More generations never hurt the attacker: the champion's fitness
+    /// is monotone in the evolution budget (the GA extends the same
+    /// deterministic stream, and the champion is a running maximum).
+    #[test]
+    fn champion_fitness_is_monotone_in_the_attacker_budget(
+        seed in any::<u64>(),
+        boards in 2u32..4,
+        short in 1usize..4,
+        extra in 1usize..3,
+    ) {
+        let mut small = CampaignConfig::dsn18(boards, seed);
+        small.ga.population = 4;
+        small.scenario.epochs = 12;
+        let mut large = small.clone();
+        small.ga.generations = short;
+        large.ga.generations = short + extra;
+        let small_fitness = run_campaign(&small).champion_fitness;
+        let large_fitness = run_campaign(&large).champion_fitness;
+        prop_assert!(
+            large_fitness >= small_fitness,
+            "budget {} scored {}, budget {} scored {}",
+            short, small_fitness, short + extra, large_fitness
+        );
+    }
+}
