@@ -1,11 +1,11 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|redteam|all] [seed]`
+//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|redteam|obs|all] [seed]`
 //!
 //! `fleet` additionally writes the speedup record to `BENCH_fleet.json`,
-//! `lifetime` the aging record to `BENCH_lifetime.json`, and `redteam`
-//! the adversarial record to `BENCH_redteam.json`, all in the current
-//! directory.
+//! `lifetime` the aging record to `BENCH_lifetime.json`, `redteam` the
+//! adversarial record to `BENCH_redteam.json`, and `obs` the observatory
+//! record to `BENCH_obs.json`, all in the current directory.
 
 use guardband_bench as bench;
 
@@ -64,6 +64,16 @@ fn main() {
         }
     };
 
+    let run_obs = || {
+        let data = bench::obs_scale::run(seed);
+        println!("{}", bench::obs_scale::render(&data));
+        let json = serde::json::to_string(&data);
+        match std::fs::write("BENCH_obs.json", &json) {
+            Ok(()) => println!("(observatory record written to BENCH_obs.json)"),
+            Err(err) => eprintln!("could not write BENCH_obs.json: {err}"),
+        }
+    };
+
     match which {
         "fig4" => run_fig4(),
         "fig5" => run_fig5(),
@@ -78,6 +88,7 @@ fn main() {
         "fleet" => run_fleet(),
         "lifetime" => run_lifetime(),
         "redteam" => run_redteam(),
+        "obs" => run_obs(),
         "all" => {
             run_fig4();
             run_fig5();
@@ -92,11 +103,12 @@ fn main() {
             run_fleet();
             run_lifetime();
             run_redteam();
+            run_obs();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of \
-                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|redteam|all"
+                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|redteam|obs|all"
             );
             std::process::exit(2);
         }

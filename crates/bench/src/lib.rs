@@ -18,6 +18,7 @@
 //! | [`fleet_scale`] | extension: 256-board fleet orchestration speedup |
 //! | [`lifetime_scale`] | extension: 16-board fleet aged 60 months with maintenance |
 //! | [`redteam_scale`] | extension: adversarial co-evolution vs the safety net |
+//! | [`obs_scale`] | extension: fleet observatory incidents, early warning, merge throughput |
 //!
 //! The `experiments` binary drives all of them; the `benches/` directory
 //! holds criterion timings of the same entry points.
@@ -34,6 +35,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleet_scale;
 pub mod lifetime_scale;
+pub mod obs_scale;
 pub mod redteam_scale;
 pub mod sweep;
 pub mod table1;

@@ -21,7 +21,7 @@ use power_model::units::{Celsius, Megahertz, Milliseconds, Millivolts};
 use serde::{Deserialize, Serialize};
 use std::rc::Rc;
 use telemetry::metrics::{MetricsSnapshot, Registry};
-use telemetry::Telemetry;
+use telemetry::{CaptureSink, Event, FlightDump, FlightRecorder, Level, Sink, Telemetry};
 use workload_sim::spec::by_name;
 use xgene_sim::fault::FaultPlan;
 use xgene_sim::server::XGene2Server;
@@ -206,6 +206,15 @@ pub struct BoardOutcome {
     pub walked_steps: u64,
     /// The job's own telemetry, captured from a per-job registry.
     pub metrics: MetricsSnapshot,
+    /// The job's `Warn`-and-above event trace, in emission order — the
+    /// per-board stream the observatory merges into the fleet timeline.
+    /// Defaults keep outcomes from before this field decodable.
+    #[serde(default)]
+    pub trace: Vec<Event>,
+    /// Flight-recorder dumps triggered during the job (the lead-up to
+    /// each quarantine/error), in trigger order.
+    #[serde(default)]
+    pub dumps: Vec<FlightDump>,
 }
 
 /// Simulated boot time charged per job, seconds.
@@ -256,12 +265,22 @@ fn execute_with(
     warm: Option<&WarmStartPriors>,
     boot: impl FnOnce() -> XGene2Server,
 ) -> BoardOutcome {
-    // Each job gets its own registry in the executing thread's telemetry
-    // context: worker threads never share mutable telemetry state, and
-    // the captured snapshot is identical wherever the job runs.
+    // Each job gets its own registry, capture sink and flight recorder
+    // in the executing thread's telemetry context: worker threads never
+    // share mutable telemetry state, and the captured snapshot, trace
+    // and dumps are identical wherever the job runs (the fresh context
+    // restarts sequence numbers at zero).
     let registry = Rc::new(Registry::new());
+    let capture = Rc::new(CaptureSink::new().with_min_level(Level::Warn));
+    let recorder = Rc::new(
+        FlightRecorder::with_capacity(48)
+            .with_min_level(Level::Debug)
+            .with_max_dumps(2),
+    );
     let guard = Telemetry::new()
         .with_registry(Rc::clone(&registry))
+        .with_shared_sink(Rc::clone(&capture) as Rc<dyn Sink>)
+        .with_shared_sink(Rc::clone(&recorder) as Rc<dyn Sink>)
         .install();
 
     let mut server = boot();
@@ -396,6 +415,8 @@ fn execute_with(
         sim_cost_seconds,
         walked_steps,
         metrics,
+        trace: capture.events(),
+        dumps: recorder.take_dumps(),
     }
 }
 
@@ -445,6 +466,32 @@ mod tests {
             .bank_safe_trefp_ms
             .iter()
             .all(|t| *t >= Milliseconds::DDR3_NOMINAL_TREFP.as_f64()));
+    }
+
+    #[test]
+    fn outcomes_carry_an_ordered_warn_level_trace_and_dumps() {
+        let campaign = FleetCampaign::quick();
+        let spec = FleetSpec::new(8, 2018);
+        let outcome = execute(&job(1), &campaign, spec.population);
+        // quick() injects sub-Vmin SDC: the deep walk crashes and
+        // retries, so the Warn-and-above trace is never empty.
+        assert!(!outcome.trace.is_empty());
+        assert!(outcome.trace.iter().all(|e| e.level >= Level::Warn));
+        assert!(
+            outcome.trace.windows(2).all(|w| w[0].seq < w[1].seq),
+            "trace is in emission order"
+        );
+        // Dumps are in trigger order and end at their trigger.
+        assert!(outcome
+            .dumps
+            .windows(2)
+            .all(|w| w[0].trigger_seq < w[1].trigger_seq));
+        for dump in &outcome.dumps {
+            assert_eq!(dump.events.last().unwrap().seq, dump.trigger_seq);
+        }
+        if outcome.quarantined_setups > 0 {
+            assert!(!outcome.dumps.is_empty(), "quarantines trigger dumps");
+        }
     }
 
     #[test]

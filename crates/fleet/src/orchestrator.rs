@@ -17,11 +17,86 @@ use crate::queue::FleetQueue;
 use crate::report::{FleetCharacterization, FleetExecution, FleetReport, JobSummary};
 use crate::schedule::ScheduleModel;
 use guardband_core::safepoint::SafePointStore;
+use observatory::{BoardStream, Observatory, SloSpec, StreamBuilder};
 use power_model::units::Millivolts;
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::thread;
-use telemetry::{counter, event, gauge, observe, span, Level};
+use telemetry::{counter, event, gauge, observe, span, FieldValue, Level};
+
+/// Per-board power-savings floor for the fleet SLO, watts. A
+/// characterized board on the DSN'18 testbed reclaims several watts;
+/// a board whose record projects less than this either failed to
+/// characterize or is pinned at nominal, and the observatory should page.
+pub const FLEET_SAVINGS_FLOOR_WATTS: f64 = 0.5;
+
+/// Name of the per-board savings-floor SLO declared by [`run_fleet`].
+pub const FLEET_SAVINGS_SLO: &str = "board-savings-floor";
+
+/// Builds the fleet observatory from `(board, attempt)`-sorted outcomes.
+///
+/// Every input is already arrival-order-free: per-job traces and dumps
+/// ride on the sorted outcomes, and the coordinator's eviction events
+/// are *re-synthesized* here from the same predicate and floor
+/// arithmetic the live path uses, rather than captured from the racy
+/// coordinator thread. The result is byte-identical across pool sizes.
+fn assemble_observatory(
+    outcomes: &[BoardOutcome],
+    store: &SafePointStore,
+    config: &FleetConfig,
+) -> Observatory {
+    let mut obs = Observatory::new();
+    obs.add_slo(SloSpec::savings_floor(
+        FLEET_SAVINGS_SLO,
+        FLEET_SAVINGS_FLOOR_WATTS,
+    ));
+    for outcome in outcomes {
+        let epoch = u64::from(outcome.attempt);
+        obs.ingest_stream(BoardStream::from_events(
+            epoch,
+            outcome.board,
+            outcome.trace.clone(),
+        ));
+        obs.ingest_dumps(epoch, outcome.board, outcome.dumps.clone());
+        // Mirror of the live eviction predicate in the coordinator loop.
+        if outcome.tripped && outcome.attempt + 1 < config.max_attempts {
+            if let Some(failure_mv) = outcome.highest_failure_mv {
+                let floor = (failure_mv + config.requeue_backoff_mv)
+                    .min(Millivolts::XGENE2_NOMINAL.as_u32());
+                let mut coordinator = StreamBuilder::coordinator(epoch, outcome.board);
+                coordinator.push(
+                    Level::Warn,
+                    "fleet_board_evicted",
+                    vec![
+                        (
+                            "board".to_owned(),
+                            FieldValue::U64(u64::from(outcome.board)),
+                        ),
+                        (
+                            "attempt".to_owned(),
+                            FieldValue::U64(u64::from(outcome.attempt)),
+                        ),
+                        (
+                            "raised_floor_mv".to_owned(),
+                            FieldValue::U64(u64::from(floor)),
+                        ),
+                    ],
+                );
+                obs.ingest_stream(coordinator.finish());
+            }
+        }
+    }
+    // One savings observation per surviving record, in board order.
+    for record in store.records() {
+        obs.slo_observe(
+            FLEET_SAVINGS_SLO,
+            u64::from(record.board),
+            Some(record.board),
+            record.savings_watts,
+        );
+    }
+    obs
+}
 
 /// Pool and eviction policy of a fleet run. Changing any knob here may
 /// change *how fast* the fleet characterizes, never *what* it measures —
@@ -180,6 +255,18 @@ pub fn run_fleet(spec: &FleetSpec, campaign: &FleetCampaign, config: &FleetConfi
             observe!("fleet_margin_mv", margin as f64);
         }
     }
+    // Per-board labeled series alongside the fleet-wide aggregates, so a
+    // Prometheus scrape can tell *which* board is dragging the totals.
+    let _ = telemetry::with_registry(|reg| {
+        for record in store.records() {
+            let board = format!("b{}", record.board);
+            let labels = [("board", board.as_str())];
+            reg.gauge_set_labeled("fleet_board_savings_watts", &labels, record.savings_watts);
+            if let Some(margin) = record.margin_mv() {
+                reg.gauge_set_labeled("fleet_board_margin_mv", &labels, margin as f64);
+            }
+        }
+    });
     for (worker, jobs) in per_worker_jobs.iter().enumerate() {
         event!(
             Level::Debug,
@@ -213,9 +300,11 @@ pub fn run_fleet(spec: &FleetSpec, campaign: &FleetCampaign, config: &FleetConfi
         sim_serial_seconds: plan.serial_seconds,
     };
     let execution = FleetExecution::new(queue.stats(), per_worker_jobs, requeues, &plan);
+    let observatory = assemble_observatory(&outcomes, &characterization.store, config).finish();
     FleetReport {
         characterization,
         execution,
+        observatory,
     }
 }
 
@@ -237,8 +326,49 @@ mod tests {
             serial.characterization_json(),
             pooled.characterization_json()
         );
+        assert_eq!(
+            serial.observatory_json(),
+            pooled.observatory_json(),
+            "the observatory report is pool-independent too"
+        );
         assert_eq!(serial.execution.jobs, pooled.execution.jobs);
         assert_ne!(serial.execution.workers, pooled.execution.workers);
+    }
+
+    #[test]
+    fn the_observatory_reconstructs_every_eviction_as_an_incident() {
+        let spec = small_fleet();
+        let campaign = FleetCampaign::quick(); // injects sub-Vmin SDC
+        let report = run_fleet(&spec, &campaign, &FleetConfig::with_workers(2));
+        assert!(report.execution.requeues > 0, "the fault plan must evict");
+        let evictions: Vec<_> = report
+            .observatory
+            .incidents_of(observatory::IncidentKind::BoardEviction)
+            .collect();
+        assert_eq!(
+            evictions.len() as u64,
+            report.execution.requeues,
+            "one BoardEviction incident per requeue"
+        );
+        // Each eviction incident points at a job whose breaker tripped on
+        // its first attempt.
+        for incident in &evictions {
+            assert_eq!(incident.trigger_epoch, 0, "evictions happen at attempt 0");
+            let job = report
+                .characterization
+                .jobs
+                .iter()
+                .find(|j| j.board == incident.board && j.attempt == 0)
+                .expect("incident board exists");
+            assert!(job.tripped);
+        }
+        // The quick campaign characterizes every board, so the per-board
+        // savings-floor SLO stays quiet.
+        assert!(
+            report.observatory.alerts.is_empty(),
+            "no savings-floor alerts on a healthy fleet: {:?}",
+            report.observatory.alerts
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::queue::QueueStats;
 use crate::schedule::ScheduleModel;
 use guardband_core::safepoint::{FleetStats, SafePointStore};
+use observatory::ObservatoryReport;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -114,6 +115,13 @@ pub struct FleetReport {
     pub characterization: FleetCharacterization,
     /// The execution side (pool-dependent).
     pub execution: FleetExecution,
+    /// The observatory's distillation of the run: merged per-board
+    /// timeline, reconstructed incidents and SLO alerts. Deterministic
+    /// across pool sizes (asserted via [`FleetReport::observatory_json`]),
+    /// but kept out of [`FleetReport::characterization_json`] so the
+    /// longstanding byte-identity artifact is unchanged.
+    #[serde(default)]
+    pub observatory: ObservatoryReport,
 }
 
 impl FleetReport {
@@ -121,6 +129,12 @@ impl FleetReport {
     /// N-workers ≡ serial invariant is asserted on, byte for byte.
     pub fn characterization_json(&self) -> String {
         serde::json::to_string(&self.characterization)
+    }
+
+    /// Canonical JSON of the observatory report — byte-identical across
+    /// pool sizes, like the characterization.
+    pub fn observatory_json(&self) -> String {
+        self.observatory.chronicle_json()
     }
 
     /// Human-readable fleet summary.
@@ -197,6 +211,7 @@ mod tests {
                 0,
                 &ScheduleModel::plan(&[], 2),
             ),
+            observatory: ObservatoryReport::default(),
         }
     }
 

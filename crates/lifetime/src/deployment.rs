@@ -32,12 +32,13 @@ use fleet::maintenance::{BoardHealth, MaintenancePlan, MaintenancePolicy};
 use fleet::population::{BoardSpec, FleetSpec};
 use guardband_core::epoch::VersionedSafePointStore;
 use guardband_core::safepoint::BoardSafePoint;
+use observatory::{BoardStream, DetectorConfig, Direction, Observatory, SloSpec, StreamBuilder};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use telemetry::metrics::Registry;
-use telemetry::{counter, event, gauge, span, Level, Telemetry};
+use telemetry::{counter, event, gauge, span, FieldValue, Level, Telemetry};
 use xgene_sim::topology::CORE_COUNT;
 
 /// Everything a lifetime run is a function of.
@@ -116,6 +117,23 @@ impl Default for LifetimeConfig {
     }
 }
 
+/// Name of the zero-SDC-escape SLO declared by [`run_deployment`]: any
+/// board-month of sub-Vmin operation pages immediately.
+pub const LIFETIME_SDC_SLO: &str = "zero-sdc-exposure";
+
+/// Name of the fleet savings-floor SLO declared by [`run_deployment`].
+pub const LIFETIME_SAVINGS_SLO: &str = "fleet-savings-floor";
+
+/// The savings floor, as a fraction of the initial deployment's
+/// projected savings: losing more than half the reclaimed watts to
+/// drift parking means maintenance is failing its economic purpose.
+pub const LIFETIME_SAVINGS_FLOOR_FRACTION: f64 = 0.5;
+
+/// Detector metric fed with each board's modeled margin every month;
+/// the drift detector warns on the *decay* long before the margin
+/// itself goes negative.
+pub const LIFETIME_MARGIN_METRIC: &str = "margin_mv";
+
 /// Plays the fleet's whole service life. See the module docs for the
 /// loop and the determinism argument.
 ///
@@ -165,6 +183,30 @@ pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> Lifetim
     rounds += 1;
     absorb(&mut epochs, 0, &outcomes, &mut job_counters);
 
+    // The observatory watches the whole life: month = epoch. Job traces
+    // live in the per-board seq namespace; the coordinator's monthly
+    // health observations use the coordinator namespace, which sorts
+    // after same-month job events by convention.
+    let mut obs = Observatory::new();
+    obs.add_detector(
+        LIFETIME_MARGIN_METRIC,
+        DetectorConfig::drift(Direction::Low),
+    );
+    obs.add_slo(SloSpec::zero_escapes(LIFETIME_SDC_SLO));
+    let initial_savings = epochs.latest().stats().total_savings_watts;
+    obs.add_slo(SloSpec::savings_floor(
+        LIFETIME_SAVINGS_SLO,
+        LIFETIME_SAVINGS_FLOOR_FRACTION * initial_savings,
+    ));
+    for outcome in &outcomes {
+        obs.ingest_stream(BoardStream::from_events(
+            0,
+            outcome.board,
+            outcome.trace.clone(),
+        ));
+        obs.ingest_dumps(0, outcome.board, outcome.dumps.clone());
+    }
+
     for month in 1..=spec.months {
         gauge!("lifetime_month", f64::from(month));
 
@@ -179,12 +221,46 @@ pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> Lifetim
             let health = spec
                 .drift
                 .health(board, &spec.campaign.cores, base, record, epoch, month);
+            let mut watch = StreamBuilder::coordinator(u64::from(month), board.id);
+            let mut health_fields = vec![
+                (
+                    "months_since".to_owned(),
+                    FieldValue::U64(u64::from(health.months_since_characterization)),
+                ),
+                (
+                    "failing_cells".to_owned(),
+                    FieldValue::U64(health.failing_cells),
+                ),
+            ];
+            if let Some(margin) = health.margin_mv {
+                health_fields.push(("margin_mv".to_owned(), FieldValue::I64(margin)));
+            }
+            watch.push(Level::Debug, "board_health", health_fields);
             if let Some(margin) = health.margin_mv {
                 min_margin = Some(min_margin.map_or(margin, |m| m.min(margin)));
+                obs.detect(
+                    board.id,
+                    LIFETIME_MARGIN_METRIC,
+                    u64::from(month),
+                    margin as f64,
+                );
                 if margin < 0 {
                     sdc_boards.push(board.id);
+                    watch.push(
+                        Level::Error,
+                        "production_sdc",
+                        vec![
+                            ("month".to_owned(), FieldValue::U64(u64::from(month))),
+                            (
+                                "months_since".to_owned(),
+                                FieldValue::U64(u64::from(health.months_since_characterization)),
+                            ),
+                            ("margin_mv".to_owned(), FieldValue::I64(margin)),
+                        ],
+                    );
                 }
             }
+            obs.ingest_stream(watch.finish());
             healths.push(health);
         }
         if !sdc_boards.is_empty() {
@@ -197,6 +273,12 @@ pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> Lifetim
                 boards = sdc_boards.len() as u64,
             );
         }
+        obs.slo_observe(
+            LIFETIME_SDC_SLO,
+            u64::from(month),
+            None,
+            sdc_boards.len() as f64,
+        );
 
         // Plan and execute this month's re-characterizations.
         let plan = if spec.recharacterize {
@@ -224,15 +306,30 @@ pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> Lifetim
             warm_walked_steps += outcomes.iter().map(|o| o.walked_steps).sum::<u64>();
             counter!("lifetime_recharacterizations_total", outcomes.len() as u64);
             absorb(&mut epochs, month, &outcomes, &mut job_counters);
+            for outcome in &outcomes {
+                obs.ingest_stream(BoardStream::from_events(
+                    u64::from(month),
+                    outcome.board,
+                    outcome.trace.clone(),
+                ));
+                obs.ingest_dumps(u64::from(month), outcome.board, outcome.dumps.clone());
+            }
         }
 
+        let total_savings_watts = epochs.latest().stats().total_savings_watts;
+        obs.slo_observe(
+            LIFETIME_SAVINGS_SLO,
+            u64::from(month),
+            None,
+            total_savings_watts,
+        );
         months_log.push(MonthRecord {
             month,
             deferred: plan.deferred.len() as u64,
             scheduled: plan.scheduled,
             sdc_boards,
             min_margin_mv: min_margin,
-            total_savings_watts: epochs.latest().stats().total_savings_watts,
+            total_savings_watts,
         });
     }
 
@@ -265,6 +362,7 @@ pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> Lifetim
     LifetimeReport {
         chronicle,
         execution,
+        observatory: obs.finish(),
     }
 }
 
@@ -368,10 +466,32 @@ mod tests {
         let a = run_deployment(&spec, &LifetimeConfig::with_workers(1));
         let b = run_deployment(&spec, &LifetimeConfig::with_workers(1));
         assert_eq!(a.chronicle_json(), b.chronicle_json());
+        assert_eq!(a.observatory_json(), b.observatory_json());
         let c = &a.chronicle;
         assert_eq!(c.epochs.epoch(0).unwrap().len(), 3);
         assert_eq!(c.months_log.len(), 6);
         assert!(c.initial_savings_watts() > 0.0);
+        // The observatory saw every month: a board_health observation
+        // per deployed board per month, and zero SDC incidents on a
+        // maintained fleet.
+        let healths = a
+            .observatory
+            .timeline
+            .events()
+            .iter()
+            .filter(|te| te.event.name == "board_health")
+            .count();
+        assert_eq!(healths, 3 * 6);
+        assert!(a
+            .observatory
+            .incidents_of(observatory::IncidentKind::ProductionSdc)
+            .next()
+            .is_none());
+        assert!(
+            a.observatory.alerts.is_empty(),
+            "no SLO burns on a maintained short life: {:?}",
+            a.observatory.alerts
+        );
     }
 
     #[test]

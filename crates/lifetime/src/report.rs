@@ -10,6 +10,7 @@
 
 use fleet::maintenance::MaintenanceDecision;
 use guardband_core::epoch::VersionedSafePointStore;
+use observatory::ObservatoryReport;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -114,6 +115,13 @@ pub struct LifetimeReport {
     pub chronicle: LifetimeChronicle,
     /// The execution trace (never compare this).
     pub execution: LifetimeExecution,
+    /// The observatory's view of the life: merged monthly timeline,
+    /// reconstructed incidents (production SDCs above all), SLO alerts
+    /// and margin-drift early warnings. Deterministic like the
+    /// chronicle, but versioned separately from it so the pinned
+    /// `chronicle_json` artifact is unchanged.
+    #[serde(default)]
+    pub observatory: ObservatoryReport,
 }
 
 impl LifetimeReport {
@@ -122,6 +130,12 @@ impl LifetimeReport {
     /// regardless of worker count.
     pub fn chronicle_json(&self) -> String {
         serde::json::to_string(&self.chronicle)
+    }
+
+    /// Canonical JSON of the observatory report — deterministic across
+    /// runs and worker counts, like the chronicle.
+    pub fn observatory_json(&self) -> String {
+        self.observatory.chronicle_json()
     }
 
     /// Human-readable summary of the deployment's life.

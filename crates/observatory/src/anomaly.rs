@@ -1,0 +1,280 @@
+//! Streaming early-warning anomaly detection.
+//!
+//! Each `(board, metric)` pair gets a streaming EWMA baseline with an
+//! exponentially weighted variance (West's recurrence). A new value is
+//! scored against the baseline *before* being folded in; if its
+//! z-score crosses the configured threshold in the configured
+//! direction, a [`Warning`] fires and the baseline is **frozen** for
+//! that observation — an ongoing excursion keeps warning instead of
+//! teaching the detector that anomalous is the new normal. A short
+//! warm-up window primes the baseline before any scoring happens.
+//!
+//! The point of this module is lead time: on the aging and attack
+//! scenarios, the first `Warning` lands measurably before the circuit
+//! breaker trips, while steady benign streams never warn at all.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which side of the baseline counts as anomalous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Only excursions above the baseline (droop estimates, CE rates).
+    High,
+    /// Only excursions below the baseline (margins, savings).
+    Low,
+    /// Either side.
+    Both,
+}
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// EWMA smoothing factor in `(0, 1]`; higher tracks faster.
+    pub alpha: f64,
+    /// |z| needed to warn.
+    pub z_threshold: f64,
+    /// Observations used to prime the baseline before scoring starts.
+    pub warmup: u32,
+    /// Floor on the estimated standard deviation, so a perfectly flat
+    /// warm-up (variance zero) doesn't make the first wiggle infinite.
+    pub min_std: f64,
+    /// Which excursions count.
+    pub direction: Direction,
+}
+
+impl DetectorConfig {
+    /// A conservative detector for noisy, spiky metrics.
+    pub fn spike(direction: Direction) -> Self {
+        DetectorConfig {
+            alpha: 0.3,
+            z_threshold: 4.0,
+            warmup: 3,
+            min_std: 1.0,
+            direction,
+        }
+    }
+
+    /// A sensitive detector for slow drifts (aging margins).
+    pub fn drift(direction: Direction) -> Self {
+        DetectorConfig {
+            alpha: 0.3,
+            z_threshold: 2.0,
+            warmup: 2,
+            min_std: 1.0,
+            direction,
+        }
+    }
+}
+
+/// One early-warning finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Warning {
+    /// The metric stream that warned.
+    pub metric: String,
+    /// The board it warned on.
+    pub board: u32,
+    /// The epoch of the anomalous observation.
+    pub epoch: u64,
+    /// The observed value.
+    pub value: f64,
+    /// Its z-score against the pre-update baseline.
+    pub zscore: f64,
+}
+
+/// One stream's EWMA baseline and scorer.
+#[derive(Debug, Clone)]
+pub struct EwmaDetector {
+    config: DetectorConfig,
+    mean: f64,
+    var: f64,
+    seen: u32,
+}
+
+impl EwmaDetector {
+    /// A detector with an unprimed baseline.
+    pub fn new(config: DetectorConfig) -> Self {
+        EwmaDetector {
+            config,
+            mean: 0.0,
+            var: 0.0,
+            seen: 0,
+        }
+    }
+
+    fn fold(&mut self, value: f64) {
+        let delta = value - self.mean;
+        self.mean += self.config.alpha * delta;
+        self.var = (1.0 - self.config.alpha) * (self.var + self.config.alpha * delta * delta);
+        self.seen += 1;
+    }
+
+    /// Scores `value` against the baseline; returns its z-score if it
+    /// is anomalous (in which case the baseline is left frozen), else
+    /// folds it into the baseline and returns `None`.
+    pub fn observe(&mut self, value: f64) -> Option<f64> {
+        if self.seen == 0 {
+            self.mean = value;
+            self.var = 0.0;
+            self.seen = 1;
+            return None;
+        }
+        if self.seen < self.config.warmup {
+            self.fold(value);
+            return None;
+        }
+        let std = self.var.sqrt().max(self.config.min_std);
+        let z = (value - self.mean) / std;
+        let anomalous = match self.config.direction {
+            Direction::High => z >= self.config.z_threshold,
+            Direction::Low => z <= -self.config.z_threshold,
+            Direction::Both => z.abs() >= self.config.z_threshold,
+        };
+        if anomalous {
+            return Some(z);
+        }
+        self.fold(value);
+        None
+    }
+}
+
+/// A fleet of detectors, one per registered metric per board, plus the
+/// warnings they raised.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorBank {
+    configs: BTreeMap<String, DetectorConfig>,
+    detectors: BTreeMap<(u32, String), EwmaDetector>,
+    warnings: Vec<Warning>,
+}
+
+impl DetectorBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        DetectorBank::default()
+    }
+
+    /// Registers a metric: boards observed under this name get their
+    /// own detector with this config. Observations for unregistered
+    /// metrics are ignored.
+    pub fn register(&mut self, metric: &str, config: DetectorConfig) {
+        self.configs.insert(metric.to_owned(), config);
+    }
+
+    /// Feeds one observation; records and returns a warning if the
+    /// board's detector finds it anomalous.
+    pub fn observe(
+        &mut self,
+        board: u32,
+        metric: &str,
+        epoch: u64,
+        value: f64,
+    ) -> Option<&Warning> {
+        let config = *self.configs.get(metric)?;
+        let detector = self
+            .detectors
+            .entry((board, metric.to_owned()))
+            .or_insert_with(|| EwmaDetector::new(config));
+        let zscore = detector.observe(value)?;
+        self.warnings.push(Warning {
+            metric: metric.to_owned(),
+            board,
+            epoch,
+            value,
+            zscore,
+        });
+        self.warnings.last()
+    }
+
+    /// Every warning raised so far, in observation order.
+    pub fn warnings(&self) -> &[Warning] {
+        &self.warnings
+    }
+
+    /// The earliest warning for `(board, metric)`, by observation
+    /// order (callers feed epochs in order, so this is also the
+    /// earliest epoch).
+    pub fn first_warning(&self, board: u32, metric: &str) -> Option<&Warning> {
+        self.warnings
+            .iter()
+            .find(|w| w.board == board && w.metric == metric)
+    }
+
+    /// Consumes the bank, yielding its warnings.
+    pub fn into_warnings(self) -> Vec<Warning> {
+        self.warnings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_flat_stream_never_warns() {
+        let mut bank = DetectorBank::new();
+        bank.register("droop_mv", DetectorConfig::spike(Direction::High));
+        for epoch in 0..50 {
+            assert!(bank.observe(0, "droop_mv", epoch, 5.0).is_none());
+        }
+        assert!(bank.warnings().is_empty());
+    }
+
+    #[test]
+    fn a_step_change_warns_and_keeps_warning_while_elevated() {
+        let mut bank = DetectorBank::new();
+        bank.register("droop_mv", DetectorConfig::spike(Direction::High));
+        for epoch in 0..10 {
+            bank.observe(4, "droop_mv", epoch, 2.0);
+        }
+        let first = bank.observe(4, "droop_mv", 10, 40.0).cloned();
+        let first = first.expect("step warns");
+        assert_eq!(first.epoch, 10);
+        assert!(first.zscore >= 4.0);
+        // Frozen baseline: the sustained excursion still warns.
+        assert!(bank.observe(4, "droop_mv", 11, 40.0).is_some());
+        assert_eq!(bank.first_warning(4, "droop_mv").unwrap().epoch, 10);
+    }
+
+    #[test]
+    fn direction_low_ignores_upward_spikes() {
+        let mut bank = DetectorBank::new();
+        bank.register("margin_mv", DetectorConfig::drift(Direction::Low));
+        for epoch in 0..10 {
+            bank.observe(1, "margin_mv", epoch, 50.0);
+        }
+        assert!(bank.observe(1, "margin_mv", 10, 60.0).is_none());
+        assert!(bank.observe(1, "margin_mv", 11, 30.0).is_some());
+    }
+
+    #[test]
+    fn a_decaying_margin_warns_before_it_crosses_zero() {
+        let mut bank = DetectorBank::new();
+        bank.register("margin_mv", DetectorConfig::drift(Direction::Low));
+        // t^0.3-style decelerating decay from 40 mV, as the silicon
+        // aging model produces: big first steps, then a slow tail.
+        let mut warned_at = None;
+        let mut crossed_zero_at = None;
+        for month in 1u64..=60 {
+            let margin = 40.0 - 12.0 * (month as f64).powf(0.3);
+            if margin < 0.0 && crossed_zero_at.is_none() {
+                crossed_zero_at = Some(month);
+            }
+            if bank.observe(0, "margin_mv", month, margin).is_some() && warned_at.is_none() {
+                warned_at = Some(month);
+            }
+        }
+        let warned_at = warned_at.expect("decay warns");
+        let crossed_zero_at = crossed_zero_at.expect("decay crosses zero");
+        assert!(
+            warned_at < crossed_zero_at,
+            "warning month {warned_at} should precede failure month {crossed_zero_at}"
+        );
+    }
+
+    #[test]
+    fn unregistered_metrics_are_ignored() {
+        let mut bank = DetectorBank::new();
+        assert!(bank.observe(0, "unknown", 0, 1e9).is_none());
+        assert!(bank.warnings().is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! Fleet-wide observability for exploited-guardband campaigns.
+//!
+//! The campaigns in this workspace run per-board jobs on worker pools,
+//! and each job's telemetry dies in its own thread-local context. This
+//! crate is the layer that puts the pieces back together,
+//! deterministically:
+//!
+//! - [`stream`] — per-board event streams pinned to a Lamport-style
+//!   `(epoch, board, seq)` [`CausalKey`], captured with [`observe`] or
+//!   synthesized with [`StreamBuilder`];
+//! - [`timeline`] — [`FleetTimeline::merge`] folds any number of
+//!   streams into one causally ordered timeline, byte-identical across
+//!   1/2/4/8 workers, with a Chrome `trace_event` exporter;
+//! - [`incident`] — [`reconstruct`] turns trigger events plus
+//!   [`FlightDump`]s into structured [`Incident`] postmortems;
+//! - [`slo`] — declarative objectives evaluated per epoch with
+//!   fast/slow multi-window burn-rate alerting;
+//! - [`anomaly`] — streaming EWMA z-score detectors that warn about
+//!   decaying margins and rising droops *before* the breakers trip.
+//!
+//! [`Observatory`] is the assembly point: campaigns feed it streams,
+//! dumps, SLO observations, and detector samples as they run, then
+//! [`Observatory::finish`] produces an [`ObservatoryReport`] — the
+//! merged timeline, the reconstructed incidents, the alerts, and the
+//! early warnings, all serializable and all deterministic.
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod incident;
+pub mod slo;
+pub mod stream;
+pub mod timeline;
+
+pub use anomaly::{DetectorBank, DetectorConfig, Direction, EwmaDetector, Warning};
+pub use incident::{reconstruct, render_incidents, Incident, IncidentKind, Resolution};
+pub use slo::{AlertSeverity, SloAlert, SloKind, SloMonitor, SloSpec, SLOW_WINDOW_EPOCHS};
+pub use stream::{observe, BoardStream, CausalKey, StreamBuilder, COORDINATOR_SEQ_BASE};
+pub use timeline::{FleetTimeline, TimelineEvent};
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use telemetry::FlightDump;
+
+/// The assembly point campaigns feed while they run.
+#[derive(Debug, Default)]
+pub struct Observatory {
+    streams: Vec<BoardStream>,
+    dumps: Vec<(CausalKey, FlightDump)>,
+    monitors: Vec<SloMonitor>,
+    alerts: Vec<SloAlert>,
+    bank: DetectorBank,
+}
+
+impl Observatory {
+    /// An empty observatory with no objectives or detectors.
+    pub fn new() -> Self {
+        Observatory::default()
+    }
+
+    /// Declares an objective; observations are fed to it by name via
+    /// [`Observatory::slo_observe`].
+    pub fn add_slo(&mut self, spec: SloSpec) {
+        self.monitors.push(SloMonitor::new(spec));
+    }
+
+    /// Registers an anomaly-detector metric; samples are fed via
+    /// [`Observatory::detect`].
+    pub fn add_detector(&mut self, metric: &str, config: DetectorConfig) {
+        self.bank.register(metric, config);
+    }
+
+    /// Ingests one board's event stream.
+    pub fn ingest_stream(&mut self, stream: BoardStream) {
+        self.streams.push(stream);
+    }
+
+    /// Ingests flight dumps taken at `(epoch, board)`; each dump is
+    /// keyed by its trigger event's sequence number so the incident
+    /// reconstructor can attach it to the matching trigger.
+    pub fn ingest_dumps(&mut self, epoch: u64, board: u32, dumps: Vec<FlightDump>) {
+        for dump in dumps {
+            let key = CausalKey {
+                epoch,
+                board,
+                seq: dump.trigger_seq,
+            };
+            self.dumps.push((key, dump));
+        }
+    }
+
+    /// Feeds one epoch's value to the named objective.
+    ///
+    /// # Panics
+    /// Panics if no objective with that name was declared — a
+    /// misspelled SLO silently observing nothing is a bug.
+    pub fn slo_observe(&mut self, name: &str, epoch: u64, board: Option<u32>, value: f64) {
+        let monitor = self
+            .monitors
+            .iter_mut()
+            .find(|m| m.spec().name == name)
+            .unwrap_or_else(|| panic!("no SLO named `{name}` declared"));
+        if let Some(alert) = monitor.observe(epoch, board, value) {
+            self.alerts.push(alert);
+        }
+    }
+
+    /// Feeds one sample to the board's detector for `metric`.
+    pub fn detect(&mut self, board: u32, metric: &str, epoch: u64, value: f64) {
+        self.bank.observe(board, metric, epoch, value);
+    }
+
+    /// The earliest warning raised for `(board, metric)` so far.
+    pub fn first_warning(&self, board: u32, metric: &str) -> Option<&Warning> {
+        self.bank.first_warning(board, metric)
+    }
+
+    /// Merges the streams ingested so far (non-consuming; useful for
+    /// progress inspection).
+    pub fn timeline(&self) -> FleetTimeline {
+        FleetTimeline::merge(&self.streams)
+    }
+
+    /// Merges, reconstructs, and seals everything into a report.
+    pub fn finish(self) -> ObservatoryReport {
+        let timeline = FleetTimeline::merge(&self.streams);
+        let incidents = reconstruct(&timeline, &self.dumps);
+        ObservatoryReport {
+            timeline,
+            incidents,
+            alerts: self.alerts,
+            warnings: self.bank.into_warnings(),
+        }
+    }
+}
+
+/// Everything the observatory distilled from one campaign.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObservatoryReport {
+    /// The merged fleet timeline.
+    pub timeline: FleetTimeline,
+    /// Reconstructed incidents, in causal order.
+    pub incidents: Vec<Incident>,
+    /// SLO alerts, in observation order.
+    pub alerts: Vec<SloAlert>,
+    /// Early warnings, in observation order.
+    pub warnings: Vec<Warning>,
+}
+
+impl ObservatoryReport {
+    /// Canonical JSON of the whole report — the byte-identity artifact
+    /// compared across worker counts.
+    pub fn chronicle_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// The earliest warning for `(board, metric)`.
+    pub fn first_warning(&self, board: u32, metric: &str) -> Option<&Warning> {
+        self.warnings
+            .iter()
+            .find(|w| w.board == board && w.metric == metric)
+    }
+
+    /// Incidents of one kind.
+    pub fn incidents_of(&self, kind: IncidentKind) -> impl Iterator<Item = &Incident> {
+        self.incidents.iter().filter(move |i| i.kind == kind)
+    }
+
+    /// Renders the headline numbers plus the incident timeline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let pages = self
+            .alerts
+            .iter()
+            .filter(|a| a.severity == AlertSeverity::Page)
+            .count();
+        let _ = writeln!(
+            out,
+            "observatory: {} events merged, {} incidents, {} alerts ({} pages), {} early warnings",
+            self.timeline.len(),
+            self.incidents.len(),
+            self.alerts.len(),
+            pages,
+            self.warnings.len()
+        );
+        out.push_str(&render_incidents(&self.incidents));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::Level;
+
+    #[test]
+    fn the_full_pipeline_produces_a_deterministic_report() {
+        let build = || {
+            let mut obs = Observatory::new();
+            obs.add_slo(SloSpec::zero_escapes("no-escapes"));
+            obs.add_detector("droop_mv", DetectorConfig::spike(Direction::High));
+            for board in [1u32, 0] {
+                let mut builder = StreamBuilder::synthetic(0, board);
+                builder.push(Level::Info, "boot", vec![]);
+                if board == 1 {
+                    builder.push(Level::Warn, "refresh_rollback", vec![]);
+                }
+                obs.ingest_stream(builder.finish());
+                obs.slo_observe("no-escapes", 0, Some(board), 0.0);
+                for epoch in 0..8 {
+                    obs.detect(board, "droop_mv", epoch, 3.0);
+                }
+                obs.detect(board, "droop_mv", 8, if board == 1 { 90.0 } else { 3.0 });
+            }
+            obs.finish()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.chronicle_json(), b.chronicle_json());
+        assert_eq!(a.incidents.len(), 1);
+        assert_eq!(a.incidents[0].kind, IncidentKind::BreakerTrip);
+        assert!(a.alerts.is_empty());
+        assert_eq!(a.warnings.len(), 1);
+        assert_eq!(a.first_warning(1, "droop_mv").unwrap().epoch, 8);
+        assert!(a.first_warning(0, "droop_mv").is_none());
+        assert!(a.render().contains("breaker-trip"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut obs = Observatory::new();
+        obs.add_slo(SloSpec::zero_escapes("no-escapes"));
+        let mut builder = StreamBuilder::synthetic(2, 5);
+        builder.push(
+            Level::Error,
+            "quarantine",
+            vec![("resets".into(), 3u64.into())],
+        );
+        obs.ingest_stream(builder.finish());
+        obs.slo_observe("no-escapes", 2, Some(5), 1.0);
+        let report = obs.finish();
+        let json = report.chronicle_json();
+        let back: ObservatoryReport = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    #[should_panic(expected = "no SLO named")]
+    fn observing_an_undeclared_slo_panics() {
+        Observatory::new().slo_observe("nope", 0, None, 1.0);
+    }
+}

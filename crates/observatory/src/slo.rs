@@ -1,0 +1,251 @@
+//! Declarative service-level objectives with multi-window burn-rate
+//! alerting.
+//!
+//! Each [`SloMonitor`] owns one objective and is fed one value per
+//! epoch. The value is converted into a *burn rate* — how fast the
+//! error budget is being consumed, where `1.0` means "exactly at the
+//! objective" — and evaluated over two windows: the **fast** window
+//! (the current epoch's burn) catches sudden regressions, and the
+//! **slow** window (the mean burn over the last
+//! [`SLOW_WINDOW_EPOCHS`]) confirms they are sustained. Both windows
+//! hot pages the operator; exactly one files a ticket; neither stays
+//! silent. The zero-escape invariant short-circuits all of this: a
+//! single escaped SDC is a page, no window smoothing applies.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Length of the slow burn-rate window, in epochs.
+pub const SLOW_WINDOW_EPOCHS: usize = 10;
+
+/// What an objective bounds and the budget it grants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SloKind {
+    /// The per-epoch corrected-error rate must stay at or below the
+    /// ceiling. Burn = value / ceiling.
+    CeRateCeiling {
+        /// Highest acceptable CE rate per epoch.
+        max_per_epoch: f64,
+    },
+    /// Detecting an attack or fault must take no more than the bound.
+    /// Burn = value / bound.
+    DetectionLatencyBound {
+        /// Largest acceptable detection latency, in epochs.
+        max_epochs: f64,
+    },
+    /// The exploited guardband must keep paying: per-epoch power
+    /// savings must not drop below the floor. Burn = 0 while at or
+    /// above the floor, otherwise 1 plus the relative shortfall.
+    PowerSavingsFloor {
+        /// Lowest acceptable savings, in watts.
+        min_watts: f64,
+    },
+    /// No silent data corruption may ever escape. Burn = the escape
+    /// count itself, and any positive value pages immediately.
+    ZeroEscapes,
+}
+
+/// A named objective plus its alerting thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Objective name, unique within an observatory.
+    pub name: String,
+    /// What is being bounded.
+    pub kind: SloKind,
+    /// Fast-window (1 epoch) burn threshold.
+    pub fast_burn_threshold: f64,
+    /// Slow-window ([`SLOW_WINDOW_EPOCHS`] epochs) burn threshold.
+    pub slow_burn_threshold: f64,
+}
+
+impl SloSpec {
+    /// An objective with the default thresholds (burn ≥ 1.0 on both
+    /// windows pages; on exactly one, tickets).
+    pub fn new(name: &str, kind: SloKind) -> Self {
+        SloSpec {
+            name: name.to_owned(),
+            kind,
+            fast_burn_threshold: 1.0,
+            slow_burn_threshold: 1.0,
+        }
+    }
+
+    /// A corrected-error-rate ceiling.
+    pub fn ce_ceiling(name: &str, max_per_epoch: f64) -> Self {
+        SloSpec::new(name, SloKind::CeRateCeiling { max_per_epoch })
+    }
+
+    /// A detection-latency bound.
+    pub fn detection_latency(name: &str, max_epochs: f64) -> Self {
+        SloSpec::new(name, SloKind::DetectionLatencyBound { max_epochs })
+    }
+
+    /// A power-savings floor.
+    pub fn savings_floor(name: &str, min_watts: f64) -> Self {
+        SloSpec::new(name, SloKind::PowerSavingsFloor { min_watts })
+    }
+
+    /// The zero-escape invariant.
+    pub fn zero_escapes(name: &str) -> Self {
+        SloSpec::new(name, SloKind::ZeroEscapes)
+    }
+}
+
+/// How loudly an alert fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AlertSeverity {
+    /// One window is hot: worth a look, not worth a wake-up.
+    Ticket,
+    /// Both windows are hot (or an invariant broke): act now.
+    Page,
+}
+
+/// One alert raised by a monitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloAlert {
+    /// Name of the objective that fired.
+    pub slo: String,
+    /// Epoch the observation landed at.
+    pub epoch: u64,
+    /// Board the observation was scoped to, if per-board.
+    pub board: Option<u32>,
+    /// Ticket or page.
+    pub severity: AlertSeverity,
+    /// The raw observed value.
+    pub value: f64,
+    /// Burn rate over the fast (1-epoch) window.
+    pub fast_burn: f64,
+    /// Mean burn rate over the slow window.
+    pub slow_burn: f64,
+}
+
+/// One objective's evaluator: feed it a value per epoch, collect
+/// alerts.
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    spec: SloSpec,
+    window: VecDeque<f64>,
+}
+
+impl SloMonitor {
+    /// A monitor with an empty burn history.
+    pub fn new(spec: SloSpec) -> Self {
+        SloMonitor {
+            spec,
+            window: VecDeque::with_capacity(SLOW_WINDOW_EPOCHS),
+        }
+    }
+
+    /// The objective this monitor evaluates.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    fn burn(&self, value: f64) -> f64 {
+        match &self.spec.kind {
+            SloKind::CeRateCeiling { max_per_epoch } => value / max_per_epoch,
+            SloKind::DetectionLatencyBound { max_epochs } => value / max_epochs,
+            SloKind::PowerSavingsFloor { min_watts } => {
+                if value >= *min_watts {
+                    0.0
+                } else {
+                    1.0 + (min_watts - value) / min_watts
+                }
+            }
+            SloKind::ZeroEscapes => value,
+        }
+    }
+
+    /// Feeds one epoch's value; returns an alert if a window is hot.
+    pub fn observe(&mut self, epoch: u64, board: Option<u32>, value: f64) -> Option<SloAlert> {
+        let fast_burn = self.burn(value);
+        self.window.push_back(fast_burn);
+        if self.window.len() > SLOW_WINDOW_EPOCHS {
+            self.window.pop_front();
+        }
+        let slow_burn = self.window.iter().sum::<f64>() / self.window.len() as f64;
+        let severity = if matches!(self.spec.kind, SloKind::ZeroEscapes) {
+            (value > 0.0).then_some(AlertSeverity::Page)
+        } else {
+            let fast_hot = fast_burn >= self.spec.fast_burn_threshold;
+            let slow_hot = slow_burn >= self.spec.slow_burn_threshold;
+            match (fast_hot, slow_hot) {
+                (true, true) => Some(AlertSeverity::Page),
+                (true, false) | (false, true) => Some(AlertSeverity::Ticket),
+                (false, false) => None,
+            }
+        };
+        severity.map(|severity| SloAlert {
+            slo: self.spec.name.clone(),
+            epoch,
+            board,
+            severity,
+            value,
+            fast_burn,
+            slow_burn,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_healthy_stream_raises_nothing() {
+        let mut monitor = SloMonitor::new(SloSpec::ce_ceiling("ce", 10.0));
+        for epoch in 0..20 {
+            assert!(monitor.observe(epoch, None, 2.0).is_none());
+        }
+    }
+
+    #[test]
+    fn a_spike_tickets_and_a_sustained_breach_pages() {
+        let mut monitor = SloMonitor::new(SloSpec::ce_ceiling("ce", 10.0));
+        for epoch in 0..SLOW_WINDOW_EPOCHS as u64 {
+            assert!(monitor.observe(epoch, Some(3), 1.0).is_none());
+        }
+        // One hot epoch: fast window trips, slow window still cool.
+        let spike = monitor.observe(10, Some(3), 40.0).expect("spike alerts");
+        assert_eq!(spike.severity, AlertSeverity::Ticket);
+        assert!(spike.fast_burn >= 1.0 && spike.slow_burn < 1.0);
+        // Keep burning: the slow window catches up and pages.
+        let mut paged = None;
+        for epoch in 11..30 {
+            if let Some(alert) = monitor.observe(epoch, Some(3), 40.0) {
+                if alert.severity == AlertSeverity::Page {
+                    paged = Some(alert);
+                    break;
+                }
+            }
+        }
+        let paged = paged.expect("sustained breach pages");
+        assert!(paged.slow_burn >= 1.0);
+        assert_eq!(paged.board, Some(3));
+    }
+
+    #[test]
+    fn the_savings_floor_burns_only_below_the_floor() {
+        let mut monitor = SloMonitor::new(SloSpec::savings_floor("watts", 8.0));
+        assert!(monitor.observe(0, None, 12.0).is_none());
+        let alert = monitor.observe(1, None, 4.0).expect("shortfall alerts");
+        assert!(alert.fast_burn > 1.0);
+    }
+
+    #[test]
+    fn a_single_escape_pages_immediately() {
+        let mut monitor = SloMonitor::new(SloSpec::zero_escapes("escapes"));
+        for epoch in 0..5 {
+            assert!(monitor.observe(epoch, None, 0.0).is_none());
+        }
+        let alert = monitor.observe(5, Some(0), 1.0).expect("escape pages");
+        assert_eq!(alert.severity, AlertSeverity::Page);
+    }
+
+    #[test]
+    fn detection_latency_over_the_bound_alerts() {
+        let mut monitor = SloMonitor::new(SloSpec::detection_latency("latency", 10.0));
+        assert!(monitor.observe(0, Some(1), 4.0).is_none());
+        assert!(monitor.observe(1, Some(1), 14.0).is_some());
+    }
+}

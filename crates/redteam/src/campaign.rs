@@ -15,6 +15,9 @@
 
 use crate::episode::{run_episode, AttackScenario, EpisodeReport};
 use fleet::population::{BoardSpec, FleetSpec};
+use observatory::{
+    BoardStream, DetectorConfig, Direction, Observatory, ObservatoryReport, SloSpec,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -203,6 +206,104 @@ pub fn replay_fleet(
     reports
 }
 
+/// Name of the zero-escape SLO declared by [`replay_observatory`].
+pub const REDTEAM_ESCAPE_SLO: &str = "zero-sdc-escapes";
+
+/// Detector metric fed with each epoch's breaker-side droop estimate;
+/// the spike detector warns on the attack's edge, typically epochs
+/// before the attribution logic quarantines the attacker.
+pub const REDTEAM_DROOP_METRIC: &str = "droop_mv";
+
+/// Like [`replay_fleet`], but each episode runs under a fresh capture
+/// context: the returned [`BoardStream`] (keyed `(epoch 0, board)`)
+/// carries the episode's full Debug-level trace — per-epoch
+/// `attack_epoch` breadcrumbs, breaker trips, the `attacker_quarantined`
+/// event. Worker count never affects the result.
+pub fn replay_fleet_observed(
+    fleet: &FleetSpec,
+    attacker: Option<&WorkloadProfile>,
+    scenario: &AttackScenario,
+    workers: usize,
+) -> Vec<(EpisodeReport, BoardStream)> {
+    let boards: Vec<BoardSpec> = fleet.all_boards().collect();
+    let next = AtomicUsize::new(0);
+    let mut observed: Vec<(EpisodeReport, BoardStream)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(boards.len()).max(1))
+            .map(|_| {
+                let next = &next;
+                let boards = &boards;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(board) = boards.get(i) else {
+                            break;
+                        };
+                        let (report, stream) =
+                            observatory::observe(0, board.id, Level::Debug, || {
+                                run_episode(board, attacker, scenario)
+                            });
+                        done.push((report, stream));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("redteam replay worker panicked"))
+            .collect()
+    });
+    observed.sort_by_key(|(r, _)| r.board);
+    observed
+}
+
+/// Replays `attacker` against the whole fleet under full observation
+/// and distills the result: the merged timeline, one reconstructed
+/// incident per quarantine or breaker trip, a zero-escape SLO
+/// evaluated per board, and a droop spike detector fed with every
+/// epoch's breaker-side droop estimate.
+pub fn replay_observatory(
+    fleet: &FleetSpec,
+    attacker: Option<&WorkloadProfile>,
+    scenario: &AttackScenario,
+    workers: usize,
+) -> (Vec<EpisodeReport>, ObservatoryReport) {
+    let observed = replay_fleet_observed(fleet, attacker, scenario, workers);
+    let mut obs = Observatory::new();
+    obs.add_detector(REDTEAM_DROOP_METRIC, DetectorConfig::spike(Direction::High));
+    obs.add_slo(SloSpec::zero_escapes(REDTEAM_ESCAPE_SLO));
+    let mut reports = Vec::with_capacity(observed.len());
+    for (report, stream) in observed {
+        for event in &stream.events {
+            if event.name != "attack_epoch" {
+                continue;
+            }
+            let mut epoch = None;
+            let mut droop = None;
+            for (name, value) in &event.fields {
+                match (name.as_str(), value) {
+                    ("epoch", telemetry::FieldValue::U64(e)) => epoch = Some(*e),
+                    ("droop_mv", telemetry::FieldValue::F64(d)) => droop = Some(*d),
+                    _ => {}
+                }
+            }
+            if let (Some(epoch), Some(droop)) = (epoch, droop) {
+                obs.detect(report.board, REDTEAM_DROOP_METRIC, epoch, droop);
+            }
+        }
+        obs.slo_observe(
+            REDTEAM_ESCAPE_SLO,
+            u64::from(report.board),
+            Some(report.board),
+            report.escaped_sdcs as f64,
+        );
+        obs.ingest_stream(stream);
+        reports.push(report);
+    }
+    (reports, obs.finish())
+}
+
 /// Scores every genome against every board and returns per-genome
 /// fleet-wide escape totals, in genome order. The `(genome, board)` job
 /// grid is pulled by index and the results re-sorted by grid position,
@@ -270,6 +371,45 @@ mod tests {
         assert_eq!(
             run_campaign(&serial).chronicle_json(),
             run_campaign(&pooled).chronicle_json()
+        );
+    }
+
+    #[test]
+    fn the_observed_replay_reconstructs_quarantines_deterministically() {
+        let fleet = FleetSpec::new(3, 2018);
+        let scenario = AttackScenario::hardened(30).with_onset(8);
+        let virus = WorkloadProfile::builder("v")
+            .activity(1.0)
+            .swing(1.0)
+            .resonance_alignment(0.9)
+            .build();
+        let (reports, serial) = replay_observatory(&fleet, Some(&virus), &scenario, 1);
+        let (_, pooled) = replay_observatory(&fleet, Some(&virus), &scenario, 3);
+        assert_eq!(serial.chronicle_json(), pooled.chronicle_json());
+        // Every quarantine the episodes report appears as an incident on
+        // the right board, and the droop spike detector warned no later
+        // than the net detected.
+        for report in reports.iter().filter(|r| r.attacker_quarantined) {
+            assert!(
+                serial
+                    .incidents_of(observatory::IncidentKind::AttackerQuarantine)
+                    .any(|i| i.board == report.board),
+                "board {} quarantine missing from incidents",
+                report.board
+            );
+            let warning = serial
+                .first_warning(report.board, REDTEAM_DROOP_METRIC)
+                .expect("the attack edge raises a droop warning");
+            assert!(
+                warning.epoch <= report.detection_epoch.unwrap(),
+                "warning at {} vs detection at {:?}",
+                warning.epoch,
+                report.detection_epoch
+            );
+        }
+        assert!(
+            reports.iter().any(|r| r.attacker_quarantined),
+            "the hardened arm quarantines the crafted virus somewhere"
         );
     }
 

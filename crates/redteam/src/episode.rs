@@ -36,6 +36,12 @@ pub struct AttackScenario {
     pub safety: SafetyNetConfig,
     /// Governor the net wraps.
     pub governor: GovernorConfig,
+    /// 0-based epoch index the attacker tenant is first scheduled at;
+    /// earlier epochs run the victim dedicated. A non-zero onset gives
+    /// anomaly detectors a benign baseline to learn before the attack
+    /// lands (and gives the attack a sudden, detectable edge).
+    #[serde(default)]
+    pub onset_epoch: u32,
 }
 
 impl AttackScenario {
@@ -51,6 +57,7 @@ impl AttackScenario {
                 .profile(),
             safety: SafetyNetConfig::dsn18(),
             governor: GovernorConfig::conservative(),
+            onset_epoch: 0,
         }
     }
 
@@ -61,6 +68,13 @@ impl AttackScenario {
             safety: SafetyNetConfig::hardened(),
             ..AttackScenario::seed_net(epochs)
         }
+    }
+
+    /// Delays the attacker's first scheduled epoch (0-based index).
+    #[must_use]
+    pub fn with_onset(mut self, onset_epoch: u32) -> Self {
+        self.onset_epoch = onset_epoch;
+        self
     }
 }
 
@@ -112,9 +126,14 @@ pub fn run_episode(
     let mut net = SafetyNet::new(scenario.safety);
 
     let mut commanded_sum = 0u64;
-    for _ in 0..scenario.epochs {
+    for epoch_idx in 0..scenario.epochs {
         let victim_profile = schedule.victim.profile.clone();
-        let assignments = schedule.co_tenant_assignments();
+        let assignments = if epoch_idx >= scenario.onset_epoch {
+            schedule.co_tenant_assignments()
+        } else {
+            Vec::new()
+        };
+        let attack_active = !assignments.is_empty();
         let report = net.run_epoch_colocated(
             &mut server,
             &mut governor,
@@ -123,6 +142,18 @@ pub fn run_episode(
             &assignments,
         );
         commanded_sum += u64::from(report.commanded.as_u32());
+        // One ground-truth breadcrumb per epoch (1-based, matching the
+        // net's own epoch counter) for the observatory: the droop the
+        // breaker saw, whether an attacker actually shared the PMD, and
+        // whether a quarantine was in force.
+        telemetry::event!(
+            Level::Debug,
+            "attack_epoch",
+            epoch = u64::from(epoch_idx) + 1,
+            droop_mv = report.cross_droop_estimate_mv,
+            attack_active = attack_active,
+            quarantined = report.attacker_quarantined,
+        );
         // The net's quarantine decision reaches the scheduler: the
         // attacker loses its placement, the victim keeps the PMD.
         if net.attacker_quarantined() && schedule.neighbor.is_some() {
@@ -193,6 +224,36 @@ mod tests {
         let r = run_episode(&board, None, &scenario);
         assert!(!r.attacker_quarantined);
         assert_eq!(r.cadence_tightenings, 0);
+    }
+
+    #[test]
+    fn a_delayed_onset_keeps_the_leadup_benign() {
+        let board = FleetSpec::new(4, 2018).board(1);
+        let scenario = AttackScenario::hardened(30).with_onset(8);
+        let (r, stream) = observatory::observe(0, board.id, telemetry::Level::Debug, || {
+            run_episode(&board, Some(&virus()), &scenario)
+        });
+        assert!(r.attacker_quarantined, "the attack still lands after onset");
+        let actives: Vec<bool> = stream
+            .events
+            .iter()
+            .filter(|e| e.name == "attack_epoch")
+            .map(|e| {
+                e.fields
+                    .iter()
+                    .find_map(|(k, v)| match v {
+                        telemetry::event::FieldValue::Bool(b) if k == "attack_active" => Some(*b),
+                        _ => None,
+                    })
+                    .expect("attack_active field present")
+            })
+            .collect();
+        assert_eq!(actives.len(), 30, "one breadcrumb per epoch");
+        assert!(
+            actives[..8].iter().all(|a| !a),
+            "no attack before the onset epoch"
+        );
+        assert!(actives[8], "the attacker is scheduled at the onset epoch");
     }
 
     #[test]

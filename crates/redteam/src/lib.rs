@@ -31,5 +31,8 @@
 pub mod campaign;
 pub mod episode;
 
-pub use campaign::{replay_fleet, run_campaign, CampaignConfig, CampaignReport, GenerationRecord};
+pub use campaign::{
+    replay_fleet, replay_fleet_observed, replay_observatory, run_campaign, CampaignConfig,
+    CampaignReport, GenerationRecord, REDTEAM_DROOP_METRIC, REDTEAM_ESCAPE_SLO,
+};
 pub use episode::{run_episode, AttackScenario, EpisodeReport};

@@ -52,7 +52,7 @@ pub mod recorder;
 pub mod sink;
 
 pub use event::{Event, EventKind, FieldValue, Level};
-pub use metrics::{MetricsSnapshot, Registry};
+pub use metrics::{series_name, MetricsSnapshot, Registry};
 pub use recorder::{FlightDump, FlightRecorder};
 pub use sink::{CaptureSink, JsonlSink, PrettySink, Sink};
 

@@ -161,36 +161,45 @@ pub struct HistogramSnapshot {
 }
 
 /// Serializable snapshot of a whole [`Registry`].
+///
+/// Every vector is sorted by the full series name — the metric family
+/// plus its canonical label signature (see [`series_name`]) — and the
+/// lookup methods binary-search on that invariant. Snapshots produced
+/// by [`Registry::snapshot`] always satisfy it; hand-built snapshots
+/// must keep their vectors name-sorted.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
-    /// Counter values, sorted by name.
+    /// Counter values, sorted by full series name.
     pub counters: Vec<(String, u64)>,
-    /// Gauge values, sorted by name.
+    /// Gauge values, sorted by full series name.
     pub gauges: Vec<(String, f64)>,
-    /// Histogram snapshots, sorted by name.
+    /// Histogram snapshots, sorted by full series name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
+/// Binary-searches a name-sorted series vector.
+fn lookup<'a, V>(series: &'a [(String, V)], name: &str) -> Option<&'a V> {
+    series
+        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        .ok()
+        .map(|index| &series[index].1)
+}
+
 impl MetricsSnapshot {
-    /// Looks up a counter by name.
+    /// Looks up a counter by full series name (binary search).
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        lookup(&self.counters, name).copied()
     }
 
-    /// Looks up a gauge by name.
+    /// Looks up a gauge by full series name (binary search).
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        lookup(&self.gauges, name).copied()
     }
 
-    /// Looks up a histogram snapshot by name.
+    /// Looks up a histogram snapshot by full series name (binary
+    /// search).
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
-        self.histograms
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, h)| h)
+        lookup(&self.histograms, name)
     }
 }
 
@@ -236,11 +245,71 @@ impl HistogramSnapshot {
     }
 }
 
+/// Canonical label signature: keys sorted, values escaped, rendered as
+/// `{k="v",k2="v2"}`. No labels give the empty signature, so bare
+/// series are just their family name.
+fn label_signature(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::from("{");
+    for (index, (key, value)) in sorted.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// The full series name of a labeled metric: the family name plus the
+/// canonical (key-sorted, value-escaped) label signature. This is the
+/// key [`MetricsSnapshot`] lookups expect for labeled series.
+pub fn series_name(name: &str, labels: &[(&str, &str)]) -> String {
+    format!("{name}{}", label_signature(labels))
+}
+
+/// Splits a full series name into `(family, label signature)`.
+fn split_series(name: &str) -> (&str, String) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, format!("{{{rest}")),
+        None => (name, String::new()),
+    }
+}
+
+/// Inserts `le="bound"` as the last label of a (possibly empty)
+/// signature — the Prometheus `_bucket` series shape.
+fn bucket_signature(sig: &str, bound: &str) -> String {
+    if sig.is_empty() {
+        format!("{{le=\"{bound}\"}}")
+    } else {
+        format!("{},le=\"{bound}\"}}", &sig[..sig.len() - 1])
+    }
+}
+
+/// Per-family series maps: family name → label signature → value, with
+/// the empty signature holding the bare (unlabeled) series. Keeping
+/// families separate (rather than flat `name{labels}` strings) is what
+/// makes Prometheus exposition group a family under one `# TYPE` line —
+/// a flat map would interleave, since `'_'` sorts before `'{'`.
 #[derive(Debug, Default)]
 struct RegistryInner {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
+    counters: BTreeMap<String, BTreeMap<String, u64>>,
+    gauges: BTreeMap<String, BTreeMap<String, f64>>,
+    histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
 }
 
 /// The metrics registry.
@@ -257,6 +326,11 @@ struct RegistryInner {
 /// reg.observe("backoff_ms", 500.0);
 /// assert_eq!(reg.counter("campaign_runs_total"), 3);
 /// assert!(reg.prometheus().contains("backoff_ms_bucket{le=\"1000\"} 1"));
+///
+/// // Per-board series share one metric family via label sets.
+/// reg.gauge_set_labeled("ce_rate", &[("board", "b17")], 0.25);
+/// assert_eq!(reg.gauge_labeled("ce_rate", &[("board", "b17")]), Some(0.25));
+/// assert!(reg.prometheus().contains("ce_rate{board=\"b17\"} 0.25"));
 /// ```
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -270,58 +344,139 @@ impl Registry {
     }
 
     /// Rebuilds a registry from a snapshot (counters and gauges restored
-    /// exactly; histograms keep their bounds and counts).
+    /// exactly; histograms keep their bounds and counts). Labeled series
+    /// names are parsed back into their family and signature.
     pub fn from_snapshot(snapshot: &MetricsSnapshot) -> Self {
         let reg = Registry::new();
         {
             let mut inner = reg.inner.borrow_mut();
             for (name, v) in &snapshot.counters {
-                inner.counters.insert(name.clone(), *v);
+                let (family, sig) = split_series(name);
+                inner
+                    .counters
+                    .entry(family.to_owned())
+                    .or_default()
+                    .insert(sig, *v);
             }
             for (name, v) in &snapshot.gauges {
-                inner.gauges.insert(name.clone(), *v);
+                let (family, sig) = split_series(name);
+                inner
+                    .gauges
+                    .entry(family.to_owned())
+                    .or_default()
+                    .insert(sig, *v);
             }
             for (name, h) in &snapshot.histograms {
-                inner.histograms.insert(
-                    name.clone(),
-                    Histogram {
-                        bounds: h.bounds.clone(),
-                        counts: h.counts.clone(),
-                        sum: h.sum,
-                        count: h.count,
-                    },
-                );
+                let (family, sig) = split_series(name);
+                inner
+                    .histograms
+                    .entry(family.to_owned())
+                    .or_default()
+                    .insert(
+                        sig,
+                        Histogram {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            sum: h.sum,
+                            count: h.count,
+                        },
+                    );
             }
         }
         reg
     }
 
-    /// Adds `delta` to a counter (created at zero on first touch).
+    /// Adds `delta` to a counter (created at zero on first touch). A
+    /// `name{labels}` series name addresses the labeled series.
     pub fn counter_add(&self, name: &str, delta: u64) {
+        let (family, sig) = split_series(name);
+        *self
+            .inner
+            .borrow_mut()
+            .counters
+            .entry(family.to_owned())
+            .or_default()
+            .entry(sig)
+            .or_insert(0) += delta;
+    }
+
+    /// Adds `delta` to the labeled series of a counter family.
+    pub fn counter_add_labeled(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
         *self
             .inner
             .borrow_mut()
             .counters
             .entry(name.to_owned())
+            .or_default()
+            .entry(label_signature(labels))
             .or_insert(0) += delta;
     }
 
     /// Current value of a counter (zero if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+        let (family, sig) = split_series(name);
+        self.inner
+            .borrow()
+            .counters
+            .get(family)
+            .and_then(|series| series.get(&sig))
+            .copied()
+            .unwrap_or(0)
     }
 
-    /// Sets a gauge.
+    /// Current value of a labeled counter series (zero if never
+    /// touched).
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.inner
+            .borrow()
+            .counters
+            .get(name)
+            .and_then(|series| series.get(&label_signature(labels)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets a gauge. A `name{labels}` series name addresses the labeled
+    /// series.
     pub fn gauge_set(&self, name: &str, value: f64) {
+        let (family, sig) = split_series(name);
         self.inner
             .borrow_mut()
             .gauges
-            .insert(name.to_owned(), value);
+            .entry(family.to_owned())
+            .or_default()
+            .insert(sig, value);
+    }
+
+    /// Sets the labeled series of a gauge family.
+    pub fn gauge_set_labeled(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.inner
+            .borrow_mut()
+            .gauges
+            .entry(name.to_owned())
+            .or_default()
+            .insert(label_signature(labels), value);
     }
 
     /// Current value of a gauge, if ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.inner.borrow().gauges.get(name).copied()
+        let (family, sig) = split_series(name);
+        self.inner
+            .borrow()
+            .gauges
+            .get(family)
+            .and_then(|series| series.get(&sig))
+            .copied()
+    }
+
+    /// Current value of a labeled gauge series, if ever set.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.inner
+            .borrow()
+            .gauges
+            .get(name)
+            .and_then(|series| series.get(&label_signature(labels)))
+            .copied()
     }
 
     /// Declares a histogram with explicit bucket bounds. Re-declaring an
@@ -332,30 +487,51 @@ impl Registry {
     ///
     /// Panics on invalid bounds (see [`Histogram::new`]).
     pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        let (family, sig) = split_series(name);
         self.inner
             .borrow_mut()
             .histograms
-            .entry(name.to_owned())
+            .entry(family.to_owned())
+            .or_default()
+            .entry(sig)
             .or_insert_with(|| Histogram::new(bounds));
     }
 
     /// Records one observation; auto-creates the histogram with
     /// [`SIM_MS_BUCKETS`] if it was never declared.
     pub fn observe(&self, name: &str, value: f64) {
+        let (family, sig) = split_series(name);
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(family.to_owned())
+            .or_default()
+            .entry(sig)
+            .or_insert_with(|| Histogram::new(&SIM_MS_BUCKETS))
+            .observe(value);
+    }
+
+    /// Records one observation on the labeled series of a histogram
+    /// family (auto-created with [`SIM_MS_BUCKETS`] if undeclared).
+    pub fn observe_labeled(&self, name: &str, labels: &[(&str, &str)], value: f64) {
         self.inner
             .borrow_mut()
             .histograms
             .entry(name.to_owned())
+            .or_default()
+            .entry(label_signature(labels))
             .or_insert_with(|| Histogram::new(&SIM_MS_BUCKETS))
             .observe(value);
     }
 
     /// A histogram's snapshot, if it exists.
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let (family, sig) = split_series(name);
         self.inner
             .borrow()
             .histograms
-            .get(name)
+            .get(family)
+            .and_then(|series| series.get(&sig))
             .map(Histogram::snapshot)
     }
 
@@ -363,57 +539,83 @@ impl Registry {
     /// [`HistogramSnapshot::quantile`]); `None` if the histogram does not
     /// exist or is empty.
     pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let (family, sig) = split_series(name);
         self.inner
             .borrow()
             .histograms
-            .get(name)
+            .get(family)
+            .and_then(|series| series.get(&sig))
             .and_then(|h| h.quantile(q))
     }
 
-    /// The inert snapshot of everything in the registry, sorted by name.
+    /// The inert snapshot of everything in the registry, with every
+    /// vector sorted by full series name (the invariant
+    /// [`MetricsSnapshot`] lookups binary-search on).
     pub fn snapshot(&self) -> MetricsSnapshot {
+        fn flatten<V, S>(
+            families: &BTreeMap<String, BTreeMap<String, V>>,
+            snap: fn(&V) -> S,
+        ) -> Vec<(String, S)> {
+            let mut out: Vec<(String, S)> = families
+                .iter()
+                .flat_map(|(family, series)| {
+                    series
+                        .iter()
+                        .map(move |(sig, v)| (format!("{family}{sig}"), snap(v)))
+                })
+                .collect();
+            // Family-then-signature order is NOT full-string order
+            // ('_' sorts before '{'), so sort explicitly.
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        }
         let inner = self.inner.borrow();
         MetricsSnapshot {
-            counters: inner
-                .counters
-                .iter()
-                .map(|(k, v)| (k.clone(), *v))
-                .collect(),
-            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
-            histograms: inner
-                .histograms
-                .iter()
-                .map(|(k, h)| (k.clone(), h.snapshot()))
-                .collect(),
+            counters: flatten(&inner.counters, |v| *v),
+            gauges: flatten(&inner.gauges, |v| *v),
+            histograms: flatten(&inner.histograms, Histogram::snapshot),
         }
     }
 
     /// Prometheus-style text exposition of the whole registry, in
-    /// deterministic (name-sorted) order.
+    /// deterministic order: families sorted by name, one `# TYPE` line
+    /// per family, the bare series first and labeled series after it in
+    /// signature order.
     pub fn prometheus(&self) -> String {
         let inner = self.inner.borrow();
         let mut out = String::new();
-        for (name, v) in &inner.counters {
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
-        }
-        for (name, v) in &inner.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {v}");
-        }
-        for (name, h) in &inner.histograms {
-            let _ = writeln!(out, "# TYPE {name} histogram");
-            let cumulative = h.cumulative();
-            for (bound, cum) in h.bounds.iter().zip(&cumulative) {
-                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+        for (family, series) in &inner.counters {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            for (sig, v) in series {
+                let _ = writeln!(out, "{family}{sig} {v}");
             }
-            let _ = writeln!(
-                out,
-                "{name}_bucket{{le=\"+Inf\"}} {}",
-                cumulative.last().copied().unwrap_or(0)
-            );
-            let _ = writeln!(out, "{name}_sum {}", h.sum());
-            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        for (family, series) in &inner.gauges {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            for (sig, v) in series {
+                let _ = writeln!(out, "{family}{sig} {v}");
+            }
+        }
+        for (family, series) in &inner.histograms {
+            let _ = writeln!(out, "# TYPE {family} histogram");
+            for (sig, h) in series {
+                let cumulative = h.cumulative();
+                for (bound, cum) in h.bounds.iter().zip(&cumulative) {
+                    let _ = writeln!(
+                        out,
+                        "{family}_bucket{} {cum}",
+                        bucket_signature(sig, &bound.to_string())
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{family}_bucket{} {}",
+                    bucket_signature(sig, "+Inf"),
+                    cumulative.last().copied().unwrap_or(0)
+                );
+                let _ = writeln!(out, "{family}_sum{sig} {}", h.sum());
+                let _ = writeln!(out, "{family}_count{sig} {}", h.count());
+            }
         }
         out
     }
@@ -600,6 +802,79 @@ lat_ms_count 3
         // The snapshot survives a JSON round trip with quantiles intact.
         let back: MetricsSnapshot = serde::json::from_str(&serde::json::to_string(&snap)).unwrap();
         assert_eq!(back.histogram("margin_mv").unwrap().p95(), hist.p95());
+    }
+
+    #[test]
+    fn labeled_series_share_a_family_and_expose_in_order() {
+        let reg = Registry::new();
+        reg.counter_add("ce_total", 1);
+        reg.counter_add_labeled("ce_total", &[("board", "b2")], 9);
+        reg.counter_add_labeled("ce_total", &[("board", "b10")], 4);
+        // A family whose name extends the other: with flat string keys
+        // this would interleave between `ce_total` and `ce_total{...}`.
+        reg.counter_add("ce_total_scrubbed", 2);
+        reg.register_histogram("lat_ms{board=\"b2\"}", &[1.0]);
+        reg.observe_labeled("lat_ms", &[("board", "b2")], 0.5);
+        let text = reg.prometheus();
+        let expected = "\
+# TYPE ce_total counter
+ce_total 1
+ce_total{board=\"b10\"} 4
+ce_total{board=\"b2\"} 9
+# TYPE ce_total_scrubbed counter
+ce_total_scrubbed 2
+# TYPE lat_ms histogram
+lat_ms_bucket{board=\"b2\",le=\"1\"} 1
+lat_ms_bucket{board=\"b2\",le=\"+Inf\"} 1
+lat_ms_sum{board=\"b2\"} 0.5
+lat_ms_count{board=\"b2\"} 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn label_order_does_not_matter_and_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter_add_labeled("c", &[("b", "x"), ("a", "y")], 1);
+        reg.counter_add_labeled("c", &[("a", "y"), ("b", "x")], 1);
+        assert_eq!(reg.counter_labeled("c", &[("b", "x"), ("a", "y")]), 2);
+        assert_eq!(reg.counter("c{a=\"y\",b=\"x\"}"), 2);
+        assert_eq!(
+            series_name("c", &[("b", "x"), ("a", "y")]),
+            "c{a=\"y\",b=\"x\"}"
+        );
+
+        reg.gauge_set_labeled("g", &[("who", "quo\"te\\back")], 1.0);
+        assert!(reg.prometheus().contains("g{who=\"quo\\\"te\\\\back\"} 1"));
+    }
+
+    #[test]
+    fn labeled_snapshots_are_name_sorted_and_round_trip() {
+        let reg = Registry::new();
+        reg.counter_add("jobs_total", 3);
+        reg.counter_add_labeled("jobs", &[("board", "b1")], 1);
+        reg.counter_add("jobs_failed", 2);
+        reg.gauge_set_labeled("ce_rate", &[("board", "b1")], 0.5);
+        reg.observe_labeled("lat", &[("board", "b1")], 1.0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "snapshot must be full-name sorted");
+        // Binary-search lookups find bare and labeled series alike.
+        assert_eq!(snap.counter("jobs_total"), Some(3));
+        assert_eq!(
+            snap.counter(&series_name("jobs", &[("board", "b1")])),
+            Some(1)
+        );
+        assert_eq!(snap.gauge("ce_rate{board=\"b1\"}"), Some(0.5));
+        assert_eq!(snap.histogram("lat{board=\"b1\"}").unwrap().count, 1);
+        assert_eq!(snap.counter("jobs"), None);
+
+        let restored = Registry::from_snapshot(&snap);
+        assert_eq!(restored.snapshot(), snap);
+        restored.counter_add_labeled("jobs", &[("board", "b1")], 1);
+        assert_eq!(restored.counter_labeled("jobs", &[("board", "b1")]), 2);
     }
 
     #[test]

@@ -12,12 +12,17 @@
 
 use crate::event::{Event, Level};
 use crate::sink::Sink;
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// One post-mortem snapshot taken by the [`FlightRecorder`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so campaign outcomes can carry their dumps across
+/// worker boundaries and checkpoints (the observatory reconstructs
+/// incidents from them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlightDump {
     /// Sequence number of the event that triggered the dump.
     pub trigger_seq: u64,
@@ -123,12 +128,25 @@ impl FlightRecorder {
         self
     }
 
-    /// Copies of the dumps taken so far, in trigger order.
+    /// Copies of the dumps taken so far, in trigger order: dump `i`'s
+    /// `trigger_seq` is strictly less than dump `i + 1`'s, because a
+    /// dump is snapshotted synchronously when its trigger event is
+    /// recorded and sequence numbers are emission-ordered.
     pub fn dumps(&self) -> Vec<FlightDump> {
         self.inner.borrow().dumps.clone()
     }
 
     /// Removes and returns the dumps taken so far.
+    ///
+    /// # Ordering contract
+    ///
+    /// Dumps come back in trigger order (strictly increasing
+    /// `trigger_seq`), each dump's `events` are in emission order with
+    /// the trigger event as the **last** entry, and each dump is a
+    /// strict suffix of the event stream the recorder retained at
+    /// trigger time — the recorder never reorders, samples, or
+    /// deduplicates. Consumers (the observatory's incident
+    /// reconstructor, checkpoint embedding) rely on all three.
     pub fn take_dumps(&self) -> Vec<FlightDump> {
         std::mem::take(&mut self.inner.borrow_mut().dumps)
     }

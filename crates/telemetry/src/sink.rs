@@ -145,9 +145,15 @@ impl<W: Write> Sink for JsonlSink<W> {
 }
 
 /// Test sink: buffers every event for later assertions.
+///
+/// Events are additionally indexed by name as they arrive, so
+/// [`CaptureSink::named`] stays O(matches) however large the capture
+/// grows — observatory-scale runs feed hundreds of thousands of events
+/// through one sink and query a handful of names afterwards.
 #[derive(Debug, Default)]
 pub struct CaptureSink {
     events: RefCell<Vec<Event>>,
+    by_name: RefCell<std::collections::BTreeMap<String, Vec<usize>>>,
     min_level: Level,
 }
 
@@ -156,6 +162,7 @@ impl CaptureSink {
     pub fn new() -> Self {
         CaptureSink {
             events: RefCell::new(Vec::new()),
+            by_name: RefCell::new(std::collections::BTreeMap::new()),
             min_level: Level::Trace,
         }
     }
@@ -172,14 +179,16 @@ impl CaptureSink {
         self.events.borrow().clone()
     }
 
-    /// Captured events whose name matches, in emission order.
+    /// Captured events whose name matches, in emission order
+    /// (indexed: proportional to the number of matches, not the size
+    /// of the capture).
     pub fn named(&self, name: &str) -> Vec<Event> {
-        self.events
+        let events = self.events.borrow();
+        self.by_name
             .borrow()
-            .iter()
-            .filter(|e| e.name == name)
-            .cloned()
-            .collect()
+            .get(name)
+            .map(|indices| indices.iter().map(|&i| events[i].clone()).collect())
+            .unwrap_or_default()
     }
 
     /// Number of captured events.
@@ -195,12 +204,19 @@ impl CaptureSink {
     /// Drops everything captured so far.
     pub fn clear(&self) {
         self.events.borrow_mut().clear();
+        self.by_name.borrow_mut().clear();
     }
 }
 
 impl Sink for CaptureSink {
     fn record(&self, event: &Event) {
-        self.events.borrow_mut().push(event.clone());
+        let mut events = self.events.borrow_mut();
+        self.by_name
+            .borrow_mut()
+            .entry(event.name.clone())
+            .or_default()
+            .push(events.len());
+        events.push(event.clone());
     }
 
     fn min_level(&self) -> Level {
@@ -235,6 +251,28 @@ mod tests {
         assert_eq!(sink.len(), 2);
         sink.clear();
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn named_uses_the_index_and_survives_clear() {
+        let sink = CaptureSink::new();
+        for seq in 0..10 {
+            let mut event = sample(seq, Level::Info);
+            event.name = if seq % 3 == 0 {
+                "fizz".into()
+            } else {
+                "e".into()
+            };
+            sink.record(&event);
+        }
+        let fizz = sink.named("fizz");
+        assert_eq!(fizz.len(), 4);
+        assert!(fizz.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(sink.named("absent").is_empty());
+        sink.clear();
+        assert!(sink.named("fizz").is_empty());
+        sink.record(&sample(99, Level::Info));
+        assert_eq!(sink.named("e").len(), 1);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! simulated datacenter of boards, [`lifetime`] for the multi-year aging
 //! and re-characterization study, [`redteam`] for the adversarial
 //! co-evolution campaign against the safety net, [`telemetry`] for
-//! structured tracing, metrics and the flight recorder, and
+//! structured tracing, metrics and the flight recorder, [`observatory`]
+//! for fleet-wide timeline aggregation, incident postmortems, SLO
+//! burn-rate monitors and early-warning anomaly detection, and
 //! `crates/bench` for the binaries that regenerate every table and
 //! figure of the paper.
 
@@ -28,6 +30,7 @@ pub use dram_sim;
 pub use fleet;
 pub use guardband_core;
 pub use lifetime;
+pub use observatory;
 pub use power_model;
 pub use redteam;
 pub use stress_gen;

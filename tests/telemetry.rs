@@ -131,6 +131,53 @@ fn flight_recorder_dumps_the_leadup_to_the_first_quarantine() {
 }
 
 #[test]
+fn take_dumps_returns_trigger_order_and_each_dump_is_a_strict_suffix() {
+    let (events, recorder, _, result) = observed_run();
+    let dumps = recorder.take_dumps();
+    assert!(!dumps.is_empty(), "the faulty campaign triggers dumps");
+    assert!(
+        dumps.len() >= result.recovery.quarantined_points as usize,
+        "at least one dump per quarantine"
+    );
+
+    // Trigger order: strictly increasing trigger_seq across dumps.
+    assert!(
+        dumps
+            .windows(2)
+            .all(|w| w[0].trigger_seq < w[1].trigger_seq),
+        "dumps come back in trigger order"
+    );
+
+    // Every dump (not just the first) is a strict suffix of the live
+    // trace ending at its trigger: same events, same order, trigger
+    // last.
+    for dump in &dumps {
+        assert_eq!(dump.events.last().unwrap().seq, dump.trigger_seq);
+        assert_eq!(dump.events.last().unwrap().name, dump.trigger_name);
+        let trigger_idx = events
+            .iter()
+            .position(|e| e.seq == dump.trigger_seq)
+            .expect("trigger is in the capture");
+        let tail = &events[trigger_idx + 1 - dump.events.len()..=trigger_idx];
+        assert_eq!(dump.events.as_slice(), tail, "dump is a strict suffix");
+    }
+
+    // take_dumps drains: a second call observes nothing.
+    assert!(recorder.take_dumps().is_empty());
+}
+
+#[test]
+fn flight_dumps_round_trip_through_json() {
+    let (_, recorder, _, _) = observed_run();
+    let dumps = recorder.dumps();
+    let first = &dumps[0];
+    let json = serde::json::to_string(first);
+    let back: armv8_guardbands::telemetry::FlightDump =
+        serde::json::from_str(&json).expect("dump deserializes");
+    assert_eq!(&back, first);
+}
+
+#[test]
 fn observed_campaigns_are_deterministic_across_identical_runs() {
     let (events_a, rec_a, reg_a, result_a) = observed_run();
     let (events_b, rec_b, reg_b, result_b) = observed_run();
