@@ -1,11 +1,12 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|redteam|obs|all] [seed]`
+//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|all] [seed]`
 //!
 //! `fleet` additionally writes the speedup record to `BENCH_fleet.json`,
-//! `lifetime` the aging record to `BENCH_lifetime.json`, `redteam` the
-//! adversarial record to `BENCH_redteam.json`, and `obs` the observatory
-//! record to `BENCH_obs.json`, all in the current directory.
+//! `chaos` the crash-recovery record to `BENCH_chaos.json`, `lifetime`
+//! the aging record to `BENCH_lifetime.json`, `redteam` the adversarial
+//! record to `BENCH_redteam.json`, and `obs` the observatory record to
+//! `BENCH_obs.json`, all in the current directory.
 
 use guardband_bench as bench;
 
@@ -42,6 +43,15 @@ fn main() {
         match std::fs::write("BENCH_fleet.json", &json) {
             Ok(()) => println!("(speedup record written to BENCH_fleet.json)"),
             Err(err) => eprintln!("could not write BENCH_fleet.json: {err}"),
+        }
+    };
+    let run_chaos = || {
+        let data = bench::chaos_scale::run(seed);
+        println!("{}", bench::chaos_scale::render(&data));
+        let json = serde::json::to_string(&data);
+        match std::fs::write("BENCH_chaos.json", &json) {
+            Ok(()) => println!("(crash-recovery record written to BENCH_chaos.json)"),
+            Err(err) => eprintln!("could not write BENCH_chaos.json: {err}"),
         }
     };
     let run_lifetime = || {
@@ -86,6 +96,7 @@ fn main() {
         "ablations" => run_ablations(),
         "sweep" => run_sweep(),
         "fleet" => run_fleet(),
+        "chaos" => run_chaos(),
         "lifetime" => run_lifetime(),
         "redteam" => run_redteam(),
         "obs" => run_obs(),
@@ -101,6 +112,7 @@ fn main() {
             run_ablations();
             run_sweep();
             run_fleet();
+            run_chaos();
             run_lifetime();
             run_redteam();
             run_obs();
@@ -108,7 +120,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of \
-                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|lifetime|redteam|obs|all"
+                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|all"
             );
             std::process::exit(2);
         }

@@ -16,6 +16,7 @@
 //! | [`ablation`] | ECC / virus-search / retention-model / governor ablations |
 //! | [`sweep`]  | extension: safe refresh envelope vs temperature |
 //! | [`fleet_scale`] | extension: 256-board fleet orchestration speedup |
+//! | [`chaos_scale`] | extension: 64 seeded crash schedules, byte-identical recovery |
 //! | [`lifetime_scale`] | extension: 16-board fleet aged 60 months with maintenance |
 //! | [`redteam_scale`] | extension: adversarial co-evolution vs the safety net |
 //! | [`obs_scale`] | extension: fleet observatory incidents, early warning, merge throughput |
@@ -27,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod chaos_scale;
 pub mod extras;
 pub mod fig4;
 pub mod fig5;

@@ -1,0 +1,103 @@
+//! The invariants every chaos campaign is judged against.
+//!
+//! A chaos run is only meaningful next to its uninterrupted baseline:
+//! the same fleet spec, campaign and eviction policy run once with no
+//! faults. [`check`] compares the recovered run to that baseline on the
+//! three properties the durable orchestrator promises — no board falls
+//! out of the fleet, no `(board, attempt)` outcome is counted twice,
+//! and the merged characterization (the semilattice fixpoint) is
+//! **byte-identical**, which subsumes every weaker notion of "the store
+//! converged".
+
+use fleet::FleetReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Verdict of one baseline-vs-recovered comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvariantReport {
+    /// Boards present in the baseline store but missing from the
+    /// recovered one. Must be zero: crashes may delay a board, never
+    /// lose it.
+    pub lost_boards: u64,
+    /// `(board, attempt)` outcomes appearing more than once in the
+    /// recovered aggregation multiset. Must be zero: duplicated
+    /// deliveries and replayed journal entries are deduplicated before
+    /// aggregation.
+    pub double_counted_merges: u64,
+    /// The recovered `characterization_json()` equals the baseline's
+    /// byte for byte.
+    pub store_identical: bool,
+    /// The recovered observatory report equals the baseline's byte for
+    /// byte (incident reconstruction is crash-schedule-independent).
+    pub observatory_identical: bool,
+}
+
+impl InvariantReport {
+    /// All invariants hold.
+    pub fn holds(&self) -> bool {
+        self.lost_boards == 0
+            && self.double_counted_merges == 0
+            && self.store_identical
+            && self.observatory_identical
+    }
+}
+
+/// Checks the recovered run against the uninterrupted baseline.
+pub fn check(baseline: &FleetReport, recovered: &FleetReport) -> InvariantReport {
+    let baseline_boards: BTreeSet<u32> = baseline
+        .characterization
+        .store
+        .records()
+        .map(|r| r.board)
+        .collect();
+    let recovered_boards: BTreeSet<u32> = recovered
+        .characterization
+        .store
+        .records()
+        .map(|r| r.board)
+        .collect();
+    let lost_boards = baseline_boards.difference(&recovered_boards).count() as u64;
+
+    let mut seen = BTreeSet::new();
+    let mut double_counted_merges = 0u64;
+    for job in &recovered.characterization.jobs {
+        if !seen.insert((job.board, job.attempt)) {
+            double_counted_merges += 1;
+        }
+    }
+
+    InvariantReport {
+        lost_boards,
+        double_counted_merges,
+        store_identical: baseline.characterization_json() == recovered.characterization_json(),
+        observatory_identical: baseline.observatory_json() == recovered.observatory_json(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet::{run_fleet, FleetCampaign, FleetConfig, FleetSpec};
+
+    #[test]
+    fn a_run_satisfies_its_own_invariants() {
+        let spec = FleetSpec::new(4, 7);
+        let campaign = FleetCampaign::quick();
+        let report = run_fleet(&spec, &campaign, &FleetConfig::with_workers(2));
+        let verdict = check(&report, &report);
+        assert!(verdict.holds(), "{verdict:?}");
+    }
+
+    #[test]
+    fn a_different_fleet_fails_the_identity_checks() {
+        let campaign = FleetCampaign::quick();
+        let config = FleetConfig::with_workers(2);
+        let a = run_fleet(&FleetSpec::new(4, 7), &campaign, &config);
+        let b = run_fleet(&FleetSpec::new(3, 7), &campaign, &config);
+        let verdict = check(&a, &b);
+        assert!(!verdict.holds());
+        assert_eq!(verdict.lost_boards, 1, "board 3 is missing from b");
+        assert!(!verdict.store_identical);
+    }
+}

@@ -1,0 +1,43 @@
+//! Seeded chaos engineering for the fleet orchestration layer.
+//!
+//! The DSN'18 campaigns run for days per board; at the fleet scale this
+//! repository targets, coordinator crashes, worker deaths and torn
+//! checkpoint writes are routine, not exceptional. This crate *proves*
+//! the durable orchestration layer (`fleet::journal`,
+//! `fleet::run_fleet_durable`) survives them:
+//!
+//! * [`plan`] — [`ChaosPlan`], the orchestration-layer analogue of
+//!   `xgene_sim::FaultPlan`: a seeded, replayable schedule of
+//!   coordinator kills, mid-job worker deaths, torn/bit-flipped/deleted
+//!   checkpoints, torn journal tails and duplicated queue deliveries,
+//!   grouped into per-incarnation rounds;
+//! * [`harness`] — [`run_chaos`] executes a plan round by round,
+//!   damaging the journal store between incarnations and restarting the
+//!   coordinator after every interrupt, until a (guaranteed) clean
+//!   completion; every injection lands in the `chaos_*` metrics family
+//!   and the disruption history becomes observatory postmortems;
+//! * [`invariant`] — the verdict: zero lost boards, zero double-counted
+//!   merges, and a merged characterization **byte-identical** to the
+//!   uninterrupted baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use chaos::{run_chaos, ChaosConfig, ChaosPlan};
+//!
+//! let plan = ChaosPlan::sampled(7, 3);
+//! let report = run_chaos(&plan, &ChaosConfig { boards: 3, ..ChaosConfig::default() });
+//! assert!(report.survived());
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod invariant;
+pub mod plan;
+
+pub use harness::{run_chaos, run_chaos_against, ChaosConfig, ChaosReport};
+pub use invariant::{check, InvariantReport};
+pub use plan::{ChaosFault, ChaosPlan, ChaosRound, CorruptionKind};

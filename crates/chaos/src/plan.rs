@@ -1,0 +1,237 @@
+//! Seeded fault plans for the orchestration layer.
+//!
+//! [`ChaosPlan`] is the orchestration-layer analogue of
+//! `xgene_sim::FaultPlan`: a deterministic schedule of injected faults,
+//! drawn once from a seed so every chaos campaign is replayable. A plan
+//! is a sequence of [`ChaosRound`]s, one per coordinator *incarnation*:
+//! the harness applies the round's storage faults to the journal before
+//! launching the incarnation, compiles its process faults down to a
+//! `fleet::Disruption`, and restarts on the next round when the
+//! incarnation is interrupted. Rounds past the plan are clean, and a
+//! clean incarnation always completes — which is what bounds every
+//! chaos campaign's length.
+
+use fleet::Disruption;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How a committed checkpoint gets damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// Drop the tail: the classic torn write.
+    Truncate,
+    /// Flip one payload bit: bit rot under the CRC.
+    BitFlip,
+    /// Delete the file outright.
+    Drop,
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosFault {
+    /// Kill the coordinator after it processes this many completions.
+    CoordinatorKill {
+        /// Unique completions before the kill fires.
+        after_completions: u64,
+    },
+    /// A worker dies holding its next job.
+    WorkerDeath {
+        /// Pool index of the dying worker.
+        worker: usize,
+        /// Jobs the worker completes before dying.
+        after_jobs: u64,
+    },
+    /// Damage the committed store checkpoint before the incarnation
+    /// starts (models corruption while the coordinator was down).
+    CorruptCheckpoint {
+        /// The damage applied.
+        kind: CorruptionKind,
+    },
+    /// Tear the journal tail: drop its last bytes, as if the final
+    /// append died mid-write.
+    TornJournalTail {
+        /// Bytes dropped from the end of the journal.
+        drop_bytes: usize,
+    },
+    /// Deliver this many completions twice (at-least-once queue
+    /// semantics).
+    DuplicateDelivery {
+        /// Completions delivered twice.
+        count: u64,
+    },
+}
+
+impl ChaosFault {
+    /// Stable label for metrics and incident events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosFault::CoordinatorKill { .. } => "coordinator_kill",
+            ChaosFault::WorkerDeath { .. } => "worker_death",
+            ChaosFault::CorruptCheckpoint { .. } => "corrupt_checkpoint",
+            ChaosFault::TornJournalTail { .. } => "torn_journal_tail",
+            ChaosFault::DuplicateDelivery { .. } => "duplicate_delivery",
+        }
+    }
+}
+
+/// The faults injected into one coordinator incarnation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosRound {
+    /// Faults applied this incarnation, in injection order.
+    pub faults: Vec<ChaosFault>,
+}
+
+impl ChaosRound {
+    /// Compiles the round's process faults into the orchestrator's
+    /// chaos-agnostic [`Disruption`] schedule. Storage faults
+    /// ([`ChaosFault::CorruptCheckpoint`], [`ChaosFault::TornJournalTail`])
+    /// are the harness's job — they damage the journal store *before*
+    /// the incarnation launches.
+    pub fn disruption(&self) -> Disruption {
+        let mut disruption = Disruption::none();
+        for fault in &self.faults {
+            match fault {
+                ChaosFault::CoordinatorKill { after_completions } => {
+                    disruption.kill_coordinator_after = Some(*after_completions);
+                }
+                ChaosFault::WorkerDeath { worker, after_jobs } => {
+                    disruption.worker_deaths.push((*worker, *after_jobs));
+                }
+                ChaosFault::DuplicateDelivery { count } => {
+                    disruption.duplicate_deliveries += count;
+                }
+                ChaosFault::CorruptCheckpoint { .. } | ChaosFault::TornJournalTail { .. } => {}
+            }
+        }
+        disruption
+    }
+}
+
+/// A seeded, replayable schedule of chaos rounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// The seed the plan was drawn from.
+    pub seed: u64,
+    /// One round per coordinator incarnation, in order.
+    pub rounds: Vec<ChaosRound>,
+}
+
+impl ChaosPlan {
+    /// No faults at all: the durable path under clean conditions.
+    pub fn quiet(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Draws a plan from `seed`: one to three disrupted incarnations,
+    /// each injecting one or two faults across the whole taxonomy. The
+    /// same seed always yields the same plan.
+    pub fn sampled(seed: u64, workers: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5CAB_0057_u64);
+        let rounds = (0..rng.gen_range(1..4usize))
+            .map(|_| {
+                let faults = (0..rng.gen_range(1..3usize))
+                    .map(|_| Self::sample_fault(&mut rng, workers))
+                    .collect();
+                ChaosRound { faults }
+            })
+            .collect();
+        ChaosPlan { seed, rounds }
+    }
+
+    fn sample_fault(rng: &mut StdRng, workers: usize) -> ChaosFault {
+        match rng.gen_range(0..5u32) {
+            0 => ChaosFault::CoordinatorKill {
+                after_completions: rng.gen_range(0..6u64),
+            },
+            1 => ChaosFault::WorkerDeath {
+                worker: rng.gen_range(0..workers.max(1)),
+                after_jobs: rng.gen_range(0..3u64),
+            },
+            2 => ChaosFault::CorruptCheckpoint {
+                kind: match rng.gen_range(0..3u32) {
+                    0 => CorruptionKind::Truncate,
+                    1 => CorruptionKind::BitFlip,
+                    _ => CorruptionKind::Drop,
+                },
+            },
+            3 => ChaosFault::TornJournalTail {
+                drop_bytes: rng.gen_range(1..96usize),
+            },
+            _ => ChaosFault::DuplicateDelivery {
+                count: rng.gen_range(1..4u64),
+            },
+        }
+    }
+
+    /// Total faults across all rounds.
+    pub fn injections(&self) -> usize {
+        self.rounds.iter().map(|r| r.faults.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed() {
+        assert_eq!(ChaosPlan::sampled(42, 4), ChaosPlan::sampled(42, 4));
+        assert_ne!(ChaosPlan::sampled(42, 4), ChaosPlan::sampled(43, 4));
+    }
+
+    #[test]
+    fn sampled_plans_stay_bounded() {
+        for seed in 0..200 {
+            let plan = ChaosPlan::sampled(seed, 3);
+            assert!((1..=3).contains(&plan.rounds.len()));
+            for round in &plan.rounds {
+                assert!((1..=2).contains(&round.faults.len()));
+                for fault in &round.faults {
+                    if let ChaosFault::WorkerDeath { worker, .. } = fault {
+                        assert!(*worker < 3);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disruption_compilation_collects_process_faults_only() {
+        let round = ChaosRound {
+            faults: vec![
+                ChaosFault::CoordinatorKill {
+                    after_completions: 2,
+                },
+                ChaosFault::WorkerDeath {
+                    worker: 1,
+                    after_jobs: 0,
+                },
+                ChaosFault::CorruptCheckpoint {
+                    kind: CorruptionKind::BitFlip,
+                },
+                ChaosFault::DuplicateDelivery { count: 3 },
+            ],
+        };
+        let disruption = round.disruption();
+        assert_eq!(disruption.kill_coordinator_after, Some(2));
+        assert_eq!(disruption.worker_deaths, vec![(1, 0)]);
+        assert_eq!(disruption.duplicate_deliveries, 3);
+    }
+
+    #[test]
+    fn every_fault_kind_appears_across_seeds() {
+        let mut labels = std::collections::BTreeSet::new();
+        for seed in 0..100 {
+            for round in &ChaosPlan::sampled(seed, 4).rounds {
+                for fault in &round.faults {
+                    labels.insert(fault.label());
+                }
+            }
+        }
+        assert_eq!(labels.len(), 5, "all five kinds drawn: {labels:?}");
+    }
+}

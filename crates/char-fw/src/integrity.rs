@@ -1,0 +1,230 @@
+//! Torn-write detection for serialized campaign state.
+//!
+//! A checkpoint that was half-written when the host died used to be
+//! indistinguishable from a schema mismatch: both surfaced as a JSON
+//! decode error, so the caller could not tell "this file is damaged,
+//! fall back to the previous one" from "this file is from an
+//! incompatible build, stop". This module draws that line. [`seal`]
+//! prefixes a serialized payload with a one-line header carrying the
+//! payload's byte length and CRC-32, and [`unseal`] verifies both
+//! before any schema decoding happens, classifying damage as a typed
+//! [`CorruptCheckpoint`]. Files without the header — every checkpoint
+//! written before this header existed — pass through untouched, so the
+//! `#[serde(default)]` legacy-decode path keeps working.
+//!
+//! The same framing protects the fleet journal's binary records (see
+//! `fleet::journal`), which reuses [`crc32`] directly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// First-line marker of a sealed payload. Chosen to be impossible in a
+/// bare JSON document (which must start with a value, never `#`).
+pub const SEAL_MAGIC: &str = "#guardband-sealed-v1";
+
+/// How a sealed payload failed verification. Distinct from a schema
+/// decode error by construction: none of these variants involve
+/// interpreting the payload, only its framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptCheckpoint {
+    /// The header promises more payload bytes than the file holds — the
+    /// classic torn write: the process died mid-`write(2)`.
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present after the header.
+        actual: usize,
+    },
+    /// The payload length matches but its CRC-32 does not — bit rot, a
+    /// partially overwritten sector, or a deliberate chaos-plan flip.
+    ChecksumMismatch {
+        /// CRC the header recorded at write time.
+        expected: u32,
+        /// CRC of the bytes actually present.
+        actual: u32,
+    },
+    /// The file starts with the seal magic but the rest of the header
+    /// line does not parse — the header itself was torn.
+    MalformedHeader,
+}
+
+impl fmt::Display for CorruptCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptCheckpoint::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "torn checkpoint: {actual} of {expected} payload bytes present"
+                )
+            }
+            CorruptCheckpoint::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "corrupt checkpoint: crc32 {actual:08x}, header recorded {expected:08x}"
+            ),
+            CorruptCheckpoint::MalformedHeader => {
+                write!(f, "corrupt checkpoint: malformed seal header")
+            }
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for byte in bytes {
+        let idx = (crc ^ u32::from(*byte)) & 0xFF;
+        crc = (crc >> 8) ^ TABLE[idx as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Seals a serialized payload: `#guardband-sealed-v1 len=N crc32=HEX\n`
+/// followed by the payload verbatim.
+pub fn seal(payload: &str) -> String {
+    format!(
+        "{SEAL_MAGIC} len={} crc32={:08x}\n{payload}",
+        payload.len(),
+        crc32(payload.as_bytes())
+    )
+}
+
+/// Verifies a sealed payload and returns the payload slice.
+///
+/// Text that does not start with [`SEAL_MAGIC`] is returned whole — the
+/// legacy path: checkpoints written before sealing existed carry no
+/// header and must keep decoding.
+///
+/// # Errors
+///
+/// Returns the [`CorruptCheckpoint`] classification when the header is
+/// present but the payload underneath it does not match.
+pub fn unseal(text: &str) -> Result<&str, CorruptCheckpoint> {
+    if !text.starts_with(SEAL_MAGIC) {
+        return Ok(text);
+    }
+    let Some((header, payload)) = text.split_once('\n') else {
+        // Magic with no newline: the write died inside the header.
+        return Err(CorruptCheckpoint::MalformedHeader);
+    };
+    let mut expected_len: Option<usize> = None;
+    let mut expected_crc: Option<u32> = None;
+    for field in header[SEAL_MAGIC.len()..].split_whitespace() {
+        if let Some(v) = field.strip_prefix("len=") {
+            expected_len = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("crc32=") {
+            expected_crc = u32::from_str_radix(v, 16).ok();
+        }
+    }
+    let (Some(expected_len), Some(expected_crc)) = (expected_len, expected_crc) else {
+        return Err(CorruptCheckpoint::MalformedHeader);
+    };
+    if payload.len() != expected_len {
+        return Err(CorruptCheckpoint::Truncated {
+            expected: expected_len,
+            actual: payload.len(),
+        });
+    }
+    let actual_crc = crc32(payload.as_bytes());
+    if actual_crc != expected_crc {
+        return Err(CorruptCheckpoint::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_reference_vectors() {
+        // The two canonical IEEE CRC-32 check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_then_unseal_roundtrips() {
+        let payload = r#"{"cursor":{"bench_idx":3}}"#;
+        let sealed = seal(payload);
+        assert!(sealed.starts_with(SEAL_MAGIC));
+        assert_eq!(unseal(&sealed).unwrap(), payload);
+    }
+
+    #[test]
+    fn legacy_text_passes_through_untouched() {
+        let legacy = r#"{"old":"checkpoint"}"#;
+        assert_eq!(unseal(legacy).unwrap(), legacy);
+    }
+
+    #[test]
+    fn a_torn_tail_is_truncation_not_a_schema_error() {
+        let sealed = seal(r#"{"partial":"results","walk":"state"}"#);
+        let torn = &sealed[..sealed.len() - 10];
+        match unseal(torn) {
+            Err(CorruptCheckpoint::Truncated { expected, actual }) => {
+                assert!(actual < expected);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_flipped_bit_is_a_checksum_mismatch() {
+        let sealed = seal(r#"{"rail_vmin_mv":905}"#);
+        let mut bytes = sealed.into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert!(matches!(
+            unseal(&flipped),
+            Err(CorruptCheckpoint::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn a_torn_header_is_malformed() {
+        assert_eq!(unseal(SEAL_MAGIC), Err(CorruptCheckpoint::MalformedHeader));
+        assert_eq!(
+            unseal(&format!("{SEAL_MAGIC} len=\n{{}}")),
+            Err(CorruptCheckpoint::MalformedHeader)
+        );
+    }
+
+    #[test]
+    fn corruption_reports_render_distinctly() {
+        let torn = CorruptCheckpoint::Truncated {
+            expected: 10,
+            actual: 4,
+        };
+        let flip = CorruptCheckpoint::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(torn.to_string().contains("torn"));
+        assert!(flip.to_string().contains("crc32"));
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`resilience`] — retry/backoff policies, quarantine bookkeeping and
 //!   checkpoint/resume state for campaigns that must survive the
 //!   harness's own failures;
+//! * [`integrity`] — CRC-sealed framing for serialized campaign state,
+//!   so a torn checkpoint write is a typed corruption error rather than
+//!   a mystery decode failure;
 //! * [`safety`] — the production safety net's primitives: redundant-
 //!   execution (DMR) sentinel canaries and the EWMA CE-rate circuit
 //!   breaker scheduled inside campaigns;
@@ -54,6 +57,7 @@
 pub mod board;
 pub mod dramchar;
 pub mod frequency;
+pub mod integrity;
 pub mod multiprocess;
 pub mod report;
 pub mod resilience;
@@ -66,6 +70,7 @@ pub mod warmstart;
 pub use board::{BoardProvider, SeededBoards};
 pub use dramchar::{run_dram_campaign, DramCampaignConfig, DramCampaignReport};
 pub use frequency::{run_fmax_campaign, FmaxCampaign, FmaxResult};
+pub use integrity::{crc32, seal, unseal, CorruptCheckpoint};
 pub use multiprocess::{
     rail_scaling, rail_scaling_with, run_multiprocess_campaign, MultiProcessCampaign,
     RailVminResult,
@@ -74,8 +79,8 @@ pub use report::{
     classify, quarantine_to_csv, records_to_csv, safety_to_csv, vmins_to_csv, OutcomeCounts,
 };
 pub use resilience::{
-    recover_board, BoardRecovery, CampaignCheckpoint, QuarantineRecord, QuarantineTracker,
-    RecoveryStats, ResilienceConfig, RetryPolicy,
+    recover_board, BoardRecovery, CampaignCheckpoint, CheckpointError, QuarantineRecord,
+    QuarantineTracker, RecoveryStats, ResilienceConfig, RetryPolicy,
 };
 pub use runner::{CampaignResult, CampaignRunner, ResilientRunner, RunRecord, VminResult};
 pub use safety::{

@@ -389,10 +389,41 @@ pub struct CampaignCheckpoint {
     pub safety: crate::safety::CampaignSafetyState,
 }
 
+/// Why a checkpoint failed to load, split along the line that decides
+/// what the operator should do next: [`CheckpointError::Corrupt`] means
+/// the *file* is damaged (torn write, bit rot) and the caller should
+/// fall back to the previous checkpoint; [`CheckpointError::Schema`]
+/// means the file is intact but from an incompatible build, and no
+/// amount of falling back will fix it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The sealed framing failed verification before any decoding.
+    Corrupt(crate::integrity::CorruptCheckpoint),
+    /// The framing verified (or the file was legacy/unsealed) but the
+    /// payload does not decode as a [`CampaignCheckpoint`].
+    Schema(serde::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Corrupt(c) => write!(f, "{c}"),
+            CheckpointError::Schema(e) => write!(f, "checkpoint schema mismatch: {e}"),
+        }
+    }
+}
+
 impl CampaignCheckpoint {
     /// Serializes the checkpoint to JSON.
     pub fn to_json(&self) -> String {
         serde::json::to_string(self)
+    }
+
+    /// Serializes the checkpoint to JSON sealed with a CRC-32 + length
+    /// header ([`crate::integrity::seal`]), so a torn write is detected
+    /// at load time instead of surfacing as a decode error.
+    pub fn to_sealed_json(&self) -> String {
+        crate::integrity::seal(&self.to_json())
     }
 
     /// Restores a checkpoint from JSON.
@@ -403,6 +434,24 @@ impl CampaignCheckpoint {
     /// checkpoint.
     pub fn from_json(text: &str) -> Result<Self, serde::Error> {
         serde::json::from_str(text)
+    }
+
+    /// Restores a checkpoint from sealed or legacy JSON.
+    ///
+    /// Sealed text ([`CampaignCheckpoint::to_sealed_json`]) is CRC- and
+    /// length-verified first; unsealed text takes the legacy decode path
+    /// unchanged, so checkpoints written before sealing existed (and
+    /// before any `#[serde(default)]` field) still load.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] when the sealed framing fails
+    /// (truncated, bit-flipped or header-torn file);
+    /// [`CheckpointError::Schema`] when the payload is intact but does
+    /// not decode.
+    pub fn from_sealed_json(text: &str) -> Result<Self, CheckpointError> {
+        let payload = crate::integrity::unseal(text).map_err(CheckpointError::Corrupt)?;
+        serde::json::from_str(payload).map_err(CheckpointError::Schema)
     }
 }
 

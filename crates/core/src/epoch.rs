@@ -181,6 +181,53 @@ mod tests {
     }
 
     #[test]
+    fn latest_for_on_an_empty_store_is_none() {
+        let store = VersionedSafePointStore::new();
+        assert_eq!(store.latest_for(0), None);
+        assert_eq!(store.latest_epoch(), None);
+        assert!(store.is_empty());
+        assert!(store.history(0).is_empty());
+    }
+
+    #[test]
+    fn latest_for_skips_missing_intermediate_epochs() {
+        // Board 5 was characterized at months 0 and 6 but skipped by the
+        // month-12 and month-18 maintenance rounds (other boards were
+        // not): the stale board serves from its last good epoch.
+        let mut store = VersionedSafePointStore::new();
+        store.insert(0, record(5, 0, 905));
+        store.insert(6, record(5, 6, 910));
+        store.insert(12, record(9, 12, 920));
+        store.insert(18, record(9, 18, 925));
+        let (epoch, r) = store.latest_for(5).unwrap();
+        assert_eq!((epoch, r.rail_vmin_mv), (6, Some(910)));
+        assert_eq!(store.latest_for(9).unwrap().0, 18);
+        // The fallback is also what the flattened deployment view serves.
+        assert_eq!(store.latest().get(5).unwrap().attempt, 6);
+        // History shows exactly the epochs that knew the board, in order.
+        let history: Vec<u32> = store.history(5).iter().map(|(e, _)| *e).collect();
+        assert_eq!(history, vec![0, 6]);
+    }
+
+    #[test]
+    fn a_single_epoch_store_serves_that_epoch_for_everyone() {
+        let mut store = VersionedSafePointStore::new();
+        store.insert(3, record(0, 3, 905));
+        store.insert(3, record(1, 3, 910));
+        for board in 0..2 {
+            let (epoch, _) = store.latest_for(board).unwrap();
+            assert_eq!(epoch, 3);
+        }
+        assert_eq!(store.latest_for(2), None, "unknown board stays unknown");
+        assert_eq!(store.epoch_count(), 1);
+        assert_eq!(
+            store.margin_decay_mv(0),
+            None,
+            "a single epoch is never a decay trend"
+        );
+    }
+
+    #[test]
     fn margin_decay_tracks_the_rising_rail() {
         let mut store = VersionedSafePointStore::new();
         store.insert(0, record(4, 0, 905)); // deploys 930 → margin 50

@@ -18,6 +18,13 @@
 //!    outcome by `(board, attempt)` before folding, and the safe-point
 //!    database ([`SafePointStore`]) is an order-independent semilattice.
 //!
+//! The same purity argument powers crash consistency: [`journal`] is a
+//! CRC-framed write-ahead journal of claims, completions and merges,
+//! and [`orchestrator::run_fleet_durable`] replays it on restart to
+//! re-run *only* unfinished jobs — with the recovered campaign's merged
+//! output byte-identical to an uninterrupted run (the chaos crate's
+//! whole test surface).
+//!
 //! Boards whose safety net trips (sub-Vmin silent corruption caught by
 //! the DMR sentinels) are evicted back to nominal and re-queued once
 //! with a raised search floor. Fleet speedup is *modeled* by the
@@ -45,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod job;
+pub mod journal;
 pub mod maintenance;
 pub mod orchestrator;
 pub mod population;
@@ -56,10 +64,16 @@ pub use guardband_core::safepoint::{BoardSafePoint, FleetStats, SafePointStore};
 pub use job::{
     execute, execute_in_env, BoardOutcome, FleetCampaign, FleetJob, JobEnvironment, WarmStartPriors,
 };
+pub use journal::{
+    DirStore, FleetJournal, JournalDamage, JournalEntry, JournalStore, MemStore, Replay,
+};
 pub use maintenance::{
     BoardHealth, MaintenanceDecision, MaintenancePlan, MaintenancePolicy, MaintenanceTrigger,
 };
-pub use orchestrator::{run_fleet, FleetConfig};
+pub use orchestrator::{
+    eviction_floor, run_fleet, run_fleet_durable, Disruption, DurableRun, DurableStats,
+    FleetConfig, FleetInterrupted, CHECKPOINT_EVERY,
+};
 pub use population::{BoardSpec, CornerMix, FleetSpec};
 pub use queue::{FleetQueue, QueueStats};
 pub use report::{FleetCharacterization, FleetExecution, FleetReport, JobSummary};

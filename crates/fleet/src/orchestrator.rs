@@ -12,8 +12,9 @@
 //! characterization output is byte-identical to the serial run's.
 
 use crate::job::{self, BoardOutcome, FleetCampaign, FleetJob};
+use crate::journal::{FleetJournal, JournalDamage, JournalEntry, JournalStore};
 use crate::population::FleetSpec;
-use crate::queue::FleetQueue;
+use crate::queue::{FleetQueue, QueueStats};
 use crate::report::{FleetCharacterization, FleetExecution, FleetReport, JobSummary};
 use crate::schedule::ScheduleModel;
 use guardband_core::safepoint::SafePointStore;
@@ -32,6 +33,25 @@ pub const FLEET_SAVINGS_FLOOR_WATTS: f64 = 0.5;
 
 /// Name of the per-board savings-floor SLO declared by [`run_fleet`].
 pub const FLEET_SAVINGS_SLO: &str = "board-savings-floor";
+
+/// Unique completions between durable store-checkpoint commits.
+pub const CHECKPOINT_EVERY: u64 = 4;
+
+/// The eviction predicate and floor arithmetic, as one pure function:
+/// `Some(raised_floor_mv)` when `outcome` must be re-queued for another
+/// attempt, `None` when it is terminal. Every consumer of the predicate
+/// — the live coordinator loop, the observatory re-synthesis, durable
+/// crash recovery's job-closure recomputation, and the chaos invariant
+/// checker — calls this one definition, so they can never drift apart.
+pub fn eviction_floor(outcome: &BoardOutcome, config: &FleetConfig) -> Option<u32> {
+    if outcome.tripped && outcome.attempt + 1 < config.max_attempts {
+        outcome
+            .highest_failure_mv
+            .map(|mv| (mv + config.requeue_backoff_mv).min(Millivolts::XGENE2_NOMINAL.as_u32()))
+    } else {
+        None
+    }
+}
 
 /// Builds the fleet observatory from `(board, attempt)`-sorted outcomes.
 ///
@@ -58,32 +78,28 @@ fn assemble_observatory(
             outcome.trace.clone(),
         ));
         obs.ingest_dumps(epoch, outcome.board, outcome.dumps.clone());
-        // Mirror of the live eviction predicate in the coordinator loop.
-        if outcome.tripped && outcome.attempt + 1 < config.max_attempts {
-            if let Some(failure_mv) = outcome.highest_failure_mv {
-                let floor = (failure_mv + config.requeue_backoff_mv)
-                    .min(Millivolts::XGENE2_NOMINAL.as_u32());
-                let mut coordinator = StreamBuilder::coordinator(epoch, outcome.board);
-                coordinator.push(
-                    Level::Warn,
-                    "fleet_board_evicted",
-                    vec![
-                        (
-                            "board".to_owned(),
-                            FieldValue::U64(u64::from(outcome.board)),
-                        ),
-                        (
-                            "attempt".to_owned(),
-                            FieldValue::U64(u64::from(outcome.attempt)),
-                        ),
-                        (
-                            "raised_floor_mv".to_owned(),
-                            FieldValue::U64(u64::from(floor)),
-                        ),
-                    ],
-                );
-                obs.ingest_stream(coordinator.finish());
-            }
+        // The live coordinator loop's eviction predicate, verbatim.
+        if let Some(floor) = eviction_floor(outcome, config) {
+            let mut coordinator = StreamBuilder::coordinator(epoch, outcome.board);
+            coordinator.push(
+                Level::Warn,
+                "fleet_board_evicted",
+                vec![
+                    (
+                        "board".to_owned(),
+                        FieldValue::U64(u64::from(outcome.board)),
+                    ),
+                    (
+                        "attempt".to_owned(),
+                        FieldValue::U64(u64::from(outcome.attempt)),
+                    ),
+                    (
+                        "raised_floor_mv".to_owned(),
+                        FieldValue::U64(u64::from(floor)),
+                    ),
+                ],
+            );
+            obs.ingest_stream(coordinator.finish());
         }
     }
     // One savings observation per surviving record, in board order.
@@ -192,25 +208,21 @@ pub fn run_fleet(spec: &FleetSpec, campaign: &FleetCampaign, config: &FleetConfi
             // Eviction: a tripped breaker means the board misbehaved below
             // its real limits. Send it back to nominal and re-characterize
             // with the floor raised clear of the observed crash zone.
-            if outcome.tripped && outcome.attempt + 1 < config.max_attempts {
-                if let Some(failure_mv) = outcome.highest_failure_mv {
-                    let floor = (failure_mv + config.requeue_backoff_mv)
-                        .min(Millivolts::XGENE2_NOMINAL.as_u32());
-                    event!(
-                        Level::Warn,
-                        "fleet_board_evicted",
-                        board = outcome.board,
-                        attempt = outcome.attempt,
-                        raised_floor_mv = floor,
-                    );
-                    queue.push(FleetJob {
-                        board: spec.board(outcome.board),
-                        attempt: outcome.attempt + 1,
-                        floor_override_mv: Some(floor),
-                    });
-                    outstanding += 1;
-                    requeues += 1;
-                }
+            if let Some(floor) = eviction_floor(&outcome, config) {
+                event!(
+                    Level::Warn,
+                    "fleet_board_evicted",
+                    board = outcome.board,
+                    attempt = outcome.attempt,
+                    raised_floor_mv = floor,
+                );
+                queue.push(FleetJob {
+                    board: spec.board(outcome.board),
+                    attempt: outcome.attempt + 1,
+                    floor_override_mv: Some(floor),
+                });
+                outstanding += 1;
+                requeues += 1;
             }
             outcomes.push(outcome);
         }
@@ -221,8 +233,29 @@ pub fn run_fleet(spec: &FleetSpec, campaign: &FleetCampaign, config: &FleetConfi
             .collect()
     });
 
-    // Everything below folds over `(board, attempt)`-sorted data, so no
-    // trace of arrival order survives into the report.
+    aggregate(
+        spec,
+        config,
+        outcomes,
+        per_worker_jobs,
+        queue.stats(),
+        requeues,
+    )
+}
+
+/// Folds outcomes into the final [`FleetReport`]. Everything here works
+/// over `(board, attempt)`-sorted data, so no trace of arrival order —
+/// or of *which run incarnation executed which job* — survives into the
+/// report: [`run_fleet`] and a crash-recovered [`run_fleet_durable`]
+/// both land here and produce byte-identical characterization output.
+fn aggregate(
+    spec: &FleetSpec,
+    config: &FleetConfig,
+    mut outcomes: Vec<BoardOutcome>,
+    per_worker_jobs: Vec<u64>,
+    queue_stats: QueueStats,
+    requeues: u64,
+) -> FleetReport {
     outcomes.sort_by_key(|o| (o.board, o.attempt));
     let mut store = SafePointStore::new();
     for outcome in &outcomes {
@@ -299,13 +332,460 @@ pub fn run_fleet(spec: &FleetSpec, campaign: &FleetCampaign, config: &FleetConfi
         campaign_counters,
         sim_serial_seconds: plan.serial_seconds,
     };
-    let execution = FleetExecution::new(queue.stats(), per_worker_jobs, requeues, &plan);
+    let execution = FleetExecution::new(queue_stats, per_worker_jobs, requeues, &plan);
     let observatory = assemble_observatory(&outcomes, &characterization.store, config).finish();
     FleetReport {
         characterization,
         execution,
         observatory,
     }
+}
+
+/// Fault-injection schedule for one [`run_fleet_durable`] incarnation.
+/// Chaos-agnostic on purpose: the chaos crate compiles its seeded
+/// [`ChaosPlan`](../../chaos) rounds down to this, but production
+/// callers just pass [`Disruption::none`] and get the durability
+/// machinery (journaling, checkpoints, dead-worker handling) with no
+/// faults injected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Disruption {
+    /// Kill the coordinator (return [`FleetInterrupted::CoordinatorKilled`])
+    /// once it has processed this many unique completions in this
+    /// incarnation. `None` or a count past the backlog never fires.
+    pub kill_coordinator_after: Option<u64>,
+    /// `(worker, after_jobs)`: the worker dies *holding its next job*
+    /// after completing `after_jobs` — modelling a lease expiry whose
+    /// in-flight job and stolen backlog must come back exactly once.
+    pub worker_deaths: Vec<(usize, u64)>,
+    /// Deliver the first N completions twice — at-least-once queue
+    /// semantics. Duplicates must be absorbed by idempotent merges and
+    /// dropped from the aggregation multiset.
+    pub duplicate_deliveries: u64,
+}
+
+impl Disruption {
+    /// No injected faults: plain durable operation.
+    pub fn none() -> Self {
+        Disruption::default()
+    }
+}
+
+/// Why a durable incarnation stopped short of completion. Both variants
+/// are *recoverable*: restart [`run_fleet_durable`] on the same journal
+/// and it resumes from the intact prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetInterrupted {
+    /// The injected coordinator kill fired.
+    CoordinatorKilled {
+        /// Unique completions this incarnation had processed.
+        completions: u64,
+    },
+    /// Every worker died with jobs still outstanding: the pool degraded
+    /// to zero and the campaign cannot make progress.
+    PoolLost {
+        /// Unique completions this incarnation had processed.
+        completions: u64,
+        /// Workers lost before the pool emptied.
+        workers_lost: u64,
+    },
+}
+
+impl std::fmt::Display for FleetInterrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetInterrupted::CoordinatorKilled { completions } => {
+                write!(f, "coordinator killed after {completions} completions")
+            }
+            FleetInterrupted::PoolLost {
+                completions,
+                workers_lost,
+            } => write!(
+                f,
+                "worker pool lost ({workers_lost} deaths) after {completions} completions"
+            ),
+        }
+    }
+}
+
+/// Recovery bookkeeping from one *successful* durable incarnation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DurableStats {
+    /// Completions recovered from the journal instead of re-executed.
+    pub resumed_completions: u64,
+    /// Jobs actually executed by this incarnation's pool.
+    pub executed_jobs: u64,
+    /// Duplicate deliveries absorbed (merged idempotently, dropped from
+    /// the aggregation multiset).
+    pub duplicates_dropped: u64,
+    /// The store checkpoint failed its seal or schema check and recovery
+    /// fell back to journal replay.
+    pub checkpoint_rejected: bool,
+    /// Damage found at the journal tail during replay, if any.
+    pub journal_damage: Option<JournalDamage>,
+    /// Workers that died during this incarnation (the pool shrank but
+    /// survived).
+    pub workers_lost: u64,
+}
+
+/// A completed durable run: the ordinary report plus how it got there.
+#[derive(Debug)]
+pub struct DurableRun {
+    /// The fleet report — `characterization_json()` is byte-identical to
+    /// an uninterrupted [`run_fleet`] of the same spec and campaign.
+    pub report: FleetReport,
+    /// Recovery bookkeeping for this incarnation.
+    pub stats: DurableStats,
+}
+
+enum WorkerMsg {
+    Done(BoardOutcome),
+    Died {
+        worker: usize,
+        in_flight: Option<FleetJob>,
+    },
+}
+
+/// [`run_fleet`] with crash consistency: every claim, completion and
+/// merge is journaled before it takes effect, the merged store is
+/// checkpointed (sealed, atomically) every [`CHECKPOINT_EVERY`]
+/// completions, and on entry the journal is replayed so a restarted
+/// coordinator re-runs *only* unfinished jobs — recomputing the
+/// expected-job closure from journaled completions with the same
+/// [`eviction_floor`] predicate the live loop uses, which is sound
+/// because job execution is pure. Dead workers surrender their stolen
+/// backlog and in-flight job exactly once; a pool that shrinks keeps
+/// going, a pool that empties returns [`FleetInterrupted::PoolLost`].
+///
+/// # Errors
+///
+/// Returns [`FleetInterrupted`] when an injected fault stops the
+/// incarnation. Restarting on the same journal resumes the campaign.
+///
+/// # Panics
+///
+/// Panics if `config.workers` or `config.max_attempts` is zero, if a
+/// worker thread panics, or if the journal belongs to a different
+/// campaign (different fleet size, seed or eviction policy).
+pub fn run_fleet_durable<S: JournalStore>(
+    spec: &FleetSpec,
+    campaign: &FleetCampaign,
+    config: &FleetConfig,
+    journal: &mut FleetJournal<S>,
+    disruption: &Disruption,
+) -> Result<DurableRun, FleetInterrupted> {
+    assert!(config.max_attempts > 0, "fleet needs at least one attempt");
+    assert!(config.workers > 0, "fleet needs at least one worker");
+    let _fleet_span = span!(
+        Level::Info,
+        "fleet_durable",
+        boards = spec.boards,
+        workers = config.workers as u64,
+    );
+
+    // ---- Recovery: replay the journal's intact prefix. ----
+    let replay = journal.replay();
+    let mut stats = DurableStats {
+        journal_damage: replay.damage.clone(),
+        ..DurableStats::default()
+    };
+    if let Some(damage) = &replay.damage {
+        event!(
+            Level::Warn,
+            "fleet_journal_damaged",
+            detail = damage.to_string()
+        );
+        counter!("fleet_journal_damage_total", 1);
+    }
+    let begun = replay.entries.iter().find_map(|e| match e {
+        JournalEntry::CampaignBegun {
+            boards,
+            seed,
+            max_attempts,
+            requeue_backoff_mv,
+        } => Some((*boards, *seed, *max_attempts, *requeue_backoff_mv)),
+        _ => None,
+    });
+    match begun {
+        Some(identity) => assert_eq!(
+            identity,
+            (
+                spec.boards,
+                spec.seed,
+                config.max_attempts,
+                config.requeue_backoff_mv
+            ),
+            "journal belongs to a different campaign"
+        ),
+        None => journal.append(&JournalEntry::CampaignBegun {
+            boards: spec.boards,
+            seed: spec.seed,
+            max_attempts: config.max_attempts,
+            requeue_backoff_mv: config.requeue_backoff_mv,
+        }),
+    }
+
+    // Completions recovered from the journal, deduplicated by
+    // `(board, attempt)` — duplicates are byte-identical by purity, so
+    // keeping the first is keeping them all.
+    let mut completed: BTreeMap<(u32, u32), BoardOutcome> = BTreeMap::new();
+    for entry in &replay.entries {
+        if let JournalEntry::JobCompleted { outcome } = entry {
+            completed
+                .entry((outcome.board, outcome.attempt))
+                .or_insert_with(|| outcome.clone());
+        }
+    }
+    stats.resumed_completions = completed.len() as u64;
+    if stats.resumed_completions > 0 {
+        event!(
+            Level::Info,
+            "fleet_recovered",
+            resumed = stats.resumed_completions,
+        );
+        counter!("fleet_recoveries_total", 1);
+    }
+
+    // The checkpoint is an accelerator and an export artifact; the
+    // journal is the recovery authority. Verify the checkpoint's seal
+    // here so corruption is *detected and typed* — and then fall back to
+    // replay either way, which is always last-good.
+    if let Err(err) = journal.load_store_checkpoint() {
+        stats.checkpoint_rejected = true;
+        event!(
+            Level::Warn,
+            "fleet_checkpoint_rejected",
+            detail = err.to_string(),
+        );
+        counter!("fleet_checkpoint_rejected_total", 1);
+    }
+
+    // Expected-job closure: every board at attempt 0, plus the
+    // eviction-predicate follow-up of every journaled completion.
+    // Outstanding work is the closure minus what already completed.
+    let mut pending: Vec<FleetJob> = Vec::new();
+    for board in spec.all_boards() {
+        if !completed.contains_key(&(board.id, 0)) {
+            pending.push(FleetJob {
+                board,
+                attempt: 0,
+                floor_override_mv: None,
+            });
+        }
+    }
+    for outcome in completed.values() {
+        if let Some(floor) = eviction_floor(outcome, config) {
+            if !completed.contains_key(&(outcome.board, outcome.attempt + 1)) {
+                pending.push(FleetJob {
+                    board: spec.board(outcome.board),
+                    attempt: outcome.attempt + 1,
+                    floor_override_mv: Some(floor),
+                });
+            }
+        }
+    }
+
+    // Live store for periodic checkpoints, seeded from recovered
+    // completions. Insertion order varies across incarnations; the
+    // semilattice makes the merged value order-independent.
+    let mut live_store = SafePointStore::new();
+    for outcome in completed.values() {
+        live_store.insert(outcome.record.clone());
+    }
+
+    // ---- Execution: pool with a death schedule. ----
+    let queue = FleetQueue::new(config.workers, config.queue_capacity, config.batch_size);
+    let (tx, rx) = mpsc::channel::<WorkerMsg>();
+    let deaths: BTreeMap<usize, u64> = disruption.worker_deaths.iter().copied().collect();
+    let mut duplicates_left = disruption.duplicate_deliveries;
+    let mut interrupted: Option<FleetInterrupted> = None;
+
+    let per_worker_jobs: Vec<u64> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| {
+                let tx = tx.clone();
+                let queue = &queue;
+                let death_at = deaths.get(&w).copied();
+                scope.spawn(move || {
+                    let mut jobs = 0u64;
+                    while let Some(next) = queue.next(w) {
+                        if death_at == Some(jobs) {
+                            // Die holding the job: surrender the stolen
+                            // backlog and report the in-flight item so
+                            // the coordinator re-queues it exactly once.
+                            queue.retire(w);
+                            let _ = tx.send(WorkerMsg::Died {
+                                worker: w,
+                                in_flight: Some(next),
+                            });
+                            return jobs;
+                        }
+                        let outcome = job::execute(&next, campaign, spec.population);
+                        jobs += 1;
+                        if tx.send(WorkerMsg::Done(outcome)).is_err() {
+                            break;
+                        }
+                    }
+                    jobs
+                })
+            })
+            .collect();
+        drop(tx);
+
+        let mut outstanding: u64 = 0;
+        for fleet_job in &pending {
+            journal.append(&JournalEntry::JobClaimed {
+                board: fleet_job.board.id,
+                attempt: fleet_job.attempt,
+                floor_override_mv: fleet_job.floor_override_mv,
+            });
+            queue.push(fleet_job.clone());
+            outstanding += 1;
+        }
+
+        let mut processed: u64 = 0;
+        let mut alive = config.workers as u64;
+        while outstanding > 0 {
+            if disruption.kill_coordinator_after == Some(processed) {
+                interrupted = Some(FleetInterrupted::CoordinatorKilled {
+                    completions: processed,
+                });
+                break;
+            }
+            let msg = match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => {
+                    // Every worker exited without a death report — only
+                    // possible if the pool drained past a closed queue,
+                    // which cannot happen with work outstanding; treat
+                    // it as pool loss rather than hang.
+                    interrupted = Some(FleetInterrupted::PoolLost {
+                        completions: processed,
+                        workers_lost: stats.workers_lost,
+                    });
+                    break;
+                }
+            };
+            match msg {
+                WorkerMsg::Done(outcome) => {
+                    // Journal before acting: claim→complete→merge is the
+                    // write-ahead order recovery replays.
+                    journal.append(&JournalEntry::JobCompleted {
+                        outcome: outcome.clone(),
+                    });
+                    live_store.insert(outcome.record.clone());
+                    journal.append(&JournalEntry::MergeCommitted {
+                        epoch: 0,
+                        board: outcome.board,
+                        attempt: outcome.attempt,
+                    });
+                    processed += 1;
+                    stats.executed_jobs += 1;
+                    if duplicates_left > 0 {
+                        // At-least-once delivery: process the completion
+                        // again. Purity makes the duplicate
+                        // byte-identical; the merge absorbs it.
+                        duplicates_left -= 1;
+                        stats.duplicates_dropped += 1;
+                        journal.append(&JournalEntry::JobCompleted {
+                            outcome: outcome.clone(),
+                        });
+                        live_store.insert(outcome.record.clone());
+                        journal.append(&JournalEntry::MergeCommitted {
+                            epoch: 0,
+                            board: outcome.board,
+                            attempt: outcome.attempt,
+                        });
+                    }
+                    if processed.is_multiple_of(CHECKPOINT_EVERY) {
+                        journal.commit_store_checkpoint(&live_store);
+                    }
+                    if let Some(floor) = eviction_floor(&outcome, config) {
+                        if !completed.contains_key(&(outcome.board, outcome.attempt + 1)) {
+                            event!(
+                                Level::Warn,
+                                "fleet_board_evicted",
+                                board = outcome.board,
+                                attempt = outcome.attempt,
+                                raised_floor_mv = floor,
+                            );
+                            let follow_up = FleetJob {
+                                board: spec.board(outcome.board),
+                                attempt: outcome.attempt + 1,
+                                floor_override_mv: Some(floor),
+                            };
+                            journal.append(&JournalEntry::JobClaimed {
+                                board: follow_up.board.id,
+                                attempt: follow_up.attempt,
+                                floor_override_mv: follow_up.floor_override_mv,
+                            });
+                            queue.push(follow_up);
+                            outstanding += 1;
+                        }
+                    }
+                    completed
+                        .entry((outcome.board, outcome.attempt))
+                        .or_insert(outcome);
+                    outstanding -= 1;
+                }
+                WorkerMsg::Died { worker, in_flight } => {
+                    alive -= 1;
+                    stats.workers_lost += 1;
+                    event!(
+                        Level::Warn,
+                        "fleet_worker_died",
+                        worker = worker as u64,
+                        holding = in_flight.is_some(),
+                    );
+                    counter!("fleet_worker_deaths_total", 1);
+                    if let Some(fleet_job) = in_flight {
+                        journal.append(&JournalEntry::JobClaimed {
+                            board: fleet_job.board.id,
+                            attempt: fleet_job.attempt,
+                            floor_override_mv: fleet_job.floor_override_mv,
+                        });
+                        queue.push(fleet_job);
+                    }
+                    if alive == 0 {
+                        interrupted = Some(FleetInterrupted::PoolLost {
+                            completions: processed,
+                            workers_lost: stats.workers_lost,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        queue.close();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    if let Some(interrupted) = interrupted {
+        // A crash commits nothing further: no CampaignCompleted, no
+        // final checkpoint. The journal's intact prefix is the restart
+        // point.
+        return Err(interrupted);
+    }
+
+    journal.append(&JournalEntry::CampaignCompleted);
+    journal.commit_store_checkpoint(&live_store);
+
+    // The aggregation multiset is the deduplicated completion map —
+    // exactly one outcome per `(board, attempt)`, the same multiset an
+    // uninterrupted `run_fleet` produces — already in sorted order.
+    let outcomes: Vec<BoardOutcome> = completed.into_values().collect();
+    let requeues = outcomes.iter().filter(|o| o.attempt > 0).count() as u64;
+    let report = aggregate(
+        spec,
+        config,
+        outcomes,
+        per_worker_jobs,
+        queue.stats(),
+        requeues,
+    );
+    Ok(DurableRun { report, stats })
 }
 
 #[cfg(test)]
@@ -388,6 +868,135 @@ mod tests {
         }
         // And re-walks stay above the crash zone: no third attempts exist.
         assert!(c.jobs.iter().all(|j| j.attempt <= 1));
+    }
+
+    #[test]
+    fn an_undisrupted_durable_run_matches_run_fleet_byte_for_byte() {
+        let spec = small_fleet();
+        let campaign = FleetCampaign::quick();
+        let config = FleetConfig::with_workers(2);
+        let baseline = run_fleet(&spec, &campaign, &config);
+        let mut journal = FleetJournal::new(crate::journal::MemStore::new());
+        let durable =
+            run_fleet_durable(&spec, &campaign, &config, &mut journal, &Disruption::none())
+                .expect("no faults injected");
+        assert_eq!(
+            baseline.characterization_json(),
+            durable.report.characterization_json()
+        );
+        assert_eq!(
+            baseline.observatory_json(),
+            durable.report.observatory_json()
+        );
+        assert_eq!(durable.stats.resumed_completions, 0);
+        assert_eq!(durable.stats.duplicates_dropped, 0);
+        assert!(!durable.stats.checkpoint_rejected);
+        // The journal closed out cleanly.
+        let replay = journal.replay();
+        assert_eq!(replay.damage, None);
+        assert!(matches!(
+            replay.entries.last(),
+            Some(JournalEntry::CampaignCompleted)
+        ));
+    }
+
+    #[test]
+    fn a_killed_coordinator_resumes_from_its_journal() {
+        let spec = small_fleet();
+        let campaign = FleetCampaign::quick();
+        let config = FleetConfig::with_workers(2);
+        let baseline = run_fleet(&spec, &campaign, &config);
+        let mut journal = FleetJournal::new(crate::journal::MemStore::new());
+        let kill = Disruption {
+            kill_coordinator_after: Some(3),
+            ..Disruption::none()
+        };
+        let err = run_fleet_durable(&spec, &campaign, &config, &mut journal, &kill)
+            .expect_err("the kill fires with 10 boards outstanding");
+        assert_eq!(err, FleetInterrupted::CoordinatorKilled { completions: 3 });
+        // Restart on the same journal: only unfinished jobs re-run, and
+        // the merged output is byte-identical to the uninterrupted run.
+        let resumed =
+            run_fleet_durable(&spec, &campaign, &config, &mut journal, &Disruption::none())
+                .expect("clean restart completes");
+        assert_eq!(resumed.stats.resumed_completions, 3);
+        assert!(
+            resumed.stats.executed_jobs < baseline.execution.jobs,
+            "recovery re-runs only unfinished jobs"
+        );
+        assert_eq!(
+            baseline.characterization_json(),
+            resumed.report.characterization_json()
+        );
+    }
+
+    #[test]
+    fn dead_workers_shrink_the_pool_and_lose_no_work() {
+        let spec = small_fleet();
+        let campaign = FleetCampaign::quick();
+        let config = FleetConfig::with_workers(3);
+        let baseline = run_fleet(&spec, &campaign, &config);
+        let mut journal = FleetJournal::new(crate::journal::MemStore::new());
+        let deaths = Disruption {
+            worker_deaths: vec![(0, 1), (2, 0)],
+            ..Disruption::none()
+        };
+        let durable = run_fleet_durable(&spec, &campaign, &config, &mut journal, &deaths)
+            .expect("one worker survives");
+        assert_eq!(durable.stats.workers_lost, 2);
+        assert_eq!(
+            baseline.characterization_json(),
+            durable.report.characterization_json()
+        );
+    }
+
+    #[test]
+    fn losing_every_worker_interrupts_then_recovers() {
+        let spec = small_fleet();
+        let campaign = FleetCampaign::quick();
+        let config = FleetConfig::with_workers(2);
+        let baseline = run_fleet(&spec, &campaign, &config);
+        let mut journal = FleetJournal::new(crate::journal::MemStore::new());
+        let wipeout = Disruption {
+            worker_deaths: vec![(0, 1), (1, 1)],
+            ..Disruption::none()
+        };
+        let err = run_fleet_durable(&spec, &campaign, &config, &mut journal, &wipeout)
+            .expect_err("both workers die with work outstanding");
+        assert!(matches!(
+            err,
+            FleetInterrupted::PoolLost {
+                workers_lost: 2,
+                ..
+            }
+        ));
+        let resumed =
+            run_fleet_durable(&spec, &campaign, &config, &mut journal, &Disruption::none())
+                .expect("a fresh pool finishes the campaign");
+        assert_eq!(
+            baseline.characterization_json(),
+            resumed.report.characterization_json()
+        );
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_absorbed_by_idempotent_merges() {
+        let spec = small_fleet();
+        let campaign = FleetCampaign::quick();
+        let config = FleetConfig::with_workers(2);
+        let baseline = run_fleet(&spec, &campaign, &config);
+        let mut journal = FleetJournal::new(crate::journal::MemStore::new());
+        let dupes = Disruption {
+            duplicate_deliveries: 5,
+            ..Disruption::none()
+        };
+        let durable = run_fleet_durable(&spec, &campaign, &config, &mut journal, &dupes)
+            .expect("duplicates never block completion");
+        assert_eq!(durable.stats.duplicates_dropped, 5);
+        assert_eq!(
+            baseline.characterization_json(),
+            durable.report.characterization_json()
+        );
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub struct QueueStats {
     pub batches: u64,
     /// Steal operations between workers.
     pub steals: u64,
+    /// Jobs surrendered back to the injector by retiring workers.
+    pub returned: u64,
 }
 
 #[derive(Debug)]
@@ -134,6 +136,32 @@ impl<T> FleetQueue<T> {
             .map(|(idx, _)| idx)
     }
 
+    /// Retires `worker`: its local deque — including any half-backlog it
+    /// stole and had not yet run — goes back to the *front* of the
+    /// injector exactly once, preserving dispatch order, and other
+    /// workers are woken to pick the returned items up. A retired
+    /// worker that calls [`next`](Self::next) again just competes for
+    /// work normally (its deque is empty, not poisoned); the
+    /// orchestrator's dead-worker path never does.
+    ///
+    /// Returns how many items the dying worker surrendered.
+    pub fn retire(&self, worker: usize) -> usize {
+        let mut shared = self.shared.lock().expect("fleet queue poisoned");
+        let held = std::mem::take(&mut shared.locals[worker]);
+        let returned = held.len();
+        // Front-of-injector, original order: the first surrendered item
+        // was the next one the worker would have run.
+        for job in held.into_iter().rev() {
+            shared.injector.push_front(job);
+        }
+        shared.stats.returned += returned as u64;
+        drop(shared);
+        if returned > 0 {
+            self.not_empty.notify_all();
+        }
+        returned
+    }
+
     /// Closes the queue: blocked consumers drain the remaining jobs and
     /// then observe `None`; blocked producers unblock.
     pub fn close(&self) {
@@ -213,6 +241,41 @@ mod tests {
         let drained = std::iter::from_fn(|| queue.next(1)).count()
             + std::iter::from_fn(|| queue.next(0)).count();
         assert_eq!(drained, 6);
+    }
+
+    #[test]
+    fn a_retiring_worker_returns_its_stolen_backlog_exactly_once() {
+        let queue = FleetQueue::new(2, 16, 8);
+        for job in 0..8 {
+            queue.push(job);
+        }
+        queue.close();
+        // Worker 0 refills with the whole batch, worker 1 steals half of
+        // it — then dies holding the stolen items.
+        assert_eq!(queue.next(0), Some(0));
+        assert_eq!(queue.next(1), Some(1));
+        assert_eq!(queue.stats().steals, 1);
+        let returned = queue.retire(1);
+        assert!(returned > 0, "the dead worker held stolen items");
+        assert_eq!(queue.stats().returned, returned as u64);
+        // Retiring again surrenders nothing: the return happened once.
+        assert_eq!(queue.retire(1), 0);
+        assert_eq!(queue.stats().returned, returned as u64);
+        // The survivor drains every remaining job — none lost, none
+        // duplicated, and the returned items come back in order.
+        let drained: Vec<i32> = std::iter::from_fn(|| queue.next(0)).collect();
+        let mut expected: Vec<i32> = (2..8).collect();
+        expected.sort_unstable();
+        let mut sorted = drained.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn retiring_an_idle_worker_is_a_no_op() {
+        let queue = FleetQueue::<u32>::new(2, 4, 2);
+        assert_eq!(queue.retire(0), 0);
+        assert_eq!(queue.stats().returned, 0);
     }
 
     #[test]

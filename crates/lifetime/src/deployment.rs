@@ -28,6 +28,7 @@ use dram_sim::retention::{RetentionModel, WeakCellPopulation};
 use fleet::job::{
     execute_in_env, BoardOutcome, FleetCampaign, FleetJob, JobEnvironment, WarmStartPriors,
 };
+use fleet::journal::{FleetJournal, JournalEntry, JournalStore};
 use fleet::maintenance::{BoardHealth, MaintenancePlan, MaintenancePolicy};
 use fleet::population::{BoardSpec, FleetSpec};
 use guardband_core::epoch::VersionedSafePointStore;
@@ -134,6 +135,27 @@ pub const LIFETIME_SAVINGS_FLOOR_FRACTION: f64 = 0.5;
 /// itself goes negative.
 pub const LIFETIME_MARGIN_METRIC: &str = "margin_mv";
 
+/// A durable deployment stopped between rounds — the lifetime analogue
+/// of a coordinator crash. Restart [`run_deployment_durable`] on the
+/// same journal to resume; committed rounds are not re-executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifetimeInterrupted {
+    /// Characterization rounds this incarnation executed live before
+    /// the interrupt.
+    pub live_rounds: u64,
+}
+
+impl std::fmt::Display for LifetimeInterrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deployment interrupted after {} live round{}",
+            self.live_rounds,
+            if self.live_rounds == 1 { "" } else { "s" }
+        )
+    }
+}
+
 /// Plays the fleet's whole service life. See the module docs for the
 /// loop and the determinism argument.
 ///
@@ -141,6 +163,106 @@ pub const LIFETIME_MARGIN_METRIC: &str = "margin_mv";
 ///
 /// Panics if `config.workers` is zero or a worker thread panics.
 pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> LifetimeReport {
+    match run_deployment_with(spec, config, &mut |_, jobs| {
+        Ok(run_round(jobs, &spec.campaign, config.workers))
+    }) {
+        Ok(report) => report,
+        Err(_) => unreachable!("the plain round executor never interrupts"),
+    }
+}
+
+/// [`run_deployment`] with crash consistency: every completed
+/// characterization round is journaled as a
+/// [`JournalEntry::RoundCommitted`] (with per-record epoch merges),
+/// and on entry the journal is replayed so a restarted deployment
+/// *replays* committed rounds instead of re-executing them — sound
+/// because rounds are pure, so the journaled outcomes are byte-identical
+/// to what re-execution would produce. Everything between rounds (drift
+/// passes, maintenance planning, SLO observations) is recomputed
+/// deterministically, so the resumed chronicle and observatory are
+/// byte-identical to an uninterrupted run's. While a round's epoch is
+/// missing or damaged at the journal tail, deployed boards keep serving
+/// from `VersionedSafePointStore::latest_for` — the last good epoch —
+/// until the round re-executes.
+///
+/// `interrupt_after_rounds` injects the crash: the incarnation stops
+/// (with [`LifetimeInterrupted`]) once it has executed that many *live*
+/// rounds — replayed rounds don't count. `None` runs to completion.
+///
+/// # Errors
+///
+/// Returns [`LifetimeInterrupted`] when the injected interrupt fires.
+///
+/// # Panics
+///
+/// Panics if `config.workers` is zero or a worker thread panics.
+pub fn run_deployment_durable<S: JournalStore>(
+    spec: &DeploymentSpec,
+    config: &LifetimeConfig,
+    journal: &mut FleetJournal<S>,
+    interrupt_after_rounds: Option<u64>,
+) -> Result<LifetimeReport, LifetimeInterrupted> {
+    let replay = journal.replay();
+    if let Some(damage) = &replay.damage {
+        event!(
+            Level::Warn,
+            "fleet_journal_damaged",
+            detail = damage.to_string(),
+        );
+    }
+    let mut recovered: std::collections::VecDeque<(u32, Vec<BoardOutcome>)> = replay
+        .entries
+        .into_iter()
+        .filter_map(|entry| match entry {
+            JournalEntry::RoundCommitted { month, outcomes } => Some((month, outcomes)),
+            _ => None,
+        })
+        .collect();
+    let resumed_rounds = recovered.len() as u64;
+    if resumed_rounds > 0 {
+        event!(Level::Info, "fleet_recovered", resumed = resumed_rounds);
+    }
+    let mut live_rounds = 0u64;
+    run_deployment_with(spec, config, &mut |month, jobs| {
+        // Deterministic replanning visits rounds in the same order every
+        // incarnation, so committed rounds drain from the front.
+        if recovered.front().is_some_and(|(m, _)| *m == month) {
+            let (_, outcomes) = recovered.pop_front().expect("front checked");
+            return Ok(outcomes);
+        }
+        if interrupt_after_rounds == Some(live_rounds) {
+            return Err(LifetimeInterrupted { live_rounds });
+        }
+        let outcomes = run_round(jobs, &spec.campaign, config.workers);
+        journal.append(&JournalEntry::RoundCommitted {
+            month,
+            outcomes: outcomes.clone(),
+        });
+        for outcome in &outcomes {
+            journal.append(&JournalEntry::MergeCommitted {
+                epoch: month,
+                board: outcome.board,
+                attempt: outcome.attempt,
+            });
+        }
+        live_rounds += 1;
+        Ok(outcomes)
+    })
+}
+
+/// A round executor: month + scheduled jobs in, the round's outcomes
+/// out (or an interrupt).
+type RoundFn<'a> =
+    dyn FnMut(u32, &[(FleetJob, JobEnvironment)]) -> Result<Vec<BoardOutcome>, LifetimeInterrupted>
+        + 'a;
+
+/// The deployment loop over an abstract round executor: the plain path
+/// executes rounds directly, the durable path replays or journals them.
+fn run_deployment_with(
+    spec: &DeploymentSpec,
+    config: &LifetimeConfig,
+    round: &mut RoundFn<'_>,
+) -> Result<LifetimeReport, LifetimeInterrupted> {
     assert!(config.workers > 0, "lifetime needs at least one worker");
     let registry = Rc::new(Registry::new());
     let guard = Telemetry::new()
@@ -178,7 +300,7 @@ pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> Lifetim
         .zip(&bases)
         .map(|(board, base)| build_job(spec, board, base, 0, None))
         .collect();
-    let outcomes = run_round(&initial, &spec.campaign, config.workers);
+    let outcomes = round(0, &initial)?;
     let mut jobs_total = outcomes.len() as u64;
     rounds += 1;
     absorb(&mut epochs, 0, &outcomes, &mut job_counters);
@@ -299,7 +421,7 @@ pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> Lifetim
                     build_job(spec, &boards[idx], &bases[idx], month, prior)
                 })
                 .collect();
-            let outcomes = run_round(&jobs, &spec.campaign, config.workers);
+            let outcomes = round(month, &jobs)?;
             jobs_total += outcomes.len() as u64;
             rounds += 1;
             recharacterizations += outcomes.len() as u64;
@@ -359,11 +481,11 @@ pub fn run_deployment(spec: &DeploymentSpec, config: &LifetimeConfig) -> Lifetim
         jobs: jobs_total,
         rounds,
     };
-    LifetimeReport {
+    Ok(LifetimeReport {
         chronicle,
         execution,
         observatory: obs.finish(),
-    }
+    })
 }
 
 /// Builds one board's characterization job for `month`: aged chip, aged
@@ -492,6 +614,37 @@ mod tests {
             "no SLO burns on a maintained short life: {:?}",
             a.observatory.alerts
         );
+    }
+
+    #[test]
+    fn a_life_interrupted_after_every_round_resumes_byte_identically() {
+        let spec = DeploymentSpec::quick(3, 2018, 6);
+        let config = LifetimeConfig::with_workers(2);
+        let baseline = run_deployment(&spec, &config);
+        // Crash after every single live round: each incarnation replays
+        // the committed prefix from the journal, executes exactly one
+        // new round, and dies.
+        let mut journal = FleetJournal::new(fleet::journal::MemStore::new());
+        let mut incarnations = 0u32;
+        let resumed = loop {
+            incarnations += 1;
+            assert!(incarnations < 64, "crash-looped without progress");
+            match run_deployment_durable(&spec, &config, &mut journal, Some(1)) {
+                Ok(report) => break report,
+                Err(interrupted) => assert_eq!(interrupted.live_rounds, 1),
+            }
+        };
+        assert!(incarnations >= 2, "month 0 alone forces one crash");
+        assert_eq!(baseline.chronicle_json(), resumed.chronicle_json());
+        assert_eq!(baseline.observatory_json(), resumed.observatory_json());
+        // The journal holds every committed round exactly once.
+        let committed = journal
+            .replay()
+            .entries
+            .iter()
+            .filter(|e| matches!(e, JournalEntry::RoundCommitted { .. }))
+            .count() as u64;
+        assert_eq!(committed, baseline.execution.rounds);
     }
 
     #[test]

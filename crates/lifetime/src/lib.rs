@@ -47,6 +47,8 @@ pub mod deployment;
 pub mod drift;
 pub mod report;
 
-pub use deployment::{run_deployment, DeploymentSpec, LifetimeConfig};
+pub use deployment::{
+    run_deployment, run_deployment_durable, DeploymentSpec, LifetimeConfig, LifetimeInterrupted,
+};
 pub use drift::DriftModel;
 pub use report::{LifetimeChronicle, LifetimeExecution, LifetimeReport, MonthRecord};

@@ -35,6 +35,14 @@ pub enum IncidentKind {
     /// Silent data corruption escaped into production (the lifetime
     /// harness's worst case).
     ProductionSdc,
+    /// The orchestration layer itself was disrupted — a coordinator
+    /// kill, a worker death mid-job, or a duplicated queue delivery
+    /// (the chaos harness's injected faults).
+    ChaosDisruption,
+    /// Serialized fleet state failed integrity verification: a torn or
+    /// bit-flipped checkpoint was rejected, or journal replay found a
+    /// damaged tail.
+    CheckpointCorruption,
 }
 
 impl IncidentKind {
@@ -46,6 +54,8 @@ impl IncidentKind {
             IncidentKind::AttackerQuarantine => "attacker-quarantine",
             IncidentKind::BoardEviction => "board-eviction",
             IncidentKind::ProductionSdc => "production-sdc",
+            IncidentKind::ChaosDisruption => "chaos-disruption",
+            IncidentKind::CheckpointCorruption => "checkpoint-corruption",
         }
     }
 
@@ -56,6 +66,12 @@ impl IncidentKind {
             "attacker_quarantined" => Some(IncidentKind::AttackerQuarantine),
             "fleet_board_evicted" => Some(IncidentKind::BoardEviction),
             "production_sdc" => Some(IncidentKind::ProductionSdc),
+            "chaos_coordinator_killed" | "chaos_worker_died" | "chaos_duplicate_delivery" => {
+                Some(IncidentKind::ChaosDisruption)
+            }
+            "chaos_corrupt_checkpoint" | "chaos_journal_damage" => {
+                Some(IncidentKind::CheckpointCorruption)
+            }
             _ => None,
         }
     }
@@ -72,6 +88,9 @@ pub enum Resolution {
     AttackerEvicted,
     /// The rolled-back refresh interval was later restored.
     Restored,
+    /// The disrupted campaign recovered: a later `fleet_recovered`
+    /// event shows the restarted coordinator resumed from its journal.
+    Recovered,
     /// No resolution event appears in the timeline.
     Unresolved,
 }
@@ -84,6 +103,7 @@ impl Resolution {
             Resolution::SetupAbandoned => "setup-abandoned",
             Resolution::AttackerEvicted => "attacker-evicted",
             Resolution::Restored => "restored",
+            Resolution::Recovered => "recovered",
             Resolution::Unresolved => "unresolved",
         }
     }
@@ -113,7 +133,7 @@ pub struct Incident {
 
 /// Event names that count as evidence when they precede a trigger on
 /// the same board.
-const EVIDENCE_NAMES: [&str; 7] = [
+const EVIDENCE_NAMES: [&str; 9] = [
     "attack_epoch",
     "crash_retry",
     "watchdog_reset",
@@ -121,6 +141,8 @@ const EVIDENCE_NAMES: [&str; 7] = [
     "board_health",
     "campaign_breaker_trip",
     "refresh_rollback",
+    "chaos_worker_died",
+    "chaos_journal_damage",
 ];
 
 /// Most recent evidence lines attached per incident.
@@ -247,6 +269,16 @@ fn resolution(kind: IncidentKind, events: &[TimelineEvent], index: usize) -> Res
             }
         }
         IncidentKind::ProductionSdc => Resolution::Unresolved,
+        IncidentKind::ChaosDisruption | IncidentKind::CheckpointCorruption => {
+            let recovered = events[index + 1..].iter().any(|later| {
+                later.key.board == te.key.board && later.event.name == "fleet_recovered"
+            });
+            if recovered {
+                Resolution::Recovered
+            } else {
+                Resolution::Unresolved
+            }
+        }
     }
 }
 
@@ -338,6 +370,43 @@ mod tests {
         assert_eq!(incidents.len(), 1);
         assert_eq!(incidents[0].kind, IncidentKind::BreakerTrip);
         assert_eq!(incidents[0].resolution, Resolution::Restored);
+    }
+
+    #[test]
+    fn a_recovered_chaos_disruption_resolves_as_recovered() {
+        let mut stream = StreamBuilder::synthetic(3, 0);
+        stream.push(
+            Level::Warn,
+            "chaos_worker_died",
+            vec![("worker".into(), 1u64.into())],
+        );
+        stream.push(Level::Warn, "chaos_coordinator_killed", vec![]);
+        stream.push(Level::Warn, "chaos_corrupt_checkpoint", vec![]);
+        stream.push(Level::Info, "fleet_recovered", vec![]);
+        let timeline = FleetTimeline::merge(&[stream.finish()]);
+        let incidents = reconstruct(&timeline, &[]);
+        assert_eq!(incidents.len(), 3);
+        assert_eq!(incidents[0].kind, IncidentKind::ChaosDisruption);
+        assert_eq!(incidents[1].kind, IncidentKind::ChaosDisruption);
+        assert_eq!(incidents[2].kind, IncidentKind::CheckpointCorruption);
+        for incident in &incidents {
+            assert_eq!(incident.resolution, Resolution::Recovered);
+        }
+        // The earlier worker death is evidence for the later kill.
+        assert!(incidents[1]
+            .evidence
+            .iter()
+            .any(|l| l.contains("chaos_worker_died")));
+    }
+
+    #[test]
+    fn an_unrecovered_disruption_stays_unresolved() {
+        let mut stream = StreamBuilder::synthetic(1, 5);
+        stream.push(Level::Warn, "chaos_coordinator_killed", vec![]);
+        let timeline = FleetTimeline::merge(&[stream.finish()]);
+        let incidents = reconstruct(&timeline, &[]);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].resolution, Resolution::Unresolved);
     }
 
     #[test]

@@ -19,12 +19,15 @@
 //! co-evolution campaign against the safety net, [`telemetry`] for
 //! structured tracing, metrics and the flight recorder, [`observatory`]
 //! for fleet-wide timeline aggregation, incident postmortems, SLO
-//! burn-rate monitors and early-warning anomaly detection, and
-//! `crates/bench` for the binaries that regenerate every table and
-//! figure of the paper.
+//! burn-rate monitors and early-warning anomaly detection, [`chaos`]
+//! for seeded crash-schedule campaigns that prove the durable
+//! orchestration layer recovers byte-identically, and `crates/bench`
+//! for the binaries that regenerate every table and figure of the
+//! paper.
 
 #![warn(missing_docs)]
 
+pub use chaos;
 pub use char_fw;
 pub use dram_sim;
 pub use fleet;

@@ -1,0 +1,275 @@
+//! Chaos-hardening integration tests: the durable orchestration layer
+//! under seeded crash schedules, journal damage and checkpoint rot.
+//!
+//! The headline test replays 64 distinct seeded crash schedules — every
+//! fault class the chaos taxonomy knows — and demands zero lost boards
+//! and a merged characterization byte-identical to one shared
+//! uninterrupted baseline. The rest pin the pieces that make that
+//! possible: journal replay is idempotent (merging a replayed record
+//! twice is a no-op), a corrupt checkpoint is detected and recovery
+//! falls back to the journal, and a torn journal tail loses only the
+//! damaged suffix.
+
+use armv8_guardbands::chaos::{run_chaos_against, ChaosConfig, ChaosPlan};
+use armv8_guardbands::char_fw::{seal, unseal, CorruptCheckpoint};
+use armv8_guardbands::fleet::{
+    run_fleet, run_fleet_durable, BoardOutcome, BoardSafePoint, Disruption, FleetCampaign,
+    FleetConfig, FleetInterrupted, FleetJournal, FleetSpec, JournalDamage, JournalEntry,
+    JournalStore, MemStore, SafePointStore, CHECKPOINT_EVERY,
+};
+use armv8_guardbands::guardband_core::safepoint::SafePointPolicy;
+use armv8_guardbands::power_model::units::{Milliseconds, Millivolts};
+use armv8_guardbands::telemetry::metrics::MetricsSnapshot;
+use armv8_guardbands::xgene_sim::sigma::SigmaBin;
+use proptest::prelude::*;
+
+/// The roadmap's chaos acceptance invariant: 64 distinct seeded crash
+/// schedules, each replayed to completion against the same fleet, all
+/// recovering with zero lost boards and characterization bytes equal to
+/// the uninterrupted baseline.
+#[test]
+fn sixty_four_seeded_crash_schedules_recover_byte_identically() {
+    let config = ChaosConfig {
+        boards: 4,
+        fleet_seed: 2018,
+        workers: 3,
+    };
+    let spec = FleetSpec::new(config.boards, config.fleet_seed);
+    let baseline = run_fleet(
+        &spec,
+        &FleetCampaign::quick(),
+        &FleetConfig::with_workers(config.workers),
+    );
+    let baseline_json = baseline.characterization_json();
+    let mut crashes = 0u64;
+    for seed in 0..64u64 {
+        let plan = ChaosPlan::sampled(seed, config.workers);
+        assert!(plan.injections() > 0, "sampled plans always inject");
+        let report = run_chaos_against(&plan, &config, &baseline);
+        assert!(
+            report.survived(),
+            "seed {seed} violated invariants: {:?}",
+            report.invariants
+        );
+        assert_eq!(report.invariants.lost_boards, 0, "seed {seed} lost boards");
+        assert_eq!(
+            report.recovered.characterization_json(),
+            baseline_json,
+            "seed {seed} diverged from the uninterrupted baseline"
+        );
+        crashes += report.interrupts.len() as u64;
+    }
+    assert!(
+        crashes > 0,
+        "64 sampled schedules must actually crash the coordinator somewhere"
+    );
+}
+
+fn arb_record() -> impl Strategy<Value = BoardSafePoint> {
+    (
+        0u32..6,
+        0u32..3,
+        prop_oneof![
+            Just(SigmaBin::Ttt),
+            Just(SigmaBin::Tff),
+            Just(SigmaBin::Tss)
+        ],
+        700u32..980,
+        any::<bool>(),
+    )
+        .prop_map(|(board, attempt, bin, rail, characterized)| {
+            let operating_point = characterized.then(|| {
+                SafePointPolicy::dsn18()
+                    .derive_from_measured(Millivolts::new(rail), Milliseconds::new(128.0))
+            });
+            BoardSafePoint {
+                board,
+                attempt,
+                bin,
+                core_vmin_mv: vec![Some(rail.saturating_sub(6)), None],
+                rail_vmin_mv: Some(rail),
+                operating_point,
+                bank_safe_trefp_ms: vec![64.0 + f64::from(rail % 7); 8],
+                savings_fraction: f64::from(rail % 10) / 50.0,
+                savings_watts: f64::from(rail % 10) / 3.0,
+            }
+        })
+}
+
+fn outcome_of(record: BoardSafePoint) -> BoardOutcome {
+    BoardOutcome {
+        board: record.board,
+        attempt: record.attempt,
+        record,
+        tripped: false,
+        highest_failure_mv: None,
+        runs: 1,
+        watchdog_resets: 0,
+        quarantined_setups: 0,
+        breaker_trips: 0,
+        backoff_ms: 0,
+        sim_cost_seconds: 1.0,
+        walked_steps: 1,
+        metrics: MetricsSnapshot::default(),
+        trace: Vec::new(),
+        dumps: Vec::new(),
+    }
+}
+
+proptest! {
+    /// Replaying a journal's merges any number of times produces the
+    /// same store bytes: completions land in a join-semilattice, so the
+    /// duplicate application a crash-and-replay implies is a no-op.
+    #[test]
+    fn journal_replay_of_merges_is_idempotent(
+        records in prop::collection::vec(arb_record(), 0..12),
+    ) {
+        let mut journal = FleetJournal::new(MemStore::new());
+        for r in &records {
+            journal.append(&JournalEntry::JobCompleted {
+                outcome: outcome_of(r.clone()),
+            });
+            journal.append(&JournalEntry::MergeCommitted {
+                epoch: 0,
+                board: r.board,
+                attempt: r.attempt,
+            });
+        }
+        let apply = |passes: usize| {
+            let mut store = SafePointStore::new();
+            for _ in 0..passes {
+                let replay = journal.replay();
+                prop_assert!(replay.damage.is_none());
+                for entry in &replay.entries {
+                    if let JournalEntry::JobCompleted { outcome } = entry {
+                        store.insert(outcome.record.clone());
+                    }
+                }
+            }
+            Ok(serde::json::to_string(&store))
+        };
+        prop_assert_eq!(apply(1)?, apply(2)?);
+        prop_assert_eq!(apply(1)?, apply(3)?);
+    }
+
+    /// Replay itself is deterministic: two replays of the same journal
+    /// decode the same entry sequence.
+    #[test]
+    fn journal_replay_is_deterministic(
+        records in prop::collection::vec(arb_record(), 0..8),
+    ) {
+        let mut journal = FleetJournal::new(MemStore::new());
+        for r in &records {
+            journal.append(&JournalEntry::JobCompleted {
+                outcome: outcome_of(r.clone()),
+            });
+        }
+        prop_assert_eq!(journal.replay().entries, journal.replay().entries);
+        prop_assert_eq!(journal.replay().entries.len(), records.len());
+    }
+}
+
+/// A checkpoint that rots on disk while the coordinator is down is
+/// detected by its seal, rejected with a typed error, and recovery falls
+/// back to replaying the journal — still byte-identical.
+#[test]
+fn a_corrupt_checkpoint_is_rejected_and_recovery_replays_the_journal() {
+    let spec = FleetSpec::new(5, 2018);
+    let campaign = FleetCampaign::quick();
+    let config = FleetConfig::with_workers(2);
+    let baseline = run_fleet(&spec, &campaign, &config);
+
+    let mut journal = FleetJournal::new(MemStore::new());
+    let mut kill = Disruption::none();
+    // Die right after the first checkpoint commit so one exists to rot.
+    kill.kill_coordinator_after = Some(CHECKPOINT_EVERY);
+    let interrupt = run_fleet_durable(&spec, &campaign, &config, &mut journal, &kill)
+        .expect_err("the kill fires before the 5-board campaign finishes");
+    assert!(matches!(
+        interrupt,
+        FleetInterrupted::CoordinatorKilled { completions } if completions == CHECKPOINT_EVERY
+    ));
+
+    // Bit-rot inside the sealed payload (past the header).
+    let len = journal
+        .store_mut()
+        .checkpoint_bytes()
+        .expect("a checkpoint was committed")
+        .len();
+    journal.store_mut().flip_checkpoint_bit(len - 1, 2);
+
+    let run = run_fleet_durable(&spec, &campaign, &config, &mut journal, &Disruption::none())
+        .expect("a clean incarnation always completes");
+    assert!(
+        run.stats.checkpoint_rejected,
+        "the flipped bit must fail the seal"
+    );
+    assert_eq!(run.stats.resumed_completions, CHECKPOINT_EVERY);
+    assert_eq!(
+        run.report.characterization_json(),
+        baseline.characterization_json(),
+        "journal fallback must still be byte-identical"
+    );
+}
+
+/// Tearing the journal's tail (a crash mid-append) loses only the
+/// damaged suffix: replay keeps the intact prefix, records the damage,
+/// and the resumed run re-executes what the torn frames had held.
+#[test]
+fn a_torn_journal_tail_loses_only_the_damaged_suffix() {
+    let spec = FleetSpec::new(5, 2018);
+    let campaign = FleetCampaign::quick();
+    let config = FleetConfig::with_workers(2);
+    let baseline = run_fleet(&spec, &campaign, &config);
+
+    let mut journal = FleetJournal::new(MemStore::new());
+    let mut kill = Disruption::none();
+    kill.kill_coordinator_after = Some(3);
+    run_fleet_durable(&spec, &campaign, &config, &mut journal, &kill).expect_err("the kill fires");
+
+    let len = journal.store_mut().journal_len();
+    journal.store_mut().truncate_journal(len - 5);
+
+    let run = run_fleet_durable(&spec, &campaign, &config, &mut journal, &Disruption::none())
+        .expect("a clean incarnation always completes");
+    assert!(
+        matches!(
+            run.stats.journal_damage,
+            Some(JournalDamage::TruncatedFrame { .. })
+        ),
+        "the torn tail is reported: {:?}",
+        run.stats.journal_damage
+    );
+    assert_eq!(
+        run.report.characterization_json(),
+        baseline.characterization_json()
+    );
+}
+
+/// The seal layer end to end: sealed payloads round-trip, one flipped
+/// byte is a checksum mismatch, truncation is typed as truncation, and
+/// legacy (unsealed) payloads pass through untouched.
+#[test]
+fn sealed_payloads_detect_rot_and_legacy_payloads_pass_through() {
+    let payload = r#"{"boards":5,"seed":2018}"#;
+    let sealed = seal(payload);
+    assert!(sealed.starts_with("#guardband-sealed-v1"));
+    assert_eq!(unseal(&sealed).unwrap(), payload);
+
+    let mut rotten = sealed.clone().into_bytes();
+    let last = rotten.len() - 1;
+    rotten[last] ^= 0x40;
+    let rotten = String::from_utf8(rotten).unwrap();
+    assert!(matches!(
+        unseal(&rotten),
+        Err(CorruptCheckpoint::ChecksumMismatch { .. })
+    ));
+
+    let torn = &sealed[..sealed.len() - 4];
+    assert!(matches!(
+        unseal(torn),
+        Err(CorruptCheckpoint::Truncated { .. })
+    ));
+
+    assert_eq!(unseal(payload).unwrap(), payload, "legacy passthrough");
+}
