@@ -1,12 +1,13 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|all] [seed]`
+//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|serving|all] [seed]`
 //!
 //! `fleet` additionally writes the speedup record to `BENCH_fleet.json`,
 //! `chaos` the crash-recovery record to `BENCH_chaos.json`, `lifetime`
 //! the aging record to `BENCH_lifetime.json`, `redteam` the adversarial
 //! record to `BENCH_redteam.json`, and `obs` the observatory record to
-//! `BENCH_obs.json`, all in the current directory.
+//! `BENCH_obs.json`, and `serving` the control-plane record to
+//! `BENCH_serving.json`, all in the current directory.
 
 use guardband_bench as bench;
 
@@ -84,6 +85,16 @@ fn main() {
         }
     };
 
+    let run_serving = || {
+        let data = bench::serving::run(seed);
+        println!("{}", bench::serving::render(&data));
+        let json = serde::json::to_string(&data);
+        match std::fs::write("BENCH_serving.json", &json) {
+            Ok(()) => println!("(serving record written to BENCH_serving.json)"),
+            Err(err) => eprintln!("could not write BENCH_serving.json: {err}"),
+        }
+    };
+
     match which {
         "fig4" => run_fig4(),
         "fig5" => run_fig5(),
@@ -100,6 +111,7 @@ fn main() {
         "lifetime" => run_lifetime(),
         "redteam" => run_redteam(),
         "obs" => run_obs(),
+        "serving" => run_serving(),
         "all" => {
             run_fig4();
             run_fig5();
@@ -116,11 +128,12 @@ fn main() {
             run_lifetime();
             run_redteam();
             run_obs();
+            run_serving();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of \
-                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|all"
+                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|serving|all"
             );
             std::process::exit(2);
         }

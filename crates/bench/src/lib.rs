@@ -20,6 +20,7 @@
 //! | [`lifetime_scale`] | extension: 16-board fleet aged 60 months with maintenance |
 //! | [`redteam_scale`] | extension: adversarial co-evolution vs the safety net |
 //! | [`obs_scale`] | extension: fleet observatory incidents, early warning, merge throughput |
+//! | [`serving`] | extension: control-plane serving under seeded diurnal load |
 //!
 //! The `experiments` binary drives all of them; the `benches/` directory
 //! holds criterion timings of the same entry points.
@@ -39,5 +40,6 @@ pub mod fleet_scale;
 pub mod lifetime_scale;
 pub mod obs_scale;
 pub mod redteam_scale;
+pub mod serving;
 pub mod sweep;
 pub mod table1;

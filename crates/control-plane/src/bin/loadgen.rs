@@ -1,0 +1,175 @@
+//! Open-loop load generator for the guardband control plane.
+//!
+//! Generates a seeded diurnal trace (sinusoidal QPS plus flash crowds)
+//! and either prints its fingerprint (`--dry-run`, CI-friendly) or
+//! replays it against a live server, open-loop: requests fire at their
+//! scheduled instants regardless of how fast the server answers.
+//!
+//! ```text
+//! loadgen --dry-run --seed 2018 --duration 60 --qps 200
+//! loadgen --addr 127.0.0.1:8080 --seed 2018 --duration 10 --qps 500
+//! ```
+
+use control_plane::loadgen::{LoadProfile, LoadTrace};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Args {
+    profile: LoadProfile,
+    addr: Option<String>,
+    dry_run: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut profile = LoadProfile::default();
+    let mut addr = None;
+    let mut dry_run = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seed" => profile.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--duration" => {
+                profile.duration_s = value("--duration")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--qps" => profile.base_qps = value("--qps")?.parse().map_err(|e| format!("{e}"))?,
+            "--clients" => {
+                profile.clients = value("--clients")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--boards" => {
+                profile.board_space = value("--boards")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--flash-crowds" => {
+                profile.flash_crowds = value("--flash-crowds")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--addr" => addr = Some(value("--addr")?),
+            "--dry-run" => dry_run = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--dry-run | --addr HOST:PORT] [--seed N] [--duration S] \
+                     [--qps N] [--clients N] [--boards N] [--flash-crowds N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !dry_run && addr.is_none() {
+        return Err("need --addr HOST:PORT or --dry-run".to_owned());
+    }
+    Ok(Args {
+        profile,
+        addr,
+        dry_run,
+    })
+}
+
+fn print_summary(trace: &LoadTrace) {
+    println!("events: {}", trace.events.len());
+    println!("offered_qps: {:.1}", trace.offered_qps());
+    println!("fingerprint: {:016x}", trace.fingerprint());
+    for (route, count) in trace.route_mix() {
+        println!("  {route}: {count}");
+    }
+}
+
+/// Replays the trace open-loop over per-client keep-alive connections.
+fn replay(trace: &LoadTrace, addr: &str) -> Result<(), String> {
+    let mut conns: Vec<Option<TcpStream>> = (0..trace.profile.clients).map(|_| None).collect();
+    let started = Instant::now();
+    let mut sent = 0u64;
+    let mut errors = 0u64;
+    for event in &trace.events {
+        let due = Duration::from_micros(event.at_us);
+        if let Some(wait) = due.checked_sub(started.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let slot = &mut conns[event.client as usize];
+        if slot.is_none() {
+            *slot = TcpStream::connect(addr)
+                .map_err(|e| format!("connect {addr}: {e}"))
+                .inspect(|s| {
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                    let _ = s.set_nodelay(true);
+                })
+                .ok();
+        }
+        let Some(stream) = slot.as_mut() else {
+            errors += 1;
+            continue;
+        };
+        let request = format!(
+            "{} {} HTTP/1.1\r\nhost: loadgen\r\n\r\n",
+            event.method, event.target
+        );
+        if stream.write_all(request.as_bytes()).is_err() {
+            errors += 1;
+            *slot = None;
+            continue;
+        }
+        if read_one_response(stream).is_none() {
+            errors += 1;
+            *slot = None;
+            continue;
+        }
+        sent += 1;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    println!("sent: {sent}");
+    println!("errors: {errors}");
+    println!("achieved_qps: {:.1}", sent as f64 / elapsed);
+    Ok(())
+}
+
+/// Reads one `content-length`-framed response off a keep-alive stream.
+fn read_one_response(stream: &mut TcpStream) -> Option<()> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+            let length: usize = head
+                .lines()
+                .filter_map(|l| l.split_once(':'))
+                .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+                .and_then(|(_, v)| v.trim().parse().ok())?;
+            let total = head_end + 4 + length;
+            while buf.len() < total {
+                let n = stream.read(&mut chunk).ok()?;
+                if n == 0 {
+                    return None;
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            return Some(());
+        }
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("loadgen: {err}");
+            std::process::exit(2);
+        }
+    };
+    let trace = args.profile.generate();
+    print_summary(&trace);
+    if args.dry_run {
+        return;
+    }
+    let addr = args.addr.expect("checked in parse_args");
+    if let Err(err) = replay(&trace, &addr) {
+        eprintln!("loadgen: {err}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,347 @@
+//! The `control_plane_*` metrics family: request counters by route and
+//! status class, an in-flight gauge and per-route latency histograms.
+//!
+//! The serving hot path cannot share the workspace's
+//! [`telemetry::Registry`] directly — that registry is `Rc`/`RefCell`
+//! single-threaded by design. This module keeps the hot path lock-free
+//! with plain atomics (relaxed ordering: counters tolerate torn reads
+//! across series, a scrape is always a consistent-enough snapshot) and
+//! renders into a fresh `Registry` only when `/metrics` is scraped, so
+//! the exposition format stays byte-compatible with everything else the
+//! workspace exports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use telemetry::metrics::{exponential_bounds, HistogramSnapshot, MetricsSnapshot, Registry};
+
+/// The routes the server distinguishes in metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /v1/safe-point/{board}`
+    SafePoint,
+    /// `POST /v1/campaigns`
+    CampaignSubmit,
+    /// `GET /v1/campaigns/{id}`
+    CampaignStatus,
+    /// `GET /v1/status`
+    Status,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404s, parse failures, bad methods).
+    Other,
+}
+
+/// Every route, in exposition order.
+pub const ROUTES: [Route; 6] = [
+    Route::SafePoint,
+    Route::CampaignSubmit,
+    Route::CampaignStatus,
+    Route::Status,
+    Route::Metrics,
+    Route::Other,
+];
+
+impl Route {
+    /// The `route` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::SafePoint => "safe_point",
+            Route::CampaignSubmit => "campaign_submit",
+            Route::CampaignStatus => "campaign_status",
+            Route::Status => "status",
+            Route::Metrics => "metrics",
+            Route::Other => "other",
+        }
+    }
+
+    fn ordinal(self) -> usize {
+        match self {
+            Route::SafePoint => 0,
+            Route::CampaignSubmit => 1,
+            Route::CampaignStatus => 2,
+            Route::Status => 3,
+            Route::Metrics => 4,
+            Route::Other => 5,
+        }
+    }
+}
+
+/// Status classes the request counter distinguishes.
+const CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
+
+fn class_ordinal(status: u16) -> usize {
+    match status {
+        200..=299 => 0,
+        400..=499 => 1,
+        _ => 2,
+    }
+}
+
+/// Latency bucket bounds, seconds: 1 µs … ~4.2 s, doubling. Chosen with
+/// [`exponential_bounds`] so an in-process dispatch (microseconds) and a
+/// slow drained connection (seconds) land in the same histogram with
+/// constant relative resolution.
+pub fn latency_bounds() -> Vec<f64> {
+    exponential_bounds(1e-6, 2.0, 22)
+}
+
+struct RouteLatency {
+    /// Per-bucket counts plus the `+Inf` overflow slot.
+    counts: Vec<AtomicU64>,
+    /// Sum of observations, nanoseconds (fixed-point keeps it atomic).
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl RouteLatency {
+    fn new(buckets: usize) -> Self {
+        RouteLatency {
+            counts: (0..=buckets).map(|_| AtomicU64::new(0)).collect(),
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The server's own metrics. One instance per server, shared by every
+/// worker thread; all methods are `&self` and lock-free.
+pub struct ServerMetrics {
+    bounds: Vec<f64>,
+    requests: [[AtomicU64; 3]; 6],
+    latency: Vec<RouteLatency>,
+    in_flight: AtomicU64,
+    connections: AtomicU64,
+    parse_errors: AtomicU64,
+}
+
+impl std::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerMetrics")
+            .field("requests_total", &self.requests_total())
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh metrics with the standard latency buckets.
+    pub fn new() -> Self {
+        let bounds = latency_bounds();
+        ServerMetrics {
+            latency: ROUTES
+                .iter()
+                .map(|_| RouteLatency::new(bounds.len()))
+                .collect(),
+            bounds,
+            requests: Default::default(),
+            in_flight: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks a request in flight; the guard decrements on drop so every
+    /// exit path (including handler panics unwinding) restores the
+    /// gauge.
+    pub fn begin_request(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    /// Records one completed request.
+    pub fn observe(&self, route: Route, status: u16, seconds: f64) {
+        self.requests[route.ordinal()][class_ordinal(status)].fetch_add(1, Ordering::Relaxed);
+        let lat = &self.latency[route.ordinal()];
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| seconds <= b)
+            .unwrap_or(self.bounds.len());
+        lat.counts[idx].fetch_add(1, Ordering::Relaxed);
+        lat.sum_nanos
+            .fetch_add((seconds.max(0.0) * 1e9) as u64, Ordering::Relaxed);
+        lat.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request that failed HTTP parsing.
+    pub fn parse_error(&self) {
+        self.parse_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests observed across every route and status class.
+    pub fn requests_total(&self) -> u64 {
+        self.requests
+            .iter()
+            .flat_map(|per_class| per_class.iter())
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Requests currently in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// One route's latency distribution as an inert snapshot (the
+    /// quantile substrate for `BENCH_serving.json`).
+    pub fn latency_snapshot(&self, route: Route) -> HistogramSnapshot {
+        let lat = &self.latency[route.ordinal()];
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: lat
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: lat.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            count: lat.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The `control_plane_*` family as an inert, name-sorted snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for route in ROUTES {
+            for (class_idx, class) in CLASSES.iter().enumerate() {
+                let count = self.requests[route.ordinal()][class_idx].load(Ordering::Relaxed);
+                if count > 0 {
+                    snap.counters.push((
+                        telemetry::metrics::series_name(
+                            "control_plane_requests_total",
+                            &[("route", route.label()), ("status", class)],
+                        ),
+                        count,
+                    ));
+                }
+            }
+            let latency = self.latency_snapshot(route);
+            if latency.count > 0 {
+                snap.histograms.push((
+                    telemetry::metrics::series_name(
+                        "control_plane_request_seconds",
+                        &[("route", route.label())],
+                    ),
+                    latency,
+                ));
+            }
+        }
+        snap.counters.push((
+            "control_plane_connections_total".to_owned(),
+            self.connections.load(Ordering::Relaxed),
+        ));
+        snap.counters.push((
+            "control_plane_parse_errors_total".to_owned(),
+            self.parse_errors.load(Ordering::Relaxed),
+        ));
+        snap.gauges.push((
+            "control_plane_in_flight".to_owned(),
+            self.in_flight.load(Ordering::Relaxed) as f64,
+        ));
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+
+    /// The full `/metrics` exposition: the campaign-derived base
+    /// snapshot plus the `control_plane_*` family, in the workspace's
+    /// deterministic Prometheus text format. Histograms are restored
+    /// from their snapshots, so scrape cost is independent of how many
+    /// requests have been served.
+    pub fn exposition(&self, base: &MetricsSnapshot) -> String {
+        let own = self.snapshot();
+        let mut merged = base.clone();
+        merged.counters.extend(own.counters);
+        merged.gauges.extend(own.gauges);
+        merged.histograms.extend(own.histograms);
+        merged.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        merged.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        merged.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Registry::from_snapshot(&merged).prometheus()
+    }
+}
+
+/// Decrements the in-flight gauge on drop.
+#[derive(Debug)]
+pub struct InFlightGuard<'a> {
+    metrics: &'a ServerMetrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_split_by_route_and_status_class() {
+        let m = ServerMetrics::new();
+        m.observe(Route::SafePoint, 200, 1e-5);
+        m.observe(Route::SafePoint, 200, 2e-5);
+        m.observe(Route::SafePoint, 404, 1e-5);
+        m.observe(Route::Status, 500, 1e-4);
+        assert_eq!(m.requests_total(), 4);
+        let text = m.exposition(&MetricsSnapshot::default());
+        assert!(
+            text.contains("control_plane_requests_total{route=\"safe_point\",status=\"2xx\"} 2")
+        );
+        assert!(
+            text.contains("control_plane_requests_total{route=\"safe_point\",status=\"4xx\"} 1")
+        );
+        assert!(text.contains("control_plane_requests_total{route=\"status\",status=\"5xx\"} 1"));
+        assert!(text.contains("control_plane_in_flight 0"));
+    }
+
+    #[test]
+    fn in_flight_guard_restores_the_gauge() {
+        let m = ServerMetrics::new();
+        {
+            let _a = m.begin_request();
+            let _b = m.begin_request();
+            assert_eq!(m.in_flight(), 2);
+        }
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn latency_snapshot_supports_quantiles() {
+        let m = ServerMetrics::new();
+        for _ in 0..100 {
+            m.observe(Route::SafePoint, 200, 3e-6); // (2µs, 4µs]
+        }
+        let snap = m.latency_snapshot(Route::SafePoint);
+        assert_eq!(snap.count, 100);
+        let p99 = snap.p99().unwrap();
+        assert!(p99 > 2e-6 && p99 <= 4e-6, "p99 {p99} outside its bucket");
+        // Rendering replays the same distribution into the registry.
+        let text = m.exposition(&MetricsSnapshot::default());
+        assert!(text.contains("control_plane_request_seconds_count{route=\"safe_point\"} 100"));
+        assert!(text.contains(
+            "control_plane_request_seconds_bucket{route=\"safe_point\",le=\"0.000004\"} 100"
+        ));
+    }
+
+    #[test]
+    fn exposition_merges_the_campaign_base() {
+        let m = ServerMetrics::new();
+        let base_registry = Registry::new();
+        base_registry.counter_add("fleet_jobs_total", 42);
+        let text = m.exposition(&base_registry.snapshot());
+        assert!(text.contains("fleet_jobs_total 42"));
+        assert!(text.contains("control_plane_in_flight 0"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Request dispatch: maps parsed requests onto the serving state.
+//!
+//! The router is deliberately transport-free — `handle` takes a parsed
+//! [`Request`] and returns a [`Response`], nothing else — so the TCP
+//! worker pool, the integration tests and the in-process serving bench
+//! all exercise the *same* code path. `BENCH_serving.json` therefore
+//! measures real dispatch + lookup + serialization cost, not a
+//! bench-only shortcut.
+
+use crate::campaigns::{CampaignRunner, CampaignSpec};
+use crate::http::{Method, Request, Response};
+use crate::metrics::{Route, ServerMetrics};
+use crate::state::ControlState;
+use std::sync::Arc;
+
+/// The control plane's request dispatcher.
+#[derive(Debug)]
+pub struct Router {
+    state: Arc<ControlState>,
+    runner: Arc<CampaignRunner>,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl Router {
+    /// Wires a router over shared serving state.
+    pub fn new(
+        state: Arc<ControlState>,
+        runner: Arc<CampaignRunner>,
+        metrics: Arc<ServerMetrics>,
+    ) -> Self {
+        Router {
+            state,
+            runner,
+            metrics,
+        }
+    }
+
+    /// The serving state this router answers from.
+    pub fn state(&self) -> &Arc<ControlState> {
+        &self.state
+    }
+
+    /// The campaign runner behind `POST /v1/campaigns`.
+    pub fn runner(&self) -> &Arc<CampaignRunner> {
+        &self.runner
+    }
+
+    /// The server metrics this router reports into.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// Classifies a target for metrics labels without handling it.
+    pub fn route_of(request: &Request) -> Route {
+        let path = request.target.split('?').next().unwrap_or("");
+        if path.starts_with("/v1/safe-point/") {
+            Route::SafePoint
+        } else if path == "/v1/campaigns" {
+            Route::CampaignSubmit
+        } else if path.starts_with("/v1/campaigns/") {
+            Route::CampaignStatus
+        } else if path == "/v1/status" {
+            Route::Status
+        } else if path == "/metrics" {
+            Route::Metrics
+        } else {
+            Route::Other
+        }
+    }
+
+    /// Dispatches one request. Infallible: every outcome, including
+    /// unknown routes and bad payloads, is a well-formed response.
+    pub fn handle(&self, request: &Request) -> Response {
+        let path = request.target.split('?').next().unwrap_or("");
+        match (&request.method, path) {
+            (Method::Get, _) if path.starts_with("/v1/safe-point/") => {
+                self.safe_point(&path["/v1/safe-point/".len()..])
+            }
+            (Method::Post, "/v1/campaigns") => self.submit_campaign(&request.body),
+            (Method::Get, "/v1/campaigns") => {
+                Response::json(200, serde::json::to_string(&self.runner.records()))
+            }
+            (Method::Get, _) if path.starts_with("/v1/campaigns/") => {
+                self.campaign_status(&path["/v1/campaigns/".len()..])
+            }
+            (Method::Get, "/v1/status") => {
+                Response::json(200, serde::json::to_string(self.state.status().as_ref()))
+            }
+            (Method::Get, "/metrics") => {
+                Response::text(200, self.metrics.exposition(&self.state.base_metrics()))
+            }
+            (Method::Post, _) | (Method::Get, _) => Response::error(404, "no such route"),
+            (Method::Other(_), _) => Response::error(405, "method not allowed"),
+        }
+    }
+
+    fn safe_point(&self, board: &str) -> Response {
+        let Ok(board) = board.parse::<u32>() else {
+            return Response::error(400, "board id must be a u32");
+        };
+        // One Arc clone, then pure immutable reads — the hot path.
+        let snapshot = self.state.snapshot();
+        match snapshot.lookup(board) {
+            Some(view) => Response::json(200, serde::json::to_string(&view)),
+            None => Response::error(404, "board has no safe point"),
+        }
+    }
+
+    fn submit_campaign(&self, body: &[u8]) -> Response {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return Response::error(400, "body must be UTF-8 JSON");
+        };
+        let spec: CampaignSpec = match serde::json::from_str(text) {
+            Ok(spec) => spec,
+            Err(_) => return Response::error(400, "body must be a campaign spec"),
+        };
+        if spec.boards == 0 {
+            return Response::error(400, "campaign needs at least one board");
+        }
+        match self.runner.submit(spec) {
+            Some(id) => Response::json(202, format!("{{\"id\":{id}}}")),
+            None => Response::error(503, "server is draining").closing(),
+        }
+    }
+
+    fn campaign_status(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::error(400, "campaign id must be a u64");
+        };
+        match self.runner.record(id) {
+            Some(record) => Response::json(200, serde::json::to_string(&record)),
+            None => Response::error(404, "no such campaign"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaigns::CampaignState;
+
+    fn get(target: &str) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(target: &str, body: &str) -> Request {
+        Request {
+            method: Method::Post,
+            target: target.to_owned(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn router() -> Router {
+        let state = Arc::new(ControlState::new());
+        let runner = CampaignRunner::in_memory(state.clone());
+        Router::new(state, runner, Arc::new(ServerMetrics::new()))
+    }
+
+    fn wait_completed(router: &Router, id: u64) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while router.runner.record(id).unwrap().state != CampaignState::Completed {
+            assert!(std::time::Instant::now() < deadline, "campaign stuck");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn routes_classify_for_metrics() {
+        assert_eq!(Router::route_of(&get("/v1/safe-point/3")), Route::SafePoint);
+        assert_eq!(
+            Router::route_of(&post("/v1/campaigns", "{}")),
+            Route::CampaignSubmit
+        );
+        assert_eq!(
+            Router::route_of(&get("/v1/campaigns/0")),
+            Route::CampaignStatus
+        );
+        assert_eq!(Router::route_of(&get("/v1/status")), Route::Status);
+        assert_eq!(Router::route_of(&get("/metrics")), Route::Metrics);
+        assert_eq!(Router::route_of(&get("/teapot")), Route::Other);
+    }
+
+    #[test]
+    fn full_lifecycle_through_the_router() {
+        let router = router();
+        // Nothing served yet.
+        assert_eq!(router.handle(&get("/v1/safe-point/0")).status, 404);
+
+        // Submit a campaign and poll it to completion.
+        let accepted = router.handle(&post("/v1/campaigns", r#"{"boards":4,"seed":11}"#));
+        assert_eq!(accepted.status, 202);
+        assert_eq!(accepted.body, b"{\"id\":0}");
+        wait_completed(&router, 0);
+
+        let status = router.handle(&get("/v1/campaigns/0"));
+        assert_eq!(status.status, 200);
+        let record: crate::campaigns::CampaignRecord =
+            serde::json::from_str(std::str::from_utf8(&status.body).unwrap()).unwrap();
+        assert_eq!(record.state, CampaignState::Completed);
+        assert_eq!(record.boards_characterized, 4);
+
+        // The results are served.
+        let point = router.handle(&get("/v1/safe-point/0"));
+        assert_eq!(point.status, 200);
+        let view: crate::state::SafePointView =
+            serde::json::from_str(std::str::from_utf8(&point.body).unwrap()).unwrap();
+        assert_eq!(view.board, 0);
+        assert_eq!(view.epoch, 0);
+
+        // Status and metrics reflect the campaign.
+        let status = router.handle(&get("/v1/status"));
+        assert!(std::str::from_utf8(&status.body)
+            .unwrap()
+            .contains("\"boards_served\":4"));
+        let metrics = router.handle(&get("/metrics"));
+        assert!(std::str::from_utf8(&metrics.body)
+            .unwrap()
+            .contains("control_plane_campaigns_completed_total 1"));
+        router.runner.drain();
+    }
+
+    #[test]
+    fn bad_inputs_answer_4xx() {
+        let router = router();
+        assert_eq!(router.handle(&get("/v1/safe-point/xyz")).status, 400);
+        assert_eq!(router.handle(&get("/v1/campaigns/-1")).status, 400);
+        assert_eq!(router.handle(&get("/v1/campaigns/7")).status, 404);
+        assert_eq!(
+            router.handle(&post("/v1/campaigns", "not json")).status,
+            400
+        );
+        assert_eq!(
+            router
+                .handle(&post("/v1/campaigns", r#"{"boards":0,"seed":1}"#))
+                .status,
+            400
+        );
+        assert_eq!(router.handle(&get("/nope")).status, 404);
+        let put = Request {
+            method: Method::Other("PUT".to_owned()),
+            target: "/v1/status".to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(router.handle(&put).status, 405);
+        router.runner.drain();
+    }
+
+    #[test]
+    fn draining_router_answers_503_for_submissions() {
+        let router = router();
+        router.runner.drain();
+        let resp = router.handle(&post("/v1/campaigns", r#"{"boards":2,"seed":5}"#));
+        assert_eq!(resp.status, 503);
+        assert!(resp.close);
+    }
+}

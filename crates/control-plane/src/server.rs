@@ -1,0 +1,353 @@
+//! The TCP serving layer: a bounded worker pool over
+//! `std::net::TcpListener` with per-connection deadline I/O and a
+//! SIGTERM-style graceful drain.
+//!
+//! # Threading model
+//!
+//! One acceptor thread blocks on `accept` and pushes connections into a
+//! bounded queue; `workers` threads pop connections and serve them to
+//! completion (HTTP/1.1 keep-alive with pipelining, one connection per
+//! worker at a time). The queue bound is the overload valve: when every
+//! worker is busy and the backlog is full, the acceptor answers `503`
+//! inline and closes — the server sheds load instead of queueing
+//! unboundedly.
+//!
+//! # Deadlines
+//!
+//! Every accepted socket gets read and write timeouts
+//! ([`ServerConfig::io_timeout`]). A client that stalls mid-request or
+//! stops draining its receive window cannot pin a worker forever: the
+//! blocked `read`/`write` returns `WouldBlock`/`TimedOut` and the
+//! connection is dropped.
+//!
+//! # Graceful drain
+//!
+//! [`ServerHandle::shutdown`] follows the SIGTERM choreography: stop
+//! accepting (new connections are refused at the OS level once the
+//! listener closes), let in-flight connections finish their current
+//! request, drain the campaign runner (which persists its manifest), and
+//! join every thread. The drain/restart test in `campaigns.rs` proves
+//! the stronger property — even a *hard* kill mid-campaign loses no
+//! work — so the graceful path here only has to be prompt.
+
+use crate::http::{parse_request, Limits, Parsed, Response};
+use crate::router::Router;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Accepted-connection backlog beyond busy workers; the overload
+    /// valve answers `503` past it.
+    pub backlog: usize,
+    /// Per-socket read/write deadline.
+    pub io_timeout: Duration,
+    /// HTTP parsing limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            backlog: 64,
+            io_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+struct ConnQueue {
+    queue: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues unless full; a full queue hands the stream back so the
+    /// caller can shed it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut guard = self.queue.lock().expect("conn queue poisoned");
+        if guard.0.len() >= self.cap {
+            return Err(stream);
+        }
+        guard.0.push_back(stream);
+        drop(guard);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed and empty.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut guard = self.queue.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(stream) = guard.0.pop_front() {
+                return Some(stream);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.ready.wait(guard).expect("conn queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.queue.lock().expect("conn queue poisoned").1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A running server; dropping the handle without calling
+/// [`ServerHandle::shutdown`] aborts threads less politely (the process
+/// is exiting anyway).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    router: Arc<Router>,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router behind this server.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight connections,
+    /// drain the campaign runner (persisting its manifest), join every
+    /// thread. Idempotent per handle; blocks until quiescent.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a no-op connection to ourselves.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.router.runner().drain();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Binds and starts serving. Returns once the listener is live.
+pub fn serve(router: Arc<Router>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stopping = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new(config.workers + config.backlog));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let queue = queue.clone();
+            let router = router.clone();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    serve_connection(stream, &router, &config);
+                }
+            })
+        })
+        .collect();
+
+    let acceptor = {
+        let queue = queue.clone();
+        let stopping = stopping.clone();
+        let router = router.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                router.metrics().connection_opened();
+                if let Err(mut shed) = queue.push(stream) {
+                    // Overload valve: every worker busy and the backlog
+                    // full. Answer 503 inline and close rather than
+                    // queueing unboundedly.
+                    let response = Response::error(503, "server overloaded").closing();
+                    let _ = shed.write_all(&response.encode());
+                }
+            }
+            // Listener closes here; refuse-at-OS-level from now on.
+            queue.close();
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        router,
+        stopping,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Serves one connection: keep-alive loop with pipelining, deadline
+/// I/O, typed 4xx on parse errors, connection close on protocol errors
+/// or request.
+fn serve_connection(mut stream: TcpStream, router: &Router, config: &ServerConfig) {
+    let _ = stream.set_read_timeout(Some(config.io_timeout));
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain every complete pipelined request already buffered.
+        loop {
+            match parse_request(&buf, &config.limits) {
+                Ok(Parsed::Complete { request, consumed }) => {
+                    buf.drain(..consumed);
+                    let _guard = router.metrics().begin_request();
+                    let started = Instant::now();
+                    let route = Router::route_of(&request);
+                    let mut response = router.handle(&request);
+                    if request.wants_close() {
+                        response.close = true;
+                    }
+                    router.metrics().observe(
+                        route,
+                        response.status,
+                        started.elapsed().as_secs_f64(),
+                    );
+                    if stream.write_all(&response.encode()).is_err() || response.close {
+                        return;
+                    }
+                }
+                Ok(Parsed::Incomplete) => break,
+                Err(err) => {
+                    router.metrics().parse_error();
+                    let response = Response::error(err.status(), &err.to_string()).closing();
+                    let _ = stream.write_all(&response.encode());
+                    return;
+                }
+            }
+        }
+        // Need more bytes.
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return, // deadline or reset
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaigns::CampaignRunner;
+    use crate::metrics::ServerMetrics;
+    use crate::state::ControlState;
+
+    fn start() -> ServerHandle {
+        let state = Arc::new(ControlState::new());
+        let runner = CampaignRunner::in_memory(state.clone());
+        let router = Arc::new(Router::new(state, runner, Arc::new(ServerMetrics::new())));
+        serve(router, ServerConfig::default()).expect("bind")
+    }
+
+    /// One round-trip on a fresh connection; returns the raw response.
+    fn roundtrip(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut out = Vec::new();
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => out.extend_from_slice(&chunk[..n]),
+            }
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    #[test]
+    fn serves_status_over_tcp() {
+        let server = start();
+        let response = roundtrip(
+            server.addr(),
+            "GET /v1/status HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"breaker\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let server = start();
+        let response = roundtrip(
+            server.addr(),
+            "GET /v1/status HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        let statuses: Vec<_> = response.matches("HTTP/1.1 200 OK").collect();
+        assert_eq!(statuses.len(), 2, "{response}");
+        assert!(response.contains("control_plane_requests_total"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_a_4xx_and_a_close() {
+        let server = start();
+        let response = roundtrip(server.addr(), "NOT A REQUEST\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("connection: close"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_connections_and_joins() {
+        let server = start();
+        let addr = server.addr();
+        // Campaigns submitted before shutdown survive the drain.
+        let response = roundtrip(
+            addr,
+            "POST /v1/campaigns HTTP/1.1\r\ncontent-length: 22\r\nconnection: close\r\n\r\n{\"boards\":2,\"seed\":42}",
+        );
+        assert!(response.starts_with("HTTP/1.1 202"), "{response}");
+        server.shutdown();
+        // After the graceful drain the port no longer accepts.
+        let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+        assert!(refused.is_err(), "listener should be closed");
+    }
+}

@@ -1,0 +1,299 @@
+//! Shared serving state: an Arc-swapped safe-point snapshot, the fleet
+//! health summary and the campaign-derived metrics base.
+//!
+//! # Snapshot-swap concurrency model
+//!
+//! Lookups must never contend with campaign completions. The control
+//! plane therefore keeps the authoritative [`VersionedSafePointStore`]
+//! behind a writer-side mutex, and *serves* from an immutable
+//! [`SafePointSnapshot`] — the [`LatestIndex`] of one store version plus
+//! a monotonically increasing version number — held as an `Arc` behind
+//! an `RwLock`. A lookup takes the read lock just long enough to clone
+//! the `Arc` (no allocation, no contention with other readers) and then
+//! works entirely on immutable data; an epoch roll builds the next
+//! index *outside* any lock and swaps the `Arc` in one short write-lock
+//! critical section. Consequences:
+//!
+//! * lookups never take the write lock and never observe a
+//!   half-built index;
+//! * after [`ControlState::roll_epoch`] returns, every subsequent
+//!   lookup sees the new version — the zero-stale-reads property
+//!   `BENCH_serving.json` gates on;
+//! * a lookup that raced the swap serves the *previous* complete
+//!   version, which is exactly the consistency an epoch-versioned
+//!   database wants.
+
+use guardband_core::epoch::{LatestIndex, VersionedSafePointStore};
+use guardband_core::safepoint::SafePointStore;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use telemetry::metrics::MetricsSnapshot;
+
+/// One immutable serving view of the safe-point database.
+#[derive(Debug, Default)]
+pub struct SafePointSnapshot {
+    /// Publish counter: bumps on every swap, never reused.
+    pub version: u64,
+    /// Highest epoch in the snapshot, if any.
+    pub latest_epoch: Option<u32>,
+    /// The read-optimized index of this store version.
+    pub index: LatestIndex,
+}
+
+/// What `GET /v1/safe-point/{board}` answers: the deployable point for
+/// one board *right now*, stamped with the snapshot version and epoch
+/// so clients (and the stale-read audit) can detect rollovers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafePointView {
+    /// The board asked about.
+    pub board: u32,
+    /// Epoch of the served record.
+    pub epoch: u32,
+    /// Snapshot version that answered (monotonic across rollovers).
+    pub snapshot_version: u64,
+    /// Measured rail Vmin, mV, if characterization succeeded.
+    pub rail_vmin_mv: Option<u32>,
+    /// Deployable PMD voltage, mV (`None`: run at nominal).
+    pub pmd_mv: Option<u32>,
+    /// Deployable SoC voltage, mV.
+    pub soc_mv: Option<u32>,
+    /// Deployable DRAM refresh period, ms.
+    pub trefp_ms: Option<f64>,
+    /// Exploited PMD margin below nominal, mV.
+    pub margin_mv: Option<i64>,
+    /// Margin lost to aging across the board's epochs, mV.
+    pub margin_decay_mv: Option<i64>,
+    /// Projected server power saving at this point, W.
+    pub savings_watts: f64,
+}
+
+impl SafePointSnapshot {
+    /// Builds the view served for `board`, or `None` when the board is
+    /// unknown to this snapshot.
+    pub fn lookup(&self, board: u32) -> Option<SafePointView> {
+        let entry = self.index.entry(board)?;
+        let point = &entry.point;
+        let op = point.operating_point.as_ref();
+        Some(SafePointView {
+            board,
+            epoch: entry.epoch,
+            snapshot_version: self.version,
+            rail_vmin_mv: point.rail_vmin_mv,
+            pmd_mv: op.map(|p| p.pmd_voltage.as_u32()),
+            soc_mv: op.map(|p| p.soc_voltage.as_u32()),
+            trefp_ms: op.map(|p| p.trefp.as_f64()),
+            margin_mv: point.margin_mv(),
+            margin_decay_mv: entry.trend.decay_mv(),
+            savings_watts: point.savings_watts,
+        })
+    }
+}
+
+/// Fleet health as `GET /v1/status` reports it: breaker state, sentinel
+/// verdicts and quarantines, summarized from the latest campaigns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatusSnapshot {
+    /// Dominant breaker state across the fleet (worst wins), rendered
+    /// with [`char_fw::safety::BreakerState`]'s display names.
+    pub breaker: String,
+    /// Breaker trips summed across characterizations.
+    pub breaker_trips: u64,
+    /// Sentinel SDC detections summed across characterizations.
+    pub sentinel_detections: u64,
+    /// Boards the safety net evicted at least once.
+    pub evicted_boards: Vec<u32>,
+    /// Boards quarantined as adversarial tenants (attacker quarantine,
+    /// distinct from board eviction).
+    pub attacker_quarantines: Vec<u32>,
+    /// Boards with a served safe point.
+    pub boards_served: usize,
+    /// Highest published epoch.
+    pub latest_epoch: Option<u32>,
+    /// Current snapshot version.
+    pub snapshot_version: u64,
+}
+
+/// The serving state shared by every worker thread.
+#[derive(Debug, Default)]
+pub struct ControlState {
+    /// Authoritative epoch-versioned database (writer side only).
+    master: Mutex<VersionedSafePointStore>,
+    /// The served snapshot, swapped whole on every publish.
+    snapshot: RwLock<Arc<SafePointSnapshot>>,
+    /// The served health summary.
+    status: RwLock<Arc<StatusSnapshot>>,
+    /// Campaign-derived metrics merged into `/metrics` output.
+    base_metrics: RwLock<Arc<MetricsSnapshot>>,
+    /// Publish counter backing snapshot versions.
+    version: AtomicU64,
+}
+
+impl ControlState {
+    /// Empty state: no safe points, version 0, healthy status.
+    pub fn new() -> Self {
+        ControlState::default()
+    }
+
+    /// The current snapshot — the lookup hot path. Cost: one brief read
+    /// lock and an `Arc` clone.
+    pub fn snapshot(&self) -> Arc<SafePointSnapshot> {
+        self.snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// The current health summary.
+    pub fn status(&self) -> Arc<StatusSnapshot> {
+        self.status.read().expect("status lock poisoned").clone()
+    }
+
+    /// Replaces the health summary (stamping it with the current
+    /// snapshot version and epoch).
+    pub fn set_status(&self, mut status: StatusSnapshot) {
+        let snapshot = self.snapshot();
+        status.snapshot_version = snapshot.version;
+        status.latest_epoch = snapshot.latest_epoch;
+        status.boards_served = snapshot.index.len();
+        *self.status.write().expect("status lock poisoned") = Arc::new(status);
+    }
+
+    /// The campaign-derived metrics base merged into `/metrics`.
+    pub fn base_metrics(&self) -> Arc<MetricsSnapshot> {
+        self.base_metrics
+            .read()
+            .expect("metrics lock poisoned")
+            .clone()
+    }
+
+    /// Replaces the campaign-derived metrics base.
+    pub fn set_base_metrics(&self, snapshot: MetricsSnapshot) {
+        *self.base_metrics.write().expect("metrics lock poisoned") = Arc::new(snapshot);
+    }
+
+    /// Merges one epoch's store into the master database and publishes
+    /// the rebuilt snapshot. Returns the new snapshot version. The index
+    /// build happens outside every lock; only the final `Arc` swap takes
+    /// the write lock.
+    pub fn roll_epoch(&self, epoch: u32, store: &SafePointStore) -> u64 {
+        let mut master = self.master.lock().expect("master lock poisoned");
+        for record in store.records() {
+            master.insert(epoch, record.clone());
+        }
+        let index = master.latest_index();
+        let latest_epoch = master.latest_epoch();
+        drop(master);
+        self.swap(index, latest_epoch)
+    }
+
+    /// Replaces the whole master database (restart recovery) and
+    /// publishes it. Returns the new snapshot version.
+    pub fn publish_versioned(&self, versioned: VersionedSafePointStore) -> u64 {
+        let index = versioned.latest_index();
+        let latest_epoch = versioned.latest_epoch();
+        *self.master.lock().expect("master lock poisoned") = versioned;
+        self.swap(index, latest_epoch)
+    }
+
+    fn swap(&self, index: LatestIndex, latest_epoch: Option<u32>) -> u64 {
+        let version = self.version.fetch_add(1, Ordering::SeqCst) + 1;
+        let next = Arc::new(SafePointSnapshot {
+            version,
+            latest_epoch,
+            index,
+        });
+        *self.snapshot.write().expect("snapshot lock poisoned") = next;
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardband_core::safepoint::{BoardSafePoint, SafePointPolicy};
+    use power_model::units::Millivolts;
+    use xgene_sim::sigma::SigmaBin;
+
+    fn record(board: u32, attempt: u32, rail: u32) -> BoardSafePoint {
+        let policy = SafePointPolicy::dsn18();
+        BoardSafePoint {
+            board,
+            attempt,
+            bin: SigmaBin::Ttt,
+            core_vmin_mv: vec![Some(rail - 5); 8],
+            rail_vmin_mv: Some(rail),
+            operating_point: Some(policy.derive_from_measured(Millivolts::new(rail), policy.trefp)),
+            bank_safe_trefp_ms: vec![2283.0; 8],
+            savings_fraction: 0.2,
+            savings_watts: 6.0,
+        }
+    }
+
+    fn one_board_store(board: u32, attempt: u32, rail: u32) -> SafePointStore {
+        let mut store = SafePointStore::new();
+        store.insert(record(board, attempt, rail));
+        store
+    }
+
+    #[test]
+    fn lookups_serve_the_latest_published_epoch() {
+        let state = ControlState::new();
+        assert_eq!(state.snapshot().lookup(7), None);
+
+        let v1 = state.roll_epoch(0, &one_board_store(7, 0, 905));
+        let view = state.snapshot().lookup(7).unwrap();
+        assert_eq!((view.epoch, view.snapshot_version), (0, v1));
+        assert_eq!(view.rail_vmin_mv, Some(905));
+        assert_eq!(view.pmd_mv, Some(930));
+        assert_eq!(view.margin_mv, Some(50));
+        assert_eq!(view.margin_decay_mv, None, "one epoch is no trend");
+
+        let v2 = state.roll_epoch(12, &one_board_store(7, 12, 925));
+        assert!(v2 > v1);
+        let view = state.snapshot().lookup(7).unwrap();
+        assert_eq!((view.epoch, view.snapshot_version), (12, v2));
+        assert_eq!(view.margin_decay_mv, Some(20));
+    }
+
+    #[test]
+    fn an_old_snapshot_keeps_serving_its_version_after_a_roll() {
+        // The consistency contract: a reader holding a pre-roll Arc sees
+        // a complete old view, never a half-updated one.
+        let state = ControlState::new();
+        state.roll_epoch(0, &one_board_store(3, 0, 905));
+        let held = state.snapshot();
+        state.roll_epoch(6, &one_board_store(3, 6, 915));
+        assert_eq!(held.lookup(3).unwrap().epoch, 0);
+        assert_eq!(state.snapshot().lookup(3).unwrap().epoch, 6);
+    }
+
+    #[test]
+    fn status_is_stamped_with_the_serving_version() {
+        let state = ControlState::new();
+        state.roll_epoch(0, &one_board_store(1, 0, 905));
+        state.set_status(StatusSnapshot {
+            breaker: "healthy".to_owned(),
+            breaker_trips: 2,
+            ..StatusSnapshot::default()
+        });
+        let status = state.status();
+        assert_eq!(status.snapshot_version, state.snapshot().version);
+        assert_eq!(status.boards_served, 1);
+        assert_eq!(status.latest_epoch, Some(0));
+        assert_eq!(status.breaker_trips, 2);
+    }
+
+    #[test]
+    fn publish_versioned_replaces_the_master_wholesale() {
+        let state = ControlState::new();
+        state.roll_epoch(0, &one_board_store(1, 0, 905));
+        let mut versioned = VersionedSafePointStore::new();
+        versioned.insert(3, record(9, 3, 910));
+        state.publish_versioned(versioned);
+        let snapshot = state.snapshot();
+        assert_eq!(snapshot.lookup(1), None, "old master is gone");
+        assert_eq!(snapshot.lookup(9).unwrap().epoch, 3);
+        assert_eq!(snapshot.latest_epoch, Some(3));
+    }
+}

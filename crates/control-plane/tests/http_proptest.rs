@@ -1,0 +1,186 @@
+//! Property tests for the HTTP/1.1 parser: for *any* byte sequence the
+//! parser terminates without panicking and classifies the input as
+//! incomplete, complete, or a typed error mapping to a 4xx/5xx close —
+//! the contract the serving loop relies on to survive hostile clients.
+
+use control_plane::http::{parse_request, Limits, Method, Parsed};
+use proptest::prelude::*;
+
+/// A generator for syntactically valid requests, assembled from parts
+/// so properties can assert against the known ground truth.
+#[derive(Debug, Clone)]
+struct ValidRequest {
+    method: String,
+    target: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl ValidRequest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.target).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if !self.body.is_empty() {
+            out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn arb_token() -> impl Strategy<Value = String> {
+    proptest::collection::vec(97u8..123, 1..8)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("lowercase ascii"))
+}
+
+fn arb_valid_request() -> impl Strategy<Value = ValidRequest> {
+    (
+        prop_oneof![
+            Just("GET".to_owned()),
+            Just("POST".to_owned()),
+            Just("DELETE".to_owned()),
+        ],
+        proptest::collection::vec(arb_token(), 0..4),
+        proptest::collection::vec((arb_token(), arb_token()), 0..5),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(method, segments, headers, body)| ValidRequest {
+            method,
+            target: format!("/{}", segments.join("/")),
+            headers,
+            body,
+        })
+}
+
+proptest! {
+    /// Arbitrary bytes: the parser returns — it never panics, loops or
+    /// overflows, whatever the input.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let _ = parse_request(&bytes, &Limits::default());
+    }
+
+    /// Arbitrary bytes under hostile-small limits: still total, and
+    /// every error carries a 4xx/5xx close status.
+    #[test]
+    fn tight_limits_yield_typed_errors(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let limits = Limits {
+            max_request_line: 16,
+            max_headers: 2,
+            max_header_line: 16,
+            max_body: 8,
+        };
+        if let Err(err) = parse_request(&bytes, &limits) {
+            let status = err.status();
+            prop_assert!((400..=505).contains(&status), "status {status}");
+        }
+    }
+
+    /// Torn reads: every strict prefix of a valid request is either
+    /// `Incomplete` (read more) or already an error the full message
+    /// also produces — a prefix never parses as a bogus complete
+    /// request.
+    #[test]
+    fn every_prefix_of_a_valid_request_is_incomplete(
+        request in arb_valid_request(),
+    ) {
+        let bytes = request.encode();
+        for cut in 0..bytes.len() {
+            match parse_request(&bytes[..cut], &Limits::default()) {
+                Ok(Parsed::Incomplete) => {}
+                Ok(Parsed::Complete { .. }) => {
+                    prop_assert!(false, "prefix {cut}/{} parsed complete", bytes.len());
+                }
+                Err(err) => {
+                    prop_assert!(false, "valid prefix {cut} errored: {err}");
+                }
+            }
+        }
+        match parse_request(&bytes, &Limits::default()).expect("valid request parses") {
+            Parsed::Complete { request: parsed, consumed } => {
+                prop_assert_eq!(consumed, bytes.len());
+                prop_assert_eq!(parsed.body, request.body);
+                prop_assert_eq!(parsed.target, request.target);
+                match (&parsed.method, request.method.as_str()) {
+                    (Method::Get, "GET") | (Method::Post, "POST") => {}
+                    (Method::Other(m), other) => prop_assert_eq!(m.as_str(), other),
+                    (got, want) => prop_assert!(false, "method {got:?} != {want}"),
+                }
+            }
+            Parsed::Incomplete => prop_assert!(false, "full request stayed incomplete"),
+        }
+    }
+
+    /// Pipelining: two concatenated requests parse back-to-back, each
+    /// consuming exactly its own bytes.
+    #[test]
+    fn pipelined_requests_split_exactly(
+        first in arb_valid_request(),
+        second in arb_valid_request(),
+    ) {
+        let mut buf = first.encode();
+        let first_len = buf.len();
+        buf.extend_from_slice(&second.encode());
+        let consumed = match parse_request(&buf, &Limits::default()).expect("first parses") {
+            Parsed::Complete { request, consumed } => {
+                prop_assert_eq!(consumed, first_len);
+                prop_assert_eq!(request.body, first.body);
+                consumed
+            }
+            Parsed::Incomplete => {
+                prop_assert!(false, "first request stayed incomplete");
+                unreachable!()
+            }
+        };
+        match parse_request(&buf[consumed..], &Limits::default()).expect("second parses") {
+            Parsed::Complete { request, consumed } => {
+                prop_assert_eq!(consumed, buf.len() - first_len);
+                prop_assert_eq!(request.target, second.target);
+                prop_assert_eq!(request.body, second.body);
+            }
+            Parsed::Incomplete => prop_assert!(false, "second request stayed incomplete"),
+        }
+    }
+
+    /// Mutation: flipping one byte of a valid request never panics, and
+    /// whatever the parser says remains one of the three legal verdicts.
+    #[test]
+    fn single_byte_mutations_stay_classified(
+        request in arb_valid_request(),
+        position in any::<u16>(),
+        value in any::<u8>(),
+    ) {
+        let mut bytes = request.encode();
+        let position = usize::from(position) % bytes.len();
+        bytes[position] = value;
+        match parse_request(&bytes, &Limits::default()) {
+            Ok(Parsed::Complete { consumed, .. }) => {
+                prop_assert!(consumed <= bytes.len());
+            }
+            Ok(Parsed::Incomplete) => {}
+            Err(err) => {
+                let status = err.status();
+                prop_assert!((400..=505).contains(&status), "status {status}");
+            }
+        }
+    }
+
+    /// An unbounded flood with no line terminator errors once past the
+    /// request-line limit instead of buffering forever.
+    #[test]
+    fn crlf_free_floods_are_rejected(
+        filler in 32u8..127,
+        extra in 0usize..64,
+    ) {
+        let limits = Limits::default();
+        let flood = vec![filler; limits.max_request_line + 1 + extra];
+        prop_assert!(parse_request(&flood, &limits).is_err());
+    }
+}

@@ -101,11 +101,23 @@ impl VersionedSafePointStore {
 
     /// A board's most recent record: the highest epoch that knows the
     /// board, with that epoch.
+    ///
+    /// This is the O(epochs) scanning path — correct for one-off
+    /// queries, wrong for a serving hot loop. A lookup service should
+    /// build a [`LatestIndex`] once per store version instead and answer
+    /// every request from it (the control plane does exactly that); the
+    /// two paths are equivalence-property-tested against each other.
     pub fn latest_for(&self, board: u32) -> Option<(u32, &BoardSafePoint)> {
         self.epochs
             .iter()
             .rev()
             .find_map(|(epoch, store)| store.get(board).map(|r| (*epoch, r)))
+    }
+
+    /// Builds the read-optimized [`LatestIndex`] of this store version:
+    /// one pass over every epoch, O(log boards) lookups afterwards.
+    pub fn latest_index(&self) -> LatestIndex {
+        LatestIndex::build(self)
     }
 
     /// A board's full trajectory, in epoch order.
@@ -120,14 +132,16 @@ impl VersionedSafePointStore {
     /// latest epochs, in mV: positive means the deployed voltage had to
     /// rise (aging reclaimed guardband), zero means the safe point held.
     /// `None` until the board has two epochs with derived points.
+    ///
+    /// Folds the board's history through the same [`MarginTrend`]
+    /// accumulator [`LatestIndex::build`] uses, so the scanning and
+    /// indexed answers can never drift apart.
     pub fn margin_decay_mv(&self, board: u32) -> Option<i64> {
-        let history = self.history(board);
-        let first = history.iter().find_map(|(_, r)| r.margin_mv())?;
-        let last = history.iter().rev().find_map(|(_, r)| r.margin_mv())?;
-        if history.len() < 2 {
-            return None;
+        let mut trend = MarginTrend::default();
+        for (_, record) in self.history(board) {
+            trend.push(record);
         }
-        Some(first - last)
+        trend.decay_mv()
     }
 
     /// The fleet's current deployment view: every board's record from
@@ -140,6 +154,138 @@ impl VersionedSafePointStore {
             flat.merge(store);
         }
         flat
+    }
+}
+
+/// The margin-trajectory accumulator shared by the scanning
+/// [`VersionedSafePointStore::margin_decay_mv`] and the indexed
+/// [`LatestIndex`]: push a board's records in epoch order, read the
+/// decay off the end. Keeping one definition is what makes the
+/// "index equals scan" property structural rather than coincidental.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarginTrend {
+    epochs: usize,
+    first_margin_mv: Option<i64>,
+    last_margin_mv: Option<i64>,
+}
+
+impl MarginTrend {
+    /// Folds one record (they must arrive in ascending epoch order).
+    pub fn push(&mut self, record: &BoardSafePoint) {
+        self.epochs += 1;
+        if let Some(margin) = record.margin_mv() {
+            if self.first_margin_mv.is_none() {
+                self.first_margin_mv = Some(margin);
+            }
+            self.last_margin_mv = Some(margin);
+        }
+    }
+
+    /// Epochs folded so far (with or without a derived margin).
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// First-minus-latest exploited margin, mV — positive means aging
+    /// reclaimed guardband. `None` until two epochs exist and at least
+    /// one record carries a derived margin.
+    pub fn decay_mv(&self) -> Option<i64> {
+        if self.epochs < 2 {
+            return None;
+        }
+        Some(self.first_margin_mv? - self.last_margin_mv?)
+    }
+}
+
+/// One board's entry in a [`LatestIndex`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// The highest epoch that characterized the board.
+    pub epoch: u32,
+    /// That epoch's record — the one a lookup service deploys.
+    pub point: BoardSafePoint,
+    /// The board's margin trajectory across every known epoch.
+    pub trend: MarginTrend,
+}
+
+/// The read-optimized projection of one [`VersionedSafePointStore`]
+/// version: board → (latest epoch, latest record, margin trend), built
+/// in one pass and immutable afterwards.
+///
+/// [`VersionedSafePointStore::latest_for`] walks the epoch map backwards
+/// on every call — O(epochs) per lookup, which a control plane serving
+/// millions of lookups cannot afford. This index pays that scan once per
+/// published store version; lookups are then a single map probe. The
+/// equivalence of the two paths is property-tested (`latest_for` and
+/// `margin_decay_mv` against [`LatestIndex::latest_for`] and
+/// [`LatestIndex::margin_decay_mv`] over arbitrary stores).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatestIndex {
+    entries: BTreeMap<u32, IndexEntry>,
+}
+
+impl LatestIndex {
+    /// Builds the index in one ascending pass over every epoch: later
+    /// epochs overwrite the latest point, and every record feeds the
+    /// margin trend.
+    pub fn build(store: &VersionedSafePointStore) -> Self {
+        let mut entries: BTreeMap<u32, IndexEntry> = BTreeMap::new();
+        for (epoch, epoch_store) in store.epochs() {
+            for record in epoch_store.records() {
+                match entries.get_mut(&record.board) {
+                    Some(entry) => {
+                        entry.epoch = epoch;
+                        entry.point = record.clone();
+                        entry.trend.push(record);
+                    }
+                    None => {
+                        let mut trend = MarginTrend::default();
+                        trend.push(record);
+                        entries.insert(
+                            record.board,
+                            IndexEntry {
+                                epoch,
+                                point: record.clone(),
+                                trend,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        LatestIndex { entries }
+    }
+
+    /// A board's latest record with its epoch — the indexed equivalent
+    /// of [`VersionedSafePointStore::latest_for`].
+    pub fn latest_for(&self, board: u32) -> Option<(u32, &BoardSafePoint)> {
+        self.entries.get(&board).map(|e| (e.epoch, &e.point))
+    }
+
+    /// A board's full index entry, if known.
+    pub fn entry(&self, board: u32) -> Option<&IndexEntry> {
+        self.entries.get(&board)
+    }
+
+    /// The indexed equivalent of
+    /// [`VersionedSafePointStore::margin_decay_mv`].
+    pub fn margin_decay_mv(&self, board: u32) -> Option<i64> {
+        self.entries.get(&board).and_then(|e| e.trend.decay_mv())
+    }
+
+    /// Boards known to the index, ascending.
+    pub fn boards(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Number of boards with at least one record.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index knows no board at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -275,5 +421,83 @@ mod tests {
         let text = serde::json::to_string(&store);
         let back: VersionedSafePointStore = serde::json::from_str(&text).unwrap();
         assert_eq!(back, store);
+    }
+
+    #[test]
+    fn the_index_answers_exactly_what_the_scan_answers() {
+        let mut store = VersionedSafePointStore::new();
+        store.insert(0, record(5, 0, 905));
+        store.insert(6, record(5, 6, 910));
+        store.insert(12, record(9, 12, 920));
+        let index = store.latest_index();
+        assert_eq!(index.len(), 2);
+        for board in [5, 9, 77] {
+            assert_eq!(index.latest_for(board), store.latest_for(board));
+            assert_eq!(index.margin_decay_mv(board), store.margin_decay_mv(board));
+        }
+        assert_eq!(index.entry(5).unwrap().trend.epochs(), 2);
+        assert_eq!(index.boards().collect::<Vec<_>>(), vec![5, 9]);
+    }
+
+    #[test]
+    fn an_empty_store_builds_an_empty_index() {
+        let index = VersionedSafePointStore::new().latest_index();
+        assert!(index.is_empty());
+        assert_eq!(index.latest_for(0), None);
+        assert_eq!(index.margin_decay_mv(0), None);
+    }
+
+    #[test]
+    fn margin_trend_needs_two_epochs_and_a_derived_margin() {
+        let mut trend = MarginTrend::default();
+        assert_eq!(trend.decay_mv(), None);
+        trend.push(&record(0, 0, 905));
+        assert_eq!(trend.decay_mv(), None, "one epoch is no trend");
+        trend.push(&record(0, 12, 925));
+        // 905 deploys 930, 925 deploys 950: 20 mV of guardband reclaimed.
+        assert_eq!(trend.decay_mv(), Some(20));
+
+        // Records with no derived operating point count as epochs but
+        // contribute no margin.
+        let mut bare = record(1, 0, 905);
+        bare.operating_point = None;
+        let mut trend = MarginTrend::default();
+        trend.push(&bare);
+        trend.push(&bare);
+        assert_eq!(trend.epochs(), 2);
+        assert_eq!(trend.decay_mv(), None);
+    }
+
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A record that may or may not have a derived operating point.
+        fn arb_record() -> impl Strategy<Value = (u32, u32, bool)> {
+            (0u32..12, 0u32..8, proptest::prelude::any::<bool>())
+        }
+
+        proptest! {
+            /// For arbitrary stores, the one-pass index and the
+            /// O(epochs) scan agree on every board — latest record,
+            /// latest epoch and margin decay alike.
+            #[test]
+            fn index_equals_scan(records in proptest::collection::vec(arb_record(), 0..40)) {
+                let mut store = VersionedSafePointStore::new();
+                for (board, epoch, derived) in records {
+                    let mut r = record(board, epoch, 900 + 5 * epoch);
+                    if !derived {
+                        r.operating_point = None;
+                    }
+                    store.insert(epoch, r);
+                }
+                let index = store.latest_index();
+                for board in 0..13 {
+                    prop_assert_eq!(index.latest_for(board), store.latest_for(board));
+                    prop_assert_eq!(index.margin_decay_mv(board), store.margin_decay_mv(board));
+                }
+                prop_assert_eq!(index.len(), store.latest().len());
+            }
+        }
     }
 }

@@ -252,9 +252,8 @@ pub fn run_deployment_durable<S: JournalStore>(
 
 /// A round executor: month + scheduled jobs in, the round's outcomes
 /// out (or an interrupt).
-type RoundFn<'a> =
-    dyn FnMut(u32, &[(FleetJob, JobEnvironment)]) -> Result<Vec<BoardOutcome>, LifetimeInterrupted>
-        + 'a;
+type RoundFn<'a> = dyn FnMut(u32, &[(FleetJob, JobEnvironment)]) -> Result<Vec<BoardOutcome>, LifetimeInterrupted>
+    + 'a;
 
 /// The deployment loop over an abstract round executor: the plain path
 /// executes rounds directly, the durable path replays or journals them.

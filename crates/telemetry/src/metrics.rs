@@ -20,6 +20,38 @@ pub const WALL_SECONDS_BUCKETS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 
 /// (0.1 ms … 1000 s).
 pub const SIM_MS_BUCKETS: [f64; 8] = [0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6];
 
+/// Geometric bucket bounds: `start, start·factor, …` for `count`
+/// buckets. The shape request-latency distributions want — a linear
+/// ladder wastes resolution at one end of a µs→s range, a geometric one
+/// keeps relative error constant across it.
+///
+/// # Panics
+///
+/// Panics if `start` is not positive and finite, `factor` is not finite
+/// and greater than 1, or `count` is zero.
+pub fn exponential_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(
+        start.is_finite() && start > 0.0,
+        "exponential buckets need a positive finite start"
+    );
+    assert!(
+        factor.is_finite() && factor > 1.0,
+        "exponential buckets need a finite growth factor > 1"
+    );
+    assert!(count > 0, "histogram needs at least one bucket");
+    let mut bounds = Vec::with_capacity(count);
+    let mut bound = start;
+    for _ in 0..count {
+        bounds.push(bound);
+        bound *= factor;
+    }
+    assert!(
+        bounds.iter().all(|b| b.is_finite()),
+        "exponential buckets overflowed to infinity"
+    );
+    bounds
+}
+
 /// A fixed-bucket histogram (Prometheus semantics: cumulative `le`
 /// buckets plus an implicit `+Inf` overflow, a sum and a count).
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +87,28 @@ impl Histogram {
             sum: 0.0,
             count: 0,
         }
+    }
+
+    /// Creates a histogram with geometric bucket bounds
+    /// `start, start·factor, …` (`count` finite buckets plus the
+    /// implicit `+Inf` overflow) — suited to request latencies spanning
+    /// microseconds to seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (see [`exponential_bounds`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use telemetry::metrics::Histogram;
+    ///
+    /// // 1 µs … ~1 s in seconds, doubling: 21 buckets.
+    /// let h = Histogram::exponential(1e-6, 2.0, 21);
+    /// assert_eq!(h.count(), 0);
+    /// ```
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        Histogram::new(&exponential_bounds(start, factor, count))
     }
 
     /// Records one observation.
@@ -875,6 +929,67 @@ lat_ms_count{board=\"b2\"} 1
         assert_eq!(restored.snapshot(), snap);
         restored.counter_add_labeled("jobs", &[("board", "b1")], 1);
         assert_eq!(restored.counter_labeled("jobs", &[("board", "b1")]), 2);
+    }
+
+    #[test]
+    fn exponential_bounds_are_geometric_and_strictly_increasing() {
+        let bounds = exponential_bounds(1e-6, 10.0, 7);
+        assert_eq!(bounds.len(), 7);
+        assert!((bounds[0] - 1e-6).abs() < 1e-18);
+        for pair in bounds.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!((pair[1] / pair[0] - 10.0).abs() < 1e-9);
+        }
+        // The top of a 1 µs start with 7 decades is 1 s.
+        assert!((bounds[6] - 1.0).abs() < 1e-9);
+        // The constructor accepts them (they satisfy Histogram::new's
+        // finite/increasing contract by construction).
+        let h = Histogram::exponential(1e-6, 10.0, 7);
+        assert_eq!(h.snapshot().bounds, bounds);
+    }
+
+    #[test]
+    fn exponential_histogram_buckets_by_upper_bound() {
+        let mut h = Histogram::exponential(1.0, 2.0, 4); // 1, 2, 4, 8
+        h.observe(1.0); // le=1 (inclusive)
+        h.observe(1.5); // le=2
+        h.observe(8.0); // le=8
+        h.observe(100.0); // +Inf overflow
+        assert_eq!(h.cumulative(), vec![1, 2, 2, 3, 4]);
+    }
+
+    #[test]
+    fn exponential_quantiles_interpolate_within_the_bucket() {
+        // All mass in (2, 4]: the median interpolates linearly to 3 even
+        // though the bucket widths grow geometrically.
+        let mut h = Histogram::exponential(1.0, 2.0, 4);
+        for _ in 0..8 {
+            h.observe(3.0);
+        }
+        assert_eq!(h.p50(), Some(3.0));
+        assert_eq!(h.quantile(0.25), Some(2.5));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        // Overflow observations report the highest finite bound.
+        h.observe(1e9);
+        assert_eq!(h.p99(), Some(8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "growth factor")]
+    fn exponential_rejects_non_growing_factor() {
+        let _ = exponential_bounds(1.0, 1.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite start")]
+    fn exponential_rejects_zero_start() {
+        let _ = exponential_bounds(0.0, 2.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn exponential_rejects_zero_count() {
+        let _ = exponential_bounds(1.0, 2.0, 0);
     }
 
     #[test]

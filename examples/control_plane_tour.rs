@@ -1,0 +1,130 @@
+//! Control-plane tour: boot the serving layer, submit a characterization
+//! campaign over real TCP, watch it publish an epoch, query the served
+//! safe points / fleet status / Prometheus metrics, then drain and shut
+//! the server down gracefully.
+//!
+//! ```text
+//! cargo run --release --example control_plane_tour
+//! ```
+
+use armv8_guardbands::control_plane::{
+    serve, CampaignRecord, CampaignRunner, CampaignSpec, CampaignState, ControlState, Router,
+    SafePointView, ServerConfig, ServerMetrics, StatusSnapshot,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One `connection: close` round trip; returns (status, body).
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nhost: tour\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn main() {
+    // --- Boot: empty safe-point database, in-memory campaign journals,
+    // four serving workers on an ephemeral port.
+    let state = Arc::new(ControlState::new());
+    let runner = CampaignRunner::in_memory(state.clone());
+    let router = Arc::new(Router::new(state, runner, Arc::new(ServerMetrics::new())));
+    let server = serve(router, ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+    println!("== control plane serving on {addr} ==\n");
+
+    // Before any campaign: the database is empty, lookups 404.
+    let (status, _) = request(addr, "GET", "/v1/safe-point/0", "");
+    println!("GET /v1/safe-point/0 before any campaign -> {status}");
+
+    // --- Submit a campaign over the wire and poll it to completion.
+    let spec = CampaignSpec::new(8, 2018);
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/campaigns",
+        &serde::json::to_string(&spec),
+    );
+    println!("POST /v1/campaigns {{boards:8, seed:2018}} -> {status} {body}");
+    assert_eq!(status, 202, "submission accepted");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let record: CampaignRecord = loop {
+        let (_, body) = request(addr, "GET", "/v1/campaigns/0", "");
+        let record: CampaignRecord = serde::json::from_str(&body).expect("campaign record");
+        if record.state == CampaignState::Completed {
+            break record;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "campaign stuck in {}",
+            record.state
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    println!(
+        "campaign 0 completed: {} jobs, {} boards characterized, {:.1} W fleet savings, published epoch {}",
+        record.executed_jobs, record.boards_characterized, record.total_savings_watts, record.epoch
+    );
+
+    // --- The published epoch is now served lock-free from the snapshot.
+    println!("\nsafe points served after the rollover:");
+    for board in 0..4 {
+        let (_, body) = request(addr, "GET", &format!("/v1/safe-point/{board}"), "");
+        let view: SafePointView = serde::json::from_str(&body).expect("safe-point view");
+        println!(
+            "  board {board}: epoch {} v{} pmd {:?} mV, trefp {:?} ms, margin {:?} mV, {:.1} W saved",
+            view.epoch, view.snapshot_version, view.pmd_mv, view.trefp_ms, view.margin_mv,
+            view.savings_watts
+        );
+    }
+
+    let (_, body) = request(addr, "GET", "/v1/status", "");
+    let health: StatusSnapshot = serde::json::from_str(&body).expect("status snapshot");
+    println!(
+        "\nfleet status: breaker {}, {} trips, {} sentinel detections, {} boards served at epoch {:?}",
+        health.breaker,
+        health.breaker_trips,
+        health.sentinel_detections,
+        health.boards_served,
+        health.latest_epoch
+    );
+
+    // --- /metrics merges campaign-derived series with the server's own
+    // control_plane_* family (counters, gauges, latency histograms).
+    let (_, exposition) = request(addr, "GET", "/metrics", "");
+    let lines: Vec<&str> = exposition
+        .lines()
+        .filter(|l| l.starts_with("control_plane_requests_total") || l.starts_with("campaign_"))
+        .take(8)
+        .collect();
+    println!("\n/metrics excerpt ({} bytes total):", exposition.len());
+    for line in lines {
+        println!("  {line}");
+    }
+
+    // --- Graceful shutdown: stop accepting, finish in-flight work,
+    // drain the campaign runner (queued work persists for next boot).
+    server.shutdown();
+    println!("\nserver drained and shut down; new connections are refused:");
+    println!(
+        "  connect after shutdown -> {:?}",
+        TcpStream::connect(addr).is_err()
+    );
+}

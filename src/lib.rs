@@ -21,7 +21,9 @@
 //! for fleet-wide timeline aggregation, incident postmortems, SLO
 //! burn-rate monitors and early-warning anomaly detection, [`chaos`]
 //! for seeded crash-schedule campaigns that prove the durable
-//! orchestration layer recovers byte-identically, and `crates/bench`
+//! orchestration layer recovers byte-identically, [`control_plane`] for
+//! the always-on HTTP serving layer (safe-point lookups, campaign
+//! submission, fleet health and metrics), and `crates/bench`
 //! for the binaries that regenerate every table and figure of the
 //! paper.
 
@@ -29,6 +31,7 @@
 
 pub use chaos;
 pub use char_fw;
+pub use control_plane;
 pub use dram_sim;
 pub use fleet;
 pub use guardband_core;

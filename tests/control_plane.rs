@@ -1,0 +1,223 @@
+//! End-to-end control plane over real TCP: boot an empty serving
+//! layer, submit a campaign through `POST /v1/campaigns`, poll it to
+//! completion, and check that the published epoch, fleet status and
+//! Prometheus exposition all agree with a direct `run_fleet` of the
+//! same spec — then that graceful shutdown refuses new connections
+//! while a killed-and-rebooted runner resumes its journal.
+
+use armv8_guardbands::control_plane::{
+    serve, CampaignRecord, CampaignRunner, CampaignSpec, CampaignState, ControlState, Router,
+    SafePointView, ServerConfig, ServerMetrics, StatusSnapshot,
+};
+use armv8_guardbands::fleet::population::FleetSpec;
+use armv8_guardbands::fleet::{run_fleet, FleetCampaign, FleetConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BOARDS: u32 = 8;
+const SEED: u64 = 2018;
+
+fn boot() -> armv8_guardbands::control_plane::ServerHandle {
+    let state = Arc::new(ControlState::new());
+    let runner = CampaignRunner::in_memory(state.clone());
+    let router = Arc::new(Router::new(state, runner, Arc::new(ServerMetrics::new())));
+    serve(router, ServerConfig::default()).expect("bind ephemeral port")
+}
+
+/// One `connection: close` round trip; returns (status, body).
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn await_completion(addr: SocketAddr, id: u64) -> CampaignRecord {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/v1/campaigns/{id}"), "");
+        assert_eq!(status, 200, "campaign {id} should exist");
+        let record: CampaignRecord = serde::json::from_str(&body).expect("campaign record");
+        if record.state == CampaignState::Completed {
+            return record;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "campaign {id} stuck in {}",
+            record.state
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A campaign submitted over the wire publishes exactly the safe
+/// points and health summary a direct `run_fleet` of the same spec
+/// computes, and every board of the fleet is served.
+#[test]
+fn a_wire_submitted_campaign_serves_the_run_fleet_results() {
+    let server = boot();
+    let addr = server.addr();
+
+    // Empty database: lookups 404, status shows zero boards.
+    let (status, _) = request(addr, "GET", "/v1/safe-point/0", "");
+    assert_eq!(status, 404);
+
+    let spec = CampaignSpec::new(BOARDS, SEED);
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/campaigns",
+        &serde::json::to_string(&spec),
+    );
+    assert_eq!(status, 202);
+    assert!(body.contains("\"id\":0"), "first id is 0, got {body}");
+    let record = await_completion(addr, 0);
+
+    // The reference run: same spec, direct library call.
+    let reference = run_fleet(
+        &FleetSpec::new(BOARDS, SEED),
+        &FleetCampaign::quick(),
+        &FleetConfig::with_workers(2),
+    );
+    assert_eq!(
+        record.executed_jobs,
+        reference.characterization.jobs.len() as u64,
+        "exactly-once accounting matches the deterministic job set"
+    );
+    assert_eq!(
+        record.boards_characterized,
+        reference.characterization.stats.characterized
+    );
+
+    // Every board serves the reference store's deployable point.
+    for board in 0..BOARDS {
+        let (status, body) = request(addr, "GET", &format!("/v1/safe-point/{board}"), "");
+        assert_eq!(status, 200, "board {board} served");
+        let view: SafePointView = serde::json::from_str(&body).expect("safe-point view");
+        let expected = reference
+            .characterization
+            .store
+            .get(board)
+            .expect("reference store has the board");
+        assert_eq!(view.rail_vmin_mv, expected.rail_vmin_mv, "board {board}");
+        assert_eq!(view.savings_watts, expected.savings_watts, "board {board}");
+        assert_eq!(view.epoch, record.epoch);
+    }
+
+    // Bad inputs get typed errors, not hangs.
+    let (status, _) = request(addr, "GET", "/v1/safe-point/not-a-board", "");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "POST", "/v1/campaigns", "{\"boards\":0,\"seed\":1}");
+    assert_eq!(status, 400, "zero-board campaigns are rejected");
+
+    // Status and metrics reflect the run.
+    let (_, body) = request(addr, "GET", "/v1/status", "");
+    let health: StatusSnapshot = serde::json::from_str(&body).expect("status snapshot");
+    assert_eq!(health.boards_served, BOARDS as usize);
+    assert_eq!(health.latest_epoch, Some(record.epoch));
+    let (status, exposition) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(exposition.contains("control_plane_requests_total"));
+    assert!(exposition.contains("control_plane_latest_epoch"));
+    assert!(
+        exposition.contains("campaign_runs_total"),
+        "campaign-derived counters are merged into the exposition"
+    );
+
+    // Graceful shutdown refuses new connections.
+    server.shutdown();
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err();
+    assert!(refused, "post-shutdown connections are refused");
+}
+
+/// A campaign whose coordinator is killed mid-run reports
+/// `interrupted`; a rebooted runner over the same journal directory
+/// resumes it and ends with exactly-once job accounting.
+#[test]
+fn an_interrupted_wire_campaign_resumes_after_reboot() {
+    let dir = std::env::temp_dir().join(format!(
+        "cp-e2e-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+
+    // First life: the chaos knob kills the coordinator after 3 jobs.
+    let state = Arc::new(ControlState::new());
+    let runner = CampaignRunner::open(state.clone(), &dir);
+    let router = Arc::new(Router::new(state, runner, Arc::new(ServerMetrics::new())));
+    let server = serve(router, ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    let mut spec = CampaignSpec::new(BOARDS, SEED);
+    spec.interrupt_after = Some(3);
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/campaigns",
+        &serde::json::to_string(&spec),
+    );
+    assert_eq!(status, 202);
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, body) = request(addr, "GET", "/v1/campaigns/0", "");
+        let record: CampaignRecord = serde::json::from_str(&body).expect("record");
+        if record.state == CampaignState::Interrupted {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "kill never landed: {}",
+            record.state
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+
+    // Second life: boot recovery re-enqueues the interrupted campaign.
+    let state = Arc::new(ControlState::new());
+    let runner = CampaignRunner::open(state.clone(), &dir);
+    let router = Arc::new(Router::new(state, runner, Arc::new(ServerMetrics::new())));
+    let server = serve(router, ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    let record = await_completion(addr, 0);
+    assert_eq!(record.incarnations, 2, "one kill, one resume");
+    let reference = run_fleet(
+        &FleetSpec::new(BOARDS, SEED),
+        &FleetCampaign::quick(),
+        &FleetConfig::with_workers(2),
+    );
+    assert_eq!(
+        record.executed_jobs,
+        reference.characterization.jobs.len() as u64,
+        "journal replay keeps the accounting exactly-once"
+    );
+    let (status, _) = request(addr, "GET", "/v1/safe-point/0", "");
+    assert_eq!(status, 200, "resumed campaign's epoch is served");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
