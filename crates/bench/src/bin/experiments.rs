@@ -1,13 +1,14 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|serving|all] [seed]`
+//! Usage: `experiments [fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|serving|dispatch|all] [seed]`
 //!
 //! `fleet` additionally writes the speedup record to `BENCH_fleet.json`,
 //! `chaos` the crash-recovery record to `BENCH_chaos.json`, `lifetime`
 //! the aging record to `BENCH_lifetime.json`, `redteam` the adversarial
-//! record to `BENCH_redteam.json`, and `obs` the observatory record to
-//! `BENCH_obs.json`, and `serving` the control-plane record to
-//! `BENCH_serving.json`, all in the current directory.
+//! record to `BENCH_redteam.json`, `obs` the observatory record to
+//! `BENCH_obs.json`, `serving` the control-plane record to
+//! `BENCH_serving.json`, and `dispatch` the economic-dispatch record to
+//! `BENCH_dispatch.json`, all in the current directory.
 
 use guardband_bench as bench;
 
@@ -95,6 +96,16 @@ fn main() {
         }
     };
 
+    let run_dispatch = || {
+        let data = bench::dispatch_scale::run(seed);
+        println!("{}", bench::dispatch_scale::render(&data));
+        let json = serde::json::to_string(&data);
+        match std::fs::write("BENCH_dispatch.json", &json) {
+            Ok(()) => println!("(dispatch record written to BENCH_dispatch.json)"),
+            Err(err) => eprintln!("could not write BENCH_dispatch.json: {err}"),
+        }
+    };
+
     match which {
         "fig4" => run_fig4(),
         "fig5" => run_fig5(),
@@ -112,6 +123,7 @@ fn main() {
         "redteam" => run_redteam(),
         "obs" => run_obs(),
         "serving" => run_serving(),
+        "dispatch" => run_dispatch(),
         "all" => {
             run_fig4();
             run_fig5();
@@ -129,11 +141,12 @@ fn main() {
             run_redteam();
             run_obs();
             run_serving();
+            run_dispatch();
         }
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of \
-                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|serving|all"
+                 fig4|fig5|fig6|fig7|table1|fig8a|fig8b|fig9|stencil|predictor|ablations|sweep|fleet|chaos|lifetime|redteam|obs|serving|dispatch|all"
             );
             std::process::exit(2);
         }

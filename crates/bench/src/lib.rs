@@ -21,6 +21,7 @@
 //! | [`redteam_scale`] | extension: adversarial co-evolution vs the safety net |
 //! | [`obs_scale`] | extension: fleet observatory incidents, early warning, merge throughput |
 //! | [`serving`] | extension: control-plane serving under seeded diurnal load |
+//! | [`dispatch_scale`] | extension: economic dispatch vs nominal-only ablation |
 //!
 //! The `experiments` binary drives all of them; the `benches/` directory
 //! holds criterion timings of the same entry points.
@@ -30,6 +31,7 @@
 
 pub mod ablation;
 pub mod chaos_scale;
+pub mod dispatch_scale;
 pub mod extras;
 pub mod fig4;
 pub mod fig5;

@@ -308,6 +308,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Whether the server closes the connection after this response.
     pub close: bool,
+    /// Optional entity tag, emitted as an `etag` header so clients can
+    /// revalidate with `If-None-Match`.
+    pub etag: Option<String>,
 }
 
 impl Response {
@@ -318,6 +321,7 @@ impl Response {
             content_type: "application/json",
             body: body.into(),
             close: false,
+            etag: None,
         }
     }
 
@@ -328,7 +332,20 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
             close: false,
+            etag: None,
         }
+    }
+
+    /// An empty `304 Not Modified`: the client's cached representation
+    /// (named by its `If-None-Match` tag) is still current.
+    pub fn not_modified() -> Self {
+        Response::json(304, Vec::new())
+    }
+
+    /// Attaches an entity tag, emitted as an `etag` header.
+    pub fn with_etag(mut self, tag: impl Into<String>) -> Self {
+        self.etag = Some(tag.into());
+        self
     }
 
     /// The standard JSON error envelope.
@@ -357,6 +374,7 @@ impl Response {
         match status {
             200 => "OK",
             202 => "Accepted",
+            304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
@@ -373,14 +391,20 @@ impl Response {
 
     /// Serializes the response head and body to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             Response::reason(self.status),
             self.content_type,
             self.body.len(),
             if self.close { "close" } else { "keep-alive" },
         );
+        if let Some(tag) = &self.etag {
+            head.push_str("etag: ");
+            head.push_str(tag);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         let mut out = head.into_bytes();
         out.extend_from_slice(&self.body);
         out
@@ -533,5 +557,24 @@ mod tests {
         let text = String::from_utf8(closing).unwrap();
         assert!(text.contains("connection: close"));
         assert!(text.ends_with("{\"error\":\"bad \\\"x\\\"\"}"));
+    }
+
+    #[test]
+    fn etags_render_in_the_head_and_304_is_empty() {
+        let tagged = Response::json(200, "{}").with_etag("\"sp-7\"");
+        let text = String::from_utf8(tagged.encode()).unwrap();
+        assert!(text.contains("etag: \"sp-7\"\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let revalidated = Response::not_modified().with_etag("\"sp-7\"");
+        assert_eq!(revalidated.status, 304);
+        let text = String::from_utf8(revalidated.encode()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(text.contains("content-length: 0\r\n"));
+        assert!(text.contains("etag: \"sp-7\"\r\n"));
+
+        // Untagged responses keep the historical head shape.
+        let plain = String::from_utf8(Response::json(200, "{}").encode()).unwrap();
+        assert!(!plain.contains("etag:"));
     }
 }

@@ -40,8 +40,11 @@ pub mod state;
 
 pub use campaigns::{CampaignRecord, CampaignRunner, CampaignSpec, CampaignState};
 pub use http::{parse_request, Limits, Method, ParseError, Parsed, Request, Response};
-pub use loadgen::{LoadEvent, LoadProfile, LoadTrace};
+pub use loadgen::{LoadEvent, LoadProfile, LoadTrace, TraceDigest};
 pub use metrics::{Route, ServerMetrics};
 pub use router::Router;
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use state::{ControlState, SafePointSnapshot, SafePointView, StatusSnapshot};
+pub use state::{
+    ControlState, DispatchBoardStatus, DispatchStatus, SafePointSnapshot, SafePointView,
+    StatusSnapshot,
+};

@@ -172,24 +172,60 @@ impl LoadProfile {
     }
 }
 
+/// Streaming FNV-1a digest over load events. Consumers that stream a
+/// trace in chunks (the dispatcher walks arrivals incrementally, the
+/// loadgen binary writes as it generates) get the same fingerprint as a
+/// whole-trace hash: the digest state is one `u64`, so how the events
+/// are batched cannot matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceDigest {
+    hash: u64,
+}
+
+impl Default for TraceDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceDigest {
+    /// An empty digest (the FNV-1a offset basis).
+    pub fn new() -> Self {
+        TraceDigest {
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds one event into the digest.
+    pub fn push(&mut self, event: &LoadEvent) {
+        self.eat(&event.at_us.to_le_bytes());
+        self.eat(&event.client.to_le_bytes());
+        self.eat(event.method.as_bytes());
+        self.eat(event.target.as_bytes());
+    }
+
+    /// The fingerprint of everything pushed so far.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
 impl LoadTrace {
     /// FNV-1a over the rendered events — the reproducibility fingerprint
     /// (same seed ⇒ same hash, any divergence ⇒ different hash).
     pub fn fingerprint(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
+        let mut digest = TraceDigest::new();
         for event in &self.events {
-            eat(&event.at_us.to_le_bytes());
-            eat(&event.client.to_le_bytes());
-            eat(event.method.as_bytes());
-            eat(event.target.as_bytes());
+            digest.push(event);
         }
-        hash
+        digest.finish()
     }
 
     /// Requests per route label, for summaries.
@@ -294,6 +330,63 @@ mod tests {
             assert!(event.client < trace.profile.clients);
             last = event.at_us;
         }
+    }
+
+    #[test]
+    fn digests_are_chunk_size_independent() {
+        let trace = LoadProfile::default().generate();
+        let whole = trace.fingerprint();
+        for chunk in [1usize, 7, 64, trace.events.len()] {
+            let mut digest = TraceDigest::new();
+            for batch in trace.events.chunks(chunk) {
+                for event in batch {
+                    digest.push(event);
+                }
+            }
+            assert_eq!(
+                digest.finish(),
+                whole,
+                "chunk size {chunk} changed the fingerprint"
+            );
+        }
+        // And a truncated stream is not the full stream.
+        let mut partial = TraceDigest::new();
+        for event in &trace.events[..trace.events.len() - 1] {
+            partial.push(event);
+        }
+        assert_ne!(partial.finish(), whole);
+    }
+
+    #[test]
+    fn flash_onsets_depend_only_on_their_own_knobs() {
+        let base = LoadProfile::default();
+        let onsets = base.flash_starts();
+        assert_eq!(onsets.len(), base.flash_crowds as usize);
+        assert!(onsets.windows(2).all(|w| w[0] <= w[1]), "onsets sorted");
+
+        // Traffic-shape knobs that don't feed the flash sampler must not
+        // move the onsets: the dispatcher schedules drains against them.
+        let reshaped = LoadProfile {
+            base_qps: 900.0,
+            diurnal_amplitude: 0.1,
+            clients: 3,
+            board_space: 7,
+            flash_boost: 10.0,
+            ..base.clone()
+        };
+        assert_eq!(reshaped.flash_starts(), onsets);
+
+        // The knobs that do feed it must.
+        let reseeded = LoadProfile {
+            seed: base.seed + 1,
+            ..base.clone()
+        };
+        assert_ne!(reseeded.flash_starts(), onsets);
+        let widened = LoadProfile {
+            flash_width_s: base.flash_width_s * 4.0,
+            ..base
+        };
+        assert_ne!(widened.flash_starts(), onsets);
     }
 
     #[test]

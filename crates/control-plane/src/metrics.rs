@@ -24,6 +24,8 @@ pub enum Route {
     CampaignStatus,
     /// `GET /v1/status`
     Status,
+    /// `GET /v1/dispatch`
+    Dispatch,
     /// `GET /metrics`
     Metrics,
     /// Anything else (404s, parse failures, bad methods).
@@ -31,11 +33,12 @@ pub enum Route {
 }
 
 /// Every route, in exposition order.
-pub const ROUTES: [Route; 6] = [
+pub const ROUTES: [Route; 7] = [
     Route::SafePoint,
     Route::CampaignSubmit,
     Route::CampaignStatus,
     Route::Status,
+    Route::Dispatch,
     Route::Metrics,
     Route::Other,
 ];
@@ -48,6 +51,7 @@ impl Route {
             Route::CampaignSubmit => "campaign_submit",
             Route::CampaignStatus => "campaign_status",
             Route::Status => "status",
+            Route::Dispatch => "dispatch",
             Route::Metrics => "metrics",
             Route::Other => "other",
         }
@@ -59,8 +63,9 @@ impl Route {
             Route::CampaignSubmit => 1,
             Route::CampaignStatus => 2,
             Route::Status => 3,
-            Route::Metrics => 4,
-            Route::Other => 5,
+            Route::Dispatch => 4,
+            Route::Metrics => 5,
+            Route::Other => 6,
         }
     }
 }
@@ -106,7 +111,7 @@ impl RouteLatency {
 /// worker thread; all methods are `&self` and lock-free.
 pub struct ServerMetrics {
     bounds: Vec<f64>,
-    requests: [[AtomicU64; 3]; 6],
+    requests: [[AtomicU64; 3]; 7],
     latency: Vec<RouteLatency>,
     in_flight: AtomicU64,
     connections: AtomicU64,

@@ -61,6 +61,8 @@ impl Router {
             Route::CampaignStatus
         } else if path == "/v1/status" {
             Route::Status
+        } else if path == "/v1/dispatch" {
+            Route::Dispatch
         } else if path == "/metrics" {
             Route::Metrics
         } else {
@@ -74,7 +76,7 @@ impl Router {
         let path = request.target.split('?').next().unwrap_or("");
         match (&request.method, path) {
             (Method::Get, _) if path.starts_with("/v1/safe-point/") => {
-                self.safe_point(&path["/v1/safe-point/".len()..])
+                self.safe_point(request, &path["/v1/safe-point/".len()..])
             }
             (Method::Post, "/v1/campaigns") => self.submit_campaign(&request.body),
             (Method::Get, "/v1/campaigns") => {
@@ -86,6 +88,9 @@ impl Router {
             (Method::Get, "/v1/status") => {
                 Response::json(200, serde::json::to_string(self.state.status().as_ref()))
             }
+            (Method::Get, "/v1/dispatch") => {
+                Response::json(200, serde::json::to_string(self.state.dispatch().as_ref()))
+            }
             (Method::Get, "/metrics") => {
                 Response::text(200, self.metrics.exposition(&self.state.base_metrics()))
             }
@@ -94,14 +99,23 @@ impl Router {
         }
     }
 
-    fn safe_point(&self, board: &str) -> Response {
+    fn safe_point(&self, request: &Request, board: &str) -> Response {
         let Ok(board) = board.parse::<u32>() else {
             return Response::error(400, "board id must be a u32");
         };
         // One Arc clone, then pure immutable reads — the hot path.
         let snapshot = self.state.snapshot();
         match snapshot.lookup(board) {
-            Some(view) => Response::json(200, serde::json::to_string(&view)),
+            Some(view) => {
+                // The tag is the snapshot version: every epoch roll swaps
+                // the whole snapshot and bumps it, so a match guarantees
+                // the client's cached body is still the served one.
+                let tag = format!("\"sp-{}\"", snapshot.version);
+                if request.header("if-none-match") == Some(tag.as_str()) {
+                    return Response::not_modified().with_etag(tag);
+                }
+                Response::json(200, serde::json::to_string(&view)).with_etag(tag)
+            }
             None => Response::error(404, "board has no safe point"),
         }
     }
@@ -183,8 +197,112 @@ mod tests {
             Route::CampaignStatus
         );
         assert_eq!(Router::route_of(&get("/v1/status")), Route::Status);
+        assert_eq!(Router::route_of(&get("/v1/dispatch")), Route::Dispatch);
         assert_eq!(Router::route_of(&get("/metrics")), Route::Metrics);
         assert_eq!(Router::route_of(&get("/teapot")), Route::Other);
+    }
+
+    fn get_with(target: &str, header: (&str, &str)) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.to_owned(),
+            headers: vec![(header.0.to_owned(), header.1.to_owned())],
+            body: Vec::new(),
+        }
+    }
+
+    fn one_board_store(
+        board: u32,
+        attempt: u32,
+        rail: u32,
+    ) -> guardband_core::safepoint::SafePointStore {
+        use guardband_core::safepoint::{BoardSafePoint, SafePointPolicy, SafePointStore};
+        use power_model::units::Millivolts;
+        let policy = SafePointPolicy::dsn18();
+        let mut store = SafePointStore::new();
+        store.insert(BoardSafePoint {
+            board,
+            attempt,
+            bin: xgene_sim::sigma::SigmaBin::Ttt,
+            core_vmin_mv: vec![Some(rail - 5); 8],
+            rail_vmin_mv: Some(rail),
+            operating_point: Some(policy.derive_from_measured(Millivolts::new(rail), policy.trefp)),
+            bank_safe_trefp_ms: vec![2283.0; 8],
+            savings_fraction: 0.2,
+            savings_watts: 6.0,
+        });
+        store
+    }
+
+    #[test]
+    fn etags_revalidate_and_rollover_invalidates_the_tag() {
+        let router = router();
+        router.state.roll_epoch(0, &one_board_store(3, 0, 905));
+
+        // First fetch: full body plus a tag to revalidate with.
+        let fresh = router.handle(&get("/v1/safe-point/3"));
+        assert_eq!(fresh.status, 200);
+        let tag = fresh.etag.clone().expect("safe points carry an etag");
+        assert!(!fresh.body.is_empty());
+
+        // Revalidation with the current tag: an empty 304.
+        let revalidated = router.handle(&get_with("/v1/safe-point/3", ("if-none-match", &tag)));
+        assert_eq!(revalidated.status, 304);
+        assert!(revalidated.body.is_empty());
+        assert_eq!(revalidated.etag.as_deref(), Some(tag.as_str()));
+
+        // A stranger's tag does not match.
+        let mismatched = router.handle(&get_with(
+            "/v1/safe-point/3",
+            ("if-none-match", "\"sp-999\""),
+        ));
+        assert_eq!(mismatched.status, 200);
+
+        // An epoch roll swaps the snapshot: the old tag must stop matching
+        // even though the client is asking about the same board.
+        router.state.roll_epoch(12, &one_board_store(3, 12, 925));
+        let rolled = router.handle(&get_with("/v1/safe-point/3", ("if-none-match", &tag)));
+        assert_eq!(rolled.status, 200, "rollover must invalidate the tag");
+        let new_tag = rolled.etag.expect("rolled response carries a fresh tag");
+        assert_ne!(new_tag, tag);
+        assert!(std::str::from_utf8(&rolled.body)
+            .unwrap()
+            .contains("\"rail_vmin_mv\":925"));
+        router.runner.drain();
+    }
+
+    #[test]
+    fn dispatch_endpoint_serves_the_published_summary() {
+        let router = router();
+        // Before any dispatcher run: the disabled default.
+        let empty = router.handle(&get("/v1/dispatch"));
+        assert_eq!(empty.status, 200);
+        assert!(std::str::from_utf8(&empty.body)
+            .unwrap()
+            .contains("\"enabled\":false"));
+
+        router.state.set_dispatch(crate::state::DispatchStatus {
+            enabled: true,
+            requests_routed: 120,
+            requests_rejected: 0,
+            qos_violations: 1,
+            reroutes: 4,
+            watts_per_qps: 0.51,
+            boards: vec![crate::state::DispatchBoardStatus {
+                board: 0,
+                mode: "exploited".to_owned(),
+                capacity_qps: 200,
+                busy_watts: 42.0,
+                served: 120,
+                margin_decay_mv: 3,
+            }],
+        });
+        let body = router.handle(&get("/v1/dispatch"));
+        assert_eq!(body.status, 200);
+        let text = std::str::from_utf8(&body.body).unwrap();
+        assert!(text.contains("\"requests_routed\":120"));
+        assert!(text.contains("\"margin_decay_mv\":3"));
+        router.runner.drain();
     }
 
     #[test]

@@ -112,6 +112,55 @@ pub struct StatusSnapshot {
     pub latest_epoch: Option<u32>,
     /// Current snapshot version.
     pub snapshot_version: u64,
+    /// Per-board margin lost to aging across epochs, mV — `(board,
+    /// decay)` pairs in ascending board order, only boards whose trend
+    /// spans at least two epochs. This is the signal the economic
+    /// dispatcher derates capacity on, exposed so dispatch decisions
+    /// are auditable over the wire.
+    #[serde(default)]
+    pub margin_decay_mv: Vec<(u32, i64)>,
+}
+
+/// What `GET /v1/dispatch` answers: the economic dispatcher's latest
+/// published summary — fleet-wide economics plus the per-board routing
+/// view. Empty (with `enabled = false`) until a dispatcher publishes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DispatchStatus {
+    /// Whether a dispatcher has published a summary at all.
+    pub enabled: bool,
+    /// Requests the dispatcher admitted and routed.
+    pub requests_routed: u64,
+    /// Requests rejected by admission control (no routable board with
+    /// queue headroom).
+    pub requests_rejected: u64,
+    /// Requests that blew their latency deadline.
+    pub qos_violations: u64,
+    /// Requests routed away from their economically preferred board
+    /// because it was draining, in maintenance or quarantined.
+    pub reroutes: u64,
+    /// Fleet-wide energy cost per served request, joules (numerically
+    /// equal to average watts per unit of QPS).
+    pub watts_per_qps: f64,
+    /// Per-board routing view, ascending board order.
+    pub boards: Vec<DispatchBoardStatus>,
+}
+
+/// One board's row in [`DispatchStatus`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchBoardStatus {
+    /// Fleet-wide board id.
+    pub board: u32,
+    /// Routing mode label (`exploited`, `nominal`, `draining`,
+    /// `maintenance`, `quarantined`).
+    pub mode: String,
+    /// Capacity the router plans against, requests/second.
+    pub capacity_qps: u64,
+    /// Busy power at the board's current operating point, W.
+    pub busy_watts: f64,
+    /// Requests served.
+    pub served: u64,
+    /// Margin lost to aging, mV (0 until two epochs exist).
+    pub margin_decay_mv: i64,
 }
 
 /// The serving state shared by every worker thread.
@@ -123,6 +172,8 @@ pub struct ControlState {
     snapshot: RwLock<Arc<SafePointSnapshot>>,
     /// The served health summary.
     status: RwLock<Arc<StatusSnapshot>>,
+    /// The served dispatch summary.
+    dispatch: RwLock<Arc<DispatchStatus>>,
     /// Campaign-derived metrics merged into `/metrics` output.
     base_metrics: RwLock<Arc<MetricsSnapshot>>,
     /// Publish counter backing snapshot versions.
@@ -150,13 +201,37 @@ impl ControlState {
     }
 
     /// Replaces the health summary (stamping it with the current
-    /// snapshot version and epoch).
+    /// snapshot version, epoch and per-board margin decay).
     pub fn set_status(&self, mut status: StatusSnapshot) {
         let snapshot = self.snapshot();
         status.snapshot_version = snapshot.version;
         status.latest_epoch = snapshot.latest_epoch;
         status.boards_served = snapshot.index.len();
+        status.margin_decay_mv = snapshot
+            .index
+            .boards()
+            .filter_map(|board| {
+                snapshot
+                    .index
+                    .margin_decay_mv(board)
+                    .map(|decay| (board, decay))
+            })
+            .collect();
         *self.status.write().expect("status lock poisoned") = Arc::new(status);
+    }
+
+    /// The served dispatch summary.
+    pub fn dispatch(&self) -> Arc<DispatchStatus> {
+        self.dispatch
+            .read()
+            .expect("dispatch lock poisoned")
+            .clone()
+    }
+
+    /// Replaces the dispatch summary (the economic dispatcher publishes
+    /// one after every run).
+    pub fn set_dispatch(&self, status: DispatchStatus) {
+        *self.dispatch.write().expect("dispatch lock poisoned") = Arc::new(status);
     }
 
     /// The campaign-derived metrics base merged into `/metrics`.
@@ -282,6 +357,49 @@ mod tests {
         assert_eq!(status.boards_served, 1);
         assert_eq!(status.latest_epoch, Some(0));
         assert_eq!(status.breaker_trips, 2);
+    }
+
+    #[test]
+    fn status_exposes_per_board_margin_decay() {
+        let state = ControlState::new();
+        state.roll_epoch(0, &one_board_store(7, 0, 905));
+        state.set_status(StatusSnapshot::default());
+        assert!(
+            state.status().margin_decay_mv.is_empty(),
+            "one epoch is no trend"
+        );
+        // Aging raises the measured rail; the re-characterized epoch
+        // records a 20 mV decay, which status now reports per board.
+        state.roll_epoch(12, &one_board_store(7, 12, 925));
+        state.set_status(StatusSnapshot::default());
+        assert_eq!(state.status().margin_decay_mv, vec![(7, 20)]);
+    }
+
+    #[test]
+    fn dispatch_status_swaps_whole() {
+        let state = ControlState::new();
+        assert!(!state.dispatch().enabled, "empty until published");
+        state.set_dispatch(DispatchStatus {
+            enabled: true,
+            requests_routed: 1_000,
+            watts_per_qps: 0.031,
+            boards: vec![DispatchBoardStatus {
+                board: 3,
+                mode: "exploited".to_owned(),
+                capacity_qps: 200,
+                busy_watts: 24.8,
+                served: 1_000,
+                margin_decay_mv: 0,
+            }],
+            ..DispatchStatus::default()
+        });
+        let published = state.dispatch();
+        assert!(published.enabled);
+        assert_eq!(published.boards[0].board, 3);
+        // Round-trips through the wire format.
+        let json = serde::json::to_string(published.as_ref());
+        let back: DispatchStatus = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, *published);
     }
 
     #[test]

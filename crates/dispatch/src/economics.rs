@@ -1,0 +1,239 @@
+//! Per-board request economics: what a request costs, in watts, on each
+//! board of a heterogeneous fleet.
+//!
+//! The characterization pipeline leaves every board with a
+//! [`BoardSafePoint`] — a validated operating point somewhere between
+//! manufacturer-nominal and the silicon's true Vmin. Deeply-exploited
+//! boards draw less power for the same work, so under the whole-server
+//! model ([`ServerPowerModel`]) they are strictly cheaper *per request*.
+//! This module turns the safe-point database into the router's cost
+//! table: capacity, idle watts, busy watts and joules-per-request for
+//! each board, in both its exploited and its nominal-fallback mode.
+
+use guardband_core::safepoint::{BoardSafePoint, SafePointStore};
+use power_model::server::{OperatingPoint, ServerLoad, ServerPowerModel};
+use power_model::units::Celsius;
+use serde::{Deserialize, Serialize};
+
+/// The knobs that turn margins into capacity and cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EconomicsConfig {
+    /// Sustainable request rate of a healthy board.
+    pub base_capacity_qps: u64,
+    /// Capacity lost per millivolt of margin decay: aged silicon needs
+    /// guard cycles (re-execution head-room), modeled as a linear QPS
+    /// derate until re-characterization restores the margin.
+    pub derate_qps_per_mv: u64,
+    /// Floor on the derate: a board never loses more than this fraction
+    /// of its base capacity to aging.
+    pub max_derate_fraction: f64,
+    /// DRAM bandwidth utilization of the serving workload at full load.
+    pub busy_utilization: f64,
+    /// Board temperature assumed for the power model.
+    pub temperature_c: f64,
+}
+
+impl Default for EconomicsConfig {
+    fn default() -> Self {
+        EconomicsConfig {
+            base_capacity_qps: 200,
+            derate_qps_per_mv: 2,
+            max_derate_fraction: 0.3,
+            // The paper's jammer-detector deployment: ~10.7 % DRAM
+            // bandwidth at 45 °C.
+            busy_utilization: ServerLoad::jammer_detector().dram_bandwidth_utilization,
+            temperature_c: 45.0,
+        }
+    }
+}
+
+impl EconomicsConfig {
+    fn busy_load(&self) -> ServerLoad {
+        ServerLoad {
+            dram_bandwidth_utilization: self.busy_utilization,
+            temperature: Celsius::new(self.temperature_c),
+        }
+    }
+
+    fn idle_load(&self) -> ServerLoad {
+        ServerLoad {
+            dram_bandwidth_utilization: 0.0,
+            temperature: Celsius::new(self.temperature_c),
+        }
+    }
+
+    /// Capacity after `decay_mv` of margin erosion, never below one
+    /// request per second or the derate floor.
+    pub fn derated_capacity(&self, decay_mv: i64) -> u64 {
+        let decay = decay_mv.max(0) as u64;
+        let cap = (self.base_capacity_qps as f64 * self.max_derate_fraction) as u64;
+        let lost = (decay * self.derate_qps_per_mv).min(cap);
+        (self.base_capacity_qps - lost).max(1)
+    }
+}
+
+/// One board's cost card in one operating mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardEconomics {
+    /// Fleet-wide board id.
+    pub board: u32,
+    /// Whether this card prices the exploited safe point (vs nominal).
+    pub exploited: bool,
+    /// Board power with no traffic, W.
+    pub idle_watts: f64,
+    /// Board power at full serving load, W.
+    pub busy_watts: f64,
+    /// PMD margin the mode exploits below nominal, mV (0 for nominal).
+    pub margin_mv: i64,
+}
+
+impl BoardEconomics {
+    /// Marginal energy of one request at capacity, J.
+    pub fn joules_per_request(&self, capacity_qps: u64) -> f64 {
+        self.busy_watts / capacity_qps.max(1) as f64
+    }
+
+    /// Prices a board at an explicit operating point.
+    pub fn at_point(
+        board: u32,
+        point: &OperatingPoint,
+        exploited: bool,
+        model: &ServerPowerModel,
+        config: &EconomicsConfig,
+    ) -> Self {
+        let busy = model.power(point, &config.busy_load()).total().as_f64();
+        let idle = model.power(point, &config.idle_load()).total().as_f64();
+        let margin = i64::from(power_model::units::Millivolts::XGENE2_NOMINAL.as_u32())
+            - i64::from(point.pmd_voltage.as_u32());
+        BoardEconomics {
+            board,
+            exploited,
+            idle_watts: idle,
+            busy_watts: busy,
+            margin_mv: if exploited { margin } else { 0 },
+        }
+    }
+
+    /// Prices a board at manufacturer nominal — the fallback mode after
+    /// a breaker trip, and the whole fleet in the ablation arm.
+    pub fn nominal(board: u32, model: &ServerPowerModel, config: &EconomicsConfig) -> Self {
+        Self::at_point(board, &OperatingPoint::nominal(), false, model, config)
+    }
+
+    /// Prices a board from its characterized safe point; boards whose
+    /// characterization failed (no operating point) stay nominal.
+    pub fn from_record(
+        record: &BoardSafePoint,
+        model: &ServerPowerModel,
+        config: &EconomicsConfig,
+    ) -> Self {
+        match &record.operating_point {
+            Some(point) => Self::at_point(record.board, point, true, model, config),
+            None => Self::nominal(record.board, model, config),
+        }
+    }
+}
+
+/// Cost cards for a whole fleet, derived from the safe-point database.
+/// Boards absent from the store serve at nominal.
+pub fn fleet_economics(
+    boards: u32,
+    store: &SafePointStore,
+    model: &ServerPowerModel,
+    config: &EconomicsConfig,
+) -> Vec<BoardEconomics> {
+    (0..boards)
+        .map(|board| match store.get(board) {
+            Some(record) => BoardEconomics::from_record(record, model, config),
+            None => BoardEconomics::nominal(board, model, config),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardband_core::safepoint::SafePointPolicy;
+    use power_model::units::Millivolts;
+    use xgene_sim::sigma::SigmaBin;
+
+    fn record(board: u32, rail: u32) -> BoardSafePoint {
+        let policy = SafePointPolicy::dsn18();
+        BoardSafePoint {
+            board,
+            attempt: 0,
+            bin: SigmaBin::Ttt,
+            core_vmin_mv: vec![Some(rail - 5); 8],
+            rail_vmin_mv: Some(rail),
+            operating_point: Some(policy.derive_from_measured(Millivolts::new(rail), policy.trefp)),
+            bank_safe_trefp_ms: vec![2283.0; 8],
+            savings_fraction: 0.2,
+            savings_watts: 6.0,
+        }
+    }
+
+    #[test]
+    fn exploited_boards_are_cheaper_per_request() {
+        let model = ServerPowerModel::xgene2();
+        let config = EconomicsConfig::default();
+        let exploited = BoardEconomics::from_record(&record(0, 905), &model, &config);
+        let nominal = BoardEconomics::nominal(0, &model, &config);
+        assert!(exploited.exploited && !nominal.exploited);
+        assert!(exploited.busy_watts < nominal.busy_watts);
+        assert!(exploited.idle_watts < nominal.idle_watts);
+        assert!(
+            exploited.joules_per_request(config.base_capacity_qps)
+                < nominal.joules_per_request(config.base_capacity_qps)
+        );
+        assert_eq!(exploited.margin_mv, 50);
+        assert_eq!(nominal.margin_mv, 0);
+    }
+
+    #[test]
+    fn deeper_margins_price_lower() {
+        let model = ServerPowerModel::xgene2();
+        let config = EconomicsConfig::default();
+        let deep = BoardEconomics::from_record(&record(0, 890), &model, &config);
+        let shallow = BoardEconomics::from_record(&record(1, 945), &model, &config);
+        assert!(deep.margin_mv > shallow.margin_mv);
+        assert!(deep.busy_watts < shallow.busy_watts);
+    }
+
+    #[test]
+    fn decay_derates_capacity_with_a_floor() {
+        let config = EconomicsConfig::default();
+        assert_eq!(config.derated_capacity(0), 200);
+        assert_eq!(config.derated_capacity(5), 190);
+        // 0.3 × 200 = 60 QPS is the most aging may take.
+        assert_eq!(config.derated_capacity(1000), 140);
+        assert_eq!(
+            config.derated_capacity(-3),
+            200,
+            "negative decay is no decay"
+        );
+    }
+
+    #[test]
+    fn failed_characterization_falls_back_to_nominal() {
+        let model = ServerPowerModel::xgene2();
+        let config = EconomicsConfig::default();
+        let mut rec = record(4, 905);
+        rec.operating_point = None;
+        let econ = BoardEconomics::from_record(&rec, &model, &config);
+        assert!(!econ.exploited);
+        assert_eq!(econ.margin_mv, 0);
+    }
+
+    #[test]
+    fn fleet_table_covers_every_board() {
+        let model = ServerPowerModel::xgene2();
+        let config = EconomicsConfig::default();
+        let mut store = SafePointStore::new();
+        store.insert(record(1, 905));
+        let table = fleet_economics(3, &store, &model, &config);
+        assert_eq!(table.len(), 3);
+        assert!(!table[0].exploited, "uncharacterized board 0 is nominal");
+        assert!(table[1].exploited);
+        assert!(!table[2].exploited);
+    }
+}

@@ -1,0 +1,59 @@
+//! Economic dispatch: routing live traffic onto exploited guardbands.
+//!
+//! The paper's exploitation result (§V: 20.2 % server power reduction
+//! at the characterized safe point) prices a *single* board. A fleet
+//! that has run the characterization pipeline holds something better:
+//! a *heterogeneous* cost surface, where each board's watts-per-request
+//! depends on how deep its silicon let the guardband be pushed. This
+//! crate closes the loop from measurement to money — it routes a
+//! simulated million-user request stream (the control plane's
+//! diurnal-plus-flash-crowd load generator) across that surface,
+//! co-optimizing energy against QoS:
+//!
+//! * [`economics`] — the safe-point database priced into per-board
+//!   capacity, idle/busy watts and joules-per-request, exploited and
+//!   nominal modes both;
+//! * [`router`] — the seeded placement pass: weighted by
+//!   `headroom² / joules_per_request`, bounded per-board queues, hard
+//!   admission control;
+//! * [`sim`] — the event loop where aging erodes margins epoch by
+//!   epoch, the maintenance planner drains boards ahead of their
+//!   re-characterization windows, breaker trips back boards off to
+//!   nominal-cost routing, and quarantines remove them;
+//! * [`report`] — the chronicle / execution / observatory split, with
+//!   the chronicle byte-identical across 1/2/4/8 workers
+//!   (`BENCH_dispatch.json` gates on it) and a
+//!   [`control_plane::DispatchStatus`] summary for `GET /v1/dispatch`.
+//!
+//! The headline claim the bench gates on: against a nominal-only
+//! ablation (same fleet, same trace, every board priced at
+//! manufacturer-nominal), the economic dispatcher serves the same
+//! stream at strictly lower watts-per-QPS with no additional QoS
+//! violations.
+//!
+//! # Examples
+//!
+//! ```
+//! use dispatch::{run_dispatch, DispatchSpec};
+//!
+//! let spec = DispatchSpec::quick(4, 2018);
+//! let report = run_dispatch(&spec, 2);
+//! assert_eq!(report.chronicle.requests,
+//!            report.chronicle.served + report.chronicle.rejected);
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod economics;
+pub mod report;
+pub mod router;
+pub mod sim;
+
+pub use economics::{fleet_economics, BoardEconomics, EconomicsConfig};
+pub use report::{
+    BoardRow, DispatchChronicle, DispatchExecution, DispatchReport, EpochRow, LatencyStats,
+};
+pub use router::{BoardPort, Candidate, Placement, PlacementRouter, QueuePolicy};
+pub use sim::{run_dispatch, run_dispatch_with_store, DispatchSpec};

@@ -1,0 +1,260 @@
+//! Dispatch run reports, split the same way every subsystem here splits
+//! them: a **chronicle** (pure function of the spec — the byte-identity
+//! artifact), an **execution** side (worker count, host-dependent), and
+//! the observatory's distillation (deterministic, but serialized
+//! separately so the chronicle contract stays minimal).
+
+use control_plane::{DispatchBoardStatus, DispatchStatus};
+use observatory::ObservatoryReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Latency quantiles of one board's served requests, µs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median sojourn latency.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst served request.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Quantiles of one board's latency log (empty log ⇒ all zero).
+    pub fn of(latencies: &[u64]) -> Self {
+        if latencies.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let at = |q: f64| {
+            let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx]
+        };
+        LatencyStats {
+            p50_us: at(0.50),
+            p95_us: at(0.95),
+            p99_us: at(0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// One board's line in the chronicle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardRow {
+    /// Fleet-wide board id.
+    pub board: u32,
+    /// Operating mode at the end of the run (`exploited` | `nominal`).
+    pub final_mode: String,
+    /// Requests served.
+    pub served: u64,
+    /// QoS violations among them.
+    pub violations: u64,
+    /// Total energy drawn over the run, J.
+    pub energy_joules: f64,
+    /// Busy power of the final operating mode, W.
+    pub busy_watts: f64,
+    /// Capacity at the end of the run (after any derate).
+    pub final_capacity_qps: u64,
+    /// Margin decay across the run's epochs, from the versioned
+    /// safe-point trend (0 when re-characterization restored it).
+    pub margin_decay_mv: i64,
+    /// Latency quantiles of the board's served requests.
+    pub latency: LatencyStats,
+    /// Drain phases entered.
+    pub drained: u32,
+    /// Maintenance windows entered.
+    pub maintained: u32,
+    /// Whether a breaker trip backed the board off to nominal.
+    pub tripped: bool,
+    /// Whether the board was quarantined.
+    pub quarantined: bool,
+}
+
+/// One epoch boundary's line in the chronicle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRow {
+    /// Epoch index (boundaries start at 1).
+    pub epoch: u32,
+    /// Boundary time, µs from trace start.
+    pub at_us: u64,
+    /// `(board, cumulative decay mV)` for every board aged here.
+    pub decayed: Vec<(u32, i64)>,
+    /// Boards the maintenance planner scheduled at this boundary.
+    pub scheduled: Vec<u32>,
+}
+
+/// The deterministic measurement side of a dispatch run: everything in
+/// here is a pure function of the [`crate::DispatchSpec`], independent
+/// of worker count — the byte-identity artifact `BENCH_dispatch.json`
+/// gates on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchChronicle {
+    /// Fleet size.
+    pub boards: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether this is the nominal-only ablation arm.
+    pub nominal_only: bool,
+    /// The traffic profile dispatched.
+    pub profile: control_plane::LoadProfile,
+    /// Streaming FNV-1a fingerprint of the routed trace.
+    pub trace_fingerprint: u64,
+    /// Aging epochs across the trace.
+    pub epochs: u32,
+    /// QoS latency deadline, µs.
+    pub deadline_us: u64,
+    /// Admission bound, µs of backlog.
+    pub queue_cap_us: u64,
+    /// Healthy per-board capacity.
+    pub base_capacity_qps: u64,
+    /// Offered requests.
+    pub requests: u64,
+    /// Requests placed and served.
+    pub served: u64,
+    /// Requests dropped at admission.
+    pub rejected: u64,
+    /// Served requests that missed the deadline.
+    pub qos_violations: u64,
+    /// Placements steered around an unroutable preferred board.
+    pub reroutes: u64,
+    /// Drain phases started.
+    pub drains: u64,
+    /// Breaker-trip backoffs to nominal.
+    pub breaker_backoffs: u64,
+    /// Maintenance windows entered.
+    pub maintenance_windows: u64,
+    /// Fleet-wide energy over the run, J.
+    pub energy_joules: f64,
+    /// Fleet-wide watts per unit of served QPS (numerically, joules
+    /// per served request).
+    pub watts_per_qps: f64,
+    /// Per-board rows, in board order.
+    pub board_rows: Vec<BoardRow>,
+    /// Per-epoch aging and maintenance decisions.
+    pub epoch_rows: Vec<EpochRow>,
+    /// `dispatch_*` telemetry counters.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// The host-dependent side: how the run was executed, never what it
+/// measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchExecution {
+    /// Worker threads used for characterization and latency statistics.
+    pub workers: usize,
+}
+
+/// A full dispatch run: chronicle + execution + observatory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchReport {
+    /// The deterministic measurement side.
+    pub chronicle: DispatchChronicle,
+    /// The execution side (pool-dependent).
+    pub execution: DispatchExecution,
+    /// Causal timeline, incidents and SLO verdicts — deterministic, but
+    /// serialized apart from the chronicle.
+    pub observatory: ObservatoryReport,
+}
+
+impl DispatchReport {
+    /// Canonical JSON of the chronicle — the worker-count byte-identity
+    /// artifact.
+    pub fn chronicle_json(&self) -> String {
+        serde::json::to_string(&self.chronicle)
+    }
+
+    /// Canonical JSON of the observatory report (deterministic too,
+    /// asserted separately).
+    pub fn observatory_json(&self) -> String {
+        serde::json::to_string(&self.observatory)
+    }
+
+    /// The `GET /v1/dispatch` summary this run publishes.
+    pub fn status(&self) -> DispatchStatus {
+        DispatchStatus {
+            enabled: !self.chronicle.nominal_only,
+            requests_routed: self.chronicle.served,
+            requests_rejected: self.chronicle.rejected,
+            qos_violations: self.chronicle.qos_violations,
+            reroutes: self.chronicle.reroutes,
+            watts_per_qps: self.chronicle.watts_per_qps,
+            boards: self
+                .chronicle
+                .board_rows
+                .iter()
+                .map(|row| DispatchBoardStatus {
+                    board: row.board,
+                    mode: row.final_mode.clone(),
+                    capacity_qps: row.final_capacity_qps,
+                    busy_watts: row.busy_watts,
+                    served: row.served,
+                    margin_decay_mv: row.margin_decay_mv,
+                })
+                .collect(),
+        }
+    }
+
+    /// Human-readable run summary.
+    pub fn render(&self) -> String {
+        let c = &self.chronicle;
+        let mut out = String::new();
+        let arm = if c.nominal_only {
+            "nominal-only"
+        } else {
+            "economic"
+        };
+        let _ = writeln!(
+            out,
+            "dispatch ({arm}): {} boards, seed {}, {} requests over {:.0} s",
+            c.boards, c.seed, c.requests, c.profile.duration_s
+        );
+        let _ = writeln!(
+            out,
+            "  served {} / rejected {} / QoS violations {} / reroutes {}",
+            c.served, c.rejected, c.qos_violations, c.reroutes
+        );
+        let _ = writeln!(
+            out,
+            "  energy {:.1} J, {:.4} W per QPS; {} drains, {} windows, {} backoffs",
+            c.energy_joules, c.watts_per_qps, c.drains, c.maintenance_windows, c.breaker_backoffs
+        );
+        for row in &c.board_rows {
+            let _ = writeln!(
+                out,
+                "  board {:>3} [{:>9}] served {:>6}  p99 {:>6} µs  {:>7.1} J  cap {:>3} QPS  decay {:>2} mV{}{}",
+                row.board,
+                row.final_mode,
+                row.served,
+                row.latency.p99_us,
+                row.energy_joules,
+                row.final_capacity_qps,
+                row.margin_decay_mv,
+                if row.tripped { "  TRIPPED" } else { "" },
+                if row.quarantined { "  QUARANTINED" } else { "" },
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_deterministic_and_ordered() {
+        let latencies: Vec<u64> = (1..=100).rev().collect();
+        let stats = LatencyStats::of(&latencies);
+        assert_eq!(stats.p50_us, 51);
+        assert_eq!(stats.p95_us, 95);
+        assert_eq!(stats.p99_us, 99);
+        assert_eq!(stats.max_us, 100);
+        assert_eq!(LatencyStats::of(&[]), LatencyStats::default());
+    }
+}

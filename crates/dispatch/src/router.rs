@@ -1,0 +1,326 @@
+//! Power-aware placement: the seeded, deterministic request router.
+//!
+//! Placement is weighted-random over the routable boards, with weight
+//!
+//! ```text
+//! w(b) = headroom(b)² / joules_per_request(b)
+//! ```
+//!
+//! so cheap (deeply-exploited) boards attract traffic in proportion to
+//! their energy advantage while the quadratic headroom term bleeds load
+//! off any board whose bounded queue is filling — the co-optimization of
+//! watts-per-request against QoS in one expression. Admission control is
+//! a hard bound: a request is only placed on a board whose backlog plus
+//! service time fits the queue cap, and rejected outright when no
+//! routable board has room. One seeded [`StdRng`] drives every pick in
+//! arrival order, so the same seed places the same trace identically —
+//! the foundation of the chronicle's byte-identity across worker counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Queue discipline shared by every board: one server, bounded backlog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueuePolicy {
+    /// Latency target; a served request beyond it is a QoS violation.
+    pub deadline_us: u64,
+    /// Admission bound on backlog + service time.
+    pub queue_cap_us: u64,
+}
+
+impl Default for QueuePolicy {
+    fn default() -> Self {
+        // Cap below the deadline: an *admitted* request can only violate
+        // QoS if capacity was derated after admission, so a well-sized
+        // fleet serves with structurally zero violations.
+        QueuePolicy {
+            deadline_us: 100_000,
+            queue_cap_us: 80_000,
+        }
+    }
+}
+
+/// One board's serving queue: a single server draining at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoardPort {
+    /// Current sustainable rate (base minus any aging derate).
+    pub capacity_qps: u64,
+    /// When the queue drains, µs from trace start.
+    pub free_at_us: u64,
+}
+
+impl BoardPort {
+    /// A drained port at the given capacity.
+    pub fn idle(capacity_qps: u64) -> Self {
+        BoardPort {
+            capacity_qps,
+            free_at_us: 0,
+        }
+    }
+
+    /// Service time of one request at the current capacity.
+    pub fn service_us(&self) -> u64 {
+        1_000_000 / self.capacity_qps.max(1)
+    }
+
+    /// Work queued ahead of an arrival at `now`.
+    pub fn backlog_us(&self, now_us: u64) -> u64 {
+        self.free_at_us.saturating_sub(now_us)
+    }
+
+    /// Fractional queue headroom in `[0, 1]`.
+    pub fn headroom(&self, now_us: u64, policy: &QueuePolicy) -> f64 {
+        let backlog = self.backlog_us(now_us).min(policy.queue_cap_us);
+        1.0 - backlog as f64 / policy.queue_cap_us.max(1) as f64
+    }
+
+    /// Whether one more request fits under the admission bound.
+    pub fn admits(&self, now_us: u64, policy: &QueuePolicy) -> bool {
+        self.backlog_us(now_us) + self.service_us() <= policy.queue_cap_us
+    }
+
+    /// Enqueues one request, returning its sojourn latency.
+    pub fn assign(&mut self, now_us: u64) -> u64 {
+        let latency = self.backlog_us(now_us) + self.service_us();
+        self.free_at_us = self.free_at_us.max(now_us) + self.service_us();
+        latency
+    }
+}
+
+/// One routable board as the placement pass sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Index into the fleet table.
+    pub index: usize,
+    /// Marginal energy of a request on this board right now, J.
+    pub joules_per_request: f64,
+    /// Queue headroom in `[0, 1]`.
+    pub headroom: f64,
+    /// Whether the board is routable (serving, not draining or down).
+    pub routable: bool,
+    /// Whether the admission bound has room for one more request.
+    pub admits: bool,
+}
+
+impl Candidate {
+    /// The placement weight: headroom² per joule.
+    pub fn weight(&self) -> f64 {
+        if !(self.routable && self.admits) {
+            return 0.0;
+        }
+        (self.headroom * self.headroom) / self.joules_per_request.max(1e-9)
+    }
+}
+
+/// What happened to one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Placed on the board at this fleet index; `rerouted` marks that
+    /// the energy-optimal board was unroutable or full and traffic was
+    /// steered around it.
+    Placed {
+        /// Chosen fleet index.
+        index: usize,
+        /// True when the preferred board had to be avoided.
+        rerouted: bool,
+    },
+    /// No routable board had admission room: the request is dropped at
+    /// the front door rather than queued past the QoS bound.
+    Rejected,
+}
+
+/// The seeded placement pass.
+#[derive(Debug)]
+pub struct PlacementRouter {
+    rng: StdRng,
+}
+
+impl PlacementRouter {
+    /// Decorrelates the placement stream from the trace seed.
+    pub fn new(seed: u64) -> Self {
+        PlacementRouter {
+            rng: StdRng::seed_from_u64(seed ^ 0xD15C_0DE5),
+        }
+    }
+
+    /// Places one arrival over the candidate set. Candidates must be in
+    /// fleet order; the pick is a cumulative-weight sample from the
+    /// router's own rng, so identical inputs place identically.
+    pub fn place(&mut self, candidates: &[Candidate]) -> Placement {
+        // The energy-optimal board, ignoring availability: deviation
+        // from it is what the reroute counter measures.
+        let preferred = candidates
+            .iter()
+            .max_by(|a, b| {
+                let wa = (a.headroom * a.headroom) / a.joules_per_request.max(1e-9);
+                let wb = (b.headroom * b.headroom) / b.joules_per_request.max(1e-9);
+                wa.partial_cmp(&wb)
+                    .expect("weights are finite")
+                    .then(b.index.cmp(&a.index))
+            })
+            .map(|c| c.index);
+
+        let total: f64 = candidates.iter().map(Candidate::weight).sum();
+        if total <= 0.0 {
+            return Placement::Rejected;
+        }
+        let mut roll = self.rng.gen_range(0.0..total);
+        let mut chosen = None;
+        for candidate in candidates {
+            let weight = candidate.weight();
+            if weight <= 0.0 {
+                continue;
+            }
+            if roll < weight {
+                chosen = Some(candidate.index);
+                break;
+            }
+            roll -= weight;
+        }
+        // Float summation slack can leave the roll a hair past the last
+        // positive weight; fall back to it.
+        let index = chosen.unwrap_or_else(|| {
+            candidates
+                .iter()
+                .rev()
+                .find(|c| c.weight() > 0.0)
+                .expect("total > 0 implies a positive weight")
+                .index
+        });
+        let rerouted = preferred.is_some_and(|p| {
+            p != index
+                && candidates
+                    .iter()
+                    .find(|c| c.index == p)
+                    .is_some_and(|c| !(c.routable && c.admits))
+        });
+        Placement::Placed { index, rerouted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(index: usize, jpr: f64, headroom: f64) -> Candidate {
+        Candidate {
+            index,
+            joules_per_request: jpr,
+            headroom,
+            routable: true,
+            admits: true,
+        }
+    }
+
+    #[test]
+    fn ports_queue_and_bound_latency() {
+        let policy = QueuePolicy {
+            deadline_us: 100_000,
+            queue_cap_us: 80_000,
+        };
+        let mut port = BoardPort::idle(200); // 5 ms service
+        assert_eq!(port.service_us(), 5_000);
+        assert_eq!(port.assign(0), 5_000);
+        assert_eq!(port.assign(0), 10_000);
+        assert_eq!(port.backlog_us(0), 10_000);
+        assert!((port.headroom(0, &policy) - 0.875).abs() < 1e-12);
+        // Fill to the cap: 16 requests of 5 ms fit, the 17th does not.
+        for _ in 0..14 {
+            port.assign(0);
+        }
+        assert!(!port.admits(0, &policy));
+        // Time passing drains the queue.
+        assert!(port.admits(80_000, &policy));
+    }
+
+    #[test]
+    fn same_seed_places_identically() {
+        let candidates: Vec<Candidate> = (0..4)
+            .map(|i| candidate(i, 0.1 + i as f64 * 0.05, 1.0))
+            .collect();
+        let picks_a: Vec<Placement> = {
+            let mut router = PlacementRouter::new(7);
+            (0..64).map(|_| router.place(&candidates)).collect()
+        };
+        let picks_b: Vec<Placement> = {
+            let mut router = PlacementRouter::new(7);
+            (0..64).map(|_| router.place(&candidates)).collect()
+        };
+        assert_eq!(picks_a, picks_b);
+        let mut other = PlacementRouter::new(8);
+        let picks_c: Vec<Placement> = (0..64).map(|_| other.place(&candidates)).collect();
+        assert_ne!(picks_a, picks_c, "a different seed places differently");
+    }
+
+    #[test]
+    fn cheap_boards_attract_more_traffic() {
+        let candidates = vec![candidate(0, 0.05, 1.0), candidate(1, 0.20, 1.0)];
+        let mut router = PlacementRouter::new(2018);
+        let mut counts = [0u32; 2];
+        for _ in 0..2_000 {
+            if let Placement::Placed { index, .. } = router.place(&candidates) {
+                counts[index] += 1;
+            }
+        }
+        // 4× cheaper ⇒ ~4× the traffic under the weight law.
+        assert!(
+            counts[0] > counts[1] * 3,
+            "cheap board got {} vs {}",
+            counts[0],
+            counts[1]
+        );
+    }
+
+    #[test]
+    fn vanishing_headroom_bleeds_load_away() {
+        let candidates = vec![
+            Candidate {
+                headroom: 0.1,
+                ..candidate(0, 0.05, 0.1)
+            },
+            candidate(1, 0.20, 1.0),
+        ];
+        let mut router = PlacementRouter::new(2018);
+        let mut counts = [0u32; 2];
+        for _ in 0..2_000 {
+            if let Placement::Placed { index, .. } = router.place(&candidates) {
+                counts[index] += 1;
+            }
+        }
+        // Despite being 4× cheaper, the full board's headroom² ≈ 0.01
+        // collapses its weight below the idle expensive board.
+        assert!(
+            counts[1] > counts[0],
+            "full cheap board got {} vs idle {}",
+            counts[0],
+            counts[1]
+        );
+    }
+
+    #[test]
+    fn unroutable_preferred_board_counts_as_a_reroute() {
+        let mut candidates = vec![candidate(0, 0.05, 1.0), candidate(1, 0.20, 1.0)];
+        candidates[0].routable = false; // the cheap board is draining
+        let mut router = PlacementRouter::new(11);
+        for _ in 0..32 {
+            match router.place(&candidates) {
+                Placement::Placed { index, rerouted } => {
+                    assert_eq!(index, 1);
+                    assert!(rerouted, "avoiding the preferred board is a reroute");
+                }
+                Placement::Rejected => panic!("board 1 admits"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_admitting_board_rejects() {
+        let mut candidates = vec![candidate(0, 0.05, 0.0), candidate(1, 0.20, 0.0)];
+        for c in &mut candidates {
+            c.admits = false;
+        }
+        let mut router = PlacementRouter::new(3);
+        assert_eq!(router.place(&candidates), Placement::Rejected);
+    }
+}

@@ -69,6 +69,7 @@ pub use journal::{
 };
 pub use maintenance::{
     BoardHealth, MaintenanceDecision, MaintenancePlan, MaintenancePolicy, MaintenanceTrigger,
+    MaintenanceWindow,
 };
 pub use orchestrator::{
     eviction_floor, run_fleet, run_fleet_durable, Disruption, DurableRun, DurableStats,

@@ -203,6 +203,58 @@ impl MaintenancePlan {
     pub fn is_empty(&self) -> bool {
         self.scheduled.is_empty() && self.deferred.is_empty()
     }
+
+    /// Exports the scheduled decisions as concrete out-of-production
+    /// windows on a microsecond timeline: the most urgent board's
+    /// window opens at `start_us`, each window lasts `duration_us`,
+    /// and consecutive windows are offset by `stagger_us` — with
+    /// `stagger_us >= duration_us` at most one board is ever out of
+    /// production at a time, which is what lets a dispatcher drain and
+    /// re-route around maintenance without shedding load. Deferred
+    /// decisions get no window; they compete again next round.
+    pub fn windows(
+        &self,
+        start_us: u64,
+        duration_us: u64,
+        stagger_us: u64,
+    ) -> Vec<MaintenanceWindow> {
+        self.scheduled
+            .iter()
+            .enumerate()
+            .map(|(slot, decision)| MaintenanceWindow {
+                board: decision.board,
+                trigger: decision.trigger,
+                start_us: start_us + slot as u64 * stagger_us,
+                duration_us,
+            })
+            .collect()
+    }
+}
+
+/// One board's scheduled out-of-production re-characterization window,
+/// as [`MaintenancePlan::windows`] exports it for traffic dispatchers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceWindow {
+    /// The board taken out of production.
+    pub board: u32,
+    /// Why it was scheduled.
+    pub trigger: MaintenanceTrigger,
+    /// Window opening, microseconds on the caller's timeline.
+    pub start_us: u64,
+    /// Window length, microseconds.
+    pub duration_us: u64,
+}
+
+impl MaintenanceWindow {
+    /// First microsecond after the window.
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.duration_us
+    }
+
+    /// Whether `at_us` falls inside the window.
+    pub fn contains(&self, at_us: u64) -> bool {
+        at_us >= self.start_us && at_us < self.end_us()
+    }
 }
 
 impl Default for MaintenancePolicy {
@@ -300,6 +352,66 @@ mod tests {
         assert_eq!(scheduled, vec![9, 2], "smallest margin first");
         let deferred: Vec<u32> = plan.deferred.iter().map(|d| d.board).collect();
         assert_eq!(deferred, vec![1, 5], "equal margins tie-break by id");
+    }
+
+    #[test]
+    fn windows_follow_urgency_order_and_stagger() {
+        let policy = MaintenancePolicy {
+            budget_per_round: 3,
+            ..MaintenancePolicy::dsn18()
+        };
+        let fleet = vec![
+            BoardHealth {
+                margin_mv: Some(9),
+                ..healthy(4)
+            },
+            BoardHealth {
+                margin_mv: Some(2),
+                ..healthy(7)
+            },
+            BoardHealth {
+                margin_mv: Some(5),
+                ..healthy(1)
+            },
+            healthy(0),
+        ];
+        let windows = policy.plan(&fleet).windows(1_000, 500, 800);
+        let boards: Vec<u32> = windows.iter().map(|w| w.board).collect();
+        assert_eq!(boards, vec![7, 1, 4], "most urgent board goes first");
+        assert_eq!(windows[0].start_us, 1_000);
+        assert_eq!(windows[1].start_us, 1_800);
+        assert_eq!(windows[2].start_us, 2_600);
+        // stagger >= duration: never two boards out at once.
+        for pair in windows.windows(2) {
+            assert!(pair[0].end_us() <= pair[1].start_us);
+        }
+        assert!(windows[0].contains(1_000));
+        assert!(windows[0].contains(1_499));
+        assert!(!windows[0].contains(1_500));
+        assert!(!windows[0].contains(999));
+    }
+
+    #[test]
+    fn deferred_boards_get_no_window() {
+        let policy = MaintenancePolicy {
+            budget_per_round: 1,
+            ..MaintenancePolicy::dsn18()
+        };
+        let fleet = vec![
+            BoardHealth {
+                margin_mv: Some(3),
+                ..healthy(2)
+            },
+            BoardHealth {
+                margin_mv: Some(4),
+                ..healthy(5)
+            },
+        ];
+        let plan = policy.plan(&fleet);
+        let windows = plan.windows(0, 100, 100);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].board, 2);
+        assert_eq!(plan.deferred.len(), 1);
     }
 
     #[test]

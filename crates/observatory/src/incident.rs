@@ -43,6 +43,13 @@ pub enum IncidentKind {
     /// bit-flipped checkpoint was rejected, or journal replay found a
     /// damaged tail.
     CheckpointCorruption,
+    /// The economic dispatcher let a request blow its latency deadline
+    /// on some board (a queue backed up past the QoS budget).
+    QosViolation,
+    /// The dispatcher drained a board's traffic ahead of a maintenance
+    /// window or around a failure, re-routing its load to the rest of
+    /// the fleet.
+    TrafficDrain,
 }
 
 impl IncidentKind {
@@ -56,6 +63,8 @@ impl IncidentKind {
             IncidentKind::ProductionSdc => "production-sdc",
             IncidentKind::ChaosDisruption => "chaos-disruption",
             IncidentKind::CheckpointCorruption => "checkpoint-corruption",
+            IncidentKind::QosViolation => "qos-violation",
+            IncidentKind::TrafficDrain => "traffic-drain",
         }
     }
 
@@ -72,6 +81,8 @@ impl IncidentKind {
             "chaos_corrupt_checkpoint" | "chaos_journal_damage" => {
                 Some(IncidentKind::CheckpointCorruption)
             }
+            "dispatch_qos_violation" => Some(IncidentKind::QosViolation),
+            "dispatch_drain" => Some(IncidentKind::TrafficDrain),
             _ => None,
         }
     }
@@ -133,7 +144,7 @@ pub struct Incident {
 
 /// Event names that count as evidence when they precede a trigger on
 /// the same board.
-const EVIDENCE_NAMES: [&str; 9] = [
+const EVIDENCE_NAMES: [&str; 10] = [
     "attack_epoch",
     "crash_retry",
     "watchdog_reset",
@@ -143,6 +154,7 @@ const EVIDENCE_NAMES: [&str; 9] = [
     "refresh_rollback",
     "chaos_worker_died",
     "chaos_journal_damage",
+    "dispatch_drain",
 ];
 
 /// Most recent evidence lines attached per incident.
@@ -269,6 +281,26 @@ fn resolution(kind: IncidentKind, events: &[TimelineEvent], index: usize) -> Res
             }
         }
         IncidentKind::ProductionSdc => Resolution::Unresolved,
+        IncidentKind::QosViolation => {
+            let recovered = events[index + 1..].iter().any(|later| {
+                later.key.board == te.key.board && later.event.name == "dispatch_qos_recovered"
+            });
+            if recovered {
+                Resolution::Recovered
+            } else {
+                Resolution::Unresolved
+            }
+        }
+        IncidentKind::TrafficDrain => {
+            let resumed = events[index + 1..].iter().any(|later| {
+                later.key.board == te.key.board && later.event.name == "dispatch_resumed"
+            });
+            if resumed {
+                Resolution::Recovered
+            } else {
+                Resolution::Unresolved
+            }
+        }
         IncidentKind::ChaosDisruption | IncidentKind::CheckpointCorruption => {
             let recovered = events[index + 1..].iter().any(|later| {
                 later.key.board == te.key.board && later.event.name == "fleet_recovered"
@@ -397,6 +429,53 @@ mod tests {
             .evidence
             .iter()
             .any(|l| l.contains("chaos_worker_died")));
+    }
+
+    #[test]
+    fn dispatch_incidents_resolve_on_recovery_events() {
+        // A drain ahead of a maintenance window, later resumed; a QoS
+        // violation on the same board, later recovered. The drain is
+        // evidence for the violation that follows it.
+        let mut stream = StreamBuilder::synthetic(2, 9);
+        stream.push(
+            Level::Warn,
+            "dispatch_drain",
+            vec![("reason".into(), "maintenance".into())],
+        );
+        stream.push(
+            Level::Error,
+            "dispatch_qos_violation",
+            vec![("latency_us".into(), 150_000u64.into())],
+        );
+        stream.push(Level::Info, "dispatch_qos_recovered", vec![]);
+        stream.push(Level::Info, "dispatch_resumed", vec![]);
+        let timeline = FleetTimeline::merge(&[stream.finish()]);
+        let incidents = reconstruct(&timeline, &[]);
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(incidents[0].kind, IncidentKind::TrafficDrain);
+        assert_eq!(incidents[0].resolution, Resolution::Recovered);
+        assert_eq!(incidents[1].kind, IncidentKind::QosViolation);
+        assert_eq!(incidents[1].resolution, Resolution::Recovered);
+        assert!(incidents[1]
+            .evidence
+            .iter()
+            .any(|l| l.contains("dispatch_drain")));
+    }
+
+    #[test]
+    fn an_unresumed_drain_stays_unresolved() {
+        let mut stream = StreamBuilder::synthetic(1, 3);
+        stream.push(Level::Warn, "dispatch_drain", vec![]);
+        stream.push(Level::Error, "dispatch_qos_violation", vec![]);
+        let timeline = FleetTimeline::merge(&[stream.finish()]);
+        let incidents = reconstruct(&timeline, &[]);
+        assert_eq!(incidents.len(), 2);
+        for incident in &incidents {
+            assert_eq!(incident.resolution, Resolution::Unresolved);
+        }
+        let rendered = render_incidents(&incidents);
+        assert!(rendered.contains("traffic-drain"));
+        assert!(rendered.contains("qos-violation"));
     }
 
     #[test]

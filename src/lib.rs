@@ -23,7 +23,9 @@
 //! for seeded crash-schedule campaigns that prove the durable
 //! orchestration layer recovers byte-identically, [`control_plane`] for
 //! the always-on HTTP serving layer (safe-point lookups, campaign
-//! submission, fleet health and metrics), and `crates/bench`
+//! submission, fleet health and metrics), [`dispatch`] for the
+//! economic dispatcher that routes live traffic onto the exploited
+//! guardbands, and `crates/bench`
 //! for the binaries that regenerate every table and figure of the
 //! paper.
 
@@ -32,6 +34,7 @@
 pub use chaos;
 pub use char_fw;
 pub use control_plane;
+pub use dispatch;
 pub use dram_sim;
 pub use fleet;
 pub use guardband_core;

@@ -1,0 +1,167 @@
+//! Seeded end-to-end dispatch: characterize a real fleet once, then
+//! route the full diurnal + flash-crowd trace across it — economic
+//! dispatcher vs nominal-only ablation — and check the headline
+//! contract: strictly lower watts-per-QPS, zero additional QoS
+//! violations, clean re-routing around an injected breaker trip and a
+//! maintenance window, and a chronicle byte-identical across
+//! 1/2/4/8 workers.
+
+use armv8_guardbands::dispatch::{run_dispatch_with_store, DispatchSpec};
+use armv8_guardbands::fleet::{run_fleet, FleetCampaign, FleetConfig, FleetSpec, SafePointStore};
+use armv8_guardbands::observatory::IncidentKind;
+
+const BOARDS: u32 = 8;
+const SEED: u64 = 2018;
+
+fn characterized_store() -> SafePointStore {
+    run_fleet(
+        &FleetSpec::new(BOARDS, SEED),
+        &FleetCampaign::quick(),
+        &FleetConfig::with_workers(4),
+    )
+    .characterization
+    .store
+}
+
+fn spec() -> DispatchSpec {
+    let mut spec = DispatchSpec::quick(BOARDS, SEED);
+    // Erosion of any margin schedules re-characterization, one board
+    // per boundary — guarantees the maintenance path is exercised.
+    spec.maintenance.margin_threshold_mv = 100;
+    spec
+}
+
+#[test]
+fn dispatcher_beats_nominal_without_costing_qos() {
+    let store = characterized_store();
+    let base = spec();
+    let economic = run_dispatch_with_store(&base, 4, &store);
+    let nominal = run_dispatch_with_store(&base.nominal_arm(), 4, &store);
+
+    // Both arms dispatch the identical trace.
+    assert_eq!(economic.chronicle.requests, nominal.chronicle.requests);
+    assert_eq!(
+        economic.chronicle.trace_fingerprint,
+        nominal.chronicle.trace_fingerprint
+    );
+    assert!(
+        economic.chronicle.served > 10_000,
+        "a real stream was routed"
+    );
+
+    // The headline: cheaper per unit of served load…
+    assert!(
+        economic.chronicle.watts_per_qps < nominal.chronicle.watts_per_qps,
+        "economic {} vs nominal {} W/QPS",
+        economic.chronicle.watts_per_qps,
+        nominal.chronicle.watts_per_qps
+    );
+    // …with zero additional QoS violations or drops.
+    assert!(economic.chronicle.qos_violations <= nominal.chronicle.qos_violations);
+    assert_eq!(economic.chronicle.rejected, 0);
+    assert_eq!(nominal.chronicle.rejected, 0);
+
+    // Exploited boards carry more traffic than nominal-fallback ones
+    // on average — the economics actually steer placement.
+    let econ_rows = &economic.chronicle.board_rows;
+    let exploited_served: u64 = econ_rows
+        .iter()
+        .filter(|r| r.final_mode == "exploited")
+        .map(|r| r.served)
+        .sum();
+    assert!(exploited_served > economic.chronicle.served / 2);
+}
+
+#[test]
+fn faults_reroute_without_dropping_requests() {
+    let store = characterized_store();
+    let mut faulted = spec();
+    // A breaker trip late in the run — after the last maintenance
+    // window could have re-validated the board, so the nominal
+    // backoff is what the run ends in.
+    faulted.breaker_trips = vec![(55_000_000, 0)];
+    let report = run_dispatch_with_store(&faulted, 4, &store);
+
+    // The trip backed board 0 off to nominal-cost routing…
+    let row0 = &report.chronicle.board_rows[0];
+    assert!(row0.tripped);
+    assert_eq!(row0.final_mode, "nominal");
+    assert_eq!(report.chronicle.breaker_backoffs, 1);
+
+    // …the maintenance planner drained at least one board around a
+    // re-characterization window…
+    assert!(report.chronicle.drains > 0, "a drain must have run");
+    assert!(report.chronicle.maintenance_windows > 0);
+    assert!(report.chronicle.reroutes > 0, "traffic was steered around");
+
+    // …and nothing was dropped or delayed past the deadline.
+    assert_eq!(report.chronicle.rejected, 0);
+    assert_eq!(report.chronicle.qos_violations, 0);
+    assert_eq!(
+        report.chronicle.served, report.chronicle.requests,
+        "every request was served"
+    );
+
+    // The observatory reconstructs the drains as resolved incidents.
+    let drains: Vec<_> = report
+        .observatory
+        .incidents_of(IncidentKind::TrafficDrain)
+        .collect();
+    assert!(!drains.is_empty(), "drains surface as incidents");
+
+    // A maintained board took no traffic during its window: its p99
+    // stayed bounded (the drain emptied the queue before the window).
+    for row in &report.chronicle.board_rows {
+        assert!(
+            row.latency.max_us <= report.chronicle.queue_cap_us,
+            "board {} latency {} exceeds the admission bound",
+            row.board,
+            row.latency.max_us
+        );
+    }
+}
+
+#[test]
+fn chronicle_is_byte_identical_across_worker_pools() {
+    let store = characterized_store();
+    let base = spec();
+    let reference = run_dispatch_with_store(&base, 1, &store);
+    let chronicle = reference.chronicle_json();
+    let observatory = reference.observatory_json();
+    for workers in [2, 4, 8] {
+        let report = run_dispatch_with_store(&base, workers, &store);
+        assert_eq!(
+            report.chronicle_json(),
+            chronicle,
+            "{workers}-worker chronicle diverged"
+        );
+        assert_eq!(
+            report.observatory_json(),
+            observatory,
+            "{workers}-worker observatory diverged"
+        );
+    }
+}
+
+#[test]
+fn margin_decay_flows_through_to_the_status_surface() {
+    let store = characterized_store();
+    let report = run_dispatch_with_store(&spec(), 2, &store);
+    // Aging ran: at least one board shows a decay trend or was restored
+    // to zero by a maintenance window.
+    assert!(!report.chronicle.epoch_rows.is_empty());
+    assert!(report
+        .chronicle
+        .epoch_rows
+        .iter()
+        .any(|row| !row.decayed.is_empty()));
+    let status = report.status();
+    assert!(status.enabled);
+    assert_eq!(status.boards.len(), BOARDS as usize);
+    assert_eq!(status.requests_routed, report.chronicle.served);
+    // The per-board decay the control plane will serve is the same one
+    // the chronicle recorded.
+    for (row, board) in report.chronicle.board_rows.iter().zip(&status.boards) {
+        assert_eq!(row.margin_decay_mv, board.margin_decay_mv);
+    }
+}
